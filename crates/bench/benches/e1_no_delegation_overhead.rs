@@ -1,0 +1,60 @@
+//! E1 under Criterion: normal processing + recovery of a zero-delegation
+//! workload on ARIES/RH vs the baselines. The paper's claim is that the
+//! RH bars match the plain-ARIES bars ("no delegation, no overhead").
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rh_core::eager::EagerDb;
+use rh_core::engine::{RhDb, Strategy};
+use rh_core::history::replay_engine;
+use rh_core::TxnEngine;
+use rh_workload::{boring, WorkloadSpec};
+
+fn spec() -> WorkloadSpec {
+    WorkloadSpec { txns: 300, updates_per_txn: 8, straggler_rate: 0.05, ..WorkloadSpec::default() }
+}
+
+fn bench_normal_processing(c: &mut Criterion) {
+    let events = boring(&spec());
+    let mut group = c.benchmark_group("e1_normal_processing");
+    group.bench_function(BenchmarkId::new("engine", "aries_rh"), |b| {
+        b.iter(|| replay_engine(RhDb::new(Strategy::Rh), &events).unwrap())
+    });
+    group.bench_function(BenchmarkId::new("engine", "lazy"), |b| {
+        b.iter(|| replay_engine(RhDb::new(Strategy::LazyRewrite), &events).unwrap())
+    });
+    group.bench_function(BenchmarkId::new("engine", "eager_plain_aries"), |b| {
+        b.iter(|| replay_engine(EagerDb::new(), &events).unwrap())
+    });
+    group.finish();
+}
+
+fn bench_recovery(c: &mut Criterion) {
+    let events = boring(&spec());
+    let mut group = c.benchmark_group("e1_recovery");
+    group.bench_function("aries_rh", |b| {
+        b.iter_batched(
+            || {
+                let e = replay_engine(RhDb::new(Strategy::Rh), &events).unwrap();
+                e.log().flush_all().unwrap();
+                e
+            },
+            |e| e.crash_and_recover().unwrap(),
+            criterion::BatchSize::SmallInput,
+        )
+    });
+    group.bench_function("eager_plain_aries", |b| {
+        b.iter_batched(
+            || {
+                let e = replay_engine(EagerDb::new(), &events).unwrap();
+                e.log().flush_all().unwrap();
+                e
+            },
+            |e| e.crash_and_recover().unwrap(),
+            criterion::BatchSize::SmallInput,
+        )
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_normal_processing, bench_recovery);
+criterion_main!(benches);

@@ -1,0 +1,64 @@
+//! E2 under Criterion: the cost of a single `delegate` call as a
+//! function of the number of objects delegated — the §4.2 claim is
+//! linear in-memory cost plus exactly one log append.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rh_common::ObjectId;
+use rh_core::engine::{RhDb, Strategy};
+use rh_core::TxnEngine;
+
+fn bench_delegate_call(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e2_delegate_cost");
+    for k in [1u64, 8, 64, 512, 2048] {
+        group.throughput(Throughput::Elements(k));
+        group.bench_with_input(BenchmarkId::new("objects", k), &k, |b, &k| {
+            b.iter_batched(
+                || {
+                    let mut db = RhDb::new(Strategy::Rh);
+                    let tor = db.begin().unwrap();
+                    let tee = db.begin().unwrap();
+                    for ob in 0..k {
+                        db.add(tor, ObjectId(ob), 1).unwrap();
+                    }
+                    let obs: Vec<ObjectId> = (0..k).map(ObjectId).collect();
+                    (db, tor, tee, obs)
+                },
+                |(mut db, tor, tee, obs)| {
+                    db.delegate(tor, tee, &obs).unwrap();
+                    db
+                },
+                criterion::BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+fn bench_delegate_all_call(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e2_delegate_all_cost");
+    for k in [1u64, 64, 2048] {
+        group.throughput(Throughput::Elements(k));
+        group.bench_with_input(BenchmarkId::new("objects", k), &k, |b, &k| {
+            b.iter_batched(
+                || {
+                    let mut db = RhDb::new(Strategy::Rh);
+                    let tor = db.begin().unwrap();
+                    let tee = db.begin().unwrap();
+                    for ob in 0..k {
+                        db.add(tor, ObjectId(ob), 1).unwrap();
+                    }
+                    (db, tor, tee)
+                },
+                |(mut db, tor, tee)| {
+                    db.delegate_all(tor, tee).unwrap();
+                    db
+                },
+                criterion::BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_delegate_call, bench_delegate_all_call);
+criterion_main!(benches);

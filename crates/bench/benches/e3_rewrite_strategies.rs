@@ -1,0 +1,84 @@
+//! E3 under Criterion: RH vs eager vs lazy rewriting on an interleaved,
+//! delegation-heavy workload — normal processing (where eager pays) and
+//! recovery (where lazy pays).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rh_core::eager::EagerDb;
+use rh_core::engine::{RhDb, Strategy};
+use rh_core::history::replay_engine;
+use rh_core::TxnEngine;
+use rh_workload::{interleaved_mix, WorkloadSpec};
+
+fn spec(rate: f64) -> WorkloadSpec {
+    WorkloadSpec {
+        txns: 60,
+        updates_per_txn: 6,
+        objects_per_txn: 3,
+        delegation_rate: rate,
+        chain_len: 2,
+        straggler_rate: 0.25,
+        abort_rate: 0.0,
+        ..WorkloadSpec::default()
+    }
+}
+
+fn bench_normal(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e3_normal_processing");
+    for rate in [0.0, 0.5, 1.0] {
+        let events = interleaved_mix(&spec(rate));
+        group.bench_with_input(BenchmarkId::new("aries_rh", rate), &events, |b, ev| {
+            b.iter(|| replay_engine(RhDb::new(Strategy::Rh), ev).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("lazy", rate), &events, |b, ev| {
+            b.iter(|| replay_engine(RhDb::new(Strategy::LazyRewrite), ev).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("eager", rate), &events, |b, ev| {
+            b.iter(|| replay_engine(EagerDb::new(), ev).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_recovery(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e3_recovery");
+    for rate in [0.0, 0.5, 1.0] {
+        let events = interleaved_mix(&spec(rate));
+        group.bench_with_input(BenchmarkId::new("aries_rh", rate), &events, |b, ev| {
+            b.iter_batched(
+                || {
+                    let e = replay_engine(RhDb::new(Strategy::Rh), ev).unwrap();
+                    e.log().flush_all().unwrap();
+                    e
+                },
+                |e| e.crash_and_recover().unwrap(),
+                criterion::BatchSize::SmallInput,
+            )
+        });
+        group.bench_with_input(BenchmarkId::new("lazy", rate), &events, |b, ev| {
+            b.iter_batched(
+                || {
+                    let e = replay_engine(RhDb::new(Strategy::LazyRewrite), ev).unwrap();
+                    e.log().flush_all().unwrap();
+                    e
+                },
+                |e| e.crash_and_recover().unwrap(),
+                criterion::BatchSize::SmallInput,
+            )
+        });
+        group.bench_with_input(BenchmarkId::new("eager", rate), &events, |b, ev| {
+            b.iter_batched(
+                || {
+                    let e = replay_engine(EagerDb::new(), ev).unwrap();
+                    e.log().flush_all().unwrap();
+                    e
+                },
+                |e| e.crash_and_recover().unwrap(),
+                criterion::BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_normal, bench_recovery);
+criterion_main!(benches);

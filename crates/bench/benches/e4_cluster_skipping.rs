@@ -1,0 +1,77 @@
+//! E4 under Criterion: recovery time as loser density varies — the
+//! backward pass's cluster skipping keeps sparse-loser recovery cheap
+//! regardless of log length.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rh_core::engine::{RhDb, Strategy};
+use rh_core::history::replay_engine;
+use rh_core::TxnEngine;
+use rh_workload::{boring, WorkloadSpec};
+
+fn bench_recovery_vs_loser_density(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e4_recovery_vs_loser_density");
+    for rate in [0.0, 0.01, 0.1, 1.0] {
+        let spec = WorkloadSpec {
+            txns: 500,
+            updates_per_txn: 4,
+            straggler_rate: rate,
+            abort_rate: 0.0,
+            ..WorkloadSpec::default()
+        };
+        let events = boring(&spec);
+        group.bench_with_input(BenchmarkId::new("straggler_rate", rate), &events, |b, ev| {
+            b.iter_batched(
+                || {
+                    let e = replay_engine(RhDb::new(Strategy::Rh), ev).unwrap();
+                    e.log().flush_all().unwrap();
+                    e
+                },
+                |e| e.crash_and_recover().unwrap(),
+                criterion::BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+fn bench_log_length_with_fixed_losers(c: &mut Criterion) {
+    // Fixed loser count, growing committed middle. A checkpoint right
+    // after the build bounds the *forward* pass to a few records, so the
+    // measured recovery is dominated by the backward pass — which must
+    // stay flat: it jumps between the two single-record loser clusters
+    // and never touches the committed middle, however large.
+    let mut group = c.benchmark_group("e4_backward_pass_vs_log_length");
+    group.sample_size(20);
+    for committed in [100usize, 400, 1600] {
+        group.bench_with_input(
+            BenchmarkId::new("committed_txns", committed),
+            &committed,
+            |b, &committed| {
+                b.iter_batched(
+                    || {
+                        use rh_common::ObjectId;
+                        let mut d = RhDb::new(Strategy::Rh);
+                        let early = d.begin().unwrap();
+                        d.add(early, ObjectId(0), 1).unwrap();
+                        for i in 0..committed {
+                            let t = d.begin().unwrap();
+                            d.add(t, ObjectId(10 + i as u64), 1).unwrap();
+                            d.commit(t).unwrap();
+                        }
+                        let late = d.begin().unwrap();
+                        d.add(late, ObjectId(1), 1).unwrap();
+                        d.checkpoint().unwrap();
+                        d.log().flush_all().unwrap();
+                        d
+                    },
+                    |d| d.crash_and_recover().unwrap(),
+                    criterion::BatchSize::SmallInput,
+                )
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_recovery_vs_loser_density, bench_log_length_with_fixed_losers);
+criterion_main!(benches);

@@ -1,0 +1,70 @@
+//! E6 under Criterion: forward-pass (analysis+redo) time with and
+//! without delegation in the log — RH's delegation processing must add
+//! only O(1) work per delegate record, no extra sweeps.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rh_core::engine::{RhDb, Strategy};
+use rh_core::history::replay_engine;
+use rh_core::TxnEngine;
+use rh_workload::{delegation_mix, WorkloadSpec};
+
+fn bench_forward_pass(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e6_recovery_vs_delegation_rate");
+    for rate in [0.0, 0.25, 0.5, 1.0] {
+        let spec = WorkloadSpec {
+            txns: 400,
+            updates_per_txn: 6,
+            delegation_rate: rate,
+            chain_len: 1,
+            straggler_rate: 0.1,
+            abort_rate: 0.0,
+            ..WorkloadSpec::default()
+        };
+        let events = delegation_mix(&spec);
+        group.bench_with_input(BenchmarkId::new("delegation_rate", rate), &events, |b, ev| {
+            b.iter_batched(
+                || {
+                    let e = replay_engine(RhDb::new(Strategy::Rh), ev).unwrap();
+                    e.log().flush_all().unwrap();
+                    e
+                },
+                |e| e.crash_and_recover().unwrap(),
+                criterion::BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+fn bench_checkpointed_recovery(c: &mut Criterion) {
+    // A checkpoint right before the crash bounds the forward pass; the
+    // scope tables (delegation state) restore from the snapshot.
+    let mut group = c.benchmark_group("e6_checkpointed_recovery");
+    for rate in [0.0, 1.0] {
+        let spec = WorkloadSpec {
+            txns: 400,
+            updates_per_txn: 6,
+            delegation_rate: rate,
+            straggler_rate: 0.1,
+            abort_rate: 0.0,
+            ..WorkloadSpec::default()
+        };
+        let events = delegation_mix(&spec);
+        group.bench_with_input(BenchmarkId::new("delegation_rate", rate), &events, |b, ev| {
+            b.iter_batched(
+                || {
+                    let mut e = replay_engine(RhDb::new(Strategy::Rh), ev).unwrap();
+                    e.checkpoint().unwrap();
+                    e.log().flush_all().unwrap();
+                    e
+                },
+                |e| e.crash_and_recover().unwrap(),
+                criterion::BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_forward_pass, bench_checkpointed_recovery);
+criterion_main!(benches);

@@ -1,0 +1,65 @@
+//! E7 under Criterion: the EOS NO-UNDO/REDO engine vs ARIES/RH under a
+//! delegation workload — normal processing (EOS defers, RH applies in
+//! place) and recovery (EOS replays committed items only; RH redoes and
+//! undoes).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rh_core::engine::{RhDb, Strategy};
+use rh_core::history::replay_engine;
+use rh_core::TxnEngine;
+use rh_eos::EosDb;
+use rh_workload::{delegation_mix, WorkloadSpec};
+
+fn spec(rate: f64) -> WorkloadSpec {
+    WorkloadSpec {
+        txns: 300,
+        updates_per_txn: 6,
+        delegation_rate: rate,
+        straggler_rate: 0.2,
+        abort_rate: 0.1,
+        ..WorkloadSpec::default()
+    }
+}
+
+fn bench_normal(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e7_normal_processing");
+    for rate in [0.0, 1.0] {
+        let events = delegation_mix(&spec(rate));
+        group.bench_with_input(BenchmarkId::new("eos", rate), &events, |b, ev| {
+            b.iter(|| replay_engine(EosDb::new(), ev).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("aries_rh", rate), &events, |b, ev| {
+            b.iter(|| replay_engine(RhDb::new(Strategy::Rh), ev).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_recovery(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e7_recovery");
+    for rate in [0.0, 1.0] {
+        let events = delegation_mix(&spec(rate));
+        group.bench_with_input(BenchmarkId::new("eos", rate), &events, |b, ev| {
+            b.iter_batched(
+                || replay_engine(EosDb::new(), ev).unwrap(),
+                |e| e.crash_and_recover().unwrap(),
+                criterion::BatchSize::SmallInput,
+            )
+        });
+        group.bench_with_input(BenchmarkId::new("aries_rh", rate), &events, |b, ev| {
+            b.iter_batched(
+                || {
+                    let e = replay_engine(RhDb::new(Strategy::Rh), ev).unwrap();
+                    e.log().flush_all().unwrap();
+                    e
+                },
+                |e| e.crash_and_recover().unwrap(),
+                criterion::BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_normal, bench_recovery);
+criterion_main!(benches);

@@ -1,0 +1,87 @@
+//! E8 under Criterion: synthesized extended transaction models vs
+//! hand-rolled flat transactions doing the same updates — the cost of
+//! the ETM abstraction must be a small constant per session.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rh_common::ObjectId;
+use rh_core::engine::{RhDb, Strategy};
+use rh_core::TxnEngine;
+use rh_etm::nested::run_trip;
+use rh_etm::reporting::ReportingTxn;
+use rh_etm::split::{join, split};
+use rh_etm::EtmSession;
+
+const SESSIONS: usize = 50;
+const UPDATES: u64 = 8;
+
+fn bench_flat_vs_split(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e8_split_join");
+    group.bench_function("flat_baseline", |b| {
+        b.iter(|| {
+            let mut db = RhDb::new(Strategy::Rh);
+            for i in 0..SESSIONS {
+                let t = db.begin().unwrap();
+                for u in 0..UPDATES {
+                    db.add(t, ObjectId(i as u64 * UPDATES + u), 1).unwrap();
+                }
+                db.commit(t).unwrap();
+            }
+            db
+        })
+    });
+    group.bench_function("split_join_sessions", |b| {
+        b.iter(|| {
+            let mut s = EtmSession::new(RhDb::new(Strategy::Rh));
+            for i in 0..SESSIONS {
+                let base = i as u64 * UPDATES;
+                let t1 = s.initiate_empty().unwrap();
+                for u in 0..UPDATES {
+                    s.add(t1, ObjectId(base + u), 1).unwrap();
+                }
+                let half: Vec<ObjectId> =
+                    (UPDATES / 2..UPDATES).map(|u| ObjectId(base + u)).collect();
+                let t2 = split(&mut s, t1, &half).unwrap();
+                join(&mut s, t2, t1).unwrap();
+                s.commit(t1).unwrap();
+            }
+            s
+        })
+    });
+    group.finish();
+}
+
+fn bench_nested_trips(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e8_nested_trip");
+    group.bench_function("trips_mixed_success", |b| {
+        b.iter(|| {
+            let mut s = EtmSession::new(RhDb::new(Strategy::Rh));
+            for i in 0..SESSIONS {
+                let _ = run_trip(&mut s, ObjectId(0), ObjectId(1), true, i % 3 != 2).unwrap();
+            }
+            s
+        })
+    });
+    group.finish();
+}
+
+fn bench_reporting(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e8_reporting");
+    group.bench_function("worker_with_periodic_reports", |b| {
+        b.iter(|| {
+            let mut s = EtmSession::new(RhDb::new(Strategy::Rh));
+            let mut w = ReportingTxn::begin(&mut s).unwrap();
+            for round in 0..SESSIONS {
+                s.add(w.id(), ObjectId(round as u64 % 4), 1).unwrap();
+                if round % 5 == 4 {
+                    w.report_all(&mut s).unwrap();
+                }
+            }
+            w.finish(&mut s).unwrap();
+            s
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_flat_vs_split, bench_nested_trips, bench_reporting);
+criterion_main!(benches);

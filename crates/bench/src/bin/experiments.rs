@@ -1,0 +1,41 @@
+//! Regenerates the paper-claim experiments (E1–E10) and prints their
+//! tables. `EXPERIMENTS.md` records a full run.
+//!
+//! ```text
+//! cargo run --release -p rh-bench --bin experiments           # all, full scale
+//! cargo run --release -p rh-bench --bin experiments -- e3 e4  # a subset
+//! cargo run -p rh-bench --bin experiments -- --quick all      # smoke sizes
+//! ```
+
+use rh_bench::experiments::{self, Scale};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let scale = if quick { Scale::Quick } else { Scale::Full };
+    let ids: Vec<String> = args
+        .iter()
+        .filter(|a| !a.starts_with("--"))
+        .map(|a| a.to_lowercase())
+        .collect();
+    let ids: Vec<&str> = if ids.is_empty() || ids.iter().any(|a| a == "all") {
+        experiments::ALL.to_vec()
+    } else {
+        ids.iter().map(String::as_str).collect()
+    };
+
+    println!("# ARIES/RH experiments ({:?} scale)\n", scale);
+    for id in ids {
+        match experiments::run(id, scale) {
+            None => {
+                eprintln!("unknown experiment id: {id} (known: {:?})", experiments::ALL);
+                std::process::exit(2);
+            }
+            Some(tables) => {
+                for t in tables {
+                    t.print();
+                }
+            }
+        }
+    }
+}

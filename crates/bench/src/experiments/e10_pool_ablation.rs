@@ -1,0 +1,89 @@
+//! **E10 — ablation: buffer-pool size (steal pressure) vs recovery
+//! work.**
+//!
+//! A tiny pool steals constantly: dirty pages (with uncommitted values)
+//! reach disk before commit, so recovery both *undoes more from disk*
+//! and *redoes less* (stolen pages already carry later page-LSNs). A
+//! large pool never steals: the disk stays stale, redo does all the
+//! work. Correctness is identical everywhere (the oracle suite covers
+//! it); this experiment shows the cost surface the steal/no-force design
+//! trades over — context for why UNDO/REDO (and hence delegation-aware
+//! undo) is needed at all.
+
+use super::Scale;
+use crate::harness::timed;
+use crate::table::{ms, Table};
+use rh_core::engine::{DbConfig, RhDb, Strategy};
+use rh_core::history::replay_engine;
+use rh_core::TxnEngine;
+use rh_workload::{delegation_mix, WorkloadSpec};
+
+/// Runs E10.
+pub fn run(scale: Scale) -> Vec<Table> {
+    let txns = scale.pick(100, 2_000);
+    let spec = WorkloadSpec {
+        txns,
+        updates_per_txn: 6,
+        objects_per_txn: 3,
+        delegation_rate: 0.5,
+        straggler_rate: 0.2,
+        abort_rate: 0.0,
+        ..WorkloadSpec::default()
+    };
+    let events = delegation_mix(&spec);
+
+    let mut table = Table::new(
+        format!("E10: buffer-pool size ablation ({txns} jobs, 50% delegation)"),
+        &[
+            "pool pages",
+            "normal ms",
+            "pages stolen (writes)",
+            "recovery ms",
+            "redone",
+            "undone",
+            "rec page reads",
+        ],
+    );
+
+    for pool_pages in [1usize, 8, 64, 1024] {
+        let engine = RhDb::with_config(Strategy::Rh, DbConfig { pool_pages });
+        let (engine, normal) = timed(|| replay_engine(engine, &events).unwrap());
+        let stolen = engine.disk().metrics().snapshot().page_writes;
+        engine.log().flush_all().unwrap();
+        let (engine, rec) = timed(|| engine.crash_and_recover().unwrap());
+        let report = engine.last_recovery().unwrap();
+        let rec_reads = engine.disk().metrics().snapshot().page_reads;
+        table.row(vec![
+            pool_pages.to_string(),
+            ms(normal),
+            stolen.to_string(),
+            ms(rec),
+            report.forward.redone.to_string(),
+            report.undo.undone.to_string(),
+            rec_reads.to_string(),
+        ]);
+    }
+    vec![table]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn e10_steal_pressure_shifts_work() {
+        let tables = run(Scale::Quick);
+        let lines = tables[0].render();
+        let tiny: Vec<&str> = lines[3].split_whitespace().collect();
+        let large: Vec<&str> = lines.last().unwrap().split_whitespace().collect();
+        let tiny_stolen: u64 = tiny[2].parse().unwrap();
+        let large_stolen: u64 = large[2].parse().unwrap();
+        assert!(tiny_stolen > large_stolen * 2, "tiny pool must steal far more");
+        // Redo shrinks as steals persist more updates before the crash.
+        let tiny_redone: u64 = tiny[4].parse().unwrap();
+        let large_redone: u64 = large[4].parse().unwrap();
+        assert!(tiny_redone <= large_redone);
+        // Undo counts are identical: losers are losers either way.
+        assert_eq!(tiny[5], large[5]);
+    }
+}

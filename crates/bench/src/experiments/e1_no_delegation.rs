@@ -1,0 +1,109 @@
+//! **E1 — "No delegation, no overhead"** (§4.2, first claim).
+//!
+//! "In the absence of delegation ARIES/RH reduces to the original
+//! algorithm, so no penalty is incurred due to the extra functionality
+//! when it is not used."
+//!
+//! A boring (delegation-free) workload runs on ARIES/RH, on the lazy
+//! variant (identical normal processing), and on the eager engine (whose
+//! delegation machinery is pay-per-use too, making it a plain-ARIES
+//! stand-in). Normal-processing throughput, log traffic, and recovery
+//! cost must be indistinguishable, and the delegation-only counters must
+//! be exactly zero.
+
+use super::Scale;
+use crate::harness::timed;
+use crate::table::{ms, Table};
+use rh_core::eager::EagerDb;
+use rh_core::engine::{RhDb, Strategy};
+use rh_core::history::replay_engine;
+use rh_core::TxnEngine;
+use rh_workload::{boring, WorkloadSpec};
+
+/// Runs E1.
+pub fn run(scale: Scale) -> Vec<Table> {
+    let spec = WorkloadSpec {
+        txns: scale.pick(50, 5_000),
+        updates_per_txn: 8,
+        straggler_rate: 0.05,
+        abort_rate: 0.05,
+        ..WorkloadSpec::default()
+    };
+    let events = boring(&spec);
+    let updates = spec.txns * spec.updates_per_txn;
+
+    let mut table = Table::new(
+        format!(
+            "E1: zero-delegation workload ({} txns x {} updates) — RH vs baselines",
+            spec.txns, spec.updates_per_txn
+        ),
+        &[
+            "engine",
+            "normal ms",
+            "us/update",
+            "log appends",
+            "rewrites",
+            "recovery ms",
+            "fwd reads",
+            "bwd visited",
+        ],
+    );
+
+    // --- ARIES/RH ---------------------------------------------------------
+    for (name, strategy) in [("ARIES/RH", Strategy::Rh), ("lazy-rewrite", Strategy::LazyRewrite)] {
+        let engine = RhDb::new(strategy);
+        let (engine, normal) = timed(|| replay_engine(engine, &events).unwrap());
+        engine.log().flush_all().unwrap();
+        let normal_log = engine.log().metrics().snapshot();
+        let (engine, rec_wall) = timed(|| engine.crash_and_recover().unwrap());
+        let report = engine.last_recovery().unwrap();
+        table.row(vec![
+            name.into(),
+            ms(normal),
+            format!("{:.2}", normal.as_secs_f64() * 1e6 / updates as f64),
+            normal_log.appends.to_string(),
+            (normal_log.in_place_rewrites + report.undo.rewrites).to_string(),
+            ms(rec_wall),
+            report.forward.records_scanned.to_string(),
+            report.undo.visited.to_string(),
+        ]);
+    }
+
+    // --- eager (plain-ARIES stand-in) --------------------------------------
+    let engine = EagerDb::new();
+    let (engine, normal) = timed(|| replay_engine(engine, &events).unwrap());
+    engine.log().flush_all().unwrap();
+    let normal_log = engine.log().metrics().snapshot();
+    let (engine, rec_wall) = timed(|| engine.crash_and_recover().unwrap());
+    let rec_log = engine.log().metrics().snapshot();
+    table.row(vec![
+        "eager (≈ARIES)".into(),
+        ms(normal),
+        format!("{:.2}", normal.as_secs_f64() * 1e6 / updates as f64),
+        normal_log.appends.to_string(),
+        normal_log.in_place_rewrites.to_string(),
+        ms(rec_wall),
+        rec_log.records_read.to_string(),
+        "-".into(),
+    ]);
+
+    vec![table]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn e1_smoke() {
+        let tables = run(Scale::Quick);
+        assert_eq!(tables.len(), 1);
+        let text = tables[0].render().join("\n");
+        // The rewrite column must be zero for every engine on a
+        // delegation-free workload.
+        for line in tables[0].render().iter().skip(3) {
+            let cells: Vec<&str> = line.split_whitespace().collect();
+            assert_eq!(cells[cells.len() - 4], "0", "rewrites must be 0 in: {text}");
+        }
+    }
+}

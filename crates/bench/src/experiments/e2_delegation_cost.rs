@@ -1,0 +1,77 @@
+//! **E2 — normal-processing delegation cost** (§4.2, second claim).
+//!
+//! "Posting one delegation during normal processing has the cost of
+//! adding a log entry and updating the object bindings. The cost of
+//! delegations is linear in the number of operations delegated."
+//!
+//! One transaction updates `k` objects, then delegates all `k` in a
+//! single call. Measured: the wall time of the `delegate` call itself,
+//! and the number of log records it appended — which must be **1**
+//! regardless of `k` (the linear part is purely the in-memory scope
+//! moves).
+
+use super::Scale;
+use crate::harness::timed;
+use crate::table::Table;
+use rh_common::ObjectId;
+use rh_core::engine::{RhDb, Strategy};
+use rh_core::TxnEngine;
+
+/// Runs E2.
+pub fn run(scale: Scale) -> Vec<Table> {
+    let ks: Vec<u64> = match scale {
+        Scale::Quick => vec![1, 4, 16],
+        Scale::Full => vec![1, 4, 16, 64, 256, 1024, 4096],
+    };
+    let iters = scale.pick(3, 20);
+
+    let mut table = Table::new(
+        "E2: cost of one delegate() call vs objects delegated (k)",
+        &["k objects", "delegate us (mean)", "log appends by delegate", "us per object"],
+    );
+
+    for &k in &ks {
+        let mut total = std::time::Duration::ZERO;
+        let mut appends_delta = 0u64;
+        for seed in 0..iters {
+            let mut db = RhDb::new(Strategy::Rh);
+            let tor = db.begin().unwrap();
+            let tee = db.begin().unwrap();
+            for ob in 0..k {
+                db.add(tor, ObjectId(ob), seed as i64 + 1).unwrap();
+            }
+            let obs: Vec<ObjectId> = (0..k).map(ObjectId).collect();
+            let before = db.log().metrics().snapshot();
+            let ((), d) = timed(|| db.delegate(tor, tee, &obs).unwrap());
+            let after = db.log().metrics().snapshot();
+            appends_delta = after.appends - before.appends;
+            total += d;
+            db.commit(tee).unwrap();
+            db.commit(tor).unwrap();
+        }
+        let mean_us = total.as_secs_f64() * 1e6 / iters as f64;
+        table.row(vec![
+            k.to_string(),
+            format!("{mean_us:.2}"),
+            appends_delta.to_string(),
+            format!("{:.3}", mean_us / k as f64),
+        ]);
+    }
+
+    vec![table]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn e2_smoke_one_log_record_per_delegation() {
+        let tables = run(Scale::Quick);
+        for line in tables[0].render().iter().skip(3) {
+            let cells: Vec<&str> = line.split_whitespace().collect();
+            // Column 2 (0-indexed): log appends by delegate — always 1.
+            assert_eq!(cells[2], "1", "delegate must append exactly one record");
+        }
+    }
+}

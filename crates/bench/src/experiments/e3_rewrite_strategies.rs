@@ -1,0 +1,143 @@
+//! **E3 — RH vs eager vs lazy rewriting** (§3.2's critique, §4.2's
+//! claims, and the reason ARIES/RH exists).
+//!
+//! The same interleaved, delegation-heavy workload (plus a crash) runs on
+//! all three strategies. Reported per engine and delegation rate:
+//!
+//! * normal-processing wall time and the log *reads/rewrites during
+//!   normal processing* — the eager baseline pays its backward sweep
+//!   here ("a single delegation will generate many accesses, in
+//!   principle sweeping the whole log");
+//! * recovery wall time, records read, in-place rewrites, and seeks —
+//!   the lazy baseline pays here; ARIES/RH pays nowhere.
+
+use super::Scale;
+use crate::harness::timed;
+use crate::table::{ms, Table};
+use rh_core::eager::EagerDb;
+use rh_core::engine::{RhDb, Strategy};
+use rh_core::history::replay_engine;
+use rh_core::TxnEngine;
+use rh_wal::LogMetricsSnapshot;
+use rh_workload::{interleaved_mix, WorkloadSpec};
+
+struct Row {
+    engine: &'static str,
+    normal: std::time::Duration,
+    normal_log: LogMetricsSnapshot,
+    recovery: std::time::Duration,
+    rec_log: LogMetricsSnapshot,
+    rec_rewrites: u64,
+}
+
+fn spec_for(scale: Scale, rate: f64) -> WorkloadSpec {
+    WorkloadSpec {
+        txns: scale.pick(20, 400),
+        updates_per_txn: 6,
+        objects_per_txn: 3,
+        delegation_rate: rate,
+        chain_len: 2,
+        straggler_rate: 0.25,
+        abort_rate: 0.0,
+        ..WorkloadSpec::default()
+    }
+}
+
+fn run_rh(strategy: Strategy, name: &'static str, spec: &WorkloadSpec) -> Row {
+    let events = interleaved_mix(spec);
+    let engine = RhDb::new(strategy);
+    let (engine, normal) = timed(|| replay_engine(engine, &events).unwrap());
+    engine.log().flush_all().unwrap();
+    let normal_log = engine.log().metrics().snapshot();
+    let (engine, recovery) = timed(|| engine.crash_and_recover().unwrap());
+    let rec_log = engine.log().metrics().snapshot();
+    let rec_rewrites = engine.last_recovery().unwrap().undo.rewrites;
+    Row { engine: name, normal, normal_log, recovery, rec_log, rec_rewrites }
+}
+
+fn run_eager(spec: &WorkloadSpec) -> Row {
+    let events = interleaved_mix(spec);
+    let engine = EagerDb::new();
+    let (engine, normal) = timed(|| replay_engine(engine, &events).unwrap());
+    engine.log().flush_all().unwrap();
+    let normal_log = engine.log().metrics().snapshot();
+    let (engine, recovery) = timed(|| engine.crash_and_recover().unwrap());
+    let rec_log = engine.log().metrics().snapshot();
+    Row { engine: "eager", normal, normal_log, recovery, rec_log, rec_rewrites: 0 }
+}
+
+/// Runs E3.
+pub fn run(scale: Scale) -> Vec<Table> {
+    let mut tables = Vec::new();
+    for rate in [0.0, 0.25, 0.5, 1.0] {
+        let spec = spec_for(scale, rate);
+        let rows = vec![
+            run_rh(Strategy::Rh, "ARIES/RH", &spec),
+            run_rh(Strategy::LazyRewrite, "lazy", &spec),
+            run_eager(&spec),
+        ];
+        let mut table = Table::new(
+            format!(
+                "E3: rewrite strategies, delegation rate {rate} ({} txns, chain 2)",
+                spec.txns
+            ),
+            &[
+                "engine",
+                "normal ms",
+                "nrm reads",
+                "nrm rewrites",
+                "recovery ms",
+                "rec reads",
+                "rec rewrites",
+                "rec seeks",
+            ],
+        );
+        for r in rows {
+            table.row(vec![
+                r.engine.into(),
+                ms(r.normal),
+                r.normal_log.records_read.to_string(),
+                r.normal_log.in_place_rewrites.to_string(),
+                ms(r.recovery),
+                r.rec_log.records_read.to_string(),
+                (r.rec_log.in_place_rewrites + r.rec_rewrites).to_string(),
+                r.rec_log.seeks.to_string(),
+            ]);
+        }
+        tables.push(table);
+    }
+    tables
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cell(line: &str, idx: usize) -> String {
+        line.split_whitespace().nth(idx).unwrap().to_string()
+    }
+
+    #[test]
+    fn e3_shapes_hold_at_quick_scale() {
+        let tables = run(Scale::Quick);
+        // Heaviest-delegation table: last one (rate 1.0).
+        let lines = tables.last().unwrap().render();
+        let rh = &lines[3];
+        let lazy = &lines[4];
+        let eager = &lines[5];
+        // RH: no rewrites anywhere.
+        assert_eq!(cell(rh, 3), "0");
+        assert_eq!(cell(rh, 6), "0");
+        // Lazy: rewrites at recovery, none during normal processing.
+        assert_eq!(cell(lazy, 3), "0");
+        assert!(cell(lazy, 6).parse::<u64>().unwrap() > 0);
+        // Eager: rewrites + heavy reads during normal processing.
+        assert!(cell(eager, 3).parse::<u64>().unwrap() > 0);
+        let eager_reads: u64 = cell(eager, 2).parse().unwrap();
+        let rh_reads: u64 = cell(rh, 2).parse().unwrap();
+        assert!(
+            eager_reads > 10 * rh_reads.max(1),
+            "eager normal-processing reads ({eager_reads}) must dwarf RH's ({rh_reads})"
+        );
+    }
+}

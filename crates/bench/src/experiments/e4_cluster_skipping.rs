@@ -1,0 +1,80 @@
+//! **E4 — backward-pass cluster skipping** (§3.6.2, Fig. 7/8; §4.2:
+//! "log records are visited at most once and in strict decreasing
+//! order").
+//!
+//! A long log of committed work is salted with a varying number of
+//! losers (stragglers). The backward pass must visit only the loser-scope
+//! clusters: its visited-record count should track the loser count, not
+//! the log length.
+
+use super::Scale;
+use crate::harness::timed;
+use crate::table::{f2, ms, Table};
+use rh_core::engine::{RhDb, Strategy};
+use rh_core::history::replay_engine;
+use rh_core::TxnEngine;
+use rh_workload::{boring, WorkloadSpec};
+
+/// Runs E4.
+pub fn run(scale: Scale) -> Vec<Table> {
+    let txns = scale.pick(100, 4_000);
+    let mut table = Table::new(
+        format!("E4: backward pass visits vs loser density ({txns} txns)"),
+        &[
+            "straggler rate",
+            "log records",
+            "losers",
+            "clusters",
+            "bwd visited",
+            "visited/log %",
+            "undone",
+            "bwd ms",
+        ],
+    );
+
+    for rate in [0.0, 0.005, 0.02, 0.1, 0.5, 1.0] {
+        let spec = WorkloadSpec {
+            txns,
+            updates_per_txn: 4,
+            straggler_rate: rate,
+            abort_rate: 0.0,
+            ..WorkloadSpec::default()
+        };
+        let events = boring(&spec);
+        let engine = RhDb::new(Strategy::Rh);
+        let engine = replay_engine(engine, &events).unwrap();
+        engine.log().flush_all().unwrap();
+        let log_len = engine.log().len();
+        let (engine, rec_wall) = timed(|| engine.crash_and_recover().unwrap());
+        let report = engine.last_recovery().unwrap();
+        table.row(vec![
+            format!("{rate}"),
+            log_len.to_string(),
+            report.losers.len().to_string(),
+            report.undo.clusters.to_string(),
+            report.undo.visited.to_string(),
+            f2(report.undo.visited as f64 * 100.0 / log_len as f64),
+            report.undo.undone.to_string(),
+            ms(rec_wall),
+        ]);
+    }
+    vec![table]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn e4_visited_tracks_losers_not_log_length() {
+        let tables = run(Scale::Quick);
+        let lines = tables[0].render();
+        // rate 0.0 row: zero visits.
+        let zero: Vec<&str> = lines[3].split_whitespace().collect();
+        assert_eq!(zero[4], "0");
+        // Low-rate rows visit a small fraction of the log.
+        let low: Vec<&str> = lines[4].split_whitespace().collect();
+        let visited: f64 = low[5].parse().unwrap();
+        assert!(visited < 50.0, "visited {visited}% of the log at low loser rate");
+    }
+}

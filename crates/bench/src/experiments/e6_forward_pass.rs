@@ -1,0 +1,78 @@
+//! **E6 — forward-pass overhead of delegation** (§4.2: "the forward pass
+//! of recovery is only different from that of ARIES in its processing of
+//! update (there is an extra check) and delegate ... ARIES/RH adds
+//! neither extra log sweeps, nor costs proportional to the length of the
+//! log").
+//!
+//! Workloads with increasing delegation rates but (approximately) equal
+//! update counts are crashed and recovered; forward-pass records
+//! scanned must grow only by the delegate records themselves, never by
+//! extra sweeps.
+
+use super::Scale;
+use crate::harness::timed;
+use crate::table::{ms, Table};
+use rh_core::engine::{RhDb, Strategy};
+use rh_core::history::replay_engine;
+use rh_core::TxnEngine;
+use rh_workload::{delegation_mix, WorkloadSpec};
+
+/// Runs E6.
+pub fn run(scale: Scale) -> Vec<Table> {
+    let txns = scale.pick(50, 2_000);
+    let mut table = Table::new(
+        format!("E6: forward pass vs delegation rate ({txns} jobs)"),
+        &[
+            "delegation rate",
+            "log records",
+            "delegate recs",
+            "fwd scanned",
+            "scanned - log",
+            "redone",
+            "fwd+bwd ms",
+        ],
+    );
+
+    for rate in [0.0, 0.25, 0.5, 1.0] {
+        let spec = WorkloadSpec {
+            txns,
+            updates_per_txn: 6,
+            delegation_rate: rate,
+            chain_len: 1,
+            straggler_rate: 0.1,
+            abort_rate: 0.0,
+            ..WorkloadSpec::default()
+        };
+        let events = delegation_mix(&spec);
+        let engine = replay_engine(RhDb::new(Strategy::Rh), &events).unwrap();
+        engine.log().flush_all().unwrap();
+        let log_len = engine.log().len() as u64;
+        let (engine, rec_wall) = timed(|| engine.crash_and_recover().unwrap());
+        let report = engine.last_recovery().unwrap();
+        table.row(vec![
+            format!("{rate}"),
+            log_len.to_string(),
+            report.forward.delegations_seen.to_string(),
+            report.forward.records_scanned.to_string(),
+            (report.forward.records_scanned as i64 - log_len as i64).to_string(),
+            report.forward.redone.to_string(),
+            ms(rec_wall),
+        ]);
+    }
+    vec![table]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn e6_single_sweep_regardless_of_delegation() {
+        let tables = run(Scale::Quick);
+        for line in tables[0].render().iter().skip(3) {
+            let cells: Vec<&str> = line.split_whitespace().collect();
+            // "scanned - log" must be exactly 0: one sweep, no extras.
+            assert_eq!(cells[4], "0", "forward pass must scan the log exactly once: {line}");
+        }
+    }
+}

@@ -1,0 +1,94 @@
+//! **E7 — delegation on EOS (NO-UNDO/REDO)** (§3.7).
+//!
+//! The same delegation workload runs on EOS and on ARIES/RH; both crash
+//! and recover. The shape to reproduce: EOS recovery replays *only
+//! committed* items (no undo at all, losers cost nothing at restart),
+//! while it defers all update visibility to commit time; ARIES/RH pays
+//! an undo pass but applies updates in place. Both must agree with the
+//! oracle, which the correctness suite already asserts — here we measure.
+
+use super::Scale;
+use crate::harness::timed;
+use crate::table::{ms, Table};
+use rh_core::engine::{RhDb, Strategy};
+use rh_core::history::replay_engine;
+use rh_core::TxnEngine;
+use rh_eos::EosDb;
+use rh_workload::{delegation_mix, WorkloadSpec};
+
+/// Runs E7.
+pub fn run(scale: Scale) -> Vec<Table> {
+    let txns = scale.pick(50, 2_000);
+    let mut table = Table::new(
+        format!("E7: EOS vs ARIES/RH under delegation ({txns} jobs, crash, recover)"),
+        &[
+            "engine",
+            "deleg rate",
+            "normal ms",
+            "recovery ms",
+            "replayed/redone",
+            "undone",
+            "discarded",
+        ],
+    );
+
+    for rate in [0.0, 0.5, 1.0] {
+        let spec = WorkloadSpec {
+            txns,
+            updates_per_txn: 6,
+            delegation_rate: rate,
+            chain_len: 1,
+            straggler_rate: 0.2,
+            abort_rate: 0.1,
+            ..WorkloadSpec::default()
+        };
+        let events = delegation_mix(&spec);
+
+        // --- EOS ---------------------------------------------------------
+        let engine = EosDb::new();
+        let (engine, normal) = timed(|| replay_engine(engine, &events).unwrap());
+        let before = engine.global().metrics().snapshot();
+        let (engine, rec) = timed(|| engine.crash_and_recover().unwrap());
+        let after = engine.global().metrics().snapshot();
+        table.row(vec![
+            "EOS".into(),
+            format!("{rate}"),
+            ms(normal),
+            ms(rec),
+            (after.items_replayed - before.items_replayed).to_string(),
+            "0 (no undo)".into(),
+            after.items_discarded.to_string(),
+        ]);
+
+        // --- ARIES/RH ------------------------------------------------------
+        let engine = RhDb::new(Strategy::Rh);
+        let (engine, normal) = timed(|| replay_engine(engine, &events).unwrap());
+        engine.log().flush_all().unwrap();
+        let (engine, rec) = timed(|| engine.crash_and_recover().unwrap());
+        let report = engine.last_recovery().unwrap();
+        table.row(vec![
+            "ARIES/RH".into(),
+            format!("{rate}"),
+            ms(normal),
+            ms(rec),
+            report.forward.redone.to_string(),
+            report.undo.undone.to_string(),
+            "-".into(),
+        ]);
+    }
+    vec![table]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn e7_smoke() {
+        let tables = run(Scale::Quick);
+        let text = tables[0].render().join("\n");
+        assert!(text.contains("EOS"));
+        assert!(text.contains("ARIES/RH"));
+        assert!(text.contains("no undo"));
+    }
+}

@@ -1,0 +1,125 @@
+//! **E8 — ETM synthesis cost** (the paper's thesis: delegation lets ETMs
+//! be synthesized "at a performance comparable to that of tailor-made
+//! implementations", §6).
+//!
+//! Two synthesized models run against hand-rolled flat-transaction
+//! equivalents doing the same updates:
+//!
+//! * split/join sessions vs one flat transaction per session;
+//! * the §2.2.2 nested trip vs a flat reservation transaction.
+//!
+//! The interesting number is the overhead factor: the synthesized model's
+//! extra cost is a handful of begin/delegate/commit records, independent
+//! of data size.
+
+use super::Scale;
+use crate::harness::timed;
+use crate::table::{f2, ms, Table};
+use rh_common::ObjectId;
+use rh_core::engine::{RhDb, Strategy};
+use rh_core::TxnEngine;
+use rh_etm::nested::run_trip;
+use rh_etm::split::{join, split};
+use rh_etm::EtmSession;
+
+/// Runs E8.
+pub fn run(scale: Scale) -> Vec<Table> {
+    let sessions = scale.pick(20, 1_000);
+    let updates = 8u64;
+    let mut table = Table::new(
+        format!("E8: synthesized ETMs vs hand-rolled flat transactions ({sessions} sessions)"),
+        &["model", "wall ms", "log records", "overhead x (wall)", "log records x"],
+    );
+
+    // --- flat baseline ------------------------------------------------------
+    let (flat_wall, flat_records) = {
+        let mut db = RhDb::new(Strategy::Rh);
+        let ((), wall) = timed(|| {
+            for i in 0..sessions {
+                let t = db.begin().unwrap();
+                for u in 0..updates {
+                    db.add(t, ObjectId(i as u64 * updates + u), 1).unwrap();
+                }
+                db.commit(t).unwrap();
+            }
+        });
+        (wall, db.log().len())
+    };
+    table.row(vec![
+        "flat txns".into(),
+        ms(flat_wall),
+        flat_records.to_string(),
+        "1.00".into(),
+        "1.00".into(),
+    ]);
+
+    // --- split/join sessions --------------------------------------------------
+    let (split_wall, split_records) = {
+        let mut s = EtmSession::new(RhDb::new(Strategy::Rh));
+        let ((), wall) = timed(|| {
+            for i in 0..sessions {
+                let base = i as u64 * updates;
+                let t1 = s.initiate_empty().unwrap();
+                for u in 0..updates {
+                    s.add(t1, ObjectId(base + u), 1).unwrap();
+                }
+                // Split off the second half, then join it back and commit.
+                let half: Vec<ObjectId> =
+                    (updates / 2..updates).map(|u| ObjectId(base + u)).collect();
+                let t2 = split(&mut s, t1, &half).unwrap();
+                join(&mut s, t2, t1).unwrap();
+                s.commit(t1).unwrap();
+            }
+        });
+        let records = s.engine().log().len();
+        (wall, records)
+    };
+    table.row(vec![
+        "split+join".into(),
+        ms(split_wall),
+        split_records.to_string(),
+        f2(split_wall.as_secs_f64() / flat_wall.as_secs_f64()),
+        f2(split_records as f64 / flat_records as f64),
+    ]);
+
+    // --- nested trips ----------------------------------------------------------
+    let (trip_wall, trip_records, booked) = {
+        let mut s = EtmSession::new(RhDb::new(Strategy::Rh));
+        let seats = ObjectId(1_000_000);
+        let rooms = ObjectId(1_000_001);
+        let mut booked = 0usize;
+        let ((), wall) = timed(|| {
+            for i in 0..sessions {
+                // Every third hotel reservation fails.
+                let hotel_ok = i % 3 != 2;
+                if run_trip(&mut s, seats, rooms, true, hotel_ok).unwrap() {
+                    booked += 1;
+                }
+            }
+        });
+        let records = s.engine().log().len();
+        (wall, records, booked)
+    };
+    table.row(vec![
+        format!("nested trip ({booked} booked)"),
+        ms(trip_wall),
+        trip_records.to_string(),
+        f2(trip_wall.as_secs_f64() / flat_wall.as_secs_f64()),
+        f2(trip_records as f64 / flat_records as f64),
+    ]);
+
+    vec![table]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn e8_smoke() {
+        let tables = run(Scale::Quick);
+        let text = tables[0].render().join("\n");
+        assert!(text.contains("split+join"));
+        assert!(text.contains("nested trip"));
+    }
+}

@@ -1,0 +1,94 @@
+//! **E9 — ablation: checkpoint interval and log truncation.**
+//!
+//! The paper ignores checkpoints "for simplicity"; this reproduction
+//! implements them (snapshotting the scope tables — the delegation state
+//! — alongside the classic ARIES tables). The ablation quantifies the
+//! design point: more frequent checkpoints cost normal-processing time
+//! (page flushes + snapshot encoding) and buy shorter recovery, and with
+//! `truncate_log` they also bound the stable log's size.
+
+use super::Scale;
+use crate::harness::timed;
+use crate::table::{ms, Table};
+use rh_common::ObjectId;
+use rh_core::engine::{RhDb, Strategy};
+use rh_core::TxnEngine;
+
+/// Runs E9.
+pub fn run(scale: Scale) -> Vec<Table> {
+    let txns = scale.pick(200, 5_000);
+    let mut table = Table::new(
+        format!("E9: checkpoint interval ablation ({txns} txns, 1 delegation each)"),
+        &[
+            "chkpt every",
+            "normal ms",
+            "checkpoints",
+            "recovery ms",
+            "fwd scanned",
+            "log kept (records)",
+            "truncated away",
+        ],
+    );
+
+    for interval in [usize::MAX, txns / 2, txns / 10, txns / 50] {
+        let mut db = RhDb::new(Strategy::Rh);
+        let mut checkpoints = 0u64;
+        let mut truncated = 0u64;
+        let ((), normal) = timed(|| {
+            for i in 0..txns {
+                let t = db.begin().unwrap();
+                let tee = db.begin().unwrap();
+                let ob = ObjectId(i as u64);
+                db.add(t, ob, 1).unwrap();
+                db.delegate(t, tee, &[ob]).unwrap();
+                db.commit(t).unwrap();
+                db.commit(tee).unwrap();
+                if interval != usize::MAX && (i + 1) % interval == 0 {
+                    db.checkpoint().unwrap();
+                    truncated += db.truncate_log().unwrap();
+                    checkpoints += 1;
+                }
+            }
+        });
+        // A straggler so recovery has something to undo.
+        let straggler = db.begin().unwrap();
+        db.add(straggler, ObjectId(999_999), 7).unwrap();
+        db.log().flush_all().unwrap();
+        let kept = db.log().len() as u64 - db.log().first_lsn().raw();
+        let (db, rec) = timed(|| db.crash_and_recover().unwrap());
+        let report = db.last_recovery().unwrap();
+        let label =
+            if interval == usize::MAX { "never".to_string() } else { interval.to_string() };
+        table.row(vec![
+            label,
+            ms(normal),
+            checkpoints.to_string(),
+            ms(rec),
+            report.forward.records_scanned.to_string(),
+            kept.to_string(),
+            truncated.to_string(),
+        ]);
+    }
+    vec![table]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn e9_checkpoints_shrink_recovery_scan_and_log() {
+        let tables = run(Scale::Quick);
+        let lines = tables[0].render();
+        let never: Vec<&str> = lines[3].split_whitespace().collect();
+        let frequent: Vec<&str> = lines.last().unwrap().split_whitespace().collect();
+        let never_scan: u64 = never[4].parse().unwrap();
+        let frequent_scan: u64 = frequent[4].parse().unwrap();
+        assert!(
+            frequent_scan * 4 < never_scan,
+            "frequent checkpoints should cut the forward scan: {frequent_scan} vs {never_scan}"
+        );
+        let truncated: u64 = frequent[6].parse().unwrap();
+        assert!(truncated > 0, "truncation should have discarded records");
+    }
+}

@@ -1,0 +1,60 @@
+//! The ten experiments (see DESIGN.md §5 for the index).
+//!
+//! Each experiment function takes a [`Scale`] and returns the rendered
+//! tables; the `experiments` binary prints them and `EXPERIMENTS.md`
+//! records a full-scale run. The paper has no quantitative evaluation
+//! section — its §4.2 makes efficiency *claims* — so each experiment
+//! operationalizes one claim (or one worked example) as a measurement.
+
+pub mod e10_pool_ablation;
+pub mod e1_no_delegation;
+pub mod e2_delegation_cost;
+pub mod e3_rewrite_strategies;
+pub mod e4_cluster_skipping;
+pub mod e5_fig2;
+pub mod e6_forward_pass;
+pub mod e7_eos;
+pub mod e8_etm;
+pub mod e9_checkpoint_ablation;
+
+use crate::table::Table;
+
+/// Experiment sizing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Tiny sizes for smoke tests (seconds total).
+    Quick,
+    /// The sizes recorded in EXPERIMENTS.md.
+    Full,
+}
+
+impl Scale {
+    /// Picks a size by scale.
+    pub fn pick(self, quick: usize, full: usize) -> usize {
+        match self {
+            Scale::Quick => quick,
+            Scale::Full => full,
+        }
+    }
+}
+
+/// Runs one experiment by id ("e1".."e8"), returning its tables.
+pub fn run(id: &str, scale: Scale) -> Option<Vec<Table>> {
+    Some(match id {
+        "e1" => e1_no_delegation::run(scale),
+        "e2" => e2_delegation_cost::run(scale),
+        "e3" => e3_rewrite_strategies::run(scale),
+        "e4" => e4_cluster_skipping::run(scale),
+        "e5" => e5_fig2::run(scale),
+        "e6" => e6_forward_pass::run(scale),
+        "e7" => e7_eos::run(scale),
+        "e8" => e8_etm::run(scale),
+        "e9" => e9_checkpoint_ablation::run(scale),
+        "e10" => e10_pool_ablation::run(scale),
+        _ => return None,
+    })
+}
+
+/// All experiment ids in order.
+pub const ALL: [&str; 10] =
+    ["e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10"];

@@ -1,0 +1,75 @@
+//! Measurement plumbing shared by the experiments and the Criterion
+//! benches.
+
+use rh_core::history::{replay_engine, Event};
+use rh_core::TxnEngine;
+use std::time::{Duration, Instant};
+
+/// Wall-clock plus whatever the caller extracted from engine metrics.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Measurement {
+    /// Wall-clock time of the measured phase.
+    pub wall: Duration,
+}
+
+/// Times a closure.
+pub fn timed<T>(f: impl FnOnce() -> T) -> (T, Duration) {
+    let start = Instant::now();
+    let out = f();
+    (out, start.elapsed())
+}
+
+/// Replays `events` on `engine`, returning the engine and the wall time.
+pub fn measure<E: TxnEngine>(engine: E, events: &[Event]) -> (E, Measurement) {
+    let (engine, wall) = timed(|| replay_engine(engine, events).expect("replay failed"));
+    (engine, Measurement { wall })
+}
+
+/// Replays a normal-processing prefix, then crashes and recovers,
+/// timing the two phases separately. The history must not itself contain
+/// `Crash` events.
+pub fn measure_with_recovery<E: TxnEngine>(
+    engine: E,
+    events: &[Event],
+) -> (E, Measurement, Measurement) {
+    debug_assert!(!events.iter().any(|e| matches!(e, Event::Crash)));
+    let (engine, normal) = measure(engine, events);
+    let (engine, recovery_wall) = timed(|| engine.crash_and_recover().expect("recovery failed"));
+    (engine, normal, Measurement { wall: recovery_wall })
+}
+
+/// Runs `f` `iters` times and returns the mean duration.
+pub fn mean_of(iters: usize, mut f: impl FnMut() -> Duration) -> Duration {
+    let total: Duration = (0..iters).map(|_| f()).sum();
+    total / iters.max(1) as u32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rh_common::ObjectId;
+    use rh_core::engine::{RhDb, Strategy};
+
+    #[test]
+    fn measure_replays_and_times() {
+        let events = vec![
+            Event::Begin(0),
+            Event::Write(0, ObjectId(0), 5),
+            Event::Commit(0),
+        ];
+        let (mut engine, m) = measure(RhDb::new(Strategy::Rh), &events);
+        assert_eq!(engine.value_of(ObjectId(0)).unwrap(), 5);
+        assert!(m.wall > Duration::ZERO);
+    }
+
+    #[test]
+    fn measure_with_recovery_splits_phases() {
+        let events = vec![Event::Begin(0), Event::Write(0, ObjectId(0), 5)];
+        let (mut engine, normal, rec) =
+            measure_with_recovery(RhDb::new(Strategy::Rh), &events);
+        assert!(normal.wall > Duration::ZERO);
+        assert!(rec.wall > Duration::ZERO);
+        // Uncommitted write rolled back by the measured recovery.
+        assert_eq!(engine.value_of(ObjectId(0)).unwrap(), 0);
+    }
+}

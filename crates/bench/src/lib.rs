@@ -1,0 +1,18 @@
+//! # rh-bench
+//!
+//! The benchmark harness reproducing the paper's efficiency claims
+//! (§4.2) as measured experiments E1–E10. Each experiment lives in
+//! [`experiments`] and returns printable tables, consumed by
+//!
+//! * the `experiments` binary (`cargo run -p rh-bench --bin experiments
+//!   [--quick] [e1 ... e10 | all]`), whose output is recorded in
+//!   `EXPERIMENTS.md`, and
+//! * the Criterion benches (`cargo bench`), which re-run the same
+//!   workloads under the statistics harness.
+
+pub mod experiments;
+pub mod harness;
+pub mod table;
+
+pub use harness::{measure, timed, Measurement};
+pub use table::Table;

@@ -1,0 +1,403 @@
+//! A small fixed-layout binary codec.
+//!
+//! The write-ahead log and the simulated disk both serialize records to
+//! bytes; a real system would too, and round-tripping through bytes keeps
+//! the crash simulation honest (nothing survives a crash unless it was
+//! encoded and handed to stable storage). The codec is deliberately simple:
+//! little-endian fixed-width integers, length-prefixed sequences, and a
+//! one-byte tag for enums. No self-description, no versioning — records are
+//! only ever read back by the code that wrote them.
+
+use crate::{Result, RhError};
+use bytes::{Buf, BufMut, BytesMut};
+
+/// Output buffer wrapper for encoding.
+pub struct Writer {
+    buf: BytesMut,
+}
+
+impl Writer {
+    /// Creates an empty writer.
+    pub fn new() -> Self {
+        Writer { buf: BytesMut::with_capacity(64) }
+    }
+
+    /// Creates a writer with a capacity hint.
+    pub fn with_capacity(cap: usize) -> Self {
+        Writer { buf: BytesMut::with_capacity(cap) }
+    }
+
+    /// Consumes the writer and returns the encoded bytes.
+    pub fn finish(self) -> Vec<u8> {
+        self.buf.to_vec()
+    }
+
+    /// Number of bytes written so far.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True if nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Appends a single byte.
+    #[inline]
+    pub fn put_u8(&mut self, v: u8) {
+        self.buf.put_u8(v);
+    }
+
+    /// Appends a little-endian `u32`.
+    #[inline]
+    pub fn put_u32(&mut self, v: u32) {
+        self.buf.put_u32_le(v);
+    }
+
+    /// Appends a little-endian `u64`.
+    #[inline]
+    pub fn put_u64(&mut self, v: u64) {
+        self.buf.put_u64_le(v);
+    }
+
+    /// Appends a little-endian `i64`.
+    #[inline]
+    pub fn put_i64(&mut self, v: i64) {
+        self.buf.put_i64_le(v);
+    }
+
+    /// Appends raw bytes with a `u32` length prefix.
+    #[inline]
+    pub fn put_bytes(&mut self, v: &[u8]) {
+        self.put_u32(v.len() as u32);
+        self.buf.put_slice(v);
+    }
+}
+
+impl Default for Writer {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Input cursor for decoding.
+pub struct Reader<'a> {
+    buf: &'a [u8],
+}
+
+impl<'a> Reader<'a> {
+    /// Creates a reader over the given bytes.
+    pub fn new(buf: &'a [u8]) -> Self {
+        Reader { buf }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len()
+    }
+
+    fn need(&self, n: usize) -> Result<()> {
+        if self.buf.remaining() < n {
+            Err(RhError::Codec("unexpected end of buffer"))
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Reads a single byte.
+    #[inline]
+    pub fn take_u8(&mut self) -> Result<u8> {
+        self.need(1)?;
+        Ok(self.buf.get_u8())
+    }
+
+    /// Reads a little-endian `u32`.
+    #[inline]
+    pub fn take_u32(&mut self) -> Result<u32> {
+        self.need(4)?;
+        Ok(self.buf.get_u32_le())
+    }
+
+    /// Reads a little-endian `u64`.
+    #[inline]
+    pub fn take_u64(&mut self) -> Result<u64> {
+        self.need(8)?;
+        Ok(self.buf.get_u64_le())
+    }
+
+    /// Reads a little-endian `i64`.
+    #[inline]
+    pub fn take_i64(&mut self) -> Result<i64> {
+        self.need(8)?;
+        Ok(self.buf.get_i64_le())
+    }
+
+    /// Reads a `u32`-length-prefixed byte string.
+    #[inline]
+    pub fn take_bytes(&mut self) -> Result<Vec<u8>> {
+        let n = self.take_u32()? as usize;
+        self.need(n)?;
+        let out = self.buf[..n].to_vec();
+        self.buf.advance(n);
+        Ok(out)
+    }
+
+    /// Asserts the reader was fully consumed (corruption tripwire).
+    pub fn expect_end(&self) -> Result<()> {
+        if self.buf.is_empty() {
+            Ok(())
+        } else {
+            Err(RhError::Codec("trailing bytes after record"))
+        }
+    }
+}
+
+/// Types that can round-trip through the binary codec.
+pub trait Codec: Sized {
+    /// Serializes `self` into the writer.
+    fn encode(&self, w: &mut Writer);
+    /// Deserializes a value, consuming exactly the bytes `encode` produced.
+    fn decode(r: &mut Reader<'_>) -> Result<Self>;
+
+    /// Convenience: encode into a fresh byte vector.
+    fn to_bytes(&self) -> Vec<u8> {
+        let mut w = Writer::new();
+        self.encode(&mut w);
+        w.finish()
+    }
+
+    /// Convenience: decode from a byte slice, requiring full consumption.
+    fn from_bytes(bytes: &[u8]) -> Result<Self> {
+        let mut r = Reader::new(bytes);
+        let v = Self::decode(&mut r)?;
+        r.expect_end()?;
+        Ok(v)
+    }
+}
+
+// ---- blanket impls for common shapes -------------------------------------
+
+impl Codec for u64 {
+    fn encode(&self, w: &mut Writer) {
+        w.put_u64(*self);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self> {
+        r.take_u64()
+    }
+}
+
+impl Codec for i64 {
+    fn encode(&self, w: &mut Writer) {
+        w.put_i64(*self);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self> {
+        r.take_i64()
+    }
+}
+
+impl Codec for u32 {
+    fn encode(&self, w: &mut Writer) {
+        w.put_u32(*self);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self> {
+        r.take_u32()
+    }
+}
+
+impl Codec for crate::TxnId {
+    fn encode(&self, w: &mut Writer) {
+        w.put_u64(self.0);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self> {
+        Ok(crate::TxnId(r.take_u64()?))
+    }
+}
+
+impl Codec for crate::ObjectId {
+    fn encode(&self, w: &mut Writer) {
+        w.put_u64(self.0);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self> {
+        Ok(crate::ObjectId(r.take_u64()?))
+    }
+}
+
+impl Codec for crate::PageId {
+    fn encode(&self, w: &mut Writer) {
+        w.put_u32(self.0);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self> {
+        Ok(crate::PageId(r.take_u32()?))
+    }
+}
+
+impl Codec for crate::Lsn {
+    fn encode(&self, w: &mut Writer) {
+        w.put_u64(self.0);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self> {
+        Ok(crate::Lsn(r.take_u64()?))
+    }
+}
+
+impl<T: Codec> Codec for Vec<T> {
+    fn encode(&self, w: &mut Writer) {
+        w.put_u32(self.len() as u32);
+        for item in self {
+            item.encode(w);
+        }
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self> {
+        let n = r.take_u32()? as usize;
+        // Guard against a corrupt length field asking for gigabytes.
+        if n > r.remaining() {
+            return Err(RhError::Codec("sequence length exceeds buffer"));
+        }
+        let mut out = Vec::with_capacity(n);
+        for _ in 0..n {
+            out.push(T::decode(r)?);
+        }
+        Ok(out)
+    }
+}
+
+impl<T: Codec> Codec for Option<T> {
+    fn encode(&self, w: &mut Writer) {
+        match self {
+            None => w.put_u8(0),
+            Some(v) => {
+                w.put_u8(1);
+                v.encode(w);
+            }
+        }
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self> {
+        match r.take_u8()? {
+            0 => Ok(None),
+            1 => Ok(Some(T::decode(r)?)),
+            _ => Err(RhError::Codec("invalid Option tag")),
+        }
+    }
+}
+
+impl<A: Codec, B: Codec> Codec for (A, B) {
+    fn encode(&self, w: &mut Writer) {
+        self.0.encode(w);
+        self.1.encode(w);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self> {
+        Ok((A::decode(r)?, B::decode(r)?))
+    }
+}
+
+impl<A: Codec, B: Codec, C: Codec> Codec for (A, B, C) {
+    fn encode(&self, w: &mut Writer) {
+        self.0.encode(w);
+        self.1.encode(w);
+        self.2.encode(w);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self> {
+        Ok((A::decode(r)?, B::decode(r)?, C::decode(r)?))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Lsn, ObjectId, PageId, TxnId};
+    use proptest::prelude::*;
+
+    fn roundtrip<T: Codec + PartialEq + std::fmt::Debug>(v: T) {
+        let bytes = v.to_bytes();
+        let back = T::from_bytes(&bytes).expect("decode");
+        assert_eq!(v, back);
+    }
+
+    #[test]
+    fn primitive_roundtrips() {
+        roundtrip(0u64);
+        roundtrip(u64::MAX);
+        roundtrip(-1i64);
+        roundtrip(42u32);
+    }
+
+    #[test]
+    fn id_roundtrips() {
+        roundtrip(TxnId(7));
+        roundtrip(TxnId::NONE);
+        roundtrip(ObjectId(9));
+        roundtrip(PageId(3));
+        roundtrip(Lsn(100));
+        roundtrip(Lsn::NULL);
+    }
+
+    #[test]
+    fn container_roundtrips() {
+        roundtrip(vec![TxnId(1), TxnId(2), TxnId(3)]);
+        roundtrip(Vec::<u64>::new());
+        roundtrip(Some(Lsn(5)));
+        roundtrip(Option::<Lsn>::None);
+        roundtrip((TxnId(1), Lsn(2)));
+        roundtrip((TxnId(1), Lsn(2), ObjectId(3)));
+    }
+
+    #[test]
+    fn truncated_buffer_is_an_error() {
+        let bytes = 12345u64.to_bytes();
+        assert!(u64::from_bytes(&bytes[..4]).is_err());
+    }
+
+    #[test]
+    fn trailing_bytes_are_an_error() {
+        let mut bytes = 12345u64.to_bytes();
+        bytes.push(0);
+        assert_eq!(u64::from_bytes(&bytes), Err(RhError::Codec("trailing bytes after record")));
+    }
+
+    #[test]
+    fn corrupt_vec_length_rejected() {
+        // A Vec whose length prefix claims more elements than the buffer
+        // could possibly hold must fail cleanly, not try to allocate.
+        let mut w = Writer::new();
+        w.put_u32(u32::MAX);
+        let bytes = w.finish();
+        assert!(Vec::<u64>::from_bytes(&bytes).is_err());
+    }
+
+    #[test]
+    fn invalid_option_tag_rejected() {
+        let bytes = vec![2u8];
+        assert!(Option::<u64>::from_bytes(&bytes).is_err());
+    }
+
+    proptest! {
+        #[test]
+        fn prop_u64_roundtrip(v: u64) {
+            roundtrip(v);
+        }
+
+        #[test]
+        fn prop_vec_roundtrip(v: Vec<i64>) {
+            roundtrip(v);
+        }
+
+        #[test]
+        fn prop_bytes_roundtrip(v: Vec<u8>) {
+            let mut w = Writer::new();
+            w.put_bytes(&v);
+            let enc = w.finish();
+            let mut r = Reader::new(&enc);
+            let back = r.take_bytes().unwrap();
+            prop_assert_eq!(v, back);
+            prop_assert_eq!(r.remaining(), 0);
+        }
+
+        #[test]
+        fn prop_decode_random_garbage_never_panics(v: Vec<u8>) {
+            // Decoding arbitrary bytes may fail but must never panic.
+            let _ = Vec::<u64>::from_bytes(&v);
+            let _ = Option::<Lsn>::from_bytes(&v);
+            let _ = crate::UpdateOp::from_bytes(&v);
+        }
+    }
+}

@@ -1,0 +1,94 @@
+//! Error type shared across the workspace.
+
+use crate::{Lsn, ObjectId, TxnId};
+use core::fmt;
+
+/// Convenient result alias used throughout the workspace.
+pub type Result<T, E = RhError> = core::result::Result<T, E>;
+
+/// Errors surfaced by the storage, WAL, lock-manager, and engine layers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RhError {
+    /// The transaction id is not present in the transaction table
+    /// (never initiated, or already terminated).
+    UnknownTxn(TxnId),
+    /// An operation was attempted on a transaction in the wrong state
+    /// (e.g. updating after commit).
+    TxnNotActive(TxnId),
+    /// Well-formedness violation of `delegate(t1, t2, ob)` (paper §2.1.2):
+    /// the delegator is not responsible for any operation on the object.
+    NotResponsible { txn: TxnId, object: ObjectId },
+    /// `delegate(t, t, ob)` — delegating to oneself is a no-op the paper's
+    /// pre/postconditions make meaningless; we reject it explicitly.
+    SelfDelegation(TxnId),
+    /// A lock request conflicted and the caller asked not to wait.
+    LockConflict { txn: TxnId, object: ObjectId },
+    /// Granting the lock would create a wait-for cycle.
+    Deadlock { txn: TxnId, object: ObjectId },
+    /// The object does not exist in the object store.
+    UnknownObject(ObjectId),
+    /// Log corruption detected while decoding a record.
+    CorruptLog { lsn: Lsn, reason: &'static str },
+    /// A codec decode ran off the end of its buffer or saw an invalid tag.
+    Codec(&'static str),
+    /// The simulated disk rejected an access (e.g. out-of-range page).
+    Storage(&'static str),
+    /// A dependency declared via `form_dependency` would create a cycle.
+    DependencyCycle { from: TxnId, to: TxnId },
+    /// ETM-layer protocol violation (e.g. joining a transaction that was
+    /// never split, committing a nested child before its own children).
+    Protocol(&'static str),
+}
+
+impl fmt::Display for RhError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RhError::UnknownTxn(t) => write!(f, "unknown transaction {t}"),
+            RhError::TxnNotActive(t) => write!(f, "transaction {t} is not active"),
+            RhError::NotResponsible { txn, object } => write!(
+                f,
+                "delegation not well-formed: {txn} is not responsible for any operation on {object}"
+            ),
+            RhError::SelfDelegation(t) => write!(f, "{t} cannot delegate to itself"),
+            RhError::LockConflict { txn, object } => {
+                write!(f, "lock conflict: {txn} blocked on {object}")
+            }
+            RhError::Deadlock { txn, object } => {
+                write!(f, "deadlock: {txn} waiting on {object} closes a wait-for cycle")
+            }
+            RhError::UnknownObject(ob) => write!(f, "unknown object {ob}"),
+            RhError::CorruptLog { lsn, reason } => {
+                write!(f, "corrupt log record at {lsn}: {reason}")
+            }
+            RhError::Codec(reason) => write!(f, "codec error: {reason}"),
+            RhError::Storage(reason) => write!(f, "storage error: {reason}"),
+            RhError::DependencyCycle { from, to } => {
+                write!(f, "dependency {from} -> {to} would create a cycle")
+            }
+            RhError::Protocol(reason) => write!(f, "protocol violation: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for RhError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = RhError::NotResponsible { txn: TxnId(1), object: ObjectId(2) };
+        assert!(e.to_string().contains("t1"));
+        assert!(e.to_string().contains("ob2"));
+        let e = RhError::CorruptLog { lsn: Lsn(3), reason: "bad tag" };
+        assert!(e.to_string().contains("LSN(3)"));
+    }
+
+    #[test]
+    fn error_trait_object() {
+        // RhError must be usable as a `dyn Error` for callers that box.
+        let e: Box<dyn std::error::Error> = Box::new(RhError::SelfDelegation(TxnId(4)));
+        assert!(e.to_string().contains("t4"));
+    }
+}

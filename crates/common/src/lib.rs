@@ -1,0 +1,27 @@
+//! # rh-common
+//!
+//! Shared vocabulary types for the ARIES/RH reproduction of
+//! *Delegation: Efficiently Rewriting History* (Pedregal Martin &
+//! Ramamritham, ICDE 1997).
+//!
+//! This crate defines the identifiers ([`TxnId`], [`ObjectId`], [`PageId`]),
+//! the log sequence number type ([`Lsn`]), the update-operation algebra
+//! ([`UpdateOp`]) shared by every engine (ARIES/RH, the eager and lazy
+//! rewriting baselines, and EOS), the error type ([`RhError`]), and a small
+//! fixed-layout binary codec ([`codec::Codec`]) used by the write-ahead log
+//! and the simulated disk.
+//!
+//! Everything downstream (storage, WAL, lock manager, engines, the ETM
+//! layer) speaks in these types, so this crate has no dependencies on the
+//! rest of the workspace.
+
+pub mod codec;
+pub mod error;
+pub mod ids;
+pub mod lsn;
+pub mod ops;
+
+pub use error::{Result, RhError};
+pub use ids::{ObjectId, PageId, TxnId};
+pub use lsn::Lsn;
+pub use ops::UpdateOp;

@@ -1,0 +1,134 @@
+//! Log sequence numbers.
+//!
+//! "The log is a list held in stable storage, whose elements are identified
+//! by monotonically increasing values of the Log Sequence Number (LSN)"
+//! (paper §3.1). LSNs here are dense record indices: record `k` has
+//! LSN `k`, which keeps the paper's `K <- K - 1` backward-pass arithmetic
+//! (Fig. 8, step α4) literal.
+
+use core::fmt;
+use core::ops::{Add, AddAssign, Sub};
+
+/// A log sequence number: the position of a record within the log.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize)]
+pub struct Lsn(pub u64);
+
+impl Lsn {
+    /// The "null" LSN used to terminate backward chains (a record with
+    /// `prev_lsn == Lsn::NULL` is the first record of its transaction).
+    pub const NULL: Lsn = Lsn(u64::MAX);
+
+    /// The smallest valid LSN (the first record ever appended).
+    pub const FIRST: Lsn = Lsn(0);
+
+    /// Returns the raw integer value.
+    #[inline]
+    pub const fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// True if this is the [`Lsn::NULL`] sentinel.
+    #[inline]
+    pub const fn is_null(self) -> bool {
+        self.0 == u64::MAX
+    }
+
+    /// The LSN immediately after this one.
+    #[inline]
+    pub const fn next(self) -> Lsn {
+        Lsn(self.0 + 1)
+    }
+
+    /// The LSN immediately before this one, or [`Lsn::NULL`] when called on
+    /// [`Lsn::FIRST`] (there is nothing before the first record).
+    #[inline]
+    pub const fn prev(self) -> Lsn {
+        if self.0 == 0 {
+            Lsn::NULL
+        } else {
+            Lsn(self.0 - 1)
+        }
+    }
+}
+
+impl Default for Lsn {
+    fn default() -> Self {
+        Lsn::NULL
+    }
+}
+
+impl fmt::Debug for Lsn {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_null() {
+            write!(f, "LSN(null)")
+        } else {
+            write!(f, "LSN({})", self.0)
+        }
+    }
+}
+
+impl fmt::Display for Lsn {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+impl Add<u64> for Lsn {
+    type Output = Lsn;
+    fn add(self, rhs: u64) -> Lsn {
+        debug_assert!(!self.is_null(), "arithmetic on NULL lsn");
+        Lsn(self.0 + rhs)
+    }
+}
+
+impl AddAssign<u64> for Lsn {
+    fn add_assign(&mut self, rhs: u64) {
+        debug_assert!(!self.is_null(), "arithmetic on NULL lsn");
+        self.0 += rhs;
+    }
+}
+
+impl Sub<Lsn> for Lsn {
+    type Output = u64;
+    fn sub(self, rhs: Lsn) -> u64 {
+        debug_assert!(!self.is_null() && !rhs.is_null(), "arithmetic on NULL lsn");
+        self.0 - rhs.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn null_sentinel_properties() {
+        assert!(Lsn::NULL.is_null());
+        assert!(!Lsn::FIRST.is_null());
+        assert_eq!(Lsn::default(), Lsn::NULL);
+    }
+
+    #[test]
+    fn next_and_prev() {
+        assert_eq!(Lsn(5).next(), Lsn(6));
+        assert_eq!(Lsn(5).prev(), Lsn(4));
+        assert_eq!(Lsn::FIRST.prev(), Lsn::NULL);
+    }
+
+    #[test]
+    fn arithmetic() {
+        assert_eq!(Lsn(3) + 4, Lsn(7));
+        let mut l = Lsn(1);
+        l += 2;
+        assert_eq!(l, Lsn(3));
+        assert_eq!(Lsn(9) - Lsn(4), 5);
+    }
+
+    #[test]
+    fn ordering_is_chronological() {
+        // Monotonically increasing LSNs order records chronologically;
+        // NULL (u64::MAX) deliberately sorts after everything and must
+        // never be compared as a position.
+        assert!(Lsn(1) < Lsn(2));
+        assert!(Lsn::FIRST < Lsn(100));
+    }
+}

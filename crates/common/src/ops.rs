@@ -1,0 +1,174 @@
+//! The update-operation algebra.
+//!
+//! The paper treats `update` as "a generic operation on database objects"
+//! and notes that "not all update operations conflict with each other"
+//! (§2.1.1). We model two concrete operations over `i64` object values:
+//!
+//! * [`UpdateOp::Write`] — overwrite the value; undone physically from the
+//!   recorded before-image. Two writes to the same object conflict.
+//! * [`UpdateOp::Add`] — a commutative increment; undone *logically* by
+//!   applying the negated delta. Adds commute with each other, which is
+//!   exactly the situation the paper uses to motivate an object appearing
+//!   in more than one `Ob_List` at once ("non-conflicting updates, e.g.,
+//!   increments of a counter", §3.4).
+//!
+//! Every engine (ARIES/RH, eager, lazy, EOS) and the history oracle apply
+//! and undo updates through this one module, so semantics cannot drift
+//! between the implementations being compared.
+
+use crate::codec::{Codec, Reader, Writer};
+use crate::{Result, RhError};
+
+/// The value type stored in database objects.
+pub type Value = i64;
+
+/// A single update operation on one object, with enough information to
+/// redo it and to undo it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub enum UpdateOp {
+    /// Overwrite the object's value. Stores the before-image so the
+    /// operation can be undone physically (ARIES-style).
+    Write {
+        /// Value of the object immediately before this update.
+        before: Value,
+        /// Value written by this update.
+        after: Value,
+    },
+    /// Add `delta` to the object's value. Commutes with other `Add`s; the
+    /// undo is the logical inverse (subtract `delta`), so it remains
+    /// correct even if other adds were applied after it.
+    Add {
+        /// Amount added to the object's value.
+        delta: Value,
+    },
+}
+
+impl UpdateOp {
+    /// Applies the operation to a current value, returning the new value
+    /// (the *redo* direction).
+    #[inline]
+    pub fn apply(&self, current: Value) -> Value {
+        match *self {
+            UpdateOp::Write { after, .. } => after,
+            UpdateOp::Add { delta } => current.wrapping_add(delta),
+        }
+    }
+
+    /// Reverses the operation (the *undo* direction): physical restore for
+    /// writes, logical inverse for adds.
+    #[inline]
+    pub fn undo(&self, current: Value) -> Value {
+        match *self {
+            UpdateOp::Write { before, .. } => before,
+            UpdateOp::Add { delta } => current.wrapping_sub(delta),
+        }
+    }
+
+    /// The operation that *compensates* this one — what a CLR records.
+    /// Undoing a `Write{before, after}` is writing `before` back; undoing
+    /// an `Add{delta}` is adding `-delta`.
+    #[inline]
+    pub fn compensation(&self, current: Value) -> UpdateOp {
+        match *self {
+            UpdateOp::Write { before, .. } => UpdateOp::Write { before: current, after: before },
+            UpdateOp::Add { delta } => UpdateOp::Add { delta: delta.wrapping_neg() },
+        }
+    }
+
+    /// True if this operation commutes with `other` when applied to the
+    /// same object. Only `Add`/`Add` pairs commute; anything involving a
+    /// `Write` conflicts.
+    #[inline]
+    pub fn commutes_with(&self, other: &UpdateOp) -> bool {
+        matches!((self, other), (UpdateOp::Add { .. }, UpdateOp::Add { .. }))
+    }
+}
+
+impl Codec for UpdateOp {
+    fn encode(&self, w: &mut Writer) {
+        match *self {
+            UpdateOp::Write { before, after } => {
+                w.put_u8(0);
+                w.put_i64(before);
+                w.put_i64(after);
+            }
+            UpdateOp::Add { delta } => {
+                w.put_u8(1);
+                w.put_i64(delta);
+            }
+        }
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<Self> {
+        match r.take_u8()? {
+            0 => Ok(UpdateOp::Write { before: r.take_i64()?, after: r.take_i64()? }),
+            1 => Ok(UpdateOp::Add { delta: r.take_i64()? }),
+            _ => Err(RhError::Codec("invalid UpdateOp tag")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn write_apply_and_undo_are_inverse() {
+        let op = UpdateOp::Write { before: 10, after: 42 };
+        let v = op.apply(10);
+        assert_eq!(v, 42);
+        assert_eq!(op.undo(v), 10);
+    }
+
+    #[test]
+    fn add_apply_and_undo_are_inverse() {
+        let op = UpdateOp::Add { delta: 5 };
+        assert_eq!(op.apply(7), 12);
+        assert_eq!(op.undo(12), 7);
+    }
+
+    #[test]
+    fn add_undo_is_logical_not_physical() {
+        // Undo of an Add must be correct even if other adds landed after
+        // it — the defining property of logical undo.
+        let a = UpdateOp::Add { delta: 5 };
+        let b = UpdateOp::Add { delta: 100 };
+        let v0 = 1;
+        let v1 = a.apply(v0); // 6
+        let v2 = b.apply(v1); // 106
+        // Undo `a` only: result should be as if only `b` ran.
+        assert_eq!(a.undo(v2), b.apply(v0));
+    }
+
+    #[test]
+    fn compensation_write() {
+        let op = UpdateOp::Write { before: 1, after: 9 };
+        let clr = op.compensation(9);
+        assert_eq!(clr.apply(9), 1); // redoing the CLR re-performs the undo
+    }
+
+    #[test]
+    fn compensation_add() {
+        let op = UpdateOp::Add { delta: 3 };
+        let clr = op.compensation(10);
+        assert_eq!(clr.apply(10), 7);
+    }
+
+    #[test]
+    fn commutativity_matrix() {
+        let w = UpdateOp::Write { before: 0, after: 1 };
+        let a = UpdateOp::Add { delta: 1 };
+        assert!(a.commutes_with(&a));
+        assert!(!a.commutes_with(&w));
+        assert!(!w.commutes_with(&a));
+        assert!(!w.commutes_with(&w));
+    }
+
+    #[test]
+    fn wrapping_semantics() {
+        // Overflow must not panic in release or debug; we define wrapping.
+        let op = UpdateOp::Add { delta: 1 };
+        assert_eq!(op.apply(i64::MAX), i64::MIN);
+        assert_eq!(op.undo(i64::MIN), i64::MAX);
+    }
+}

@@ -1,0 +1,80 @@
+//! The engine-agnostic transaction API.
+//!
+//! Every engine in the reproduction — ARIES/RH, the eager and lazy
+//! rewriting baselines, and the EOS NO-UNDO/REDO engine in `rh-eos` —
+//! implements [`TxnEngine`], so workload drivers, oracle-equivalence
+//! tests, and benchmarks are written once and run against all of them.
+
+use rh_common::ops::Value;
+use rh_common::{ObjectId, Result, TxnId};
+
+/// A transactional engine with delegation.
+///
+/// Methods take `&mut self`: engines are driven single-threaded (the
+/// multi-threaded ETM layer in `rh-etm` wraps an engine in its own
+/// synchronization). `crash_and_recover` consumes the engine — volatile
+/// state is dropped, stable state is carried into the next incarnation —
+/// which makes it impossible to accidentally keep using pre-crash state.
+pub trait TxnEngine: Sized {
+    /// Starts a new transaction and returns its id.
+    fn begin(&mut self) -> Result<TxnId>;
+
+    /// Reads an object under a shared lock.
+    fn read(&mut self, txn: TxnId, ob: ObjectId) -> Result<Value>;
+
+    /// Overwrites an object (exclusive lock, physical undo).
+    fn write(&mut self, txn: TxnId, ob: ObjectId, value: Value) -> Result<()>;
+
+    /// Adds to an object (increment lock, logical undo); commutes with
+    /// other adds, enabling the paper's concurrent-responsibility cases.
+    fn add(&mut self, txn: TxnId, ob: ObjectId, delta: Value) -> Result<()>;
+
+    /// `delegate(tor, tee, obs)`: transfers responsibility for `tor`'s
+    /// operations on each object in `obs` to `tee` (paper §2.1.2).
+    fn delegate(&mut self, tor: TxnId, tee: TxnId, obs: &[ObjectId]) -> Result<()>;
+
+    /// Delegates everything `tor` is responsible for (the join idiom of
+    /// §2.2.1). A no-op if `tor` holds nothing.
+    fn delegate_all(&mut self, tor: TxnId, tee: TxnId) -> Result<()>;
+
+    /// Commits: every update the transaction is *responsible for* becomes
+    /// permanent (§2.1.2 commit rule).
+    fn commit(&mut self, txn: TxnId) -> Result<()>;
+
+    /// Aborts: every update the transaction is *responsible for* is
+    /// undone (§2.1.2 abort rule) — including updates invoked by other
+    /// transactions and delegated here.
+    fn abort(&mut self, txn: TxnId) -> Result<()>;
+
+    /// Declares a savepoint for `txn`, returning an opaque token for
+    /// [`TxnEngine::rollback_to`]. Positional semantics: work the
+    /// transaction becomes responsible for *after* this point can be
+    /// undone without terminating it; updates invoked earlier — even if
+    /// delegated in later — are not covered.
+    fn savepoint(&mut self, txn: TxnId) -> Result<u64>;
+
+    /// Partially rolls `txn` back to a savepoint token from
+    /// [`TxnEngine::savepoint`]. The transaction stays active.
+    fn rollback_to(&mut self, txn: TxnId, token: u64) -> Result<()>;
+
+    /// ASSET's `permit`: allow `permittee` to access `ob` despite
+    /// `granter`'s locks, without forming any dependency (§1: "adding the
+    /// permittee transaction to the object's access descriptor"). The
+    /// permit dies when the granter terminates.
+    fn permit(&mut self, granter: TxnId, permittee: TxnId, ob: ObjectId) -> Result<()>;
+
+    /// Takes a checkpoint, if the engine supports one (default: no-op).
+    /// Recovery after a later crash may then start from the checkpoint
+    /// instead of the log's origin.
+    fn checkpoint(&mut self) -> Result<()> {
+        Ok(())
+    }
+
+    /// Simulates a crash (volatile state lost) followed by recovery, and
+    /// returns the recovered engine.
+    fn crash_and_recover(self) -> Result<Self>;
+
+    /// Non-transactional peek at an object's current value, for test
+    /// assertions and experiment output. Not part of the paper's model.
+    fn value_of(&mut self, ob: ObjectId) -> Result<Value>;
+}

@@ -1,0 +1,552 @@
+//! Normal processing (paper §3.5) for ARIES and ARIES/RH.
+//!
+//! [`RhDb`] is the engine. With [`Strategy::Rh`] it is ARIES/RH proper:
+//! delegation is tracked in volatile scopes and a single `delegate` log
+//! record; the log is never modified in place. With
+//! [`Strategy::LazyRewrite`] normal processing is identical, but recovery
+//! physically rewrites delegated records while undoing — the "workable but
+//! still suffering from drawbacks" alternative of §3.2, implemented so the
+//! benchmarks can measure exactly those drawbacks. (The *eager* baseline
+//! of §3.1/Fig. 1 lives in [`crate::eager`].)
+//!
+//! When no delegation is issued, the `Rh` engine performs byte-for-byte
+//! the work plain ARIES would: the delegation machinery only adds fields
+//! that remain empty — experiment E1 measures this "no delegation, no
+//! overhead" claim.
+
+use crate::api::TxnEngine;
+use crate::checkpoint::CheckpointSnapshot;
+use crate::recovery::{self, RecoveryReport};
+use crate::txn_table::{TrList, TxnStatus};
+use rh_common::codec::Codec;
+use rh_common::ops::Value;
+use rh_common::{Lsn, ObjectId, Result, RhError, TxnId, UpdateOp};
+use rh_lock::{LockManager, LockMode};
+use rh_storage::{BufferPool, Disk};
+use rh_wal::record::{DelegateBody, RecordBody};
+use rh_wal::{LogManager, StableLog};
+use std::sync::Arc;
+
+/// Which delegation-implementation strategy the engine runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Strategy {
+    /// ARIES/RH: interpret the log through scopes; never rewrite it.
+    Rh,
+    /// The §3.2 lazy baseline: identical normal processing, but recovery
+    /// rewrites delegated log records in place while undoing.
+    LazyRewrite,
+}
+
+/// Engine tuning knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct DbConfig {
+    /// Buffer-pool capacity in pages.
+    pub pool_pages: usize,
+}
+
+impl Default for DbConfig {
+    fn default() -> Self {
+        DbConfig { pool_pages: 256 }
+    }
+}
+
+/// The ARIES / ARIES/RH database engine.
+pub struct RhDb {
+    strategy: Strategy,
+    config: DbConfig,
+    log: Arc<LogManager>,
+    disk: Arc<Disk>,
+    pool: BufferPool,
+    locks: Arc<LockManager>,
+    tr: TrList,
+    next_txn: u64,
+    /// LSNs of updates already undone by a CLR in *this incarnation*
+    /// (partial rollbacks and aborts). Scopes re-extended past a
+    /// rollback's savepoint re-cover such records; this set keeps any
+    /// later undo sweep from compensating them twice. (Across crashes
+    /// the forward pass rebuilds the equivalent set from logged CLRs.)
+    compensated: std::collections::HashSet<Lsn>,
+    last_recovery: Option<RecoveryReport>,
+}
+
+impl RhDb {
+    /// Creates a fresh database (empty disk, empty log).
+    pub fn new(strategy: Strategy) -> Self {
+        Self::with_config(strategy, DbConfig::default())
+    }
+
+    /// Creates a fresh database with explicit tuning.
+    pub fn with_config(strategy: Strategy, config: DbConfig) -> Self {
+        let disk = Disk::new();
+        let log = Arc::new(LogManager::new());
+        let pool = BufferPool::new(Arc::clone(&disk), config.pool_pages);
+        RhDb {
+            strategy,
+            config,
+            log,
+            disk,
+            pool,
+            locks: Arc::new(LockManager::new()),
+            tr: TrList::new(),
+            next_txn: 0,
+            compensated: std::collections::HashSet::new(),
+            last_recovery: None,
+        }
+    }
+
+    /// (Re)constructs an engine over existing stable state **without**
+    /// running recovery — used internally and by tests that want to
+    /// inspect a broken state.
+    pub(crate) fn from_parts(
+        strategy: Strategy,
+        config: DbConfig,
+        log: Arc<LogManager>,
+        disk: Arc<Disk>,
+        pool: BufferPool,
+        tr: TrList,
+        next_txn: u64,
+    ) -> Self {
+        RhDb {
+            strategy,
+            config,
+            log,
+            disk,
+            pool,
+            locks: Arc::new(LockManager::new()),
+            tr,
+            next_txn,
+            compensated: std::collections::HashSet::new(),
+            last_recovery: None,
+        }
+    }
+
+    // ---- accessors --------------------------------------------------
+
+    /// The active strategy.
+    pub fn strategy(&self) -> Strategy {
+        self.strategy
+    }
+
+    /// The engine's log (for metric snapshots and log dumps in tests,
+    /// examples, and the experiment binary).
+    pub fn log(&self) -> &Arc<LogManager> {
+        &self.log
+    }
+
+    /// The engine's disk (for I/O metric snapshots).
+    pub fn disk(&self) -> &Arc<Disk> {
+        &self.disk
+    }
+
+    /// The lock manager (exposed for the ETM layer's `permit`).
+    pub fn locks(&self) -> &Arc<LockManager> {
+        &self.locks
+    }
+
+    /// Report of the recovery that produced this incarnation, if any.
+    pub fn last_recovery(&self) -> Option<&RecoveryReport> {
+        self.last_recovery.as_ref()
+    }
+
+    /// Number of transactions currently in the table.
+    pub fn active_txns(&self) -> usize {
+        self.tr.len()
+    }
+
+    /// Renders the whole log, one record per line (Fig. 2-style dumps).
+    pub fn dump_log(&self) -> Vec<String> {
+        let mut out = Vec::with_capacity(self.log.len());
+        let mut lsn = self.log.first_lsn();
+        while lsn < self.log.curr_lsn() {
+            match self.log.read(lsn) {
+                Ok(rec) => out.push(rec.render()),
+                Err(_) => out.push(format!("{} <unreadable>", lsn.raw())),
+            }
+            lsn = lsn.next();
+        }
+        out
+    }
+
+    /// The scopes currently held by `txn` for `ob` (test/diagnostic hook
+    /// matching the paper's Fig. 5 pictures).
+    pub fn scopes_of(&self, txn: TxnId, ob: ObjectId) -> Vec<crate::scope::Scope> {
+        self.tr
+            .get(txn)
+            .ok()
+            .and_then(|e| e.ob_list.get(ob))
+            .map(|e| e.scopes.clone())
+            .unwrap_or_default()
+    }
+
+    /// Panics if any volatile scope invariant is violated (property-test
+    /// hook):
+    ///
+    /// * scopes of one object sharing an invoking transaction never
+    ///   overlap (the §3.5 remark);
+    /// * every scope lies within the log (`last < curr_lsn`), ordered
+    ///   (`first <= last`);
+    /// * no `Ob_List` entry is empty (responsibility implies at least one
+    ///   covered update).
+    #[doc(hidden)]
+    pub fn validate_scope_invariants(&self) {
+        let end = self.log.curr_lsn();
+        for (txn, entry) in self.tr.iter() {
+            for ob in entry.ob_list.objects() {
+                let scopes = &entry.ob_list.get(ob).expect("listed object").scopes;
+                assert!(!scopes.is_empty(), "{txn} holds an empty entry for {ob}");
+                for (i, s) in scopes.iter().enumerate() {
+                    assert!(s.first <= s.last, "{txn}/{ob}: inverted scope {s:?}");
+                    assert!(s.last < end, "{txn}/{ob}: scope {s:?} beyond the log");
+                    for other in &scopes[i + 1..] {
+                        assert!(
+                            s.invoker != other.invoker || !s.overlaps(other),
+                            "{txn}/{ob}: same-invoker scopes overlap: {s:?} vs {other:?}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    // ---- internals ----------------------------------------------------
+
+    fn log_for_txn(&mut self, txn: TxnId, body: RecordBody) -> Result<Lsn> {
+        let prev = self.tr.bc(txn)?;
+        let lsn = self.log.append(txn, prev, body);
+        self.tr.set_bc(txn, lsn)?;
+        Ok(lsn)
+    }
+
+    fn apply_update(&mut self, txn: TxnId, ob: ObjectId, op: UpdateOp) -> Result<()> {
+        // §3.5 update: log it, adjust scopes, apply in place.
+        let lsn = self.log_for_txn(txn, RecordBody::Update { ob, op })?;
+        self.tr.get_mut(txn)?.ob_list.record_update(ob, txn, lsn);
+        let cur = self.pool.read_object(ob, &*self.log)?;
+        self.pool.write_object(ob, op.apply(cur), lsn, &*self.log)?;
+        Ok(())
+    }
+
+    /// Terminates a transaction: End record, table removal, lock release.
+    fn end_txn(&mut self, txn: TxnId) -> Result<()> {
+        self.log_for_txn(txn, RecordBody::End)?;
+        self.tr.remove(txn);
+        self.locks.release_all(txn);
+        Ok(())
+    }
+
+    // ---- savepoints / partial rollback -----------------------------------
+    //
+    // The paper's closing direction — "making recovery a first-class
+    // concept within transaction management and ... providing a variety
+    // of recovery primitives" (§6) — realized with the same scope
+    // machinery: a savepoint is an LSN; rolling back to it undoes the
+    // transaction's *responsible* updates logged at or after that LSN,
+    // with CLRs, leaving earlier work (and the transaction) alive.
+
+    /// Declares a savepoint for `txn`: every update it becomes
+    /// responsible for from now on can be undone by
+    /// [`RhDb::rollback_to`] without killing the transaction.
+    pub fn savepoint(&mut self, txn: TxnId) -> Result<Lsn> {
+        self.tr.require_active(txn)?;
+        Ok(self.log.curr_lsn())
+    }
+
+    /// Partially rolls `txn` back to a savepoint: undoes (with CLRs)
+    /// every update in its scopes with LSN `>= sp`, truncating the
+    /// volatile scopes to match. Crash-safe: after a crash the forward
+    /// pass rebuilds the full scopes, and the CLRs' compensated-LSN set
+    /// keeps the rolled-back updates from being undone twice (or redone
+    /// net of their compensation).
+    ///
+    /// Note the delegation-aware semantics: the rollback covers updates
+    /// the transaction is *responsible for* — including updates invoked
+    /// by others and delegated here after the savepoint.
+    pub fn rollback_to(&mut self, txn: TxnId, sp: Lsn) -> Result<()> {
+        self.tr.require_active(txn)?;
+        // Collect the portions of this transaction's scopes at/after sp.
+        let mut to_undo: Vec<recovery::WalkScope> = Vec::new();
+        for (ob, scope) in self.tr.get(txn)?.ob_list.all_scopes() {
+            if scope.last >= sp {
+                let clipped = crate::scope::Scope {
+                    invoker: scope.invoker,
+                    first: scope.first.max(sp),
+                    last: scope.last,
+                };
+                to_undo.push(recovery::WalkScope { owner: txn, ob, scope: clipped, loser: true });
+            }
+        }
+        recovery::undo_scopes(
+            &self.log,
+            &mut self.pool,
+            &mut self.tr,
+            to_undo,
+            &mut self.compensated,
+            false,
+        )?;
+        // Truncate the volatile scopes: drop parts at/after sp.
+        let entry = self.tr.get_mut(txn)?;
+        let obs: Vec<ObjectId> = entry.ob_list.objects().collect();
+        for ob in obs {
+            entry.ob_list.truncate_scopes(ob, sp);
+        }
+        Ok(())
+    }
+
+    // ---- checkpointing -------------------------------------------------
+
+    /// Takes a checkpoint (begin/end record pair; the end record's
+    /// payload snapshots the transaction table **with its scope-bearing
+    /// Ob_Lists**, the dirty-page table, and the txn-id high-water mark),
+    /// then advances the master record.
+    ///
+    /// Dirty pages are flushed first (honoring write-ahead), so the
+    /// snapshot's dirty-page table is empty and redo after a later crash
+    /// starts at the checkpoint instead of the oldest recLSN. This is the
+    /// "sharp" end of the checkpointing spectrum; the recovery code also
+    /// handles the fuzzy case (non-empty DPT) for generality.
+    pub fn checkpoint(&mut self) -> Result<()> {
+        self.pool.flush_all(&*self.log)?;
+        let begin = self.log.append(TxnId::NONE, Lsn::NULL, RecordBody::CheckpointBegin);
+        // Compensated LSNs that a live scope could still re-cover must
+        // travel with the snapshot (their CLRs are behind the checkpoint
+        // and a post-checkpoint recovery scan will not see them).
+        let oldest_scope = self
+            .tr
+            .iter()
+            .filter_map(|(_, e)| e.ob_list.min_first())
+            .min()
+            .unwrap_or(Lsn::NULL);
+        let compensated: Vec<Lsn> = if oldest_scope.is_null() {
+            Vec::new()
+        } else {
+            let mut v: Vec<Lsn> =
+                self.compensated.iter().copied().filter(|&l| l >= oldest_scope).collect();
+            v.sort();
+            v
+        };
+        let snap = CheckpointSnapshot {
+            tr_list: self.tr.clone(),
+            dpt: self.pool.dirty_page_table(),
+            next_txn: self.next_txn,
+            compensated,
+        };
+        let end = self.log.append(
+            TxnId::NONE,
+            begin,
+            RecordBody::CheckpointEnd { payload: snap.to_bytes() },
+        );
+        // Master only moves after the checkpoint is durable (see
+        // StableLog::set_master docs).
+        self.log.flush_to(end)?;
+        self.log.stable().set_master(begin);
+        Ok(())
+    }
+
+    /// Truncates the log prefix that no future recovery can need:
+    /// everything before the last checkpoint, the oldest active
+    /// transaction's first record, and the oldest live scope. Requires a
+    /// prior [`RhDb::checkpoint`] (returns 0 otherwise). Returns the
+    /// number of records discarded.
+    ///
+    /// Safety argument: redo starts at the checkpoint (pages were flushed
+    /// by it) or at a dirty recLSN after it; undo reads only records
+    /// covered by live scopes; backward chains are only walked within
+    /// those bounds. All three are kept at/after the truncation point.
+    pub fn truncate_log(&mut self) -> Result<u64> {
+        let master = self.log.stable().master();
+        if master.is_null() {
+            return Ok(0);
+        }
+        let mut point = master;
+        for (_, entry) in self.tr.iter() {
+            point = point.min(entry.first_lsn);
+            if let Some(oldest_scope) = entry.ob_list.min_first() {
+                point = point.min(oldest_scope);
+            }
+        }
+        // Never truncate unflushed territory (truncate_prefix also
+        // guards, but clamping keeps the returned count honest).
+        point = point.min(Lsn(self.log.stable_len() as u64));
+        self.log.truncate_prefix(point)
+    }
+
+    // ---- crash & recovery -----------------------------------------------
+
+    /// Simulates a crash: all volatile state (buffer pool, transaction
+    /// table, scopes, locks, unflushed log tail) is lost. Returns the
+    /// surviving stable state.
+    pub fn crash(self) -> (Arc<StableLog>, Arc<Disk>) {
+        (self.log.stable(), Arc::clone(&self.disk))
+    }
+
+    /// Runs restart recovery over stable state, returning a ready engine.
+    pub fn recover(
+        strategy: Strategy,
+        config: DbConfig,
+        stable: Arc<StableLog>,
+        disk: Arc<Disk>,
+    ) -> Result<Self> {
+        recovery::recover(strategy, config, stable, disk)
+    }
+
+    pub(crate) fn set_recovery_report(&mut self, report: RecoveryReport) {
+        self.last_recovery = Some(report);
+    }
+}
+
+impl TxnEngine for RhDb {
+    fn begin(&mut self) -> Result<TxnId> {
+        let txn = TxnId(self.next_txn);
+        self.next_txn += 1;
+        let lsn = self.log.append(txn, Lsn::NULL, RecordBody::Begin);
+        self.tr.insert(txn, lsn);
+        Ok(txn)
+    }
+
+    fn read(&mut self, txn: TxnId, ob: ObjectId) -> Result<Value> {
+        self.tr.require_active(txn)?;
+        self.locks.try_acquire(txn, ob, LockMode::Shared)?;
+        self.pool.read_object(ob, &*self.log)
+    }
+
+    fn write(&mut self, txn: TxnId, ob: ObjectId, value: Value) -> Result<()> {
+        self.tr.require_active(txn)?;
+        self.locks.try_acquire(txn, ob, LockMode::Exclusive)?;
+        let before = self.pool.read_object(ob, &*self.log)?;
+        self.apply_update(txn, ob, UpdateOp::Write { before, after: value })
+    }
+
+    fn add(&mut self, txn: TxnId, ob: ObjectId, delta: Value) -> Result<()> {
+        self.tr.require_active(txn)?;
+        self.locks.try_acquire(txn, ob, LockMode::Increment)?;
+        self.apply_update(txn, ob, UpdateOp::Add { delta })
+    }
+
+    fn delegate(&mut self, tor: TxnId, tee: TxnId, obs: &[ObjectId]) -> Result<()> {
+        // §3.5 delegate, steps 1-4.
+        self.tr.require_active(tor)?;
+        self.tr.require_active(tee)?;
+        if tor == tee {
+            return Err(RhError::SelfDelegation(tor));
+        }
+        // 1. WELL-FORMED? ob ∈ Ob_List(tor) — i.e. the delegator is
+        // responsible for at least one operation on each object.
+        for &ob in obs {
+            if !self.tr.get(tor)?.ob_list.contains(ob) {
+                return Err(RhError::NotResponsible { txn: tor, object: ob });
+            }
+        }
+        // 2. PREPARE LOG RECORD: capture both backward-chain heads.
+        let tor_bc = self.tr.bc(tor)?;
+        let tee_bc = self.tr.bc(tee)?;
+        // 3. TRANSFER RESPONSIBILITY: move scopes, record the delegator,
+        // and move the access rights (locks) with them.
+        for &ob in obs {
+            let entry = self.tr.get_mut(tor)?.ob_list.take(ob).expect("well-formedness checked");
+            self.tr.get_mut(tee)?.ob_list.absorb(ob, entry, tor);
+            self.locks.transfer(tor, tee, ob);
+        }
+        // 4. WRITE DELEGATION LOG RECORD; it becomes the head of *both*
+        // backward chains.
+        let lsn = self.log.append(
+            tor,
+            tor_bc,
+            RecordBody::Delegate { tee, tee_bc, body: DelegateBody::Objects(obs.to_vec()) },
+        );
+        self.tr.set_bc(tor, lsn)?;
+        self.tr.set_bc(tee, lsn)?;
+        Ok(())
+    }
+
+    fn delegate_all(&mut self, tor: TxnId, tee: TxnId) -> Result<()> {
+        self.tr.require_active(tor)?;
+        self.tr.require_active(tee)?;
+        if tor == tee {
+            return Err(RhError::SelfDelegation(tor));
+        }
+        let tor_bc = self.tr.bc(tor)?;
+        let tee_bc = self.tr.bc(tee)?;
+        let drained = self.tr.get_mut(tor)?.ob_list.drain_all();
+        for (ob, entry) in drained {
+            self.tr.get_mut(tee)?.ob_list.absorb(ob, entry, tor);
+        }
+        self.locks.transfer_all(tor, tee);
+        let lsn = self.log.append(
+            tor,
+            tor_bc,
+            RecordBody::Delegate { tee, tee_bc, body: DelegateBody::All },
+        );
+        self.tr.set_bc(tor, lsn)?;
+        self.tr.set_bc(tee, lsn)?;
+        Ok(())
+    }
+
+    fn commit(&mut self, txn: TxnId) -> Result<()> {
+        self.tr.require_active(txn)?;
+        // §3.5 commit: the operations the transaction is responsible for
+        // are already on the log (they were logged at execution time);
+        // write the commit record and force the log through it.
+        let lsn = self.log_for_txn(txn, RecordBody::Commit)?;
+        self.log.flush_to(lsn)?;
+        self.tr.get_mut(txn)?.status = TxnStatus::Committed;
+        self.end_txn(txn)
+    }
+
+    fn abort(&mut self, txn: TxnId) -> Result<()> {
+        self.tr.require_active(txn)?;
+        // §3.5 abort step 1: undo every update in the transaction's
+        // scopes — which, after delegations, are exactly the updates it is
+        // *responsible for*, not the ones it invoked. The shared
+        // cluster-walk routine from recovery does the backward sweep.
+        let scopes: Vec<recovery::WalkScope> = self
+            .tr
+            .get(txn)?
+            .ob_list
+            .all_scopes()
+            .map(|(ob, scope)| recovery::WalkScope { owner: txn, ob, scope, loser: true })
+            .collect();
+        recovery::undo_scopes(
+            &self.log,
+            &mut self.pool,
+            &mut self.tr,
+            scopes,
+            &mut self.compensated,
+            false,
+        )?;
+        // Step 2-3: abort record, then flush through it.
+        let lsn = self.log_for_txn(txn, RecordBody::Abort)?;
+        self.log.flush_to(lsn)?;
+        self.tr.get_mut(txn)?.status = TxnStatus::Aborted;
+        self.end_txn(txn)
+    }
+
+    fn savepoint(&mut self, txn: TxnId) -> Result<u64> {
+        RhDb::savepoint(self, txn).map(|lsn| lsn.raw())
+    }
+
+    fn rollback_to(&mut self, txn: TxnId, token: u64) -> Result<()> {
+        RhDb::rollback_to(self, txn, Lsn(token))
+    }
+
+    fn permit(&mut self, granter: TxnId, permittee: TxnId, ob: ObjectId) -> Result<()> {
+        self.tr.require_active(granter)?;
+        self.tr.require_active(permittee)?;
+        self.locks.permit(granter, permittee, ob);
+        Ok(())
+    }
+
+    fn checkpoint(&mut self) -> Result<()> {
+        RhDb::checkpoint(self)
+    }
+
+    fn crash_and_recover(self) -> Result<Self> {
+        let strategy = self.strategy;
+        let config = self.config;
+        let (stable, disk) = self.crash();
+        Self::recover(strategy, config, stable, disk)
+    }
+
+    fn value_of(&mut self, ob: ObjectId) -> Result<Value> {
+        self.pool.read_object(ob, &*self.log)
+    }
+}

@@ -1,0 +1,601 @@
+//! Abstract histories and the delegation-semantics **oracle**.
+//!
+//! The paper defines delegation denotationally (§2.1): each update has a
+//! unique *responsible transaction* at every instant; commit of `t` makes
+//! the updates in `Op_List(t)` permanent; abort of `t` obliterates them.
+//! [`Oracle`] implements exactly that definition over an in-memory value
+//! map — no log, no pages, no recovery — and therefore serves as the
+//! specification every engine (ARIES/RH, eager, lazy, EOS) is tested
+//! against: replay the same [`Event`] sequence through an engine and
+//! through the oracle, and the surviving database states must match.
+//!
+//! Events name transactions by small integer **labels**, mapped to real
+//! [`TxnId`]s by [`replay_engine`]; labels stay stable across crashes even
+//! though engine ids do not.
+
+use crate::api::TxnEngine;
+use rh_common::ops::Value;
+use rh_common::{ObjectId, Result, TxnId, UpdateOp};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+
+/// A transaction label in an abstract history (not an engine [`TxnId`]).
+pub type Label = u32;
+
+/// One step of an abstract history.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Event {
+    /// Start transaction `label`.
+    Begin(Label),
+    /// `label` overwrites `ob` with the value.
+    Write(Label, ObjectId, Value),
+    /// `label` adds the delta to `ob`.
+    Add(Label, ObjectId, Value),
+    /// `delegate(tor, tee, obs)`.
+    Delegate(Label, Label, Vec<ObjectId>),
+    /// `delegate(tor, tee)` of everything (join idiom).
+    DelegateAll(Label, Label),
+    /// Commit `label`.
+    Commit(Label),
+    /// Abort `label`.
+    Abort(Label),
+    /// Declare a savepoint for `label`, stored under a history-local slot
+    /// number (so one transaction can hold several).
+    Savepoint(Label, u32),
+    /// Partially roll `label` back to a previously declared slot.
+    RollbackTo(Label, u32),
+    /// Take a checkpoint (engines without checkpoints ignore it).
+    Checkpoint,
+    /// Crash and recover. Every still-active transaction becomes a loser.
+    Crash,
+}
+
+#[derive(Debug, Clone)]
+struct OracleOp {
+    ob: ObjectId,
+    op: UpdateOp,
+    responsible: Label,
+    /// Still undoable: neither committed (made permanent) nor undone.
+    live: bool,
+}
+
+/// The log-free reference implementation of §2.1 semantics.
+#[derive(Debug, Clone, Default)]
+pub struct Oracle {
+    values: BTreeMap<ObjectId, Value>,
+    ops: Vec<OracleOp>,
+    active: BTreeSet<Label>,
+    /// Savepoint markers: (label, slot) -> ops.len() at declaration.
+    savepoints: BTreeMap<(Label, u32), usize>,
+}
+
+impl Oracle {
+    /// An empty database with no history.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Current value of an object (never-touched objects read 0, matching
+    /// the storage substrate's initial value).
+    pub fn value(&self, ob: ObjectId) -> Value {
+        self.values.get(&ob).copied().unwrap_or(0)
+    }
+
+    /// Every object any update ever touched.
+    pub fn touched(&self) -> Vec<ObjectId> {
+        self.values.keys().copied().collect()
+    }
+
+    /// Labels of transactions currently active.
+    pub fn active(&self) -> &BTreeSet<Label> {
+        &self.active
+    }
+
+    /// `Ob_List(t)` at the semantic level: objects with at least one live
+    /// update `t` is responsible for. Drives well-formed generation of
+    /// `delegate` events.
+    pub fn responsible_objects(&self, t: Label) -> BTreeSet<ObjectId> {
+        self.ops
+            .iter()
+            .filter(|o| o.live && o.responsible == t)
+            .map(|o| o.ob)
+            .collect()
+    }
+
+    fn apply_update(&mut self, t: Label, ob: ObjectId, op: UpdateOp) {
+        let cur = self.value(ob);
+        self.values.insert(ob, op.apply(cur));
+        self.ops.push(OracleOp { ob, op, responsible: t, live: true });
+    }
+
+    /// Undoes (in reverse execution order) every live op for which a
+    /// label in `losers` is responsible, then marks them dead.
+    fn undo_losers(&mut self, losers: &BTreeSet<Label>) {
+        for i in (0..self.ops.len()).rev() {
+            if self.ops[i].live && losers.contains(&self.ops[i].responsible) {
+                let (ob, op) = (self.ops[i].ob, self.ops[i].op);
+                let cur = self.value(ob);
+                self.values.insert(ob, op.undo(cur));
+                self.ops[i].live = false;
+            }
+        }
+    }
+
+    /// Applies one event. Ill-formed events (unknown labels, delegation
+    /// without responsibility) are applied permissively — validity is the
+    /// generator's job; see `rh-workload`.
+    pub fn apply(&mut self, ev: &Event) {
+        match ev {
+            Event::Begin(t) => {
+                self.active.insert(*t);
+            }
+            Event::Write(t, ob, v) => {
+                let before = self.value(*ob);
+                self.apply_update(*t, *ob, UpdateOp::Write { before, after: *v });
+            }
+            Event::Add(t, ob, d) => {
+                self.apply_update(*t, *ob, UpdateOp::Add { delta: *d });
+            }
+            Event::Delegate(tor, tee, obs) => {
+                for o in &mut self.ops {
+                    if o.live && o.responsible == *tor && obs.contains(&o.ob) {
+                        o.responsible = *tee;
+                    }
+                }
+            }
+            Event::DelegateAll(tor, tee) => {
+                for o in &mut self.ops {
+                    if o.live && o.responsible == *tor {
+                        o.responsible = *tee;
+                    }
+                }
+            }
+            Event::Commit(t) => {
+                self.active.remove(t);
+                // §2.1.2: all updates in Op_List(t) become permanent.
+                for o in &mut self.ops {
+                    if o.live && o.responsible == *t {
+                        o.live = false;
+                    }
+                }
+            }
+            Event::Abort(t) => {
+                self.active.remove(t);
+                // §2.1.2: all updates in Op_List(t) are obliterated.
+                let just_t = BTreeSet::from([*t]);
+                self.undo_losers(&just_t);
+            }
+            Event::Savepoint(t, slot) => {
+                self.savepoints.insert((*t, *slot), self.ops.len());
+            }
+            Event::RollbackTo(t, slot) => {
+                // Positional partial rollback: undo (newest first) the
+                // live ops invoked at/after the marker for which `t` is
+                // responsible. Ops invoked earlier — even if delegated to
+                // `t` afterwards — are untouched, matching the LSN-based
+                // engine semantics.
+                if let Some(&marker) = self.savepoints.get(&(*t, *slot)) {
+                    for i in (marker..self.ops.len()).rev() {
+                        if self.ops[i].live && self.ops[i].responsible == *t {
+                            let (ob, op) = (self.ops[i].ob, self.ops[i].op);
+                            let cur = self.value(ob);
+                            self.values.insert(ob, op.undo(cur));
+                            self.ops[i].live = false;
+                        }
+                    }
+                }
+            }
+            Event::Checkpoint => {}
+            Event::Crash => {
+                // Every active transaction is a loser; their live updates
+                // are undone in reverse order, matching the backward pass.
+                let losers = std::mem::take(&mut self.active);
+                self.undo_losers(&losers);
+            }
+        }
+    }
+
+    /// Applies a whole history.
+    pub fn run(events: &[Event]) -> Self {
+        let mut o = Oracle::new();
+        for ev in events {
+            o.apply(ev);
+        }
+        o
+    }
+}
+
+/// Replays an abstract history through a real engine. Labels are mapped
+/// to engine transaction ids at their `Begin`. Returns the engine after
+/// the final event (crashes included).
+pub fn replay_engine<E: TxnEngine>(mut engine: E, events: &[Event]) -> Result<E> {
+    let mut ids: HashMap<Label, TxnId> = HashMap::new();
+    let mut sp_tokens: HashMap<(Label, u32), u64> = HashMap::new();
+    for ev in events {
+        match ev {
+            Event::Begin(t) => {
+                let id = engine.begin()?;
+                ids.insert(*t, id);
+            }
+            Event::Write(t, ob, v) => engine.write(ids[t], *ob, *v)?,
+            Event::Add(t, ob, d) => engine.add(ids[t], *ob, *d)?,
+            Event::Delegate(tor, tee, obs) => engine.delegate(ids[tor], ids[tee], obs)?,
+            Event::DelegateAll(tor, tee) => engine.delegate_all(ids[tor], ids[tee])?,
+            Event::Commit(t) => engine.commit(ids[t])?,
+            Event::Abort(t) => engine.abort(ids[t])?,
+            Event::Savepoint(t, slot) => {
+                let token = engine.savepoint(ids[t])?;
+                sp_tokens.insert((*t, *slot), token);
+            }
+            Event::RollbackTo(t, slot) => {
+                if let Some(&token) = sp_tokens.get(&(*t, *slot)) {
+                    engine.rollback_to(ids[t], token)?;
+                }
+            }
+            Event::Checkpoint => engine.checkpoint()?,
+            Event::Crash => {
+                ids.clear();
+                sp_tokens.clear();
+                engine = engine.crash_and_recover()?;
+            }
+        }
+    }
+    Ok(engine)
+}
+
+/// Replays a history through both an engine and the oracle and asserts
+/// the final database states agree on every touched object. Returns the
+/// engine for further inspection. Panics (with context) on divergence —
+/// intended for tests.
+pub fn assert_engine_matches_oracle<E: TxnEngine>(engine: E, events: &[Event]) -> E {
+    let oracle = Oracle::run(events);
+    let mut engine = replay_engine(engine, events).expect("replay failed");
+    for ob in oracle.touched() {
+        let got = engine.value_of(ob).expect("value_of failed");
+        let want = oracle.value(ob);
+        assert_eq!(
+            got, want,
+            "divergence on {ob}: engine={got}, oracle={want}\nhistory: {events:#?}"
+        );
+    }
+    engine
+}
+
+pub mod synth {
+    //! Deterministic synthesis of *valid* histories from arbitrary bytes.
+    //!
+    //! Property tests want "any history" — but engines reject ill-formed
+    //! events (delegating objects one is not responsible for, §2.1.2) and
+    //! refuse conflicting locks. [`sanitize`] maps an arbitrary sequence
+    //! of raw tuples to a history that is well-formed by construction: it
+    //! runs an [`Oracle`] for responsibility tracking and a shadow
+    //! [`rh_lock::LockManager`] (the same code the engines use) for
+    //! conflict prediction, skipping steps that would be rejected.
+    //! Deterministic mapping keeps proptest shrinking meaningful.
+
+    use super::{Event, Label, Oracle};
+    use rh_common::{ObjectId, TxnId};
+    use rh_lock::{LockManager, LockMode};
+
+    /// Tuning for the synthesizer.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SynthOpts {
+        /// Number of distinct objects steps may touch.
+        pub objects: u64,
+        /// Maximum concurrently-active transactions.
+        pub max_active: usize,
+        /// Permit crash events (disable for engines under test that keep
+        /// no stable state).
+        pub allow_crash: bool,
+        /// Permit checkpoint events.
+        pub allow_checkpoint: bool,
+    }
+
+    impl Default for SynthOpts {
+        fn default() -> Self {
+            SynthOpts { objects: 8, max_active: 5, allow_crash: true, allow_checkpoint: true }
+        }
+    }
+
+    /// One raw step: interpreted modulo the current state. The tuple form
+    /// keeps proptest strategies trivial (`any::<Vec<(u8,u8,u8,i8)>>()`).
+    pub type RawStep = (u8, u8, u8, i8);
+
+    /// Translates raw steps into a valid history. Steps that would be
+    /// ill-formed or lock-rejected are skipped, so any raw input yields a
+    /// replayable history.
+    pub fn sanitize(raw: &[RawStep], opts: SynthOpts) -> Vec<Event> {
+        let mut events = Vec::with_capacity(raw.len());
+        let mut oracle = Oracle::new();
+        let locks = LockManager::new();
+        let mut active: Vec<Label> = Vec::new();
+        let mut next_label: Label = 0;
+
+        let emit = |ev: Event,
+                        oracle: &mut Oracle,
+                        active: &mut Vec<Label>,
+                        events: &mut Vec<Event>| {
+            oracle.apply(&ev);
+            if let Event::Commit(t) | Event::Abort(t) = &ev {
+                active.retain(|x| x != t);
+                locks.release_all(TxnId(*t as u64));
+            }
+            events.push(ev);
+        };
+
+        let mut sp_slots: std::collections::HashMap<Label, Vec<u32>> =
+            std::collections::HashMap::new();
+        let mut next_slot: u32 = 0;
+        for &(a, b, c, d) in raw {
+            let choice = a % 14;
+            match choice {
+                // --- begin -------------------------------------------------
+                0 | 1 => {
+                    if active.len() < opts.max_active {
+                        let t = next_label;
+                        next_label += 1;
+                        active.push(t);
+                        emit(Event::Begin(t), &mut oracle, &mut active, &mut events);
+                    }
+                }
+                // --- write (exclusive) --------------------------------------
+                2 | 3 => {
+                    if active.is_empty() {
+                        continue;
+                    }
+                    let t = active[b as usize % active.len()];
+                    let ob = ObjectId(c as u64 % opts.objects);
+                    if locks.try_acquire(TxnId(t as u64), ob, LockMode::Exclusive).is_ok() {
+                        emit(Event::Write(t, ob, d as i64), &mut oracle, &mut active, &mut events);
+                    }
+                }
+                // --- add (increment) ----------------------------------------
+                4 | 5 => {
+                    if active.is_empty() {
+                        continue;
+                    }
+                    let t = active[b as usize % active.len()];
+                    let ob = ObjectId(c as u64 % opts.objects);
+                    if locks.try_acquire(TxnId(t as u64), ob, LockMode::Increment).is_ok() {
+                        emit(Event::Add(t, ob, d as i64), &mut oracle, &mut active, &mut events);
+                    }
+                }
+                // --- delegate one object ------------------------------------
+                6 | 7 => {
+                    if active.len() < 2 {
+                        continue;
+                    }
+                    let tor = active[b as usize % active.len()];
+                    let tee = active[c as usize % active.len()];
+                    if tor == tee {
+                        continue;
+                    }
+                    let resp: Vec<ObjectId> =
+                        oracle.responsible_objects(tor).into_iter().collect();
+                    if resp.is_empty() {
+                        continue;
+                    }
+                    let ob = resp[d.unsigned_abs() as usize % resp.len()];
+                    locks.transfer(TxnId(tor as u64), TxnId(tee as u64), ob);
+                    emit(
+                        Event::Delegate(tor, tee, vec![ob]),
+                        &mut oracle,
+                        &mut active,
+                        &mut events,
+                    );
+                }
+                // --- delegate all -------------------------------------------
+                8 => {
+                    if active.len() < 2 {
+                        continue;
+                    }
+                    let tor = active[b as usize % active.len()];
+                    let tee = active[c as usize % active.len()];
+                    if tor == tee {
+                        continue;
+                    }
+                    locks.transfer_all(TxnId(tor as u64), TxnId(tee as u64));
+                    emit(Event::DelegateAll(tor, tee), &mut oracle, &mut active, &mut events);
+                }
+                // --- commit --------------------------------------------------
+                9 => {
+                    if active.is_empty() {
+                        continue;
+                    }
+                    let t = active[b as usize % active.len()];
+                    emit(Event::Commit(t), &mut oracle, &mut active, &mut events);
+                }
+                // --- abort ---------------------------------------------------
+                10 => {
+                    if active.is_empty() {
+                        continue;
+                    }
+                    let t = active[b as usize % active.len()];
+                    emit(Event::Abort(t), &mut oracle, &mut active, &mut events);
+                }
+                // --- savepoint ------------------------------------------------
+                12 => {
+                    if active.is_empty() {
+                        continue;
+                    }
+                    let t = active[b as usize % active.len()];
+                    let slot = next_slot;
+                    next_slot += 1;
+                    sp_slots.entry(t).or_default().push(slot);
+                    emit(Event::Savepoint(t, slot), &mut oracle, &mut active, &mut events);
+                }
+                // --- rollback to a savepoint -----------------------------------
+                13 => {
+                    if active.is_empty() {
+                        continue;
+                    }
+                    let t = active[b as usize % active.len()];
+                    let Some(slots) = sp_slots.get(&t) else { continue };
+                    if slots.is_empty() {
+                        continue;
+                    }
+                    let slot = slots[c as usize % slots.len()];
+                    // Rollback releases no locks in the engines (the
+                    // transaction stays active and keeps its locks), so
+                    // the shadow lock manager needs no change.
+                    emit(Event::RollbackTo(t, slot), &mut oracle, &mut active, &mut events);
+                }
+                // --- crash / checkpoint --------------------------------------
+                _ => {
+                    if b % 3 == 0 && opts.allow_crash {
+                        for &t in &active {
+                            locks.release_all(TxnId(t as u64));
+                        }
+                        active.clear();
+                        emit(Event::Crash, &mut oracle, &mut active, &mut events);
+                    } else if opts.allow_checkpoint {
+                        emit(Event::Checkpoint, &mut oracle, &mut active, &mut events);
+                    }
+                }
+            }
+        }
+        events
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const A: ObjectId = ObjectId(0);
+    const B: ObjectId = ObjectId(1);
+
+    #[test]
+    fn boring_commit_persists() {
+        let o = Oracle::run(&[Event::Begin(1), Event::Write(1, A, 5), Event::Commit(1)]);
+        assert_eq!(o.value(A), 5);
+    }
+
+    #[test]
+    fn boring_abort_restores() {
+        let o = Oracle::run(&[
+            Event::Begin(1),
+            Event::Write(1, A, 5),
+            Event::Abort(1),
+        ]);
+        assert_eq!(o.value(A), 0);
+    }
+
+    #[test]
+    fn crash_undoes_active() {
+        let o = Oracle::run(&[
+            Event::Begin(1),
+            Event::Begin(2),
+            Event::Write(1, A, 5),
+            Event::Add(2, B, 3),
+            Event::Commit(1),
+            Event::Crash,
+        ]);
+        assert_eq!(o.value(A), 5);
+        assert_eq!(o.value(B), 0);
+        assert!(o.active().is_empty());
+    }
+
+    #[test]
+    fn delegated_update_survives_delegator_abort() {
+        // The motivating example of §2.1.2's commit/abort rule.
+        let o = Oracle::run(&[
+            Event::Begin(1),
+            Event::Begin(2),
+            Event::Write(1, A, 7),
+            Event::Delegate(1, 2, vec![A]),
+            Event::Abort(1),
+            Event::Commit(2),
+        ]);
+        assert_eq!(o.value(A), 7);
+    }
+
+    #[test]
+    fn delegated_update_dies_with_delegatee() {
+        let o = Oracle::run(&[
+            Event::Begin(1),
+            Event::Begin(2),
+            Event::Write(1, A, 7),
+            Event::Delegate(1, 2, vec![A]),
+            Event::Commit(1), // commits nothing on A: responsibility moved
+            Event::Abort(2),
+        ]);
+        assert_eq!(o.value(A), 0);
+    }
+
+    #[test]
+    fn example2_split_fates() {
+        // §3.4 Example 2: update, delegate to t1, update again, delegate
+        // to t2; t1 commits, t2 aborts — first update persists, second is
+        // undone. Using adds so the effects compose observably.
+        let o = Oracle::run(&[
+            Event::Begin(0),
+            Event::Begin(1),
+            Event::Begin(2),
+            Event::Add(0, A, 10),
+            Event::Delegate(0, 1, vec![A]),
+            Event::Add(0, A, 100),
+            Event::Delegate(0, 2, vec![A]),
+            Event::Abort(2),
+            Event::Commit(1),
+            Event::Commit(0),
+        ]);
+        assert_eq!(o.value(A), 10);
+    }
+
+    #[test]
+    fn delegation_chain_follows_final_delegatee() {
+        let o = Oracle::run(&[
+            Event::Begin(0),
+            Event::Begin(1),
+            Event::Begin(2),
+            Event::Write(0, A, 3),
+            Event::Delegate(0, 1, vec![A]),
+            Event::Delegate(1, 2, vec![A]),
+            Event::Commit(0),
+            Event::Commit(1),
+            Event::Crash, // t2 active -> loser -> update undone
+        ]);
+        assert_eq!(o.value(A), 0);
+    }
+
+    #[test]
+    fn responsible_objects_tracks_delegation() {
+        let mut o = Oracle::new();
+        for ev in [Event::Begin(1), Event::Begin(2), Event::Write(1, A, 5)] {
+            o.apply(&ev);
+        }
+        assert_eq!(o.responsible_objects(1), BTreeSet::from([A]));
+        o.apply(&Event::Delegate(1, 2, vec![A]));
+        assert!(o.responsible_objects(1).is_empty());
+        assert_eq!(o.responsible_objects(2), BTreeSet::from([A]));
+    }
+
+    #[test]
+    fn interleaved_adds_undo_logically() {
+        let o = Oracle::run(&[
+            Event::Begin(1),
+            Event::Begin(2),
+            Event::Add(1, A, 1),
+            Event::Add(2, A, 10),
+            Event::Add(1, A, 100),
+            Event::Commit(2),
+            Event::Abort(1), // -101, keeping t2's +10
+        ]);
+        assert_eq!(o.value(A), 10);
+    }
+
+    #[test]
+    fn delegate_all_moves_everything() {
+        let o = Oracle::run(&[
+            Event::Begin(1),
+            Event::Begin(2),
+            Event::Write(1, A, 1),
+            Event::Write(1, B, 2),
+            Event::DelegateAll(1, 2),
+            Event::Abort(1),
+            Event::Commit(2),
+        ]);
+        assert_eq!(o.value(A), 1);
+        assert_eq!(o.value(B), 2);
+    }
+}

@@ -1,0 +1,320 @@
+//! Per-transaction object lists (paper §3.4, Fig. 5).
+//!
+//! `Ob_List(t)` holds, for each object `t` is currently responsible for,
+//! the set of scopes covering the updates delegated to (or made by) `t`,
+//! plus the `deleg` field recording who delegated the object last.
+//!
+//! Invariants maintained here and checked in tests:
+//!
+//! * scopes of one object that share an invoking transaction never
+//!   overlap (the §3.5 remark: overlapping scopes "cannot share the same
+//!   invoking transaction");
+//! * an object with an empty scope set does not appear in the list.
+
+use crate::scope::Scope;
+use rh_common::codec::{Codec, Reader, Writer};
+use rh_common::{Lsn, ObjectId, Result, TxnId};
+use std::collections::BTreeMap;
+
+/// The per-object entry inside one transaction's `Ob_List`.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ObEntry {
+    /// "record that ob was delegated by t1" (§3.5 delegate step 3):
+    /// the most recent delegator, `None` for objects the transaction is
+    /// responsible for purely by its own invocations.
+    pub deleg: Option<TxnId>,
+    /// The scopes covering the updates this transaction is responsible
+    /// for, in the order received/created.
+    pub scopes: Vec<Scope>,
+}
+
+impl ObEntry {
+    /// Merges `incoming` scopes (from a delegation) into this entry —
+    /// "We use a union because t2 may already be responsible for some
+    /// operations on ob before receiving the delegation" (§3.5 remark).
+    pub fn absorb(&mut self, incoming: Vec<Scope>, from: TxnId) {
+        self.deleg = Some(from);
+        for s in incoming {
+            debug_assert!(
+                self.scopes
+                    .iter()
+                    .all(|own| own.invoker != s.invoker || !own.overlaps(&s)),
+                "overlapping scopes with the same invoking transaction"
+            );
+            self.scopes.push(s);
+        }
+    }
+
+    /// Records one update at `lsn` invoked by `who` (the owning
+    /// transaction itself during normal processing; also called during the
+    /// recovery forward pass). Opens a new scope or extends the newest
+    /// scope of that invoker, per §3.5 `update` step 1.
+    pub fn record_update(&mut self, who: TxnId, lsn: Lsn) {
+        // Extend the invoker's most recent scope if one exists; later
+        // scopes always have larger LSNs, so max-by-last is "current".
+        if let Some(s) = self
+            .scopes
+            .iter_mut()
+            .filter(|s| s.invoker == who)
+            .max_by_key(|s| s.last)
+        {
+            s.extend(lsn);
+        } else {
+            self.scopes.push(Scope::open(who, lsn));
+        }
+    }
+
+    /// Smallest `first` LSN over this entry's scopes (for abort's minLSN).
+    pub fn min_first(&self) -> Option<Lsn> {
+        self.scopes.iter().map(|s| s.first).min()
+    }
+}
+
+/// One transaction's object list: object -> entry.
+///
+/// A `BTreeMap` keeps iteration deterministic, which matters for
+/// reproducible logs (CLR order during abort) and testable dumps.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ObList {
+    entries: BTreeMap<ObjectId, ObEntry>,
+}
+
+impl ObList {
+    /// Creates an empty list.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// `ob ∈ Ob_List(t)` — the well-formedness test of §3.5 delegate
+    /// step 1.
+    pub fn contains(&self, ob: ObjectId) -> bool {
+        self.entries.contains_key(&ob)
+    }
+
+    /// True if no objects are held.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Number of objects held.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// The objects in the list, in id order.
+    pub fn objects(&self) -> impl Iterator<Item = ObjectId> + '_ {
+        self.entries.keys().copied()
+    }
+
+    /// Immutable entry access.
+    pub fn get(&self, ob: ObjectId) -> Option<&ObEntry> {
+        self.entries.get(&ob)
+    }
+
+    /// Records an update by `who` on `ob` at `lsn` (§3.5 `update`).
+    pub fn record_update(&mut self, ob: ObjectId, who: TxnId, lsn: Lsn) {
+        self.entries.entry(ob).or_default().record_update(who, lsn);
+    }
+
+    /// Removes and returns the entry for `ob` — the delegator's half of a
+    /// delegation ("remove ob from the delegator's Ob_List", §3.5).
+    pub fn take(&mut self, ob: ObjectId) -> Option<ObEntry> {
+        self.entries.remove(&ob)
+    }
+
+    /// The delegatee's half: merge scopes received from `from`.
+    pub fn absorb(&mut self, ob: ObjectId, incoming: ObEntry, from: TxnId) {
+        self.entries.entry(ob).or_default().absorb(incoming.scopes, from);
+    }
+
+    /// All `(object, scope)` pairs — what recovery collects into
+    /// `LsrScopes` for loser transactions.
+    pub fn all_scopes(&self) -> impl Iterator<Item = (ObjectId, Scope)> + '_ {
+        self.entries.iter().flat_map(|(&ob, e)| e.scopes.iter().map(move |&s| (ob, s)))
+    }
+
+    /// `minLSN` over every scope (§3.5 abort step 1), `None` if empty.
+    pub fn min_first(&self) -> Option<Lsn> {
+        self.entries.values().filter_map(|e| e.min_first()).min()
+    }
+
+    /// Drains the whole list (delegate-all / join).
+    pub fn drain_all(&mut self) -> Vec<(ObjectId, ObEntry)> {
+        std::mem::take(&mut self.entries).into_iter().collect()
+    }
+
+    /// Clips `ob`'s scopes to the portion strictly before `sp` (partial
+    /// rollback support): scopes entirely at/after `sp` are dropped,
+    /// straddling scopes are truncated, and an emptied entry leaves the
+    /// list. The truncated `last` is conservative (`sp - 1` may not be an
+    /// update of this scope), which is safe: scopes bound LSN intervals,
+    /// and membership additionally requires invoker+object match.
+    pub fn truncate_scopes(&mut self, ob: ObjectId, sp: Lsn) {
+        if let Some(entry) = self.entries.get_mut(&ob) {
+            entry.scopes.retain_mut(|s| {
+                if s.first >= sp {
+                    return false;
+                }
+                if s.last >= sp {
+                    s.last = sp.prev();
+                }
+                true
+            });
+            if entry.scopes.is_empty() {
+                self.entries.remove(&ob);
+            }
+        }
+    }
+}
+
+impl Codec for ObEntry {
+    fn encode(&self, w: &mut Writer) {
+        self.deleg.encode(w);
+        self.scopes.encode(w);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self> {
+        Ok(ObEntry { deleg: Option::decode(r)?, scopes: Vec::decode(r)? })
+    }
+}
+
+impl Codec for ObList {
+    fn encode(&self, w: &mut Writer) {
+        let pairs: Vec<(ObjectId, ObEntry)> =
+            self.entries.iter().map(|(k, v)| (*k, v.clone())).collect();
+        pairs.encode(w);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self> {
+        let pairs: Vec<(ObjectId, ObEntry)> = Vec::decode(r)?;
+        Ok(ObList { entries: pairs.into_iter().collect() })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const A: ObjectId = ObjectId(0);
+    const T1: TxnId = TxnId(1);
+    const T2: TxnId = TxnId(2);
+
+    #[test]
+    fn first_update_opens_scope() {
+        let mut l = ObList::new();
+        l.record_update(A, T1, Lsn(5));
+        assert_eq!(l.get(A).unwrap().scopes, vec![Scope::open(T1, Lsn(5))]);
+    }
+
+    #[test]
+    fn subsequent_update_extends_scope() {
+        let mut l = ObList::new();
+        l.record_update(A, T1, Lsn(5));
+        l.record_update(A, T1, Lsn(9));
+        assert_eq!(l.get(A).unwrap().scopes, vec![Scope { invoker: T1, first: Lsn(5), last: Lsn(9) }]);
+    }
+
+    #[test]
+    fn fig5_scopes_after_example1() {
+        // Paper Example 1 / Fig. 5: t1 updates a at LSNs 100 and 104
+        // (and b at 103); t2 updates a at 102 (and x at 101, y at 105).
+        // After delegate(t1, t2, a) at 106, Ob_List(t2)[a] holds the scope
+        // (t1, 100, 104) it received plus its own (t2, 102, 102), and
+        // Ob_List(t1) retains only b.
+        let (a, b, x, y) = (ObjectId(0), ObjectId(2), ObjectId(1), ObjectId(3));
+        let mut l1 = ObList::new();
+        let mut l2 = ObList::new();
+        l1.record_update(a, T1, Lsn(100));
+        l2.record_update(x, T2, Lsn(101));
+        l2.record_update(a, T2, Lsn(102));
+        l1.record_update(b, T1, Lsn(103));
+        l1.record_update(a, T1, Lsn(104));
+        l2.record_update(y, T2, Lsn(105));
+        // delegate(t1, t2, a):
+        let entry = l1.take(a).expect("t1 responsible for a");
+        l2.absorb(a, entry, T1);
+
+        assert!(!l1.contains(a));
+        assert!(l1.contains(b));
+        let e = l2.get(a).unwrap();
+        assert_eq!(e.deleg, Some(T1));
+        let mut scopes = e.scopes.clone();
+        scopes.sort_by_key(|s| s.first);
+        assert_eq!(
+            scopes,
+            vec![
+                Scope { invoker: T1, first: Lsn(100), last: Lsn(104) },
+                Scope { invoker: T2, first: Lsn(102), last: Lsn(102) },
+            ]
+        );
+        // The two scopes overlap on the log but have distinct invokers —
+        // exactly the §3.5 remark.
+        assert!(scopes[0].overlaps(&scopes[1]));
+    }
+
+    #[test]
+    fn update_after_delegation_opens_fresh_scope() {
+        // Example 2 of §3.4: t updates ob, delegates, updates again — the
+        // second update must land in a new scope, not the delegated one.
+        let mut lt = ObList::new();
+        let mut l1 = ObList::new();
+        lt.record_update(A, T1, Lsn(1));
+        let e = lt.take(A).unwrap();
+        l1.absorb(A, e, T1);
+        lt.record_update(A, T1, Lsn(3));
+        assert_eq!(lt.get(A).unwrap().scopes, vec![Scope::open(T1, Lsn(3))]);
+        assert_eq!(l1.get(A).unwrap().scopes, vec![Scope::open(T1, Lsn(1))]);
+    }
+
+    #[test]
+    fn redelegation_back_keeps_disjoint_scopes_of_same_invoker() {
+        // t -> t1 -> t: t's entry ends with two disjoint scopes it
+        // invoked itself, received back at different times.
+        let mut lt = ObList::new();
+        let mut l1 = ObList::new();
+        lt.record_update(A, T1, Lsn(1));
+        l1.absorb(A, lt.take(A).unwrap(), T1);
+        lt.record_update(A, T1, Lsn(3));
+        // t1 delegates back to t:
+        lt.absorb(A, l1.take(A).unwrap(), T2);
+        let mut scopes = lt.get(A).unwrap().scopes.clone();
+        scopes.sort_by_key(|s| s.first);
+        assert_eq!(scopes, vec![Scope::open(T1, Lsn(1)), Scope::open(T1, Lsn(3))]);
+        // A further update extends the *newest* scope of that invoker.
+        lt.record_update(A, T1, Lsn(5));
+        let mut scopes = lt.get(A).unwrap().scopes.clone();
+        scopes.sort_by_key(|s| s.first);
+        assert_eq!(
+            scopes,
+            vec![Scope::open(T1, Lsn(1)), Scope { invoker: T1, first: Lsn(3), last: Lsn(5) }]
+        );
+    }
+
+    #[test]
+    fn min_first_over_scopes() {
+        let mut l = ObList::new();
+        assert_eq!(l.min_first(), None);
+        l.record_update(A, T1, Lsn(7));
+        l.record_update(ObjectId(1), T1, Lsn(3));
+        assert_eq!(l.min_first(), Some(Lsn(3)));
+    }
+
+    #[test]
+    fn drain_all_empties() {
+        let mut l = ObList::new();
+        l.record_update(A, T1, Lsn(1));
+        l.record_update(ObjectId(1), T1, Lsn(2));
+        let drained = l.drain_all();
+        assert_eq!(drained.len(), 2);
+        assert!(l.is_empty());
+    }
+
+    #[test]
+    fn codec_roundtrip() {
+        let mut l = ObList::new();
+        l.record_update(A, T1, Lsn(1));
+        l.record_update(A, T2, Lsn(2));
+        let mut l2 = ObList::new();
+        l2.absorb(A, l.take(A).unwrap(), T1);
+        let bytes = l2.to_bytes();
+        assert_eq!(ObList::from_bytes(&bytes).unwrap(), l2);
+    }
+}

@@ -1,0 +1,132 @@
+//! The backward pass (paper §3.6.2, Fig. 8) — and, reused, the undo half
+//! of normal-processing abort (§3.5 abort step 1), which is the same
+//! cluster sweep restricted to a single transaction's scopes.
+//!
+//! "Notice that by undoing the *loser* updates instead of the updates
+//! invoked by loser transactions, we are in fact applying the delegations,
+//! as we undo according to the fate of the final delegatee of each
+//! update."
+
+pub use super::clusters::WalkScope;
+use super::clusters::ClusterWalk;
+use crate::txn_table::TrList;
+use rh_common::{Lsn, Result, RhError};
+use rh_storage::BufferPool;
+use rh_wal::record::RecordBody;
+use rh_wal::LogManager;
+use std::collections::HashSet;
+
+/// Counters describing one backward sweep.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct UndoStats {
+    /// Log records examined (each at most once, strictly decreasing).
+    pub visited: u64,
+    /// Updates undone (one CLR each).
+    pub undone: u64,
+    /// Updates found already compensated by a pre-crash (or
+    /// prior-recovery) CLR and skipped.
+    pub skipped_compensated: u64,
+    /// Clusters swept.
+    pub clusters: u64,
+    /// In-place log rewrites performed — always 0 for ARIES/RH; the lazy
+    /// baseline pays these.
+    pub rewrites: u64,
+}
+
+/// Sweeps the log backwards over the clusters formed by `scopes`, undoing
+/// every covered **loser** update (α2) and writing a CLR for each. With
+/// `rewrite_history` set (the lazy baseline), covered records whose
+/// Trans-ID differs from the responsible transaction are additionally
+/// rewritten in place — which ARIES/RH exists to avoid.
+///
+/// `compensated` holds LSNs already undone by logged CLRs; they are
+/// skipped, making the pass idempotent across crashes during recovery.
+/// Every LSN this pass undoes is added to the set, so later sweeps that
+/// re-cover the same region (a scope re-extended after a partial
+/// rollback) cannot undo a record twice.
+pub fn undo_scopes(
+    log: &LogManager,
+    pool: &mut BufferPool,
+    tr: &mut TrList,
+    scopes: Vec<WalkScope>,
+    compensated: &mut HashSet<Lsn>,
+    rewrite_history: bool,
+) -> Result<UndoStats> {
+    let mut stats = UndoStats::default();
+    let mut walk = ClusterWalk::new(scopes);
+    let mut prev_k = Lsn::NULL;
+    while let Some(k) = walk.next_position() {
+        // The paper's efficiency invariant: K strictly decreases, so each
+        // record is brought in at most once (§4.2).
+        debug_assert!(prev_k.is_null() || k < prev_k, "backward pass must be monotone");
+        prev_k = k;
+
+        let rec = log.read(k)?;
+        if let RecordBody::Update { ob, op } = rec.body {
+            // α2: "a record is a loser update if it is within the ends of
+            // a loser scope whose invoking transaction is the same as the
+            // update's invoking transaction" (and on the same object).
+            if let Some(ws) = walk.covering(rec.txn, ob, k) {
+                if rewrite_history && rec.txn != ws.owner {
+                    // Lazy baseline: setTransID(K, owner) — physically
+                    // rewrite history (§3.1 Fig. 1 applied at recovery).
+                    log.rewrite_in_place(k, |r| r.txn = ws.owner)?;
+                    stats.rewrites += 1;
+                }
+                if ws.loser {
+                    if compensated.contains(&k) {
+                        stats.skipped_compensated += 1;
+                    } else {
+                        undo_one(log, pool, tr, k, ob, op, ws, &mut stats)?;
+                        compensated.insert(k);
+                    }
+                }
+            }
+        }
+        walk.finish_position();
+    }
+    stats.visited = walk.visited;
+    stats.clusters = walk.clusters;
+    Ok(stats)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn undo_one(
+    log: &LogManager,
+    pool: &mut BufferPool,
+    tr: &mut TrList,
+    k: Lsn,
+    ob: rh_common::ObjectId,
+    op: rh_common::UpdateOp,
+    ws: WalkScope,
+    stats: &mut UndoStats,
+) -> Result<()> {
+    let cur = pool.read_object(ob, log)?;
+    // The CLR is attributed to the transaction *responsible* for the
+    // update (the scope's owner), not its invoker: the rollback is the
+    // owner's. Chain it onto the owner's BC.
+    let prev = tr.bc(ws.owner).map_err(|_| RhError::UnknownTxn(ws.owner))?;
+    let clr_lsn = log.append(
+        ws.owner,
+        prev,
+        RecordBody::Clr {
+            ob,
+            op: op.compensation(cur),
+            compensated: k,
+            // Informational pointer ARIES uses to resume rollbacks; RH's
+            // skip logic uses the compensated-set instead (scopes make
+            // per-chain resumption unnecessary).
+            undo_next: rec_prev_for(op, k),
+        },
+    );
+    tr.set_bc(ws.owner, clr_lsn)?;
+    pool.write_object(ob, op.undo(cur), clr_lsn, log)?;
+    stats.undone += 1;
+    Ok(())
+}
+
+/// `undo_next` for a CLR compensating the record at `k`: the next-lower
+/// position that could hold work for this rollback.
+fn rec_prev_for(_op: rh_common::UpdateOp, k: Lsn) -> Lsn {
+    k.prev()
+}

@@ -1,0 +1,299 @@
+//! Loser-scope clusters (paper §3.6.2, Fig. 7).
+//!
+//! "Scopes may overlap; a cluster of scopes is a maximal set of
+//! overlapping scopes. Within each cluster we must examine every log
+//! record, but between clusters we examine none."
+//!
+//! [`ClusterWalk`] drives the backward sweep of Fig. 8:
+//!
+//! * `LsrScopes` is "a priority queue (on a heap) sorted by right end of
+//!   scopes, with the largest value first" — the `pending` heap in [`ClusterWalk`];
+//! * `Cluster` "is searched by invoking transaction ... A binary tree
+//!   keyed on transaction ids is a reasonable implementation" — we key by
+//!   `(invoking txn, object)` since a scope only covers updates *to its
+//!   object* by its invoker (§3.4);
+//! * the walk position `K` decreases monotonically within a cluster (α4)
+//!   and jumps directly to the right end of the next cluster (β), so every
+//!   log record is visited at most once, in strictly decreasing order.
+
+use crate::scope::Scope;
+use rh_common::{Lsn, ObjectId, TxnId};
+use std::collections::{BinaryHeap, HashMap};
+
+/// A scope scheduled for the backward walk, tagged with the transaction
+/// currently responsible for it (`owner`) and whether that owner is a
+/// loser (must be undone) or a winner (visited only by the lazy baseline,
+/// for rewriting).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct WalkScope {
+    /// The transaction responsible for these updates at crash time.
+    pub owner: TxnId,
+    /// The object the scope's updates touched.
+    pub ob: ObjectId,
+    /// The `(invoker, first, last)` triple.
+    pub scope: Scope,
+    /// True if `owner` is a loser: covered updates must be undone.
+    pub loser: bool,
+}
+
+/// Heap adapter ordering scopes by right end, largest first.
+#[derive(Debug, PartialEq, Eq)]
+struct ByRight(WalkScope);
+
+impl Ord for ByRight {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0
+            .scope
+            .last
+            .cmp(&other.0.scope.last)
+            // Tie-breakers make the walk fully deterministic.
+            .then(self.0.scope.first.cmp(&other.0.scope.first))
+            .then(self.0.ob.cmp(&other.0.ob))
+            .then(self.0.scope.invoker.cmp(&other.0.scope.invoker))
+            .then(self.0.owner.cmp(&other.0.owner))
+    }
+}
+
+impl PartialOrd for ByRight {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// The Fig. 8 walk driver. Protocol:
+///
+/// ```text
+/// while let Some(k) = walk.next_position() {   // α1 done; K = k
+///     // examine LOG[k]; walk.covering(...) answers the α2 test
+///     walk.finish_position();                  // α3 + α4 (+ β if needed)
+/// }
+/// ```
+#[derive(Debug)]
+pub struct ClusterWalk {
+    /// `LsrScopes`: scopes not yet absorbed into a cluster.
+    pending: BinaryHeap<ByRight>,
+    /// The current cluster, keyed by `(invoker, object)`.
+    cluster: HashMap<(TxnId, ObjectId), Vec<WalkScope>>,
+    /// `begCluster`: left end of the current cluster (may decrease as
+    /// overlapping scopes join, per the paper's termination argument).
+    beg_cluster: Lsn,
+    /// `K`: current log position; NULL when the walk is done.
+    k: Lsn,
+    /// Records visited (returned positions).
+    pub visited: u64,
+    /// Clusters processed.
+    pub clusters: u64,
+}
+
+impl ClusterWalk {
+    /// Builds a walk over the given scopes. An empty input yields an
+    /// immediately-finished walk.
+    pub fn new(scopes: Vec<WalkScope>) -> Self {
+        let pending: BinaryHeap<ByRight> = scopes.into_iter().map(ByRight).collect();
+        let k = pending.peek().map_or(Lsn::NULL, |s| s.0.scope.last);
+        let clusters = u64::from(!k.is_null());
+        ClusterWalk {
+            pending,
+            cluster: HashMap::new(),
+            beg_cluster: Lsn::NULL,
+            k,
+            visited: 0,
+            clusters,
+        }
+    }
+
+    /// Advances to (and returns) the next log position to examine.
+    /// Performs α1: moves every pending scope whose right end is the
+    /// current position into the cluster, updating `begCluster`.
+    pub fn next_position(&mut self) -> Option<Lsn> {
+        if self.k.is_null() {
+            return None;
+        }
+        while let Some(top) = self.pending.peek() {
+            debug_assert!(
+                top.0.scope.last <= self.k,
+                "a pending scope's right end was skipped"
+            );
+            if top.0.scope.last != self.k {
+                break;
+            }
+            let ws = self.pending.pop().expect("peeked").0;
+            self.beg_cluster = if self.beg_cluster.is_null() {
+                ws.scope.first
+            } else {
+                self.beg_cluster.min(ws.scope.first)
+            };
+            self.cluster.entry((ws.scope.invoker, ws.ob)).or_default().push(ws);
+        }
+        self.visited += 1;
+        Some(self.k)
+    }
+
+    /// The α2 membership test: is the update record at `lsn` (written by
+    /// `txn`, touching `ob`) covered by a scope in the current cluster?
+    /// Returns the covering scope (there is at most one: scopes of equal
+    /// invoker and object never overlap).
+    pub fn covering(&self, txn: TxnId, ob: ObjectId, lsn: Lsn) -> Option<WalkScope> {
+        self.cluster
+            .get(&(txn, ob))?
+            .iter()
+            .find(|ws| ws.scope.covers(lsn))
+            .copied()
+    }
+
+    /// Completes the current position: α3 (drop scopes that began here),
+    /// α4 (step left), and — when the cluster is exhausted — β (jump to
+    /// the right end of the next cluster, or finish).
+    pub fn finish_position(&mut self) {
+        let k = self.k;
+        // α3: scopes whose left end is the record just processed are done.
+        self.cluster.retain(|_, v| {
+            v.retain(|ws| ws.scope.first != k);
+            !v.is_empty()
+        });
+        // α4: K <- K - 1.
+        self.k = k.prev();
+        // until K < begCluster → β.
+        if self.k.is_null() || self.k < self.beg_cluster {
+            debug_assert!(
+                self.cluster.is_empty(),
+                "cluster must drain by its own left end"
+            );
+            self.cluster.clear();
+            self.beg_cluster = Lsn::NULL;
+            match self.pending.peek() {
+                None => self.k = Lsn::NULL,
+                Some(next) => {
+                    self.k = next.0.scope.last;
+                    self.clusters += 1;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ws(owner: u64, ob: u64, invoker: u64, first: u64, last: u64) -> WalkScope {
+        WalkScope {
+            owner: TxnId(owner),
+            ob: ObjectId(ob),
+            scope: Scope { invoker: TxnId(invoker), first: Lsn(first), last: Lsn(last) },
+            loser: true,
+        }
+    }
+
+    /// Drains a walk, returning every visited position.
+    fn positions(mut walk: ClusterWalk) -> Vec<u64> {
+        let mut out = Vec::new();
+        while let Some(k) = walk.next_position() {
+            out.push(k.raw());
+            walk.finish_position();
+        }
+        out
+    }
+
+    #[test]
+    fn empty_walk_finishes_immediately() {
+        let mut walk = ClusterWalk::new(vec![]);
+        assert_eq!(walk.next_position(), None);
+        assert_eq!(walk.clusters, 0);
+    }
+
+    #[test]
+    fn single_scope_visits_its_range() {
+        let walk = ClusterWalk::new(vec![ws(1, 0, 1, 3, 6)]);
+        assert_eq!(positions(walk), vec![6, 5, 4, 3]);
+    }
+
+    #[test]
+    fn fig7_three_clusters_skip_gaps() {
+        // Three clusters as in Fig. 7: [2,4], [10,18] (four overlapping
+        // scopes), [25,27]. The walk must visit only cluster ranges,
+        // right-to-left, skipping (4,10) and (18,25).
+        let scopes = vec![
+            ws(1, 0, 1, 2, 4),
+            // middle cluster: overlapping scopes
+            ws(2, 1, 2, 10, 14),
+            ws(3, 2, 3, 12, 18),
+            ws(4, 3, 4, 11, 13),
+            ws(5, 4, 5, 13, 16),
+            ws(6, 5, 6, 25, 27),
+        ];
+        let want: Vec<u64> = (25..=27)
+            .rev()
+            .chain((10..=18).rev())
+            .chain((2..=4).rev())
+            .collect();
+        let mut walk = ClusterWalk::new(scopes);
+        let mut got = Vec::new();
+        while let Some(k) = walk.next_position() {
+            got.push(k.raw());
+            walk.finish_position();
+        }
+        assert_eq!(got, want);
+        assert_eq!(walk.clusters, 3);
+    }
+
+    #[test]
+    fn begcluster_decreases_as_scopes_join() {
+        // Scope (5,10) is entered at K=10; scope (1,7) joins at K=7 and
+        // drags begCluster down to 1 — the paper's "although (α)'s limit
+        // begCluster may decrease" case.
+        let walk = ClusterWalk::new(vec![ws(1, 0, 1, 5, 10), ws(2, 1, 2, 1, 7)]);
+        assert_eq!(positions(walk), (1..=10).rev().collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn covering_requires_invoker_object_and_range() {
+        let mut walk = ClusterWalk::new(vec![ws(9, 0, 1, 3, 6)]);
+        walk.next_position(); // K = 6, scope entered
+        assert_eq!(walk.covering(TxnId(1), ObjectId(0), Lsn(5)).unwrap().owner, TxnId(9));
+        assert!(walk.covering(TxnId(2), ObjectId(0), Lsn(5)).is_none()); // wrong invoker
+        assert!(walk.covering(TxnId(1), ObjectId(1), Lsn(5)).is_none()); // wrong object
+        assert!(walk.covering(TxnId(1), ObjectId(0), Lsn(7)).is_none()); // outside range
+    }
+
+    #[test]
+    fn identical_right_ends_enter_together() {
+        let walk = ClusterWalk::new(vec![ws(1, 0, 1, 2, 5), ws(2, 1, 2, 4, 5)]);
+        assert_eq!(positions(walk), vec![5, 4, 3, 2]);
+    }
+
+    #[test]
+    fn disjoint_scopes_same_invoker_and_object() {
+        // The delegation-back pattern: two disjoint scopes of one invoker
+        // on one object, walked as two clusters.
+        let walk = ClusterWalk::new(vec![ws(1, 0, 1, 1, 2), ws(1, 0, 1, 8, 9)]);
+        assert_eq!(positions(walk), vec![9, 8, 2, 1]);
+    }
+
+    #[test]
+    fn positions_strictly_decrease_and_never_repeat() {
+        let scopes = vec![
+            ws(1, 0, 1, 0, 3),
+            ws(2, 1, 2, 2, 9),
+            ws(3, 2, 3, 15, 20),
+            ws(4, 3, 4, 17, 26),
+        ];
+        let pos = positions(ClusterWalk::new(scopes));
+        for pair in pos.windows(2) {
+            assert!(pair[0] > pair[1], "visits must strictly decrease: {pos:?}");
+        }
+    }
+
+    #[test]
+    fn nested_scope_is_absorbed_into_enclosing_cluster() {
+        // A scope fully inside another must not spawn a separate cluster.
+        let mut walk = ClusterWalk::new(vec![ws(1, 0, 1, 0, 10), ws(2, 1, 2, 4, 6)]);
+        let mut count = 0;
+        while walk.next_position().is_some() {
+            count += 1;
+            walk.finish_position();
+        }
+        assert_eq!(count, 11);
+        assert_eq!(walk.clusters, 1);
+    }
+}

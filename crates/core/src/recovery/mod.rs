@@ -1,0 +1,122 @@
+//! Restart recovery (paper §3.6): the same two passes as ARIES —
+//! forward (analysis + redo, "repeating history") and backward (undo) —
+//! with delegation realized by *interpreting* the log through the
+//! reconstructed scope tables instead of rewriting it.
+
+pub mod backward;
+pub mod clusters;
+pub mod forward;
+
+pub use backward::{undo_scopes, UndoStats, WalkScope};
+pub use forward::{forward_pass, ForwardOutcome, ForwardStats};
+
+use crate::engine::{DbConfig, RhDb, Strategy};
+use crate::scope::Scope;
+use crate::txn_table::TxnStatus;
+use rh_common::{Lsn, ObjectId, Result, TxnId};
+use rh_storage::{BufferPool, Disk};
+use rh_wal::record::RecordBody;
+use rh_wal::{LogManager, StableLog};
+use std::collections::HashSet;
+use std::sync::Arc;
+
+/// What a completed recovery did — consumed by tests and the E3/E4/E6
+/// experiments.
+#[derive(Debug, Clone)]
+pub struct RecoveryReport {
+    /// Forward-pass statistics.
+    pub forward: ForwardStats,
+    /// Backward-pass statistics.
+    pub undo: UndoStats,
+    /// Transactions rolled back by this recovery.
+    pub losers: Vec<TxnId>,
+    /// Transactions whose commit records were seen (winners).
+    pub winners_seen: u64,
+}
+
+/// Runs restart recovery and returns a ready-to-use engine.
+///
+/// Steps (Fig. 3): attach to the stable log, forward pass from the last
+/// checkpoint (analysis + redo), collect loser scopes, backward pass over
+/// loser-scope clusters, then terminate losers with abort/end records and
+/// force the log.
+pub fn recover(
+    strategy: Strategy,
+    config: DbConfig,
+    stable: Arc<StableLog>,
+    disk: Arc<Disk>,
+) -> Result<RhDb> {
+    let log = Arc::new(LogManager::attach(stable));
+    let mut pool = BufferPool::new(Arc::clone(&disk), config.pool_pages);
+
+    // ---- forward pass (analysis + redo) ------------------------------
+    let lazy = strategy == Strategy::LazyRewrite;
+    let fwd = forward_pass(&log, &mut pool, lazy)?;
+    let mut tr = fwd.tr;
+    let losers = tr.losers();
+    let loser_set: HashSet<TxnId> = losers.iter().copied().collect();
+
+    // ---- collect the scopes the backward pass must walk ---------------
+    // For RH: exactly the loser scopes ("It is enough to inspect records
+    // within the loser scopes to find all loser updates", §3.6.2).
+    let mut scopes: Vec<WalkScope> = Vec::new();
+    for &t in &losers {
+        for (ob, scope) in tr.get(t)?.ob_list.all_scopes() {
+            scopes.push(WalkScope { owner: t, ob, scope, loser: true });
+        }
+    }
+    if lazy {
+        // The lazy baseline additionally walks every *delegated* scope —
+        // winners included — because it physically rewrites the log to
+        // reflect the delegations (§3.2). A scope's identity is
+        // (object, invoker, first-LSN); prefer the live table's version
+        // (it may have been extended after a delegation back).
+        let present: HashSet<(ObjectId, TxnId, Lsn)> =
+            scopes.iter().map(|ws| (ws.ob, ws.scope.invoker, ws.scope.first)).collect();
+        for (&(ob, invoker, first), &(last, owner)) in &fwd.lazy_scopes {
+            if present.contains(&(ob, invoker, first)) {
+                continue;
+            }
+            scopes.push(WalkScope {
+                owner,
+                ob,
+                scope: Scope { invoker, first, last },
+                loser: loser_set.contains(&owner),
+            });
+        }
+    }
+
+    // ---- backward pass -------------------------------------------------
+    let mut compensated = fwd.compensated;
+    let undo = undo_scopes(&log, &mut pool, &mut tr, scopes, &mut compensated, lazy)?;
+
+    // ---- terminate losers and stragglers --------------------------------
+    for &t in &losers {
+        if tr.get(t)?.status != TxnStatus::Aborted {
+            let prev = tr.bc(t)?;
+            let lsn = log.append(t, prev, RecordBody::Abort);
+            tr.set_bc(t, lsn)?;
+        }
+        let prev = tr.bc(t)?;
+        log.append(t, prev, RecordBody::End);
+        tr.remove(t);
+    }
+    // Committed transactions whose End record was lost in the crash.
+    for t in tr.with_status(TxnStatus::Committed) {
+        let prev = tr.bc(t)?;
+        log.append(t, prev, RecordBody::End);
+        tr.remove(t);
+    }
+    log.flush_all()?;
+    debug_assert!(tr.is_empty(), "recovery must drain the transaction table");
+
+    let mut db =
+        RhDb::from_parts(strategy, config, log, disk, pool, tr, fwd.next_txn);
+    db.set_recovery_report(RecoveryReport {
+        winners_seen: fwd.stats.commits_seen,
+        forward: fwd.stats,
+        undo,
+        losers,
+    });
+    Ok(db)
+}

@@ -1,0 +1,113 @@
+//! Update scopes (paper §3.4).
+//!
+//! "For each object ob in Ob_List(t1) there is a set of scopes ... A scope
+//! is of the form (t0, l1, l2) ... t0 is the transaction that actually did
+//! the operations (the invoking transaction). The other two are LSN
+//! values: l1 is the first, and l2 the last LSN in the range of log
+//! records that comprise the scope. This indicates that t1 is responsible
+//! for all updates to ob (by t0) between the two LSNs."
+//!
+//! Scopes are the paper's central trick: they let the engine compute
+//! `ResponsibleTr` / `Op_List` "without having to store/update it with
+//! each update" (§3.4 footnote 7) — one `(invoker, first, last)` triple
+//! covers arbitrarily many update records.
+
+use rh_common::codec::{Codec, Reader, Writer};
+use rh_common::{Lsn, Result, TxnId};
+
+/// One contiguous run of update records on a single object, all invoked by
+/// `invoker`, currently owned (responsibility-wise) by whichever
+/// transaction's `Ob_List` holds the scope.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Scope {
+    /// The invoking transaction: the one that physically performed the
+    /// updates (the `t0` of the paper's `(t0, l1, l2)`).
+    pub invoker: TxnId,
+    /// LSN of the first update record in the scope.
+    pub first: Lsn,
+    /// LSN of the last update record in the scope.
+    pub last: Lsn,
+}
+
+impl Scope {
+    /// A fresh single-record scope, as opened by the first update a
+    /// transaction makes to an object (§3.5 `update`, "create new scope").
+    pub fn open(invoker: TxnId, lsn: Lsn) -> Self {
+        Scope { invoker, first: lsn, last: lsn }
+    }
+
+    /// Extends the scope to cover a later update record (§3.5 `update`,
+    /// "extend existing scope").
+    pub fn extend(&mut self, lsn: Lsn) {
+        debug_assert!(lsn > self.last, "scopes only grow forward");
+        self.last = lsn;
+    }
+
+    /// True if an update record at `lsn` lies within this scope's range.
+    /// (Callers must additionally check the record's invoking transaction
+    /// and object; the scope only bounds the LSN interval.)
+    #[inline]
+    pub fn covers(&self, lsn: Lsn) -> bool {
+        self.first <= lsn && lsn <= self.last
+    }
+
+    /// True if the LSN intervals of `self` and `other` intersect —
+    /// the overlap relation that defines clusters (paper Fig. 7).
+    #[inline]
+    pub fn overlaps(&self, other: &Scope) -> bool {
+        self.first <= other.last && other.first <= self.last
+    }
+}
+
+impl Codec for Scope {
+    fn encode(&self, w: &mut Writer) {
+        self.invoker.encode(w);
+        self.first.encode(w);
+        self.last.encode(w);
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<Self> {
+        Ok(Scope { invoker: TxnId::decode(r)?, first: Lsn::decode(r)?, last: Lsn::decode(r)? })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn open_is_single_record() {
+        let s = Scope::open(TxnId(1), Lsn(5));
+        assert_eq!(s.first, Lsn(5));
+        assert_eq!(s.last, Lsn(5));
+        assert!(s.covers(Lsn(5)));
+        assert!(!s.covers(Lsn(4)));
+        assert!(!s.covers(Lsn(6)));
+    }
+
+    #[test]
+    fn extend_grows_the_right_end() {
+        let mut s = Scope::open(TxnId(1), Lsn(5));
+        s.extend(Lsn(9));
+        assert!(s.covers(Lsn(7)));
+        assert_eq!(s, Scope { invoker: TxnId(1), first: Lsn(5), last: Lsn(9) });
+    }
+
+    #[test]
+    fn overlap_relation() {
+        let a = Scope { invoker: TxnId(1), first: Lsn(0), last: Lsn(10) };
+        let b = Scope { invoker: TxnId(2), first: Lsn(10), last: Lsn(20) }; // touch at 10
+        let c = Scope { invoker: TxnId(3), first: Lsn(11), last: Lsn(12) };
+        assert!(a.overlaps(&b));
+        assert!(b.overlaps(&a));
+        assert!(!a.overlaps(&c));
+        assert!(b.overlaps(&c));
+        assert!(a.overlaps(&a));
+    }
+
+    #[test]
+    fn codec_roundtrip() {
+        let s = Scope { invoker: TxnId(9), first: Lsn(1), last: Lsn(1000) };
+        assert_eq!(Scope::from_bytes(&s.to_bytes()).unwrap(), s);
+    }
+}

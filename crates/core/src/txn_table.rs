@@ -1,0 +1,243 @@
+//! The transaction table (`Tr_List`, paper §3.4).
+//!
+//! "The standard Transaction List Tr_List ... contains, for each
+//! Trans-ID, the LSN for the most recent record written on behalf of that
+//! transaction, and, during recovery, whether a transaction is a winner or
+//! a loser. Notice that for each transaction t, Tr_List(t) contains the
+//! head of the backward chain BC(t)."
+
+use crate::oblist::ObList;
+use rh_common::codec::{Codec, Reader, Writer};
+use rh_common::{Lsn, Result, RhError, TxnId};
+use std::collections::BTreeMap;
+
+/// Lifecycle state of a transaction, as known to the engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TxnStatus {
+    /// Initiated/begun and not yet terminated. During recovery, active
+    /// transactions are *losers by default* (§3.6.1).
+    Active,
+    /// A commit record exists — a **winner**.
+    Committed,
+    /// An abort record exists — a loser whose rollback already completed
+    /// (its updates were compensated before the abort record was written).
+    Aborted,
+}
+
+/// One `Tr_List` entry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TxnEntry {
+    /// Head of the backward chain: most recent record of this transaction.
+    pub last_lsn: Lsn,
+    /// LSN of the begin record (bounds backward walks).
+    pub first_lsn: Lsn,
+    /// Current status.
+    pub status: TxnStatus,
+    /// The transaction's object list with its scopes.
+    pub ob_list: ObList,
+}
+
+impl TxnEntry {
+    fn new(begin_lsn: Lsn) -> Self {
+        TxnEntry {
+            last_lsn: begin_lsn,
+            first_lsn: begin_lsn,
+            status: TxnStatus::Active,
+            ob_list: ObList::new(),
+        }
+    }
+}
+
+/// The transaction table. Deterministic iteration order (BTreeMap) keeps
+/// recovery byte-for-byte reproducible.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TrList {
+    entries: BTreeMap<TxnId, TxnEntry>,
+}
+
+impl TrList {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a transaction whose begin record is at `begin_lsn`.
+    pub fn insert(&mut self, txn: TxnId, begin_lsn: Lsn) {
+        debug_assert!(!self.entries.contains_key(&txn), "txn id reuse");
+        self.entries.insert(txn, TxnEntry::new(begin_lsn));
+    }
+
+    /// Looks a transaction up, failing with [`RhError::UnknownTxn`].
+    pub fn get(&self, txn: TxnId) -> Result<&TxnEntry> {
+        self.entries.get(&txn).ok_or(RhError::UnknownTxn(txn))
+    }
+
+    /// Mutable lookup.
+    pub fn get_mut(&mut self, txn: TxnId) -> Result<&mut TxnEntry> {
+        self.entries.get_mut(&txn).ok_or(RhError::UnknownTxn(txn))
+    }
+
+    /// True if present.
+    pub fn contains(&self, txn: TxnId) -> bool {
+        self.entries.contains_key(&txn)
+    }
+
+    /// Requires the transaction to exist *and* be active (most normal-
+    /// processing operations need this).
+    pub fn require_active(&self, txn: TxnId) -> Result<&TxnEntry> {
+        let e = self.get(txn)?;
+        if e.status != TxnStatus::Active {
+            return Err(RhError::TxnNotActive(txn));
+        }
+        Ok(e)
+    }
+
+    /// `BC(t)` — backward-chain head, i.e. the `Tr_List` LSN.
+    pub fn bc(&self, txn: TxnId) -> Result<Lsn> {
+        Ok(self.get(txn)?.last_lsn)
+    }
+
+    /// Advances `BC(t)` after appending a record for `t`.
+    pub fn set_bc(&mut self, txn: TxnId, lsn: Lsn) -> Result<()> {
+        self.get_mut(txn)?.last_lsn = lsn;
+        Ok(())
+    }
+
+    /// Removes a fully-terminated transaction (after its End record).
+    pub fn remove(&mut self, txn: TxnId) -> Option<TxnEntry> {
+        self.entries.remove(&txn)
+    }
+
+    /// Iterates `(txn, entry)` in id order.
+    pub fn iter(&self) -> impl Iterator<Item = (TxnId, &TxnEntry)> {
+        self.entries.iter().map(|(&t, e)| (t, e))
+    }
+
+    /// Ids of transactions in a given status.
+    pub fn with_status(&self, status: TxnStatus) -> Vec<TxnId> {
+        self.entries.iter().filter(|(_, e)| e.status == status).map(|(&t, _)| t).collect()
+    }
+
+    /// The **losers** after a forward pass: every table resident that is
+    /// not committed ("Losers includes transactions that had aborted
+    /// before the crash", §4.1 — though fully-ended ones have left the
+    /// table and have nothing to undo).
+    pub fn losers(&self) -> Vec<TxnId> {
+        self.entries
+            .iter()
+            .filter(|(_, e)| e.status != TxnStatus::Committed)
+            .map(|(&t, _)| t)
+            .collect()
+    }
+
+    /// Number of live entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+impl Codec for TxnStatus {
+    fn encode(&self, w: &mut Writer) {
+        w.put_u8(match self {
+            TxnStatus::Active => 0,
+            TxnStatus::Committed => 1,
+            TxnStatus::Aborted => 2,
+        });
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self> {
+        Ok(match r.take_u8()? {
+            0 => TxnStatus::Active,
+            1 => TxnStatus::Committed,
+            2 => TxnStatus::Aborted,
+            _ => return Err(RhError::Codec("invalid TxnStatus tag")),
+        })
+    }
+}
+
+impl Codec for TxnEntry {
+    fn encode(&self, w: &mut Writer) {
+        self.last_lsn.encode(w);
+        self.first_lsn.encode(w);
+        self.status.encode(w);
+        self.ob_list.encode(w);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self> {
+        Ok(TxnEntry {
+            last_lsn: Lsn::decode(r)?,
+            first_lsn: Lsn::decode(r)?,
+            status: TxnStatus::decode(r)?,
+            ob_list: ObList::decode(r)?,
+        })
+    }
+}
+
+impl Codec for TrList {
+    fn encode(&self, w: &mut Writer) {
+        let pairs: Vec<(TxnId, TxnEntry)> =
+            self.entries.iter().map(|(k, v)| (*k, v.clone())).collect();
+        pairs.encode(w);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self> {
+        let pairs: Vec<(TxnId, TxnEntry)> = Vec::decode(r)?;
+        Ok(TrList { entries: pairs.into_iter().collect() })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_and_lookup() {
+        let mut t = TrList::new();
+        t.insert(TxnId(1), Lsn(0));
+        assert_eq!(t.bc(TxnId(1)).unwrap(), Lsn(0));
+        assert_eq!(t.get(TxnId(1)).unwrap().status, TxnStatus::Active);
+        assert_eq!(t.get(TxnId(2)), Err(RhError::UnknownTxn(TxnId(2))));
+    }
+
+    #[test]
+    fn bc_advances() {
+        let mut t = TrList::new();
+        t.insert(TxnId(1), Lsn(0));
+        t.set_bc(TxnId(1), Lsn(5)).unwrap();
+        assert_eq!(t.bc(TxnId(1)).unwrap(), Lsn(5));
+        assert_eq!(t.get(TxnId(1)).unwrap().first_lsn, Lsn(0));
+    }
+
+    #[test]
+    fn require_active_rejects_terminated() {
+        let mut t = TrList::new();
+        t.insert(TxnId(1), Lsn(0));
+        t.get_mut(TxnId(1)).unwrap().status = TxnStatus::Committed;
+        assert_eq!(t.require_active(TxnId(1)), Err(RhError::TxnNotActive(TxnId(1))));
+    }
+
+    #[test]
+    fn losers_are_the_noncommitted() {
+        let mut t = TrList::new();
+        t.insert(TxnId(1), Lsn(0));
+        t.insert(TxnId(2), Lsn(1));
+        t.insert(TxnId(3), Lsn(2));
+        t.get_mut(TxnId(2)).unwrap().status = TxnStatus::Committed;
+        t.get_mut(TxnId(3)).unwrap().status = TxnStatus::Aborted;
+        assert_eq!(t.losers(), vec![TxnId(1), TxnId(3)]);
+        assert_eq!(t.with_status(TxnStatus::Committed), vec![TxnId(2)]);
+    }
+
+    #[test]
+    fn codec_roundtrip() {
+        let mut t = TrList::new();
+        t.insert(TxnId(1), Lsn(0));
+        t.set_bc(TxnId(1), Lsn(4)).unwrap();
+        t.get_mut(TxnId(1)).unwrap().ob_list.record_update(rh_common::ObjectId(7), TxnId(1), Lsn(4));
+        t.insert(TxnId(2), Lsn(2));
+        t.get_mut(TxnId(2)).unwrap().status = TxnStatus::Committed;
+        assert_eq!(TrList::from_bytes(&t.to_bytes()).unwrap(), t);
+    }
+}

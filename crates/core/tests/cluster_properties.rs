@@ -1,0 +1,91 @@
+//! Property tests for the Fig. 8 cluster walk.
+//!
+//! The precise law: the set of log positions the walk visits equals the
+//! union of the scopes' LSN intervals **merged by overlap** (a cluster is
+//! a maximal set of overlapping scopes, and within a cluster every
+//! position between its extremes is examined; between clusters, none).
+//! Plus the paper's efficiency invariants: strictly decreasing positions,
+//! each visited at most once, cluster count = number of merged intervals.
+
+use proptest::prelude::*;
+use rh_common::{Lsn, ObjectId, TxnId};
+use rh_core::recovery::clusters::{ClusterWalk, WalkScope};
+use rh_core::Scope;
+use std::collections::BTreeSet;
+
+fn scope_strategy() -> impl Strategy<Value = WalkScope> {
+    (0u64..6, 0u64..4, 0u64..120, 0u64..12, any::<bool>()).prop_map(
+        |(invoker, ob, first, len, loser)| WalkScope {
+            owner: TxnId(100 + invoker), // owner distinct from invokers
+            ob: ObjectId(ob),
+            scope: Scope { invoker: TxnId(invoker), first: Lsn(first), last: Lsn(first + len) },
+            loser,
+        },
+    )
+}
+
+/// Reference implementation: merge intervals that overlap (share at
+/// least one position), then enumerate every covered position.
+fn merged_positions(scopes: &[WalkScope]) -> (BTreeSet<u64>, usize) {
+    let mut intervals: Vec<(u64, u64)> =
+        scopes.iter().map(|ws| (ws.scope.first.raw(), ws.scope.last.raw())).collect();
+    intervals.sort();
+    let mut merged: Vec<(u64, u64)> = Vec::new();
+    for (lo, hi) in intervals {
+        match merged.last_mut() {
+            Some((_, mhi)) if lo <= *mhi => *mhi = (*mhi).max(hi),
+            _ => merged.push((lo, hi)),
+        }
+    }
+    let mut positions = BTreeSet::new();
+    for &(lo, hi) in &merged {
+        positions.extend(lo..=hi);
+    }
+    (positions, merged.len())
+}
+
+proptest! {
+    #[test]
+    fn visited_set_is_the_merged_interval_union(scopes in proptest::collection::vec(scope_strategy(), 0..25)) {
+        let (expected, expected_clusters) = merged_positions(&scopes);
+        let mut walk = ClusterWalk::new(scopes);
+        let mut visited = BTreeSet::new();
+        let mut prev: Option<u64> = None;
+        while let Some(k) = walk.next_position() {
+            // Strictly decreasing — hence each position at most once.
+            if let Some(p) = prev {
+                prop_assert!(k.raw() < p, "position {k} not below previous {p}");
+            }
+            prev = Some(k.raw());
+            visited.insert(k.raw());
+            walk.finish_position();
+        }
+        prop_assert_eq!(&visited, &expected);
+        prop_assert_eq!(walk.visited as usize, expected.len());
+        prop_assert_eq!(walk.clusters as usize, expected_clusters);
+    }
+
+    #[test]
+    fn covering_matches_brute_force(
+        scopes in proptest::collection::vec(scope_strategy(), 1..15),
+        queries in proptest::collection::vec((0u64..6, 0u64..4, 0u64..135), 1..40),
+    ) {
+        // Drive the walk and, at each position, compare `covering` for a
+        // set of (txn, ob) probes against a brute-force scan of the
+        // scopes that are "live" at that position (entered and not yet
+        // exited — i.e. simply: interval covers the position).
+        let all = scopes.clone();
+        let mut walk = ClusterWalk::new(scopes);
+        while let Some(k) = walk.next_position() {
+            for &(t, ob, _) in &queries {
+                let got = walk.covering(TxnId(t), ObjectId(ob), k);
+                let want = all.iter().find(|ws| {
+                    ws.scope.invoker == TxnId(t) && ws.ob == ObjectId(ob) && ws.scope.covers(k)
+                });
+                prop_assert_eq!(got.is_some(), want.is_some(),
+                    "covering mismatch at {} for t{} ob{}", k, t, ob);
+            }
+            walk.finish_position();
+        }
+    }
+}

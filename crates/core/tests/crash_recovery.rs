@@ -1,0 +1,417 @@
+//! Crash and restart-recovery behaviour of ARIES/RH (§3.6), including the
+//! efficiency invariants the paper proves in §4.
+
+use rh_common::{Lsn, ObjectId, TxnId};
+use rh_core::engine::{DbConfig, RhDb, Strategy};
+use rh_core::TxnEngine;
+
+const A: ObjectId = ObjectId(0);
+const B: ObjectId = ObjectId(1);
+/// An object on a different page than A/B (64 slots per page).
+const FAR: ObjectId = ObjectId(200);
+
+fn db() -> RhDb {
+    RhDb::new(Strategy::Rh)
+}
+
+#[test]
+fn committed_work_survives_crash() {
+    let mut d = db();
+    let t = d.begin().unwrap();
+    d.write(t, A, 5).unwrap();
+    d.add(t, FAR, 9).unwrap();
+    d.commit(t).unwrap();
+    let mut d = d.crash_and_recover().unwrap();
+    assert_eq!(d.value_of(A).unwrap(), 5);
+    assert_eq!(d.value_of(FAR).unwrap(), 9);
+}
+
+#[test]
+fn uncommitted_work_is_rolled_back() {
+    let mut d = db();
+    let t0 = d.begin().unwrap();
+    d.write(t0, A, 1).unwrap();
+    d.commit(t0).unwrap();
+    let t = d.begin().unwrap();
+    d.write(t, A, 77).unwrap();
+    d.add(t, B, 3).unwrap();
+    // Force the tail so the loser's records are present after the crash
+    // (otherwise they simply vanish with the volatile tail).
+    d.log().flush_all().unwrap();
+    let mut d = d.crash_and_recover().unwrap();
+    assert_eq!(d.value_of(A).unwrap(), 1);
+    assert_eq!(d.value_of(B).unwrap(), 0);
+    let report = d.last_recovery().unwrap().clone();
+    assert_eq!(report.losers.len(), 1);
+    assert_eq!(report.undo.undone, 2);
+}
+
+#[test]
+fn unflushed_commit_is_a_loser() {
+    // A commit whose force never reached stable storage did not happen.
+    // We emulate it by writing updates and crashing before commit; the
+    // flush-on-commit path itself is exercised by every surviving test.
+    let mut d = db();
+    let t = d.begin().unwrap();
+    d.write(t, A, 123).unwrap();
+    let mut d = d.crash_and_recover().unwrap();
+    assert_eq!(d.value_of(A).unwrap(), 0);
+}
+
+#[test]
+fn stolen_pages_are_undone_after_crash() {
+    // Tiny pool forces dirty-page steals, putting uncommitted values on
+    // disk; recovery must undo them there.
+    let mut d = RhDb::with_config(Strategy::Rh, DbConfig { pool_pages: 1 });
+    let t = d.begin().unwrap();
+    d.write(t, A, 55).unwrap(); // page 0
+    d.write(t, FAR, 66).unwrap(); // page 3 -> evicts page 0 (dirty!)
+    let mut d = d.crash_and_recover().unwrap();
+    assert_eq!(d.value_of(A).unwrap(), 0);
+    assert_eq!(d.value_of(FAR).unwrap(), 0);
+}
+
+#[test]
+fn delegated_update_survives_delegator_abort_across_crash() {
+    let mut d = db();
+    let t1 = d.begin().unwrap();
+    let t2 = d.begin().unwrap();
+    d.write(t1, A, 7).unwrap();
+    d.delegate(t1, t2, &[A]).unwrap();
+    d.abort(t1).unwrap();
+    d.commit(t2).unwrap();
+    let mut d = d.crash_and_recover().unwrap();
+    assert_eq!(d.value_of(A).unwrap(), 7);
+}
+
+#[test]
+fn delegated_to_loser_is_undone_at_recovery() {
+    // Winner invoker, loser delegatee: the update must die (undo rule,
+    // §4.1) even though its invoking transaction committed.
+    let mut d = db();
+    let t1 = d.begin().unwrap();
+    let t2 = d.begin().unwrap();
+    d.write(t1, A, 7).unwrap();
+    d.delegate(t1, t2, &[A]).unwrap();
+    d.commit(t1).unwrap();
+    // t2 never commits.
+    let mut d = d.crash_and_recover().unwrap();
+    assert_eq!(d.value_of(A).unwrap(), 0);
+}
+
+#[test]
+fn loser_invoker_winner_delegatee_survives() {
+    // The mirror case (redo rule): loser invoker, winner delegatee.
+    let mut d = db();
+    let t1 = d.begin().unwrap();
+    let t2 = d.begin().unwrap();
+    d.write(t1, A, 7).unwrap();
+    d.delegate(t1, t2, &[A]).unwrap();
+    d.commit(t2).unwrap();
+    // t1 still active at crash: loser. But it owns nothing on A.
+    let mut d = d.crash_and_recover().unwrap();
+    assert_eq!(d.value_of(A).unwrap(), 7);
+}
+
+#[test]
+fn example2_across_crash() {
+    // §3.4 Example 2 with the decisive events separated by a crash.
+    let mut d = db();
+    let t = d.begin().unwrap();
+    let t1 = d.begin().unwrap();
+    let t2 = d.begin().unwrap();
+    d.add(t, A, 10).unwrap();
+    d.delegate(t, t1, &[A]).unwrap();
+    d.add(t, A, 100).unwrap();
+    d.delegate(t, t2, &[A]).unwrap();
+    d.commit(t1).unwrap(); // +10 permanent
+    // t and t2 are losers at the crash: +100 (delegated to t2) undone.
+    let mut d = d.crash_and_recover().unwrap();
+    assert_eq!(d.value_of(A).unwrap(), 10);
+}
+
+#[test]
+fn repeated_crashes_are_idempotent() {
+    // Crash during/after recovery: recovering an already-recovered log
+    // (CLRs and abort records present) must change nothing.
+    let mut d = db();
+    let t1 = d.begin().unwrap();
+    let t2 = d.begin().unwrap();
+    d.write(t1, A, 5).unwrap();
+    d.add(t2, B, 3).unwrap();
+    d.delegate(t1, t2, &[A]).unwrap();
+    d.commit(t1).unwrap();
+    let mut d = d.crash_and_recover().unwrap();
+    assert_eq!(d.value_of(A).unwrap(), 0); // delegated to loser t2
+    assert_eq!(d.value_of(B).unwrap(), 0);
+    for _ in 0..3 {
+        d = d.crash_and_recover().unwrap();
+        assert_eq!(d.value_of(A).unwrap(), 0);
+        assert_eq!(d.value_of(B).unwrap(), 0);
+        // Nothing left to undo on later recoveries.
+        assert_eq!(d.last_recovery().unwrap().undo.undone, 0);
+    }
+}
+
+#[test]
+fn crash_mid_rollback_completes_the_rollback() {
+    // White-box: build a stable log that looks like a crash in the middle
+    // of an abort — two updates, the later one already compensated by a
+    // CLR, no abort record. Recovery must undo only the first update.
+    use rh_common::UpdateOp;
+    use rh_wal::record::RecordBody;
+    use rh_wal::LogManager;
+
+    let log = LogManager::new();
+    let disk = rh_storage::Disk::new();
+    let t1 = TxnId(0);
+    log.append(t1, Lsn::NULL, RecordBody::Begin); // 0
+    log.append(t1, Lsn(0), RecordBody::Update { ob: A, op: UpdateOp::Add { delta: 5 } }); // 1
+    log.append(t1, Lsn(1), RecordBody::Update { ob: A, op: UpdateOp::Add { delta: 100 } }); // 2
+    log.append(
+        t1,
+        Lsn(2),
+        RecordBody::Clr {
+            ob: A,
+            op: UpdateOp::Add { delta: -100 },
+            compensated: Lsn(2),
+            undo_next: Lsn(1),
+        },
+    ); // 3
+    log.flush_all().unwrap();
+    let stable = log.crash();
+
+    let mut d = RhDb::recover(Strategy::Rh, DbConfig::default(), stable, disk).unwrap();
+    // Redo repeats history to +105, CLR redo brings it to +5, and the
+    // backward pass must undo exactly the uncompensated +5.
+    assert_eq!(d.value_of(A).unwrap(), 0);
+    let report = d.last_recovery().unwrap();
+    assert_eq!(report.undo.undone, 1);
+    assert_eq!(report.undo.skipped_compensated, 1);
+}
+
+#[test]
+fn checkpoint_shortens_the_forward_pass() {
+    let mut d = db();
+    for _ in 0..50 {
+        let t = d.begin().unwrap();
+        d.add(t, A, 1).unwrap();
+        d.commit(t).unwrap();
+    }
+    d.checkpoint().unwrap();
+    let t = d.begin().unwrap();
+    d.add(t, A, 100).unwrap(); // loser
+    d.log().flush_all().unwrap();
+    let mut d = d.crash_and_recover().unwrap();
+    assert_eq!(d.value_of(A).unwrap(), 50);
+    let report = d.last_recovery().unwrap();
+    // The scan starts at the checkpoint, not the origin: 50 committed
+    // txns × 4 records each were skipped.
+    assert!(
+        report.forward.records_scanned < 20,
+        "scanned {} records despite checkpoint",
+        report.forward.records_scanned
+    );
+}
+
+#[test]
+fn checkpoint_preserves_pre_checkpoint_delegation() {
+    // The delegation happened before the checkpoint; its scopes must be
+    // restored from the snapshot, not the (unscanned) log prefix.
+    let mut d = db();
+    let t1 = d.begin().unwrap();
+    let t2 = d.begin().unwrap();
+    d.write(t1, A, 7).unwrap();
+    d.delegate(t1, t2, &[A]).unwrap();
+    d.commit(t1).unwrap();
+    d.checkpoint().unwrap();
+    // Crash leaves t2 a loser; the scope (invoked by t1, owned by t2)
+    // lies entirely before the checkpoint.
+    let mut d = d.crash_and_recover().unwrap();
+    assert_eq!(d.value_of(A).unwrap(), 0);
+    assert_eq!(d.last_recovery().unwrap().undo.undone, 1);
+}
+
+#[test]
+fn recovery_backward_pass_skips_between_clusters() {
+    // Two losers with updates at the far ends of a long log of committed
+    // work: the backward pass must visit only the two clusters, not the
+    // committed middle.
+    let mut d = db();
+    let early = d.begin().unwrap();
+    d.add(early, A, 1).unwrap(); // loser scope at the very beginning
+    for i in 0..200 {
+        let t = d.begin().unwrap();
+        d.add(t, ObjectId(2 + i), 1).unwrap();
+        d.commit(t).unwrap();
+    }
+    let late = d.begin().unwrap();
+    d.add(late, B, 1).unwrap(); // loser scope at the very end
+    d.log().flush_all().unwrap();
+    let mut d = d.crash_and_recover().unwrap();
+    assert_eq!(d.value_of(A).unwrap(), 0);
+    assert_eq!(d.value_of(B).unwrap(), 0);
+    let undo = d.last_recovery().unwrap().undo;
+    assert_eq!(undo.undone, 2);
+    assert_eq!(undo.clusters, 2);
+    // Visiting both single-record clusters costs 2 reads, not ~800.
+    assert!(undo.visited <= 4, "visited {} records", undo.visited);
+}
+
+#[test]
+fn rh_recovery_never_rewrites_the_log() {
+    let mut d = db();
+    let t1 = d.begin().unwrap();
+    let t2 = d.begin().unwrap();
+    d.write(t1, A, 5).unwrap();
+    d.delegate(t1, t2, &[A]).unwrap();
+    d.commit(t1).unwrap();
+    let d = d.crash_and_recover().unwrap();
+    assert_eq!(d.last_recovery().unwrap().undo.rewrites, 0);
+    assert_eq!(d.log().metrics().snapshot().in_place_rewrites, 0);
+}
+
+#[test]
+fn lazy_strategy_same_outcome_with_rewrites() {
+    // The lazy baseline must compute the same states while physically
+    // rewriting delegated records.
+    let mut d = RhDb::new(Strategy::LazyRewrite);
+    let t1 = d.begin().unwrap();
+    let t2 = d.begin().unwrap();
+    d.write(t1, A, 5).unwrap();
+    d.delegate(t1, t2, &[A]).unwrap();
+    d.commit(t1).unwrap();
+    let mut d = d.crash_and_recover().unwrap();
+    assert_eq!(d.value_of(A).unwrap(), 0); // t2 is a loser
+    let undo = d.last_recovery().unwrap().undo;
+    assert_eq!(undo.rewrites, 1, "the delegated record must be rewritten");
+    // After the rewrite, the update record physically carries t2.
+    let rewritten = d.log().read(Lsn(2)).unwrap();
+    assert!(rewritten.is_update());
+    assert_eq!(rewritten.txn, t2);
+}
+
+#[test]
+fn lazy_rewrites_winner_history_too() {
+    // Loser invoker -> winner delegatee: RH leaves the record alone; lazy
+    // must rewrite it to the winner so a plain-ARIES reading of the log
+    // stays consistent.
+    let mut d = RhDb::new(Strategy::LazyRewrite);
+    let t1 = d.begin().unwrap();
+    let t2 = d.begin().unwrap();
+    d.write(t1, A, 5).unwrap(); // lsn 2
+    d.delegate(t1, t2, &[A]).unwrap();
+    d.commit(t2).unwrap();
+    let mut d = d.crash_and_recover().unwrap();
+    assert_eq!(d.value_of(A).unwrap(), 5);
+    let undo = d.last_recovery().unwrap().undo;
+    assert_eq!(undo.rewrites, 1);
+    assert_eq!(d.log().read(Lsn(2)).unwrap().txn, t2);
+    // And a subsequent crash on the rewritten log still recovers cleanly.
+    let mut d = d.crash_and_recover().unwrap();
+    assert_eq!(d.value_of(A).unwrap(), 5);
+}
+
+#[test]
+fn transaction_ids_do_not_collide_after_recovery() {
+    let mut d = db();
+    let t1 = d.begin().unwrap();
+    d.write(t1, A, 1).unwrap();
+    d.log().flush_all().unwrap();
+    let mut d = d.crash_and_recover().unwrap();
+    let t2 = d.begin().unwrap();
+    assert!(t2 > t1, "post-recovery id {t2} must exceed pre-crash id {t1}");
+}
+
+#[test]
+fn crash_storm_over_scripted_history() {
+    // Cut the same delegation-heavy script at every possible point; each
+    // prefix must recover to its own oracle state.
+    use rh_core::history::{assert_engine_matches_oracle, Event};
+    let script = vec![
+        Event::Begin(0),
+        Event::Begin(1),
+        Event::Begin(2),
+        Event::Add(0, A, 10),
+        Event::Add(1, A, 200),
+        Event::Delegate(0, 1, vec![A]),
+        Event::Add(0, B, 3),
+        Event::Commit(0),
+        Event::Delegate(1, 2, vec![A]),
+        Event::Abort(1),
+        Event::Write(2, FAR, 9),
+        Event::Commit(2),
+    ];
+    for cut in 0..=script.len() {
+        let mut history: Vec<Event> = script[..cut].to_vec();
+        history.push(Event::Crash);
+        assert_engine_matches_oracle(RhDb::new(Strategy::Rh), &history);
+    }
+}
+
+#[test]
+fn truncated_log_still_recovers_correctly() {
+    // Checkpoint, truncate the dead prefix, keep working, crash: recovery
+    // must never need the discarded records.
+    let mut d = db();
+    for i in 0..30 {
+        let t = d.begin().unwrap();
+        d.add(t, ObjectId(100 + i), 1).unwrap();
+        d.commit(t).unwrap();
+    }
+    // One still-active transaction pins the truncation point at its
+    // begin record.
+    let pinned = d.begin().unwrap();
+    d.add(pinned, A, 5).unwrap();
+    d.checkpoint().unwrap();
+    let dropped = d.truncate_log().unwrap();
+    assert!(dropped > 0, "expected the committed prefix to be discarded");
+    assert!(d.log().first_lsn() <= Lsn(30 * 4)); // not beyond pinned's begin
+    // Continue working after truncation.
+    let t = d.begin().unwrap();
+    d.add(t, B, 7).unwrap();
+    d.commit(t).unwrap();
+    d.log().flush_all().unwrap();
+    let mut d = d.crash_and_recover().unwrap();
+    // Committed prefix intact, pinned transaction rolled back.
+    for i in 0..30 {
+        assert_eq!(d.value_of(ObjectId(100 + i)).unwrap(), 1);
+    }
+    assert_eq!(d.value_of(A).unwrap(), 0);
+    assert_eq!(d.value_of(B).unwrap(), 7);
+}
+
+#[test]
+fn truncation_respects_live_scopes_from_delegation() {
+    // An old delegated scope (received long ago) must pin the log: the
+    // backward pass may need those update records.
+    let mut d = db();
+    let t1 = d.begin().unwrap();
+    let holder = d.begin().unwrap();
+    d.add(t1, A, 9).unwrap(); // LSN 2 — must never be truncated away
+    d.delegate(t1, holder, &[A]).unwrap();
+    d.commit(t1).unwrap();
+    for i in 0..50 {
+        let t = d.begin().unwrap();
+        d.add(t, ObjectId(10 + i), 1).unwrap();
+        d.commit(t).unwrap();
+    }
+    d.checkpoint().unwrap();
+    d.truncate_log().unwrap();
+    // The truncation point is pinned at (or before) holder's scope.
+    assert!(d.log().first_lsn() <= Lsn(2));
+    d.log().flush_all().unwrap();
+    // holder is a loser at the crash; its delegated scope's record (LSN 2)
+    // must still be readable for the undo.
+    let mut d = d.crash_and_recover().unwrap();
+    assert_eq!(d.value_of(A).unwrap(), 0);
+}
+
+#[test]
+fn truncate_without_checkpoint_is_a_noop() {
+    let mut d = db();
+    let t = d.begin().unwrap();
+    d.add(t, A, 1).unwrap();
+    d.commit(t).unwrap();
+    assert_eq!(d.truncate_log().unwrap(), 0);
+}

@@ -1,0 +1,330 @@
+//! Normal-processing semantics of the ARIES/RH engine, pinned to the
+//! paper's definitions and worked examples (§2.1, §3.4, §3.5).
+
+use rh_common::{ObjectId, RhError, TxnId};
+use rh_core::engine::{RhDb, Strategy};
+use rh_core::{Scope, TxnEngine};
+use rh_common::Lsn;
+
+const A: ObjectId = ObjectId(0);
+const B: ObjectId = ObjectId(1);
+
+fn db() -> RhDb {
+    RhDb::new(Strategy::Rh)
+}
+
+#[test]
+fn read_your_own_write() {
+    let mut db = db();
+    let t = db.begin().unwrap();
+    db.write(t, A, 42).unwrap();
+    assert_eq!(db.read(t, A).unwrap(), 42);
+    db.commit(t).unwrap();
+}
+
+#[test]
+fn commit_makes_updates_permanent() {
+    let mut db = db();
+    let t = db.begin().unwrap();
+    db.write(t, A, 1).unwrap();
+    db.add(t, B, 5).unwrap();
+    db.commit(t).unwrap();
+    assert_eq!(db.value_of(A).unwrap(), 1);
+    assert_eq!(db.value_of(B).unwrap(), 5);
+}
+
+#[test]
+fn abort_restores_before_images() {
+    let mut db = db();
+    let t0 = db.begin().unwrap();
+    db.write(t0, A, 10).unwrap();
+    db.commit(t0).unwrap();
+    let t = db.begin().unwrap();
+    db.write(t, A, 99).unwrap();
+    db.add(t, B, 3).unwrap();
+    db.abort(t).unwrap();
+    assert_eq!(db.value_of(A).unwrap(), 10);
+    assert_eq!(db.value_of(B).unwrap(), 0);
+}
+
+#[test]
+fn abort_is_usable_after_many_updates_same_object() {
+    let mut db = db();
+    let t = db.begin().unwrap();
+    for i in 0..20 {
+        db.write(t, A, i).unwrap();
+    }
+    db.abort(t).unwrap();
+    assert_eq!(db.value_of(A).unwrap(), 0);
+}
+
+// ---- delegation preconditions (§2.1.2) ---------------------------------
+
+#[test]
+fn delegate_requires_responsibility() {
+    let mut db = db();
+    let t1 = db.begin().unwrap();
+    let t2 = db.begin().unwrap();
+    assert_eq!(
+        db.delegate(t1, t2, &[A]),
+        Err(RhError::NotResponsible { txn: t1, object: A })
+    );
+}
+
+#[test]
+fn delegate_to_self_rejected() {
+    let mut db = db();
+    let t1 = db.begin().unwrap();
+    db.write(t1, A, 1).unwrap();
+    assert_eq!(db.delegate(t1, t1, &[A]), Err(RhError::SelfDelegation(t1)));
+}
+
+#[test]
+fn delegate_requires_both_active() {
+    let mut db = db();
+    let t1 = db.begin().unwrap();
+    let t2 = db.begin().unwrap();
+    db.write(t1, A, 1).unwrap();
+    db.commit(t2).unwrap();
+    assert!(matches!(db.delegate(t1, t2, &[A]), Err(RhError::UnknownTxn(_))));
+}
+
+#[test]
+fn delegator_loses_responsibility_after_delegating() {
+    // post(delegate) => ResponsibleTr = t2; a second delegation of the
+    // same object by t1 must now be ill-formed.
+    let mut db = db();
+    let t1 = db.begin().unwrap();
+    let t2 = db.begin().unwrap();
+    let t3 = db.begin().unwrap();
+    db.write(t1, A, 1).unwrap();
+    db.delegate(t1, t2, &[A]).unwrap();
+    assert_eq!(
+        db.delegate(t1, t3, &[A]),
+        Err(RhError::NotResponsible { txn: t1, object: A })
+    );
+    // But the new responsible transaction can delegate onward.
+    db.delegate(t2, t3, &[A]).unwrap();
+    db.commit(t3).unwrap();
+    db.abort(t1).unwrap();
+    db.abort(t2).unwrap();
+    assert_eq!(db.value_of(A).unwrap(), 1);
+}
+
+// ---- commit/abort of delegated updates (§2.1.2) -------------------------
+
+#[test]
+fn delegated_update_survives_delegator_abort() {
+    let mut db = db();
+    let t1 = db.begin().unwrap();
+    let t2 = db.begin().unwrap();
+    db.write(t1, A, 7).unwrap();
+    db.delegate(t1, t2, &[A]).unwrap();
+    db.abort(t1).unwrap();
+    db.commit(t2).unwrap();
+    assert_eq!(db.value_of(A).unwrap(), 7);
+}
+
+#[test]
+fn delegated_update_dies_with_delegatee_abort() {
+    let mut db = db();
+    let t1 = db.begin().unwrap();
+    let t2 = db.begin().unwrap();
+    db.write(t1, A, 7).unwrap();
+    db.delegate(t1, t2, &[A]).unwrap();
+    db.commit(t1).unwrap(); // commits nothing on A
+    db.abort(t2).unwrap();
+    assert_eq!(db.value_of(A).unwrap(), 0);
+}
+
+#[test]
+fn example2_mixed_fates() {
+    // §3.4 Example 2: update, delegate to t1, update, delegate to t2;
+    // abort(t2), commit(t1): first update persists, second undone.
+    let mut db = db();
+    let t = db.begin().unwrap();
+    let t1 = db.begin().unwrap();
+    let t2 = db.begin().unwrap();
+    db.add(t, A, 10).unwrap();
+    db.delegate(t, t1, &[A]).unwrap();
+    db.add(t, A, 100).unwrap();
+    db.delegate(t, t2, &[A]).unwrap();
+    db.abort(t2).unwrap();
+    db.commit(t1).unwrap();
+    db.commit(t).unwrap();
+    assert_eq!(db.value_of(A).unwrap(), 10);
+}
+
+#[test]
+fn update_after_delegation_with_increment_locks() {
+    // "a transaction can perform operations on an object even after it
+    // has delegated (an operation on) that object" — possible here with
+    // commuting adds (the X lock moved with the delegation).
+    let mut db = db();
+    let t1 = db.begin().unwrap();
+    let t2 = db.begin().unwrap();
+    db.add(t1, A, 1).unwrap();
+    db.delegate(t1, t2, &[A]).unwrap();
+    db.add(t1, A, 2).unwrap(); // new scope, still t1's responsibility
+    db.abort(t1).unwrap(); // undoes only +2
+    db.commit(t2).unwrap(); // commits +1
+    assert_eq!(db.value_of(A).unwrap(), 1);
+}
+
+#[test]
+fn delegation_moves_the_lock() {
+    let mut db = db();
+    let t1 = db.begin().unwrap();
+    let t2 = db.begin().unwrap();
+    db.write(t1, A, 5).unwrap();
+    db.delegate(t1, t2, &[A]).unwrap();
+    // The delegator's exclusive lock moved to t2; t1 can no longer write.
+    assert_eq!(db.write(t1, A, 6), Err(RhError::LockConflict { txn: t1, object: A }));
+    // ...while t2 can.
+    db.write(t2, A, 6).unwrap();
+    db.commit(t2).unwrap();
+    db.commit(t1).unwrap();
+    assert_eq!(db.value_of(A).unwrap(), 6);
+}
+
+#[test]
+fn delegate_multiple_objects_atomically() {
+    let mut db = db();
+    let t1 = db.begin().unwrap();
+    let t2 = db.begin().unwrap();
+    db.write(t1, A, 1).unwrap();
+    db.write(t1, B, 2).unwrap();
+    db.delegate(t1, t2, &[A, B]).unwrap();
+    db.abort(t1).unwrap();
+    db.commit(t2).unwrap();
+    assert_eq!(db.value_of(A).unwrap(), 1);
+    assert_eq!(db.value_of(B).unwrap(), 2);
+}
+
+#[test]
+fn delegate_all_is_the_join_idiom() {
+    let mut db = db();
+    let t1 = db.begin().unwrap();
+    let t2 = db.begin().unwrap();
+    db.write(t2, A, 1).unwrap();
+    db.add(t2, B, 4).unwrap();
+    // t2 joins t1: delegates *all* objects (§2.2.1).
+    db.delegate_all(t2, t1).unwrap();
+    db.abort(t2).unwrap(); // t2's fate no longer matters
+    db.commit(t1).unwrap();
+    assert_eq!(db.value_of(A).unwrap(), 1);
+    assert_eq!(db.value_of(B).unwrap(), 4);
+}
+
+#[test]
+fn delegation_chain_three_hops() {
+    let mut db = db();
+    let t0 = db.begin().unwrap();
+    let t1 = db.begin().unwrap();
+    let t2 = db.begin().unwrap();
+    let t3 = db.begin().unwrap();
+    db.write(t0, A, 9).unwrap();
+    db.delegate(t0, t1, &[A]).unwrap();
+    db.delegate(t1, t2, &[A]).unwrap();
+    db.delegate(t2, t3, &[A]).unwrap();
+    db.commit(t0).unwrap();
+    db.commit(t1).unwrap();
+    db.commit(t2).unwrap();
+    db.abort(t3).unwrap(); // final delegatee decides: undone
+    assert_eq!(db.value_of(A).unwrap(), 0);
+}
+
+// ---- scope bookkeeping matches Fig. 5 ------------------------------------
+
+#[test]
+fn fig5_scope_contents_in_live_engine() {
+    // Reproduce Example 1 with real transactions and check the engine's
+    // scope tables look like Fig. 5. Adds are used so both transactions
+    // can hold update locks on `a` simultaneously.
+    let mut db = db();
+    let t1 = db.begin().unwrap(); // lsn 0
+    let t2 = db.begin().unwrap(); // lsn 1
+    let (a, x, b, y) = (ObjectId(0), ObjectId(1), ObjectId(2), ObjectId(3));
+    db.add(t1, a, 1).unwrap(); // lsn 2
+    db.add(t2, x, 1).unwrap(); // lsn 3
+    db.add(t2, a, 1).unwrap(); // lsn 4
+    db.add(t1, b, 1).unwrap(); // lsn 5
+    db.add(t1, a, 1).unwrap(); // lsn 6
+    db.add(t2, y, 1).unwrap(); // lsn 7
+    db.delegate(t1, t2, &[a]).unwrap(); // lsn 8
+
+    assert!(db.scopes_of(t1, a).is_empty());
+    let mut t2_scopes = db.scopes_of(t2, a);
+    t2_scopes.sort_by_key(|s| s.first);
+    assert_eq!(
+        t2_scopes,
+        vec![
+            Scope { invoker: t1, first: Lsn(2), last: Lsn(6) },
+            Scope { invoker: t2, first: Lsn(4), last: Lsn(4) },
+        ]
+    );
+    assert_eq!(db.scopes_of(t1, b), vec![Scope { invoker: t1, first: Lsn(5), last: Lsn(5) }]);
+}
+
+#[test]
+fn no_delegation_means_rh_log_matches_plain_shape() {
+    // E1's qualitative half: without delegation the log contains exactly
+    // the records plain ARIES would write (begin/update/commit/end) and
+    // zero in-place rewrites.
+    let mut db = db();
+    for _ in 0..3 {
+        let t = db.begin().unwrap();
+        db.write(t, A, 1).unwrap();
+        db.commit(t).unwrap();
+    }
+    let dump = db.dump_log();
+    assert!(dump.iter().all(|l| !l.contains("delegate")));
+    assert_eq!(db.log().metrics().snapshot().in_place_rewrites, 0);
+}
+
+#[test]
+fn rh_never_rewrites_the_log_even_with_delegation() {
+    // The paper's central claim, asserted mechanically.
+    let mut db = db();
+    let t1 = db.begin().unwrap();
+    let t2 = db.begin().unwrap();
+    db.write(t1, A, 5).unwrap();
+    db.delegate(t1, t2, &[A]).unwrap();
+    db.abort(t1).unwrap();
+    db.commit(t2).unwrap();
+    assert_eq!(db.log().metrics().snapshot().in_place_rewrites, 0);
+}
+
+#[test]
+fn operations_on_terminated_txn_rejected() {
+    let mut db = db();
+    let t = db.begin().unwrap();
+    db.commit(t).unwrap();
+    assert!(db.write(t, A, 1).is_err());
+    assert!(db.read(t, A).is_err());
+    assert!(db.commit(t).is_err());
+    assert!(db.abort(t).is_err());
+}
+
+#[test]
+fn unknown_txn_rejected() {
+    let mut db = db();
+    assert_eq!(db.write(TxnId(99), A, 1), Err(RhError::UnknownTxn(TxnId(99))));
+}
+
+#[test]
+fn concurrent_increments_by_many_txns() {
+    // Several transactions concurrently responsible for scopes on one
+    // object (§2.1.2 / §3.4): five adders, mixed fates.
+    let mut db = db();
+    let txns: Vec<TxnId> = (0..5).map(|_| db.begin().unwrap()).collect();
+    for (i, &t) in txns.iter().enumerate() {
+        db.add(t, A, 10i64.pow(i as u32)).unwrap();
+    }
+    db.commit(txns[0]).unwrap(); // +1
+    db.abort(txns[1]).unwrap(); // -10
+    db.commit(txns[2]).unwrap(); // +100
+    db.abort(txns[3]).unwrap(); // -1000
+    db.commit(txns[4]).unwrap(); // +10000
+    assert_eq!(db.value_of(A).unwrap(), 10101);
+}

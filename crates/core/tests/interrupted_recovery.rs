@@ -1,0 +1,128 @@
+//! Crashes *during* recovery, simulated faithfully: a first recovery
+//! attempt runs the real forward pass and then undoes only part of the
+//! loser scopes (as if the machine died mid-backward-pass, after some
+//! CLRs were forced), writes no abort/end records, and "crashes". The
+//! second, completing recovery must finish the rollback exactly once —
+//! the §4.1 correctness argument's "crashes during recovery" case.
+
+use rh_common::ObjectId;
+use rh_core::engine::{DbConfig, RhDb, Strategy};
+use rh_core::history::{replay_engine, Event, Oracle};
+use rh_core::recovery::{forward_pass, undo_scopes, WalkScope};
+use rh_core::TxnEngine;
+use rh_storage::BufferPool;
+use rh_wal::LogManager;
+use rh_workload::{delegation_mix, WorkloadSpec};
+use std::sync::Arc;
+
+/// Replays `events`, crashes, runs a *partial* recovery that undoes only
+/// `keep_fraction` of the loser scopes (CLRs flushed), crashes again, and
+/// completes recovery. Returns the final engine.
+fn crash_partial_recover_crash_recover(events: &[Event], keep_nth: usize) -> RhDb {
+    let engine = replay_engine(RhDb::new(Strategy::Rh), events).expect("replay");
+    engine.log().flush_all().unwrap();
+    let (stable, disk) = engine.crash();
+
+    // ---- interrupted recovery attempt --------------------------------
+    {
+        let log = LogManager::attach(Arc::clone(&stable));
+        let mut pool = BufferPool::new(Arc::clone(&disk), 64);
+        let fwd = forward_pass(&log, &mut pool, false).expect("forward");
+        let mut tr = fwd.tr;
+        let losers = tr.losers();
+        // Only every keep_nth-th loser scope gets undone before the
+        // "crash" — an arbitrary prefix-ish subset of the backward work.
+        let mut scopes: Vec<WalkScope> = Vec::new();
+        for &t in &losers {
+            for (ob, scope) in tr.get(t).unwrap().ob_list.all_scopes() {
+                scopes.push(WalkScope { owner: t, ob, scope, loser: true });
+            }
+        }
+        let partial: Vec<WalkScope> =
+            scopes.into_iter().enumerate().filter(|(i, _)| i % keep_nth == 0).map(|(_, s)| s).collect();
+        let mut compensated = fwd.compensated;
+        undo_scopes(&log, &mut pool, &mut tr, partial, &mut compensated, false)
+            .expect("partial undo");
+        // The CLRs written so far are forced... and then the machine dies
+        // before any abort/end record is appended.
+        log.flush_all().unwrap();
+        // Some dirty pages may or may not have been stolen; flush half
+        // the state to make the disk image messier.
+        pool.flush_all(&log).unwrap();
+        // drop(log), drop(pool): the second crash.
+    }
+
+    // ---- the completing recovery ---------------------------------------
+    RhDb::recover(Strategy::Rh, DbConfig::default(), stable, disk).expect("final recovery")
+}
+
+fn check(events: &[Event], keep_nth: usize) {
+    let mut expected_events = events.to_vec();
+    expected_events.push(Event::Crash);
+    let oracle = Oracle::run(&expected_events);
+    let mut engine = crash_partial_recover_crash_recover(events, keep_nth);
+    for ob in oracle.touched() {
+        assert_eq!(
+            engine.value_of(ob).unwrap(),
+            oracle.value(ob),
+            "divergence on {ob} (keep_nth={keep_nth})"
+        );
+    }
+    // And a third recovery is a no-op.
+    let engine = engine.crash_and_recover().unwrap();
+    assert_eq!(engine.last_recovery().unwrap().undo.undone, 0);
+}
+
+fn workload(seed: u64) -> Vec<Event> {
+    delegation_mix(&WorkloadSpec {
+        txns: 30,
+        updates_per_txn: 5,
+        objects_per_txn: 2,
+        delegation_rate: 0.6,
+        chain_len: 2,
+        straggler_rate: 0.4, // plenty of losers for the backward pass
+        abort_rate: 0.1,
+        seed,
+        ..WorkloadSpec::default()
+    })
+}
+
+#[test]
+fn interrupted_after_half_the_undo_work() {
+    for seed in 0..4 {
+        check(&workload(seed), 2);
+    }
+}
+
+#[test]
+fn interrupted_after_a_third_of_the_undo_work() {
+    for seed in 0..4 {
+        check(&workload(seed), 3);
+    }
+}
+
+#[test]
+fn interrupted_with_all_clrs_but_no_terminal_records() {
+    // keep_nth = 1: the full backward pass ran, but no abort/end records
+    // were written. The completing recovery must only re-terminate.
+    for seed in 0..4 {
+        check(&workload(seed), 1);
+    }
+}
+
+#[test]
+fn scripted_delegation_chain_interrupted() {
+    let events = vec![
+        Event::Begin(0),
+        Event::Begin(1),
+        Event::Begin(2),
+        Event::Add(0, ObjectId(0), 10),
+        Event::Add(1, ObjectId(1), 20),
+        Event::Delegate(0, 2, vec![ObjectId(0)]),
+        Event::Delegate(1, 2, vec![ObjectId(1)]),
+        Event::Commit(0),
+        Event::Commit(1),
+        // t2 (responsible for both) is the loser at the crash.
+    ];
+    check(&events, 2);
+}

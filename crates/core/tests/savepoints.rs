@@ -1,0 +1,210 @@
+//! Partial rollback (savepoints): the "recovery primitives" extension
+//! the paper's conclusion calls for, built on the same scope machinery.
+
+use rh_common::{ObjectId, RhError};
+use rh_core::engine::{RhDb, Strategy};
+use rh_core::TxnEngine;
+
+const A: ObjectId = ObjectId(0);
+const B: ObjectId = ObjectId(1);
+
+fn db() -> RhDb {
+    RhDb::new(Strategy::Rh)
+}
+
+#[test]
+fn rollback_to_undoes_only_the_tail() {
+    let mut d = db();
+    let t = d.begin().unwrap();
+    d.add(t, A, 1).unwrap();
+    let sp = d.savepoint(t).unwrap();
+    d.add(t, A, 10).unwrap();
+    d.add(t, B, 100).unwrap();
+    d.rollback_to(t, sp).unwrap();
+    assert_eq!(d.value_of(A).unwrap(), 1);
+    assert_eq!(d.value_of(B).unwrap(), 0);
+    // The transaction is still alive and can continue + commit.
+    d.add(t, A, 5).unwrap();
+    d.commit(t).unwrap();
+    assert_eq!(d.value_of(A).unwrap(), 6);
+}
+
+#[test]
+fn rollback_to_beginning_equals_full_undo_but_stays_alive() {
+    let mut d = db();
+    let t = d.begin().unwrap();
+    let sp = d.savepoint(t).unwrap();
+    d.write(t, A, 9).unwrap();
+    d.write(t, B, 8).unwrap();
+    d.rollback_to(t, sp).unwrap();
+    assert_eq!(d.value_of(A).unwrap(), 0);
+    assert_eq!(d.value_of(B).unwrap(), 0);
+    d.commit(t).unwrap(); // commits nothing, legally
+}
+
+#[test]
+fn nested_savepoints_unwind_in_order() {
+    let mut d = db();
+    let t = d.begin().unwrap();
+    d.add(t, A, 1).unwrap();
+    let sp1 = d.savepoint(t).unwrap();
+    d.add(t, A, 10).unwrap();
+    let sp2 = d.savepoint(t).unwrap();
+    d.add(t, A, 100).unwrap();
+    d.rollback_to(t, sp2).unwrap();
+    assert_eq!(d.value_of(A).unwrap(), 11);
+    d.rollback_to(t, sp1).unwrap();
+    assert_eq!(d.value_of(A).unwrap(), 1);
+    d.commit(t).unwrap();
+    assert_eq!(d.value_of(A).unwrap(), 1);
+}
+
+#[test]
+fn rollback_then_commit_is_crash_durable() {
+    let mut d = db();
+    let t = d.begin().unwrap();
+    d.add(t, A, 1).unwrap();
+    let sp = d.savepoint(t).unwrap();
+    d.add(t, A, 10).unwrap();
+    d.rollback_to(t, sp).unwrap();
+    d.commit(t).unwrap();
+    let mut d = d.crash_and_recover().unwrap();
+    // Redo replays +1, +10, and the CLR (-10): net +1.
+    assert_eq!(d.value_of(A).unwrap(), 1);
+}
+
+#[test]
+fn rollback_then_crash_as_loser_rolls_back_the_rest_once() {
+    let mut d = db();
+    let t = d.begin().unwrap();
+    d.add(t, A, 1).unwrap();
+    let sp = d.savepoint(t).unwrap();
+    d.add(t, A, 10).unwrap();
+    d.rollback_to(t, sp).unwrap();
+    d.log().flush_all().unwrap();
+    // t never terminates: a loser. Its pre-savepoint +1 must be undone;
+    // the rolled-back +10 must not be double-undone.
+    let mut d = d.crash_and_recover().unwrap();
+    assert_eq!(d.value_of(A).unwrap(), 0);
+    let report = d.last_recovery().unwrap();
+    assert_eq!(report.undo.undone, 1);
+    assert_eq!(report.undo.skipped_compensated, 1);
+}
+
+#[test]
+fn rollback_covers_updates_delegated_in_after_savepoint() {
+    // Responsibility-based semantics: work delegated to t after the
+    // savepoint is rolled back too (t is responsible for it now).
+    let mut d = db();
+    let t = d.begin().unwrap();
+    let other = d.begin().unwrap();
+    d.add(other, A, 50).unwrap();
+    let sp = d.savepoint(t).unwrap();
+    d.delegate(other, t, &[A]).unwrap();
+    d.add(t, B, 7).unwrap();
+    d.rollback_to(t, sp).unwrap();
+    assert_eq!(d.value_of(B).unwrap(), 0);
+    // The delegated update was invoked (logged) *before* sp, so it stays:
+    // rollback_to is positional, like ARIES savepoints.
+    assert_eq!(d.value_of(A).unwrap(), 50);
+    d.commit(t).unwrap();
+    d.commit(other).unwrap();
+    assert_eq!(d.value_of(A).unwrap(), 50);
+}
+
+#[test]
+fn savepoint_on_terminated_txn_rejected() {
+    let mut d = db();
+    let t = d.begin().unwrap();
+    d.commit(t).unwrap();
+    assert!(matches!(d.savepoint(t), Err(RhError::UnknownTxn(_) | RhError::TxnNotActive(_))));
+}
+
+#[test]
+fn scopes_after_rollback_allow_redelegation() {
+    // The truncated scope can still be delegated; the rolled-back tail
+    // must not travel with it.
+    let mut d = db();
+    let t = d.begin().unwrap();
+    let tee = d.begin().unwrap();
+    d.add(t, A, 1).unwrap();
+    let sp = d.savepoint(t).unwrap();
+    d.add(t, A, 10).unwrap();
+    d.rollback_to(t, sp).unwrap();
+    d.delegate(t, tee, &[A]).unwrap();
+    d.abort(t).unwrap();
+    d.commit(tee).unwrap();
+    assert_eq!(d.value_of(A).unwrap(), 1);
+}
+
+#[test]
+fn full_tail_rollback_empties_scope_and_forbids_delegation() {
+    let mut d = db();
+    let t = d.begin().unwrap();
+    let tee = d.begin().unwrap();
+    let sp = d.savepoint(t).unwrap();
+    d.add(t, A, 10).unwrap();
+    d.rollback_to(t, sp).unwrap();
+    // Nothing left to delegate on A.
+    assert_eq!(
+        d.delegate(t, tee, &[A]),
+        Err(RhError::NotResponsible { txn: t, object: A })
+    );
+    d.commit(t).unwrap();
+    d.commit(tee).unwrap();
+}
+
+#[test]
+fn no_double_undo_when_scope_reextends_past_rollback() {
+    // Regression: after rollback_to, the invoker's scope is clipped; a
+    // further update re-extends it across the rolled-back region. A
+    // later abort must not undo the compensated record a second time.
+    let mut d = db();
+    let t = d.begin().unwrap();
+    d.add(t, A, 1).unwrap();
+    let sp = d.savepoint(t).unwrap();
+    d.add(t, A, 10).unwrap();
+    d.rollback_to(t, sp).unwrap(); // A = 1
+    d.add(t, A, 100).unwrap(); // scope re-extends across the CLR'd +10
+    assert_eq!(d.value_of(A).unwrap(), 101);
+    d.abort(t).unwrap(); // must undo +100 and +1, NOT +10 again
+    assert_eq!(d.value_of(A).unwrap(), 0);
+}
+
+#[test]
+fn trait_savepoints_match_across_engines() {
+    use rh_core::eager::EagerDb;
+    fn scenario<E: TxnEngine>(mut e: E) -> (i64, i64) {
+        let t = e.begin().unwrap();
+        let other = e.begin().unwrap();
+        e.add(t, A, 1).unwrap();
+        let sp = e.savepoint(t).unwrap();
+        e.add(t, A, 10).unwrap();
+        e.add(other, B, 5).unwrap();
+        e.delegate(other, t, &[B]).unwrap(); // delegated in AFTER sp...
+        e.rollback_to(t, sp).unwrap(); // ...and invoked after sp: undone
+        e.commit(t).unwrap();
+        e.commit(other).unwrap();
+        (e.value_of(A).unwrap(), e.value_of(B).unwrap())
+    }
+    assert_eq!(scenario(RhDb::new(Strategy::Rh)), (1, 0));
+    assert_eq!(scenario(EagerDb::new()), (1, 0));
+}
+
+#[test]
+fn delegated_before_savepoint_survives_rollback_on_all_engines() {
+    use rh_core::eager::EagerDb;
+    fn scenario<E: TxnEngine>(mut e: E) -> i64 {
+        let t = e.begin().unwrap();
+        let other = e.begin().unwrap();
+        e.add(other, B, 5).unwrap(); // invoked before the savepoint...
+        let sp = e.savepoint(t).unwrap();
+        e.delegate(other, t, &[B]).unwrap(); // ...delegated in after it
+        e.rollback_to(t, sp).unwrap(); // positional: +5 predates sp
+        e.commit(t).unwrap();
+        e.commit(other).unwrap();
+        e.value_of(B).unwrap()
+    }
+    assert_eq!(scenario(RhDb::new(Strategy::Rh)), 5);
+    assert_eq!(scenario(EagerDb::new()), 5);
+}

@@ -1,0 +1,471 @@
+//! The EOS engine: deferred updates, commits-only global log, redo-only
+//! recovery, and §3.7 delegation.
+
+use crate::global::{CommitBatch, GlobalLog};
+use crate::private::{PrivateEntry, PrivateLog};
+use rh_common::ops::Value;
+use rh_common::{ObjectId, Result, RhError, TxnId};
+use rh_core::TxnEngine;
+use rh_lock::{LockManager, LockMode};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// A NO-UNDO/REDO database with delegation.
+///
+/// Volatile state: the private logs, the committed-value cache, the lock
+/// table, and the sequence counter. Stable state: the [`GlobalLog`] only.
+/// A crash therefore loses every active transaction outright (they are
+/// all losers, with nothing to undo) and recovery is a single forward
+/// sweep reapplying committed batches.
+pub struct EosDb {
+    global: Arc<GlobalLog>,
+    /// Committed values (cache of the sweep; authoritative between
+    /// crashes because commits apply through it).
+    committed: HashMap<ObjectId, Value>,
+    /// Active transactions' private logs.
+    txns: HashMap<TxnId, PrivateLog>,
+    locks: Arc<LockManager>,
+    next_txn: u64,
+    next_seq: u64,
+}
+
+impl EosDb {
+    /// Creates a fresh database.
+    pub fn new() -> Self {
+        EosDb {
+            global: GlobalLog::new(),
+            committed: HashMap::new(),
+            txns: HashMap::new(),
+            locks: Arc::new(LockManager::new()),
+            next_txn: 0,
+            next_seq: 0,
+        }
+    }
+
+    /// The stable global log (metrics; crash handling).
+    pub fn global(&self) -> &Arc<GlobalLog> {
+        &self.global
+    }
+
+    /// Compacts the global log into the stable snapshot (EOS's
+    /// checkpoint/truncation analogue); recovery afterwards replays only
+    /// batches committed since. Returns the number of batches folded in.
+    pub fn compact(&mut self) -> usize {
+        self.global.compact()
+    }
+
+    /// Simulates a crash: only the global log survives.
+    pub fn crash(self) -> Arc<GlobalLog> {
+        for log in self.txns.values() {
+            self.global.metrics().discarded(log.len() as u64);
+        }
+        self.global
+    }
+
+    /// "Recovery is simple, because we only need to redo the winner
+    /// updates" — one forward sweep of the global log.
+    pub fn recover(global: Arc<GlobalLog>) -> Self {
+        // Start from the stable snapshot (if any compaction happened),
+        // then replay the batches committed since.
+        let mut committed: HashMap<rh_common::ObjectId, rh_common::ops::Value> =
+            global.snapshot_state();
+        let mut next_txn = 0u64;
+        let mut next_seq = 0u64;
+        for batch in global.sweep() {
+            next_txn = next_txn.max(batch.txn.raw() + 1);
+            for item in batch.items {
+                let cur = committed.get(&item.ob).copied().unwrap_or(0);
+                committed.insert(item.ob, item.entry.apply(cur));
+                next_seq = next_seq.max(item.seq + 1);
+            }
+        }
+        EosDb {
+            global,
+            committed,
+            txns: HashMap::new(),
+            locks: Arc::new(LockManager::new()),
+            next_txn,
+            next_seq,
+        }
+    }
+
+    fn committed_value(&self, ob: ObjectId) -> Value {
+        self.committed.get(&ob).copied().unwrap_or(0)
+    }
+
+    fn log_of(&mut self, txn: TxnId) -> Result<&mut PrivateLog> {
+        self.txns.get_mut(&txn).ok_or(RhError::UnknownTxn(txn))
+    }
+}
+
+impl Default for EosDb {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl TxnEngine for EosDb {
+    fn begin(&mut self) -> Result<TxnId> {
+        let txn = TxnId(self.next_txn);
+        self.next_txn += 1;
+        self.txns.insert(txn, PrivateLog::new());
+        Ok(txn)
+    }
+
+    fn read(&mut self, txn: TxnId, ob: ObjectId) -> Result<Value> {
+        self.locks.try_acquire(txn, ob, LockMode::Shared)?;
+        let base = self.committed_value(ob);
+        Ok(self.log_of(txn)?.view(ob, base))
+    }
+
+    fn write(&mut self, txn: TxnId, ob: ObjectId, value: Value) -> Result<()> {
+        self.txns.get(&txn).ok_or(RhError::UnknownTxn(txn))?;
+        self.locks.try_acquire(txn, ob, LockMode::Exclusive)?;
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.log_of(txn)?.push_own(seq, ob, PrivateEntry::Image(value));
+        Ok(())
+    }
+
+    fn add(&mut self, txn: TxnId, ob: ObjectId, delta: Value) -> Result<()> {
+        self.txns.get(&txn).ok_or(RhError::UnknownTxn(txn))?;
+        self.locks.try_acquire(txn, ob, LockMode::Increment)?;
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.log_of(txn)?.push_own(seq, ob, PrivateEntry::Delta(delta));
+        Ok(())
+    }
+
+    fn delegate(&mut self, tor: TxnId, tee: TxnId, obs: &[ObjectId]) -> Result<()> {
+        if tor == tee {
+            return Err(RhError::SelfDelegation(tor));
+        }
+        if !self.txns.contains_key(&tee) {
+            return Err(RhError::UnknownTxn(tee));
+        }
+        // Well-formedness: the delegator must hold deferred updates on
+        // each object (its EOS Op_List).
+        {
+            let tor_log = self.txns.get(&tor).ok_or(RhError::UnknownTxn(tor))?;
+            for &ob in obs {
+                if !tor_log.touches(ob) {
+                    return Err(RhError::NotResponsible { txn: tor, object: ob });
+                }
+            }
+        }
+        // "Supporting delegation in EOS entails logging the delegation
+        // both at the delegator and the delegatee": the delegator's side
+        // is the filtering (extract), the delegatee's side the received
+        // items carrying the object images/deltas and their provenance.
+        for &ob in obs {
+            let moved = self.txns.get_mut(&tor).expect("checked").extract(ob);
+            self.txns.get_mut(&tee).expect("checked").receive(tor, moved);
+            self.locks.transfer(tor, tee, ob);
+        }
+        Ok(())
+    }
+
+    fn delegate_all(&mut self, tor: TxnId, tee: TxnId) -> Result<()> {
+        if tor == tee {
+            return Err(RhError::SelfDelegation(tor));
+        }
+        if !self.txns.contains_key(&tee) {
+            return Err(RhError::UnknownTxn(tee));
+        }
+        let obs = self.txns.get(&tor).ok_or(RhError::UnknownTxn(tor))?.objects();
+        if !obs.is_empty() {
+            self.delegate(tor, tee, &obs)?;
+        }
+        // Delegating everything passes *all* access rights, including
+        // locks on objects with no live deferred update (reads; updates
+        // discarded by a partial rollback) — matching the ARIES engines.
+        self.locks.transfer_all(tor, tee);
+        Ok(())
+    }
+
+    fn commit(&mut self, txn: TxnId) -> Result<()> {
+        let log = self.txns.remove(&txn).ok_or(RhError::UnknownTxn(txn))?;
+        // Flush the (already delegation-filtered) private log to the
+        // global log, then apply it to the database. The force is the
+        // commit point.
+        let items = log.items().to_vec();
+        self.global.force_commit(CommitBatch { txn, items: items.clone() });
+        for item in items {
+            let cur = self.committed_value(item.ob);
+            self.committed.insert(item.ob, item.entry.apply(cur));
+        }
+        self.locks.release_all(txn);
+        Ok(())
+    }
+
+    fn abort(&mut self, txn: TxnId) -> Result<()> {
+        // "If it aborts, its private log is discarded" — no undo exists
+        // because nothing was applied.
+        let log = self.txns.remove(&txn).ok_or(RhError::UnknownTxn(txn))?;
+        self.global.metrics().discarded(log.len() as u64);
+        self.locks.release_all(txn);
+        Ok(())
+    }
+
+    fn savepoint(&mut self, txn: TxnId) -> Result<u64> {
+        if !self.txns.contains_key(&txn) {
+            return Err(RhError::UnknownTxn(txn));
+        }
+        Ok(self.next_seq)
+    }
+
+    fn rollback_to(&mut self, txn: TxnId, token: u64) -> Result<()> {
+        // Positional semantics match ARIES/RH: deferred updates whose
+        // *invocation* (seq stamp) is at/after the savepoint are
+        // discarded — items received by delegation keep their original
+        // stamps, so older delegated-in work survives, exactly like
+        // LSN-based partial rollback.
+        let log = self.txns.get_mut(&txn).ok_or(RhError::UnknownTxn(txn))?;
+        let before = log.len() as u64;
+        log.retain_before(token);
+        self.global.metrics().discarded(before - log.len() as u64);
+        Ok(())
+    }
+
+    fn permit(&mut self, granter: TxnId, permittee: TxnId, ob: ObjectId) -> Result<()> {
+        if !self.txns.contains_key(&granter) {
+            return Err(RhError::UnknownTxn(granter));
+        }
+        if !self.txns.contains_key(&permittee) {
+            return Err(RhError::UnknownTxn(permittee));
+        }
+        self.locks.permit(granter, permittee, ob);
+        Ok(())
+    }
+
+    fn crash_and_recover(self) -> Result<Self> {
+        Ok(Self::recover(self.crash()))
+    }
+
+    fn value_of(&mut self, ob: ObjectId) -> Result<Value> {
+        // The "current value" an in-place engine would show: committed
+        // base plus all live deferred updates for `ob`, across every
+        // private log, in invocation order (the seq stamps).
+        let mut pending: Vec<(u64, PrivateEntry)> = self
+            .txns
+            .values()
+            .flat_map(|log| log.items().iter().filter(|i| i.ob == ob).map(|i| (i.seq, i.entry)))
+            .collect();
+        pending.sort_by_key(|&(seq, _)| seq);
+        let mut v = self.committed_value(ob);
+        for (_, entry) in pending {
+            v = entry.apply(v);
+        }
+        Ok(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const A: ObjectId = ObjectId(0);
+    const B: ObjectId = ObjectId(1);
+
+    #[test]
+    fn deferred_writes_invisible_until_commit() {
+        let mut db = EosDb::new();
+        let t = db.begin().unwrap();
+        db.write(t, A, 5).unwrap();
+        // Another transaction (no lock conflict via fresh reader after
+        // release? use committed view directly):
+        assert_eq!(db.committed_value(A), 0);
+        db.commit(t).unwrap();
+        assert_eq!(db.committed_value(A), 5);
+    }
+
+    #[test]
+    fn read_your_own_deferred_write() {
+        let mut db = EosDb::new();
+        let t = db.begin().unwrap();
+        db.write(t, A, 5).unwrap();
+        db.add(t, A, 2).unwrap();
+        assert_eq!(db.read(t, A).unwrap(), 7);
+    }
+
+    #[test]
+    fn abort_discards_private_log() {
+        let mut db = EosDb::new();
+        let t = db.begin().unwrap();
+        db.write(t, A, 5).unwrap();
+        db.abort(t).unwrap();
+        assert_eq!(db.committed_value(A), 0);
+        assert_eq!(db.global().metrics().snapshot().items_discarded, 1);
+    }
+
+    #[test]
+    fn crash_loses_active_keeps_committed() {
+        let mut db = EosDb::new();
+        let t1 = db.begin().unwrap();
+        db.write(t1, A, 5).unwrap();
+        db.commit(t1).unwrap();
+        let t2 = db.begin().unwrap();
+        db.write(t2, B, 9).unwrap();
+        let mut db = db.crash_and_recover().unwrap();
+        assert_eq!(db.value_of(A).unwrap(), 5);
+        assert_eq!(db.value_of(B).unwrap(), 0);
+    }
+
+    #[test]
+    fn delegated_updates_survive_delegator_abort() {
+        let mut db = EosDb::new();
+        let t1 = db.begin().unwrap();
+        let t2 = db.begin().unwrap();
+        db.write(t1, A, 7).unwrap();
+        db.delegate(t1, t2, &[A]).unwrap();
+        db.abort(t1).unwrap();
+        db.commit(t2).unwrap();
+        assert_eq!(db.value_of(A).unwrap(), 7);
+    }
+
+    #[test]
+    fn delegated_updates_not_committed_by_delegator() {
+        // "The delegator filters out updates it has delegated when it
+        // comes time to commit."
+        let mut db = EosDb::new();
+        let t1 = db.begin().unwrap();
+        let t2 = db.begin().unwrap();
+        db.write(t1, A, 7).unwrap();
+        db.delegate(t1, t2, &[A]).unwrap();
+        db.commit(t1).unwrap(); // must not publish A=7
+        assert_eq!(db.committed_value(A), 0);
+        db.abort(t2).unwrap();
+        assert_eq!(db.value_of(A).unwrap(), 0);
+    }
+
+    #[test]
+    fn winner_delegatee_survives_crash() {
+        let mut db = EosDb::new();
+        let t1 = db.begin().unwrap();
+        let t2 = db.begin().unwrap();
+        db.write(t1, A, 7).unwrap();
+        db.delegate(t1, t2, &[A]).unwrap();
+        db.commit(t2).unwrap();
+        // t1 still active at crash — irrelevant to A.
+        let mut db = db.crash_and_recover().unwrap();
+        assert_eq!(db.value_of(A).unwrap(), 7);
+    }
+
+    #[test]
+    fn delegation_requires_responsibility() {
+        let mut db = EosDb::new();
+        let t1 = db.begin().unwrap();
+        let t2 = db.begin().unwrap();
+        assert_eq!(
+            db.delegate(t1, t2, &[A]),
+            Err(RhError::NotResponsible { txn: t1, object: A })
+        );
+    }
+
+    #[test]
+    fn concurrent_adds_merge_across_private_logs() {
+        let mut db = EosDb::new();
+        let t1 = db.begin().unwrap();
+        let t2 = db.begin().unwrap();
+        db.add(t1, A, 5).unwrap();
+        db.add(t2, A, 3).unwrap();
+        db.commit(t2).unwrap();
+        db.commit(t1).unwrap();
+        assert_eq!(db.value_of(A).unwrap(), 8);
+    }
+
+    #[test]
+    fn value_of_reconstructs_in_place_order() {
+        // Two active adders: value_of must show the in-place current
+        // value even though nothing is committed.
+        let mut db = EosDb::new();
+        let t1 = db.begin().unwrap();
+        let t2 = db.begin().unwrap();
+        db.add(t1, A, 5).unwrap();
+        db.add(t2, A, 3).unwrap();
+        assert_eq!(db.value_of(A).unwrap(), 8);
+    }
+
+    #[test]
+    fn recovery_is_pure_redo() {
+        let mut db = EosDb::new();
+        for i in 0..10 {
+            let t = db.begin().unwrap();
+            db.add(t, A, i).unwrap();
+            db.commit(t).unwrap();
+        }
+        let mut db = db.crash_and_recover().unwrap();
+        assert_eq!(db.value_of(A).unwrap(), 45);
+        let m = db.global().metrics().snapshot();
+        assert_eq!(m.items_replayed, 10);
+    }
+}
+// (Additional compaction tests live outside the main test module to keep
+// diffs readable.)
+#[cfg(test)]
+mod compaction_tests {
+    use super::*;
+
+    const A: ObjectId = ObjectId(0);
+    const B: ObjectId = ObjectId(1);
+
+    #[test]
+    fn compaction_preserves_state_and_empties_log() {
+        let mut db = EosDb::new();
+        for i in 0..10 {
+            let t = db.begin().unwrap();
+            db.add(t, A, i).unwrap();
+            db.commit(t).unwrap();
+        }
+        assert_eq!(db.global().len(), 10);
+        assert_eq!(db.compact(), 10);
+        assert_eq!(db.global().len(), 0);
+        assert_eq!(db.value_of(A).unwrap(), 45);
+    }
+
+    #[test]
+    fn recovery_after_compaction_starts_from_snapshot() {
+        let mut db = EosDb::new();
+        let t = db.begin().unwrap();
+        db.write(t, A, 7).unwrap();
+        db.commit(t).unwrap();
+        db.compact();
+        // Post-compaction work lands in the (now short) log.
+        let t = db.begin().unwrap();
+        db.add(t, B, 3).unwrap();
+        db.commit(t).unwrap();
+        let before = db.global().metrics().snapshot().items_replayed;
+        let mut db = db.crash_and_recover().unwrap();
+        let replayed = db.global().metrics().snapshot().items_replayed - before;
+        assert_eq!(replayed, 1, "only the post-compaction batch replays");
+        assert_eq!(db.value_of(A).unwrap(), 7);
+        assert_eq!(db.value_of(B).unwrap(), 3);
+    }
+
+    #[test]
+    fn repeated_compaction_and_crashes() {
+        let mut db = EosDb::new();
+        for round in 0..5 {
+            let t = db.begin().unwrap();
+            db.add(t, A, 1).unwrap();
+            db.commit(t).unwrap();
+            db.compact();
+            db = db.crash_and_recover().unwrap();
+            assert_eq!(db.value_of(A).unwrap(), round + 1);
+        }
+    }
+
+    #[test]
+    fn eos_rollback_discards_only_post_savepoint_items() {
+        let mut db = EosDb::new();
+        let t = db.begin().unwrap();
+        db.add(t, A, 1).unwrap();
+        let sp = db.savepoint(t).unwrap();
+        db.add(t, A, 10).unwrap();
+        db.add(t, B, 100).unwrap();
+        db.rollback_to(t, sp).unwrap();
+        db.commit(t).unwrap();
+        assert_eq!(db.value_of(A).unwrap(), 1);
+        assert_eq!(db.value_of(B).unwrap(), 0);
+    }
+}

@@ -1,0 +1,36 @@
+//! # rh-eos
+//!
+//! A NO-UNDO/REDO engine in the style of **EOS** (Biliris & Panagos),
+//! with delegation implemented as sketched in the paper's §3.7.
+//!
+//! The contrast with ARIES/RH:
+//!
+//! * EOS "avoids applying ... changes until the transaction that made them
+//!   is ready to commit": updates accumulate in a **private log** per
+//!   transaction; the database proper only ever contains committed state,
+//!   so recovery never undoes anything.
+//! * A **global log** records only commits — each commit appends the
+//!   committing transaction's (filtered) private log. Recovery is "a
+//!   single forward sweep of the global log".
+//! * `delegate(t1, t2, ob)`: t1's private entries for `ob` move into t2's
+//!   private log as part of a delegation record. For pure writes this is
+//!   the paper's "image of the current state of the object at the time of
+//!   the delegation"; we additionally carry `Add` deltas, which is sound
+//!   because adds commute (the very situation §3.7 raises as the hard
+//!   case for private logs is only hard for *non-commutative* compatible
+//!   operations, which this engine does not support).
+//! * "The delegator filters out updates it has delegated when it comes
+//!   time to commit" — we filter at delegation time, which is equivalent
+//!   (the moved entries can never reappear in the delegator's log).
+//!
+//! [`engine::EosDb`] implements the same [`rh_core::TxnEngine`] trait as
+//! the ARIES engines, so the oracle-equivalence suite and the workload
+//! driver run against it unchanged.
+
+pub mod engine;
+pub mod global;
+pub mod private;
+
+pub use engine::EosDb;
+pub use global::{EosMetrics, GlobalLog};
+pub use private::{PrivateEntry, PrivateLog};

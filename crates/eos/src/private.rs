@@ -1,0 +1,198 @@
+//! Per-transaction private logs.
+//!
+//! "To avoid having to undo changes in the database, EOS avoids applying
+//! those changes until the transaction that made them is ready to commit.
+//! This is achieved by keeping a global log, in which only transaction
+//! commits are recorded, and per-transaction private logs" (§3.7).
+//!
+//! A private log is purely volatile: it dies with its transaction on
+//! abort, and it dies with the machine on a crash — which is exactly why
+//! EOS needs no undo.
+
+use rh_common::ops::Value;
+use rh_common::{ObjectId, TxnId};
+
+/// One deferred update in a private log.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PrivateEntry {
+    /// Overwrite the object with this after-image. The paper's
+    /// read/write-restricted delegation ships exactly such images.
+    Image(Value),
+    /// Add a delta (commutative, so delegation can move it between
+    /// private logs without reconstructing a global order).
+    Delta(Value),
+}
+
+impl PrivateEntry {
+    /// Applies this entry to a base value.
+    #[inline]
+    pub fn apply(&self, base: Value) -> Value {
+        match *self {
+            PrivateEntry::Image(v) => v,
+            PrivateEntry::Delta(d) => base.wrapping_add(d),
+        }
+    }
+}
+
+/// Provenance of a private-log item: performed locally or received via a
+/// delegation (recorded so delegation chains are auditable, mirroring the
+/// paper's "delegate record" in the delegatee's log).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Provenance {
+    /// Invoked by the owning transaction itself.
+    Own,
+    /// Received through `delegate` from the given transaction.
+    DelegatedFrom(TxnId),
+}
+
+/// One item: an entry plus the object it targets and where it came from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PrivateItem {
+    /// Global execution-order stamp, assigned by the engine when the
+    /// update is invoked and preserved across delegations. Lets the
+    /// engine reconstruct the in-place "current value" of an object from
+    /// deferred updates scattered over several private logs.
+    pub seq: u64,
+    /// Target object.
+    pub ob: ObjectId,
+    /// The deferred update.
+    pub entry: PrivateEntry,
+    /// How it arrived in this log.
+    pub provenance: Provenance,
+}
+
+/// A transaction's private log: deferred updates in execution order.
+#[derive(Debug, Clone, Default)]
+pub struct PrivateLog {
+    items: Vec<PrivateItem>,
+}
+
+impl PrivateLog {
+    /// Creates an empty private log.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records a local update stamped with the global sequence number.
+    pub fn push_own(&mut self, seq: u64, ob: ObjectId, entry: PrivateEntry) {
+        self.items.push(PrivateItem { seq, ob, entry, provenance: Provenance::Own });
+    }
+
+    /// The transaction's view of `ob`: the committed `base` with this
+    /// log's entries for `ob` applied in order.
+    pub fn view(&self, ob: ObjectId, base: Value) -> Value {
+        self.items.iter().filter(|i| i.ob == ob).fold(base, |v, i| i.entry.apply(v))
+    }
+
+    /// True if this log holds at least one entry for `ob` — the EOS
+    /// analogue of `ob ∈ Ob_List(t)`.
+    pub fn touches(&self, ob: ObjectId) -> bool {
+        self.items.iter().any(|i| i.ob == ob)
+    }
+
+    /// Objects this log has entries for (delegation-all needs them).
+    pub fn objects(&self) -> Vec<ObjectId> {
+        let mut obs: Vec<ObjectId> = self.items.iter().map(|i| i.ob).collect();
+        obs.sort();
+        obs.dedup();
+        obs
+    }
+
+    /// Removes and returns all entries for `ob`, in order — the
+    /// delegator's "filter out updates it has delegated".
+    pub fn extract(&mut self, ob: ObjectId) -> Vec<PrivateItem> {
+        let (taken, kept): (Vec<_>, Vec<_>) = self.items.drain(..).partition(|i| i.ob == ob);
+        self.items = kept;
+        taken
+    }
+
+    /// Appends items received through a delegation from `from`, stamping
+    /// their provenance.
+    pub fn receive(&mut self, from: TxnId, items: Vec<PrivateItem>) {
+        for mut item in items {
+            item.provenance = Provenance::DelegatedFrom(from);
+            self.items.push(item);
+        }
+    }
+
+    /// Drops every item whose seq stamp is `>= token` (partial
+    /// rollback): trivial in a NO-UNDO engine — the updates were never
+    /// applied, so discarding the deferred entries *is* the rollback.
+    pub fn retain_before(&mut self, token: u64) {
+        self.items.retain(|i| i.seq < token);
+    }
+
+    /// All items in order (consumed at commit).
+    pub fn items(&self) -> &[PrivateItem] {
+        &self.items
+    }
+
+    /// Number of deferred updates held.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// True if no deferred updates are held.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const A: ObjectId = ObjectId(0);
+    const B: ObjectId = ObjectId(1);
+
+    #[test]
+    fn view_applies_entries_in_order() {
+        let mut log = PrivateLog::new();
+        log.push_own(0, A, PrivateEntry::Image(10));
+        log.push_own(1, A, PrivateEntry::Delta(5));
+        assert_eq!(log.view(A, 999), 15); // image overrides base
+        assert_eq!(log.view(B, 7), 7); // untouched object
+    }
+
+    #[test]
+    fn delta_only_view_depends_on_base() {
+        let mut log = PrivateLog::new();
+        log.push_own(0, A, PrivateEntry::Delta(3));
+        assert_eq!(log.view(A, 10), 13);
+    }
+
+    #[test]
+    fn extract_filters_object() {
+        let mut log = PrivateLog::new();
+        log.push_own(0, A, PrivateEntry::Delta(1));
+        log.push_own(1, B, PrivateEntry::Delta(2));
+        log.push_own(2, A, PrivateEntry::Delta(3));
+        let taken = log.extract(A);
+        assert_eq!(taken.len(), 2);
+        assert!(!log.touches(A));
+        assert!(log.touches(B));
+    }
+
+    #[test]
+    fn receive_stamps_provenance_and_preserves_order() {
+        let mut tor = PrivateLog::new();
+        tor.push_own(0, A, PrivateEntry::Image(5));
+        tor.push_own(1, A, PrivateEntry::Delta(2));
+        let mut tee = PrivateLog::new();
+        tee.receive(TxnId(1), tor.extract(A));
+        assert_eq!(tee.view(A, 0), 7);
+        assert!(tee
+            .items()
+            .iter()
+            .all(|i| i.provenance == Provenance::DelegatedFrom(TxnId(1))));
+    }
+
+    #[test]
+    fn objects_are_sorted_and_deduped() {
+        let mut log = PrivateLog::new();
+        log.push_own(0, B, PrivateEntry::Delta(1));
+        log.push_own(1, A, PrivateEntry::Delta(1));
+        log.push_own(2, B, PrivateEntry::Delta(1));
+        assert_eq!(log.objects(), vec![A, B]);
+    }
+}

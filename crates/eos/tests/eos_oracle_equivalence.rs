@@ -1,0 +1,55 @@
+//! EOS must satisfy the same §2.1 delegation semantics as the ARIES
+//! engines, despite implementing them with NO-UNDO/REDO deferred updates.
+
+use proptest::prelude::*;
+use rh_core::history::synth::{sanitize, RawStep, SynthOpts};
+use rh_core::history::{assert_engine_matches_oracle, replay_engine, Event};
+use rh_core::TxnEngine;
+use rh_eos::EosDb;
+
+fn raw_steps() -> impl Strategy<Value = Vec<RawStep>> {
+    proptest::collection::vec(any::<(u8, u8, u8, i8)>(), 0..120)
+}
+
+fn opts() -> SynthOpts {
+    // EOS has no checkpoints; everything else applies.
+    SynthOpts { allow_checkpoint: false, ..SynthOpts::default() }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    #[test]
+    fn eos_matches_oracle(raw in raw_steps()) {
+        let events = sanitize(&raw, opts());
+        assert_engine_matches_oracle(EosDb::new(), &events);
+    }
+
+    #[test]
+    fn eos_matches_oracle_with_trailing_crash(raw in raw_steps()) {
+        let mut events = sanitize(&raw, opts());
+        events.push(Event::Crash);
+        assert_engine_matches_oracle(EosDb::new(), &events);
+    }
+
+    #[test]
+    fn eos_and_rh_agree(raw in raw_steps()) {
+        use rh_core::engine::{RhDb, Strategy as S};
+        let mut events = sanitize(&raw, opts());
+        events.push(Event::Crash);
+        let mut a = replay_engine(EosDb::new(), &events).unwrap();
+        let mut b = replay_engine(RhDb::new(S::Rh), &events).unwrap();
+        let oracle = rh_core::Oracle::run(&events);
+        for ob in oracle.touched() {
+            prop_assert_eq!(a.value_of(ob).unwrap(), b.value_of(ob).unwrap());
+        }
+    }
+
+    #[test]
+    fn eos_double_crash_idempotent(raw in raw_steps()) {
+        let mut events = sanitize(&raw, opts());
+        events.push(Event::Crash);
+        events.push(Event::Crash);
+        assert_engine_matches_oracle(EosDb::new(), &events);
+    }
+}

@@ -1,0 +1,204 @@
+//! Co-transactions (Chrysanthis & Ramamritham; paper §2.2): two
+//! transactions that cooperate like coroutines — "control is passed from
+//! one transaction to the other transaction at the time of delegation".
+//!
+//! Exactly one side is *in control* at any time. Passing control
+//! delegates everything the active side is responsible for to the peer,
+//! so the peer continues the joint computation with full responsibility
+//! for (and access to) the shared state.
+
+use crate::session::EtmSession;
+use rh_common::ops::Value;
+use rh_common::{ObjectId, Result, RhError, TxnId};
+use rh_core::TxnEngine;
+
+/// A pair of cooperating transactions with a control token.
+///
+/// ```
+/// use rh_etm::{EtmSession, cotxn::CoTxnPair};
+/// use rh_core::engine::{RhDb, Strategy};
+/// use rh_common::ObjectId;
+///
+/// let mut s = EtmSession::new(RhDb::new(Strategy::Rh));
+/// let mut pair = CoTxnPair::begin(&mut s).unwrap();
+/// let a = pair.current();
+/// pair.add(&mut s, a, ObjectId(0), 1).unwrap();
+/// let b = pair.pass_control(&mut s).unwrap(); // delegation hands over
+/// pair.add(&mut s, b, ObjectId(0), 10).unwrap();
+/// pair.commit(&mut s).unwrap();
+/// assert_eq!(s.value_of(ObjectId(0)).unwrap(), 11);
+/// ```
+#[derive(Debug)]
+pub struct CoTxnPair {
+    a: TxnId,
+    b: TxnId,
+    in_control: TxnId,
+    handoffs: usize,
+}
+
+impl CoTxnPair {
+    /// Starts both transactions; `a` holds control first.
+    pub fn begin<E: TxnEngine>(s: &mut EtmSession<E>) -> Result<Self> {
+        let a = s.initiate_empty()?;
+        let b = s.initiate_empty()?;
+        Ok(CoTxnPair { a, b, in_control: a, handoffs: 0 })
+    }
+
+    /// The side currently in control.
+    pub fn current(&self) -> TxnId {
+        self.in_control
+    }
+
+    /// The waiting side.
+    pub fn other(&self) -> TxnId {
+        if self.in_control == self.a {
+            self.b
+        } else {
+            self.a
+        }
+    }
+
+    /// Number of control transfers so far.
+    pub fn handoffs(&self) -> usize {
+        self.handoffs
+    }
+
+    fn check_control(&self, t: TxnId) -> Result<()> {
+        if t != self.in_control {
+            return Err(RhError::Protocol("operation by the co-transaction not in control"));
+        }
+        Ok(())
+    }
+
+    /// Performs a write as the controlling side.
+    pub fn write<E: TxnEngine>(
+        &self,
+        s: &mut EtmSession<E>,
+        t: TxnId,
+        ob: ObjectId,
+        v: Value,
+    ) -> Result<()> {
+        self.check_control(t)?;
+        s.write(t, ob, v)
+    }
+
+    /// Performs an add as the controlling side.
+    pub fn add<E: TxnEngine>(
+        &self,
+        s: &mut EtmSession<E>,
+        t: TxnId,
+        ob: ObjectId,
+        delta: Value,
+    ) -> Result<()> {
+        self.check_control(t)?;
+        s.add(t, ob, delta)
+    }
+
+    /// Reads as the controlling side.
+    pub fn read<E: TxnEngine>(
+        &self,
+        s: &mut EtmSession<E>,
+        t: TxnId,
+        ob: ObjectId,
+    ) -> Result<Value> {
+        self.check_control(t)?;
+        s.read(t, ob)
+    }
+
+    /// Passes control: delegate everything to the peer, flip the token.
+    pub fn pass_control<E: TxnEngine>(&mut self, s: &mut EtmSession<E>) -> Result<TxnId> {
+        let from = self.in_control;
+        let to = self.other();
+        s.delegate_all(from, to)?;
+        self.in_control = to;
+        self.handoffs += 1;
+        Ok(to)
+    }
+
+    /// The controlling side commits the joint work; the other side is
+    /// released (it holds no responsibility after the last handoff).
+    pub fn commit<E: TxnEngine>(self, s: &mut EtmSession<E>) -> Result<()> {
+        let passive = self.other();
+        s.commit(self.in_control)?;
+        s.commit(passive)
+    }
+
+    /// The controlling side aborts the joint work.
+    pub fn abort<E: TxnEngine>(self, s: &mut EtmSession<E>) -> Result<()> {
+        let passive = self.other();
+        s.abort(self.in_control)?;
+        s.commit(passive)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rh_core::engine::{RhDb, Strategy};
+
+    const DOC: ObjectId = ObjectId(0);
+
+    fn session() -> EtmSession<RhDb> {
+        EtmSession::new(RhDb::new(Strategy::Rh))
+    }
+
+    #[test]
+    fn ping_pong_editing_commits_jointly() {
+        let mut s = session();
+        let mut pair = CoTxnPair::begin(&mut s).unwrap();
+        let a = pair.current();
+        pair.add(&mut s, a, DOC, 1).unwrap();
+        let b = pair.pass_control(&mut s).unwrap();
+        pair.add(&mut s, b, DOC, 10).unwrap();
+        pair.pass_control(&mut s).unwrap();
+        pair.add(&mut s, a, DOC, 100).unwrap();
+        assert_eq!(pair.handoffs(), 2);
+        pair.commit(&mut s).unwrap();
+        assert_eq!(s.value_of(DOC).unwrap(), 111);
+    }
+
+    #[test]
+    fn only_the_controlling_side_may_operate() {
+        let mut s = session();
+        let pair = CoTxnPair::begin(&mut s).unwrap();
+        let waiting = pair.other();
+        assert!(pair.add(&mut s, waiting, DOC, 1).is_err());
+    }
+
+    #[test]
+    fn control_passes_responsibility_and_locks() {
+        // After a handoff, the new controller can overwrite state the old
+        // one wrote (the lock moved with the delegation).
+        let mut s = session();
+        let mut pair = CoTxnPair::begin(&mut s).unwrap();
+        let a = pair.current();
+        pair.write(&mut s, a, DOC, 5).unwrap();
+        let b = pair.pass_control(&mut s).unwrap();
+        pair.write(&mut s, b, DOC, 9).unwrap();
+        pair.commit(&mut s).unwrap();
+        assert_eq!(s.value_of(DOC).unwrap(), 9);
+    }
+
+    #[test]
+    fn abort_by_controller_undoes_both_sides_work() {
+        let mut s = session();
+        let mut pair = CoTxnPair::begin(&mut s).unwrap();
+        let a = pair.current();
+        pair.add(&mut s, a, DOC, 1).unwrap();
+        let b = pair.pass_control(&mut s).unwrap();
+        pair.add(&mut s, b, DOC, 10).unwrap();
+        pair.abort(&mut s).unwrap(); // b aborts; it owns a's work too
+        assert_eq!(s.value_of(DOC).unwrap(), 0);
+    }
+
+    #[test]
+    fn crash_kills_the_joint_work_of_an_open_pair() {
+        let mut s = session();
+        let mut pair = CoTxnPair::begin(&mut s).unwrap();
+        let a = pair.current();
+        pair.add(&mut s, a, DOC, 1).unwrap();
+        pair.pass_control(&mut s).unwrap();
+        let mut engine = s.into_engine().crash_and_recover().unwrap();
+        assert_eq!(engine.value_of(DOC).unwrap(), 0);
+    }
+}

@@ -1,0 +1,243 @@
+//! The `form-dependency` primitive: structure-related inter-transaction
+//! dependencies (§1), with cycle checking.
+
+use rh_common::{Result, RhError, TxnId};
+use std::collections::{HashMap, HashSet, VecDeque};
+
+/// Dependency kinds, following ACTA's vocabulary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Dependency {
+    /// `dependent` may commit only after `on` has *terminated* (committed
+    /// or aborted). ACTA's plain commit dependency.
+    Commit,
+    /// `dependent` may commit only if `on` *committed*; if `on` aborts,
+    /// `dependent` must abort. (Strong commit dependency.)
+    StrongCommit,
+    /// If `on` aborts, `dependent` must abort. (Abort dependency.)
+    Abort,
+}
+
+/// Terminal fate of a transaction, tracked for dependency evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Fate {
+    /// Still running.
+    Active,
+    /// Committed.
+    Committed,
+    /// Aborted.
+    Aborted,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct Edge {
+    dependent: TxnId,
+    on: TxnId,
+    kind: Dependency,
+}
+
+/// The dependency graph.
+#[derive(Debug, Default)]
+pub struct DepGraph {
+    edges: Vec<Edge>,
+    fates: HashMap<TxnId, Fate>,
+}
+
+impl DepGraph {
+    /// Creates an empty graph.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a transaction as active.
+    pub fn register(&mut self, txn: TxnId) {
+        self.fates.entry(txn).or_insert(Fate::Active);
+    }
+
+    /// Current fate, defaulting to Active for unknown ids.
+    pub fn fate(&self, txn: TxnId) -> Fate {
+        self.fates.get(&txn).copied().unwrap_or(Fate::Active)
+    }
+
+    /// Reachability along **commit-ordering** edges only (Commit /
+    /// StrongCommit). Abort dependencies do not constrain who commits
+    /// first, so they may be (and in joint-transaction groups are)
+    /// mutual.
+    fn commit_reachable(&self, from: TxnId, to: TxnId) -> bool {
+        if from == to {
+            return true;
+        }
+        let mut seen = HashSet::new();
+        let mut queue = VecDeque::from([from]);
+        while let Some(n) = queue.pop_front() {
+            for e in self
+                .edges
+                .iter()
+                .filter(|e| e.dependent == n && e.kind != Dependency::Abort)
+            {
+                if e.on == to {
+                    return true;
+                }
+                if seen.insert(e.on) {
+                    queue.push_back(e.on);
+                }
+            }
+        }
+        false
+    }
+
+    /// `form_dependency(kind, dependent, on)` — "adding edges to the
+    /// dependency graph, after checking for certain cycles" (§1).
+    /// Rejects a commit-ordering edge that would make `dependent` and
+    /// `on` mutually commit-dependent (neither could ever commit first);
+    /// self-dependencies are always rejected.
+    pub fn form(&mut self, kind: Dependency, dependent: TxnId, on: TxnId) -> Result<()> {
+        if dependent == on
+            || (kind != Dependency::Abort && self.commit_reachable(on, dependent))
+        {
+            return Err(RhError::DependencyCycle { from: dependent, to: on });
+        }
+        self.register(dependent);
+        self.register(on);
+        let edge = Edge { dependent, on, kind };
+        if !self.edges.contains(&edge) {
+            self.edges.push(edge);
+        }
+        Ok(())
+    }
+
+    /// May `txn` commit now? Returns the blocking transaction if not.
+    pub fn commit_blocker(&self, txn: TxnId) -> Option<(TxnId, Dependency)> {
+        for e in self.edges.iter().filter(|e| e.dependent == txn) {
+            match (e.kind, self.fate(e.on)) {
+                (Dependency::Commit, Fate::Active) => return Some((e.on, e.kind)),
+                (Dependency::StrongCommit, Fate::Active | Fate::Aborted) => {
+                    return Some((e.on, e.kind))
+                }
+                _ => {}
+            }
+        }
+        None
+    }
+
+    /// Records a commit.
+    pub fn committed(&mut self, txn: TxnId) {
+        self.fates.insert(txn, Fate::Committed);
+    }
+
+    /// Records an abort and returns the transactions that must now abort
+    /// too (Abort / StrongCommit dependents that are still active). The
+    /// caller aborts them, which will re-enter here for further cascades.
+    pub fn aborted(&mut self, txn: TxnId) -> Vec<TxnId> {
+        self.fates.insert(txn, Fate::Aborted);
+        let mut cascade: Vec<TxnId> = self
+            .edges
+            .iter()
+            .filter(|e| {
+                e.on == txn
+                    && matches!(e.kind, Dependency::Abort | Dependency::StrongCommit)
+                    && self.fate(e.dependent) == Fate::Active
+            })
+            .map(|e| e.dependent)
+            .collect();
+        cascade.sort();
+        cascade.dedup();
+        cascade
+    }
+
+    /// Number of edges (diagnostics).
+    pub fn len(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// True if no edges were ever formed.
+    pub fn is_empty(&self) -> bool {
+        self.edges.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn commit_dependency_blocks_until_termination() {
+        let mut g = DepGraph::new();
+        g.form(Dependency::Commit, TxnId(1), TxnId(2)).unwrap();
+        assert_eq!(g.commit_blocker(TxnId(1)), Some((TxnId(2), Dependency::Commit)));
+        g.aborted(TxnId(2));
+        assert_eq!(g.commit_blocker(TxnId(1)), None); // plain commit-dep: abort unblocks
+    }
+
+    #[test]
+    fn strong_commit_requires_commit() {
+        let mut g = DepGraph::new();
+        g.form(Dependency::StrongCommit, TxnId(1), TxnId(2)).unwrap();
+        g.aborted(TxnId(2));
+        assert!(g.commit_blocker(TxnId(1)).is_some()); // still blocked forever
+        let mut g = DepGraph::new();
+        g.form(Dependency::StrongCommit, TxnId(1), TxnId(2)).unwrap();
+        g.committed(TxnId(2));
+        assert_eq!(g.commit_blocker(TxnId(1)), None);
+    }
+
+    #[test]
+    fn abort_cascades() {
+        let mut g = DepGraph::new();
+        g.form(Dependency::Abort, TxnId(1), TxnId(2)).unwrap();
+        g.form(Dependency::Abort, TxnId(3), TxnId(1)).unwrap();
+        let first = g.aborted(TxnId(2));
+        assert_eq!(first, vec![TxnId(1)]);
+        let second = g.aborted(TxnId(1));
+        assert_eq!(second, vec![TxnId(3)]);
+    }
+
+    #[test]
+    fn cycle_rejected() {
+        let mut g = DepGraph::new();
+        g.form(Dependency::Commit, TxnId(1), TxnId(2)).unwrap();
+        g.form(Dependency::Commit, TxnId(2), TxnId(3)).unwrap();
+        assert_eq!(
+            g.form(Dependency::Commit, TxnId(3), TxnId(1)),
+            Err(RhError::DependencyCycle { from: TxnId(3), to: TxnId(1) })
+        );
+        assert_eq!(
+            g.form(Dependency::Abort, TxnId(1), TxnId(1)),
+            Err(RhError::DependencyCycle { from: TxnId(1), to: TxnId(1) })
+        );
+    }
+
+    #[test]
+    fn mutual_abort_dependencies_allowed() {
+        // Abort dependencies don't order commits; joint-transaction
+        // groups rely on them being mutual.
+        let mut g = DepGraph::new();
+        g.form(Dependency::Abort, TxnId(1), TxnId(2)).unwrap();
+        g.form(Dependency::Abort, TxnId(2), TxnId(1)).unwrap();
+        let cascade = g.aborted(TxnId(1));
+        assert_eq!(cascade, vec![TxnId(2)]);
+    }
+
+    #[test]
+    fn commit_cycle_through_abort_edges_not_counted() {
+        let mut g = DepGraph::new();
+        g.form(Dependency::Abort, TxnId(1), TxnId(2)).unwrap();
+        // 2 -> 1 via Commit is fine: the only 1 -> 2 edge is an abort edge.
+        g.form(Dependency::Commit, TxnId(2), TxnId(1)).unwrap();
+    }
+
+    #[test]
+    fn duplicate_edges_collapse() {
+        let mut g = DepGraph::new();
+        g.form(Dependency::Commit, TxnId(1), TxnId(2)).unwrap();
+        g.form(Dependency::Commit, TxnId(1), TxnId(2)).unwrap();
+        assert_eq!(g.len(), 1);
+    }
+
+    #[test]
+    fn committed_dependents_do_not_cascade() {
+        let mut g = DepGraph::new();
+        g.form(Dependency::Abort, TxnId(1), TxnId(2)).unwrap();
+        g.committed(TxnId(1));
+        assert!(g.aborted(TxnId(2)).is_empty());
+    }
+}

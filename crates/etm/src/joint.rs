@@ -1,0 +1,164 @@
+//! Joint transactions (one of the models §1 lists as synthesizable with
+//! `delegate`): a group of cooperating transactions whose effects must
+//! commit **atomically together** or not at all, even though each member
+//! works independently.
+//!
+//! Synthesis: members are mutually abort-dependent (one failure dooms the
+//! group); at group commit every member delegates its entire
+//! responsibility to a fresh coordinator transaction, whose single commit
+//! publishes the joint work atomically.
+
+use crate::deps::Dependency;
+use crate::session::EtmSession;
+use rh_common::{Result, RhError, TxnId};
+use rh_core::TxnEngine;
+
+/// A group of transactions committing as one unit.
+///
+/// ```
+/// use rh_etm::{EtmSession, joint::JointGroup};
+/// use rh_core::engine::{RhDb, Strategy};
+/// use rh_common::ObjectId;
+///
+/// let mut s = EtmSession::new(RhDb::new(Strategy::Rh));
+/// let g = JointGroup::begin(&mut s, 2).unwrap();
+/// s.write(g.members()[0], ObjectId(0), 1).unwrap();
+/// s.write(g.members()[1], ObjectId(1), 2).unwrap();
+/// g.commit(&mut s).unwrap(); // both or neither
+/// assert_eq!(s.value_of(ObjectId(0)).unwrap(), 1);
+/// assert_eq!(s.value_of(ObjectId(1)).unwrap(), 2);
+/// ```
+#[derive(Debug)]
+pub struct JointGroup {
+    members: Vec<TxnId>,
+}
+
+impl JointGroup {
+    /// Starts a group with `n` members (n >= 1). Members are pairwise
+    /// abort-dependent: aborting any one takes the whole group down.
+    pub fn begin<E: TxnEngine>(s: &mut EtmSession<E>, n: usize) -> Result<Self> {
+        if n == 0 {
+            return Err(RhError::Protocol("a joint group needs at least one member"));
+        }
+        let members: Vec<TxnId> =
+            (0..n).map(|_| s.initiate_empty()).collect::<Result<_>>()?;
+        for i in 1..members.len() {
+            // A chain of abort dependencies in both directions suffices
+            // for full cascade (abort propagates transitively).
+            s.form_dependency(Dependency::Abort, members[i], members[i - 1])?;
+            s.form_dependency(Dependency::Abort, members[i - 1], members[i])?;
+        }
+        Ok(JointGroup { members })
+    }
+
+    /// The member transaction ids.
+    pub fn members(&self) -> &[TxnId] {
+        &self.members
+    }
+
+    /// Commits the group atomically: every member delegates everything to
+    /// a fresh coordinator; the coordinator's commit is the single commit
+    /// point for all joint work; members then retire empty.
+    pub fn commit<E: TxnEngine>(self, s: &mut EtmSession<E>) -> Result<()> {
+        let coordinator = s.initiate_empty()?;
+        for &m in &self.members {
+            s.delegate_all(m, coordinator)?;
+        }
+        // The single atomic commit point.
+        s.commit(coordinator)?;
+        for &m in &self.members {
+            // Members own nothing now; their commits are empty. They are
+            // mutually abort-dependent, but nobody aborted.
+            s.commit(m)?;
+        }
+        Ok(())
+    }
+
+    /// Aborts the group: aborting one member cascades to the rest through
+    /// the abort dependencies.
+    pub fn abort<E: TxnEngine>(self, s: &mut EtmSession<E>) -> Result<()> {
+        s.abort(self.members[0])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rh_common::ObjectId;
+    use rh_core::engine::{RhDb, Strategy};
+
+    const A: ObjectId = ObjectId(0);
+    const B: ObjectId = ObjectId(1);
+    const C: ObjectId = ObjectId(2);
+
+    fn session() -> EtmSession<RhDb> {
+        EtmSession::new(RhDb::new(Strategy::Rh))
+    }
+
+    #[test]
+    fn group_commits_atomically() {
+        let mut s = session();
+        let g = JointGroup::begin(&mut s, 3).unwrap();
+        let [m0, m1, m2] = [g.members()[0], g.members()[1], g.members()[2]];
+        s.write(m0, A, 1).unwrap();
+        s.write(m1, B, 2).unwrap();
+        s.write(m2, C, 3).unwrap();
+        g.commit(&mut s).unwrap();
+        assert_eq!(s.value_of(A).unwrap(), 1);
+        assert_eq!(s.value_of(B).unwrap(), 2);
+        assert_eq!(s.value_of(C).unwrap(), 3);
+    }
+
+    #[test]
+    fn abort_of_one_member_dooms_all() {
+        let mut s = session();
+        let g = JointGroup::begin(&mut s, 3).unwrap();
+        let members = g.members().to_vec();
+        for (i, &m) in members.iter().enumerate() {
+            s.add(m, ObjectId(i as u64), 5).unwrap();
+        }
+        // Member 1 hits a failure; the whole group must evaporate.
+        s.abort(members[1]).unwrap();
+        for i in 0..3 {
+            assert_eq!(s.value_of(ObjectId(i)).unwrap(), 0);
+        }
+    }
+
+    #[test]
+    fn crash_before_group_commit_loses_everything() {
+        let mut s = session();
+        let g = JointGroup::begin(&mut s, 2).unwrap();
+        s.write(g.members()[0], A, 1).unwrap();
+        s.write(g.members()[1], B, 2).unwrap();
+        let mut engine = s.into_engine().crash_and_recover().unwrap();
+        assert_eq!(engine.value_of(A).unwrap(), 0);
+        assert_eq!(engine.value_of(B).unwrap(), 0);
+    }
+
+    #[test]
+    fn crash_after_group_commit_keeps_everything() {
+        let mut s = session();
+        let g = JointGroup::begin(&mut s, 2).unwrap();
+        s.write(g.members()[0], A, 1).unwrap();
+        s.write(g.members()[1], B, 2).unwrap();
+        g.commit(&mut s).unwrap();
+        let mut engine = s.into_engine().crash_and_recover().unwrap();
+        assert_eq!(engine.value_of(A).unwrap(), 1);
+        assert_eq!(engine.value_of(B).unwrap(), 2);
+    }
+
+    #[test]
+    fn empty_group_rejected() {
+        let mut s = session();
+        assert!(JointGroup::begin(&mut s, 0).is_err());
+    }
+
+    #[test]
+    fn single_member_group_degenerates_to_flat_txn() {
+        let mut s = session();
+        let g = JointGroup::begin(&mut s, 1).unwrap();
+        s.write(g.members()[0], A, 7).unwrap();
+        g.commit(&mut s).unwrap();
+        assert_eq!(s.value_of(A).unwrap(), 7);
+    }
+}

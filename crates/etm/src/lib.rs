@@ -1,0 +1,36 @@
+//! # rh-etm
+//!
+//! Extended Transaction Models synthesized from the ASSET primitives
+//! (paper §2.2; Biliris et al., SIGMOD '94).
+//!
+//! ASSET's thesis — which the paper's efficient `delegate` makes
+//! practicable — is that a *small set of language primitives* (`initiate`,
+//! `begin`, `commit`, `abort`, plus `delegate`, `permit`,
+//! `form-dependency`) suffices to build arbitrarily exotic transaction
+//! models without custom engine surgery. This crate provides:
+//!
+//! * [`session::EtmSession`] — the primitives, layered over **any**
+//!   [`rh_core::TxnEngine`] (ARIES/RH, the baselines, or EOS), with a
+//!   sequential task runtime for the `initiate(f)`/`wait(t)` idiom the
+//!   paper's code fragments use;
+//! * [`deps`] — the `form-dependency` graph ("adding edges to the
+//!   dependency graph, after checking for certain cycles", §1) with
+//!   commit- and abort-dependencies and enforcement at commit/abort time;
+//! * the synthesized models, each a thin, readable layer over the
+//!   primitives — exactly the paper's pitch:
+//!   [`split`] (split/join transactions, §2.2.1),
+//!   [`joint`] (joint transactions, §1's list),
+//!   [`nested`] (Moss-style nested transactions, §2.2.2),
+//!   [`reporting`] (reporting transactions, §2.2),
+//!   [`cotxn`] (co-transactions, §2.2).
+
+pub mod cotxn;
+pub mod joint;
+pub mod deps;
+pub mod nested;
+pub mod reporting;
+pub mod session;
+pub mod split;
+
+pub use deps::{DepGraph, Dependency};
+pub use session::EtmSession;

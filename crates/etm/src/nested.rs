@@ -1,0 +1,278 @@
+//! Nested transactions (Moss; paper §2.2.2), synthesized from the
+//! primitives:
+//!
+//! * child commit = `delegate(child, parent)` of everything + commit —
+//!   "Inheritance in Nested Transactions is an instance of delegation.
+//!   Delegation from a child transaction tc to its parent tp occurs when
+//!   tc commits" (§2.2);
+//! * child abort = plain abort — "failure atomic with respect to their
+//!   parent": the parent survives;
+//! * parent abort drags down incomplete children (abort-dependency);
+//! * effects become permanent only at the root's commit;
+//! * `permit` lets a child read its ancestors' uncommitted objects —
+//!   "A subtransaction can potentially access any object that is
+//!   currently accessed by one of its ancestor transactions without
+//!   creating a conflict."
+
+use crate::deps::Dependency;
+use crate::session::EtmSession;
+use rh_common::{ObjectId, Result, RhError, TxnId};
+use rh_core::TxnEngine;
+use std::collections::HashMap;
+
+/// A tree of nested transactions over one session.
+///
+/// ```
+/// use rh_etm::{EtmSession, nested::NestedTree};
+/// use rh_core::engine::{RhDb, Strategy};
+/// use rh_common::ObjectId;
+///
+/// let mut s = EtmSession::new(RhDb::new(Strategy::Rh));
+/// let (mut tree, root) = NestedTree::begin_root(&mut s).unwrap();
+/// let child = tree.spawn(&mut s, root).unwrap();
+/// s.add(child, ObjectId(0), 5).unwrap();
+/// tree.commit_child(&mut s, child).unwrap(); // delegates to the root
+/// tree.commit_root(&mut s, root).unwrap();   // only now durable
+/// assert_eq!(s.value_of(ObjectId(0)).unwrap(), 5);
+/// ```
+#[derive(Debug, Default)]
+pub struct NestedTree {
+    parent_of: HashMap<TxnId, TxnId>,
+}
+
+impl NestedTree {
+    /// Starts a nested-transaction tree; returns (tree, root).
+    pub fn begin_root<E: TxnEngine>(s: &mut EtmSession<E>) -> Result<(Self, TxnId)> {
+        let root = s.initiate_empty()?;
+        Ok((NestedTree::default(), root))
+    }
+
+    /// Spawns a subtransaction of `parent`. The child is
+    /// abort-dependent on the parent: if the parent aborts, the child's
+    /// work cannot survive (it would have been delegated upward anyway).
+    pub fn spawn<E: TxnEngine>(
+        &mut self,
+        s: &mut EtmSession<E>,
+        parent: TxnId,
+    ) -> Result<TxnId> {
+        let child = s.initiate_empty()?;
+        s.form_dependency(Dependency::Abort, child, parent)?;
+        self.parent_of.insert(child, parent);
+        Ok(child)
+    }
+
+    /// Grants `child` access to `ob` despite an ancestor's lock (the
+    /// nested-transaction visibility rule, via `permit`).
+    pub fn inherit_access<E: TxnEngine>(
+        &self,
+        s: &mut EtmSession<E>,
+        child: TxnId,
+        ob: ObjectId,
+    ) -> Result<()> {
+        let parent =
+            *self.parent_of.get(&child).ok_or(RhError::Protocol("not a subtransaction"))?;
+        s.permit(parent, child, ob)
+    }
+
+    /// Commits a subtransaction: "When a subtransaction commits, the
+    /// objects modified by it are made accessible to its parent
+    /// transaction" — delegate everything upward, then commit (an empty
+    /// set, so nothing becomes durable yet).
+    pub fn commit_child<E: TxnEngine>(&mut self, s: &mut EtmSession<E>, child: TxnId) -> Result<()> {
+        let parent =
+            *self.parent_of.get(&child).ok_or(RhError::Protocol("not a subtransaction"))?;
+        s.delegate_all(child, parent)?;
+        s.commit(child)?;
+        self.parent_of.remove(&child);
+        Ok(())
+    }
+
+    /// Aborts a subtransaction. Its own (and inherited) work is undone;
+    /// the parent continues — failure atomicity w.r.t. the parent.
+    pub fn abort_child<E: TxnEngine>(&mut self, s: &mut EtmSession<E>, child: TxnId) -> Result<()> {
+        if !self.parent_of.contains_key(&child) {
+            return Err(RhError::Protocol("not a subtransaction"));
+        }
+        s.abort(child)?;
+        self.parent_of.remove(&child);
+        Ok(())
+    }
+
+    /// Commits the root: "The effects on objects are only made permanent
+    /// on the commit of the topmost root transaction." Refuses while
+    /// children are still running.
+    pub fn commit_root<E: TxnEngine>(&mut self, s: &mut EtmSession<E>, root: TxnId) -> Result<()> {
+        if self.parent_of.values().any(|&p| p == root) {
+            return Err(RhError::Protocol("root has unfinished subtransactions"));
+        }
+        s.commit(root)
+    }
+
+    /// Aborts the root; incomplete subtransactions cascade down with it.
+    pub fn abort_root<E: TxnEngine>(&mut self, s: &mut EtmSession<E>, root: TxnId) -> Result<()> {
+        s.abort(root)?;
+        self.parent_of.retain(|_, &mut p| p != root);
+        Ok(())
+    }
+}
+
+/// The paper's §2.2.2 worked example, reusable by tests, the example
+/// binary, and the E8 benchmark: a trip books a flight and a hotel in two
+/// subtransactions; if either fails the whole trip is void.
+///
+/// Returns `Ok(true)` if the trip committed.
+pub fn run_trip<E: TxnEngine>(
+    s: &mut EtmSession<E>,
+    flight_seats: ObjectId,
+    hotel_rooms: ObjectId,
+    flight_ok: bool,
+    hotel_ok: bool,
+) -> Result<bool> {
+    let (mut tree, trip) = NestedTree::begin_root(s)?;
+
+    // trans { airline_res(); }
+    let t1 = tree.spawn(s, trip)?;
+    if flight_ok {
+        s.add(t1, flight_seats, -1)?;
+        tree.commit_child(s, t1)?; // delegate(t1, self()); commit(t1);
+    } else {
+        tree.abort_child(s, t1)?; // if (!wait(t1)) abort(self());
+        tree.abort_root(s, trip)?;
+        return Ok(false);
+    }
+
+    // trans { hotel_res(); }
+    let t2 = tree.spawn(s, trip)?;
+    if hotel_ok {
+        s.add(t2, hotel_rooms, -1)?;
+        tree.commit_child(s, t2)?;
+    } else {
+        tree.abort_child(s, t2)?;
+        // "the effects of the airline reservation should not be made
+        // permanent" — aborting the root undoes the delegated flight
+        // reservation too.
+        tree.abort_root(s, trip)?;
+        return Ok(false);
+    }
+
+    tree.commit_root(s, trip)?;
+    Ok(true)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rh_core::engine::{RhDb, Strategy};
+
+    const SEATS: ObjectId = ObjectId(0);
+    const ROOMS: ObjectId = ObjectId(1);
+
+    fn session_with_inventory() -> EtmSession<RhDb> {
+        let mut s = EtmSession::new(RhDb::new(Strategy::Rh));
+        let setup = s.initiate_empty().unwrap();
+        s.write(setup, SEATS, 100).unwrap();
+        s.write(setup, ROOMS, 50).unwrap();
+        s.commit(setup).unwrap();
+        s
+    }
+
+    #[test]
+    fn trip_succeeds_when_both_reservations_succeed() {
+        let mut s = session_with_inventory();
+        assert!(run_trip(&mut s, SEATS, ROOMS, true, true).unwrap());
+        assert_eq!(s.value_of(SEATS).unwrap(), 99);
+        assert_eq!(s.value_of(ROOMS).unwrap(), 49);
+    }
+
+    #[test]
+    fn hotel_failure_undoes_the_flight() {
+        // The §2.2.2 scenario: flight booked, hotel fails, flight's
+        // (already child-committed!) reservation must not persist.
+        let mut s = session_with_inventory();
+        assert!(!run_trip(&mut s, SEATS, ROOMS, true, false).unwrap());
+        assert_eq!(s.value_of(SEATS).unwrap(), 100);
+        assert_eq!(s.value_of(ROOMS).unwrap(), 50);
+    }
+
+    #[test]
+    fn flight_failure_cancels_immediately() {
+        let mut s = session_with_inventory();
+        assert!(!run_trip(&mut s, SEATS, ROOMS, false, true).unwrap());
+        assert_eq!(s.value_of(SEATS).unwrap(), 100);
+        assert_eq!(s.value_of(ROOMS).unwrap(), 50);
+    }
+
+    #[test]
+    fn child_abort_is_failure_atomic() {
+        // A child aborts; the parent's own work continues and commits.
+        let mut s = session_with_inventory();
+        let (mut tree, root) = NestedTree::begin_root(&mut s).unwrap();
+        s.add(root, SEATS, -10).unwrap();
+        let child = tree.spawn(&mut s, root).unwrap();
+        s.add(child, ROOMS, -5).unwrap();
+        tree.abort_child(&mut s, child).unwrap();
+        tree.commit_root(&mut s, root).unwrap();
+        assert_eq!(s.value_of(SEATS).unwrap(), 90);
+        assert_eq!(s.value_of(ROOMS).unwrap(), 50);
+    }
+
+    #[test]
+    fn effects_permanent_only_at_root_commit() {
+        // Child committed, root still open: a crash must erase the
+        // child's work because it lives delegated in the (active) root.
+        use rh_core::TxnEngine as _;
+        let mut s = session_with_inventory();
+        let (mut tree, root) = NestedTree::begin_root(&mut s).unwrap();
+        let child = tree.spawn(&mut s, root).unwrap();
+        s.add(child, SEATS, -1).unwrap();
+        tree.commit_child(&mut s, child).unwrap();
+        let mut engine = s.into_engine().crash_and_recover().unwrap();
+        assert_eq!(engine.value_of(SEATS).unwrap(), 100);
+        let _ = root;
+    }
+
+    #[test]
+    fn two_level_nesting() {
+        let mut s = session_with_inventory();
+        let (mut tree, root) = NestedTree::begin_root(&mut s).unwrap();
+        let child = tree.spawn(&mut s, root).unwrap();
+        let grandchild = tree.spawn(&mut s, child).unwrap();
+        s.add(grandchild, SEATS, -2).unwrap();
+        tree.commit_child(&mut s, grandchild).unwrap(); // -> child
+        tree.commit_child(&mut s, child).unwrap(); // -> root
+        tree.commit_root(&mut s, root).unwrap();
+        assert_eq!(s.value_of(SEATS).unwrap(), 98);
+    }
+
+    #[test]
+    fn root_commit_refused_with_open_children() {
+        let mut s = session_with_inventory();
+        let (mut tree, root) = NestedTree::begin_root(&mut s).unwrap();
+        let _child = tree.spawn(&mut s, root).unwrap();
+        assert!(tree.commit_root(&mut s, root).is_err());
+    }
+
+    #[test]
+    fn child_reads_parents_uncommitted_data_via_permit() {
+        let mut s = session_with_inventory();
+        let (mut tree, root) = NestedTree::begin_root(&mut s).unwrap();
+        s.write(root, SEATS, 7).unwrap(); // root holds X lock
+        let child = tree.spawn(&mut s, root).unwrap();
+        assert!(s.read(child, SEATS).is_err()); // conflict without permit
+        tree.inherit_access(&mut s, child, SEATS).unwrap();
+        assert_eq!(s.read(child, SEATS).unwrap(), 7);
+        tree.commit_child(&mut s, child).unwrap();
+        tree.commit_root(&mut s, root).unwrap();
+    }
+
+    #[test]
+    fn parent_abort_drags_down_open_children() {
+        let mut s = session_with_inventory();
+        let (mut tree, root) = NestedTree::begin_root(&mut s).unwrap();
+        let child = tree.spawn(&mut s, root).unwrap();
+        s.add(child, ROOMS, -5).unwrap();
+        tree.abort_root(&mut s, root).unwrap(); // cascade hits the child
+        assert_eq!(s.value_of(ROOMS).unwrap(), 50);
+        assert!(!s.wait(child));
+    }
+}

@@ -1,0 +1,158 @@
+//! Reporting transactions (Chrysanthis & Ramamritham; paper §2.2):
+//! a long-running worker "periodically reports to other transactions by
+//! delegating its current results".
+//!
+//! Each report delegates the worker's current responsibility to a fresh
+//! short-lived *report* transaction that commits immediately — making the
+//! partial results durable and visible while the worker keeps running.
+//! If the worker later aborts, everything already reported survives;
+//! only the work since the last report is lost.
+
+use crate::session::EtmSession;
+use rh_common::{ObjectId, Result, TxnId};
+use rh_core::TxnEngine;
+
+/// A long-running worker that publishes partial results by delegation.
+///
+/// ```
+/// use rh_etm::{EtmSession, reporting::ReportingTxn};
+/// use rh_core::engine::{RhDb, Strategy};
+/// use rh_common::ObjectId;
+///
+/// let mut s = EtmSession::new(RhDb::new(Strategy::Rh));
+/// let mut job = ReportingTxn::begin(&mut s).unwrap();
+/// s.add(job.id(), ObjectId(0), 10).unwrap();
+/// job.report_all(&mut s).unwrap(); // +10 published durably
+/// s.add(job.id(), ObjectId(0), 5).unwrap();
+/// job.cancel(&mut s).unwrap(); // only the unreported +5 is lost
+/// assert_eq!(s.value_of(ObjectId(0)).unwrap(), 10);
+/// ```
+#[derive(Debug)]
+pub struct ReportingTxn {
+    worker: TxnId,
+    reports_published: usize,
+}
+
+impl ReportingTxn {
+    /// Starts the worker.
+    pub fn begin<E: TxnEngine>(s: &mut EtmSession<E>) -> Result<Self> {
+        Ok(ReportingTxn { worker: s.initiate_empty()?, reports_published: 0 })
+    }
+
+    /// The worker's transaction id (for issuing operations).
+    pub fn id(&self) -> TxnId {
+        self.worker
+    }
+
+    /// Number of reports published so far.
+    pub fn reports_published(&self) -> usize {
+        self.reports_published
+    }
+
+    /// Publishes the worker's *current* results: delegate everything it
+    /// is responsible for to a one-shot report transaction and commit it.
+    pub fn report_all<E: TxnEngine>(&mut self, s: &mut EtmSession<E>) -> Result<TxnId> {
+        let report = s.initiate_empty()?;
+        s.delegate_all(self.worker, report)?;
+        s.commit(report)?;
+        self.reports_published += 1;
+        Ok(report)
+    }
+
+    /// Publishes only the named objects (a selective report — "a
+    /// delegator \[may\] selectively make tentative and partial results ...
+    /// accessible to other transactions", §1).
+    pub fn report<E: TxnEngine>(
+        &mut self,
+        s: &mut EtmSession<E>,
+        obs: &[ObjectId],
+    ) -> Result<TxnId> {
+        let report = s.initiate_empty()?;
+        s.delegate(self.worker, report, obs)?;
+        s.commit(report)?;
+        self.reports_published += 1;
+        Ok(report)
+    }
+
+    /// Finishes the worker, committing whatever was not yet reported.
+    pub fn finish<E: TxnEngine>(self, s: &mut EtmSession<E>) -> Result<()> {
+        s.commit(self.worker)
+    }
+
+    /// Abandons the worker; published reports survive, unreported work
+    /// is rolled back.
+    pub fn cancel<E: TxnEngine>(self, s: &mut EtmSession<E>) -> Result<()> {
+        s.abort(self.worker)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rh_core::engine::{RhDb, Strategy};
+
+    const PROGRESS: ObjectId = ObjectId(0);
+    const SCRATCH: ObjectId = ObjectId(1);
+
+    fn session() -> EtmSession<RhDb> {
+        EtmSession::new(RhDb::new(Strategy::Rh))
+    }
+
+    #[test]
+    fn reported_results_survive_worker_abort() {
+        let mut s = session();
+        let mut w = ReportingTxn::begin(&mut s).unwrap();
+        s.add(w.id(), PROGRESS, 10).unwrap();
+        w.report_all(&mut s).unwrap(); // publishes +10
+        s.add(w.id(), PROGRESS, 5).unwrap(); // unreported
+        w.cancel(&mut s).unwrap();
+        assert_eq!(s.value_of(PROGRESS).unwrap(), 10);
+    }
+
+    #[test]
+    fn selective_report_keeps_scratch_private() {
+        let mut s = session();
+        let mut w = ReportingTxn::begin(&mut s).unwrap();
+        s.add(w.id(), PROGRESS, 10).unwrap();
+        s.add(w.id(), SCRATCH, 999).unwrap();
+        w.report(&mut s, &[PROGRESS]).unwrap();
+        w.cancel(&mut s).unwrap(); // scratch dies with the worker
+        assert_eq!(s.value_of(PROGRESS).unwrap(), 10);
+        assert_eq!(s.value_of(SCRATCH).unwrap(), 0);
+    }
+
+    #[test]
+    fn reports_are_durable_across_crash() {
+        let mut s = session();
+        let mut w = ReportingTxn::begin(&mut s).unwrap();
+        s.add(w.id(), PROGRESS, 10).unwrap();
+        w.report_all(&mut s).unwrap();
+        s.add(w.id(), PROGRESS, 5).unwrap(); // in flight at the crash
+        let mut engine = s.into_engine().crash_and_recover().unwrap();
+        assert_eq!(engine.value_of(PROGRESS).unwrap(), 10);
+    }
+
+    #[test]
+    fn periodic_reports_accumulate() {
+        let mut s = session();
+        let mut w = ReportingTxn::begin(&mut s).unwrap();
+        for _ in 0..5 {
+            s.add(w.id(), PROGRESS, 1).unwrap();
+            w.report_all(&mut s).unwrap();
+        }
+        assert_eq!(w.reports_published(), 5);
+        w.finish(&mut s).unwrap();
+        assert_eq!(s.value_of(PROGRESS).unwrap(), 5);
+    }
+
+    #[test]
+    fn finish_commits_unreported_tail() {
+        let mut s = session();
+        let mut w = ReportingTxn::begin(&mut s).unwrap();
+        s.add(w.id(), PROGRESS, 1).unwrap();
+        w.report_all(&mut s).unwrap();
+        s.add(w.id(), PROGRESS, 2).unwrap();
+        w.finish(&mut s).unwrap();
+        assert_eq!(s.value_of(PROGRESS).unwrap(), 3);
+    }
+}

@@ -1,0 +1,142 @@
+//! Split/Join transactions (Pu, Kaiser & Hutchinson; paper §2.2.1).
+//!
+//! "A transaction t1 can *split* into two transactions, t1 and t2.
+//! Operations invoked by t1 on objects in a set ob_set are delegated to
+//! t2. t1 and t2 can now commit or abort independently. Conversely, two
+//! transactions can *join* to form one."
+//!
+//! The entire model is two delegation idioms — which is the paper's
+//! point: no engine surgery, just `delegate`.
+
+use crate::session::EtmSession;
+use rh_common::{ObjectId, Result, TxnId};
+use rh_core::TxnEngine;
+
+/// `t2 = split(t1, ob_set)`: spin off a new transaction and delegate
+/// `t1`'s operations on `ob_set` to it. Mirrors the paper's fragment
+///
+/// ```text
+/// t2 = initiate(f);
+/// delegate(self(), t2, ob_set);
+/// begin(t2);
+/// ```
+///
+/// except the new transaction is driven directly (no body) — callers can
+/// keep operating it through the session.
+///
+/// ```
+/// use rh_etm::{EtmSession, split::{split, join}};
+/// use rh_core::engine::{RhDb, Strategy};
+/// use rh_common::ObjectId;
+///
+/// let mut s = EtmSession::new(RhDb::new(Strategy::Rh));
+/// let t1 = s.initiate_empty().unwrap();
+/// s.write(t1, ObjectId(0), 7).unwrap();
+/// let t2 = split(&mut s, t1, &[ObjectId(0)]).unwrap();
+/// s.commit(t2).unwrap(); // the split-off work commits on its own
+/// s.abort(t1).unwrap();  // ...and survives the original's abort
+/// assert_eq!(s.value_of(ObjectId(0)).unwrap(), 7);
+/// ```
+pub fn split<E: TxnEngine>(
+    s: &mut EtmSession<E>,
+    t1: TxnId,
+    ob_set: &[ObjectId],
+) -> Result<TxnId> {
+    let t2 = s.initiate_empty()?;
+    s.delegate(t1, t2, ob_set)?;
+    Ok(t2)
+}
+
+/// `join(t2, t1)`: `t2` folds back into `t1` by delegating *all* objects
+/// ("`delegate(t2, t1); // t2 delegates *all* objects`") and then
+/// terminating; its fate no longer matters, so it commits an empty set.
+pub fn join<E: TxnEngine>(s: &mut EtmSession<E>, t2: TxnId, t1: TxnId) -> Result<()> {
+    s.delegate_all(t2, t1)?;
+    s.commit(t2)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rh_core::engine::{RhDb, Strategy};
+
+    const A: ObjectId = ObjectId(0);
+    const B: ObjectId = ObjectId(1);
+    const C: ObjectId = ObjectId(2);
+
+    fn session() -> EtmSession<RhDb> {
+        EtmSession::new(RhDb::new(Strategy::Rh))
+    }
+
+    #[test]
+    fn split_partitions_fates() {
+        // t1 updates A and B, splits B off to t2; t1 commits, t2 aborts:
+        // A survives, B does not — independent fates, the model's point.
+        let mut s = session();
+        let t1 = s.initiate_empty().unwrap();
+        s.write(t1, A, 1).unwrap();
+        s.write(t1, B, 2).unwrap();
+        let t2 = split(&mut s, t1, &[B]).unwrap();
+        s.commit(t1).unwrap();
+        s.abort(t2).unwrap();
+        assert_eq!(s.value_of(A).unwrap(), 1);
+        assert_eq!(s.value_of(B).unwrap(), 0);
+    }
+
+    #[test]
+    fn split_txn_commits_delegated_work_without_touching_objects() {
+        // "a split transaction can affect objects in the database by
+        // committing and aborting the delegated operations even without
+        // invoking any operation on the objects."
+        let mut s = session();
+        let t1 = s.initiate_empty().unwrap();
+        s.write(t1, A, 9).unwrap();
+        let t2 = split(&mut s, t1, &[A]).unwrap();
+        s.abort(t1).unwrap();
+        s.commit(t2).unwrap(); // t2 never invoked anything itself
+        assert_eq!(s.value_of(A).unwrap(), 9);
+    }
+
+    #[test]
+    fn split_txn_can_continue_working() {
+        let mut s = session();
+        let t1 = s.initiate_empty().unwrap();
+        s.write(t1, B, 2).unwrap();
+        let t2 = split(&mut s, t1, &[B]).unwrap();
+        s.write(t2, C, 3).unwrap(); // new work of its own
+        s.commit(t2).unwrap();
+        s.abort(t1).unwrap();
+        assert_eq!(s.value_of(B).unwrap(), 2);
+        assert_eq!(s.value_of(C).unwrap(), 3);
+    }
+
+    #[test]
+    fn join_folds_back() {
+        let mut s = session();
+        let t1 = s.initiate_empty().unwrap();
+        s.write(t1, A, 1).unwrap();
+        let t2 = split(&mut s, t1, &[A]).unwrap();
+        s.write(t2, B, 2).unwrap();
+        // t2 joins t1: everything (A's delegated ops and t2's own on B)
+        // becomes t1's responsibility again.
+        join(&mut s, t2, t1).unwrap();
+        s.abort(t1).unwrap();
+        assert_eq!(s.value_of(A).unwrap(), 0);
+        assert_eq!(s.value_of(B).unwrap(), 0);
+    }
+
+    #[test]
+    fn split_survives_crash_fates() {
+        use rh_core::TxnEngine as _;
+        let mut s = session();
+        let t1 = s.initiate_empty().unwrap();
+        s.write(t1, A, 1).unwrap();
+        s.write(t1, B, 2).unwrap();
+        let t2 = split(&mut s, t1, &[B]).unwrap();
+        s.commit(t2).unwrap(); // B's update is durable with t2
+        // t1 is still running at the crash: A's update must die, B's live.
+        let mut engine = s.into_engine().crash_and_recover().unwrap();
+        assert_eq!(engine.value_of(A).unwrap(), 0);
+        assert_eq!(engine.value_of(B).unwrap(), 2);
+    }
+}

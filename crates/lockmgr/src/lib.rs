@@ -1,0 +1,38 @@
+//! # rh-lock
+//!
+//! An object-granularity lock manager for the ARIES/RH reproduction.
+//!
+//! Three facts from the paper shape this design:
+//!
+//! 1. "Note that it is possible for several transactions to update an
+//!    object concurrently (say, when the updates commute)" (§2.1.2) — so
+//!    besides classic Shared/Exclusive we provide an **Increment** mode
+//!    compatible with itself, letting several transactions hold update
+//!    locks on one counter at once. This is what makes the multi-scope
+//!    `Ob_List` situation of Fig. 5 reachable.
+//! 2. ASSET's **`permit`** primitive "is done by suitably adding the
+//!    permittee transaction to the object's access descriptor" (§1) — so
+//!    each lock head carries a permit set that selectively disables
+//!    conflicts between a granter and a permittee.
+//! 3. "In some implementations Ob_List may have pointers to locks on the
+//!    objects" (§3.4 footnote) — delegation transfers responsibility, and
+//!    with it the delegator's lock on the object moves to the delegatee
+//!    ([`LockManager::transfer`]); otherwise the delegatee could commit an
+//!    update whose lock a dead delegator still held.
+//!
+//! Deadlocks are detected, not prevented: a failed acquisition can be
+//! registered as a wait, and [`LockManager::acquire`] refuses waits that
+//! would close a cycle in the wait-for graph, returning
+//! [`RhError::Deadlock`] so the caller aborts the victim (itself).
+
+pub mod manager;
+pub mod modes;
+pub mod table;
+pub mod waits;
+
+pub use manager::LockManager;
+pub use modes::LockMode;
+
+// Re-exported so engine crates can match on lock errors without importing
+// rh-common directly.
+pub use rh_common::RhError;

@@ -1,0 +1,338 @@
+//! The lock manager facade: blocking and non-blocking acquisition,
+//! release, ASSET permits, and delegation-driven lock transfer.
+
+use crate::modes::LockMode;
+use crate::table::LockTable;
+use crate::waits::WaitForGraph;
+use parking_lot::{Condvar, Mutex};
+use rh_common::{ObjectId, Result, RhError, TxnId};
+
+#[derive(Debug, Default)]
+struct State {
+    table: LockTable,
+    waits: WaitForGraph,
+}
+
+/// A synchronized lock manager shared by all transactions of one engine.
+///
+/// Single-threaded engines use [`LockManager::try_acquire`] and treat
+/// [`RhError::LockConflict`] as "abort or retry"; the multi-threaded ETM
+/// driver uses the blocking [`LockManager::acquire`], which parks on a
+/// condvar and detects deadlocks via the wait-for graph.
+#[derive(Debug, Default)]
+pub struct LockManager {
+    state: Mutex<State>,
+    cv: Condvar,
+}
+
+impl LockManager {
+    /// Creates an empty lock manager.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Acquires (or upgrades to) `mode` on `ob` for `txn`, failing
+    /// immediately with [`RhError::LockConflict`] if it cannot be granted.
+    pub fn try_acquire(&self, txn: TxnId, ob: ObjectId, mode: LockMode) -> Result<()> {
+        let mut st = self.state.lock();
+        Self::grant_or_conflict(&mut st, txn, ob, mode)
+    }
+
+    fn grant_or_conflict(st: &mut State, txn: TxnId, ob: ObjectId, mode: LockMode) -> Result<()> {
+        let head = st.table.head_mut(ob);
+        if let Some(&held) = head.holders.get(&txn) {
+            if held.covers(mode) {
+                return Ok(());
+            }
+        }
+        if head.conflicts(txn, mode) {
+            return Err(RhError::LockConflict { txn, object: ob });
+        }
+        let entry = head.holders.entry(txn).or_insert(mode);
+        *entry = entry.join(mode);
+        Ok(())
+    }
+
+    /// Blocking acquire: waits until the lock is grantable, or returns
+    /// [`RhError::Deadlock`] if waiting would close a wait-for cycle (the
+    /// requester is the victim and should abort).
+    pub fn acquire(&self, txn: TxnId, ob: ObjectId, mode: LockMode) -> Result<()> {
+        let mut st = self.state.lock();
+        loop {
+            match Self::grant_or_conflict(&mut st, txn, ob, mode) {
+                Ok(()) => {
+                    st.waits.clear_waiter(txn);
+                    return Ok(());
+                }
+                Err(RhError::LockConflict { .. }) => {
+                    let blockers = st.table.head_mut(ob).blockers(txn, mode);
+                    if st.waits.would_cycle(txn, &blockers) {
+                        st.waits.clear_waiter(txn);
+                        return Err(RhError::Deadlock { txn, object: ob });
+                    }
+                    st.waits.add_waits(txn, &blockers);
+                    self.cv.wait(&mut st);
+                    st.waits.clear_waiter(txn);
+                }
+                Err(other) => return Err(other),
+            }
+        }
+    }
+
+    /// Grants `permittee` the right to access `ob` despite `granter`'s
+    /// locks (ASSET `permit`, §1: "adding the permittee transaction to the
+    /// object's access descriptor"). No dependency is formed.
+    pub fn permit(&self, granter: TxnId, permittee: TxnId, ob: ObjectId) {
+        let mut st = self.state.lock();
+        let head = st.table.head_mut(ob);
+        head.permit_tainted = true;
+        if !head.permits.contains(&(granter, permittee)) {
+            head.permits.push((granter, permittee));
+        }
+        drop(st);
+        self.cv.notify_all();
+    }
+
+    /// Transfers `from`'s lock on `ob` to `to`, joining modes if `to`
+    /// already holds one. Called by the engines when applying
+    /// `delegate(from, to, ob)` so the delegatee owns the access rights to
+    /// the updates it is now responsible for. No-op if `from` holds none.
+    pub fn transfer(&self, from: TxnId, to: TxnId, ob: ObjectId) {
+        let mut st = self.state.lock();
+        let head = st.table.head_mut(ob);
+        if let Some(mode) = head.holders.remove(&from) {
+            let entry = head.holders.entry(to).or_insert(mode);
+            *entry = entry.join(mode);
+            // Permits granted by the delegator travel with the access
+            // rights, so permittees keep working against the new owner.
+            for p in head.permits.iter_mut() {
+                if p.0 == from {
+                    p.0 = to;
+                }
+            }
+        }
+        drop(st);
+        self.cv.notify_all();
+    }
+
+    /// Transfers every lock `from` holds to `to` (`delegate(t, t1)` of the
+    /// whole object list, §2.2.1's join).
+    pub fn transfer_all(&self, from: TxnId, to: TxnId) {
+        let mut st = self.state.lock();
+        let obs: Vec<ObjectId> = st
+            .table
+            .heads
+            .iter()
+            .filter(|(_, h)| h.holders.contains_key(&from))
+            .map(|(&ob, _)| ob)
+            .collect();
+        for ob in obs {
+            let head = st.table.head_mut(ob);
+            if let Some(mode) = head.holders.remove(&from) {
+                let entry = head.holders.entry(to).or_insert(mode);
+                *entry = entry.join(mode);
+                for p in head.permits.iter_mut() {
+                    if p.0 == from {
+                        p.0 = to;
+                    }
+                }
+            }
+        }
+        drop(st);
+        self.cv.notify_all();
+    }
+
+    /// Releases everything `txn` holds or granted: its locks, the permits
+    /// it granted, and its wait-for edges. Called at commit/abort/end.
+    pub fn release_all(&self, txn: TxnId) {
+        let mut st = self.state.lock();
+        let obs: Vec<ObjectId> = st.table.heads.keys().copied().collect();
+        for ob in obs {
+            if let Some(head) = st.table.heads.get_mut(&ob) {
+                head.holders.remove(&txn);
+                head.permits.retain(|&(g, p)| g != txn && p != txn);
+            }
+            st.table.gc(ob);
+        }
+        st.waits.remove_txn(txn);
+        drop(st);
+        self.cv.notify_all();
+    }
+
+    /// The mode `txn` currently holds on `ob`, if any.
+    pub fn held_mode(&self, txn: TxnId, ob: ObjectId) -> Option<LockMode> {
+        self.state.lock().table.heads.get(&ob).and_then(|h| h.holders.get(&txn).copied())
+    }
+
+    /// Panics if the table violates its invariant: on an object whose
+    /// head carries **no permits**, all holders must be pairwise
+    /// compatible. (Permits intentionally break isolation — ASSET's
+    /// `permit` shares data "without forming inter-transaction
+    /// dependencies" — and a later lock transfer can join modes past a
+    /// third party's waiver, so permit-bearing heads admit incompatible
+    /// holders by design; the application took that responsibility when
+    /// it issued the permit.) Exposed for property tests.
+    #[doc(hidden)]
+    pub fn validate_invariants(&self) {
+        let st = self.state.lock();
+        for (&ob, head) in &st.table.heads {
+            if head.permit_tainted {
+                continue;
+            }
+            let holders: Vec<(TxnId, LockMode)> =
+                head.holders.iter().map(|(&t, &m)| (t, m)).collect();
+            for (i, &(t1, m1)) in holders.iter().enumerate() {
+                for &(t2, m2) in &holders[i + 1..] {
+                    assert!(
+                        m1.compatible(m2),
+                        "incompatible holders on {ob}: {t1}:{m1:?} vs {t2}:{m2:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    /// All objects `txn` currently holds locks on (sorted, for
+    /// deterministic iteration in tests).
+    pub fn held_objects(&self, txn: TxnId) -> Vec<ObjectId> {
+        let st = self.state.lock();
+        let mut obs: Vec<ObjectId> = st
+            .table
+            .heads
+            .iter()
+            .filter(|(_, h)| h.holders.contains_key(&txn))
+            .map(|(&ob, _)| ob)
+            .collect();
+        obs.sort();
+        obs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use std::thread;
+    use std::time::Duration;
+
+    #[test]
+    fn acquire_and_reacquire() {
+        let lm = LockManager::new();
+        lm.try_acquire(TxnId(1), ObjectId(1), LockMode::Shared).unwrap();
+        // Re-acquiring the same or weaker mode is a no-op.
+        lm.try_acquire(TxnId(1), ObjectId(1), LockMode::Shared).unwrap();
+        assert_eq!(lm.held_mode(TxnId(1), ObjectId(1)), Some(LockMode::Shared));
+    }
+
+    #[test]
+    fn upgrade_when_sole_holder() {
+        let lm = LockManager::new();
+        lm.try_acquire(TxnId(1), ObjectId(1), LockMode::Shared).unwrap();
+        lm.try_acquire(TxnId(1), ObjectId(1), LockMode::Exclusive).unwrap();
+        assert_eq!(lm.held_mode(TxnId(1), ObjectId(1)), Some(LockMode::Exclusive));
+    }
+
+    #[test]
+    fn upgrade_blocked_by_other_holder() {
+        let lm = LockManager::new();
+        lm.try_acquire(TxnId(1), ObjectId(1), LockMode::Shared).unwrap();
+        lm.try_acquire(TxnId(2), ObjectId(1), LockMode::Shared).unwrap();
+        assert_eq!(
+            lm.try_acquire(TxnId(1), ObjectId(1), LockMode::Exclusive),
+            Err(RhError::LockConflict { txn: TxnId(1), object: ObjectId(1) })
+        );
+    }
+
+    #[test]
+    fn increment_mode_allows_concurrent_updaters() {
+        // The §2.1.2 scenario: several transactions update one counter.
+        let lm = LockManager::new();
+        lm.try_acquire(TxnId(1), ObjectId(1), LockMode::Increment).unwrap();
+        lm.try_acquire(TxnId(2), ObjectId(1), LockMode::Increment).unwrap();
+        lm.try_acquire(TxnId(3), ObjectId(1), LockMode::Increment).unwrap();
+        // But a writer cannot join.
+        assert!(lm.try_acquire(TxnId(4), ObjectId(1), LockMode::Exclusive).is_err());
+    }
+
+    #[test]
+    fn permit_lets_permittee_through() {
+        let lm = LockManager::new();
+        lm.try_acquire(TxnId(1), ObjectId(1), LockMode::Exclusive).unwrap();
+        assert!(lm.try_acquire(TxnId(2), ObjectId(1), LockMode::Shared).is_err());
+        lm.permit(TxnId(1), TxnId(2), ObjectId(1));
+        lm.try_acquire(TxnId(2), ObjectId(1), LockMode::Shared).unwrap();
+        // Permit is directional: t3 still blocked.
+        assert!(lm.try_acquire(TxnId(3), ObjectId(1), LockMode::Shared).is_err());
+    }
+
+    #[test]
+    fn transfer_moves_lock_to_delegatee() {
+        let lm = LockManager::new();
+        lm.try_acquire(TxnId(1), ObjectId(1), LockMode::Exclusive).unwrap();
+        lm.transfer(TxnId(1), TxnId(2), ObjectId(1));
+        assert_eq!(lm.held_mode(TxnId(1), ObjectId(1)), None);
+        assert_eq!(lm.held_mode(TxnId(2), ObjectId(1)), Some(LockMode::Exclusive));
+        // The delegator can no longer assume access...
+        assert!(lm.try_acquire(TxnId(1), ObjectId(1), LockMode::Exclusive).is_err());
+    }
+
+    #[test]
+    fn transfer_joins_modes() {
+        let lm = LockManager::new();
+        lm.try_acquire(TxnId(1), ObjectId(1), LockMode::Increment).unwrap();
+        lm.try_acquire(TxnId(2), ObjectId(1), LockMode::Increment).unwrap();
+        lm.transfer(TxnId(1), TxnId(2), ObjectId(1));
+        assert_eq!(lm.held_mode(TxnId(2), ObjectId(1)), Some(LockMode::Increment));
+    }
+
+    #[test]
+    fn transfer_all_moves_every_object() {
+        let lm = LockManager::new();
+        lm.try_acquire(TxnId(1), ObjectId(1), LockMode::Exclusive).unwrap();
+        lm.try_acquire(TxnId(1), ObjectId(2), LockMode::Shared).unwrap();
+        lm.transfer_all(TxnId(1), TxnId(2));
+        assert_eq!(lm.held_objects(TxnId(1)), vec![]);
+        assert_eq!(lm.held_objects(TxnId(2)), vec![ObjectId(1), ObjectId(2)]);
+    }
+
+    #[test]
+    fn release_all_frees_locks_and_permits() {
+        let lm = LockManager::new();
+        lm.try_acquire(TxnId(1), ObjectId(1), LockMode::Exclusive).unwrap();
+        lm.permit(TxnId(1), TxnId(2), ObjectId(1));
+        lm.release_all(TxnId(1));
+        assert_eq!(lm.held_mode(TxnId(1), ObjectId(1)), None);
+        // Permit granted by t1 is gone with it: t3's new X lock blocks t2.
+        lm.try_acquire(TxnId(3), ObjectId(1), LockMode::Exclusive).unwrap();
+        assert!(lm.try_acquire(TxnId(2), ObjectId(1), LockMode::Shared).is_err());
+    }
+
+    #[test]
+    fn blocking_acquire_wakes_on_release() {
+        let lm = Arc::new(LockManager::new());
+        lm.try_acquire(TxnId(1), ObjectId(1), LockMode::Exclusive).unwrap();
+        let lm2 = Arc::clone(&lm);
+        let waiter = thread::spawn(move || lm2.acquire(TxnId(2), ObjectId(1), LockMode::Exclusive));
+        thread::sleep(Duration::from_millis(20));
+        lm.release_all(TxnId(1));
+        waiter.join().unwrap().unwrap();
+        assert_eq!(lm.held_mode(TxnId(2), ObjectId(1)), Some(LockMode::Exclusive));
+    }
+
+    #[test]
+    fn deadlock_detected_and_victim_chosen() {
+        let lm = Arc::new(LockManager::new());
+        lm.try_acquire(TxnId(1), ObjectId(1), LockMode::Exclusive).unwrap();
+        lm.try_acquire(TxnId(2), ObjectId(2), LockMode::Exclusive).unwrap();
+        // t1 waits for ob2 (held by t2) on a thread...
+        let lm2 = Arc::clone(&lm);
+        let h = thread::spawn(move || lm2.acquire(TxnId(1), ObjectId(2), LockMode::Exclusive));
+        thread::sleep(Duration::from_millis(20));
+        // ...then t2 requesting ob1 closes the cycle and must be refused.
+        let res = lm.acquire(TxnId(2), ObjectId(1), LockMode::Exclusive);
+        assert_eq!(res, Err(RhError::Deadlock { txn: TxnId(2), object: ObjectId(1) }));
+        // Victim aborts, releasing its lock; the waiter proceeds.
+        lm.release_all(TxnId(2));
+        h.join().unwrap().unwrap();
+    }
+}

@@ -1,0 +1,98 @@
+//! Lock modes and their compatibility/upgrade lattice.
+
+/// Lock modes at object granularity.
+///
+/// `Increment` is the classic commutative-update mode: increments commute
+/// with each other but not with reads (a reader would observe a half-done
+/// sum) or writes. It corresponds to [`rh_common::UpdateOp::Add`];
+/// [`rh_common::UpdateOp::Write`] requires `Exclusive`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LockMode {
+    /// Shared read lock.
+    Shared,
+    /// Commutative-increment lock.
+    Increment,
+    /// Exclusive write lock.
+    Exclusive,
+}
+
+impl LockMode {
+    /// Can a holder in `self` coexist with a requester in `other`?
+    ///
+    /// ```text
+    ///            S      I      X
+    ///    S      yes    no     no
+    ///    I      no     yes    no
+    ///    X      no     no     no
+    /// ```
+    #[inline]
+    pub fn compatible(self, other: LockMode) -> bool {
+        matches!(
+            (self, other),
+            (LockMode::Shared, LockMode::Shared) | (LockMode::Increment, LockMode::Increment)
+        )
+    }
+
+    /// The combined mode after a holder in `self` also acquires `other`
+    /// (lock upgrade). The lattice top is `Exclusive`; `Shared` and
+    /// `Increment` are incomparable so their join is `Exclusive`.
+    #[inline]
+    pub fn join(self, other: LockMode) -> LockMode {
+        if self == other {
+            self
+        } else {
+            LockMode::Exclusive
+        }
+    }
+
+    /// True if this mode suffices where `needed` is required (i.e. the
+    /// held mode is at least as strong).
+    #[inline]
+    pub fn covers(self, needed: LockMode) -> bool {
+        self == needed || self == LockMode::Exclusive
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use LockMode::*;
+
+    #[test]
+    fn compatibility_matrix() {
+        assert!(Shared.compatible(Shared));
+        assert!(Increment.compatible(Increment));
+        for (a, b) in [
+            (Shared, Increment),
+            (Increment, Shared),
+            (Shared, Exclusive),
+            (Exclusive, Shared),
+            (Increment, Exclusive),
+            (Exclusive, Increment),
+            (Exclusive, Exclusive),
+        ] {
+            assert!(!a.compatible(b), "{a:?} vs {b:?} must conflict");
+        }
+    }
+
+    #[test]
+    fn join_is_commutative_and_idempotent() {
+        for a in [Shared, Increment, Exclusive] {
+            assert_eq!(a.join(a), a);
+            for b in [Shared, Increment, Exclusive] {
+                assert_eq!(a.join(b), b.join(a));
+            }
+        }
+        assert_eq!(Shared.join(Increment), Exclusive);
+        assert_eq!(Shared.join(Exclusive), Exclusive);
+    }
+
+    #[test]
+    fn covers_reflects_strength() {
+        assert!(Exclusive.covers(Shared));
+        assert!(Exclusive.covers(Increment));
+        assert!(Shared.covers(Shared));
+        assert!(!Shared.covers(Exclusive));
+        assert!(!Increment.covers(Shared));
+    }
+}

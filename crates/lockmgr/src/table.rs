@@ -1,0 +1,120 @@
+//! The lock table: per-object lock heads with holders and permit pairs.
+
+use crate::modes::LockMode;
+use rh_common::{ObjectId, TxnId};
+use std::collections::HashMap;
+
+/// Per-object lock state.
+#[derive(Debug, Default)]
+pub(crate) struct LockHead {
+    /// Current holders and their (joined) modes.
+    pub holders: HashMap<TxnId, LockMode>,
+    /// ASSET `permit` pairs `(granter, permittee)`: a conflict between a
+    /// holder `g` and a requester `p` is waived when `(g, p)` is present.
+    pub permits: Vec<(TxnId, TxnId)>,
+    /// True once any permit was ever issued on this object while locks
+    /// were live. Permits intentionally break isolation, and their
+    /// effects (incompatible coexistence) can outlive the permit itself
+    /// (e.g. the granter releases); the flag scopes the strict
+    /// compatibility invariant to never-permitted objects.
+    pub permit_tainted: bool,
+}
+
+impl LockHead {
+    /// Would `txn` acquiring `mode` conflict with any current holder,
+    /// taking permits into account?
+    pub fn conflicts(&self, txn: TxnId, mode: LockMode) -> bool {
+        self.holders.iter().any(|(&holder, &held)| {
+            holder != txn
+                && !held.compatible(mode)
+                && !self.permits.contains(&(holder, txn))
+        })
+    }
+
+    /// The holders `txn` would have to wait for.
+    pub fn blockers(&self, txn: TxnId, mode: LockMode) -> Vec<TxnId> {
+        self.holders
+            .iter()
+            .filter(|(&holder, &held)| {
+                holder != txn
+                    && !held.compatible(mode)
+                    && !self.permits.contains(&(holder, txn))
+            })
+            .map(|(&holder, _)| holder)
+            .collect()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.holders.is_empty() && self.permits.is_empty()
+    }
+}
+
+/// The whole table. Not synchronized — [`crate::LockManager`] wraps it.
+#[derive(Debug, Default)]
+pub(crate) struct LockTable {
+    pub heads: HashMap<ObjectId, LockHead>,
+}
+
+impl LockTable {
+    pub fn head_mut(&mut self, ob: ObjectId) -> &mut LockHead {
+        self.heads.entry(ob).or_default()
+    }
+
+    /// Drops empty heads so the table does not grow without bound.
+    pub fn gc(&mut self, ob: ObjectId) {
+        if self.heads.get(&ob).is_some_and(|h| h.is_empty()) {
+            self.heads.remove(&ob);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conflict_detection_respects_modes() {
+        let mut head = LockHead::default();
+        head.holders.insert(TxnId(1), LockMode::Shared);
+        assert!(!head.conflicts(TxnId(2), LockMode::Shared));
+        assert!(head.conflicts(TxnId(2), LockMode::Exclusive));
+        assert!(head.conflicts(TxnId(2), LockMode::Increment));
+    }
+
+    #[test]
+    fn own_lock_never_conflicts() {
+        let mut head = LockHead::default();
+        head.holders.insert(TxnId(1), LockMode::Exclusive);
+        assert!(!head.conflicts(TxnId(1), LockMode::Exclusive));
+        assert!(!head.conflicts(TxnId(1), LockMode::Shared));
+    }
+
+    #[test]
+    fn permit_waives_conflict_one_way() {
+        let mut head = LockHead::default();
+        head.holders.insert(TxnId(1), LockMode::Exclusive);
+        head.permits.push((TxnId(1), TxnId(2)));
+        assert!(!head.conflicts(TxnId(2), LockMode::Shared)); // permitted
+        assert!(head.conflicts(TxnId(3), LockMode::Shared)); // not permitted
+    }
+
+    #[test]
+    fn blockers_lists_conflicting_holders_only() {
+        let mut head = LockHead::default();
+        head.holders.insert(TxnId(1), LockMode::Increment);
+        head.holders.insert(TxnId(2), LockMode::Increment);
+        let mut b = head.blockers(TxnId(3), LockMode::Exclusive);
+        b.sort();
+        assert_eq!(b, vec![TxnId(1), TxnId(2)]);
+        assert!(head.blockers(TxnId(3), LockMode::Increment).is_empty());
+    }
+
+    #[test]
+    fn gc_removes_empty_heads() {
+        let mut table = LockTable::default();
+        table.head_mut(ObjectId(1)).holders.insert(TxnId(1), LockMode::Shared);
+        table.head_mut(ObjectId(1)).holders.remove(&TxnId(1));
+        table.gc(ObjectId(1));
+        assert!(table.heads.is_empty());
+    }
+}

@@ -1,0 +1,125 @@
+//! Wait-for graph with cycle detection.
+//!
+//! Kept small and separate so it can be property-tested in isolation: the
+//! invariant is that [`WaitForGraph::would_cycle`] returns true exactly
+//! when adding the edge set `waiter -> blockers` creates a directed cycle.
+
+use rh_common::TxnId;
+use std::collections::{HashMap, HashSet, VecDeque};
+
+/// A directed graph of `waiter -> holder` edges.
+#[derive(Debug, Default)]
+pub struct WaitForGraph {
+    edges: HashMap<TxnId, HashSet<TxnId>>,
+}
+
+impl WaitForGraph {
+    /// Is `to` reachable from `from` following existing edges?
+    fn reachable(&self, from: TxnId, to: TxnId) -> bool {
+        if from == to {
+            return true;
+        }
+        let mut seen = HashSet::new();
+        let mut queue = VecDeque::from([from]);
+        while let Some(n) = queue.pop_front() {
+            if let Some(nexts) = self.edges.get(&n) {
+                for &next in nexts {
+                    if next == to {
+                        return true;
+                    }
+                    if seen.insert(next) {
+                        queue.push_back(next);
+                    }
+                }
+            }
+        }
+        false
+    }
+
+    /// Would adding edges `waiter -> b` for every `b` in `blockers`
+    /// create a cycle?
+    pub fn would_cycle(&self, waiter: TxnId, blockers: &[TxnId]) -> bool {
+        blockers.iter().any(|&b| b == waiter || self.reachable(b, waiter))
+    }
+
+    /// Records that `waiter` is waiting for all of `blockers`.
+    pub fn add_waits(&mut self, waiter: TxnId, blockers: &[TxnId]) {
+        if blockers.is_empty() {
+            return;
+        }
+        self.edges.entry(waiter).or_default().extend(blockers.iter().copied());
+    }
+
+    /// Removes all edges out of `waiter` (it stopped waiting).
+    pub fn clear_waiter(&mut self, waiter: TxnId) {
+        self.edges.remove(&waiter);
+    }
+
+    /// Removes `txn` entirely: its outgoing edges and every edge pointing
+    /// at it (it terminated, so nobody waits for it any more).
+    pub fn remove_txn(&mut self, txn: TxnId) {
+        self.edges.remove(&txn);
+        for targets in self.edges.values_mut() {
+            targets.remove(&txn);
+        }
+        self.edges.retain(|_, v| !v.is_empty());
+    }
+
+    /// Number of transactions with outgoing waits (diagnostics).
+    pub fn waiting_count(&self) -> usize {
+        self.edges.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_edges_no_cycle() {
+        let g = WaitForGraph::default();
+        assert!(!g.would_cycle(TxnId(1), &[TxnId(2)]));
+    }
+
+    #[test]
+    fn self_wait_is_a_cycle() {
+        let g = WaitForGraph::default();
+        assert!(g.would_cycle(TxnId(1), &[TxnId(1)]));
+    }
+
+    #[test]
+    fn two_party_cycle() {
+        let mut g = WaitForGraph::default();
+        g.add_waits(TxnId(1), &[TxnId(2)]);
+        assert!(g.would_cycle(TxnId(2), &[TxnId(1)]));
+        assert!(!g.would_cycle(TxnId(3), &[TxnId(1)]));
+    }
+
+    #[test]
+    fn three_party_cycle() {
+        let mut g = WaitForGraph::default();
+        g.add_waits(TxnId(1), &[TxnId(2)]);
+        g.add_waits(TxnId(2), &[TxnId(3)]);
+        assert!(g.would_cycle(TxnId(3), &[TxnId(1)]));
+        assert!(!g.would_cycle(TxnId(3), &[TxnId(4)]));
+    }
+
+    #[test]
+    fn clear_waiter_breaks_cycle_potential() {
+        let mut g = WaitForGraph::default();
+        g.add_waits(TxnId(1), &[TxnId(2)]);
+        g.clear_waiter(TxnId(1));
+        assert!(!g.would_cycle(TxnId(2), &[TxnId(1)]));
+    }
+
+    #[test]
+    fn remove_txn_removes_incoming_edges() {
+        let mut g = WaitForGraph::default();
+        g.add_waits(TxnId(1), &[TxnId(2), TxnId(3)]);
+        g.remove_txn(TxnId(2));
+        // 1 still waits for 3, so 3 -> 1 would cycle, but via 2 is gone.
+        assert!(g.would_cycle(TxnId(3), &[TxnId(1)]));
+        g.remove_txn(TxnId(3));
+        assert_eq!(g.waiting_count(), 0);
+    }
+}

@@ -1,0 +1,110 @@
+//! Property tests: under arbitrary sequences of try-acquire / permit /
+//! transfer / release operations, the lock table never holds two
+//! incompatible, un-permitted locks on one object.
+
+use proptest::prelude::*;
+use rh_common::{ObjectId, TxnId};
+use rh_lock::{LockManager, LockMode};
+
+#[derive(Debug, Clone, Copy)]
+enum Op {
+    Acquire(u8, u8, u8), // txn, ob, mode
+    Permit(u8, u8, u8),  // granter, permittee, ob
+    Transfer(u8, u8, u8),
+    TransferAll(u8, u8),
+    Release(u8),
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        4 => (0u8..6, 0u8..4, 0u8..3).prop_map(|(t, o, m)| Op::Acquire(t, o, m)),
+        1 => (0u8..6, 0u8..6, 0u8..4).prop_map(|(g, p, o)| Op::Permit(g, p, o)),
+        2 => (0u8..6, 0u8..6, 0u8..4).prop_map(|(f, t, o)| Op::Transfer(f, t, o)),
+        1 => (0u8..6, 0u8..6).prop_map(|(f, t)| Op::TransferAll(f, t)),
+        2 => (0u8..6).prop_map(Op::Release),
+    ]
+}
+
+fn mode(m: u8) -> LockMode {
+    match m % 3 {
+        0 => LockMode::Shared,
+        1 => LockMode::Increment,
+        _ => LockMode::Exclusive,
+    }
+}
+
+proptest! {
+    #[test]
+    fn invariants_hold_under_arbitrary_ops(ops in proptest::collection::vec(op_strategy(), 0..200)) {
+        let lm = LockManager::new();
+        for op in ops {
+            match op {
+                Op::Acquire(t, o, m) => {
+                    let _ = lm.try_acquire(TxnId(t as u64), ObjectId(o as u64), mode(m));
+                }
+                Op::Permit(g, p, o) => {
+                    if g != p {
+                        lm.permit(TxnId(g as u64), TxnId(p as u64), ObjectId(o as u64));
+                    }
+                }
+                Op::Transfer(f, t, o) => {
+                    if f != t {
+                        lm.transfer(TxnId(f as u64), TxnId(t as u64), ObjectId(o as u64));
+                    }
+                }
+                Op::TransferAll(f, t) => {
+                    if f != t {
+                        lm.transfer_all(TxnId(f as u64), TxnId(t as u64));
+                    }
+                }
+                Op::Release(t) => lm.release_all(TxnId(t as u64)),
+            }
+            lm.validate_invariants();
+        }
+    }
+
+    #[test]
+    fn strict_compatibility_without_permits(ops in proptest::collection::vec(op_strategy(), 0..200)) {
+        // With permits filtered out entirely, transfers can never create
+        // incompatible coexistence: strict pairwise compatibility holds.
+        let lm = LockManager::new();
+        for op in ops {
+            match op {
+                Op::Acquire(t, o, m) => {
+                    let _ = lm.try_acquire(TxnId(t as u64), ObjectId(o as u64), mode(m));
+                }
+                Op::Permit(..) => {}
+                Op::Transfer(f, t, o) => {
+                    if f != t {
+                        lm.transfer(TxnId(f as u64), TxnId(t as u64), ObjectId(o as u64));
+                    }
+                }
+                Op::TransferAll(f, t) => {
+                    if f != t {
+                        lm.transfer_all(TxnId(f as u64), TxnId(t as u64));
+                    }
+                }
+                Op::Release(t) => lm.release_all(TxnId(t as u64)),
+            }
+            lm.validate_invariants();
+        }
+    }
+
+    #[test]
+    fn acquire_then_release_leaves_no_trace(txns in proptest::collection::vec((0u8..5, 0u8..3, 0u8..3), 1..50)) {
+        let lm = LockManager::new();
+        for &(t, o, m) in &txns {
+            let _ = lm.try_acquire(TxnId(t as u64), ObjectId(o as u64), mode(m));
+        }
+        for t in 0..5u64 {
+            lm.release_all(TxnId(t));
+        }
+        for t in 0..5u64 {
+            prop_assert!(lm.held_objects(TxnId(t)).is_empty());
+        }
+        // The table is empty: any exclusive acquisition now succeeds.
+        for o in 0..3u64 {
+            prop_assert!(lm.try_acquire(TxnId(99), ObjectId(o), LockMode::Exclusive).is_ok());
+        }
+    }
+}

@@ -1,0 +1,101 @@
+//! Multi-threaded stress for the blocking path: contending workers using
+//! `acquire` (condvar parking + wait-for-graph deadlock detection) must
+//! all make progress — deadlock victims abort-and-retry — and leave a
+//! clean table.
+
+use rh_common::{ObjectId, RhError, TxnId};
+use rh_lock::{LockManager, LockMode};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread;
+
+#[test]
+fn contending_workers_all_complete() {
+    const WORKERS: u64 = 8;
+    const ROUNDS: u64 = 50;
+    const OBJECTS: u64 = 3;
+
+    let lm = Arc::new(LockManager::new());
+    let completed = Arc::new(AtomicU64::new(0));
+    let deadlocks = Arc::new(AtomicU64::new(0));
+
+    let handles: Vec<_> = (0..WORKERS)
+        .map(|w| {
+            let lm = Arc::clone(&lm);
+            let completed = Arc::clone(&completed);
+            let deadlocks = Arc::clone(&deadlocks);
+            thread::spawn(move || {
+                for round in 0..ROUNDS {
+                    // Each "transaction" takes two objects in a
+                    // worker-dependent order — a deadlock recipe.
+                    let txn = TxnId(w * ROUNDS + round);
+                    let first = ObjectId((w + round) % OBJECTS);
+                    let second = ObjectId((w + round + 1) % OBJECTS);
+                    loop {
+                        match lm
+                            .acquire(txn, first, LockMode::Exclusive)
+                            .and_then(|()| lm.acquire(txn, second, LockMode::Exclusive))
+                        {
+                            Ok(()) => {
+                                // "Work", then commit.
+                                std::hint::black_box(txn);
+                                lm.release_all(txn);
+                                completed.fetch_add(1, Ordering::Relaxed);
+                                break;
+                            }
+                            Err(RhError::Deadlock { .. }) => {
+                                // Victim: abort (release) and retry.
+                                deadlocks.fetch_add(1, Ordering::Relaxed);
+                                lm.release_all(txn);
+                                thread::yield_now();
+                            }
+                            Err(other) => panic!("unexpected lock error: {other}"),
+                        }
+                    }
+                }
+            })
+        })
+        .collect();
+
+    for h in handles {
+        h.join().expect("worker panicked");
+    }
+
+    assert_eq!(completed.load(Ordering::Relaxed), WORKERS * ROUNDS);
+    // Deadlocks are timing-dependent; when they do occur the victims must
+    // have retried to completion (asserted above). The deterministic
+    // deadlock-detection test lives in the manager's unit tests.
+    let _ = deadlocks.load(Ordering::Relaxed);
+    // Table drained: a fresh transaction can take everything exclusively.
+    lm.validate_invariants();
+    for ob in 0..OBJECTS {
+        lm.try_acquire(TxnId(u64::MAX - 1), ObjectId(ob), LockMode::Exclusive).unwrap();
+    }
+}
+
+#[test]
+fn blocking_readers_share_then_writer_proceeds() {
+    let lm = Arc::new(LockManager::new());
+    let ob = ObjectId(0);
+    // Writer takes the lock first.
+    lm.try_acquire(TxnId(0), ob, LockMode::Exclusive).unwrap();
+
+    let readers: Vec<_> = (1..=4)
+        .map(|i| {
+            let lm = Arc::clone(&lm);
+            thread::spawn(move || {
+                lm.acquire(TxnId(i), ob, LockMode::Shared).unwrap();
+                // Hold briefly, then release.
+                thread::yield_now();
+                lm.release_all(TxnId(i));
+            })
+        })
+        .collect();
+
+    thread::sleep(std::time::Duration::from_millis(10));
+    lm.release_all(TxnId(0)); // unblock the readers
+    for r in readers {
+        r.join().unwrap();
+    }
+    lm.validate_invariants();
+}

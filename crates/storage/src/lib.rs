@@ -1,0 +1,36 @@
+//! # rh-storage
+//!
+//! A simulated storage substrate for the ARIES/RH reproduction: a stable
+//! "disk" of pages, a buffer pool implementing the **steal / no-force**
+//! policy ARIES assumes, and an object store that maps the paper's
+//! database objects onto page slots.
+//!
+//! ## Crash semantics
+//!
+//! A crash in this simulation is precise: the [`disk::Disk`] (and the
+//! stable portion of the log, owned by `rh-wal`) survives; the
+//! [`pool::BufferPool`] and every other volatile structure is dropped.
+//! Because the buffer pool *steals* (evicts dirty pages before commit,
+//! after honoring the write-ahead rule) and does *not force* (commit does
+//! not flush pages), the on-disk state after a crash is exactly the messy
+//! mixture of committed, uncommitted, and missing updates that UNDO/REDO
+//! recovery exists to repair — which is what makes the recovery experiments
+//! meaningful.
+//!
+//! ## Write-ahead coupling
+//!
+//! The pool never writes a page whose `page_lsn` exceeds the flushed-log
+//! horizon: eviction and explicit flushes go through a [`pool::LogFlush`]
+//! callback so the owning engine can force the log first. The trait lives
+//! here (rather than in `rh-wal`) to keep the dependency arrow pointing
+//! one way: storage knows nothing about log record formats.
+
+pub mod disk;
+pub mod metrics;
+pub mod page;
+pub mod pool;
+
+pub use disk::Disk;
+pub use metrics::DiskMetrics;
+pub use page::{slot_of, Page, SLOTS_PER_PAGE};
+pub use pool::{BufferPool, LogFlush, NoWal};

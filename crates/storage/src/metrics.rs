@@ -1,0 +1,70 @@
+//! Disk access counters.
+//!
+//! The paper's efficiency argument (§4.2) is about *access patterns* —
+//! "recovery costs are dominated by disk log accesses". The experiments
+//! therefore report page/record I/O counts alongside wall-clock time, and
+//! these counters are the page half of that story (the log half lives in
+//! `rh-wal`'s `LogMetrics`).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Cumulative page I/O counters for one [`crate::Disk`].
+///
+/// Counters are atomic so a shared `Arc<Disk>` can be read concurrently by
+/// the ETM driver threads without locking.
+#[derive(Debug, Default)]
+pub struct DiskMetrics {
+    page_reads: AtomicU64,
+    page_writes: AtomicU64,
+}
+
+/// A plain-data snapshot of [`DiskMetrics`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct DiskMetricsSnapshot {
+    /// Pages read from stable storage into the pool.
+    pub page_reads: u64,
+    /// Pages written from the pool to stable storage.
+    pub page_writes: u64,
+}
+
+impl DiskMetrics {
+    pub(crate) fn record_read(&self) {
+        self.page_reads.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_write(&self) {
+        self.page_writes.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Takes a consistent-enough snapshot for reporting.
+    pub fn snapshot(&self) -> DiskMetricsSnapshot {
+        DiskMetricsSnapshot {
+            page_reads: self.page_reads.load(Ordering::Relaxed),
+            page_writes: self.page_writes.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Resets all counters to zero (used between benchmark phases).
+    pub fn reset(&self) {
+        self.page_reads.store(0, Ordering::Relaxed);
+        self.page_writes.store(0, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_and_resets() {
+        let m = DiskMetrics::default();
+        m.record_read();
+        m.record_read();
+        m.record_write();
+        let s = m.snapshot();
+        assert_eq!(s.page_reads, 2);
+        assert_eq!(s.page_writes, 1);
+        m.reset();
+        assert_eq!(m.snapshot(), DiskMetricsSnapshot::default());
+    }
+}

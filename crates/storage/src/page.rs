@@ -1,0 +1,146 @@
+//! Pages: the unit of transfer between the buffer pool and the disk.
+//!
+//! Every database object is an `i64` value living in one slot of one page;
+//! the mapping is a fixed arithmetic function ([`slot_of`]) so there is no
+//! catalog to recover. Objects that were never written read as
+//! [`Page::INITIAL_VALUE`], which is also what the history oracle assumes,
+//! so "database state" is well-defined without an insert/delete protocol
+//! (the paper's update model is in-place updates on existing objects,
+//! §2.1.1).
+//!
+//! Each page carries a `page_lsn` — the LSN of the last log record whose
+//! update was applied to the page. Redo uses it the ARIES way: an update
+//! at LSN `l` is reapplied iff `page_lsn < l`, which makes redo idempotent
+//! across repeated crashes during recovery.
+
+use rh_common::codec::{Codec, Reader, Writer};
+use rh_common::ops::Value;
+use rh_common::{Lsn, ObjectId, PageId, Result};
+
+/// Number of object slots per page.
+///
+/// Small enough that interesting workloads touch many pages (so the
+/// steal/no-force machinery is exercised), large enough that pages are not
+/// degenerate single-object cells.
+pub const SLOTS_PER_PAGE: usize = 64;
+
+/// Maps an object to its (page, slot) location.
+#[inline]
+pub fn slot_of(ob: ObjectId) -> (PageId, usize) {
+    let page = (ob.raw() / SLOTS_PER_PAGE as u64) as u32;
+    let slot = (ob.raw() % SLOTS_PER_PAGE as u64) as usize;
+    (PageId(page), slot)
+}
+
+/// An in-memory page image.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Page {
+    /// Which page this is.
+    pub id: PageId,
+    /// LSN of the last applied update, [`Lsn::NULL`] if never updated.
+    pub page_lsn: Lsn,
+    /// Object values, indexed by slot.
+    pub slots: [Value; SLOTS_PER_PAGE],
+}
+
+impl Page {
+    /// Value of a slot that was never written.
+    pub const INITIAL_VALUE: Value = 0;
+
+    /// A fresh, never-written page.
+    pub fn empty(id: PageId) -> Self {
+        Page { id, page_lsn: Lsn::NULL, slots: [Self::INITIAL_VALUE; SLOTS_PER_PAGE] }
+    }
+
+    /// Reads one slot.
+    #[inline]
+    pub fn get(&self, slot: usize) -> Value {
+        self.slots[slot]
+    }
+
+    /// Writes one slot and advances the page LSN.
+    ///
+    /// `lsn` is the LSN of the log record describing this write; per the
+    /// write-ahead discipline it must already have been appended (though
+    /// not necessarily flushed) before the page is touched.
+    #[inline]
+    pub fn set(&mut self, slot: usize, value: Value, lsn: Lsn) {
+        self.slots[slot] = value;
+        self.page_lsn = lsn;
+    }
+
+    /// True if an update logged at `lsn` must be redone on this page
+    /// (i.e. the page image predates the update).
+    #[inline]
+    pub fn needs_redo(&self, lsn: Lsn) -> bool {
+        self.page_lsn.is_null() || self.page_lsn < lsn
+    }
+}
+
+impl Codec for Page {
+    fn encode(&self, w: &mut Writer) {
+        self.id.encode(w);
+        self.page_lsn.encode(w);
+        for v in &self.slots {
+            w.put_i64(*v);
+        }
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<Self> {
+        let id = PageId::decode(r)?;
+        let page_lsn = Lsn::decode(r)?;
+        let mut slots = [0i64; SLOTS_PER_PAGE];
+        for v in slots.iter_mut() {
+            *v = r.take_i64()?;
+        }
+        Ok(Page { id, page_lsn, slots })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slot_mapping_is_dense_and_stable() {
+        assert_eq!(slot_of(ObjectId(0)), (PageId(0), 0));
+        assert_eq!(slot_of(ObjectId(63)), (PageId(0), 63));
+        assert_eq!(slot_of(ObjectId(64)), (PageId(1), 0));
+        assert_eq!(slot_of(ObjectId(129)), (PageId(2), 1));
+    }
+
+    #[test]
+    fn empty_page_reads_initial_values() {
+        let p = Page::empty(PageId(3));
+        assert_eq!(p.get(0), Page::INITIAL_VALUE);
+        assert_eq!(p.get(SLOTS_PER_PAGE - 1), Page::INITIAL_VALUE);
+        assert!(p.page_lsn.is_null());
+    }
+
+    #[test]
+    fn set_advances_page_lsn() {
+        let mut p = Page::empty(PageId(0));
+        p.set(5, 42, Lsn(10));
+        assert_eq!(p.get(5), 42);
+        assert_eq!(p.page_lsn, Lsn(10));
+    }
+
+    #[test]
+    fn needs_redo_is_strict() {
+        let mut p = Page::empty(PageId(0));
+        assert!(p.needs_redo(Lsn(0))); // never-written page redoes anything
+        p.set(0, 1, Lsn(5));
+        assert!(!p.needs_redo(Lsn(5))); // already applied
+        assert!(!p.needs_redo(Lsn(4))); // older than page image
+        assert!(p.needs_redo(Lsn(6))); // newer than page image
+    }
+
+    #[test]
+    fn codec_roundtrip() {
+        let mut p = Page::empty(PageId(7));
+        p.set(1, -9, Lsn(3));
+        p.set(63, i64::MAX, Lsn(4));
+        let back = Page::from_bytes(&p.to_bytes()).unwrap();
+        assert_eq!(p, back);
+    }
+}

@@ -1,0 +1,291 @@
+//! The buffer pool: steal / no-force page caching with WAL coupling.
+//!
+//! * **Steal**: a dirty page may be evicted (written to disk) before the
+//!   transaction that dirtied it commits — so uncommitted updates can reach
+//!   disk, and recovery must be able to *undo*.
+//! * **No-force**: commit does not flush pages — so committed updates can
+//!   be missing from disk after a crash, and recovery must be able to
+//!   *redo*.
+//!
+//! Both properties are what make the UNDO/REDO experiments of the paper
+//! non-trivial; a force/no-steal pool would make most of recovery moot.
+//!
+//! The **write-ahead rule** is enforced at the eviction/flush boundary:
+//! before a page image goes to disk, the pool calls
+//! [`LogFlush::flush_to`] with the page's `page_lsn` so the log records
+//! describing its updates are stable first.
+
+use crate::disk::Disk;
+use crate::page::{slot_of, Page};
+use rh_common::ops::Value;
+use rh_common::{Lsn, ObjectId, PageId, Result};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Callback the pool uses to force the log before writing a page.
+///
+/// Implemented by `rh-wal`'s `LogManager`; the trait lives here so storage
+/// does not depend on log record formats.
+pub trait LogFlush {
+    /// Ensure every log record with LSN `<= lsn` is on stable storage.
+    fn flush_to(&self, lsn: Lsn) -> Result<()>;
+}
+
+/// A [`LogFlush`] that does nothing — for unit tests and for engines
+/// (like the EOS baseline) that sequence their own flushes.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoWal;
+
+impl LogFlush for NoWal {
+    fn flush_to(&self, _lsn: Lsn) -> Result<()> {
+        Ok(())
+    }
+}
+
+#[derive(Debug)]
+struct Frame {
+    page: Page,
+    dirty: bool,
+    /// LSN of the log record that *first* dirtied this cached image —
+    /// the ARIES dirty-page-table recLSN.
+    rec_lsn: Lsn,
+    /// Logical clock for LRU victim selection.
+    last_used: u64,
+}
+
+/// A bounded page cache over a shared [`Disk`].
+///
+/// The pool is the volatile half of the storage substrate: dropping it is
+/// the storage part of a crash. Engines use one pool per incarnation.
+#[derive(Debug)]
+pub struct BufferPool {
+    disk: Arc<Disk>,
+    capacity: usize,
+    frames: HashMap<PageId, Frame>,
+    tick: u64,
+}
+
+impl BufferPool {
+    /// Creates a pool caching at most `capacity` pages (min 1).
+    pub fn new(disk: Arc<Disk>, capacity: usize) -> Self {
+        BufferPool { disk, capacity: capacity.max(1), frames: HashMap::new(), tick: 0 }
+    }
+
+    /// The disk backing this pool.
+    pub fn disk(&self) -> &Arc<Disk> {
+        &self.disk
+    }
+
+    fn touch(frame: &mut Frame, tick: &mut u64) {
+        *tick += 1;
+        frame.last_used = *tick;
+    }
+
+    /// Brings `id` into the cache (evicting if needed) and returns the frame.
+    fn fetch(&mut self, id: PageId, wal: &dyn LogFlush) -> Result<&mut Frame> {
+        if !self.frames.contains_key(&id) {
+            if self.frames.len() >= self.capacity {
+                self.evict_one(wal)?;
+            }
+            let page = self.disk.read_page(id)?;
+            self.frames
+                .insert(id, Frame { page, dirty: false, rec_lsn: Lsn::NULL, last_used: self.tick });
+        }
+        let frame = self.frames.get_mut(&id).expect("just inserted");
+        Self::touch(frame, &mut self.tick);
+        Ok(frame)
+    }
+
+    /// Evicts the least-recently-used frame, honoring write-ahead.
+    fn evict_one(&mut self, wal: &dyn LogFlush) -> Result<()> {
+        let victim = self
+            .frames
+            .iter()
+            .min_by_key(|(_, f)| f.last_used)
+            .map(|(id, _)| *id)
+            .expect("evict_one called on empty pool");
+        let frame = self.frames.remove(&victim).expect("victim exists");
+        if frame.dirty {
+            if !frame.page.page_lsn.is_null() {
+                wal.flush_to(frame.page.page_lsn)?;
+            }
+            self.disk.write_page(&frame.page)?;
+        }
+        Ok(())
+    }
+
+    /// Reads an object's current value.
+    pub fn read_object(&mut self, ob: ObjectId, wal: &dyn LogFlush) -> Result<Value> {
+        let (page_id, slot) = slot_of(ob);
+        Ok(self.fetch(page_id, wal)?.page.get(slot))
+    }
+
+    /// Writes an object's value, stamping the page with the LSN of the log
+    /// record describing the write and maintaining recLSN.
+    pub fn write_object(
+        &mut self,
+        ob: ObjectId,
+        value: Value,
+        lsn: Lsn,
+        wal: &dyn LogFlush,
+    ) -> Result<()> {
+        let (page_id, slot) = slot_of(ob);
+        let frame = self.fetch(page_id, wal)?;
+        frame.page.set(slot, value, lsn);
+        if !frame.dirty {
+            frame.dirty = true;
+            frame.rec_lsn = lsn;
+        }
+        Ok(())
+    }
+
+    /// The page LSN of the page holding `ob` (NULL if never updated).
+    /// Used by redo to decide whether an update must be reapplied.
+    pub fn page_lsn_of(&mut self, ob: ObjectId, wal: &dyn LogFlush) -> Result<Lsn> {
+        let (page_id, _) = slot_of(ob);
+        Ok(self.fetch(page_id, wal)?.page.page_lsn)
+    }
+
+    /// Current dirty-page table: `(page, recLSN)` for every dirty frame.
+    /// Snapshotted into fuzzy checkpoints.
+    pub fn dirty_page_table(&self) -> Vec<(PageId, Lsn)> {
+        let mut dpt: Vec<_> =
+            self.frames.iter().filter(|(_, f)| f.dirty).map(|(id, f)| (*id, f.rec_lsn)).collect();
+        dpt.sort_by_key(|(id, _)| *id);
+        dpt
+    }
+
+    /// Flushes every dirty page (write-ahead honored). Used for clean
+    /// shutdown and by tests that want a known disk state.
+    pub fn flush_all(&mut self, wal: &dyn LogFlush) -> Result<()> {
+        let mut dirty: Vec<PageId> =
+            self.frames.iter().filter(|(_, f)| f.dirty).map(|(id, _)| *id).collect();
+        dirty.sort();
+        for id in dirty {
+            let frame = self.frames.get_mut(&id).expect("dirty frame");
+            if !frame.page.page_lsn.is_null() {
+                wal.flush_to(frame.page.page_lsn)?;
+            }
+            self.disk.write_page(&frame.page)?;
+            frame.dirty = false;
+            frame.rec_lsn = Lsn::NULL;
+        }
+        Ok(())
+    }
+
+    /// Number of frames currently cached.
+    pub fn cached_pages(&self) -> usize {
+        self.frames.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parking_lot::Mutex;
+
+    /// Records the highest LSN it was asked to flush.
+    #[derive(Default)]
+    struct SpyWal {
+        flushed_to: Mutex<Option<Lsn>>,
+    }
+
+    impl LogFlush for SpyWal {
+        fn flush_to(&self, lsn: Lsn) -> Result<()> {
+            let mut g = self.flushed_to.lock();
+            *g = Some(g.map_or(lsn, |cur| cur.max(lsn)));
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn read_through_empty_object() {
+        let disk = Disk::new();
+        let mut pool = BufferPool::new(disk, 4);
+        assert_eq!(pool.read_object(ObjectId(10), &NoWal).unwrap(), Page::INITIAL_VALUE);
+    }
+
+    #[test]
+    fn write_then_read_same_object() {
+        let disk = Disk::new();
+        let mut pool = BufferPool::new(disk, 4);
+        pool.write_object(ObjectId(3), 99, Lsn(1), &NoWal).unwrap();
+        assert_eq!(pool.read_object(ObjectId(3), &NoWal).unwrap(), 99);
+        assert_eq!(pool.page_lsn_of(ObjectId(3), &NoWal).unwrap(), Lsn(1));
+    }
+
+    #[test]
+    fn no_force_crash_loses_unflushed_writes() {
+        let disk = Disk::new();
+        {
+            let mut pool = BufferPool::new(Arc::clone(&disk), 4);
+            pool.write_object(ObjectId(0), 7, Lsn(1), &NoWal).unwrap();
+            // pool dropped without flush: the crash
+        }
+        let mut pool2 = BufferPool::new(disk, 4);
+        assert_eq!(pool2.read_object(ObjectId(0), &NoWal).unwrap(), Page::INITIAL_VALUE);
+    }
+
+    #[test]
+    fn steal_eviction_writes_dirty_pages_and_honors_wal() {
+        let disk = Disk::new();
+        let wal = SpyWal::default();
+        let mut pool = BufferPool::new(Arc::clone(&disk), 1); // capacity 1 forces eviction
+        pool.write_object(ObjectId(0), 5, Lsn(9), &wal).unwrap(); // page 0
+        pool.write_object(ObjectId(64), 6, Lsn(10), &wal).unwrap(); // page 1, evicts page 0
+        assert_eq!(*wal.flushed_to.lock(), Some(Lsn(9)));
+        // The stolen page is on disk with the uncommitted value.
+        let on_disk = disk.read_page(PageId(0)).unwrap();
+        assert_eq!(on_disk.get(0), 5);
+        assert_eq!(on_disk.page_lsn, Lsn(9));
+    }
+
+    #[test]
+    fn flush_all_persists_and_cleans() {
+        let disk = Disk::new();
+        let wal = SpyWal::default();
+        let mut pool = BufferPool::new(Arc::clone(&disk), 8);
+        pool.write_object(ObjectId(0), 1, Lsn(1), &wal).unwrap();
+        pool.write_object(ObjectId(64), 2, Lsn(2), &wal).unwrap();
+        assert_eq!(pool.dirty_page_table().len(), 2);
+        pool.flush_all(&wal).unwrap();
+        assert_eq!(pool.dirty_page_table().len(), 0);
+        assert_eq!(*wal.flushed_to.lock(), Some(Lsn(2)));
+        assert_eq!(disk.read_page(PageId(0)).unwrap().get(0), 1);
+        assert_eq!(disk.read_page(PageId(1)).unwrap().get(0), 2);
+    }
+
+    #[test]
+    fn rec_lsn_is_first_dirtying_lsn() {
+        let disk = Disk::new();
+        let mut pool = BufferPool::new(disk, 4);
+        pool.write_object(ObjectId(0), 1, Lsn(5), &NoWal).unwrap();
+        pool.write_object(ObjectId(1), 2, Lsn(8), &NoWal).unwrap(); // same page
+        let dpt = pool.dirty_page_table();
+        assert_eq!(dpt, vec![(PageId(0), Lsn(5))]);
+    }
+
+    #[test]
+    fn eviction_prefers_least_recently_used() {
+        let disk = Disk::new();
+        let mut pool = BufferPool::new(Arc::clone(&disk), 2);
+        pool.write_object(ObjectId(0), 1, Lsn(1), &NoWal).unwrap(); // page 0
+        pool.write_object(ObjectId(64), 2, Lsn(2), &NoWal).unwrap(); // page 1
+        pool.read_object(ObjectId(0), &NoWal).unwrap(); // touch page 0
+        pool.write_object(ObjectId(128), 3, Lsn(3), &NoWal).unwrap(); // page 2 evicts page 1
+        assert!(pool.frames.contains_key(&PageId(0)));
+        assert!(!pool.frames.contains_key(&PageId(1)));
+        // Page 1 must have been persisted on eviction (it was dirty).
+        assert_eq!(disk.read_page(PageId(1)).unwrap().get(0), 2);
+    }
+
+    #[test]
+    fn clean_eviction_does_not_write() {
+        let disk = Disk::new();
+        let mut pool = BufferPool::new(Arc::clone(&disk), 1);
+        pool.read_object(ObjectId(0), &NoWal).unwrap(); // page 0, clean
+        let writes_before = disk.metrics().snapshot().page_writes;
+        pool.read_object(ObjectId(64), &NoWal).unwrap(); // evicts clean page 0
+        assert_eq!(disk.metrics().snapshot().page_writes, writes_before);
+    }
+}

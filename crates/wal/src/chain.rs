@@ -1,0 +1,159 @@
+//! Backward-chain walking (paper Fig. 4).
+//!
+//! "ARIES keeps, for each transaction, a Backward Chain (BC) linking the
+//! transaction's records in the log" (§3.3). A `delegate` record is linked
+//! into **both** the delegator's and the delegatee's chains (§3.5, step 4),
+//! so the walker must branch on which transaction's chain it is following:
+//! from a delegate record, the delegator continues at `prev_lsn` (torBC)
+//! and the delegatee at `tee_bc` (teeBC).
+
+use crate::log::LogManager;
+use crate::record::{LogRecord, RecordBody};
+use rh_common::{Lsn, Result, TxnId};
+
+/// Given a record on `txn`'s backward chain, the LSN of the previous
+/// record on that chain (`prevLSN(K, txn)` from the paper's Fig. 1).
+///
+/// Returns NULL at the start of the chain. The record must actually be on
+/// `txn`'s chain: it was either written by `txn` or is a delegate record
+/// naming `txn` as delegatee.
+pub fn prev_on_chain(rec: &LogRecord, txn: TxnId) -> Lsn {
+    match &rec.body {
+        RecordBody::Delegate { tee, tee_bc, .. } if *tee == txn && rec.txn != txn => *tee_bc,
+        _ => {
+            debug_assert_eq!(rec.txn, txn, "record not on this transaction's chain");
+            rec.prev_lsn
+        }
+    }
+}
+
+/// Iterator over one transaction's backward chain, most recent record
+/// first. Each step reads (and therefore counts) one log record.
+pub struct BackwardChainIter<'a> {
+    log: &'a LogManager,
+    txn: TxnId,
+    next: Lsn,
+}
+
+impl<'a> BackwardChainIter<'a> {
+    /// Starts walking `txn`'s chain from `head` (the `Tr_List` entry: the
+    /// most recent record written on behalf of the transaction).
+    pub fn new(log: &'a LogManager, txn: TxnId, head: Lsn) -> Self {
+        BackwardChainIter { log, txn, next: head }
+    }
+}
+
+impl Iterator for BackwardChainIter<'_> {
+    type Item = Result<LogRecord>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.next.is_null() {
+            return None;
+        }
+        match self.log.read(self.next) {
+            Err(e) => {
+                self.next = Lsn::NULL;
+                Some(Err(e))
+            }
+            Ok(rec) => {
+                self.next = prev_on_chain(&rec, self.txn);
+                Some(Ok(rec))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::DelegateBody;
+    use rh_common::{ObjectId, UpdateOp};
+
+    fn upd(ob: u64) -> RecordBody {
+        RecordBody::Update { ob: ObjectId(ob), op: UpdateOp::Add { delta: 1 } }
+    }
+
+    /// Builds the log of the paper's Example 1 / Fig. 2 and Fig. 4:
+    ///
+    /// ```text
+    /// 0 update[t1,a] 1 update[t2,x] 2 update[t2,a]
+    /// 3 update[t1,b] 4 update[t1,a] 5 update[t2,y] 6 delegate(t1-a->t2)
+    /// ```
+    fn fig2_log() -> LogManager {
+        let log = LogManager::new();
+        let a = 0u64;
+        let x = 1u64;
+        let b = 2u64;
+        let y = 3u64;
+        let t1 = TxnId(1);
+        let t2 = TxnId(2);
+        log.append(t1, Lsn::NULL, upd(a)); // 0
+        log.append(t2, Lsn::NULL, upd(x)); // 1
+        log.append(t2, Lsn(1), upd(a)); // 2
+        log.append(t1, Lsn(0), upd(b)); // 3
+        log.append(t1, Lsn(3), upd(a)); // 4
+        log.append(t2, Lsn(2), upd(y)); // 5
+        log.append(
+            t1,
+            Lsn(4), // torBC
+            RecordBody::Delegate { tee: t2, tee_bc: Lsn(5), body: DelegateBody::one(ObjectId(a)) },
+        ); // 6
+        log
+    }
+
+    fn chain_lsns(log: &LogManager, txn: TxnId, head: Lsn) -> Vec<u64> {
+        BackwardChainIter::new(log, txn, head)
+            .map(|r| r.unwrap().lsn.raw())
+            .collect()
+    }
+
+    #[test]
+    fn fig4_delegator_chain() {
+        // t1's chain: delegate(6) -> 4 -> 3 -> 0 (paper Fig. 4, upper chain).
+        let log = fig2_log();
+        assert_eq!(chain_lsns(&log, TxnId(1), Lsn(6)), vec![6, 4, 3, 0]);
+    }
+
+    #[test]
+    fn fig4_delegatee_chain() {
+        // t2's chain also heads at the delegate record: 6 -> 5 -> 2 -> 1.
+        let log = fig2_log();
+        assert_eq!(chain_lsns(&log, TxnId(2), Lsn(6)), vec![6, 5, 2, 1]);
+    }
+
+    #[test]
+    fn chain_survives_flush() {
+        let log = fig2_log();
+        log.flush_all().unwrap();
+        assert_eq!(chain_lsns(&log, TxnId(1), Lsn(6)), vec![6, 4, 3, 0]);
+    }
+
+    #[test]
+    fn empty_chain() {
+        let log = LogManager::new();
+        assert_eq!(chain_lsns(&log, TxnId(1), Lsn::NULL), Vec::<u64>::new());
+    }
+
+    #[test]
+    fn prev_on_chain_branches_at_delegate() {
+        let log = fig2_log();
+        let del = log.read(Lsn(6)).unwrap();
+        assert_eq!(prev_on_chain(&del, TxnId(1)), Lsn(4)); // torBC
+        assert_eq!(prev_on_chain(&del, TxnId(2)), Lsn(5)); // teeBC
+    }
+
+    #[test]
+    fn self_delegation_record_follows_tor_side() {
+        // A record where tor == tee must not be constructible through the
+        // engines (SelfDelegation error), but the walker should still be
+        // deterministic: it follows prev_lsn.
+        let log = LogManager::new();
+        log.append(TxnId(1), Lsn::NULL, upd(0));
+        log.append(
+            TxnId(1),
+            Lsn(0),
+            RecordBody::Delegate { tee: TxnId(1), tee_bc: Lsn(0), body: DelegateBody::All },
+        );
+        assert_eq!(chain_lsns(&log, TxnId(1), Lsn(1)), vec![1, 0]);
+    }
+}

@@ -1,0 +1,527 @@
+//! The log manager.
+//!
+//! "During normal execution, the only valid operation is appending a log
+//! record to the end of the log" (§3.1) — except for the eager/lazy
+//! *baselines*, which this crate also serves and which need
+//! [`LogManager::rewrite_in_place`]; ARIES/RH itself never calls it, and
+//! the metrics prove it.
+//!
+//! ## Stable / volatile split
+//!
+//! The [`StableLog`] holds encoded records that have been flushed; it is
+//! shared by `Arc` and **survives crashes**. The [`LogManager`] adds a
+//! volatile tail of appended-but-unflushed records. [`LogManager::crash`]
+//! discards the tail and detaches; a recovering engine calls
+//! [`LogManager::attach`] on the same `StableLog` and sees exactly the
+//! flushed prefix — so a commit whose force never completed is correctly
+//! invisible after the crash.
+
+use crate::metrics::LogMetrics;
+use crate::record::{LogRecord, RecordBody};
+use parking_lot::Mutex;
+use rh_common::codec::Codec;
+use rh_common::{Lsn, Result, RhError, TxnId};
+use std::sync::Arc;
+
+/// The crash-surviving, encoded portion of the log.
+#[derive(Debug, Default)]
+pub struct StableLog {
+    records: Mutex<Vec<Arc<[u8]>>>,
+    /// The "master record": LSN of the most recent checkpoint-begin
+    /// record, written atomically at a well-known location so recovery
+    /// knows where to start its forward pass. NULL if never checkpointed.
+    master: Mutex<Lsn>,
+    /// Number of records truncated off the front: `records[i]` holds the
+    /// record with LSN `base + i`. LSNs are never reused, so truncation
+    /// does not disturb backward chains, scopes, or page LSNs — reads
+    /// below `base` simply fail (and a correct engine never issues them;
+    /// see `truncate_prefix`).
+    base: Mutex<u64>,
+}
+
+impl StableLog {
+    /// Creates an empty stable log.
+    pub fn new() -> Arc<Self> {
+        Arc::new(StableLog::default())
+    }
+
+    /// Reads the master record (NULL when no checkpoint was ever taken).
+    pub fn master(&self) -> Lsn {
+        *self.master.lock()
+    }
+
+    /// Atomically updates the master record. The caller must have flushed
+    /// the checkpoint records first, or a crash between this write and the
+    /// flush would point recovery at a checkpoint that does not exist.
+    pub fn set_master(&self, lsn: Lsn) {
+        *self.master.lock() = lsn;
+    }
+
+    /// LSN of the oldest record still present (0 if never truncated).
+    pub fn base(&self) -> u64 {
+        *self.base.lock()
+    }
+
+    /// Number of records on stable storage.
+    pub fn len(&self) -> usize {
+        self.records.lock().len()
+    }
+
+    /// True if no record was ever flushed.
+    pub fn is_empty(&self) -> bool {
+        self.records.lock().is_empty()
+    }
+}
+
+struct Inner {
+    /// Unflushed records; record `stable_len + i` is `tail[i]`.
+    tail: std::collections::VecDeque<LogRecord>,
+}
+
+/// Volatile interface to the log: appends, flushes, reads, scans, and
+/// (baselines only) in-place rewrites.
+///
+/// All methods take `&self`; internal locking makes a shared
+/// `Arc<LogManager>` safe for the multi-threaded ETM driver. The lock is
+/// never held across user code.
+pub struct LogManager {
+    stable: Arc<StableLog>,
+    inner: Mutex<Inner>,
+    metrics: Arc<LogMetrics>,
+}
+
+impl LogManager {
+    /// Creates a log manager over a fresh stable log.
+    pub fn new() -> Self {
+        Self::attach(StableLog::new())
+    }
+
+    /// Attaches to an existing stable log — the post-crash constructor.
+    /// Any record not in `stable` is gone, exactly like a real crash.
+    pub fn attach(stable: Arc<StableLog>) -> Self {
+        LogManager {
+            stable,
+            inner: Mutex::new(Inner { tail: std::collections::VecDeque::new() }),
+            metrics: Arc::new(LogMetrics::default()),
+        }
+    }
+
+    /// The stable log, for handing to the next incarnation after a crash.
+    pub fn stable(&self) -> Arc<StableLog> {
+        Arc::clone(&self.stable)
+    }
+
+    /// Access the metrics counters.
+    pub fn metrics(&self) -> &Arc<LogMetrics> {
+        &self.metrics
+    }
+
+    /// Total number of records ever appended (truncated ones included —
+    /// LSNs are positions in the *logical* log).
+    pub fn len(&self) -> usize {
+        let stable = self.stable.records.lock();
+        let base = *self.stable.base.lock() as usize;
+        base + stable.len() + self.inner.lock().tail.len()
+    }
+
+    /// LSN of the oldest record still readable (after truncation).
+    pub fn first_lsn(&self) -> Lsn {
+        Lsn(self.stable.base())
+    }
+
+    /// True if the log has no records at all.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// LSN the next append will receive.
+    pub fn curr_lsn(&self) -> Lsn {
+        Lsn(self.len() as u64)
+    }
+
+    /// LSN of the last record, or NULL on an empty log.
+    pub fn last_lsn(&self) -> Lsn {
+        match self.len() {
+            0 => Lsn::NULL,
+            n => Lsn(n as u64 - 1),
+        }
+    }
+
+    /// Logical stable horizon: every record with LSN below this is on
+    /// stable storage (or was, before truncation).
+    pub fn stable_len(&self) -> usize {
+        // Lock order: records -> base (as everywhere else).
+        let records = self.stable.records.lock();
+        let base = *self.stable.base.lock() as usize;
+        base + records.len()
+    }
+
+    /// Drops every stable record with LSN `< upto` (log truncation after
+    /// a checkpoint). `upto` must not exceed the stable horizon, and the
+    /// caller is responsible for `upto` being recovery-safe: no active
+    /// transaction's first record, live scope, or dirty-page recLSN may
+    /// lie below it. Returns the number of records dropped.
+    pub fn truncate_prefix(&self, upto: Lsn) -> Result<u64> {
+        if upto.is_null() {
+            return Ok(0);
+        }
+        let mut records = self.stable.records.lock();
+        let mut base = self.stable.base.lock();
+        if upto.raw() < *base {
+            return Ok(0); // already truncated past this point
+        }
+        let drop_n = (upto.raw() - *base).min(records.len() as u64);
+        records.drain(..drop_n as usize);
+        *base += drop_n;
+        Ok(drop_n)
+    }
+
+    /// Appends a record, assigning and returning its LSN.
+    ///
+    /// The caller provides `txn`, `prev_lsn` (its backward-chain head) and
+    /// the body; the manager assigns the LSN, so records cannot be
+    /// constructed with mismatched positions.
+    pub fn append(&self, txn: TxnId, prev_lsn: Lsn, body: RecordBody) -> Lsn {
+        // Lock order everywhere is stable -> inner.
+        let stable = self.stable.records.lock();
+        let stable_horizon = *self.stable.base.lock() as usize + stable.len();
+        let mut inner = self.inner.lock();
+        drop(stable);
+        let lsn = Lsn((stable_horizon + inner.tail.len()) as u64);
+        inner.tail.push_back(LogRecord { lsn, txn, prev_lsn, body });
+        self.metrics.record_append(lsn.raw());
+        lsn
+    }
+
+    /// Forces every record with LSN `<= lsn` to stable storage.
+    pub fn flush_to(&self, lsn: Lsn) -> Result<()> {
+        if lsn.is_null() {
+            return Ok(());
+        }
+        let mut stable = self.stable.records.lock();
+        let base = *self.stable.base.lock();
+        let mut inner = self.inner.lock();
+        let mut moved = 0u64;
+        while !inner.tail.is_empty() && base + stable.len() as u64 <= lsn.raw() {
+            let rec = inner.tail.pop_front().expect("tail non-empty");
+            debug_assert_eq!(rec.lsn.raw(), base + stable.len() as u64, "flush order");
+            stable.push(rec.to_bytes().into());
+            moved += 1;
+        }
+        self.metrics.record_flush(moved);
+        Ok(())
+    }
+
+    /// Forces the entire log.
+    pub fn flush_all(&self) -> Result<()> {
+        self.flush_to(self.last_lsn())
+    }
+
+    /// Reads the record at `lsn` (from the tail if unflushed, decoding
+    /// from stable bytes otherwise). Counts a read and possibly a seek.
+    pub fn read(&self, lsn: Lsn) -> Result<LogRecord> {
+        if lsn.is_null() {
+            return Err(RhError::CorruptLog { lsn, reason: "read of NULL lsn" });
+        }
+        self.metrics.record_read(lsn.raw());
+        let stable = self.stable.records.lock();
+        let base = *self.stable.base.lock();
+        if lsn.raw() < base {
+            return Err(RhError::CorruptLog { lsn, reason: "read below truncation point" });
+        }
+        if ((lsn.raw() - base) as usize) < stable.len() {
+            let bytes = Arc::clone(&stable[(lsn.raw() - base) as usize]);
+            drop(stable);
+            let rec = LogRecord::from_bytes(&bytes)
+                .map_err(|_| RhError::CorruptLog { lsn, reason: "undecodable record" })?;
+            if rec.lsn != lsn {
+                return Err(RhError::CorruptLog { lsn, reason: "stored lsn mismatch" });
+            }
+            Ok(rec)
+        } else {
+            let horizon = base as usize + stable.len();
+            let inner = self.inner.lock();
+            drop(stable);
+            let idx = lsn.raw() as usize - horizon;
+            inner
+                .tail
+                .get(idx)
+                .cloned()
+                .ok_or(RhError::CorruptLog { lsn, reason: "read past end of log" })
+        }
+    }
+
+    /// Overwrites the record at `lsn` **in place**. Only the eager and
+    /// lazy rewriting baselines use this; it exists so the paper's naïve
+    /// alternatives can be implemented faithfully and measured. The new
+    /// record keeps the old LSN.
+    pub fn rewrite_in_place(
+        &self,
+        lsn: Lsn,
+        f: impl FnOnce(&mut LogRecord),
+    ) -> Result<()> {
+        self.metrics.record_rewrite(lsn.raw());
+        let mut stable = self.stable.records.lock();
+        let base = *self.stable.base.lock();
+        if lsn.raw() < base {
+            return Err(RhError::CorruptLog { lsn, reason: "rewrite below truncation point" });
+        }
+        let idx0 = (lsn.raw() - base) as usize;
+        if idx0 < stable.len() {
+            let mut rec = LogRecord::from_bytes(&stable[idx0])
+                .map_err(|_| RhError::CorruptLog { lsn, reason: "undecodable record" })?;
+            f(&mut rec);
+            rec.lsn = lsn;
+            stable[idx0] = rec.to_bytes().into();
+            Ok(())
+        } else {
+            let horizon = base as usize + stable.len();
+            drop(stable);
+            let mut inner = self.inner.lock();
+            let idx = lsn.raw() as usize - horizon;
+            let rec = inner
+                .tail
+                .get_mut(idx)
+                .ok_or(RhError::CorruptLog { lsn, reason: "rewrite past end of log" })?;
+            f(rec);
+            rec.lsn = lsn;
+            Ok(())
+        }
+    }
+
+    /// Scans records in `[from, to]` forward, invoking `f` on each.
+    /// The recovery forward pass (paper Fig. 3) is built on this.
+    pub fn scan_forward(
+        &self,
+        from: Lsn,
+        to: Lsn,
+        mut f: impl FnMut(&LogRecord) -> Result<()>,
+    ) -> Result<()> {
+        if from.is_null() || to.is_null() || from > to {
+            return Ok(());
+        }
+        let mut lsn = from;
+        while lsn <= to {
+            let rec = self.read(lsn)?;
+            f(&rec)?;
+            lsn = lsn.next();
+        }
+        Ok(())
+    }
+
+    /// Simulates a crash: the volatile tail is dropped. Returns the stable
+    /// log to attach a recovering manager to.
+    pub fn crash(self) -> Arc<StableLog> {
+        // Dropping `self.inner` loses the tail; only `stable` survives.
+        self.stable
+    }
+}
+
+impl Default for LogManager {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl rh_storage::LogFlush for LogManager {
+    fn flush_to(&self, lsn: Lsn) -> Result<()> {
+        LogManager::flush_to(self, lsn)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rh_common::{ObjectId, UpdateOp};
+
+    fn upd(ob: u64) -> RecordBody {
+        RecordBody::Update { ob: ObjectId(ob), op: UpdateOp::Add { delta: 1 } }
+    }
+
+    #[test]
+    fn appends_assign_dense_lsns() {
+        let log = LogManager::new();
+        assert_eq!(log.append(TxnId(1), Lsn::NULL, RecordBody::Begin), Lsn(0));
+        assert_eq!(log.append(TxnId(1), Lsn(0), upd(0)), Lsn(1));
+        assert_eq!(log.curr_lsn(), Lsn(2));
+        assert_eq!(log.last_lsn(), Lsn(1));
+    }
+
+    #[test]
+    fn read_from_tail_and_stable() {
+        let log = LogManager::new();
+        log.append(TxnId(1), Lsn::NULL, RecordBody::Begin);
+        log.append(TxnId(1), Lsn(0), upd(3));
+        // Unflushed: read from tail.
+        assert_eq!(log.read(Lsn(1)).unwrap().body, upd(3));
+        log.flush_all().unwrap();
+        // Flushed: decode from stable bytes.
+        let rec = log.read(Lsn(1)).unwrap();
+        assert_eq!(rec.body, upd(3));
+        assert_eq!(rec.txn, TxnId(1));
+        assert_eq!(rec.prev_lsn, Lsn(0));
+    }
+
+    #[test]
+    fn flush_to_is_a_prefix_operation() {
+        let log = LogManager::new();
+        for i in 0..5 {
+            log.append(TxnId(1), Lsn::NULL, upd(i));
+        }
+        log.flush_to(Lsn(2)).unwrap();
+        assert_eq!(log.stable_len(), 3);
+        log.flush_to(Lsn(1)).unwrap(); // already stable: no-op
+        assert_eq!(log.stable_len(), 3);
+        log.flush_all().unwrap();
+        assert_eq!(log.stable_len(), 5);
+    }
+
+    #[test]
+    fn crash_loses_exactly_the_unflushed_tail() {
+        let log = LogManager::new();
+        log.append(TxnId(1), Lsn::NULL, RecordBody::Begin);
+        log.append(TxnId(1), Lsn(0), upd(0));
+        log.flush_to(Lsn(1)).unwrap();
+        log.append(TxnId(1), Lsn(1), RecordBody::Commit); // never forced
+        let stable = log.crash();
+        let log2 = LogManager::attach(stable);
+        assert_eq!(log2.len(), 2); // commit record gone
+        assert_eq!(log2.read(Lsn(1)).unwrap().body, upd(0));
+        assert!(log2.read(Lsn(2)).is_err());
+    }
+
+    #[test]
+    fn post_crash_appends_continue_the_lsn_space() {
+        let log = LogManager::new();
+        log.append(TxnId(1), Lsn::NULL, RecordBody::Begin);
+        log.flush_all().unwrap();
+        log.append(TxnId(1), Lsn(0), upd(0)); // lost
+        let log2 = LogManager::attach(log.crash());
+        assert_eq!(log2.append(TxnId(2), Lsn::NULL, RecordBody::Begin), Lsn(1));
+    }
+
+    #[test]
+    fn rewrite_in_place_changes_txn_field() {
+        // The eager baseline's setTransID (paper Fig. 1).
+        let log = LogManager::new();
+        log.append(TxnId(1), Lsn::NULL, upd(0));
+        log.flush_all().unwrap();
+        log.rewrite_in_place(Lsn(0), |rec| rec.txn = TxnId(2)).unwrap();
+        assert_eq!(log.read(Lsn(0)).unwrap().txn, TxnId(2));
+        assert_eq!(log.metrics().snapshot().in_place_rewrites, 1);
+    }
+
+    #[test]
+    fn rewrite_in_place_works_on_unflushed_tail_too() {
+        let log = LogManager::new();
+        log.append(TxnId(1), Lsn::NULL, upd(0));
+        log.rewrite_in_place(Lsn(0), |rec| rec.txn = TxnId(9)).unwrap();
+        assert_eq!(log.read(Lsn(0)).unwrap().txn, TxnId(9));
+    }
+
+    #[test]
+    fn scan_forward_visits_in_order() {
+        let log = LogManager::new();
+        for i in 0..4 {
+            log.append(TxnId(1), Lsn::NULL, upd(i));
+        }
+        let mut seen = Vec::new();
+        log.scan_forward(Lsn(1), Lsn(3), |rec| {
+            seen.push(rec.lsn);
+            Ok(())
+        })
+        .unwrap();
+        assert_eq!(seen, vec![Lsn(1), Lsn(2), Lsn(3)]);
+    }
+
+    #[test]
+    fn scan_forward_empty_ranges() {
+        let log = LogManager::new();
+        log.append(TxnId(1), Lsn::NULL, RecordBody::Begin);
+        let mut n = 0;
+        log.scan_forward(Lsn(1), Lsn(0), |_| {
+            n += 1;
+            Ok(())
+        })
+        .unwrap();
+        log.scan_forward(Lsn::NULL, Lsn(0), |_| {
+            n += 1;
+            Ok(())
+        })
+        .unwrap();
+        assert_eq!(n, 0);
+    }
+
+    #[test]
+    fn read_null_lsn_is_an_error() {
+        let log = LogManager::new();
+        assert!(log.read(Lsn::NULL).is_err());
+    }
+
+    #[test]
+    fn truncate_prefix_drops_old_records_keeps_lsns() {
+        let log = LogManager::new();
+        for i in 0..6 {
+            log.append(TxnId(1), Lsn::NULL, upd(i));
+        }
+        log.flush_all().unwrap();
+        assert_eq!(log.truncate_prefix(Lsn(3)).unwrap(), 3);
+        assert_eq!(log.first_lsn(), Lsn(3));
+        assert_eq!(log.len(), 6); // logical length unchanged
+        // Old reads fail cleanly; surviving records keep their LSNs.
+        assert!(log.read(Lsn(2)).is_err());
+        assert_eq!(log.read(Lsn(4)).unwrap().body, upd(4));
+        // Appends continue in the same LSN space.
+        assert_eq!(log.append(TxnId(1), Lsn::NULL, upd(9)), Lsn(6));
+        log.flush_all().unwrap();
+        assert_eq!(log.read(Lsn(6)).unwrap().body, upd(9));
+    }
+
+    #[test]
+    fn truncation_survives_crash() {
+        let log = LogManager::new();
+        for i in 0..4 {
+            log.append(TxnId(1), Lsn::NULL, upd(i));
+        }
+        log.flush_all().unwrap();
+        log.truncate_prefix(Lsn(2)).unwrap();
+        let log2 = LogManager::attach(log.crash());
+        assert_eq!(log2.first_lsn(), Lsn(2));
+        assert_eq!(log2.len(), 4);
+        assert!(log2.read(Lsn(1)).is_err());
+        assert_eq!(log2.read(Lsn(3)).unwrap().body, upd(3));
+    }
+
+    #[test]
+    fn truncate_is_idempotent_and_bounded() {
+        let log = LogManager::new();
+        for i in 0..4 {
+            log.append(TxnId(1), Lsn::NULL, upd(i));
+        }
+        log.flush_to(Lsn(1)).unwrap(); // 2 stable, 2 volatile
+        // Cannot truncate past the stable horizon.
+        assert_eq!(log.truncate_prefix(Lsn(10)).unwrap(), 2);
+        assert_eq!(log.first_lsn(), Lsn(2));
+        // Re-truncating at or below base is a no-op.
+        assert_eq!(log.truncate_prefix(Lsn(1)).unwrap(), 0);
+        assert_eq!(log.truncate_prefix(Lsn::NULL).unwrap(), 0);
+    }
+
+    #[test]
+    fn metrics_distinguish_sequential_from_seeking() {
+        let log = LogManager::new();
+        for i in 0..10 {
+            log.append(TxnId(1), Lsn::NULL, upd(i));
+        }
+        log.metrics().reset();
+        // Sequential backward read: no seeks.
+        for i in (0..10).rev() {
+            log.read(Lsn(i)).unwrap();
+        }
+        assert_eq!(log.metrics().snapshot().seeks, 0);
+        // Chain-following read pattern: seeks.
+        log.read(Lsn(9)).unwrap();
+        log.read(Lsn(2)).unwrap();
+        assert_eq!(log.metrics().snapshot().seeks, 2); // 0->9 and 9->2
+    }
+}

@@ -1,0 +1,113 @@
+//! Property tests for the log manager against a trivial reference model:
+//! a growing `Vec` of records plus a stable-prefix watermark. Random
+//! interleavings of append / flush / crash / read / truncate must agree
+//! with the model exactly.
+
+use proptest::prelude::*;
+use rh_common::{Lsn, ObjectId, TxnId, UpdateOp};
+use rh_wal::record::RecordBody;
+use rh_wal::LogManager;
+
+#[derive(Debug, Clone, Copy)]
+enum Op {
+    Append(u8, u8),
+    FlushTo(u8),
+    FlushAll,
+    Crash,
+    Read(u8),
+    Truncate(u8),
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        5 => (any::<u8>(), any::<u8>()).prop_map(|(t, o)| Op::Append(t, o)),
+        2 => any::<u8>().prop_map(Op::FlushTo),
+        1 => Just(Op::FlushAll),
+        1 => Just(Op::Crash),
+        4 => any::<u8>().prop_map(Op::Read),
+        1 => any::<u8>().prop_map(Op::Truncate),
+    ]
+}
+
+fn body(ob: u8) -> RecordBody {
+    RecordBody::Update { ob: ObjectId(ob as u64), op: UpdateOp::Add { delta: 1 } }
+}
+
+proptest! {
+    #[test]
+    fn log_matches_reference_model(ops in proptest::collection::vec(op_strategy(), 0..120)) {
+        let mut log = LogManager::new();
+        // Reference: (txn, body-ob) per record, watermark of stable
+        // prefix, truncation base.
+        let mut model: Vec<(u64, u8)> = Vec::new();
+        let mut stable: usize = 0;
+        let mut base: usize = 0;
+
+        for op in ops {
+            match op {
+                Op::Append(t, o) => {
+                    let lsn = log.append(TxnId(t as u64), Lsn::NULL, body(o));
+                    prop_assert_eq!(lsn.raw() as usize, model.len());
+                    model.push((t as u64, o));
+                }
+                Op::FlushTo(k) => {
+                    let upto = k as usize % (model.len() + 1);
+                    if upto > 0 {
+                        log.flush_to(Lsn(upto as u64 - 1)).unwrap();
+                        stable = stable.max(upto);
+                    }
+                }
+                Op::FlushAll => {
+                    log.flush_all().unwrap();
+                    stable = model.len();
+                }
+                Op::Crash => {
+                    let kept = log.crash();
+                    log = LogManager::attach(kept);
+                    model.truncate(stable);
+                }
+                Op::Read(k) => {
+                    if model.is_empty() {
+                        continue;
+                    }
+                    let lsn = k as usize % model.len();
+                    let res = log.read(Lsn(lsn as u64));
+                    if lsn < base {
+                        prop_assert!(res.is_err(), "read below base must fail");
+                    } else {
+                        let rec = res.unwrap();
+                        prop_assert_eq!(rec.txn, TxnId(model[lsn].0));
+                        prop_assert_eq!(&rec.body, &body(model[lsn].1));
+                    }
+                }
+                Op::Truncate(k) => {
+                    let upto = (k as usize % (model.len() + 1)).min(stable);
+                    log.truncate_prefix(Lsn(upto as u64)).unwrap();
+                    base = base.max(upto);
+                }
+            }
+            // Global invariants after every step.
+            prop_assert_eq!(log.len(), model.len());
+            prop_assert_eq!(log.stable_len(), stable);
+            prop_assert_eq!(log.first_lsn().raw() as usize, base);
+        }
+    }
+
+    #[test]
+    fn flush_is_prefix_closed(appends in 1usize..60, cut in any::<u8>()) {
+        // After flushing to any point and crashing, the survivor is
+        // exactly the prefix: no holes, no reordering.
+        let log = LogManager::new();
+        for i in 0..appends {
+            log.append(TxnId(i as u64), Lsn::NULL, body(i as u8));
+        }
+        let cut = cut as usize % appends;
+        log.flush_to(Lsn(cut as u64)).unwrap();
+        let log2 = LogManager::attach(log.crash());
+        prop_assert_eq!(log2.len(), cut + 1);
+        for i in 0..=cut {
+            prop_assert_eq!(log2.read(Lsn(i as u64)).unwrap().txn, TxnId(i as u64));
+        }
+        prop_assert!(log2.read(Lsn(cut as u64 + 1)).is_err());
+    }
+}

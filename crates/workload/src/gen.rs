@@ -1,0 +1,254 @@
+//! The generators.
+
+use crate::spec::WorkloadSpec;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use rh_core::history::{Event, Label};
+use rh_common::ObjectId;
+
+/// State threaded through a generation run.
+struct Gen {
+    rng: StdRng,
+    next_label: Label,
+    events: Vec<Event>,
+}
+
+impl Gen {
+    fn new(seed: u64) -> Self {
+        Gen { rng: StdRng::seed_from_u64(seed), next_label: 0, events: Vec::new() }
+    }
+
+    fn begin(&mut self) -> Label {
+        let l = self.next_label;
+        self.next_label += 1;
+        self.events.push(Event::Begin(l));
+        l
+    }
+
+    /// One job's updates over its private object range.
+    fn updates(&mut self, t: Label, spec: &WorkloadSpec, base: u64) {
+        for u in 0..spec.updates_per_txn {
+            let ob = ObjectId(base + (u as u64 % spec.objects_per_txn.max(1)));
+            if self.rng.random_bool(spec.write_ratio) {
+                let v = self.rng.random_range(-1000..1000);
+                self.events.push(Event::Write(t, ob, v));
+            } else {
+                let d = self.rng.random_range(1..100);
+                self.events.push(Event::Add(t, ob, d));
+            }
+        }
+    }
+
+    /// Terminates the responsible transaction per the spec's fate mix.
+    fn finish(&mut self, t: Label, spec: &WorkloadSpec) {
+        if self.rng.random_bool(spec.straggler_rate) {
+            // Leave running: a loser if the experiment crashes.
+        } else if self.rng.random_bool(spec.abort_rate) {
+            self.events.push(Event::Abort(t));
+        } else {
+            self.events.push(Event::Commit(t));
+        }
+    }
+}
+
+/// E1/E6 workload: plain transactions, **zero delegation**. Reads
+/// `txns`, `updates_per_txn`, `objects_per_txn`, `write_ratio`,
+/// `abort_rate`, `straggler_rate`.
+pub fn boring(spec: &WorkloadSpec) -> Vec<Event> {
+    let mut g = Gen::new(spec.seed);
+    for i in 0..spec.txns {
+        let t = g.begin();
+        g.updates(t, spec, i as u64 * spec.objects_per_txn);
+        g.finish(t, spec);
+    }
+    g.events
+}
+
+/// E3/E4/E6 workload: each job performs its updates, then with
+/// probability `delegation_rate` hands its objects down a delegation
+/// chain of `chain_len` fresh transactions; the final responsible
+/// transaction commits/aborts/straggles per the fate mix.
+pub fn delegation_mix(spec: &WorkloadSpec) -> Vec<Event> {
+    let mut g = Gen::new(spec.seed);
+    for i in 0..spec.txns {
+        let base = i as u64 * spec.objects_per_txn;
+        let t = g.begin();
+        g.updates(t, spec, base);
+        let delegate = g.rng.random_bool(spec.delegation_rate);
+        if !delegate {
+            g.finish(t, spec);
+            continue;
+        }
+        let obs: Vec<ObjectId> =
+            (0..spec.objects_per_txn.max(1).min(spec.updates_per_txn as u64))
+                .map(|k| ObjectId(base + k))
+                .collect();
+        let mut holder = t;
+        for _ in 0..spec.chain_len.max(1) {
+            let tee = g.begin();
+            g.events.push(Event::Delegate(holder, tee, obs.clone()));
+            // The delegator's fate is now irrelevant to these objects;
+            // close it out so the table stays small.
+            g.events.push(Event::Commit(holder));
+            holder = tee;
+        }
+        g.finish(holder, spec);
+    }
+    g.events
+}
+
+/// E3 stress variant: all jobs first run their updates **interleaved**
+/// (round-robin), then the delegation/fate phase follows. Interleaving
+/// spreads each transaction's records across the whole log prefix, which
+/// is what makes the eager baseline's per-delegation backward sweep long
+/// (its sweep must reach the delegator's oldest owned record).
+pub fn interleaved_mix(spec: &WorkloadSpec) -> Vec<Event> {
+    let mut g = Gen::new(spec.seed);
+    let jobs: Vec<Label> = (0..spec.txns).map(|_| g.begin()).collect();
+    let mut touched: Vec<std::collections::BTreeSet<ObjectId>> =
+        vec![std::collections::BTreeSet::new(); jobs.len()];
+    for _round in 0..spec.updates_per_txn {
+        for (i, &t) in jobs.iter().enumerate() {
+            let base = i as u64 * spec.objects_per_txn;
+            let ob = ObjectId(base + g.rng.random_range(0..spec.objects_per_txn.max(1)));
+            touched[i].insert(ob);
+            if g.rng.random_bool(spec.write_ratio) {
+                let v = g.rng.random_range(-1000..1000);
+                g.events.push(Event::Write(t, ob, v));
+            } else {
+                let d = g.rng.random_range(1..100);
+                g.events.push(Event::Add(t, ob, d));
+            }
+        }
+    }
+    for (i, &t) in jobs.iter().enumerate() {
+        if !g.rng.random_bool(spec.delegation_rate) {
+            g.finish(t, spec);
+            continue;
+        }
+        // Only objects the job actually updated may be delegated
+        // (well-formedness, §2.1.2).
+        let obs: Vec<ObjectId> = touched[i].iter().copied().collect();
+        let mut holder = t;
+        for _ in 0..spec.chain_len.max(1) {
+            let tee = g.begin();
+            g.events.push(Event::Delegate(holder, tee, obs.clone()));
+            g.events.push(Event::Commit(holder));
+            holder = tee;
+        }
+        g.finish(holder, spec);
+    }
+    g.events
+}
+
+/// E2 workload: one worker updates `k` distinct objects, then delegates
+/// all of them to a second transaction in a single `delegate` call.
+/// Returns the history; the delegation is the second-to-last event.
+pub fn fan_delegation(seed: u64, k: u64) -> Vec<Event> {
+    let mut g = Gen::new(seed);
+    let tor = g.begin();
+    for ob in 0..k {
+        g.events.push(Event::Add(tor, ObjectId(ob), 1));
+    }
+    let tee = g.begin();
+    let obs: Vec<ObjectId> = (0..k).map(ObjectId).collect();
+    g.events.push(Event::Delegate(tor, tee, obs));
+    g.events.push(Event::Commit(tee));
+    g.events.push(Event::Commit(tor));
+    g.events
+}
+
+/// Chained delegation of a single object through `hops` transactions,
+/// with `spacer_txns` boring committed transactions padding the log
+/// between hops (this is what makes the eager baseline's backward sweeps
+/// long). The final holder is left running (a loser on crash) when
+/// `loser_tail` is set.
+pub fn delegation_chain(seed: u64, hops: usize, spacer_txns: usize, loser_tail: bool) -> Vec<Event> {
+    let spec = WorkloadSpec::default();
+    let mut g = Gen::new(seed);
+    let ob = ObjectId(0);
+    let t0 = g.begin();
+    g.events.push(Event::Add(t0, ob, 1));
+    let mut holder = t0;
+    for _ in 0..hops {
+        // Padding: committed boring work between hops.
+        for s in 0..spacer_txns {
+            let t = g.begin();
+            // Private objects far away from the chained object.
+            let base = 1_000 + (s as u64) * spec.objects_per_txn;
+            g.updates(t, &spec, base);
+            g.events.push(Event::Commit(t));
+        }
+        let tee = g.begin();
+        g.events.push(Event::Delegate(holder, tee, vec![ob]));
+        g.events.push(Event::Commit(holder));
+        holder = tee;
+    }
+    if !loser_tail {
+        g.events.push(Event::Commit(holder));
+    }
+    g.events
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rh_core::eager::EagerDb;
+    use rh_core::engine::{RhDb, Strategy};
+    use rh_core::history::assert_engine_matches_oracle;
+    use rh_eos::EosDb;
+
+    #[test]
+    fn generators_are_deterministic() {
+        let spec = WorkloadSpec::default().txns(20).delegation_rate(0.5);
+        assert_eq!(delegation_mix(&spec), delegation_mix(&spec));
+        assert_ne!(delegation_mix(&spec), delegation_mix(&spec.seed(99)));
+    }
+
+    #[test]
+    fn boring_has_no_delegations() {
+        let events = boring(&WorkloadSpec::default().txns(50));
+        assert!(events
+            .iter()
+            .all(|e| !matches!(e, Event::Delegate(..) | Event::DelegateAll(..))));
+    }
+
+    #[test]
+    fn delegation_mix_produces_delegations() {
+        let spec = WorkloadSpec::default().txns(50).delegation_rate(1.0);
+        let events = delegation_mix(&spec);
+        let dels = events.iter().filter(|e| matches!(e, Event::Delegate(..))).count();
+        assert_eq!(dels, 50);
+    }
+
+    #[test]
+    fn workloads_replay_on_all_engines() {
+        // The generators must produce histories every engine accepts and
+        // computes correctly (oracle-checked), with a crash at the end.
+        let spec = WorkloadSpec::default().txns(40).delegation_rate(0.4).straggler_rate(0.3);
+        for seed in [1u64, 2, 3] {
+            let mut events = delegation_mix(&spec.seed(seed));
+            events.push(Event::Crash);
+            assert_engine_matches_oracle(RhDb::new(Strategy::Rh), &events);
+            assert_engine_matches_oracle(RhDb::new(Strategy::LazyRewrite), &events);
+            assert_engine_matches_oracle(EagerDb::new(), &events);
+            assert_engine_matches_oracle(EosDb::new(), &events);
+        }
+    }
+
+    #[test]
+    fn fan_delegation_shape() {
+        let events = fan_delegation(1, 5);
+        let adds = events.iter().filter(|e| matches!(e, Event::Add(..))).count();
+        assert_eq!(adds, 5);
+        assert!(matches!(events[events.len() - 3], Event::Delegate(_, _, ref obs) if obs.len() == 5));
+    }
+
+    #[test]
+    fn chain_replays_correctly() {
+        let mut events = delegation_chain(7, 5, 3, true);
+        events.push(Event::Crash);
+        assert_engine_matches_oracle(RhDb::new(Strategy::Rh), &events);
+        assert_engine_matches_oracle(EagerDb::new(), &events);
+    }
+}

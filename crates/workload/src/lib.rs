@@ -1,0 +1,16 @@
+//! # rh-workload
+//!
+//! Seeded workload generators for the ARIES/RH experiments (E1–E8).
+//!
+//! Workloads are [`rh_core::history::Event`] sequences — the same
+//! language the engines, the oracle, and the tests speak — and are valid
+//! by construction: every transaction updates its own private object
+//! range (no lock conflicts), plus optional shared counters updated with
+//! commuting `Add`s. All randomness flows from an explicit seed, so every
+//! experiment is reproducible.
+
+pub mod gen;
+pub mod spec;
+
+pub use gen::{boring, delegation_chain, delegation_mix, fan_delegation, interleaved_mix};
+pub use spec::WorkloadSpec;

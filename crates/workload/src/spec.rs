@@ -1,0 +1,83 @@
+//! Workload parameterization.
+
+/// Parameters shared by the generators. Each generator documents which
+/// fields it reads.
+#[derive(Debug, Clone, Copy)]
+pub struct WorkloadSpec {
+    /// RNG seed — same seed, same workload.
+    pub seed: u64,
+    /// Number of top-level transactions (jobs).
+    pub txns: usize,
+    /// Updates each transaction performs.
+    pub updates_per_txn: usize,
+    /// Private objects per transaction (updates round-robin over them).
+    pub objects_per_txn: u64,
+    /// Probability a transaction's work is delegated onward rather than
+    /// committed/aborted by the invoker.
+    pub delegation_rate: f64,
+    /// Length of delegation chains (1 = a single delegation hop).
+    pub chain_len: usize,
+    /// Probability the final responsible transaction aborts explicitly.
+    pub abort_rate: f64,
+    /// Probability the final responsible transaction is simply left
+    /// running — a loser if the experiment crashes at the end.
+    pub straggler_rate: f64,
+    /// Fraction of updates that are `Write`s (the rest are `Add`s).
+    pub write_ratio: f64,
+}
+
+impl Default for WorkloadSpec {
+    fn default() -> Self {
+        WorkloadSpec {
+            seed: 0x5eed,
+            txns: 100,
+            updates_per_txn: 8,
+            objects_per_txn: 4,
+            delegation_rate: 0.0,
+            chain_len: 1,
+            abort_rate: 0.05,
+            straggler_rate: 0.05,
+            write_ratio: 0.5,
+        }
+    }
+}
+
+impl WorkloadSpec {
+    /// Convenience: set the seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Convenience: set the transaction count.
+    pub fn txns(mut self, txns: usize) -> Self {
+        self.txns = txns;
+        self
+    }
+
+    /// Convenience: set the delegation rate.
+    pub fn delegation_rate(mut self, rate: f64) -> Self {
+        self.delegation_rate = rate;
+        self
+    }
+
+    /// Convenience: set the straggler (leave-running) rate.
+    pub fn straggler_rate(mut self, rate: f64) -> Self {
+        self.straggler_rate = rate;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_style_setters() {
+        let s = WorkloadSpec::default().seed(7).txns(3).delegation_rate(0.5).straggler_rate(1.0);
+        assert_eq!(s.seed, 7);
+        assert_eq!(s.txns, 3);
+        assert_eq!(s.delegation_rate, 0.5);
+        assert_eq!(s.straggler_rate, 1.0);
+    }
+}

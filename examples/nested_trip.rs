@@ -1,0 +1,73 @@
+//! The paper's §2.2.2 nested-transaction example: booking a trip.
+//!
+//! ```text
+//! cargo run --example nested_trip
+//! ```
+//!
+//! "If the airline reservation fails, then the trip is canceled. If the
+//! hotel reservation fails, the trip is canceled too, and the effects of
+//! the airline reservation should not be made permanent."
+//!
+//! The subtransactions commit by **delegating** their reservations to the
+//! trip (the parent); only the trip's commit makes anything durable.
+
+use aries_rh::common::ObjectId;
+use aries_rh::etm::nested::run_trip;
+use aries_rh::{EtmSession, RhDb, Strategy, TxnEngine};
+
+const SEATS: ObjectId = ObjectId(0);
+const ROOMS: ObjectId = ObjectId(1);
+
+fn main() {
+    let mut s = EtmSession::new(RhDb::new(Strategy::Rh));
+
+    // Load the inventory.
+    let setup = s.initiate_empty().unwrap();
+    s.write(setup, SEATS, 3).unwrap();
+    s.write(setup, ROOMS, 2).unwrap();
+    s.commit(setup).unwrap();
+    println!("inventory: {} seats, {} rooms", s.value_of(SEATS).unwrap(), s.value_of(ROOMS).unwrap());
+
+    // Trip 1: both reservations succeed.
+    let booked = run_trip(&mut s, SEATS, ROOMS, true, true).unwrap();
+    println!(
+        "trip 1 {} -> {} seats, {} rooms",
+        if booked { "booked" } else { "canceled" },
+        s.value_of(SEATS).unwrap(),
+        s.value_of(ROOMS).unwrap()
+    );
+    assert!(booked);
+
+    // Trip 2: the hotel falls through. The flight reservation had already
+    // been made (and delegated to the trip) — it must evaporate with the
+    // trip, exactly the paper's scenario.
+    let booked = run_trip(&mut s, SEATS, ROOMS, true, false).unwrap();
+    println!(
+        "trip 2 {} -> {} seats, {} rooms",
+        if booked { "booked" } else { "canceled" },
+        s.value_of(SEATS).unwrap(),
+        s.value_of(ROOMS).unwrap()
+    );
+    assert!(!booked);
+    assert_eq!(s.value_of(SEATS).unwrap(), 2); // trip 2 left no trace
+
+    // Trip 3: the airline has no seats to give.
+    let booked = run_trip(&mut s, SEATS, ROOMS, false, true).unwrap();
+    println!(
+        "trip 3 {} -> {} seats, {} rooms",
+        if booked { "booked" } else { "canceled" },
+        s.value_of(SEATS).unwrap(),
+        s.value_of(ROOMS).unwrap()
+    );
+    assert!(!booked);
+
+    // A crash must preserve exactly the booked trips.
+    let mut engine = s.into_engine().crash_and_recover().unwrap();
+    assert_eq!(engine.value_of(SEATS).unwrap(), 2);
+    assert_eq!(engine.value_of(ROOMS).unwrap(), 1);
+    println!(
+        "after crash + recovery: {} seats, {} rooms (only trip 1 persisted)",
+        engine.value_of(SEATS).unwrap(),
+        engine.value_of(ROOMS).unwrap()
+    );
+}

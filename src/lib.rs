@@ -1,0 +1,60 @@
+//! # aries-rh
+//!
+//! A from-scratch Rust reproduction of *Delegation: Efficiently Rewriting
+//! History* (Pedregal Martin & Ramamritham, ICDE 1997): the **ARIES/RH**
+//! recovery algorithm — ARIES extended with the ACTA/ASSET `delegate`
+//! primitive at near-zero cost — together with every substrate and
+//! comparison system the paper relies on.
+//!
+//! This crate is a facade; the implementation lives in the workspace
+//! crates, re-exported here under stable names:
+//!
+//! | module | crate | contents |
+//! |---|---|---|
+//! | [`common`] | `rh-common` | ids, LSNs, update ops, errors, codec |
+//! | [`storage`] | `rh-storage` | disk sim, buffer pool (steal/no-force) |
+//! | [`wal`] | `rh-wal` | log records (incl. `delegate`), log manager |
+//! | [`lock`] | `rh-lock` | S/X/Increment locks, permits, transfer |
+//! | [`core`] | `rh-core` | **ARIES/RH**, eager & lazy baselines, oracle |
+//! | [`eos`] | `rh-eos` | NO-UNDO/REDO engine with delegation (§3.7) |
+//! | [`etm`] | `rh-etm` | ASSET primitives + split/nested/reporting/co |
+//! | [`workload`] | `rh-workload` | seeded experiment workloads |
+//!
+//! The most common entry points are re-exported at the top level.
+//!
+//! ## Example
+//!
+//! ```
+//! use aries_rh::{RhDb, Strategy, TxnEngine};
+//! use aries_rh::common::ObjectId;
+//!
+//! let mut db = RhDb::new(Strategy::Rh);
+//! let worker = db.begin().unwrap();
+//! let publisher = db.begin().unwrap();
+//! db.write(worker, ObjectId(1), 42).unwrap();
+//! // Hand responsibility over, then let the worker die — the update's
+//! // fate now follows the publisher (paper §2.1.2).
+//! db.delegate(worker, publisher, &[ObjectId(1)]).unwrap();
+//! db.abort(worker).unwrap();
+//! db.commit(publisher).unwrap();
+//! let mut db = db.crash_and_recover().unwrap();
+//! let t = db.begin().unwrap();
+//! assert_eq!(db.read(t, ObjectId(1)).unwrap(), 42);
+//! ```
+
+pub use rh_common as common;
+pub use rh_core as core;
+pub use rh_eos as eos;
+pub use rh_etm as etm;
+pub use rh_lock as lock;
+pub use rh_storage as storage;
+pub use rh_wal as wal;
+pub use rh_workload as workload;
+
+pub use rh_common::{Lsn, ObjectId, PageId, Result, RhError, TxnId, UpdateOp};
+pub use rh_core::eager::EagerDb;
+pub use rh_core::engine::{DbConfig, RhDb, Strategy};
+pub use rh_core::history::{Event, Oracle};
+pub use rh_core::TxnEngine;
+pub use rh_eos::EosDb;
+pub use rh_etm::EtmSession;

@@ -1,0 +1,88 @@
+//! Workload-scale equivalence across all four engines, through the
+//! facade: generated delegation workloads (plus trailing crash) must
+//! land every engine on the oracle state.
+
+use aries_rh::core::history::{assert_engine_matches_oracle, Event};
+use aries_rh::workload::{boring, delegation_chain, delegation_mix, interleaved_mix, WorkloadSpec};
+use aries_rh::{EagerDb, EosDb, RhDb, Strategy};
+
+fn check_all_engines(events: &[Event]) {
+    assert_engine_matches_oracle(RhDb::new(Strategy::Rh), events);
+    assert_engine_matches_oracle(RhDb::new(Strategy::LazyRewrite), events);
+    assert_engine_matches_oracle(EagerDb::new(), events);
+    assert_engine_matches_oracle(EosDb::new(), events);
+}
+
+#[test]
+fn boring_workloads() {
+    for seed in 0..5 {
+        let spec = WorkloadSpec::default().txns(60).seed(seed);
+        let mut events = boring(&spec);
+        events.push(Event::Crash);
+        check_all_engines(&events);
+    }
+}
+
+#[test]
+fn delegation_mix_workloads() {
+    for seed in 0..5 {
+        let spec = WorkloadSpec {
+            txns: 60,
+            delegation_rate: 0.6,
+            chain_len: 2,
+            straggler_rate: 0.3,
+            abort_rate: 0.1,
+            seed,
+            ..WorkloadSpec::default()
+        };
+        let mut events = delegation_mix(&spec);
+        events.push(Event::Crash);
+        check_all_engines(&events);
+    }
+}
+
+#[test]
+fn interleaved_workloads() {
+    for seed in 0..3 {
+        let spec = WorkloadSpec {
+            txns: 30,
+            updates_per_txn: 5,
+            delegation_rate: 0.8,
+            chain_len: 2,
+            straggler_rate: 0.4,
+            seed,
+            ..WorkloadSpec::default()
+        };
+        let mut events = interleaved_mix(&spec);
+        events.push(Event::Crash);
+        check_all_engines(&events);
+    }
+}
+
+#[test]
+fn long_delegation_chains() {
+    for (hops, spacers) in [(1, 10), (8, 5), (20, 2)] {
+        let mut events = delegation_chain(42, hops, spacers, true);
+        events.push(Event::Crash);
+        check_all_engines(&events);
+    }
+}
+
+#[test]
+fn mid_workload_crashes() {
+    // Crash in the middle *and* at the end.
+    let spec = WorkloadSpec {
+        txns: 40,
+        delegation_rate: 0.5,
+        straggler_rate: 0.3,
+        ..WorkloadSpec::default()
+    };
+    let events = delegation_mix(&spec);
+    for cut in [events.len() / 3, events.len() / 2, 2 * events.len() / 3] {
+        // Cutting mid-history can orphan labels referenced later, so we
+        // only keep the prefix and crash there.
+        let mut h: Vec<Event> = events[..cut].to_vec();
+        h.push(Event::Crash);
+        check_all_engines(&h);
+    }
+}

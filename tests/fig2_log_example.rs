@@ -1,0 +1,84 @@
+//! Integration test for the paper's Example 1 / Fig. 2, driven through
+//! the facade crate: the same history on ARIES/RH (log never modified),
+//! the eager baseline (log physically rewritten), and EOS — all three
+//! must realize identical delegation semantics.
+
+use aries_rh::common::{Lsn, ObjectId};
+use aries_rh::core::history::{replay_engine, Event};
+use aries_rh::{EagerDb, EosDb, RhDb, Strategy, TxnEngine};
+
+const A: ObjectId = ObjectId(0);
+const X: ObjectId = ObjectId(1);
+const B: ObjectId = ObjectId(2);
+const Y: ObjectId = ObjectId(3);
+
+/// Example 1 up to and including `delegate(t1, t2, a)`.
+fn example1() -> Vec<Event> {
+    vec![
+        Event::Begin(1),
+        Event::Begin(2),
+        Event::Add(1, A, 1),
+        Event::Add(2, X, 1),
+        Event::Add(2, A, 10),
+        Event::Add(1, B, 1),
+        Event::Add(1, A, 100),
+        Event::Add(2, Y, 1),
+        Event::Delegate(1, 2, vec![A]),
+    ]
+}
+
+#[test]
+fn rh_keeps_the_log_verbatim() {
+    let db = replay_engine(RhDb::new(Strategy::Rh), &example1()).unwrap();
+    // Records at LSN 2 and 6 (paper 100 and 104) still carry the
+    // delegator's id — history is interpreted, not rewritten.
+    assert_eq!(db.log().read(Lsn(2)).unwrap().txn, db.log().read(Lsn(5)).unwrap().txn);
+    assert_eq!(db.log().metrics().snapshot().in_place_rewrites, 0);
+}
+
+#[test]
+fn eager_rewrites_exactly_the_delegated_records() {
+    let db = replay_engine(EagerDb::new(), &example1()).unwrap();
+    let log = db.log();
+    // Engine ids: label 1 -> t0, label 2 -> t1. Fig. 2's "after" picture:
+    // updates to `a` by t1 (our t0) now appear to be t2's (our t1)...
+    let rewritten_1 = log.read(Lsn(2)).unwrap();
+    let rewritten_2 = log.read(Lsn(6)).unwrap();
+    assert_eq!(rewritten_1.txn, rewritten_2.txn);
+    assert_ne!(rewritten_1.txn, log.read(Lsn(5)).unwrap().txn);
+    // ...while update[t1, b] (our LSN 5) is untouched, as are t2's own.
+    assert_eq!(log.read(Lsn(5)).unwrap().txn, log.read(Lsn(0)).unwrap().txn);
+    assert!(log.metrics().snapshot().in_place_rewrites >= 2);
+}
+
+#[test]
+fn all_engines_agree_on_every_fate_combination() {
+    for f1 in [true, false] {
+        for f2 in [true, false] {
+            let mut events = example1();
+            events.push(if f1 { Event::Commit(1) } else { Event::Abort(1) });
+            events.push(if f2 { Event::Commit(2) } else { Event::Abort(2) });
+            events.push(Event::Crash);
+
+            let mut rh = replay_engine(RhDb::new(Strategy::Rh), &events).unwrap();
+            let mut lazy = replay_engine(RhDb::new(Strategy::LazyRewrite), &events).unwrap();
+            let mut eager = replay_engine(EagerDb::new(), &events).unwrap();
+            let mut eos = replay_engine(EosDb::new(), &events).unwrap();
+
+            for ob in [A, X, B, Y] {
+                let v = rh.value_of(ob).unwrap();
+                assert_eq!(v, lazy.value_of(ob).unwrap(), "lazy diverged on {ob} ({f1},{f2})");
+                assert_eq!(v, eager.value_of(ob).unwrap(), "eager diverged on {ob} ({f1},{f2})");
+                assert_eq!(v, eos.value_of(ob).unwrap(), "eos diverged on {ob} ({f1},{f2})");
+            }
+            // The delegated updates on `a` (+1, +100) and t2's own (+10)
+            // all follow t2's fate after the delegation.
+            let expected_a = if f2 { 111 } else { 0 };
+            assert_eq!(rh.value_of(A).unwrap(), expected_a);
+            // x and y follow t2; b follows t1.
+            assert_eq!(rh.value_of(X).unwrap(), if f2 { 1 } else { 0 });
+            assert_eq!(rh.value_of(Y).unwrap(), if f2 { 1 } else { 0 });
+            assert_eq!(rh.value_of(B).unwrap(), if f1 { 1 } else { 0 });
+        }
+    }
+}

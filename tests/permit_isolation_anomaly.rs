@@ -1,0 +1,85 @@
+//! Permits deliberately break isolation ("data sharing without forming
+//! inter-transaction dependencies", §1; the correctness caveats are the
+//! "extra data" discussion the paper cites \[11\]). This file documents
+//! the consequence precisely:
+//!
+//! * the **in-place** engines (ARIES/RH, eager) and the oracle agree with
+//!   each other under permit-enabled write interleavings — undo restores
+//!   execution-time before-images;
+//! * the **deferred** engine (EOS) can legitimately differ when permitted
+//!   writers commit in an order other than their execution order, because
+//!   deferred images apply at commit time. This is a property of the
+//!   NO-UNDO design, not a bug — and exactly why the paper's §3.7
+//!   restricts EOS delegation semantics to the read/write model where
+//!   "even compatible update operations execute in isolation".
+//!
+//! The random-history suites therefore never generate permits; this
+//! scripted test pins the anomaly so a future change that silently
+//! "fixes" either side gets noticed.
+
+use aries_rh::{EagerDb, EosDb, ObjectId, RhDb, Strategy, TxnEngine};
+
+const A: ObjectId = ObjectId(0);
+
+/// Two permitted writers; `reverse_commit` commits them opposite to
+/// execution order. Returns the surviving value of A.
+fn run<E: TxnEngine>(mut e: E, reverse_commit: bool) -> i64 {
+    let t1 = e.begin().unwrap();
+    let t2 = e.begin().unwrap();
+    e.write(t1, A, 5).unwrap();
+    e.permit(t1, t2, A).unwrap();
+    e.write(t2, A, 9).unwrap(); // permitted through t1's X lock
+    if reverse_commit {
+        e.commit(t2).unwrap();
+        e.commit(t1).unwrap();
+    } else {
+        e.commit(t1).unwrap();
+        e.commit(t2).unwrap();
+    }
+    e.value_of(A).unwrap()
+}
+
+#[test]
+fn in_place_engines_agree_in_both_commit_orders() {
+    for reverse in [false, true] {
+        let rh = run(RhDb::new(Strategy::Rh), reverse);
+        let lazy = run(RhDb::new(Strategy::LazyRewrite), reverse);
+        let eager = run(EagerDb::new(), reverse);
+        // Execution order decides for in-place engines: last write wins.
+        assert_eq!(rh, 9, "reverse={reverse}");
+        assert_eq!(lazy, 9);
+        assert_eq!(eager, 9);
+    }
+}
+
+#[test]
+fn eos_matches_in_execution_commit_order() {
+    assert_eq!(run(EosDb::new(), false), 9);
+}
+
+#[test]
+fn eos_diverges_in_reversed_commit_order_by_design() {
+    // Deferred updates apply at commit: committing t2 (image 9) before
+    // t1 (image 5) leaves 5. The in-place engines leave 9. Documented
+    // NO-UNDO anomaly under permit-broken isolation.
+    assert_eq!(run(EosDb::new(), true), 5);
+}
+
+#[test]
+fn permitted_writer_abort_restores_execution_time_image() {
+    // t2's permitted write is aborted: the in-place engines restore its
+    // before-image — which is t1's 5, not the pre-history 0. The paper's
+    // framework calls this the application's responsibility (it asked
+    // for the permit).
+    let mut e = RhDb::new(Strategy::Rh);
+    let t1 = e.begin().unwrap();
+    let t2 = e.begin().unwrap();
+    e.write(t1, A, 5).unwrap();
+    e.permit(t1, t2, A).unwrap();
+    e.write(t2, A, 9).unwrap();
+    e.abort(t2).unwrap();
+    assert_eq!(e.value_of(A).unwrap(), 5);
+    e.commit(t1).unwrap();
+    let mut e = e.crash_and_recover().unwrap();
+    assert_eq!(e.value_of(A).unwrap(), 5);
+}

@@ -1,0 +1,105 @@
+//! Cross-crate scenarios mixing the extensions: savepoints under
+//! delegation on every engine (checked against the oracle), and EOS
+//! compaction interleaved with delegation and crashes.
+
+use aries_rh::core::history::{assert_engine_matches_oracle, Event};
+use aries_rh::{EagerDb, EosDb, ObjectId, RhDb, Strategy, TxnEngine};
+
+const A: ObjectId = ObjectId(0);
+const B: ObjectId = ObjectId(1);
+
+#[test]
+fn savepoint_histories_match_oracle_on_every_engine() {
+    // A scripted history with savepoints, rollbacks, delegation across
+    // the savepoint boundary, and a final crash.
+    let script = vec![
+        Event::Begin(0),
+        Event::Begin(1),
+        Event::Add(0, A, 1),
+        Event::Savepoint(0, 0),
+        Event::Add(0, A, 10),
+        Event::Add(1, B, 5),
+        Event::Delegate(1, 0, vec![B]), // B's +5 (pre-rollback seq) joins t0
+        Event::RollbackTo(0, 0),        // undoes +10 and the delegated +5
+        Event::Add(0, A, 100),
+        Event::Commit(0),
+        Event::Commit(1),
+        Event::Crash,
+    ];
+    assert_engine_matches_oracle(RhDb::new(Strategy::Rh), &script);
+    assert_engine_matches_oracle(RhDb::new(Strategy::LazyRewrite), &script);
+    assert_engine_matches_oracle(EagerDb::new(), &script);
+    assert_engine_matches_oracle(EosDb::new(), &script);
+}
+
+#[test]
+fn rollback_of_delegated_in_work_is_positional_everywhere() {
+    // The delegated update predates the savepoint: it must survive the
+    // rollback on all engines (positional semantics).
+    let script = vec![
+        Event::Begin(0),
+        Event::Begin(1),
+        Event::Add(1, B, 5), // before the savepoint
+        Event::Savepoint(0, 0),
+        Event::Delegate(1, 0, vec![B]),
+        Event::Add(0, A, 9),
+        Event::RollbackTo(0, 0), // kills +9, keeps +5 (older position)
+        Event::Commit(0),
+        Event::Commit(1),
+    ];
+    for _ in 0..1 {
+        assert_engine_matches_oracle(RhDb::new(Strategy::Rh), &script);
+        assert_engine_matches_oracle(EagerDb::new(), &script);
+        assert_engine_matches_oracle(EosDb::new(), &script);
+    }
+}
+
+#[test]
+fn eos_compaction_between_delegation_rounds() {
+    let mut db = EosDb::new();
+    for round in 0..4i64 {
+        let worker = db.begin().unwrap();
+        let publisher = db.begin().unwrap();
+        db.add(worker, A, round + 1).unwrap();
+        db.delegate(worker, publisher, &[A]).unwrap();
+        db.abort(worker).unwrap();
+        db.commit(publisher).unwrap();
+        db.compact(); // fold into the stable snapshot, truncate the log
+        db = db.crash_and_recover().unwrap();
+        assert_eq!(db.value_of(A).unwrap(), (1..=round + 1).sum::<i64>());
+        assert_eq!(db.global().len(), 0, "log must be empty after compaction");
+    }
+}
+
+#[test]
+fn rh_truncation_and_eos_compaction_agree_on_the_same_history() {
+    // Same logical history on both engines, each using its own
+    // log-bounding mechanism mid-stream; final states must agree.
+    let run_rh = || {
+        let mut db = RhDb::new(Strategy::Rh);
+        let t = db.begin().unwrap();
+        db.add(t, A, 10).unwrap();
+        db.commit(t).unwrap();
+        db.checkpoint().unwrap();
+        db.truncate_log().unwrap();
+        let t = db.begin().unwrap();
+        db.add(t, A, 5).unwrap();
+        db.commit(t).unwrap();
+        let mut db = db.crash_and_recover().unwrap();
+        db.value_of(A).unwrap()
+    };
+    let run_eos = || {
+        let mut db = EosDb::new();
+        let t = db.begin().unwrap();
+        db.add(t, A, 10).unwrap();
+        db.commit(t).unwrap();
+        db.compact();
+        let t = db.begin().unwrap();
+        db.add(t, A, 5).unwrap();
+        db.commit(t).unwrap();
+        let mut db = db.crash_and_recover().unwrap();
+        db.value_of(A).unwrap()
+    };
+    assert_eq!(run_rh(), 15);
+    assert_eq!(run_eos(), 15);
+}
