@@ -1,0 +1,66 @@
+//! Log-backend microbenchmarks: append and append+force throughput of
+//! the in-memory stable log (unit-test default, upper bound) vs the
+//! durable segmented file log. The file backend's force cost is dominated
+//! by `fdatasync`; group commit amortizes it across concurrent callers,
+//! which the `experiments` binary's E1b table shows directly.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rh_common::{Lsn, ObjectId, TxnId, UpdateOp};
+use rh_wal::{LogManager, RecordBody, StableLog};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+const BATCH: u64 = 64;
+
+fn scratch() -> PathBuf {
+    static N: AtomicU64 = AtomicU64::new(0);
+    let dir = std::env::temp_dir().join(format!(
+        "rh-bench-walbackend-{}-{}",
+        std::process::id(),
+        N.fetch_add(1, Ordering::Relaxed)
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn append_batch(log: &LogManager, force: bool) {
+    let mut prev = Lsn::NULL;
+    for i in 0..BATCH {
+        prev = log.append(
+            TxnId(1),
+            prev,
+            RecordBody::Update { ob: ObjectId(i % 32), op: UpdateOp::Add { delta: 1 } },
+        );
+    }
+    if force {
+        log.flush_to(prev).expect("force");
+    }
+}
+
+fn bench_backends(c: &mut Criterion) {
+    let mut group = c.benchmark_group("wal_backend");
+    group.throughput(Throughput::Elements(BATCH));
+
+    for force in [false, true] {
+        // `append_volatile` measures the backend-independent tail push
+        // (the cost a transaction pays at `write` time); `append_force`
+        // adds frame encoding, file writes, and the group-committed
+        // fdatasync (the cost it pays at commit).
+        let mode = if force { "append_force" } else { "append_volatile" };
+        group.bench_function(BenchmarkId::new(mode, "in_memory"), |b| {
+            let log = LogManager::new();
+            b.iter(|| append_batch(&log, force));
+        });
+        group.bench_function(BenchmarkId::new(mode, "file_backed"), |b| {
+            let dir = scratch();
+            let log = LogManager::attach(StableLog::open_dir(&dir).expect("open"));
+            b.iter(|| append_batch(&log, force));
+            drop(log);
+            let _ = std::fs::remove_dir_all(&dir);
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_backends);
+criterion_main!(benches);

@@ -5,19 +5,22 @@
 //! cargo run --release -p rh-bench --bin experiments           # all, full scale
 //! cargo run --release -p rh-bench --bin experiments -- e3 e4  # a subset
 //! cargo run -p rh-bench --bin experiments -- --quick all      # smoke sizes
+//! cargo run -p rh-bench --bin experiments -- --smoke          # CI gate
 //! ```
+//!
+//! `--smoke` runs every requested experiment at tiny sizes and asserts
+//! that each one produced at least one table — CI uses it to catch
+//! experiments that panic, hang, or silently go empty, in seconds.
 
 use rh_bench::experiments::{self, Scale};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let quick = args.iter().any(|a| a == "--quick");
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let quick = smoke || args.iter().any(|a| a == "--quick");
     let scale = if quick { Scale::Quick } else { Scale::Full };
-    let ids: Vec<String> = args
-        .iter()
-        .filter(|a| !a.starts_with("--"))
-        .map(|a| a.to_lowercase())
-        .collect();
+    let ids: Vec<String> =
+        args.iter().filter(|a| !a.starts_with("--")).map(|a| a.to_lowercase()).collect();
     let ids: Vec<&str> = if ids.is_empty() || ids.iter().any(|a| a == "all") {
         experiments::ALL.to_vec()
     } else {
@@ -25,6 +28,7 @@ fn main() {
     };
 
     println!("# ARIES/RH experiments ({:?} scale)\n", scale);
+    let mut ran = 0usize;
     for id in ids {
         match experiments::run(id, scale) {
             None => {
@@ -32,10 +36,18 @@ fn main() {
                 std::process::exit(2);
             }
             Some(tables) => {
+                if smoke && tables.is_empty() {
+                    eprintln!("smoke FAILED: experiment {id} produced no tables");
+                    std::process::exit(1);
+                }
                 for t in tables {
                     t.print();
                 }
+                ran += 1;
             }
         }
+    }
+    if smoke {
+        println!("smoke OK: {ran} experiments completed");
     }
 }

@@ -14,10 +14,12 @@
 use super::Scale;
 use crate::harness::timed;
 use crate::table::{ms, Table};
+use rh_common::{Lsn, ObjectId, TxnId, UpdateOp};
 use rh_core::eager::EagerDb;
 use rh_core::engine::{RhDb, Strategy};
 use rh_core::history::replay_engine;
 use rh_core::TxnEngine;
+use rh_wal::{LogManager, RecordBody, StableLog};
 use rh_workload::{boring, WorkloadSpec};
 
 /// Runs E1.
@@ -87,7 +89,66 @@ pub fn run(scale: Scale) -> Vec<Table> {
         "-".into(),
     ]);
 
-    vec![table]
+    vec![table, backend_table(scale)]
+}
+
+/// **E1b** — the same append+force traffic against both stable-log
+/// backends. The in-memory log is the unit-test default and the upper
+/// bound; the file-backed log pays real frames and real `fdatasync`s,
+/// and the fsync column shows group commit holding the sync count to one
+/// per force (and fewer than one per force once callers overlap).
+fn backend_table(scale: Scale) -> Table {
+    let txns = scale.pick(50, 2_000);
+    let updates_per_txn = 8usize;
+
+    let mut table = Table::new(
+        format!("E1b: log backend — append+force, {txns} txns x {updates_per_txn} updates"),
+        &["backend", "wall ms", "us/txn", "appends", "fsyncs", "bytes flushed", "MB/s"],
+    );
+
+    let mut run_backend = |name: &str, log: LogManager| {
+        let (log, wall) = timed(|| {
+            for t in 0..txns {
+                let mut prev = Lsn::NULL;
+                for u in 0..updates_per_txn {
+                    prev = log.append(
+                        TxnId(t as u64),
+                        prev,
+                        RecordBody::Update {
+                            ob: ObjectId((t * updates_per_txn + u) as u64 % 512),
+                            op: UpdateOp::Add { delta: 1 },
+                        },
+                    );
+                }
+                let commit = log.append(TxnId(t as u64), prev, RecordBody::Commit);
+                log.flush_to(commit).expect("force");
+            }
+            log
+        });
+        let snap = log.metrics().snapshot();
+        let secs = wall.as_secs_f64();
+        table.row(vec![
+            name.into(),
+            ms(wall),
+            format!("{:.2}", secs * 1e6 / txns as f64),
+            snap.appends.to_string(),
+            snap.fsyncs.to_string(),
+            snap.bytes_flushed.to_string(),
+            format!("{:.1}", snap.bytes_flushed as f64 / 1e6 / secs.max(1e-9)),
+        ]);
+    };
+
+    run_backend("in-memory", LogManager::new());
+
+    let dir = std::env::temp_dir().join(format!("rh-bench-e1b-{}-{txns}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    run_backend(
+        "file-backed",
+        LogManager::attach(StableLog::open_dir(&dir).expect("open log dir")),
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+
+    table
 }
 
 #[cfg(test)]
@@ -97,7 +158,7 @@ mod tests {
     #[test]
     fn e1_smoke() {
         let tables = run(Scale::Quick);
-        assert_eq!(tables.len(), 1);
+        assert_eq!(tables.len(), 2);
         let text = tables[0].render().join("\n");
         // The rewrite column must be zero for every engine on a
         // delegation-free workload.
@@ -105,5 +166,25 @@ mod tests {
             let cells: Vec<&str> = line.split_whitespace().collect();
             assert_eq!(cells[cells.len() - 4], "0", "rewrites must be 0 in: {text}");
         }
+    }
+
+    #[test]
+    fn e1b_backends_report_sane_numbers() {
+        let table = backend_table(Scale::Quick);
+        let text = table.render().join("\n");
+        assert!(text.contains("in-memory"), "{text}");
+        assert!(text.contains("file-backed"), "{text}");
+        // The file backend must report real durability work; the mem
+        // backend must report none.
+        let rendered = table.render();
+        let rows: Vec<&str> = rendered.iter().skip(3).map(String::as_str).map(str::trim).collect();
+        let fsyncs = |row: &str| -> u64 {
+            let cells: Vec<&str> = row.split_whitespace().collect();
+            cells[cells.len() - 3].parse().unwrap()
+        };
+        let mem = rows.iter().find(|r| r.starts_with("in-memory")).unwrap();
+        let file = rows.iter().find(|r| r.starts_with("file-backed")).unwrap();
+        assert_eq!(fsyncs(mem), 0, "{text}");
+        assert!(fsyncs(file) >= 1, "{text}");
     }
 }

@@ -77,10 +77,7 @@ pub fn run(scale: Scale) -> Vec<Table> {
             run_eager(&spec),
         ];
         let mut table = Table::new(
-            format!(
-                "E3: rewrite strategies, delegation rate {rate} ({} txns, chain 2)",
-                spec.txns
-            ),
+            format!("E3: rewrite strategies, delegation rate {rate} ({} txns, chain 2)", spec.txns),
             &[
                 "engine",
                 "normal ms",

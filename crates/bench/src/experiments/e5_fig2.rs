@@ -25,12 +25,12 @@ pub fn example1_events() -> Vec<Event> {
     vec![
         Event::Begin(1),
         Event::Begin(2),
-        Event::Add(1, a, 1),  // paper LSN 100
-        Event::Add(2, x, 1),  // 101
-        Event::Add(2, a, 10), // 102
-        Event::Add(1, b, 1),  // 103
-        Event::Add(1, a, 100), // 104
-        Event::Add(2, y, 1),  // 105
+        Event::Add(1, a, 1),            // paper LSN 100
+        Event::Add(2, x, 1),            // 101
+        Event::Add(2, a, 10),           // 102
+        Event::Add(1, b, 1),            // 103
+        Event::Add(1, a, 100),          // 104
+        Event::Add(2, y, 1),            // 105
         Event::Delegate(1, 2, vec![a]), // 106
     ]
 }

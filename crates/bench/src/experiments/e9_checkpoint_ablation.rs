@@ -57,8 +57,7 @@ pub fn run(scale: Scale) -> Vec<Table> {
         let kept = db.log().len() as u64 - db.log().first_lsn().raw();
         let (db, rec) = timed(|| db.crash_and_recover().unwrap());
         let report = db.last_recovery().unwrap();
-        let label =
-            if interval == usize::MAX { "never".to_string() } else { interval.to_string() };
+        let label = if interval == usize::MAX { "never".to_string() } else { interval.to_string() };
         table.row(vec![
             label,
             ms(normal),

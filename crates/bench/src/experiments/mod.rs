@@ -56,5 +56,4 @@ pub fn run(id: &str, scale: Scale) -> Option<Vec<Table>> {
 }
 
 /// All experiment ids in order.
-pub const ALL: [&str; 10] =
-    ["e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10"];
+pub const ALL: [&str; 10] = ["e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10"];

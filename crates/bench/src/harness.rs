@@ -52,11 +52,7 @@ mod tests {
 
     #[test]
     fn measure_replays_and_times() {
-        let events = vec![
-            Event::Begin(0),
-            Event::Write(0, ObjectId(0), 5),
-            Event::Commit(0),
-        ];
+        let events = vec![Event::Begin(0), Event::Write(0, ObjectId(0), 5), Event::Commit(0)];
         let (mut engine, m) = measure(RhDb::new(Strategy::Rh), &events);
         assert_eq!(engine.value_of(ObjectId(0)).unwrap(), 5);
         assert!(m.wall > Duration::ZERO);
@@ -65,8 +61,7 @@ mod tests {
     #[test]
     fn measure_with_recovery_splits_phases() {
         let events = vec![Event::Begin(0), Event::Write(0, ObjectId(0), 5)];
-        let (mut engine, normal, rec) =
-            measure_with_recovery(RhDb::new(Strategy::Rh), &events);
+        let (mut engine, normal, rec) = measure_with_recovery(RhDb::new(Strategy::Rh), &events);
         assert!(normal.wall > Duration::ZERO);
         assert!(rec.wall > Duration::ZERO);
         // Uncommitted write rolled back by the measured recovery.

@@ -13,7 +13,7 @@ use core::fmt;
 /// manager and are never reused within one database lifetime (including
 /// across crashes: recovery restores the id high-water mark from the log so
 /// post-recovery transactions cannot collide with pre-crash ones).
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, serde::Serialize, serde::Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct TxnId(pub u64);
 
 impl TxnId {
@@ -55,7 +55,7 @@ impl fmt::Display for TxnId {
 /// Objects are the unit of delegation in this implementation, matching the
 /// paper's §2.1.2 choice: "in a majority of practical situations that we
 /// have come across, delegation occurs at the granularity of objects."
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, serde::Serialize, serde::Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct ObjectId(pub u64);
 
 impl ObjectId {
@@ -82,7 +82,7 @@ impl fmt::Display for ObjectId {
 ///
 /// The object store maps each [`ObjectId`] to a (page, slot) pair; the
 /// buffer pool and the dirty-page table are keyed by `PageId`.
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, serde::Serialize, serde::Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct PageId(pub u32);
 
 impl PageId {

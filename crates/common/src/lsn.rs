@@ -10,7 +10,7 @@ use core::fmt;
 use core::ops::{Add, AddAssign, Sub};
 
 /// A log sequence number: the position of a record within the log.
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct Lsn(pub u64);
 
 impl Lsn {

@@ -24,7 +24,7 @@ pub type Value = i64;
 
 /// A single update operation on one object, with enough information to
 /// redo it and to undo it.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum UpdateOp {
     /// Overwrite the object's value. Stores the before-image so the
     /// operation can be undone physically (ARIES-style).
@@ -136,7 +136,7 @@ mod tests {
         let v0 = 1;
         let v1 = a.apply(v0); // 6
         let v2 = b.apply(v1); // 106
-        // Undo `a` only: result should be as if only `b` ran.
+                              // Undo `a` only: result should be as if only `b` ran.
         assert_eq!(a.undo(v2), b.apply(v0));
     }
 

@@ -1,0 +1,170 @@
+//! Offline stand-in for [`bytes`](https://crates.io/crates/bytes).
+//!
+//! The build environment has no crates registry, so the workspace vendors
+//! the subset of the `bytes` API its binary codec uses: [`BytesMut`] as a
+//! growable output buffer implementing [`BufMut`], and [`Buf`] implemented
+//! for `&[u8]` as a consuming input cursor. Integers are little-endian via
+//! the `_le` accessors, exactly as the real crate provides.
+
+/// Read-side cursor: consuming accessors over a byte source.
+pub trait Buf {
+    /// Bytes remaining to be consumed.
+    fn remaining(&self) -> usize;
+    /// Consumes and returns one byte. Panics if empty.
+    fn get_u8(&mut self) -> u8;
+    /// Consumes a little-endian `u32`. Panics on underflow.
+    fn get_u32_le(&mut self) -> u32;
+    /// Consumes a little-endian `u64`. Panics on underflow.
+    fn get_u64_le(&mut self) -> u64;
+    /// Consumes a little-endian `i64`. Panics on underflow.
+    fn get_i64_le(&mut self) -> i64;
+    /// Skips `n` bytes. Panics on underflow.
+    fn advance(&mut self, n: usize);
+}
+
+impl Buf for &[u8] {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn get_u8(&mut self) -> u8 {
+        let (head, rest) = self.split_at(1);
+        *self = rest;
+        head[0]
+    }
+
+    fn get_u32_le(&mut self) -> u32 {
+        let (head, rest) = self.split_at(4);
+        *self = rest;
+        u32::from_le_bytes(head.try_into().expect("4-byte split"))
+    }
+
+    fn get_u64_le(&mut self) -> u64 {
+        let (head, rest) = self.split_at(8);
+        *self = rest;
+        u64::from_le_bytes(head.try_into().expect("8-byte split"))
+    }
+
+    fn get_i64_le(&mut self) -> i64 {
+        let (head, rest) = self.split_at(8);
+        *self = rest;
+        i64::from_le_bytes(head.try_into().expect("8-byte split"))
+    }
+
+    fn advance(&mut self, n: usize) {
+        let (_, rest) = self.split_at(n);
+        *self = rest;
+    }
+}
+
+/// Write-side sink: appending accessors onto a growable buffer.
+pub trait BufMut {
+    /// Appends one byte.
+    fn put_u8(&mut self, v: u8);
+    /// Appends a little-endian `u32`.
+    fn put_u32_le(&mut self, v: u32);
+    /// Appends a little-endian `u64`.
+    fn put_u64_le(&mut self, v: u64);
+    /// Appends a little-endian `i64`.
+    fn put_i64_le(&mut self, v: i64);
+    /// Appends a byte slice.
+    fn put_slice(&mut self, src: &[u8]);
+}
+
+/// Growable byte buffer (a thin wrapper over `Vec<u8>`).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct BytesMut {
+    buf: Vec<u8>,
+}
+
+impl BytesMut {
+    /// Creates an empty buffer.
+    pub fn new() -> Self {
+        BytesMut { buf: Vec::new() }
+    }
+
+    /// Creates an empty buffer with reserved capacity.
+    pub fn with_capacity(cap: usize) -> Self {
+        BytesMut { buf: Vec::with_capacity(cap) }
+    }
+
+    /// Number of bytes written.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True if nothing was written.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Copies the contents into a fresh `Vec<u8>`.
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.buf.clone()
+    }
+}
+
+impl BufMut for BytesMut {
+    fn put_u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    fn put_u32_le(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn put_u64_le(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn put_i64_le(&mut self, v: i64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn put_slice(&mut self, src: &[u8]) {
+        self.buf.extend_from_slice(src);
+    }
+}
+
+impl From<BytesMut> for Vec<u8> {
+    fn from(b: BytesMut) -> Vec<u8> {
+        b.buf
+    }
+}
+
+impl AsRef<[u8]> for BytesMut {
+    fn as_ref(&self) -> &[u8] {
+        &self.buf
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_all_widths() {
+        let mut b = BytesMut::new();
+        b.put_u8(7);
+        b.put_u32_le(0xDEAD_BEEF);
+        b.put_u64_le(u64::MAX - 1);
+        b.put_i64_le(-42);
+        b.put_slice(&[1, 2, 3]);
+        let v = b.to_vec();
+        let mut r: &[u8] = &v;
+        assert_eq!(r.get_u8(), 7);
+        assert_eq!(r.get_u32_le(), 0xDEAD_BEEF);
+        assert_eq!(r.get_u64_le(), u64::MAX - 1);
+        assert_eq!(r.get_i64_le(), -42);
+        assert_eq!(r.remaining(), 3);
+        r.advance(2);
+        assert_eq!(r, &[3]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn underflow_panics() {
+        let mut r: &[u8] = &[1];
+        let _ = r.get_u32_le();
+    }
+}

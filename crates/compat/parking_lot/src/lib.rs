@@ -1,0 +1,207 @@
+//! Offline stand-in for [`parking_lot`](https://crates.io/crates/parking_lot).
+//!
+//! The build environment has no access to a crates registry, so the
+//! workspace vendors the *API subset it actually uses* as thin wrappers
+//! over `std::sync`. Semantics match parking_lot where it matters to this
+//! codebase:
+//!
+//! * `lock()` / `read()` / `write()` return guards directly (no poisoning
+//!   `Result` — a panicked holder does not poison the lock);
+//! * `Condvar::wait` takes a `MutexGuard` and re-acquires on wake.
+//!
+//! Performance is whatever `std::sync` provides, which is adequate for the
+//! test suites and honest for the benchmarks (both log backends pay the
+//! same locking cost).
+
+use std::sync;
+
+/// Mutual exclusion with `parking_lot`'s panic-transparent API.
+#[derive(Debug, Default)]
+pub struct Mutex<T: ?Sized> {
+    inner: sync::Mutex<T>,
+}
+
+/// Guard returned by [`Mutex::lock`].
+pub type MutexGuard<'a, T> = sync::MutexGuard<'a, T>;
+
+impl<T> Mutex<T> {
+    /// Creates a new mutex.
+    pub const fn new(value: T) -> Self {
+        Mutex { inner: sync::Mutex::new(value) }
+    }
+
+    /// Consumes the mutex, returning the inner value.
+    pub fn into_inner(self) -> T {
+        self.inner.into_inner().unwrap_or_else(sync::PoisonError::into_inner)
+    }
+}
+
+impl<T: ?Sized> Mutex<T> {
+    /// Acquires the mutex, blocking until available. Unlike `std`, a
+    /// panicked previous holder does not poison the lock.
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        self.inner.lock().unwrap_or_else(sync::PoisonError::into_inner)
+    }
+
+    /// Attempts to acquire the mutex without blocking.
+    pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
+        match self.inner.try_lock() {
+            Ok(g) => Some(g),
+            Err(sync::TryLockError::Poisoned(p)) => Some(p.into_inner()),
+            Err(sync::TryLockError::WouldBlock) => None,
+        }
+    }
+
+    /// Mutable access without locking (requires exclusive borrow).
+    pub fn get_mut(&mut self) -> &mut T {
+        self.inner.get_mut().unwrap_or_else(sync::PoisonError::into_inner)
+    }
+}
+
+/// Reader-writer lock with `parking_lot`'s panic-transparent API.
+#[derive(Debug, Default)]
+pub struct RwLock<T: ?Sized> {
+    inner: sync::RwLock<T>,
+}
+
+/// Guard returned by [`RwLock::read`].
+pub type RwLockReadGuard<'a, T> = sync::RwLockReadGuard<'a, T>;
+/// Guard returned by [`RwLock::write`].
+pub type RwLockWriteGuard<'a, T> = sync::RwLockWriteGuard<'a, T>;
+
+impl<T> RwLock<T> {
+    /// Creates a new reader-writer lock.
+    pub const fn new(value: T) -> Self {
+        RwLock { inner: sync::RwLock::new(value) }
+    }
+
+    /// Consumes the lock, returning the inner value.
+    pub fn into_inner(self) -> T {
+        self.inner.into_inner().unwrap_or_else(sync::PoisonError::into_inner)
+    }
+}
+
+impl<T: ?Sized> RwLock<T> {
+    /// Acquires a shared read guard.
+    pub fn read(&self) -> RwLockReadGuard<'_, T> {
+        self.inner.read().unwrap_or_else(sync::PoisonError::into_inner)
+    }
+
+    /// Acquires an exclusive write guard.
+    pub fn write(&self) -> RwLockWriteGuard<'_, T> {
+        self.inner.write().unwrap_or_else(sync::PoisonError::into_inner)
+    }
+
+    /// Mutable access without locking (requires exclusive borrow).
+    pub fn get_mut(&mut self) -> &mut T {
+        self.inner.get_mut().unwrap_or_else(sync::PoisonError::into_inner)
+    }
+}
+
+/// Condition variable usable with [`Mutex`] guards (the group-commit
+/// leader/follower handoff in `rh-wal` relies on it).
+#[derive(Debug, Default)]
+pub struct Condvar {
+    inner: sync::Condvar,
+}
+
+impl Condvar {
+    /// Creates a new condition variable.
+    pub const fn new() -> Self {
+        Condvar { inner: sync::Condvar::new() }
+    }
+
+    /// Atomically releases the guard's mutex and waits; re-acquires before
+    /// returning. Spurious wakeups are possible, as with any condvar.
+    pub fn wait<T>(&self, guard: &mut MutexGuard<'_, T>) {
+        // Move the guard out, wait, and move the re-acquired guard back in.
+        // SAFETY-free dance: std's API consumes and returns the guard.
+        replace_with(guard, |g| self.inner.wait(g).unwrap_or_else(sync::PoisonError::into_inner));
+    }
+
+    /// Wakes one waiter.
+    pub fn notify_one(&self) -> bool {
+        self.inner.notify_one();
+        true
+    }
+
+    /// Wakes all waiters.
+    pub fn notify_all(&self) -> usize {
+        self.inner.notify_all();
+        // std does not report the count; parking_lot returns one. Callers
+        // in this workspace ignore it.
+        0
+    }
+}
+
+/// Replaces `*slot` by passing the old value through `f`, aborting the
+/// process if `f` panics (the guard would otherwise be lost while the
+/// mutex is unlocked). `Condvar::wait` only panics on poison, which the
+/// closure above already converts, so the abort path is unreachable in
+/// practice.
+fn replace_with<T>(slot: &mut T, f: impl FnOnce(T) -> T) {
+    struct Bomb;
+    impl Drop for Bomb {
+        fn drop(&mut self) {
+            std::process::abort();
+        }
+    }
+    let bomb = Bomb;
+    unsafe {
+        let old = std::ptr::read(slot);
+        let new = f(old);
+        std::ptr::write(slot, new);
+    }
+    std::mem::forget(bomb);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use std::thread;
+
+    #[test]
+    fn mutex_basics() {
+        let m = Mutex::new(1);
+        *m.lock() += 1;
+        assert_eq!(*m.lock(), 2);
+        assert!(m.try_lock().is_some());
+    }
+
+    #[test]
+    fn rwlock_basics() {
+        let l = RwLock::new(5);
+        assert_eq!(*l.read(), 5);
+        *l.write() = 6;
+        assert_eq!(*l.read(), 6);
+    }
+
+    #[test]
+    fn condvar_handoff() {
+        let pair = Arc::new((Mutex::new(false), Condvar::new()));
+        let p2 = Arc::clone(&pair);
+        let t = thread::spawn(move || {
+            let (lock, cv) = &*p2;
+            let mut ready = lock.lock();
+            while !*ready {
+                cv.wait(&mut ready);
+            }
+        });
+        *pair.0.lock() = true;
+        pair.1.notify_all();
+        t.join().unwrap();
+    }
+
+    #[test]
+    fn lock_survives_a_panicked_holder() {
+        let m = Arc::new(Mutex::new(0));
+        let m2 = Arc::clone(&m);
+        let _ = thread::spawn(move || {
+            let _g = m2.lock();
+            panic!("poison attempt");
+        })
+        .join();
+        assert_eq!(*m.lock(), 0); // no poison propagation
+    }
+}

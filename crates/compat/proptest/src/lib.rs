@@ -1,0 +1,226 @@
+//! Offline stand-in for [`proptest`](https://crates.io/crates/proptest).
+//!
+//! The build environment has no crates registry, so the workspace vendors
+//! the property-testing surface its suites use: the [`Strategy`] trait
+//! with `prop_map`, ranges / tuples / [`Just`] / [`collection::vec`] /
+//! [`arbitrary::any`] strategies, the [`prop_oneof!`] weighted union, and
+//! the [`proptest!`] / [`prop_assert!`] / [`prop_assert_eq!`] macros.
+//!
+//! Differences from the real crate, deliberate and documented:
+//!
+//! * **No shrinking.** A failing case panics with its deterministic case
+//!   seed; re-running reproduces it exactly (generation is a pure function
+//!   of the test name and case index), which substitutes for
+//!   `.proptest-regressions` persistence.
+//! * **Fixed case count** from [`test_runner::ProptestConfig::cases`]
+//!   (default 256), overridable per block via `#![proptest_config(..)]`
+//!   exactly like the real macro.
+//!
+//! The point is to keep the repository's ~40 property tests executable and
+//! meaningful in a hermetic build, not to reimplement proptest.
+
+pub mod arbitrary;
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+/// The glob-importable surface, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Asserts a condition inside a `proptest!` body, failing the current case
+/// (with formatted context) instead of panicking directly.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::core::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)*)),
+            );
+        }
+    };
+}
+
+/// Asserts equality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+            stringify!($left), stringify!($right), l, r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}\n{}",
+            stringify!($left), stringify!($right), l, r, format!($($fmt)*)
+        );
+    }};
+}
+
+/// Asserts inequality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l != *r,
+            "assertion failed: `{} != {}`\n  both: {:?}",
+            stringify!($left),
+            stringify!($right),
+            l
+        );
+    }};
+}
+
+/// Weighted (or unweighted) union of strategies producing one value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $(($weight as u32, $crate::strategy::Strategy::boxed($strat))),+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $((1u32, $crate::strategy::Strategy::boxed($strat))),+
+        ])
+    };
+}
+
+/// Declares property tests. Supports the two binding forms the workspace
+/// uses (`pat in strategy` and `name: Type`), an optional leading
+/// `#![proptest_config(expr)]`, and any number of `#[test]` functions per
+/// block.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items!(($cfg) $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items!(($crate::test_runner::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (($cfg:expr)) => {};
+    (($cfg:expr)
+     $(#[$meta:meta])*
+     fn $name:ident($($params:tt)*) $body:block
+     $($rest:tt)*) => {
+        $(#[$meta])*
+        fn $name() {
+            $crate::__proptest_body!(($cfg) ($($params)*) $body (stringify!($name)));
+        }
+        $crate::__proptest_items!(($cfg) $($rest)*);
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_body {
+    (($cfg:expr) ($($p:pat in $s:expr),+ $(,)?) $body:block ($name:expr)) => {{
+        let config: $crate::test_runner::ProptestConfig = $cfg;
+        let mut runner = $crate::test_runner::TestRunner::new(config, $name);
+        while let Some(mut rng) = runner.next_case() {
+            $(let $p = $crate::strategy::Strategy::sample(&($s), &mut rng);)+
+            #[allow(clippy::redundant_closure_call)]
+            let outcome: ::core::result::Result<(), $crate::test_runner::TestCaseError> =
+                (|| { $body ::core::result::Result::Ok(()) })();
+            runner.finish_case(outcome);
+        }
+    }};
+    (($cfg:expr) ($($p:ident : $t:ty),+ $(,)?) $body:block ($name:expr)) => {
+        $crate::__proptest_body!(
+            ($cfg) ($($p in $crate::arbitrary::any::<$t>()),+) $body ($name)
+        )
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    fn parity() -> impl Strategy<Value = u8> {
+        prop_oneof![
+            3 => (0u8..50).prop_map(|v| v * 2),
+            1 => Just(1u8),
+        ]
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+        #[test]
+        fn ranges_stay_in_bounds(v in 10u64..20) {
+            prop_assert!((10..20).contains(&v));
+        }
+
+        #[test]
+        fn tuples_and_maps_compose(pair in (0u8..4, 0u8..4).prop_map(|(a, b)| (a, a + b))) {
+            prop_assert!(pair.1 >= pair.0);
+        }
+
+        #[test]
+        fn vec_lengths_respect_range(v in crate::collection::vec(0u8..10, 3..7)) {
+            prop_assert!((3..7).contains(&v.len()));
+            prop_assert!(v.iter().all(|&x| x < 10));
+        }
+
+        #[test]
+        fn oneof_honors_membership(v in parity()) {
+            prop_assert!(v == 1 || v % 2 == 0);
+        }
+
+        #[test]
+        fn type_annotated_bindings(v: u8, w: bool) {
+            let _ = (v, w);
+        }
+
+        #[test]
+        fn arbitrary_tuples(t in any::<(u8, u8, u8, i8)>()) {
+            let _ = t;
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let s = crate::collection::vec(0u32..1000, 0..50);
+        let mut r1 = crate::test_runner::TestRunner::new(
+            ProptestConfig { cases: 1, ..ProptestConfig::default() },
+            "determinism",
+        );
+        let mut r2 = crate::test_runner::TestRunner::new(
+            ProptestConfig { cases: 1, ..ProptestConfig::default() },
+            "determinism",
+        );
+        let mut g1 = r1.next_case().unwrap();
+        let mut g2 = r2.next_case().unwrap();
+        assert_eq!(s.sample(&mut g1), s.sample(&mut g2));
+    }
+
+    #[test]
+    #[should_panic(expected = "minimal failing input")]
+    fn failures_panic_with_context() {
+        // Expand the body directly (rather than a nested `#[test]` fn,
+        // which rustc warns is unnameable inside a test).
+        crate::__proptest_body!(
+            (ProptestConfig::default()) (v in 0u8..10) {
+                prop_assert!(v < 5, "v was {v}");
+            } ("failures_panic_with_context")
+        );
+    }
+}

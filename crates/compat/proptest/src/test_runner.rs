@@ -1,0 +1,103 @@
+//! Case driving: configuration, per-case RNG derivation, failure report.
+
+use rand::rngs::StdRng;
+use rand::{RngCore, SeedableRng};
+
+/// Subset of proptest's configuration honored by this stand-in.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of cases to run per test.
+    pub cases: u32,
+    /// Accepted for source compatibility; shrinking is not implemented.
+    pub max_shrink_iters: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256, max_shrink_iters: 0 }
+    }
+}
+
+/// Why a case failed.
+#[derive(Debug, Clone)]
+pub struct TestCaseError {
+    message: String,
+}
+
+impl TestCaseError {
+    /// Builds a failure with a rendered message.
+    pub fn fail(message: impl Into<String>) -> Self {
+        TestCaseError { message: message.into() }
+    }
+}
+
+impl core::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+/// Per-case generator handed to strategies. Derivation is a pure function
+/// of (test name, case index), so any failure reproduces by re-running the
+/// same test binary — the stand-in's substitute for regression files.
+pub struct TestRng {
+    inner: StdRng,
+}
+
+impl TestRng {
+    fn for_case(name: &str, case: u32) -> Self {
+        let mut seed = 0xcbf2_9ce4_8422_2325u64; // FNV-1a over the name
+        for b in name.bytes() {
+            seed ^= u64::from(b);
+            seed = seed.wrapping_mul(0x1000_0000_01b3);
+        }
+        TestRng { inner: StdRng::seed_from_u64(seed ^ (u64::from(case) << 32)) }
+    }
+
+    /// Next 64 uniform bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.inner.next_u64()
+    }
+
+    /// Uniform draw below `bound` (which must be nonzero).
+    pub fn below(&mut self, bound: u64) -> u64 {
+        debug_assert!(bound > 0);
+        self.next_u64() % bound
+    }
+}
+
+/// Drives the configured number of cases for one `proptest!` test.
+pub struct TestRunner {
+    config: ProptestConfig,
+    name: &'static str,
+    case: u32,
+}
+
+impl TestRunner {
+    /// Creates a runner for the named test.
+    pub fn new(config: ProptestConfig, name: &'static str) -> Self {
+        TestRunner { config, name, case: 0 }
+    }
+
+    /// Starts the next case, returning its RNG, or `None` when done.
+    pub fn next_case(&mut self) -> Option<TestRng> {
+        if self.case >= self.config.cases {
+            return None;
+        }
+        self.case += 1;
+        Some(TestRng::for_case(self.name, self.case - 1))
+    }
+
+    /// Records a case outcome; panics with context on failure. Without
+    /// shrinking, the failing draw itself is reported as the minimal
+    /// failing input.
+    pub fn finish_case(&self, outcome: Result<(), TestCaseError>) {
+        if let Err(e) = outcome {
+            panic!(
+                "proptest case {}/{} of `{}` failed (deterministic; rerun reproduces it). \
+                 Treating this draw as the minimal failing input:\n{}",
+                self.case, self.config.cases, self.name, e
+            );
+        }
+    }
+}

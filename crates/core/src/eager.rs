@@ -210,9 +210,7 @@ impl EagerDb {
             seen.iter().copied().filter(|t| !committed.contains(t)).collect();
         let mut to_undo: Vec<(Lsn, TxnId)> = losers
             .iter()
-            .flat_map(|t| {
-                owned.get(t).into_iter().flat_map(|m| m.keys().map(|&l| (l, *t)))
-            })
+            .flat_map(|t| owned.get(t).into_iter().flat_map(|m| m.keys().map(|&l| (l, *t))))
             .collect();
         to_undo.sort_by_key(|&(lsn, _)| std::cmp::Reverse(lsn));
         Self::undo_records(&log, &mut pool, &mut last_lsns, &to_undo, &compensated)?;
@@ -385,8 +383,7 @@ impl TxnEngine for EagerDb {
 
     fn abort(&mut self, txn: TxnId) -> Result<()> {
         let entry = self.txns.get(&txn).ok_or(RhError::UnknownTxn(txn))?;
-        let mut records: Vec<(Lsn, TxnId)> =
-            entry.owned.keys().map(|&l| (l, txn)).collect();
+        let mut records: Vec<(Lsn, TxnId)> = entry.owned.keys().map(|&l| (l, txn)).collect();
         records.sort_by_key(|&(lsn, _)| std::cmp::Reverse(lsn));
         let mut last_lsns = HashMap::from([(txn, entry.last_lsn)]);
         let none = HashSet::new();
@@ -410,11 +407,8 @@ impl TxnEngine for EagerDb {
         // first, and drop them from the volatile ownership map.
         let sp = Lsn(token);
         let entry = self.txns.get(&txn).ok_or(RhError::UnknownTxn(txn))?;
-        let mut records: Vec<(Lsn, TxnId)> = entry
-            .owned
-            .range(sp..)
-            .map(|(&l, _)| (l, txn))
-            .collect();
+        let mut records: Vec<(Lsn, TxnId)> =
+            entry.owned.range(sp..).map(|(&l, _)| (l, txn)).collect();
         records.sort_by_key(|&(lsn, _)| std::cmp::Reverse(lsn));
         let mut last_lsns = HashMap::from([(txn, entry.last_lsn)]);
         let none = HashSet::new();

@@ -94,6 +94,30 @@ impl RhDb {
         }
     }
 
+    /// Creates a fresh database whose log lives on the given stable
+    /// backend — typically a file-backed [`StableLog`] opened with
+    /// [`StableLog::open_dir`]. The disk stays in-memory; durability of
+    /// committed work comes from WAL + redo, which is exactly the
+    /// configuration the crash-injection tests exercise. For an existing
+    /// log directory, open it and run [`RhDb::recover`] instead.
+    pub fn with_stable_log(strategy: Strategy, config: DbConfig, stable: Arc<StableLog>) -> Self {
+        let disk = Disk::new();
+        let log = Arc::new(LogManager::attach(stable));
+        let pool = BufferPool::new(Arc::clone(&disk), config.pool_pages);
+        RhDb {
+            strategy,
+            config,
+            log,
+            disk,
+            pool,
+            locks: Arc::new(LockManager::new()),
+            tr: TrList::new(),
+            next_txn: 0,
+            compensated: std::collections::HashSet::new(),
+            last_recovery: None,
+        }
+    }
+
     /// (Re)constructs an engine over existing stable state **without**
     /// running recovery — used internally and by tests that want to
     /// inspect a broken state.
@@ -310,12 +334,8 @@ impl RhDb {
         // Compensated LSNs that a live scope could still re-cover must
         // travel with the snapshot (their CLRs are behind the checkpoint
         // and a post-checkpoint recovery scan will not see them).
-        let oldest_scope = self
-            .tr
-            .iter()
-            .filter_map(|(_, e)| e.ob_list.min_first())
-            .min()
-            .unwrap_or(Lsn::NULL);
+        let oldest_scope =
+            self.tr.iter().filter_map(|(_, e)| e.ob_list.min_first()).min().unwrap_or(Lsn::NULL);
         let compensated: Vec<Lsn> = if oldest_scope.is_null() {
             Vec::new()
         } else {
@@ -338,7 +358,7 @@ impl RhDb {
         // Master only moves after the checkpoint is durable (see
         // StableLog::set_master docs).
         self.log.flush_to(end)?;
-        self.log.stable().set_master(begin);
+        self.log.stable().set_master(begin)?;
         Ok(())
     }
 

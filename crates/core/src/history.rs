@@ -94,11 +94,7 @@ impl Oracle {
     /// update `t` is responsible for. Drives well-formed generation of
     /// `delegate` events.
     pub fn responsible_objects(&self, t: Label) -> BTreeSet<ObjectId> {
-        self.ops
-            .iter()
-            .filter(|o| o.live && o.responsible == t)
-            .map(|o| o.ob)
-            .collect()
+        self.ops.iter().filter(|o| o.live && o.responsible == t).map(|o| o.ob).collect()
     }
 
     fn apply_update(&mut self, t: Label, ob: ObjectId, op: UpdateOp) {
@@ -310,17 +306,15 @@ pub mod synth {
         let mut active: Vec<Label> = Vec::new();
         let mut next_label: Label = 0;
 
-        let emit = |ev: Event,
-                        oracle: &mut Oracle,
-                        active: &mut Vec<Label>,
-                        events: &mut Vec<Event>| {
-            oracle.apply(&ev);
-            if let Event::Commit(t) | Event::Abort(t) = &ev {
-                active.retain(|x| x != t);
-                locks.release_all(TxnId(*t as u64));
-            }
-            events.push(ev);
-        };
+        let emit =
+            |ev: Event, oracle: &mut Oracle, active: &mut Vec<Label>, events: &mut Vec<Event>| {
+                oracle.apply(&ev);
+                if let Event::Commit(t) | Event::Abort(t) = &ev {
+                    active.retain(|x| x != t);
+                    locks.release_all(TxnId(*t as u64));
+                }
+                events.push(ev);
+            };
 
         let mut sp_slots: std::collections::HashMap<Label, Vec<u32>> =
             std::collections::HashMap::new();
@@ -369,8 +363,7 @@ pub mod synth {
                     if tor == tee {
                         continue;
                     }
-                    let resp: Vec<ObjectId> =
-                        oracle.responsible_objects(tor).into_iter().collect();
+                    let resp: Vec<ObjectId> = oracle.responsible_objects(tor).into_iter().collect();
                     if resp.is_empty() {
                         continue;
                     }
@@ -472,11 +465,7 @@ mod tests {
 
     #[test]
     fn boring_abort_restores() {
-        let o = Oracle::run(&[
-            Event::Begin(1),
-            Event::Write(1, A, 5),
-            Event::Abort(1),
-        ]);
+        let o = Oracle::run(&[Event::Begin(1), Event::Write(1, A, 5), Event::Abort(1)]);
         assert_eq!(o.value(A), 0);
     }
 

@@ -36,9 +36,7 @@ impl ObEntry {
         self.deleg = Some(from);
         for s in incoming {
             debug_assert!(
-                self.scopes
-                    .iter()
-                    .all(|own| own.invoker != s.invoker || !own.overlaps(&s)),
+                self.scopes.iter().all(|own| own.invoker != s.invoker || !own.overlaps(&s)),
                 "overlapping scopes with the same invoking transaction"
             );
             self.scopes.push(s);
@@ -52,11 +50,7 @@ impl ObEntry {
     pub fn record_update(&mut self, who: TxnId, lsn: Lsn) {
         // Extend the invoker's most recent scope if one exists; later
         // scopes always have larger LSNs, so max-by-last is "current".
-        if let Some(s) = self
-            .scopes
-            .iter_mut()
-            .filter(|s| s.invoker == who)
-            .max_by_key(|s| s.last)
+        if let Some(s) = self.scopes.iter_mut().filter(|s| s.invoker == who).max_by_key(|s| s.last)
         {
             s.extend(lsn);
         } else {
@@ -209,7 +203,10 @@ mod tests {
         let mut l = ObList::new();
         l.record_update(A, T1, Lsn(5));
         l.record_update(A, T1, Lsn(9));
-        assert_eq!(l.get(A).unwrap().scopes, vec![Scope { invoker: T1, first: Lsn(5), last: Lsn(9) }]);
+        assert_eq!(
+            l.get(A).unwrap().scopes,
+            vec![Scope { invoker: T1, first: Lsn(5), last: Lsn(9) }]
+        );
     }
 
     #[test]

@@ -7,8 +7,8 @@
 //! as we undo according to the fate of the final delegatee of each
 //! update."
 
-pub use super::clusters::WalkScope;
 use super::clusters::ClusterWalk;
+pub use super::clusters::WalkScope;
 use crate::txn_table::TrList;
 use rh_common::{Lsn, Result, RhError};
 use rh_storage::BufferPool;

@@ -110,10 +110,7 @@ impl ClusterWalk {
             return None;
         }
         while let Some(top) = self.pending.peek() {
-            debug_assert!(
-                top.0.scope.last <= self.k,
-                "a pending scope's right end was skipped"
-            );
+            debug_assert!(top.0.scope.last <= self.k, "a pending scope's right end was skipped");
             if top.0.scope.last != self.k {
                 break;
             }
@@ -134,11 +131,7 @@ impl ClusterWalk {
     /// Returns the covering scope (there is at most one: scopes of equal
     /// invoker and object never overlap).
     pub fn covering(&self, txn: TxnId, ob: ObjectId, lsn: Lsn) -> Option<WalkScope> {
-        self.cluster
-            .get(&(txn, ob))?
-            .iter()
-            .find(|ws| ws.scope.covers(lsn))
-            .copied()
+        self.cluster.get(&(txn, ob))?.iter().find(|ws| ws.scope.covers(lsn)).copied()
     }
 
     /// Completes the current position: α3 (drop scopes that began here),
@@ -155,10 +148,7 @@ impl ClusterWalk {
         self.k = k.prev();
         // until K < begCluster → β.
         if self.k.is_null() || self.k < self.beg_cluster {
-            debug_assert!(
-                self.cluster.is_empty(),
-                "cluster must drain by its own left end"
-            );
+            debug_assert!(self.cluster.is_empty(), "cluster must drain by its own left end");
             self.cluster.clear();
             self.beg_cluster = Lsn::NULL;
             match self.pending.peek() {
@@ -222,11 +212,7 @@ mod tests {
             ws(5, 4, 5, 13, 16),
             ws(6, 5, 6, 25, 27),
         ];
-        let want: Vec<u64> = (25..=27)
-            .rev()
-            .chain((10..=18).rev())
-            .chain((2..=4).rev())
-            .collect();
+        let want: Vec<u64> = (25..=27).rev().chain((10..=18).rev()).chain((2..=4).rev()).collect();
         let mut walk = ClusterWalk::new(scopes);
         let mut got = Vec::new();
         while let Some(k) = walk.next_position() {
@@ -272,12 +258,8 @@ mod tests {
 
     #[test]
     fn positions_strictly_decrease_and_never_repeat() {
-        let scopes = vec![
-            ws(1, 0, 1, 0, 3),
-            ws(2, 1, 2, 2, 9),
-            ws(3, 2, 3, 15, 20),
-            ws(4, 3, 4, 17, 26),
-        ];
+        let scopes =
+            vec![ws(1, 0, 1, 0, 3), ws(2, 1, 2, 2, 9), ws(3, 2, 3, 15, 20), ws(4, 3, 4, 17, 26)];
         let pos = positions(ClusterWalk::new(scopes));
         for pair in pos.windows(2) {
             assert!(pair[0] > pair[1], "visits must strictly decrease: {pos:?}");

@@ -221,9 +221,7 @@ fn analyze(
             // rewritten, the delegator's entry may already be gone.
             let obs: Vec<ObjectId> = match body {
                 DelegateBody::Objects(obs) => obs.clone(),
-                DelegateBody::All => {
-                    tr.get(rec.txn)?.ob_list.objects().collect()
-                }
+                DelegateBody::All => tr.get(rec.txn)?.ob_list.objects().collect(),
             };
             for ob in obs {
                 if let Some(entry) = tr.get_mut(rec.txn)?.ob_list.take(ob) {

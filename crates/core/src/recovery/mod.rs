@@ -110,8 +110,7 @@ pub fn recover(
     log.flush_all()?;
     debug_assert!(tr.is_empty(), "recovery must drain the transaction table");
 
-    let mut db =
-        RhDb::from_parts(strategy, config, log, disk, pool, tr, fwd.next_txn);
+    let mut db = RhDb::from_parts(strategy, config, log, disk, pool, tr, fwd.next_txn);
     db.set_recovery_report(RecoveryReport {
         winners_seen: fwd.stats.commits_seen,
         forward: fwd.stats,

@@ -235,7 +235,11 @@ mod tests {
         let mut t = TrList::new();
         t.insert(TxnId(1), Lsn(0));
         t.set_bc(TxnId(1), Lsn(4)).unwrap();
-        t.get_mut(TxnId(1)).unwrap().ob_list.record_update(rh_common::ObjectId(7), TxnId(1), Lsn(4));
+        t.get_mut(TxnId(1)).unwrap().ob_list.record_update(
+            rh_common::ObjectId(7),
+            TxnId(1),
+            Lsn(4),
+        );
         t.insert(TxnId(2), Lsn(2));
         t.get_mut(TxnId(2)).unwrap().status = TxnStatus::Committed;
         assert_eq!(TrList::from_bytes(&t.to_bytes()).unwrap(), t);

@@ -23,8 +23,8 @@ fn chain_from_head(db: &RhDb, txn: rh_common::TxnId) -> Vec<u64> {
     let mut lsn = log.last_lsn();
     while !lsn.is_null() {
         let rec = log.read(lsn).unwrap();
-        let on_chain = rec.txn == txn
-            || matches!(&rec.body, RecordBody::Delegate { tee, .. } if *tee == txn);
+        let on_chain =
+            rec.txn == txn || matches!(&rec.body, RecordBody::Delegate { tee, .. } if *tee == txn);
         if on_chain {
             head = lsn;
             break;
@@ -95,9 +95,9 @@ fn chains_stay_walkable_after_recovery() {
     db.commit(t1).unwrap();
     db.log().flush_all().unwrap();
     let db = db.crash_and_recover().unwrap(); // t2 a loser: CLR+abort+end
-    // Walk every transaction's chain in the post-recovery log; each walk
-    // must terminate (no cycles, no dangling pointers) and stay within
-    // the log.
+                                              // Walk every transaction's chain in the post-recovery log; each walk
+                                              // must terminate (no cycles, no dangling pointers) and stay within
+                                              // the log.
     let log = db.log();
     let mut heads: std::collections::HashMap<rh_common::TxnId, Lsn> =
         std::collections::HashMap::new();

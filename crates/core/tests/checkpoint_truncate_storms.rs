@@ -91,10 +91,7 @@ fn truncation_point_never_exceeds_live_state() {
         }
         db.checkpoint().unwrap();
         db.truncate_log().unwrap();
-        assert!(
-            db.log().first_lsn().raw() <= 2,
-            "round {round}: truncated past the pinned scope"
-        );
+        assert!(db.log().first_lsn().raw() <= 2, "round {round}: truncated past the pinned scope");
     }
     // Release the pin: the next checkpoint+truncate can advance.
     db.abort(holder).unwrap();

@@ -125,7 +125,7 @@ fn example2_across_crash() {
     d.add(t, A, 100).unwrap();
     d.delegate(t, t2, &[A]).unwrap();
     d.commit(t1).unwrap(); // +10 permanent
-    // t and t2 are losers at the crash: +100 (delegated to t2) undone.
+                           // t and t2 are losers at the crash: +100 (delegated to t2) undone.
     let mut d = d.crash_and_recover().unwrap();
     assert_eq!(d.value_of(A).unwrap(), 10);
 }
@@ -367,7 +367,7 @@ fn truncated_log_still_recovers_correctly() {
     let dropped = d.truncate_log().unwrap();
     assert!(dropped > 0, "expected the committed prefix to be discarded");
     assert!(d.log().first_lsn() <= Lsn(30 * 4)); // not beyond pinned's begin
-    // Continue working after truncation.
+                                                 // Continue working after truncation.
     let t = d.begin().unwrap();
     d.add(t, B, 7).unwrap();
     d.commit(t).unwrap();

@@ -1,10 +1,10 @@
 //! Normal-processing semantics of the ARIES/RH engine, pinned to the
 //! paper's definitions and worked examples (§2.1, §3.4, §3.5).
 
+use rh_common::Lsn;
 use rh_common::{ObjectId, RhError, TxnId};
 use rh_core::engine::{RhDb, Strategy};
 use rh_core::{Scope, TxnEngine};
-use rh_common::Lsn;
 
 const A: ObjectId = ObjectId(0);
 const B: ObjectId = ObjectId(1);
@@ -65,10 +65,7 @@ fn delegate_requires_responsibility() {
     let mut db = db();
     let t1 = db.begin().unwrap();
     let t2 = db.begin().unwrap();
-    assert_eq!(
-        db.delegate(t1, t2, &[A]),
-        Err(RhError::NotResponsible { txn: t1, object: A })
-    );
+    assert_eq!(db.delegate(t1, t2, &[A]), Err(RhError::NotResponsible { txn: t1, object: A }));
 }
 
 #[test]
@@ -99,10 +96,7 @@ fn delegator_loses_responsibility_after_delegating() {
     let t3 = db.begin().unwrap();
     db.write(t1, A, 1).unwrap();
     db.delegate(t1, t2, &[A]).unwrap();
-    assert_eq!(
-        db.delegate(t1, t3, &[A]),
-        Err(RhError::NotResponsible { txn: t1, object: A })
-    );
+    assert_eq!(db.delegate(t1, t3, &[A]), Err(RhError::NotResponsible { txn: t1, object: A }));
     // But the new responsible transaction can delegate onward.
     db.delegate(t2, t3, &[A]).unwrap();
     db.commit(t3).unwrap();

@@ -38,8 +38,12 @@ fn crash_partial_recover_crash_recover(events: &[Event], keep_nth: usize) -> RhD
                 scopes.push(WalkScope { owner: t, ob, scope, loser: true });
             }
         }
-        let partial: Vec<WalkScope> =
-            scopes.into_iter().enumerate().filter(|(i, _)| i % keep_nth == 0).map(|(_, s)| s).collect();
+        let partial: Vec<WalkScope> = scopes
+            .into_iter()
+            .enumerate()
+            .filter(|(i, _)| i % keep_nth == 0)
+            .map(|(_, s)| s)
+            .collect();
         let mut compensated = fwd.compensated;
         undo_scopes(&log, &mut pool, &mut tr, partial, &mut compensated, false)
             .expect("partial undo");

@@ -44,7 +44,7 @@ fn lazy_rewrites_ended_winner_scopes() {
     d.add(t0, A, 5).unwrap(); // lsn 2
     d.delegate(t0, t1, &[A]).unwrap();
     d.commit(t1).unwrap(); // winner, fully ended
-    // t0 stays active: loser at crash (but owns nothing on A).
+                           // t0 stays active: loser at crash (but owns nothing on A).
     d.log().flush_all().unwrap();
     let mut d = d.crash_and_recover().unwrap();
     assert_eq!(d.value_of(A).unwrap(), 5);

@@ -146,10 +146,7 @@ fn full_tail_rollback_empties_scope_and_forbids_delegation() {
     d.add(t, A, 10).unwrap();
     d.rollback_to(t, sp).unwrap();
     // Nothing left to delegate on A.
-    assert_eq!(
-        d.delegate(t, tee, &[A]),
-        Err(RhError::NotResponsible { txn: t, object: A })
-    );
+    assert_eq!(d.delegate(t, tee, &[A]), Err(RhError::NotResponsible { txn: t, object: A }));
     d.commit(t).unwrap();
     d.commit(tee).unwrap();
 }

@@ -356,10 +356,7 @@ mod tests {
         let mut db = EosDb::new();
         let t1 = db.begin().unwrap();
         let t2 = db.begin().unwrap();
-        assert_eq!(
-            db.delegate(t1, t2, &[A]),
-            Err(RhError::NotResponsible { txn: t1, object: A })
-        );
+        assert_eq!(db.delegate(t1, t2, &[A]), Err(RhError::NotResponsible { txn: t1, object: A }));
     }
 
     #[test]

@@ -181,10 +181,7 @@ mod tests {
         let mut tee = PrivateLog::new();
         tee.receive(TxnId(1), tor.extract(A));
         assert_eq!(tee.view(A, 0), 7);
-        assert!(tee
-            .items()
-            .iter()
-            .all(|i| i.provenance == Provenance::DelegatedFrom(TxnId(1))));
+        assert!(tee.items().iter().all(|i| i.provenance == Provenance::DelegatedFrom(TxnId(1))));
     }
 
     #[test]

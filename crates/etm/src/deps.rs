@@ -69,11 +69,7 @@ impl DepGraph {
         let mut seen = HashSet::new();
         let mut queue = VecDeque::from([from]);
         while let Some(n) = queue.pop_front() {
-            for e in self
-                .edges
-                .iter()
-                .filter(|e| e.dependent == n && e.kind != Dependency::Abort)
-            {
+            for e in self.edges.iter().filter(|e| e.dependent == n && e.kind != Dependency::Abort) {
                 if e.on == to {
                     return true;
                 }
@@ -91,9 +87,7 @@ impl DepGraph {
     /// `on` mutually commit-dependent (neither could ever commit first);
     /// self-dependencies are always rejected.
     pub fn form(&mut self, kind: Dependency, dependent: TxnId, on: TxnId) -> Result<()> {
-        if dependent == on
-            || (kind != Dependency::Abort && self.commit_reachable(on, dependent))
-        {
+        if dependent == on || (kind != Dependency::Abort && self.commit_reachable(on, dependent)) {
             return Err(RhError::DependencyCycle { from: dependent, to: on });
         }
         self.register(dependent);

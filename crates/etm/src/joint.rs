@@ -40,8 +40,7 @@ impl JointGroup {
         if n == 0 {
             return Err(RhError::Protocol("a joint group needs at least one member"));
         }
-        let members: Vec<TxnId> =
-            (0..n).map(|_| s.initiate_empty()).collect::<Result<_>>()?;
+        let members: Vec<TxnId> = (0..n).map(|_| s.initiate_empty()).collect::<Result<_>>()?;
         for i in 1..members.len() {
             // A chain of abort dependencies in both directions suffices
             // for full cascade (abort propagates transitively).

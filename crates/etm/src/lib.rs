@@ -25,8 +25,8 @@
 //!   [`cotxn`] (co-transactions, §2.2).
 
 pub mod cotxn;
-pub mod joint;
 pub mod deps;
+pub mod joint;
 pub mod nested;
 pub mod reporting;
 pub mod session;

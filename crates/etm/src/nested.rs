@@ -50,11 +50,7 @@ impl NestedTree {
     /// Spawns a subtransaction of `parent`. The child is
     /// abort-dependent on the parent: if the parent aborts, the child's
     /// work cannot survive (it would have been delegated upward anyway).
-    pub fn spawn<E: TxnEngine>(
-        &mut self,
-        s: &mut EtmSession<E>,
-        parent: TxnId,
-    ) -> Result<TxnId> {
+    pub fn spawn<E: TxnEngine>(&mut self, s: &mut EtmSession<E>, parent: TxnId) -> Result<TxnId> {
         let child = s.initiate_empty()?;
         s.form_dependency(Dependency::Abort, child, parent)?;
         self.parent_of.insert(child, parent);
@@ -78,7 +74,11 @@ impl NestedTree {
     /// objects modified by it are made accessible to its parent
     /// transaction" — delegate everything upward, then commit (an empty
     /// set, so nothing becomes durable yet).
-    pub fn commit_child<E: TxnEngine>(&mut self, s: &mut EtmSession<E>, child: TxnId) -> Result<()> {
+    pub fn commit_child<E: TxnEngine>(
+        &mut self,
+        s: &mut EtmSession<E>,
+        child: TxnId,
+    ) -> Result<()> {
         let parent =
             *self.parent_of.get(&child).ok_or(RhError::Protocol("not a subtransaction"))?;
         s.delegate_all(child, parent)?;

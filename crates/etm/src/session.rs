@@ -58,7 +58,12 @@ pub struct EtmSession<E: TxnEngine> {
 impl<E: TxnEngine> EtmSession<E> {
     /// Wraps an engine.
     pub fn new(engine: E) -> Self {
-        EtmSession { engine, deps: DepGraph::new(), tasks: HashMap::new(), outcomes: HashMap::new() }
+        EtmSession {
+            engine,
+            deps: DepGraph::new(),
+            tasks: HashMap::new(),
+            outcomes: HashMap::new(),
+        }
     }
 
     /// Consumes the session, returning the engine (e.g. to crash it).

@@ -37,11 +37,7 @@ use rh_core::TxnEngine;
 /// s.abort(t1).unwrap();  // ...and survives the original's abort
 /// assert_eq!(s.value_of(ObjectId(0)).unwrap(), 7);
 /// ```
-pub fn split<E: TxnEngine>(
-    s: &mut EtmSession<E>,
-    t1: TxnId,
-    ob_set: &[ObjectId],
-) -> Result<TxnId> {
+pub fn split<E: TxnEngine>(s: &mut EtmSession<E>, t1: TxnId, ob_set: &[ObjectId]) -> Result<TxnId> {
     let t2 = s.initiate_empty()?;
     s.delegate(t1, t2, ob_set)?;
     Ok(t2)
@@ -134,7 +130,7 @@ mod tests {
         s.write(t1, B, 2).unwrap();
         let t2 = split(&mut s, t1, &[B]).unwrap();
         s.commit(t2).unwrap(); // B's update is durable with t2
-        // t1 is still running at the crash: A's update must die, B's live.
+                               // t1 is still running at the crash: A's update must die, B's live.
         let mut engine = s.into_engine().crash_and_recover().unwrap();
         assert_eq!(engine.value_of(A).unwrap(), 0);
         assert_eq!(engine.value_of(B).unwrap(), 2);

@@ -25,9 +25,7 @@ impl LockHead {
     /// taking permits into account?
     pub fn conflicts(&self, txn: TxnId, mode: LockMode) -> bool {
         self.holders.iter().any(|(&holder, &held)| {
-            holder != txn
-                && !held.compatible(mode)
-                && !self.permits.contains(&(holder, txn))
+            holder != txn && !held.compatible(mode) && !self.permits.contains(&(holder, txn))
         })
     }
 
@@ -36,9 +34,7 @@ impl LockHead {
         self.holders
             .iter()
             .filter(|(&holder, &held)| {
-                holder != txn
-                    && !held.compatible(mode)
-                    && !self.permits.contains(&(holder, txn))
+                holder != txn && !held.compatible(mode) && !self.permits.contains(&(holder, txn))
             })
             .map(|(&holder, _)| holder)
             .collect()

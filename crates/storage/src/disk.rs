@@ -28,7 +28,10 @@ pub struct Disk {
 impl Disk {
     /// Creates an empty disk.
     pub fn new() -> Arc<Self> {
-        Arc::new(Disk { pages: RwLock::new(HashMap::new()), metrics: Arc::new(DiskMetrics::default()) })
+        Arc::new(Disk {
+            pages: RwLock::new(HashMap::new()),
+            metrics: Arc::new(DiskMetrics::default()),
+        })
     }
 
     /// Reads a page; a page never written reads as [`Page::empty`].
@@ -37,7 +40,8 @@ impl Disk {
         match self.pages.read().get(&id) {
             None => Ok(Page::empty(id)),
             Some(bytes) => {
-                let page = Page::from_bytes(bytes).map_err(|_| RhError::Storage("corrupt page image"))?;
+                let page =
+                    Page::from_bytes(bytes).map_err(|_| RhError::Storage("corrupt page image"))?;
                 if page.id != id {
                     return Err(RhError::Storage("page id mismatch on read"));
                 }

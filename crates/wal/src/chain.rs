@@ -102,9 +102,7 @@ mod tests {
     }
 
     fn chain_lsns(log: &LogManager, txn: TxnId, head: Lsn) -> Vec<u64> {
-        BackwardChainIter::new(log, txn, head)
-            .map(|r| r.unwrap().lsn.raw())
-            .collect()
+        BackwardChainIter::new(log, txn, head).map(|r| r.unwrap().lsn.raw()).collect()
     }
 
     #[test]

@@ -1,0 +1,159 @@
+//! On-disk record framing for the file-backed log.
+//!
+//! Every log record is stored as a self-validating frame:
+//!
+//! ```text
+//! +----------------+----------------+==================+
+//! | len: u32 LE    | crc: u32 LE    | payload (len B)  |
+//! +----------------+----------------+==================+
+//! ```
+//!
+//! `len` is the payload length in bytes and `crc` is the CRC-32 (IEEE
+//! polynomial, the zlib/ethernet one) of the payload. A frame is *valid*
+//! only if the header is complete, `len` passes a sanity bound, the whole
+//! payload is present, and the checksum matches — anything else is a
+//! **torn tail**: the longest valid frame prefix of a segment file is
+//! exactly the flushed prefix of the log, and [`scan`](crate::segment)
+//! truncates the rest on open. A crash can therefore land at *any byte
+//! offset* of an in-flight frame without corrupting recovery; the crash
+//! tests drive every offset.
+
+/// Bytes of framing per record: `len` + `crc`.
+pub const HEADER_LEN: usize = 8;
+
+/// Upper bound on a single payload, as a corruption tripwire: a torn
+/// header that happens to have a valid-looking CRC cannot make the scanner
+/// chase a multi-gigabyte phantom frame.
+pub const MAX_PAYLOAD: u32 = 1 << 28; // 256 MiB
+
+/// CRC-32 (IEEE, reflected, init/final `0xFFFF_FFFF`) of `data`.
+pub fn crc32(data: &[u8]) -> u32 {
+    // Tableless bitwise form; the log's payloads are tens of bytes, so
+    // this is nowhere near any profile. 0xEDB88320 is the reflected
+    // IEEE 802.3 polynomial.
+    let mut crc = !0u32;
+    for &byte in data {
+        crc ^= u32::from(byte);
+        for _ in 0..8 {
+            let mask = (crc & 1).wrapping_neg();
+            crc = (crc >> 1) ^ (0xEDB8_8320 & mask);
+        }
+    }
+    !crc
+}
+
+/// Encodes `payload` into a framed byte string ready to append.
+pub fn encode(payload: &[u8]) -> Vec<u8> {
+    assert!(payload.len() as u64 <= u64::from(MAX_PAYLOAD), "oversized log record");
+    let mut out = Vec::with_capacity(HEADER_LEN + payload.len());
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(&crc32(payload).to_le_bytes());
+    out.extend_from_slice(payload);
+    out
+}
+
+/// Outcome of decoding the bytes at one frame boundary.
+#[derive(Debug, PartialEq, Eq)]
+pub enum Decoded<'a> {
+    /// A complete, checksum-valid frame; `payload` borrows from the input.
+    Valid {
+        /// The record bytes.
+        payload: &'a [u8],
+        /// Total frame size (header + payload), to advance the cursor.
+        frame_len: usize,
+    },
+    /// Anything else: incomplete header, implausible length, short
+    /// payload, or checksum mismatch. The distinction does not matter to
+    /// the caller — the scan stops here either way.
+    Torn,
+}
+
+/// Decodes the frame starting at `buf[0]`. `buf` may extend past the
+/// frame (the rest of the segment); only the leading frame is examined.
+pub fn decode(buf: &[u8]) -> Decoded<'_> {
+    if buf.len() < HEADER_LEN {
+        return Decoded::Torn;
+    }
+    let len = u32::from_le_bytes(buf[0..4].try_into().expect("4 bytes"));
+    let crc = u32::from_le_bytes(buf[4..8].try_into().expect("4 bytes"));
+    if len == 0 || len > MAX_PAYLOAD {
+        // len == 0 doubles as the zero-filled-tail case (a preallocated or
+        // partially synced region reads back as zeros).
+        return Decoded::Torn;
+    }
+    let end = HEADER_LEN + len as usize;
+    if buf.len() < end {
+        return Decoded::Torn;
+    }
+    let payload = &buf[HEADER_LEN..end];
+    if crc32(payload) != crc {
+        return Decoded::Torn;
+    }
+    Decoded::Valid { payload, frame_len: end }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crc32_matches_known_vectors() {
+        // Standard check value for CRC-32/IEEE.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn roundtrip() {
+        let frame = encode(b"hello log");
+        match decode(&frame) {
+            Decoded::Valid { payload, frame_len } => {
+                assert_eq!(payload, b"hello log");
+                assert_eq!(frame_len, frame.len());
+            }
+            Decoded::Torn => panic!("valid frame decoded as torn"),
+        }
+    }
+
+    #[test]
+    fn every_strict_prefix_is_torn() {
+        let frame = encode(b"some record payload bytes");
+        for cut in 0..frame.len() {
+            assert_eq!(decode(&frame[..cut]), Decoded::Torn, "prefix of {cut} bytes");
+        }
+    }
+
+    #[test]
+    fn single_bit_flips_are_torn() {
+        let frame = encode(b"bitrot target");
+        for byte in 0..frame.len() {
+            let mut copy = frame.clone();
+            copy[byte] ^= 0x10;
+            // Flipping a length byte may still decode iff it yields the
+            // same length; with a fixed buffer it cannot, so every flip
+            // must be caught.
+            assert_eq!(decode(&copy), Decoded::Torn, "flip in byte {byte}");
+        }
+    }
+
+    #[test]
+    fn zero_fill_is_torn() {
+        assert_eq!(decode(&[0u8; 64]), Decoded::Torn);
+    }
+
+    #[test]
+    fn trailing_bytes_are_ignored() {
+        let mut buf = encode(b"first");
+        buf.extend_from_slice(&encode(b"second"));
+        match decode(&buf) {
+            Decoded::Valid { payload, frame_len } => {
+                assert_eq!(payload, b"first");
+                match decode(&buf[frame_len..]) {
+                    Decoded::Valid { payload, .. } => assert_eq!(payload, b"second"),
+                    Decoded::Torn => panic!("second frame torn"),
+                }
+            }
+            Decoded::Torn => panic!("first frame torn"),
+        }
+    }
+}

@@ -1,0 +1,435 @@
+//! The file-backed log's I/O layer, as a pair of object-safe traits so
+//! tests can interpose faults between the log and the filesystem.
+//!
+//! * [`StdIo`] / [`StdFile`] — the real thing: positioned reads/writes on
+//!   `std::fs::File`, `fsync` via `sync_data`, directory fsyncs for
+//!   rename durability.
+//! * [`FaultIo`] / [`FaultFile`] — a wrapper that simulates a process
+//!   crash at a **byte granularity**: after a configured write budget is
+//!   exhausted, the write crossing the boundary is truncated (a torn,
+//!   short write — exactly what a dying kernel leaves behind), every
+//!   later write is silently dropped, and every later `sync` **fails** so
+//!   no commit is acknowledged on the strength of bytes that never hit
+//!   the platter. A separate mode drops `sync` calls while reporting
+//!   success, to let tests assert that the group-commit path really
+//!   issues them.
+//!
+//! The crash tests in `rh-core` drive the budget through every byte
+//! offset of an in-flight frame and assert the recovery invariants.
+
+use std::fmt::Debug;
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// One open log file: positioned I/O plus durability.
+#[allow(clippy::len_without_is_empty)] // a file length is not a collection
+pub trait WalFile: Send + Sync + Debug {
+    /// Current file length in bytes.
+    fn len(&self) -> io::Result<u64>;
+    /// Reads at `offset`; returns the bytes read (0 at EOF).
+    fn read_at(&self, offset: u64, buf: &mut [u8]) -> io::Result<usize>;
+    /// Writes at `offset`; may be short. Callers loop.
+    fn write_at(&self, offset: u64, data: &[u8]) -> io::Result<usize>;
+    /// Truncates (or extends, zero-filled) to `len` bytes.
+    fn set_len(&self, len: u64) -> io::Result<()>;
+    /// Forces written data to stable storage (`fdatasync`).
+    fn sync(&self) -> io::Result<()>;
+}
+
+/// Filesystem operations the segmented log needs, behind a trait so the
+/// fault layer can also interdict metadata operations (a dead process
+/// cannot rename).
+pub trait WalIo: Send + Sync + Debug {
+    /// Opens an existing file for read/write.
+    fn open(&self, path: &Path) -> io::Result<Arc<dyn WalFile>>;
+    /// Creates (truncating) a file for read/write.
+    fn create(&self, path: &Path) -> io::Result<Arc<dyn WalFile>>;
+    /// Lists the entries of `dir` (files only, full paths, any order).
+    fn list(&self, dir: &Path) -> io::Result<Vec<PathBuf>>;
+    /// Atomically renames `from` to `to` (same directory).
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()>;
+    /// Removes a file.
+    fn remove(&self, path: &Path) -> io::Result<()>;
+    /// Creates `dir` and its parents.
+    fn create_dir_all(&self, dir: &Path) -> io::Result<()>;
+    /// Fsyncs the directory itself, making renames/creates/removals in it
+    /// durable.
+    fn sync_dir(&self, dir: &Path) -> io::Result<()>;
+}
+
+// ---------------------------------------------------------------- real I/O
+
+/// Production [`WalIo`] over `std::fs`.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct StdIo;
+
+/// Production [`WalFile`] over `std::fs::File`.
+#[derive(Debug)]
+pub struct StdFile {
+    file: std::fs::File,
+}
+
+#[cfg(unix)]
+fn pread(file: &std::fs::File, offset: u64, buf: &mut [u8]) -> io::Result<usize> {
+    std::os::unix::fs::FileExt::read_at(file, buf, offset)
+}
+
+#[cfg(unix)]
+fn pwrite(file: &std::fs::File, offset: u64, data: &[u8]) -> io::Result<usize> {
+    std::os::unix::fs::FileExt::write_at(file, data, offset)
+}
+
+impl WalFile for StdFile {
+    fn len(&self) -> io::Result<u64> {
+        Ok(self.file.metadata()?.len())
+    }
+
+    fn read_at(&self, offset: u64, buf: &mut [u8]) -> io::Result<usize> {
+        pread(&self.file, offset, buf)
+    }
+
+    fn write_at(&self, offset: u64, data: &[u8]) -> io::Result<usize> {
+        pwrite(&self.file, offset, data)
+    }
+
+    fn set_len(&self, len: u64) -> io::Result<()> {
+        self.file.set_len(len)
+    }
+
+    fn sync(&self) -> io::Result<()> {
+        self.file.sync_data()
+    }
+}
+
+impl WalIo for StdIo {
+    fn open(&self, path: &Path) -> io::Result<Arc<dyn WalFile>> {
+        let file = std::fs::OpenOptions::new().read(true).write(true).open(path)?;
+        Ok(Arc::new(StdFile { file }))
+    }
+
+    fn create(&self, path: &Path) -> io::Result<Arc<dyn WalFile>> {
+        let file = std::fs::OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(path)?;
+        Ok(Arc::new(StdFile { file }))
+    }
+
+    fn list(&self, dir: &Path) -> io::Result<Vec<PathBuf>> {
+        let mut out = Vec::new();
+        for entry in std::fs::read_dir(dir)? {
+            let entry = entry?;
+            if entry.file_type()?.is_file() {
+                out.push(entry.path());
+            }
+        }
+        Ok(out)
+    }
+
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()> {
+        std::fs::rename(from, to)
+    }
+
+    fn remove(&self, path: &Path) -> io::Result<()> {
+        std::fs::remove_file(path)
+    }
+
+    fn create_dir_all(&self, dir: &Path) -> io::Result<()> {
+        std::fs::create_dir_all(dir)
+    }
+
+    fn sync_dir(&self, dir: &Path) -> io::Result<()> {
+        // Directories cannot be opened writable; a read handle suffices
+        // for fsync on every filesystem Linux ships.
+        std::fs::File::open(dir)?.sync_data()
+    }
+}
+
+// -------------------------------------------------------------- fault I/O
+
+/// Shared crash switchboard for a [`FaultIo`] and all files it opened.
+///
+/// The budget counts bytes across **all** writes through this injector, so
+/// a test can place the crash at any absolute byte offset of the write
+/// stream — including the middle of a frame header.
+#[derive(Debug)]
+pub struct FaultInjector {
+    /// Write bytes remaining before the simulated crash.
+    budget: AtomicU64,
+    /// Latched once the budget runs out (or [`FaultInjector::trip`]).
+    crashed: AtomicBool,
+    /// When set, `sync` succeeds without syncing (and is counted).
+    drop_syncs: AtomicBool,
+    /// Number of syncs swallowed by `drop_syncs`.
+    dropped_syncs: AtomicU64,
+    /// Number of syncs that actually reached the inner file.
+    real_syncs: AtomicU64,
+}
+
+impl FaultInjector {
+    /// Crash (torn-write, then silence) after `budget` more bytes.
+    pub fn crash_after_bytes(budget: u64) -> Arc<Self> {
+        Arc::new(FaultInjector {
+            budget: AtomicU64::new(budget),
+            crashed: AtomicBool::new(false),
+            drop_syncs: AtomicBool::new(false),
+            dropped_syncs: AtomicU64::new(0),
+            real_syncs: AtomicU64::new(0),
+        })
+    }
+
+    /// No crash scheduled; useful with [`FaultInjector::set_drop_syncs`]
+    /// or a later [`FaultInjector::trip`].
+    pub fn unlimited() -> Arc<Self> {
+        Self::crash_after_bytes(u64::MAX)
+    }
+
+    /// Crashes immediately: subsequent writes vanish, syncs fail.
+    pub fn trip(&self) {
+        self.crashed.store(true, Ordering::SeqCst);
+    }
+
+    /// Whether the simulated crash has happened.
+    pub fn crashed(&self) -> bool {
+        self.crashed.load(Ordering::SeqCst)
+    }
+
+    /// Toggles sync-dropping mode.
+    pub fn set_drop_syncs(&self, on: bool) {
+        self.drop_syncs.store(on, Ordering::SeqCst);
+    }
+
+    /// Syncs swallowed while in sync-dropping mode.
+    pub fn dropped_syncs(&self) -> u64 {
+        self.dropped_syncs.load(Ordering::SeqCst)
+    }
+
+    /// Syncs that were passed through to the real file.
+    pub fn real_syncs(&self) -> u64 {
+        self.real_syncs.load(Ordering::SeqCst)
+    }
+
+    /// Takes `want` bytes from the budget; returns how many may actually
+    /// be written (crashing when short).
+    fn admit(&self, want: u64) -> u64 {
+        if self.crashed() {
+            return 0;
+        }
+        let mut cur = self.budget.load(Ordering::SeqCst);
+        loop {
+            let grant = cur.min(want);
+            match self.budget.compare_exchange(cur, cur - grant, Ordering::SeqCst, Ordering::SeqCst)
+            {
+                Ok(_) => {
+                    if grant < want {
+                        self.trip();
+                    }
+                    return grant;
+                }
+                Err(actual) => cur = actual,
+            }
+        }
+    }
+
+    fn dead() -> io::Error {
+        io::Error::new(io::ErrorKind::BrokenPipe, "simulated crash: process is gone")
+    }
+}
+
+/// [`WalIo`] decorator applying a shared [`FaultInjector`].
+#[derive(Debug)]
+pub struct FaultIo {
+    inner: Arc<dyn WalIo>,
+    injector: Arc<FaultInjector>,
+}
+
+impl FaultIo {
+    /// Wraps `inner`, injecting faults per `injector`.
+    pub fn new(inner: Arc<dyn WalIo>, injector: Arc<FaultInjector>) -> Self {
+        FaultIo { inner, injector }
+    }
+
+    /// Convenience: fault-injecting I/O over the real filesystem.
+    pub fn std(injector: Arc<FaultInjector>) -> Self {
+        Self::new(Arc::new(StdIo), injector)
+    }
+}
+
+impl WalIo for FaultIo {
+    fn open(&self, path: &Path) -> io::Result<Arc<dyn WalFile>> {
+        let inner = self.inner.open(path)?;
+        Ok(Arc::new(FaultFile { inner, injector: Arc::clone(&self.injector) }))
+    }
+
+    fn create(&self, path: &Path) -> io::Result<Arc<dyn WalFile>> {
+        if self.injector.crashed() {
+            return Err(FaultInjector::dead());
+        }
+        let inner = self.inner.create(path)?;
+        Ok(Arc::new(FaultFile { inner, injector: Arc::clone(&self.injector) }))
+    }
+
+    fn list(&self, dir: &Path) -> io::Result<Vec<PathBuf>> {
+        self.inner.list(dir)
+    }
+
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()> {
+        if self.injector.crashed() {
+            return Err(FaultInjector::dead());
+        }
+        self.inner.rename(from, to)
+    }
+
+    fn remove(&self, path: &Path) -> io::Result<()> {
+        if self.injector.crashed() {
+            return Err(FaultInjector::dead());
+        }
+        self.inner.remove(path)
+    }
+
+    fn create_dir_all(&self, dir: &Path) -> io::Result<()> {
+        if self.injector.crashed() {
+            return Err(FaultInjector::dead());
+        }
+        self.inner.create_dir_all(dir)
+    }
+
+    fn sync_dir(&self, dir: &Path) -> io::Result<()> {
+        if self.injector.crashed() {
+            return Err(FaultInjector::dead());
+        }
+        if self.injector.drop_syncs.load(Ordering::SeqCst) {
+            self.injector.dropped_syncs.fetch_add(1, Ordering::SeqCst);
+            return Ok(());
+        }
+        self.injector.real_syncs.fetch_add(1, Ordering::SeqCst);
+        self.inner.sync_dir(dir)
+    }
+}
+
+/// [`WalFile`] decorator applying a shared [`FaultInjector`].
+#[derive(Debug)]
+pub struct FaultFile {
+    inner: Arc<dyn WalFile>,
+    injector: Arc<FaultInjector>,
+}
+
+impl WalFile for FaultFile {
+    fn len(&self) -> io::Result<u64> {
+        self.inner.len()
+    }
+
+    fn read_at(&self, offset: u64, buf: &mut [u8]) -> io::Result<usize> {
+        self.inner.read_at(offset, buf)
+    }
+
+    fn write_at(&self, offset: u64, data: &[u8]) -> io::Result<usize> {
+        let grant = self.injector.admit(data.len() as u64) as usize;
+        if grant == 0 && self.injector.crashed() {
+            // Post-crash writes vanish but "succeed": nothing observes a
+            // dead process's missing writes until recovery looks at disk.
+            return Ok(data.len());
+        }
+        // A short grant is the torn write: only the prefix lands.
+        let n = self.inner.write_at(offset, &data[..grant])?;
+        if n == grant && grant < data.len() {
+            // Report the full length so the caller's write-loop ends —
+            // the remainder was "accepted" by a machine that then died.
+            return Ok(data.len());
+        }
+        Ok(n)
+    }
+
+    fn set_len(&self, len: u64) -> io::Result<()> {
+        if self.injector.crashed() {
+            return Err(FaultInjector::dead());
+        }
+        self.inner.set_len(len)
+    }
+
+    fn sync(&self) -> io::Result<()> {
+        if self.injector.crashed() {
+            return Err(FaultInjector::dead());
+        }
+        if self.injector.drop_syncs.load(Ordering::SeqCst) {
+            self.injector.dropped_syncs.fetch_add(1, Ordering::SeqCst);
+            return Ok(());
+        }
+        self.injector.real_syncs.fetch_add(1, Ordering::SeqCst);
+        self.inner.sync()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scratch_file(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("rh-wal-io-{}-{}", std::process::id(), name));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join("f")
+    }
+
+    #[test]
+    fn std_io_roundtrip() {
+        let path = scratch_file("roundtrip");
+        let io = StdIo;
+        let f = io.create(&path).unwrap();
+        assert_eq!(f.write_at(0, b"abcdef").unwrap(), 6);
+        f.sync().unwrap();
+        let mut buf = [0u8; 4];
+        assert_eq!(f.read_at(2, &mut buf).unwrap(), 4);
+        assert_eq!(&buf, b"cdef");
+        f.set_len(3).unwrap();
+        assert_eq!(f.len().unwrap(), 3);
+    }
+
+    #[test]
+    fn fault_budget_tears_the_boundary_write() {
+        let path = scratch_file("torn");
+        let injector = FaultInjector::crash_after_bytes(4);
+        let io = FaultIo::std(Arc::clone(&injector));
+        let f = io.create(&path).unwrap();
+        // 6-byte write against a 4-byte budget: 4 bytes land, call
+        // "succeeds", injector is crashed.
+        assert_eq!(f.write_at(0, b"abcdef").unwrap(), 6);
+        assert!(injector.crashed());
+        assert_eq!(f.len().unwrap(), 4);
+        // Later writes vanish silently; syncs fail.
+        assert_eq!(f.write_at(4, b"gh").unwrap(), 2);
+        assert_eq!(f.len().unwrap(), 4);
+        assert!(f.sync().is_err());
+    }
+
+    #[test]
+    fn dropped_syncs_are_counted() {
+        let path = scratch_file("dropsync");
+        let injector = FaultInjector::unlimited();
+        injector.set_drop_syncs(true);
+        let io = FaultIo::std(Arc::clone(&injector));
+        let f = io.create(&path).unwrap();
+        f.write_at(0, b"x").unwrap();
+        f.sync().unwrap();
+        f.sync().unwrap();
+        assert_eq!(injector.dropped_syncs(), 2);
+        assert_eq!(injector.real_syncs(), 0);
+    }
+
+    #[test]
+    fn metadata_operations_die_with_the_process() {
+        let dir = std::env::temp_dir().join(format!("rh-wal-io-{}-meta", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let injector = FaultInjector::unlimited();
+        let io = FaultIo::std(Arc::clone(&injector));
+        let a = dir.join("a");
+        io.create(&a).unwrap();
+        injector.trip();
+        assert!(io.rename(&a, &dir.join("b")).is_err());
+        assert!(io.remove(&a).is_err());
+        assert!(io.create(&dir.join("c")).is_err());
+    }
+}

@@ -20,13 +20,25 @@
 //!
 //! LSNs are dense record indices (see `rh_common::Lsn`), so the paper's
 //! `K <- K - 1` backward sweep is implemented literally.
+//!
+//! The durable backend lives in four modules: [`frame`] (CRC-checked
+//! record framing), [`segment`] (segment files + torn-tail scanning),
+//! [`filelog`] (the [`filelog::SegmentedFileLog`] directory layout and
+//! master record), and [`io`] (the filesystem seam, including the
+//! fault-injecting [`io::FaultIo`] the crash tests are built on).
 
 pub mod chain;
+pub mod filelog;
+pub mod frame;
+pub mod io;
 pub mod log;
 pub mod metrics;
 pub mod record;
+pub mod segment;
 
 pub use chain::BackwardChainIter;
+pub use filelog::{FileLogConfig, OpenReport, SegmentedFileLog};
+pub use io::{FaultInjector, FaultIo, StdIo, WalFile, WalIo};
 pub use log::{LogManager, StableLog};
 pub use metrics::{LogMetrics, LogMetricsSnapshot};
 pub use record::{DelegateBody, LogRecord, RecordBody};

@@ -15,67 +15,258 @@
 //! [`LogManager::attach`] on the same `StableLog` and sees exactly the
 //! flushed prefix — so a commit whose force never completed is correctly
 //! invisible after the crash.
+//!
+//! ## Backends
+//!
+//! [`StableLog`] has two backends behind one API:
+//!
+//! * **Mem** ([`StableLog::new`]) — encoded records in a `Vec`. The unit
+//!   tests' default: instant, exact truncation, no filesystem.
+//! * **File** ([`StableLog::open_dir`] / [`StableLog::open_file`]) — the
+//!   [`SegmentedFileLog`]: CRC-framed records in segment files, an
+//!   atomically renamed master record, and torn-tail truncation on open.
+//!
+//! ## Group commit
+//!
+//! [`LogManager::flush_to`] runs in two phases. The *write* phase (under
+//! the tail lock) encodes and appends frames to the stable backend. The
+//! *sync* phase elects a leader among concurrent flushers: the leader
+//! issues one backend `fsync` covering every frame written so far, and
+//! followers whose records that sync made durable return without syncing
+//! — N concurrent commits cost one `fdatasync`, not N. The mem backend's
+//! sync is a no-op, so the same code path serves both.
 
+use crate::filelog::{AppendOut, FileLogConfig, OpenReport, SegmentedFileLog};
+use crate::io::WalIo;
 use crate::metrics::LogMetrics;
 use crate::record::{LogRecord, RecordBody};
-use parking_lot::Mutex;
+use parking_lot::{Condvar, Mutex};
 use rh_common::codec::Codec;
 use rh_common::{Lsn, Result, RhError, TxnId};
 use std::sync::Arc;
 
-/// The crash-surviving, encoded portion of the log.
+/// In-memory stable backend: the original seed implementation.
 #[derive(Debug, Default)]
-pub struct StableLog {
+struct MemLog {
     records: Mutex<Vec<Arc<[u8]>>>,
-    /// The "master record": LSN of the most recent checkpoint-begin
-    /// record, written atomically at a well-known location so recovery
-    /// knows where to start its forward pass. NULL if never checkpointed.
     master: Mutex<Lsn>,
     /// Number of records truncated off the front: `records[i]` holds the
-    /// record with LSN `base + i`. LSNs are never reused, so truncation
-    /// does not disturb backward chains, scopes, or page LSNs — reads
-    /// below `base` simply fail (and a correct engine never issues them;
-    /// see `truncate_prefix`).
+    /// record with LSN `base + i`.
     base: Mutex<u64>,
 }
 
+impl MemLog {
+    fn horizon(&self) -> u64 {
+        // Lock order: records -> base (as everywhere in this backend).
+        let records = self.records.lock();
+        let base = *self.base.lock();
+        base + records.len() as u64
+    }
+
+    fn append_encoded(&self, bytes: &[u8]) -> AppendOut {
+        self.records.lock().push(bytes.into());
+        AppendOut { bytes: bytes.len() as u64, fsyncs: 0 }
+    }
+
+    fn read_encoded(&self, lsn: Lsn) -> Result<Arc<[u8]>> {
+        let records = self.records.lock();
+        let base = *self.base.lock();
+        if lsn.raw() < base {
+            return Err(RhError::CorruptLog { lsn, reason: "read below truncation point" });
+        }
+        records
+            .get((lsn.raw() - base) as usize)
+            .cloned()
+            .ok_or(RhError::CorruptLog { lsn, reason: "read past end of log" })
+    }
+
+    fn rewrite_encoded(&self, lsn: Lsn, bytes: &[u8]) -> Result<()> {
+        let mut records = self.records.lock();
+        let base = *self.base.lock();
+        if lsn.raw() < base {
+            return Err(RhError::CorruptLog { lsn, reason: "rewrite below truncation point" });
+        }
+        let slot = records
+            .get_mut((lsn.raw() - base) as usize)
+            .ok_or(RhError::CorruptLog { lsn, reason: "rewrite past end of log" })?;
+        *slot = bytes.into();
+        Ok(())
+    }
+
+    fn truncate_prefix(&self, upto: Lsn) -> u64 {
+        let mut records = self.records.lock();
+        let mut base = self.base.lock();
+        if upto.raw() < *base {
+            return 0; // already truncated past this point
+        }
+        let drop_n = (upto.raw() - *base).min(records.len() as u64);
+        records.drain(..drop_n as usize);
+        *base += drop_n;
+        drop_n
+    }
+}
+
+#[derive(Debug)]
+enum Backend {
+    Mem(MemLog),
+    File(SegmentedFileLog),
+}
+
+/// The crash-surviving, encoded portion of the log. See the module docs
+/// for the two backends.
+#[derive(Debug)]
+pub struct StableLog {
+    backend: Backend,
+}
+
+impl Default for StableLog {
+    fn default() -> Self {
+        StableLog { backend: Backend::Mem(MemLog::default()) }
+    }
+}
+
 impl StableLog {
-    /// Creates an empty stable log.
+    /// Creates an empty in-memory stable log.
     pub fn new() -> Arc<Self> {
         Arc::new(StableLog::default())
     }
 
+    /// Opens (creating if needed) a durable file-backed stable log in
+    /// `dir` with default settings. On open, the tail segment is scanned
+    /// and any torn final frame is truncated away.
+    pub fn open_dir(dir: impl Into<std::path::PathBuf>) -> Result<Arc<Self>> {
+        Self::open_file(FileLogConfig::new(dir))
+    }
+
+    /// Opens a file-backed stable log with explicit configuration.
+    pub fn open_file(cfg: FileLogConfig) -> Result<Arc<Self>> {
+        Ok(Arc::new(StableLog { backend: Backend::File(SegmentedFileLog::open(cfg)?) }))
+    }
+
+    /// Opens a file-backed stable log through an explicit I/O layer —
+    /// the crash tests inject byte-level faults here.
+    pub fn open_file_with(io: Arc<dyn WalIo>, cfg: FileLogConfig) -> Result<Arc<Self>> {
+        Ok(Arc::new(StableLog { backend: Backend::File(SegmentedFileLog::open_with(io, cfg)?) }))
+    }
+
+    /// True for the durable file-backed backend.
+    pub fn is_file_backed(&self) -> bool {
+        matches!(self.backend, Backend::File(_))
+    }
+
+    /// What opening the log directory found and repaired (file backend
+    /// only).
+    pub fn open_report(&self) -> Option<OpenReport> {
+        match &self.backend {
+            Backend::Mem(_) => None,
+            Backend::File(f) => Some(f.open_report()),
+        }
+    }
+
     /// Reads the master record (NULL when no checkpoint was ever taken).
     pub fn master(&self) -> Lsn {
-        *self.master.lock()
+        match &self.backend {
+            Backend::Mem(m) => *m.master.lock(),
+            Backend::File(f) => f.master(),
+        }
     }
 
     /// Atomically updates the master record. The caller must have flushed
     /// the checkpoint records first, or a crash between this write and the
-    /// flush would point recovery at a checkpoint that does not exist.
-    pub fn set_master(&self, lsn: Lsn) {
-        *self.master.lock() = lsn;
+    /// flush would point recovery at a checkpoint that does not exist. The
+    /// file backend publishes via write-temp + fsync + rename.
+    pub fn set_master(&self, lsn: Lsn) -> Result<()> {
+        match &self.backend {
+            Backend::Mem(m) => {
+                *m.master.lock() = lsn;
+                Ok(())
+            }
+            Backend::File(f) => f.set_master(lsn),
+        }
     }
 
     /// LSN of the oldest record still present (0 if never truncated).
     pub fn base(&self) -> u64 {
-        *self.base.lock()
+        match &self.backend {
+            Backend::Mem(m) => *m.base.lock(),
+            Backend::File(f) => f.base(),
+        }
     }
 
     /// Number of records on stable storage.
     pub fn len(&self) -> usize {
-        self.records.lock().len()
+        match &self.backend {
+            Backend::Mem(m) => m.records.lock().len(),
+            Backend::File(f) => f.len(),
+        }
     }
 
-    /// True if no record was ever flushed.
+    /// True if no record is currently on stable storage.
     pub fn is_empty(&self) -> bool {
-        self.records.lock().is_empty()
+        self.len() == 0
+    }
+
+    /// `base + len`: every record with LSN below this has been written to
+    /// the backend. Only [`LogManager::flush_to`] advances it, and only
+    /// while holding the tail lock — which is what makes lock-free-looking
+    /// reads of it from `append` consistent.
+    fn horizon(&self) -> u64 {
+        match &self.backend {
+            Backend::Mem(m) => m.horizon(),
+            Backend::File(f) => f.horizon(),
+        }
+    }
+
+    fn append_encoded(&self, lsn: Lsn, bytes: &[u8]) -> Result<AppendOut> {
+        match &self.backend {
+            Backend::Mem(m) => Ok(m.append_encoded(bytes)),
+            Backend::File(f) => f.append_encoded(lsn, bytes),
+        }
+    }
+
+    /// Makes previously appended records durable; returns physical syncs
+    /// performed (0 for the mem backend, where append is "durable").
+    fn sync(&self) -> Result<u64> {
+        match &self.backend {
+            Backend::Mem(_) => Ok(0),
+            Backend::File(f) => f.sync(),
+        }
+    }
+
+    fn read_encoded(&self, lsn: Lsn) -> Result<Arc<[u8]>> {
+        match &self.backend {
+            Backend::Mem(m) => m.read_encoded(lsn),
+            Backend::File(f) => f.read_encoded(lsn),
+        }
+    }
+
+    fn rewrite_encoded(&self, lsn: Lsn, bytes: &[u8]) -> Result<()> {
+        match &self.backend {
+            Backend::Mem(m) => m.rewrite_encoded(lsn, bytes),
+            Backend::File(f) => f.rewrite_encoded(lsn, bytes),
+        }
+    }
+
+    fn truncate_prefix(&self, upto: Lsn) -> Result<u64> {
+        match &self.backend {
+            Backend::Mem(m) => Ok(m.truncate_prefix(upto)),
+            Backend::File(f) => f.truncate_prefix(upto),
+        }
     }
 }
 
 struct Inner {
-    /// Unflushed records; record `stable_len + i` is `tail[i]`.
+    /// Unflushed records; record `stable_horizon + i` is `tail[i]`.
     tail: std::collections::VecDeque<LogRecord>,
+}
+
+/// Group-commit state: which prefix is durable, and whether a leader is
+/// currently inside `fsync`.
+struct SyncState {
+    /// Every record with LSN below this is durable.
+    durable: u64,
+    /// A leader is syncing; followers wait on the condvar.
+    syncing: bool,
 }
 
 /// Volatile interface to the log: appends, flushes, reads, scans, and
@@ -83,15 +274,18 @@ struct Inner {
 ///
 /// All methods take `&self`; internal locking makes a shared
 /// `Arc<LogManager>` safe for the multi-threaded ETM driver. The lock is
-/// never held across user code.
+/// never held across user code, and `fsync` is issued outside every lock
+/// but the group-commit latch.
 pub struct LogManager {
     stable: Arc<StableLog>,
     inner: Mutex<Inner>,
+    sync_state: Mutex<SyncState>,
+    sync_cv: Condvar,
     metrics: Arc<LogMetrics>,
 }
 
 impl LogManager {
-    /// Creates a log manager over a fresh stable log.
+    /// Creates a log manager over a fresh in-memory stable log.
     pub fn new() -> Self {
         Self::attach(StableLog::new())
     }
@@ -99,9 +293,12 @@ impl LogManager {
     /// Attaches to an existing stable log — the post-crash constructor.
     /// Any record not in `stable` is gone, exactly like a real crash.
     pub fn attach(stable: Arc<StableLog>) -> Self {
+        let durable = stable.horizon();
         LogManager {
             stable,
             inner: Mutex::new(Inner { tail: std::collections::VecDeque::new() }),
+            sync_state: Mutex::new(SyncState { durable, syncing: false }),
+            sync_cv: Condvar::new(),
             metrics: Arc::new(LogMetrics::default()),
         }
     }
@@ -119,9 +316,8 @@ impl LogManager {
     /// Total number of records ever appended (truncated ones included —
     /// LSNs are positions in the *logical* log).
     pub fn len(&self) -> usize {
-        let stable = self.stable.records.lock();
-        let base = *self.stable.base.lock() as usize;
-        base + stable.len() + self.inner.lock().tail.len()
+        let inner = self.inner.lock();
+        self.stable.horizon() as usize + inner.tail.len()
     }
 
     /// LSN of the oldest record still readable (after truncation).
@@ -150,30 +346,30 @@ impl LogManager {
     /// Logical stable horizon: every record with LSN below this is on
     /// stable storage (or was, before truncation).
     pub fn stable_len(&self) -> usize {
-        // Lock order: records -> base (as everywhere else).
-        let records = self.stable.records.lock();
-        let base = *self.stable.base.lock() as usize;
-        base + records.len()
+        self.stable.horizon() as usize
+    }
+
+    /// Every record with LSN below this is **durable** — covered by a
+    /// completed backend sync (for the mem backend this equals the stable
+    /// horizon). Group-commit tests read this.
+    pub fn durable_len(&self) -> u64 {
+        self.sync_state.lock().durable
     }
 
     /// Drops every stable record with LSN `< upto` (log truncation after
     /// a checkpoint). `upto` must not exceed the stable horizon, and the
     /// caller is responsible for `upto` being recovery-safe: no active
     /// transaction's first record, live scope, or dirty-page recLSN may
-    /// lie below it. Returns the number of records dropped.
+    /// lie below it. Returns the number of records dropped. The mem
+    /// backend truncates exactly; the file backend only drops whole
+    /// segments, so it may drop fewer records than asked.
     pub fn truncate_prefix(&self, upto: Lsn) -> Result<u64> {
         if upto.is_null() {
             return Ok(0);
         }
-        let mut records = self.stable.records.lock();
-        let mut base = self.stable.base.lock();
-        if upto.raw() < *base {
-            return Ok(0); // already truncated past this point
-        }
-        let drop_n = (upto.raw() - *base).min(records.len() as u64);
-        records.drain(..drop_n as usize);
-        *base += drop_n;
-        Ok(drop_n)
+        // Clamp to the horizon so the volatile tail can never be dropped.
+        let upto = upto.raw().min(self.stable.horizon());
+        self.stable.truncate_prefix(Lsn(upto))
     }
 
     /// Appends a record, assigning and returning its LSN.
@@ -182,34 +378,79 @@ impl LogManager {
     /// the body; the manager assigns the LSN, so records cannot be
     /// constructed with mismatched positions.
     pub fn append(&self, txn: TxnId, prev_lsn: Lsn, body: RecordBody) -> Lsn {
-        // Lock order everywhere is stable -> inner.
-        let stable = self.stable.records.lock();
-        let stable_horizon = *self.stable.base.lock() as usize + stable.len();
         let mut inner = self.inner.lock();
-        drop(stable);
-        let lsn = Lsn((stable_horizon + inner.tail.len()) as u64);
+        // The horizon moves only under `inner` (see `flush_to`), so this
+        // read is consistent for LSN assignment.
+        let lsn = Lsn(self.stable.horizon() + inner.tail.len() as u64);
         inner.tail.push_back(LogRecord { lsn, txn, prev_lsn, body });
         self.metrics.record_append(lsn.raw());
         lsn
     }
 
-    /// Forces every record with LSN `<= lsn` to stable storage.
+    /// Forces every record with LSN `<= lsn` to stable storage, durably:
+    /// frames are written under the tail lock, then made durable by a
+    /// group-committed backend sync (one `fsync` may cover many
+    /// concurrent callers).
     pub fn flush_to(&self, lsn: Lsn) -> Result<()> {
         if lsn.is_null() {
             return Ok(());
         }
-        let mut stable = self.stable.records.lock();
-        let base = *self.stable.base.lock();
-        let mut inner = self.inner.lock();
-        let mut moved = 0u64;
-        while !inner.tail.is_empty() && base + stable.len() as u64 <= lsn.raw() {
-            let rec = inner.tail.pop_front().expect("tail non-empty");
-            debug_assert_eq!(rec.lsn.raw(), base + stable.len() as u64, "flush order");
-            stable.push(rec.to_bytes().into());
-            moved += 1;
+        let target = {
+            let mut inner = self.inner.lock();
+            let mut moved = 0u64;
+            let mut bytes = 0u64;
+            let mut fsyncs = 0u64;
+            while inner.tail.front().is_some_and(|rec| rec.lsn <= lsn) {
+                let rec = inner.tail.pop_front().expect("tail non-empty");
+                debug_assert_eq!(rec.lsn.raw(), self.stable.horizon(), "flush order");
+                let encoded = rec.to_bytes();
+                let out = self.stable.append_encoded(rec.lsn, &encoded)?;
+                bytes += out.bytes;
+                fsyncs += out.fsyncs;
+                moved += 1;
+            }
+            self.metrics.record_flush(moved);
+            self.metrics.record_flushed_bytes(bytes);
+            self.metrics.record_fsyncs(fsyncs);
+            self.stable.horizon()
+        };
+        self.sync_to(target)
+    }
+
+    /// Group commit: returns once every record with LSN `< target` is
+    /// durable. At most one caller (the leader) is inside the backend
+    /// sync at a time; its single sync covers every frame written before
+    /// it started, so followers usually return without syncing at all.
+    fn sync_to(&self, target: u64) -> Result<()> {
+        let mut st = self.sync_state.lock();
+        loop {
+            if st.durable >= target {
+                return Ok(());
+            }
+            if st.syncing {
+                // Follower: the in-flight sync (or the next one) will
+                // cover us; wait for the leader to publish.
+                self.sync_cv.wait(&mut st);
+                continue;
+            }
+            st.syncing = true;
+            drop(st);
+            // Snapshot before syncing: every frame fully written by now is
+            // covered by this sync. Frames written *during* the sync are
+            // not — their flushers keep waiting and a next leader syncs.
+            let covered = self.stable.horizon();
+            let result = self.stable.sync();
+            st = self.sync_state.lock();
+            st.syncing = false;
+            self.sync_cv.notify_all();
+            match result {
+                Ok(fsyncs) => {
+                    self.metrics.record_fsyncs(fsyncs);
+                    st.durable = st.durable.max(covered);
+                }
+                Err(e) => return Err(e),
+            }
         }
-        self.metrics.record_flush(moved);
-        Ok(())
     }
 
     /// Forces the entire log.
@@ -224,69 +465,55 @@ impl LogManager {
             return Err(RhError::CorruptLog { lsn, reason: "read of NULL lsn" });
         }
         self.metrics.record_read(lsn.raw());
-        let stable = self.stable.records.lock();
-        let base = *self.stable.base.lock();
-        if lsn.raw() < base {
-            return Err(RhError::CorruptLog { lsn, reason: "read below truncation point" });
-        }
-        if ((lsn.raw() - base) as usize) < stable.len() {
-            let bytes = Arc::clone(&stable[(lsn.raw() - base) as usize]);
-            drop(stable);
-            let rec = LogRecord::from_bytes(&bytes)
-                .map_err(|_| RhError::CorruptLog { lsn, reason: "undecodable record" })?;
-            if rec.lsn != lsn {
-                return Err(RhError::CorruptLog { lsn, reason: "stored lsn mismatch" });
-            }
-            Ok(rec)
-        } else {
-            let horizon = base as usize + stable.len();
+        {
             let inner = self.inner.lock();
-            drop(stable);
-            let idx = lsn.raw() as usize - horizon;
-            inner
-                .tail
-                .get(idx)
-                .cloned()
-                .ok_or(RhError::CorruptLog { lsn, reason: "read past end of log" })
+            let horizon = self.stable.horizon();
+            if lsn.raw() >= horizon {
+                let idx = (lsn.raw() - horizon) as usize;
+                return inner
+                    .tail
+                    .get(idx)
+                    .cloned()
+                    .ok_or(RhError::CorruptLog { lsn, reason: "read past end of log" });
+            }
         }
+        let bytes = self.stable.read_encoded(lsn)?;
+        let rec = LogRecord::from_bytes(&bytes)
+            .map_err(|_| RhError::CorruptLog { lsn, reason: "undecodable record" })?;
+        if rec.lsn != lsn {
+            return Err(RhError::CorruptLog { lsn, reason: "stored lsn mismatch" });
+        }
+        Ok(rec)
     }
 
     /// Overwrites the record at `lsn` **in place**. Only the eager and
     /// lazy rewriting baselines use this; it exists so the paper's naïve
     /// alternatives can be implemented faithfully and measured. The new
-    /// record keeps the old LSN.
-    pub fn rewrite_in_place(
-        &self,
-        lsn: Lsn,
-        f: impl FnOnce(&mut LogRecord),
-    ) -> Result<()> {
+    /// record keeps the old LSN. On the file backend the re-encoded
+    /// record must keep its length (frames are packed); all baseline
+    /// rewrites do, since they edit fixed-width fields.
+    pub fn rewrite_in_place(&self, lsn: Lsn, f: impl FnOnce(&mut LogRecord)) -> Result<()> {
         self.metrics.record_rewrite(lsn.raw());
-        let mut stable = self.stable.records.lock();
-        let base = *self.stable.base.lock();
-        if lsn.raw() < base {
-            return Err(RhError::CorruptLog { lsn, reason: "rewrite below truncation point" });
-        }
-        let idx0 = (lsn.raw() - base) as usize;
-        if idx0 < stable.len() {
-            let mut rec = LogRecord::from_bytes(&stable[idx0])
-                .map_err(|_| RhError::CorruptLog { lsn, reason: "undecodable record" })?;
-            f(&mut rec);
-            rec.lsn = lsn;
-            stable[idx0] = rec.to_bytes().into();
-            Ok(())
-        } else {
-            let horizon = base as usize + stable.len();
-            drop(stable);
+        {
             let mut inner = self.inner.lock();
-            let idx = lsn.raw() as usize - horizon;
-            let rec = inner
-                .tail
-                .get_mut(idx)
-                .ok_or(RhError::CorruptLog { lsn, reason: "rewrite past end of log" })?;
-            f(rec);
-            rec.lsn = lsn;
-            Ok(())
+            let horizon = self.stable.horizon();
+            if lsn.raw() >= horizon {
+                let idx = (lsn.raw() - horizon) as usize;
+                let rec = inner
+                    .tail
+                    .get_mut(idx)
+                    .ok_or(RhError::CorruptLog { lsn, reason: "rewrite past end of log" })?;
+                f(rec);
+                rec.lsn = lsn;
+                return Ok(());
+            }
         }
+        let bytes = self.stable.read_encoded(lsn)?;
+        let mut rec = LogRecord::from_bytes(&bytes)
+            .map_err(|_| RhError::CorruptLog { lsn, reason: "undecodable record" })?;
+        f(&mut rec);
+        rec.lsn = lsn;
+        self.stable.rewrite_encoded(lsn, &rec.to_bytes())
     }
 
     /// Scans records in `[from, to]` forward, invoking `f` on each.
@@ -468,7 +695,7 @@ mod tests {
         assert_eq!(log.truncate_prefix(Lsn(3)).unwrap(), 3);
         assert_eq!(log.first_lsn(), Lsn(3));
         assert_eq!(log.len(), 6); // logical length unchanged
-        // Old reads fail cleanly; surviving records keep their LSNs.
+                                  // Old reads fail cleanly; surviving records keep their LSNs.
         assert!(log.read(Lsn(2)).is_err());
         assert_eq!(log.read(Lsn(4)).unwrap().body, upd(4));
         // Appends continue in the same LSN space.
@@ -499,7 +726,7 @@ mod tests {
             log.append(TxnId(1), Lsn::NULL, upd(i));
         }
         log.flush_to(Lsn(1)).unwrap(); // 2 stable, 2 volatile
-        // Cannot truncate past the stable horizon.
+                                       // Cannot truncate past the stable horizon.
         assert_eq!(log.truncate_prefix(Lsn(10)).unwrap(), 2);
         assert_eq!(log.first_lsn(), Lsn(2));
         // Re-truncating at or below base is a no-op.
@@ -523,5 +750,109 @@ mod tests {
         log.read(Lsn(9)).unwrap();
         log.read(Lsn(2)).unwrap();
         assert_eq!(log.metrics().snapshot().seeks, 2); // 0->9 and 9->2
+    }
+
+    // ---- file-backed backend through the same LogManager API ----------
+
+    fn scratch(name: &str) -> std::path::PathBuf {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        static N: AtomicU64 = AtomicU64::new(0);
+        let dir = std::env::temp_dir().join(format!(
+            "rh-wal-log-{}-{}-{}",
+            std::process::id(),
+            name,
+            N.fetch_add(1, Ordering::Relaxed)
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn file_backend_matches_mem_semantics() {
+        let dir = scratch("semantics");
+        let log = LogManager::attach(StableLog::open_dir(&dir).unwrap());
+        assert!(log.stable().is_file_backed());
+        log.append(TxnId(1), Lsn::NULL, RecordBody::Begin);
+        log.append(TxnId(1), Lsn(0), upd(3));
+        assert_eq!(log.read(Lsn(1)).unwrap().body, upd(3)); // from tail
+        log.flush_to(Lsn(1)).unwrap();
+        assert_eq!(log.stable_len(), 2);
+        assert_eq!(log.durable_len(), 2);
+        assert_eq!(log.read(Lsn(1)).unwrap().body, upd(3)); // from file
+        assert!(log.metrics().snapshot().fsyncs >= 1);
+        assert!(log.metrics().snapshot().bytes_flushed > 0);
+    }
+
+    #[test]
+    fn file_backend_survives_full_process_restart() {
+        let dir = scratch("restart");
+        {
+            let log = LogManager::attach(StableLog::open_dir(&dir).unwrap());
+            log.append(TxnId(1), Lsn::NULL, RecordBody::Begin);
+            log.append(TxnId(1), Lsn(0), upd(7));
+            log.flush_all().unwrap();
+            log.stable().set_master(Lsn(0)).unwrap();
+            log.append(TxnId(1), Lsn(1), RecordBody::Commit); // never forced
+                                                              // Dropped without crash(): a hard process death.
+        }
+        let stable = StableLog::open_dir(&dir).unwrap();
+        assert_eq!(stable.master(), Lsn(0));
+        let log2 = LogManager::attach(stable);
+        assert_eq!(log2.len(), 2); // unforced commit is gone
+        assert_eq!(log2.read(Lsn(1)).unwrap().body, upd(7));
+        assert_eq!(log2.append(TxnId(2), Lsn::NULL, RecordBody::Begin), Lsn(2));
+    }
+
+    #[test]
+    fn file_backend_rewrite_in_place_same_length() {
+        let dir = scratch("rewrite");
+        let log = LogManager::attach(StableLog::open_dir(&dir).unwrap());
+        log.append(TxnId(1), Lsn::NULL, upd(0));
+        log.flush_all().unwrap();
+        log.rewrite_in_place(Lsn(0), |rec| rec.txn = TxnId(2)).unwrap();
+        assert_eq!(log.read(Lsn(0)).unwrap().txn, TxnId(2));
+    }
+
+    #[test]
+    fn concurrent_flushers_group_commit() {
+        use std::sync::Barrier;
+        let dir = scratch("group");
+        let log = Arc::new(LogManager::attach(StableLog::open_dir(&dir).unwrap()));
+        let threads = 8;
+        let per_thread = 16;
+        let barrier = Arc::new(Barrier::new(threads));
+        let handles: Vec<_> = (0..threads)
+            .map(|t| {
+                let log = Arc::clone(&log);
+                let barrier = Arc::clone(&barrier);
+                std::thread::spawn(move || {
+                    barrier.wait();
+                    for i in 0..per_thread {
+                        let lsn = log.append(
+                            TxnId(t as u64),
+                            Lsn::NULL,
+                            upd((t * per_thread + i) as u64),
+                        );
+                        log.flush_to(lsn).unwrap();
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let total = (threads * per_thread) as u64;
+        assert_eq!(log.stable_len() as u64, total);
+        assert_eq!(log.durable_len(), total);
+        let snap = log.metrics().snapshot();
+        // Group commit can only merge syncs, never skip one that was
+        // needed: every flush is covered, and the count never exceeds
+        // one sync per flush call.
+        assert!(snap.fsyncs >= 1);
+        assert!(snap.fsyncs <= total, "more syncs than flushes: {}", snap.fsyncs);
+        // Every record survives a reopen.
+        drop(log);
+        let log2 = LogManager::attach(StableLog::open_dir(&dir).unwrap());
+        assert_eq!(log2.len() as u64, total);
     }
 }

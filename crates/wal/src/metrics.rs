@@ -13,7 +13,10 @@
 //!   i.e. the random jumps that thrash a disk-resident log;
 //! * `in_place_rewrites` — stable records overwritten after the fact,
 //!   which only the eager/lazy **baselines** ever do. ARIES/RH keeps this
-//!   at zero by construction, and tests assert it.
+//!   at zero by construction, and tests assert it;
+//! * `fsyncs` / `bytes_flushed` — physical durability cost of the
+//!   file-backed log (both stay 0 on the in-memory backend). With group
+//!   commit, `fsyncs` can be far below `flushes` under concurrency.
 
 use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
 
@@ -26,6 +29,8 @@ pub struct LogMetrics {
     records_read: AtomicU64,
     seeks: AtomicU64,
     in_place_rewrites: AtomicU64,
+    fsyncs: AtomicU64,
+    bytes_flushed: AtomicU64,
     /// Raw LSN of the last record touched (append/read/rewrite), or -1.
     last_pos: AtomicI64,
 }
@@ -39,6 +44,8 @@ impl Default for LogMetrics {
             records_read: AtomicU64::new(0),
             seeks: AtomicU64::new(0),
             in_place_rewrites: AtomicU64::new(0),
+            fsyncs: AtomicU64::new(0),
+            bytes_flushed: AtomicU64::new(0),
             last_pos: AtomicI64::new(-1),
         }
     }
@@ -59,6 +66,10 @@ pub struct LogMetricsSnapshot {
     pub seeks: u64,
     /// Stable records overwritten in place (baselines only).
     pub in_place_rewrites: u64,
+    /// Physical `fsync`/`fdatasync` calls issued (file backend only).
+    pub fsyncs: u64,
+    /// Bytes of encoded frames written to stable storage.
+    pub bytes_flushed: u64,
 }
 
 impl LogMetrics {
@@ -94,6 +105,18 @@ impl LogMetrics {
         }
     }
 
+    pub(crate) fn record_fsyncs(&self, n: u64) {
+        if n > 0 {
+            self.fsyncs.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    pub(crate) fn record_flushed_bytes(&self, n: u64) {
+        if n > 0 {
+            self.bytes_flushed.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
     /// Takes a snapshot for reporting.
     pub fn snapshot(&self) -> LogMetricsSnapshot {
         LogMetricsSnapshot {
@@ -103,6 +126,8 @@ impl LogMetrics {
             records_read: self.records_read.load(Ordering::Relaxed),
             seeks: self.seeks.load(Ordering::Relaxed),
             in_place_rewrites: self.in_place_rewrites.load(Ordering::Relaxed),
+            fsyncs: self.fsyncs.load(Ordering::Relaxed),
+            bytes_flushed: self.bytes_flushed.load(Ordering::Relaxed),
         }
     }
 
@@ -114,6 +139,8 @@ impl LogMetrics {
         self.records_read.store(0, Ordering::Relaxed);
         self.seeks.store(0, Ordering::Relaxed);
         self.in_place_rewrites.store(0, Ordering::Relaxed);
+        self.fsyncs.store(0, Ordering::Relaxed);
+        self.bytes_flushed.store(0, Ordering::Relaxed);
         self.last_pos.store(-1, Ordering::Relaxed);
     }
 }
@@ -128,6 +155,8 @@ impl LogMetricsSnapshot {
             records_read: self.records_read - earlier.records_read,
             seeks: self.seeks - earlier.seeks,
             in_place_rewrites: self.in_place_rewrites - earlier.in_place_rewrites,
+            fsyncs: self.fsyncs - earlier.fsyncs,
+            bytes_flushed: self.bytes_flushed - earlier.bytes_flushed,
         }
     }
 }

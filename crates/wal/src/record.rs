@@ -145,18 +145,18 @@ impl LogRecord {
     /// way the paper's Fig. 2 does.
     pub fn render(&self) -> String {
         match &self.body {
-            RecordBody::Update { ob, .. } => format!("{} update[{}, {}]", self.lsn.raw(), self.txn, ob),
+            RecordBody::Update { ob, .. } => {
+                format!("{} update[{}, {}]", self.lsn.raw(), self.txn, ob)
+            }
             RecordBody::Clr { ob, compensated, .. } => {
                 format!("{} clr[{}, {}] comp={}", self.lsn.raw(), self.txn, ob, compensated.raw())
             }
             RecordBody::Delegate { tee, body, .. } => {
                 let what = match body {
                     DelegateBody::All => "*".to_string(),
-                    DelegateBody::Objects(obs) => obs
-                        .iter()
-                        .map(|o| o.to_string())
-                        .collect::<Vec<_>>()
-                        .join(","),
+                    DelegateBody::Objects(obs) => {
+                        obs.iter().map(|o| o.to_string()).collect::<Vec<_>>().join(",")
+                    }
                 };
                 format!("{} delegate {} --{}--> {}", self.lsn.raw(), self.txn, what, tee)
             }
@@ -272,8 +272,7 @@ mod tests {
 
     #[test]
     fn roundtrip_every_record_type() {
-        let base =
-            |body| LogRecord { lsn: Lsn(10), txn: TxnId(1), prev_lsn: Lsn(9), body };
+        let base = |body| LogRecord { lsn: Lsn(10), txn: TxnId(1), prev_lsn: Lsn(9), body };
         roundtrip(base(RecordBody::Begin));
         roundtrip(base(RecordBody::Update {
             ob: ObjectId(4),
@@ -308,7 +307,7 @@ mod tests {
         // txn field and `torBC` its prev_lsn; tee/tee_bc are in the body.
         let rec = LogRecord {
             lsn: Lsn(106),
-            txn: TxnId(1),     // tor
+            txn: TxnId(1),      // tor
             prev_lsn: Lsn(104), // torBC
             body: RecordBody::Delegate {
                 tee: TxnId(2),
@@ -333,12 +332,8 @@ mod tests {
 
     #[test]
     fn corrupt_tag_rejected() {
-        let rec = LogRecord {
-            lsn: Lsn(0),
-            txn: TxnId(0),
-            prev_lsn: Lsn::NULL,
-            body: RecordBody::Begin,
-        };
+        let rec =
+            LogRecord { lsn: Lsn(0), txn: TxnId(0), prev_lsn: Lsn::NULL, body: RecordBody::Begin };
         let mut bytes = rec.to_bytes();
         *bytes.last_mut().unwrap() = 200; // clobber the body tag
         assert!(LogRecord::from_bytes(&bytes).is_err());

@@ -3,8 +3,8 @@
 use crate::spec::WorkloadSpec;
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
-use rh_core::history::{Event, Label};
 use rh_common::ObjectId;
+use rh_core::history::{Event, Label};
 
 /// State threaded through a generation run.
 struct Gen {
@@ -79,10 +79,9 @@ pub fn delegation_mix(spec: &WorkloadSpec) -> Vec<Event> {
             g.finish(t, spec);
             continue;
         }
-        let obs: Vec<ObjectId> =
-            (0..spec.objects_per_txn.max(1).min(spec.updates_per_txn as u64))
-                .map(|k| ObjectId(base + k))
-                .collect();
+        let obs: Vec<ObjectId> = (0..spec.objects_per_txn.max(1).min(spec.updates_per_txn as u64))
+            .map(|k| ObjectId(base + k))
+            .collect();
         let mut holder = t;
         for _ in 0..spec.chain_len.max(1) {
             let tee = g.begin();
@@ -163,7 +162,12 @@ pub fn fan_delegation(seed: u64, k: u64) -> Vec<Event> {
 /// between hops (this is what makes the eager baseline's backward sweeps
 /// long). The final holder is left running (a loser on crash) when
 /// `loser_tail` is set.
-pub fn delegation_chain(seed: u64, hops: usize, spacer_txns: usize, loser_tail: bool) -> Vec<Event> {
+pub fn delegation_chain(
+    seed: u64,
+    hops: usize,
+    spacer_txns: usize,
+    loser_tail: bool,
+) -> Vec<Event> {
     let spec = WorkloadSpec::default();
     let mut g = Gen::new(seed);
     let ob = ObjectId(0);
@@ -208,9 +212,7 @@ mod tests {
     #[test]
     fn boring_has_no_delegations() {
         let events = boring(&WorkloadSpec::default().txns(50));
-        assert!(events
-            .iter()
-            .all(|e| !matches!(e, Event::Delegate(..) | Event::DelegateAll(..))));
+        assert!(events.iter().all(|e| !matches!(e, Event::Delegate(..) | Event::DelegateAll(..))));
     }
 
     #[test]
@@ -241,7 +243,9 @@ mod tests {
         let events = fan_delegation(1, 5);
         let adds = events.iter().filter(|e| matches!(e, Event::Add(..))).count();
         assert_eq!(adds, 5);
-        assert!(matches!(events[events.len() - 3], Event::Delegate(_, _, ref obs) if obs.len() == 5));
+        assert!(
+            matches!(events[events.len() - 3], Event::Delegate(_, _, ref obs) if obs.len() == 5)
+        );
     }
 
     #[test]

@@ -26,7 +26,11 @@ fn main() {
     s.write(setup, SEATS, 3).unwrap();
     s.write(setup, ROOMS, 2).unwrap();
     s.commit(setup).unwrap();
-    println!("inventory: {} seats, {} rooms", s.value_of(SEATS).unwrap(), s.value_of(ROOMS).unwrap());
+    println!(
+        "inventory: {} seats, {} rooms",
+        s.value_of(SEATS).unwrap(),
+        s.value_of(ROOMS).unwrap()
+    );
 
     // Trip 1: both reservations succeed.
     let booked = run_trip(&mut s, SEATS, ROOMS, true, true).unwrap();

@@ -41,12 +41,8 @@ fn check_partial_crash(events: &[Event], cut: usize, pool_pages: usize) {
                 }
                 Event::Write(t, ob, v) => engine.write(ids[t], *ob, *v).unwrap(),
                 Event::Add(t, ob, d) => engine.add(ids[t], *ob, *d).unwrap(),
-                Event::Delegate(tor, tee, obs) => {
-                    engine.delegate(ids[tor], ids[tee], obs).unwrap()
-                }
-                Event::DelegateAll(tor, tee) => {
-                    engine.delegate_all(ids[tor], ids[tee]).unwrap()
-                }
+                Event::Delegate(tor, tee, obs) => engine.delegate(ids[tor], ids[tee], obs).unwrap(),
+                Event::DelegateAll(tor, tee) => engine.delegate_all(ids[tor], ids[tee]).unwrap(),
                 Event::Commit(t) => engine.commit(ids[t]).unwrap(),
                 Event::Abort(t) => engine.abort(ids[t]).unwrap(),
                 Event::Savepoint(..) | Event::RollbackTo(..) => {
