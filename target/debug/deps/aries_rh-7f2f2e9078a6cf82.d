@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/aries_rh-7f2f2e9078a6cf82.d: src/lib.rs
+
+/root/repo/target/debug/deps/libaries_rh-7f2f2e9078a6cf82.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libaries_rh-7f2f2e9078a6cf82.rmeta: src/lib.rs
+
+src/lib.rs:

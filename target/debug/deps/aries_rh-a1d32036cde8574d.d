@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/aries_rh-a1d32036cde8574d.d: src/lib.rs
+
+/root/repo/target/debug/deps/aries_rh-a1d32036cde8574d: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/backward_chains-e61f8fb3ced63dc2.d: crates/core/tests/backward_chains.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbackward_chains-e61f8fb3ced63dc2.rmeta: crates/core/tests/backward_chains.rs Cargo.toml
+
+crates/core/tests/backward_chains.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/backward_chains-fbf9fd6e58cccd58.d: crates/core/tests/backward_chains.rs
+
+/root/repo/target/debug/deps/backward_chains-fbf9fd6e58cccd58: crates/core/tests/backward_chains.rs
+
+crates/core/tests/backward_chains.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bytes-5b0dc45f5a4f3d7f.d: crates/compat/bytes/src/lib.rs
+
+/root/repo/target/debug/deps/bytes-5b0dc45f5a4f3d7f: crates/compat/bytes/src/lib.rs
+
+crates/compat/bytes/src/lib.rs:

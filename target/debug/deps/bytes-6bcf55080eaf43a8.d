@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/bytes-6bcf55080eaf43a8.d: crates/compat/bytes/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbytes-6bcf55080eaf43a8.rmeta: crates/compat/bytes/src/lib.rs Cargo.toml
+
+crates/compat/bytes/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

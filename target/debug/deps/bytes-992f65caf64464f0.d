@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/bytes-992f65caf64464f0.d: crates/compat/bytes/src/lib.rs
+
+/root/repo/target/debug/deps/libbytes-992f65caf64464f0.rlib: crates/compat/bytes/src/lib.rs
+
+/root/repo/target/debug/deps/libbytes-992f65caf64464f0.rmeta: crates/compat/bytes/src/lib.rs
+
+crates/compat/bytes/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/bytes-e57d3d30dda47742.d: crates/compat/bytes/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbytes-e57d3d30dda47742.rmeta: crates/compat/bytes/src/lib.rs Cargo.toml
+
+crates/compat/bytes/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

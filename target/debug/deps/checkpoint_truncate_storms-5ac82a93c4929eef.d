@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/checkpoint_truncate_storms-5ac82a93c4929eef.d: crates/core/tests/checkpoint_truncate_storms.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcheckpoint_truncate_storms-5ac82a93c4929eef.rmeta: crates/core/tests/checkpoint_truncate_storms.rs Cargo.toml
+
+crates/core/tests/checkpoint_truncate_storms.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/checkpoint_truncate_storms-918f1047c5fe5823.d: crates/core/tests/checkpoint_truncate_storms.rs
+
+/root/repo/target/debug/deps/checkpoint_truncate_storms-918f1047c5fe5823: crates/core/tests/checkpoint_truncate_storms.rs
+
+crates/core/tests/checkpoint_truncate_storms.rs:

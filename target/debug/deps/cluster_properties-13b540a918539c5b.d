@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/cluster_properties-13b540a918539c5b.d: crates/core/tests/cluster_properties.rs
+
+/root/repo/target/debug/deps/cluster_properties-13b540a918539c5b: crates/core/tests/cluster_properties.rs
+
+crates/core/tests/cluster_properties.rs:

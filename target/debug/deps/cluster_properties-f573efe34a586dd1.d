@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/cluster_properties-f573efe34a586dd1.d: crates/core/tests/cluster_properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcluster_properties-f573efe34a586dd1.rmeta: crates/core/tests/cluster_properties.rs Cargo.toml
+
+crates/core/tests/cluster_properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

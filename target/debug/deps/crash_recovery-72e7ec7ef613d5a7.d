@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/crash_recovery-72e7ec7ef613d5a7.d: crates/core/tests/crash_recovery.rs
+
+/root/repo/target/debug/deps/crash_recovery-72e7ec7ef613d5a7: crates/core/tests/crash_recovery.rs
+
+crates/core/tests/crash_recovery.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/crash_recovery-b03101e0234d10c9.d: crates/core/tests/crash_recovery.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcrash_recovery-b03101e0234d10c9.rmeta: crates/core/tests/crash_recovery.rs Cargo.toml
+
+crates/core/tests/crash_recovery.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/criterion-086203385f28661e.d: crates/compat/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/criterion-086203385f28661e: crates/compat/criterion/src/lib.rs
+
+crates/compat/criterion/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/criterion-ae2386666a366e64.d: crates/compat/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/libcriterion-ae2386666a366e64.rlib: crates/compat/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/libcriterion-ae2386666a366e64.rmeta: crates/compat/criterion/src/lib.rs
+
+crates/compat/criterion/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/criterion-f16cc28fd6c99e1a.d: crates/compat/criterion/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcriterion-f16cc28fd6c99e1a.rmeta: crates/compat/criterion/src/lib.rs Cargo.toml
+
+crates/compat/criterion/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/cross_engine_equivalence-5a92689db6ad891b.d: tests/cross_engine_equivalence.rs
+
+/root/repo/target/debug/deps/cross_engine_equivalence-5a92689db6ad891b: tests/cross_engine_equivalence.rs
+
+tests/cross_engine_equivalence.rs:

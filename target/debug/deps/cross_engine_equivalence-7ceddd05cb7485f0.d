@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/cross_engine_equivalence-7ceddd05cb7485f0.d: tests/cross_engine_equivalence.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcross_engine_equivalence-7ceddd05cb7485f0.rmeta: tests/cross_engine_equivalence.rs Cargo.toml
+
+tests/cross_engine_equivalence.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

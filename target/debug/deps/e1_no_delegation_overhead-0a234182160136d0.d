@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/e1_no_delegation_overhead-0a234182160136d0.d: crates/bench/benches/e1_no_delegation_overhead.rs Cargo.toml
+
+/root/repo/target/debug/deps/libe1_no_delegation_overhead-0a234182160136d0.rmeta: crates/bench/benches/e1_no_delegation_overhead.rs Cargo.toml
+
+crates/bench/benches/e1_no_delegation_overhead.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

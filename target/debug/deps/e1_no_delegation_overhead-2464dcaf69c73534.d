@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/e1_no_delegation_overhead-2464dcaf69c73534.d: crates/bench/benches/e1_no_delegation_overhead.rs
+
+/root/repo/target/debug/deps/e1_no_delegation_overhead-2464dcaf69c73534: crates/bench/benches/e1_no_delegation_overhead.rs
+
+crates/bench/benches/e1_no_delegation_overhead.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/e2_delegation_cost-82d5c67d023de237.d: crates/bench/benches/e2_delegation_cost.rs Cargo.toml
+
+/root/repo/target/debug/deps/libe2_delegation_cost-82d5c67d023de237.rmeta: crates/bench/benches/e2_delegation_cost.rs Cargo.toml
+
+crates/bench/benches/e2_delegation_cost.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/e2_delegation_cost-84891f8502211168.d: crates/bench/benches/e2_delegation_cost.rs
+
+/root/repo/target/debug/deps/e2_delegation_cost-84891f8502211168: crates/bench/benches/e2_delegation_cost.rs
+
+crates/bench/benches/e2_delegation_cost.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/e3_rewrite_strategies-63e8d657d3e166dd.d: crates/bench/benches/e3_rewrite_strategies.rs
+
+/root/repo/target/debug/deps/e3_rewrite_strategies-63e8d657d3e166dd: crates/bench/benches/e3_rewrite_strategies.rs
+
+crates/bench/benches/e3_rewrite_strategies.rs:

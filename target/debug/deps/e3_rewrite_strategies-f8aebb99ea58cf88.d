@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/e3_rewrite_strategies-f8aebb99ea58cf88.d: crates/bench/benches/e3_rewrite_strategies.rs Cargo.toml
+
+/root/repo/target/debug/deps/libe3_rewrite_strategies-f8aebb99ea58cf88.rmeta: crates/bench/benches/e3_rewrite_strategies.rs Cargo.toml
+
+crates/bench/benches/e3_rewrite_strategies.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/e4_cluster_skipping-8f486641c85a47ea.d: crates/bench/benches/e4_cluster_skipping.rs Cargo.toml
+
+/root/repo/target/debug/deps/libe4_cluster_skipping-8f486641c85a47ea.rmeta: crates/bench/benches/e4_cluster_skipping.rs Cargo.toml
+
+crates/bench/benches/e4_cluster_skipping.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

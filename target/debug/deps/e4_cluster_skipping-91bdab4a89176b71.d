@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/e4_cluster_skipping-91bdab4a89176b71.d: crates/bench/benches/e4_cluster_skipping.rs
+
+/root/repo/target/debug/deps/e4_cluster_skipping-91bdab4a89176b71: crates/bench/benches/e4_cluster_skipping.rs
+
+crates/bench/benches/e4_cluster_skipping.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/e6_forward_pass-29902c20748d7ba7.d: crates/bench/benches/e6_forward_pass.rs Cargo.toml
+
+/root/repo/target/debug/deps/libe6_forward_pass-29902c20748d7ba7.rmeta: crates/bench/benches/e6_forward_pass.rs Cargo.toml
+
+crates/bench/benches/e6_forward_pass.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

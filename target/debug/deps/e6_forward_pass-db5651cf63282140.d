@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/e6_forward_pass-db5651cf63282140.d: crates/bench/benches/e6_forward_pass.rs
+
+/root/repo/target/debug/deps/e6_forward_pass-db5651cf63282140: crates/bench/benches/e6_forward_pass.rs
+
+crates/bench/benches/e6_forward_pass.rs:

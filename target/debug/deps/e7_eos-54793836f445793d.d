@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/e7_eos-54793836f445793d.d: crates/bench/benches/e7_eos.rs Cargo.toml
+
+/root/repo/target/debug/deps/libe7_eos-54793836f445793d.rmeta: crates/bench/benches/e7_eos.rs Cargo.toml
+
+crates/bench/benches/e7_eos.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

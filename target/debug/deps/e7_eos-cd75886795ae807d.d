@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/e7_eos-cd75886795ae807d.d: crates/bench/benches/e7_eos.rs
+
+/root/repo/target/debug/deps/e7_eos-cd75886795ae807d: crates/bench/benches/e7_eos.rs
+
+crates/bench/benches/e7_eos.rs:

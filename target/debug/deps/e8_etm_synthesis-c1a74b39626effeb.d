@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/e8_etm_synthesis-c1a74b39626effeb.d: crates/bench/benches/e8_etm_synthesis.rs Cargo.toml
+
+/root/repo/target/debug/deps/libe8_etm_synthesis-c1a74b39626effeb.rmeta: crates/bench/benches/e8_etm_synthesis.rs Cargo.toml
+
+crates/bench/benches/e8_etm_synthesis.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/e8_etm_synthesis-e254fceec821019a.d: crates/bench/benches/e8_etm_synthesis.rs
+
+/root/repo/target/debug/deps/e8_etm_synthesis-e254fceec821019a: crates/bench/benches/e8_etm_synthesis.rs
+
+crates/bench/benches/e8_etm_synthesis.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/engine_semantics-45fe0b070492c083.d: crates/core/tests/engine_semantics.rs Cargo.toml
+
+/root/repo/target/debug/deps/libengine_semantics-45fe0b070492c083.rmeta: crates/core/tests/engine_semantics.rs Cargo.toml
+
+crates/core/tests/engine_semantics.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/engine_semantics-ab72fe340b1793e0.d: crates/core/tests/engine_semantics.rs
+
+/root/repo/target/debug/deps/engine_semantics-ab72fe340b1793e0: crates/core/tests/engine_semantics.rs
+
+crates/core/tests/engine_semantics.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/eos_oracle_equivalence-3eb35cbd71159b05.d: crates/eos/tests/eos_oracle_equivalence.rs Cargo.toml
+
+/root/repo/target/debug/deps/libeos_oracle_equivalence-3eb35cbd71159b05.rmeta: crates/eos/tests/eos_oracle_equivalence.rs Cargo.toml
+
+crates/eos/tests/eos_oracle_equivalence.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

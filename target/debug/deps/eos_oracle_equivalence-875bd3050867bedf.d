@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/eos_oracle_equivalence-875bd3050867bedf.d: crates/eos/tests/eos_oracle_equivalence.rs
+
+/root/repo/target/debug/deps/eos_oracle_equivalence-875bd3050867bedf: crates/eos/tests/eos_oracle_equivalence.rs
+
+crates/eos/tests/eos_oracle_equivalence.rs:

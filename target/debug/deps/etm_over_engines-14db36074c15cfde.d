@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/etm_over_engines-14db36074c15cfde.d: tests/etm_over_engines.rs Cargo.toml
+
+/root/repo/target/debug/deps/libetm_over_engines-14db36074c15cfde.rmeta: tests/etm_over_engines.rs Cargo.toml
+
+tests/etm_over_engines.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/etm_over_engines-8dc83f8d17c7d652.d: tests/etm_over_engines.rs
+
+/root/repo/target/debug/deps/etm_over_engines-8dc83f8d17c7d652: tests/etm_over_engines.rs
+
+tests/etm_over_engines.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/experiments-2180f247f5853fb5.d: crates/bench/src/bin/experiments.rs
+
+/root/repo/target/debug/deps/experiments-2180f247f5853fb5: crates/bench/src/bin/experiments.rs
+
+crates/bench/src/bin/experiments.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/experiments-7ce33bd4d95dea56.d: crates/bench/src/bin/experiments.rs
+
+/root/repo/target/debug/deps/experiments-7ce33bd4d95dea56: crates/bench/src/bin/experiments.rs
+
+crates/bench/src/bin/experiments.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig2_log_example-28b148567ee5fbcc.d: tests/fig2_log_example.rs
+
+/root/repo/target/debug/deps/fig2_log_example-28b148567ee5fbcc: tests/fig2_log_example.rs
+
+tests/fig2_log_example.rs:

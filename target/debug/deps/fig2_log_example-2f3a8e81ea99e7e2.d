@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig2_log_example-2f3a8e81ea99e7e2.d: tests/fig2_log_example.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig2_log_example-2f3a8e81ea99e7e2.rmeta: tests/fig2_log_example.rs Cargo.toml
+
+tests/fig2_log_example.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

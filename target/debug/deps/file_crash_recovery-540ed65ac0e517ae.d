@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/file_crash_recovery-540ed65ac0e517ae.d: crates/core/tests/file_crash_recovery.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfile_crash_recovery-540ed65ac0e517ae.rmeta: crates/core/tests/file_crash_recovery.rs Cargo.toml
+
+crates/core/tests/file_crash_recovery.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

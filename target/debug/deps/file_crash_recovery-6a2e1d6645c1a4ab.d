@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/file_crash_recovery-6a2e1d6645c1a4ab.d: crates/core/tests/file_crash_recovery.rs
+
+/root/repo/target/debug/deps/file_crash_recovery-6a2e1d6645c1a4ab: crates/core/tests/file_crash_recovery.rs
+
+crates/core/tests/file_crash_recovery.rs:

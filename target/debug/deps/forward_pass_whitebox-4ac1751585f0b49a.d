@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/forward_pass_whitebox-4ac1751585f0b49a.d: crates/core/tests/forward_pass_whitebox.rs Cargo.toml
+
+/root/repo/target/debug/deps/libforward_pass_whitebox-4ac1751585f0b49a.rmeta: crates/core/tests/forward_pass_whitebox.rs Cargo.toml
+
+crates/core/tests/forward_pass_whitebox.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

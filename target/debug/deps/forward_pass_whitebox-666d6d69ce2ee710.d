@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/forward_pass_whitebox-666d6d69ce2ee710.d: crates/core/tests/forward_pass_whitebox.rs
+
+/root/repo/target/debug/deps/forward_pass_whitebox-666d6d69ce2ee710: crates/core/tests/forward_pass_whitebox.rs
+
+crates/core/tests/forward_pass_whitebox.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/interrupted_recovery-e654b1e05a77eb4c.d: crates/core/tests/interrupted_recovery.rs Cargo.toml
+
+/root/repo/target/debug/deps/libinterrupted_recovery-e654b1e05a77eb4c.rmeta: crates/core/tests/interrupted_recovery.rs Cargo.toml
+
+crates/core/tests/interrupted_recovery.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/interrupted_recovery-fa90ed7e9166e984.d: crates/core/tests/interrupted_recovery.rs
+
+/root/repo/target/debug/deps/interrupted_recovery-fa90ed7e9166e984: crates/core/tests/interrupted_recovery.rs
+
+crates/core/tests/interrupted_recovery.rs:

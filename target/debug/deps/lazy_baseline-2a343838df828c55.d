@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/lazy_baseline-2a343838df828c55.d: crates/core/tests/lazy_baseline.rs Cargo.toml
+
+/root/repo/target/debug/deps/liblazy_baseline-2a343838df828c55.rmeta: crates/core/tests/lazy_baseline.rs Cargo.toml
+
+crates/core/tests/lazy_baseline.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

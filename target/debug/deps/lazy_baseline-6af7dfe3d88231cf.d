@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/lazy_baseline-6af7dfe3d88231cf.d: crates/core/tests/lazy_baseline.rs
+
+/root/repo/target/debug/deps/lazy_baseline-6af7dfe3d88231cf: crates/core/tests/lazy_baseline.rs
+
+crates/core/tests/lazy_baseline.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/lock_properties-61ef03b4a54d375f.d: crates/lockmgr/tests/lock_properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/liblock_properties-61ef03b4a54d375f.rmeta: crates/lockmgr/tests/lock_properties.rs Cargo.toml
+
+crates/lockmgr/tests/lock_properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/lock_properties-d5c67f470e68ce2e.d: crates/lockmgr/tests/lock_properties.rs
+
+/root/repo/target/debug/deps/lock_properties-d5c67f470e68ce2e: crates/lockmgr/tests/lock_properties.rs
+
+crates/lockmgr/tests/lock_properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/lock_stress-1a7ad30744a52dda.d: crates/lockmgr/tests/lock_stress.rs
+
+/root/repo/target/debug/deps/lock_stress-1a7ad30744a52dda: crates/lockmgr/tests/lock_stress.rs
+
+crates/lockmgr/tests/lock_stress.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/lock_stress-c92772f0de2caecc.d: crates/lockmgr/tests/lock_stress.rs Cargo.toml
+
+/root/repo/target/debug/deps/liblock_stress-c92772f0de2caecc.rmeta: crates/lockmgr/tests/lock_stress.rs Cargo.toml
+
+crates/lockmgr/tests/lock_stress.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/oracle_equivalence-060896e4ce28a0ab.d: crates/core/tests/oracle_equivalence.rs Cargo.toml
+
+/root/repo/target/debug/deps/liboracle_equivalence-060896e4ce28a0ab.rmeta: crates/core/tests/oracle_equivalence.rs Cargo.toml
+
+crates/core/tests/oracle_equivalence.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

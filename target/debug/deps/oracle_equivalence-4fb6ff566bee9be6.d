@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/oracle_equivalence-4fb6ff566bee9be6.d: crates/core/tests/oracle_equivalence.rs
+
+/root/repo/target/debug/deps/oracle_equivalence-4fb6ff566bee9be6: crates/core/tests/oracle_equivalence.rs
+
+crates/core/tests/oracle_equivalence.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/parking_lot-385a576ced04dcf9.d: crates/compat/parking_lot/src/lib.rs
+
+/root/repo/target/debug/deps/parking_lot-385a576ced04dcf9: crates/compat/parking_lot/src/lib.rs
+
+crates/compat/parking_lot/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/parking_lot-d1a65537dbba3f66.d: crates/compat/parking_lot/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libparking_lot-d1a65537dbba3f66.rmeta: crates/compat/parking_lot/src/lib.rs Cargo.toml
+
+crates/compat/parking_lot/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

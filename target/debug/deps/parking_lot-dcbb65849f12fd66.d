@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/parking_lot-dcbb65849f12fd66.d: crates/compat/parking_lot/src/lib.rs
+
+/root/repo/target/debug/deps/libparking_lot-dcbb65849f12fd66.rlib: crates/compat/parking_lot/src/lib.rs
+
+/root/repo/target/debug/deps/libparking_lot-dcbb65849f12fd66.rmeta: crates/compat/parking_lot/src/lib.rs
+
+crates/compat/parking_lot/src/lib.rs:

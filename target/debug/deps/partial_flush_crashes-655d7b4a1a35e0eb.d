@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/partial_flush_crashes-655d7b4a1a35e0eb.d: tests/partial_flush_crashes.rs
+
+/root/repo/target/debug/deps/partial_flush_crashes-655d7b4a1a35e0eb: tests/partial_flush_crashes.rs
+
+tests/partial_flush_crashes.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/partial_flush_crashes-d07ae7518229ca2f.d: tests/partial_flush_crashes.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpartial_flush_crashes-d07ae7518229ca2f.rmeta: tests/partial_flush_crashes.rs Cargo.toml
+
+tests/partial_flush_crashes.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

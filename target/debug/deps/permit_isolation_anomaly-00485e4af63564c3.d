@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/permit_isolation_anomaly-00485e4af63564c3.d: tests/permit_isolation_anomaly.rs
+
+/root/repo/target/debug/deps/permit_isolation_anomaly-00485e4af63564c3: tests/permit_isolation_anomaly.rs
+
+tests/permit_isolation_anomaly.rs:

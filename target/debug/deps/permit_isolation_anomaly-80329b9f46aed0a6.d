@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/permit_isolation_anomaly-80329b9f46aed0a6.d: tests/permit_isolation_anomaly.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpermit_isolation_anomaly-80329b9f46aed0a6.rmeta: tests/permit_isolation_anomaly.rs Cargo.toml
+
+tests/permit_isolation_anomaly.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/pool_properties-0fce7ca8a8c6a343.d: crates/storage/tests/pool_properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpool_properties-0fce7ca8a8c6a343.rmeta: crates/storage/tests/pool_properties.rs Cargo.toml
+
+crates/storage/tests/pool_properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

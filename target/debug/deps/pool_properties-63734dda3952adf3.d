@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pool_properties-63734dda3952adf3.d: crates/storage/tests/pool_properties.rs
+
+/root/repo/target/debug/deps/pool_properties-63734dda3952adf3: crates/storage/tests/pool_properties.rs
+
+crates/storage/tests/pool_properties.rs:

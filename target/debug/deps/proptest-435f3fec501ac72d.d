@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/proptest-435f3fec501ac72d.d: crates/compat/proptest/src/lib.rs crates/compat/proptest/src/arbitrary.rs crates/compat/proptest/src/collection.rs crates/compat/proptest/src/strategy.rs crates/compat/proptest/src/test_runner.rs
+
+/root/repo/target/debug/deps/libproptest-435f3fec501ac72d.rlib: crates/compat/proptest/src/lib.rs crates/compat/proptest/src/arbitrary.rs crates/compat/proptest/src/collection.rs crates/compat/proptest/src/strategy.rs crates/compat/proptest/src/test_runner.rs
+
+/root/repo/target/debug/deps/libproptest-435f3fec501ac72d.rmeta: crates/compat/proptest/src/lib.rs crates/compat/proptest/src/arbitrary.rs crates/compat/proptest/src/collection.rs crates/compat/proptest/src/strategy.rs crates/compat/proptest/src/test_runner.rs
+
+crates/compat/proptest/src/lib.rs:
+crates/compat/proptest/src/arbitrary.rs:
+crates/compat/proptest/src/collection.rs:
+crates/compat/proptest/src/strategy.rs:
+crates/compat/proptest/src/test_runner.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptest-af653bd55c737e09.d: crates/compat/proptest/src/lib.rs crates/compat/proptest/src/arbitrary.rs crates/compat/proptest/src/collection.rs crates/compat/proptest/src/strategy.rs crates/compat/proptest/src/test_runner.rs
+
+/root/repo/target/debug/deps/proptest-af653bd55c737e09: crates/compat/proptest/src/lib.rs crates/compat/proptest/src/arbitrary.rs crates/compat/proptest/src/collection.rs crates/compat/proptest/src/strategy.rs crates/compat/proptest/src/test_runner.rs
+
+crates/compat/proptest/src/lib.rs:
+crates/compat/proptest/src/arbitrary.rs:
+crates/compat/proptest/src/collection.rs:
+crates/compat/proptest/src/strategy.rs:
+crates/compat/proptest/src/test_runner.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/proptest-ffd1da0ba5910caf.d: crates/compat/proptest/src/lib.rs crates/compat/proptest/src/arbitrary.rs crates/compat/proptest/src/collection.rs crates/compat/proptest/src/strategy.rs crates/compat/proptest/src/test_runner.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptest-ffd1da0ba5910caf.rmeta: crates/compat/proptest/src/lib.rs crates/compat/proptest/src/arbitrary.rs crates/compat/proptest/src/collection.rs crates/compat/proptest/src/strategy.rs crates/compat/proptest/src/test_runner.rs Cargo.toml
+
+crates/compat/proptest/src/lib.rs:
+crates/compat/proptest/src/arbitrary.rs:
+crates/compat/proptest/src/collection.rs:
+crates/compat/proptest/src/strategy.rs:
+crates/compat/proptest/src/test_runner.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/rand-5254f2a7887c9093.d: crates/compat/rand/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/librand-5254f2a7887c9093.rmeta: crates/compat/rand/src/lib.rs Cargo.toml
+
+crates/compat/rand/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/rand-d6f26da3676c6109.d: crates/compat/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-d6f26da3676c6109.rlib: crates/compat/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-d6f26da3676c6109.rmeta: crates/compat/rand/src/lib.rs
+
+crates/compat/rand/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rand-ed2b15d79de3773e.d: crates/compat/rand/src/lib.rs
+
+/root/repo/target/debug/deps/rand-ed2b15d79de3773e: crates/compat/rand/src/lib.rs
+
+crates/compat/rand/src/lib.rs:

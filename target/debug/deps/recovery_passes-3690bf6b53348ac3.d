@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/recovery_passes-3690bf6b53348ac3.d: tests/recovery_passes.rs
+
+/root/repo/target/debug/deps/recovery_passes-3690bf6b53348ac3: tests/recovery_passes.rs
+
+tests/recovery_passes.rs:

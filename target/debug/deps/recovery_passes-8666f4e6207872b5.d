@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/recovery_passes-8666f4e6207872b5.d: tests/recovery_passes.rs Cargo.toml
+
+/root/repo/target/debug/deps/librecovery_passes-8666f4e6207872b5.rmeta: tests/recovery_passes.rs Cargo.toml
+
+tests/recovery_passes.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/rh_common-141be458766891b8.d: crates/common/src/lib.rs crates/common/src/codec.rs crates/common/src/error.rs crates/common/src/ids.rs crates/common/src/lsn.rs crates/common/src/ops.rs
+
+/root/repo/target/debug/deps/librh_common-141be458766891b8.rlib: crates/common/src/lib.rs crates/common/src/codec.rs crates/common/src/error.rs crates/common/src/ids.rs crates/common/src/lsn.rs crates/common/src/ops.rs
+
+/root/repo/target/debug/deps/librh_common-141be458766891b8.rmeta: crates/common/src/lib.rs crates/common/src/codec.rs crates/common/src/error.rs crates/common/src/ids.rs crates/common/src/lsn.rs crates/common/src/ops.rs
+
+crates/common/src/lib.rs:
+crates/common/src/codec.rs:
+crates/common/src/error.rs:
+crates/common/src/ids.rs:
+crates/common/src/lsn.rs:
+crates/common/src/ops.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/rh_common-5d166f72bef90e2c.d: crates/common/src/lib.rs crates/common/src/codec.rs crates/common/src/error.rs crates/common/src/ids.rs crates/common/src/lsn.rs crates/common/src/ops.rs
+
+/root/repo/target/debug/deps/rh_common-5d166f72bef90e2c: crates/common/src/lib.rs crates/common/src/codec.rs crates/common/src/error.rs crates/common/src/ids.rs crates/common/src/lsn.rs crates/common/src/ops.rs
+
+crates/common/src/lib.rs:
+crates/common/src/codec.rs:
+crates/common/src/error.rs:
+crates/common/src/ids.rs:
+crates/common/src/lsn.rs:
+crates/common/src/ops.rs:

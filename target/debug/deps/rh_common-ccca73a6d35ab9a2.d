@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/rh_common-ccca73a6d35ab9a2.d: crates/common/src/lib.rs crates/common/src/codec.rs crates/common/src/error.rs crates/common/src/ids.rs crates/common/src/lsn.rs crates/common/src/ops.rs Cargo.toml
+
+/root/repo/target/debug/deps/librh_common-ccca73a6d35ab9a2.rmeta: crates/common/src/lib.rs crates/common/src/codec.rs crates/common/src/error.rs crates/common/src/ids.rs crates/common/src/lsn.rs crates/common/src/ops.rs Cargo.toml
+
+crates/common/src/lib.rs:
+crates/common/src/codec.rs:
+crates/common/src/error.rs:
+crates/common/src/ids.rs:
+crates/common/src/lsn.rs:
+crates/common/src/ops.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

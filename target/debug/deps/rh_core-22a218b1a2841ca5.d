@@ -1,0 +1,19 @@
+/root/repo/target/debug/deps/rh_core-22a218b1a2841ca5.d: crates/core/src/lib.rs crates/core/src/api.rs crates/core/src/checkpoint.rs crates/core/src/eager.rs crates/core/src/engine.rs crates/core/src/history.rs crates/core/src/oblist.rs crates/core/src/recovery/mod.rs crates/core/src/recovery/backward.rs crates/core/src/recovery/clusters.rs crates/core/src/recovery/forward.rs crates/core/src/scope.rs crates/core/src/txn_table.rs
+
+/root/repo/target/debug/deps/librh_core-22a218b1a2841ca5.rlib: crates/core/src/lib.rs crates/core/src/api.rs crates/core/src/checkpoint.rs crates/core/src/eager.rs crates/core/src/engine.rs crates/core/src/history.rs crates/core/src/oblist.rs crates/core/src/recovery/mod.rs crates/core/src/recovery/backward.rs crates/core/src/recovery/clusters.rs crates/core/src/recovery/forward.rs crates/core/src/scope.rs crates/core/src/txn_table.rs
+
+/root/repo/target/debug/deps/librh_core-22a218b1a2841ca5.rmeta: crates/core/src/lib.rs crates/core/src/api.rs crates/core/src/checkpoint.rs crates/core/src/eager.rs crates/core/src/engine.rs crates/core/src/history.rs crates/core/src/oblist.rs crates/core/src/recovery/mod.rs crates/core/src/recovery/backward.rs crates/core/src/recovery/clusters.rs crates/core/src/recovery/forward.rs crates/core/src/scope.rs crates/core/src/txn_table.rs
+
+crates/core/src/lib.rs:
+crates/core/src/api.rs:
+crates/core/src/checkpoint.rs:
+crates/core/src/eager.rs:
+crates/core/src/engine.rs:
+crates/core/src/history.rs:
+crates/core/src/oblist.rs:
+crates/core/src/recovery/mod.rs:
+crates/core/src/recovery/backward.rs:
+crates/core/src/recovery/clusters.rs:
+crates/core/src/recovery/forward.rs:
+crates/core/src/scope.rs:
+crates/core/src/txn_table.rs:

@@ -1,0 +1,21 @@
+/root/repo/target/debug/deps/rh_core-50ec2ae453acfea5.d: crates/core/src/lib.rs crates/core/src/api.rs crates/core/src/checkpoint.rs crates/core/src/eager.rs crates/core/src/engine.rs crates/core/src/history.rs crates/core/src/oblist.rs crates/core/src/recovery/mod.rs crates/core/src/recovery/backward.rs crates/core/src/recovery/clusters.rs crates/core/src/recovery/forward.rs crates/core/src/scope.rs crates/core/src/txn_table.rs Cargo.toml
+
+/root/repo/target/debug/deps/librh_core-50ec2ae453acfea5.rmeta: crates/core/src/lib.rs crates/core/src/api.rs crates/core/src/checkpoint.rs crates/core/src/eager.rs crates/core/src/engine.rs crates/core/src/history.rs crates/core/src/oblist.rs crates/core/src/recovery/mod.rs crates/core/src/recovery/backward.rs crates/core/src/recovery/clusters.rs crates/core/src/recovery/forward.rs crates/core/src/scope.rs crates/core/src/txn_table.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/api.rs:
+crates/core/src/checkpoint.rs:
+crates/core/src/eager.rs:
+crates/core/src/engine.rs:
+crates/core/src/history.rs:
+crates/core/src/oblist.rs:
+crates/core/src/recovery/mod.rs:
+crates/core/src/recovery/backward.rs:
+crates/core/src/recovery/clusters.rs:
+crates/core/src/recovery/forward.rs:
+crates/core/src/scope.rs:
+crates/core/src/txn_table.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

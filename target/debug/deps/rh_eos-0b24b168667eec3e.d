@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/rh_eos-0b24b168667eec3e.d: crates/eos/src/lib.rs crates/eos/src/engine.rs crates/eos/src/global.rs crates/eos/src/private.rs
+
+/root/repo/target/debug/deps/librh_eos-0b24b168667eec3e.rlib: crates/eos/src/lib.rs crates/eos/src/engine.rs crates/eos/src/global.rs crates/eos/src/private.rs
+
+/root/repo/target/debug/deps/librh_eos-0b24b168667eec3e.rmeta: crates/eos/src/lib.rs crates/eos/src/engine.rs crates/eos/src/global.rs crates/eos/src/private.rs
+
+crates/eos/src/lib.rs:
+crates/eos/src/engine.rs:
+crates/eos/src/global.rs:
+crates/eos/src/private.rs:

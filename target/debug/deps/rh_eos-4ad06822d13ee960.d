@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/rh_eos-4ad06822d13ee960.d: crates/eos/src/lib.rs crates/eos/src/engine.rs crates/eos/src/global.rs crates/eos/src/private.rs Cargo.toml
+
+/root/repo/target/debug/deps/librh_eos-4ad06822d13ee960.rmeta: crates/eos/src/lib.rs crates/eos/src/engine.rs crates/eos/src/global.rs crates/eos/src/private.rs Cargo.toml
+
+crates/eos/src/lib.rs:
+crates/eos/src/engine.rs:
+crates/eos/src/global.rs:
+crates/eos/src/private.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

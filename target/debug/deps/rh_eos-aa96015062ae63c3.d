@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/rh_eos-aa96015062ae63c3.d: crates/eos/src/lib.rs crates/eos/src/engine.rs crates/eos/src/global.rs crates/eos/src/private.rs
+
+/root/repo/target/debug/deps/rh_eos-aa96015062ae63c3: crates/eos/src/lib.rs crates/eos/src/engine.rs crates/eos/src/global.rs crates/eos/src/private.rs
+
+crates/eos/src/lib.rs:
+crates/eos/src/engine.rs:
+crates/eos/src/global.rs:
+crates/eos/src/private.rs:

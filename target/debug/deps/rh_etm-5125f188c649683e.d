@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/rh_etm-5125f188c649683e.d: crates/etm/src/lib.rs crates/etm/src/cotxn.rs crates/etm/src/deps.rs crates/etm/src/joint.rs crates/etm/src/nested.rs crates/etm/src/reporting.rs crates/etm/src/session.rs crates/etm/src/split.rs
+
+/root/repo/target/debug/deps/rh_etm-5125f188c649683e: crates/etm/src/lib.rs crates/etm/src/cotxn.rs crates/etm/src/deps.rs crates/etm/src/joint.rs crates/etm/src/nested.rs crates/etm/src/reporting.rs crates/etm/src/session.rs crates/etm/src/split.rs
+
+crates/etm/src/lib.rs:
+crates/etm/src/cotxn.rs:
+crates/etm/src/deps.rs:
+crates/etm/src/joint.rs:
+crates/etm/src/nested.rs:
+crates/etm/src/reporting.rs:
+crates/etm/src/session.rs:
+crates/etm/src/split.rs:

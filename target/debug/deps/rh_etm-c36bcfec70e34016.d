@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/rh_etm-c36bcfec70e34016.d: crates/etm/src/lib.rs crates/etm/src/cotxn.rs crates/etm/src/deps.rs crates/etm/src/joint.rs crates/etm/src/nested.rs crates/etm/src/reporting.rs crates/etm/src/session.rs crates/etm/src/split.rs Cargo.toml
+
+/root/repo/target/debug/deps/librh_etm-c36bcfec70e34016.rmeta: crates/etm/src/lib.rs crates/etm/src/cotxn.rs crates/etm/src/deps.rs crates/etm/src/joint.rs crates/etm/src/nested.rs crates/etm/src/reporting.rs crates/etm/src/session.rs crates/etm/src/split.rs Cargo.toml
+
+crates/etm/src/lib.rs:
+crates/etm/src/cotxn.rs:
+crates/etm/src/deps.rs:
+crates/etm/src/joint.rs:
+crates/etm/src/nested.rs:
+crates/etm/src/reporting.rs:
+crates/etm/src/session.rs:
+crates/etm/src/split.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

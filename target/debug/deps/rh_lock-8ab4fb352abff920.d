@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/rh_lock-8ab4fb352abff920.d: crates/lockmgr/src/lib.rs crates/lockmgr/src/manager.rs crates/lockmgr/src/modes.rs crates/lockmgr/src/table.rs crates/lockmgr/src/waits.rs
+
+/root/repo/target/debug/deps/rh_lock-8ab4fb352abff920: crates/lockmgr/src/lib.rs crates/lockmgr/src/manager.rs crates/lockmgr/src/modes.rs crates/lockmgr/src/table.rs crates/lockmgr/src/waits.rs
+
+crates/lockmgr/src/lib.rs:
+crates/lockmgr/src/manager.rs:
+crates/lockmgr/src/modes.rs:
+crates/lockmgr/src/table.rs:
+crates/lockmgr/src/waits.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/rh_lock-dced7136421c713d.d: crates/lockmgr/src/lib.rs crates/lockmgr/src/manager.rs crates/lockmgr/src/modes.rs crates/lockmgr/src/table.rs crates/lockmgr/src/waits.rs
+
+/root/repo/target/debug/deps/librh_lock-dced7136421c713d.rlib: crates/lockmgr/src/lib.rs crates/lockmgr/src/manager.rs crates/lockmgr/src/modes.rs crates/lockmgr/src/table.rs crates/lockmgr/src/waits.rs
+
+/root/repo/target/debug/deps/librh_lock-dced7136421c713d.rmeta: crates/lockmgr/src/lib.rs crates/lockmgr/src/manager.rs crates/lockmgr/src/modes.rs crates/lockmgr/src/table.rs crates/lockmgr/src/waits.rs
+
+crates/lockmgr/src/lib.rs:
+crates/lockmgr/src/manager.rs:
+crates/lockmgr/src/modes.rs:
+crates/lockmgr/src/table.rs:
+crates/lockmgr/src/waits.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/rh_lock-e5d992f27d55a920.d: crates/lockmgr/src/lib.rs crates/lockmgr/src/manager.rs crates/lockmgr/src/modes.rs crates/lockmgr/src/table.rs crates/lockmgr/src/waits.rs Cargo.toml
+
+/root/repo/target/debug/deps/librh_lock-e5d992f27d55a920.rmeta: crates/lockmgr/src/lib.rs crates/lockmgr/src/manager.rs crates/lockmgr/src/modes.rs crates/lockmgr/src/table.rs crates/lockmgr/src/waits.rs Cargo.toml
+
+crates/lockmgr/src/lib.rs:
+crates/lockmgr/src/manager.rs:
+crates/lockmgr/src/modes.rs:
+crates/lockmgr/src/table.rs:
+crates/lockmgr/src/waits.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

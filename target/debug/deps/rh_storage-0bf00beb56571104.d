@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/rh_storage-0bf00beb56571104.d: crates/storage/src/lib.rs crates/storage/src/disk.rs crates/storage/src/metrics.rs crates/storage/src/page.rs crates/storage/src/pool.rs Cargo.toml
+
+/root/repo/target/debug/deps/librh_storage-0bf00beb56571104.rmeta: crates/storage/src/lib.rs crates/storage/src/disk.rs crates/storage/src/metrics.rs crates/storage/src/page.rs crates/storage/src/pool.rs Cargo.toml
+
+crates/storage/src/lib.rs:
+crates/storage/src/disk.rs:
+crates/storage/src/metrics.rs:
+crates/storage/src/page.rs:
+crates/storage/src/pool.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

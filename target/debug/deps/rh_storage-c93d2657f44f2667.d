@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/rh_storage-c93d2657f44f2667.d: crates/storage/src/lib.rs crates/storage/src/disk.rs crates/storage/src/metrics.rs crates/storage/src/page.rs crates/storage/src/pool.rs
+
+/root/repo/target/debug/deps/librh_storage-c93d2657f44f2667.rlib: crates/storage/src/lib.rs crates/storage/src/disk.rs crates/storage/src/metrics.rs crates/storage/src/page.rs crates/storage/src/pool.rs
+
+/root/repo/target/debug/deps/librh_storage-c93d2657f44f2667.rmeta: crates/storage/src/lib.rs crates/storage/src/disk.rs crates/storage/src/metrics.rs crates/storage/src/page.rs crates/storage/src/pool.rs
+
+crates/storage/src/lib.rs:
+crates/storage/src/disk.rs:
+crates/storage/src/metrics.rs:
+crates/storage/src/page.rs:
+crates/storage/src/pool.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/rh_storage-d5dff6dbdcb26165.d: crates/storage/src/lib.rs crates/storage/src/disk.rs crates/storage/src/metrics.rs crates/storage/src/page.rs crates/storage/src/pool.rs
+
+/root/repo/target/debug/deps/rh_storage-d5dff6dbdcb26165: crates/storage/src/lib.rs crates/storage/src/disk.rs crates/storage/src/metrics.rs crates/storage/src/page.rs crates/storage/src/pool.rs
+
+crates/storage/src/lib.rs:
+crates/storage/src/disk.rs:
+crates/storage/src/metrics.rs:
+crates/storage/src/page.rs:
+crates/storage/src/pool.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/rh_wal-b827ec12b6d6e9a2.d: crates/wal/src/lib.rs crates/wal/src/chain.rs crates/wal/src/filelog.rs crates/wal/src/frame.rs crates/wal/src/io.rs crates/wal/src/log.rs crates/wal/src/metrics.rs crates/wal/src/record.rs crates/wal/src/segment.rs
+
+/root/repo/target/debug/deps/librh_wal-b827ec12b6d6e9a2.rlib: crates/wal/src/lib.rs crates/wal/src/chain.rs crates/wal/src/filelog.rs crates/wal/src/frame.rs crates/wal/src/io.rs crates/wal/src/log.rs crates/wal/src/metrics.rs crates/wal/src/record.rs crates/wal/src/segment.rs
+
+/root/repo/target/debug/deps/librh_wal-b827ec12b6d6e9a2.rmeta: crates/wal/src/lib.rs crates/wal/src/chain.rs crates/wal/src/filelog.rs crates/wal/src/frame.rs crates/wal/src/io.rs crates/wal/src/log.rs crates/wal/src/metrics.rs crates/wal/src/record.rs crates/wal/src/segment.rs
+
+crates/wal/src/lib.rs:
+crates/wal/src/chain.rs:
+crates/wal/src/filelog.rs:
+crates/wal/src/frame.rs:
+crates/wal/src/io.rs:
+crates/wal/src/log.rs:
+crates/wal/src/metrics.rs:
+crates/wal/src/record.rs:
+crates/wal/src/segment.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/rh_wal-d0ca9277e9672363.d: crates/wal/src/lib.rs crates/wal/src/chain.rs crates/wal/src/filelog.rs crates/wal/src/frame.rs crates/wal/src/io.rs crates/wal/src/log.rs crates/wal/src/metrics.rs crates/wal/src/record.rs crates/wal/src/segment.rs
+
+/root/repo/target/debug/deps/rh_wal-d0ca9277e9672363: crates/wal/src/lib.rs crates/wal/src/chain.rs crates/wal/src/filelog.rs crates/wal/src/frame.rs crates/wal/src/io.rs crates/wal/src/log.rs crates/wal/src/metrics.rs crates/wal/src/record.rs crates/wal/src/segment.rs
+
+crates/wal/src/lib.rs:
+crates/wal/src/chain.rs:
+crates/wal/src/filelog.rs:
+crates/wal/src/frame.rs:
+crates/wal/src/io.rs:
+crates/wal/src/log.rs:
+crates/wal/src/metrics.rs:
+crates/wal/src/record.rs:
+crates/wal/src/segment.rs:

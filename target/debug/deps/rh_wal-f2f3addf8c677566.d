@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/rh_wal-f2f3addf8c677566.d: crates/wal/src/lib.rs crates/wal/src/chain.rs crates/wal/src/filelog.rs crates/wal/src/frame.rs crates/wal/src/io.rs crates/wal/src/log.rs crates/wal/src/metrics.rs crates/wal/src/record.rs crates/wal/src/segment.rs Cargo.toml
+
+/root/repo/target/debug/deps/librh_wal-f2f3addf8c677566.rmeta: crates/wal/src/lib.rs crates/wal/src/chain.rs crates/wal/src/filelog.rs crates/wal/src/frame.rs crates/wal/src/io.rs crates/wal/src/log.rs crates/wal/src/metrics.rs crates/wal/src/record.rs crates/wal/src/segment.rs Cargo.toml
+
+crates/wal/src/lib.rs:
+crates/wal/src/chain.rs:
+crates/wal/src/filelog.rs:
+crates/wal/src/frame.rs:
+crates/wal/src/io.rs:
+crates/wal/src/log.rs:
+crates/wal/src/metrics.rs:
+crates/wal/src/record.rs:
+crates/wal/src/segment.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

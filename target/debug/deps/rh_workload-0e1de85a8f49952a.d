@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/rh_workload-0e1de85a8f49952a.d: crates/workload/src/lib.rs crates/workload/src/gen.rs crates/workload/src/spec.rs
+
+/root/repo/target/debug/deps/rh_workload-0e1de85a8f49952a: crates/workload/src/lib.rs crates/workload/src/gen.rs crates/workload/src/spec.rs
+
+crates/workload/src/lib.rs:
+crates/workload/src/gen.rs:
+crates/workload/src/spec.rs:

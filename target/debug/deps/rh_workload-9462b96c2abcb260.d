@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/rh_workload-9462b96c2abcb260.d: crates/workload/src/lib.rs crates/workload/src/gen.rs crates/workload/src/spec.rs Cargo.toml
+
+/root/repo/target/debug/deps/librh_workload-9462b96c2abcb260.rmeta: crates/workload/src/lib.rs crates/workload/src/gen.rs crates/workload/src/spec.rs Cargo.toml
+
+crates/workload/src/lib.rs:
+crates/workload/src/gen.rs:
+crates/workload/src/spec.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/rh_workload-a09a833130b23470.d: crates/workload/src/lib.rs crates/workload/src/gen.rs crates/workload/src/spec.rs
+
+/root/repo/target/debug/deps/librh_workload-a09a833130b23470.rlib: crates/workload/src/lib.rs crates/workload/src/gen.rs crates/workload/src/spec.rs
+
+/root/repo/target/debug/deps/librh_workload-a09a833130b23470.rmeta: crates/workload/src/lib.rs crates/workload/src/gen.rs crates/workload/src/spec.rs
+
+crates/workload/src/lib.rs:
+crates/workload/src/gen.rs:
+crates/workload/src/spec.rs:

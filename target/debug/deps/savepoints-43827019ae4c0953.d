@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/savepoints-43827019ae4c0953.d: crates/core/tests/savepoints.rs
+
+/root/repo/target/debug/deps/savepoints-43827019ae4c0953: crates/core/tests/savepoints.rs
+
+crates/core/tests/savepoints.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/savepoints-7e8bb4424c7f061b.d: crates/core/tests/savepoints.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsavepoints-7e8bb4424c7f061b.rmeta: crates/core/tests/savepoints.rs Cargo.toml
+
+crates/core/tests/savepoints.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

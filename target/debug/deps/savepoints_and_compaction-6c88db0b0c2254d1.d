@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/savepoints_and_compaction-6c88db0b0c2254d1.d: tests/savepoints_and_compaction.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsavepoints_and_compaction-6c88db0b0c2254d1.rmeta: tests/savepoints_and_compaction.rs Cargo.toml
+
+tests/savepoints_and_compaction.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/savepoints_and_compaction-c915171a8d37be79.d: tests/savepoints_and_compaction.rs
+
+/root/repo/target/debug/deps/savepoints_and_compaction-c915171a8d37be79: tests/savepoints_and_compaction.rs
+
+tests/savepoints_and_compaction.rs:

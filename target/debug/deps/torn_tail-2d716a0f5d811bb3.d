@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/torn_tail-2d716a0f5d811bb3.d: crates/wal/tests/torn_tail.rs
+
+/root/repo/target/debug/deps/torn_tail-2d716a0f5d811bb3: crates/wal/tests/torn_tail.rs
+
+crates/wal/tests/torn_tail.rs:

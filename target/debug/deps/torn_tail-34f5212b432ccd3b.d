@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/torn_tail-34f5212b432ccd3b.d: crates/wal/tests/torn_tail.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtorn_tail-34f5212b432ccd3b.rmeta: crates/wal/tests/torn_tail.rs Cargo.toml
+
+crates/wal/tests/torn_tail.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

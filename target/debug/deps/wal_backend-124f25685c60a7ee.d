@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/wal_backend-124f25685c60a7ee.d: crates/bench/benches/wal_backend.rs Cargo.toml
+
+/root/repo/target/debug/deps/libwal_backend-124f25685c60a7ee.rmeta: crates/bench/benches/wal_backend.rs Cargo.toml
+
+crates/bench/benches/wal_backend.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/wal_backend-2ba80642cce699e5.d: crates/bench/benches/wal_backend.rs
+
+/root/repo/target/debug/deps/wal_backend-2ba80642cce699e5: crates/bench/benches/wal_backend.rs
+
+crates/bench/benches/wal_backend.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/wal_properties-343c6cef24b55195.d: crates/wal/tests/wal_properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libwal_properties-343c6cef24b55195.rmeta: crates/wal/tests/wal_properties.rs Cargo.toml
+
+crates/wal/tests/wal_properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

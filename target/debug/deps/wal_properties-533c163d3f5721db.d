@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/wal_properties-533c163d3f5721db.d: crates/wal/tests/wal_properties.rs
+
+/root/repo/target/debug/deps/wal_properties-533c163d3f5721db: crates/wal/tests/wal_properties.rs
+
+crates/wal/tests/wal_properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/bank_audit-7fd06f742aa029af.d: examples/bank_audit.rs
+
+/root/repo/target/debug/examples/bank_audit-7fd06f742aa029af: examples/bank_audit.rs
+
+examples/bank_audit.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/bank_audit-c240bfb1ff045415.d: examples/bank_audit.rs Cargo.toml
+
+/root/repo/target/debug/examples/libbank_audit-c240bfb1ff045415.rmeta: examples/bank_audit.rs Cargo.toml
+
+examples/bank_audit.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

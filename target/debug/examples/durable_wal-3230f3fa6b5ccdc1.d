@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/durable_wal-3230f3fa6b5ccdc1.d: examples/durable_wal.rs Cargo.toml
+
+/root/repo/target/debug/examples/libdurable_wal-3230f3fa6b5ccdc1.rmeta: examples/durable_wal.rs Cargo.toml
+
+examples/durable_wal.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

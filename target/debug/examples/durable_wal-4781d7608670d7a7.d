@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/durable_wal-4781d7608670d7a7.d: examples/durable_wal.rs
+
+/root/repo/target/debug/examples/durable_wal-4781d7608670d7a7: examples/durable_wal.rs
+
+examples/durable_wal.rs:

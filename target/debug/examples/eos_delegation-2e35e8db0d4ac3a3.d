@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/eos_delegation-2e35e8db0d4ac3a3.d: examples/eos_delegation.rs Cargo.toml
+
+/root/repo/target/debug/examples/libeos_delegation-2e35e8db0d4ac3a3.rmeta: examples/eos_delegation.rs Cargo.toml
+
+examples/eos_delegation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

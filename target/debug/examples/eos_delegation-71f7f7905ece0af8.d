@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/eos_delegation-71f7f7905ece0af8.d: examples/eos_delegation.rs
+
+/root/repo/target/debug/examples/eos_delegation-71f7f7905ece0af8: examples/eos_delegation.rs
+
+examples/eos_delegation.rs:

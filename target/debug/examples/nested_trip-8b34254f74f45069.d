@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/nested_trip-8b34254f74f45069.d: examples/nested_trip.rs
+
+/root/repo/target/debug/examples/nested_trip-8b34254f74f45069: examples/nested_trip.rs
+
+examples/nested_trip.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/nested_trip-92a30f478c8a7c0b.d: examples/nested_trip.rs Cargo.toml
+
+/root/repo/target/debug/examples/libnested_trip-92a30f478c8a7c0b.rmeta: examples/nested_trip.rs Cargo.toml
+
+examples/nested_trip.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

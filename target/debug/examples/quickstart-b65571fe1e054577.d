@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-b65571fe1e054577.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-b65571fe1e054577: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/reporting_pipeline-425226e903f8d779.d: examples/reporting_pipeline.rs Cargo.toml
+
+/root/repo/target/debug/examples/libreporting_pipeline-425226e903f8d779.rmeta: examples/reporting_pipeline.rs Cargo.toml
+
+examples/reporting_pipeline.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

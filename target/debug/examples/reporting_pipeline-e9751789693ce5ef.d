@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/reporting_pipeline-e9751789693ce5ef.d: examples/reporting_pipeline.rs
+
+/root/repo/target/debug/examples/reporting_pipeline-e9751789693ce5ef: examples/reporting_pipeline.rs
+
+examples/reporting_pipeline.rs:

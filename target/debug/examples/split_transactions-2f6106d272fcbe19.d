@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/split_transactions-2f6106d272fcbe19.d: examples/split_transactions.rs Cargo.toml
+
+/root/repo/target/debug/examples/libsplit_transactions-2f6106d272fcbe19.rmeta: examples/split_transactions.rs Cargo.toml
+
+examples/split_transactions.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

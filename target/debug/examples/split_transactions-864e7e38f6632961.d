@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/split_transactions-864e7e38f6632961.d: examples/split_transactions.rs
+
+/root/repo/target/debug/examples/split_transactions-864e7e38f6632961: examples/split_transactions.rs
+
+examples/split_transactions.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/aries_rh-51177cba93d5f040.d: src/lib.rs
+
+/root/repo/target/release/deps/libaries_rh-51177cba93d5f040.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libaries_rh-51177cba93d5f040.rmeta: src/lib.rs
+
+src/lib.rs:

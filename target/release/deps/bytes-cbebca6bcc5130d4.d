@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/bytes-cbebca6bcc5130d4.d: crates/compat/bytes/src/lib.rs
+
+/root/repo/target/release/deps/libbytes-cbebca6bcc5130d4.rlib: crates/compat/bytes/src/lib.rs
+
+/root/repo/target/release/deps/libbytes-cbebca6bcc5130d4.rmeta: crates/compat/bytes/src/lib.rs
+
+crates/compat/bytes/src/lib.rs:

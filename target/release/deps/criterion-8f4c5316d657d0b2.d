@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/criterion-8f4c5316d657d0b2.d: crates/compat/criterion/src/lib.rs
+
+/root/repo/target/release/deps/libcriterion-8f4c5316d657d0b2.rlib: crates/compat/criterion/src/lib.rs
+
+/root/repo/target/release/deps/libcriterion-8f4c5316d657d0b2.rmeta: crates/compat/criterion/src/lib.rs
+
+crates/compat/criterion/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/experiments-7de4a663f4f27314.d: crates/bench/src/bin/experiments.rs
+
+/root/repo/target/release/deps/experiments-7de4a663f4f27314: crates/bench/src/bin/experiments.rs
+
+crates/bench/src/bin/experiments.rs:

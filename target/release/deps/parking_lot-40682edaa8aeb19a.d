@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/parking_lot-40682edaa8aeb19a.d: crates/compat/parking_lot/src/lib.rs
+
+/root/repo/target/release/deps/libparking_lot-40682edaa8aeb19a.rlib: crates/compat/parking_lot/src/lib.rs
+
+/root/repo/target/release/deps/libparking_lot-40682edaa8aeb19a.rmeta: crates/compat/parking_lot/src/lib.rs
+
+crates/compat/parking_lot/src/lib.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/proptest-3291a966f8ea6afc.d: crates/compat/proptest/src/lib.rs crates/compat/proptest/src/arbitrary.rs crates/compat/proptest/src/collection.rs crates/compat/proptest/src/strategy.rs crates/compat/proptest/src/test_runner.rs
+
+/root/repo/target/release/deps/libproptest-3291a966f8ea6afc.rlib: crates/compat/proptest/src/lib.rs crates/compat/proptest/src/arbitrary.rs crates/compat/proptest/src/collection.rs crates/compat/proptest/src/strategy.rs crates/compat/proptest/src/test_runner.rs
+
+/root/repo/target/release/deps/libproptest-3291a966f8ea6afc.rmeta: crates/compat/proptest/src/lib.rs crates/compat/proptest/src/arbitrary.rs crates/compat/proptest/src/collection.rs crates/compat/proptest/src/strategy.rs crates/compat/proptest/src/test_runner.rs
+
+crates/compat/proptest/src/lib.rs:
+crates/compat/proptest/src/arbitrary.rs:
+crates/compat/proptest/src/collection.rs:
+crates/compat/proptest/src/strategy.rs:
+crates/compat/proptest/src/test_runner.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/rand-5cd9ab1c14fad377.d: crates/compat/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-5cd9ab1c14fad377.rlib: crates/compat/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-5cd9ab1c14fad377.rmeta: crates/compat/rand/src/lib.rs
+
+crates/compat/rand/src/lib.rs:

@@ -1,0 +1,20 @@
+/root/repo/target/release/deps/rh_bench-3717ea908648d5b6.d: crates/bench/src/lib.rs crates/bench/src/experiments/mod.rs crates/bench/src/experiments/e10_pool_ablation.rs crates/bench/src/experiments/e1_no_delegation.rs crates/bench/src/experiments/e2_delegation_cost.rs crates/bench/src/experiments/e3_rewrite_strategies.rs crates/bench/src/experiments/e4_cluster_skipping.rs crates/bench/src/experiments/e5_fig2.rs crates/bench/src/experiments/e6_forward_pass.rs crates/bench/src/experiments/e7_eos.rs crates/bench/src/experiments/e8_etm.rs crates/bench/src/experiments/e9_checkpoint_ablation.rs crates/bench/src/harness.rs crates/bench/src/table.rs
+
+/root/repo/target/release/deps/librh_bench-3717ea908648d5b6.rlib: crates/bench/src/lib.rs crates/bench/src/experiments/mod.rs crates/bench/src/experiments/e10_pool_ablation.rs crates/bench/src/experiments/e1_no_delegation.rs crates/bench/src/experiments/e2_delegation_cost.rs crates/bench/src/experiments/e3_rewrite_strategies.rs crates/bench/src/experiments/e4_cluster_skipping.rs crates/bench/src/experiments/e5_fig2.rs crates/bench/src/experiments/e6_forward_pass.rs crates/bench/src/experiments/e7_eos.rs crates/bench/src/experiments/e8_etm.rs crates/bench/src/experiments/e9_checkpoint_ablation.rs crates/bench/src/harness.rs crates/bench/src/table.rs
+
+/root/repo/target/release/deps/librh_bench-3717ea908648d5b6.rmeta: crates/bench/src/lib.rs crates/bench/src/experiments/mod.rs crates/bench/src/experiments/e10_pool_ablation.rs crates/bench/src/experiments/e1_no_delegation.rs crates/bench/src/experiments/e2_delegation_cost.rs crates/bench/src/experiments/e3_rewrite_strategies.rs crates/bench/src/experiments/e4_cluster_skipping.rs crates/bench/src/experiments/e5_fig2.rs crates/bench/src/experiments/e6_forward_pass.rs crates/bench/src/experiments/e7_eos.rs crates/bench/src/experiments/e8_etm.rs crates/bench/src/experiments/e9_checkpoint_ablation.rs crates/bench/src/harness.rs crates/bench/src/table.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/experiments/mod.rs:
+crates/bench/src/experiments/e10_pool_ablation.rs:
+crates/bench/src/experiments/e1_no_delegation.rs:
+crates/bench/src/experiments/e2_delegation_cost.rs:
+crates/bench/src/experiments/e3_rewrite_strategies.rs:
+crates/bench/src/experiments/e4_cluster_skipping.rs:
+crates/bench/src/experiments/e5_fig2.rs:
+crates/bench/src/experiments/e6_forward_pass.rs:
+crates/bench/src/experiments/e7_eos.rs:
+crates/bench/src/experiments/e8_etm.rs:
+crates/bench/src/experiments/e9_checkpoint_ablation.rs:
+crates/bench/src/harness.rs:
+crates/bench/src/table.rs:

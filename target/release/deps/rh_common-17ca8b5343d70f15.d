@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/rh_common-17ca8b5343d70f15.d: crates/common/src/lib.rs crates/common/src/codec.rs crates/common/src/error.rs crates/common/src/ids.rs crates/common/src/lsn.rs crates/common/src/ops.rs
+
+/root/repo/target/release/deps/librh_common-17ca8b5343d70f15.rlib: crates/common/src/lib.rs crates/common/src/codec.rs crates/common/src/error.rs crates/common/src/ids.rs crates/common/src/lsn.rs crates/common/src/ops.rs
+
+/root/repo/target/release/deps/librh_common-17ca8b5343d70f15.rmeta: crates/common/src/lib.rs crates/common/src/codec.rs crates/common/src/error.rs crates/common/src/ids.rs crates/common/src/lsn.rs crates/common/src/ops.rs
+
+crates/common/src/lib.rs:
+crates/common/src/codec.rs:
+crates/common/src/error.rs:
+crates/common/src/ids.rs:
+crates/common/src/lsn.rs:
+crates/common/src/ops.rs:

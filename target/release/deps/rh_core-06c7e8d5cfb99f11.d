@@ -1,0 +1,19 @@
+/root/repo/target/release/deps/rh_core-06c7e8d5cfb99f11.d: crates/core/src/lib.rs crates/core/src/api.rs crates/core/src/checkpoint.rs crates/core/src/eager.rs crates/core/src/engine.rs crates/core/src/history.rs crates/core/src/oblist.rs crates/core/src/recovery/mod.rs crates/core/src/recovery/backward.rs crates/core/src/recovery/clusters.rs crates/core/src/recovery/forward.rs crates/core/src/scope.rs crates/core/src/txn_table.rs
+
+/root/repo/target/release/deps/librh_core-06c7e8d5cfb99f11.rlib: crates/core/src/lib.rs crates/core/src/api.rs crates/core/src/checkpoint.rs crates/core/src/eager.rs crates/core/src/engine.rs crates/core/src/history.rs crates/core/src/oblist.rs crates/core/src/recovery/mod.rs crates/core/src/recovery/backward.rs crates/core/src/recovery/clusters.rs crates/core/src/recovery/forward.rs crates/core/src/scope.rs crates/core/src/txn_table.rs
+
+/root/repo/target/release/deps/librh_core-06c7e8d5cfb99f11.rmeta: crates/core/src/lib.rs crates/core/src/api.rs crates/core/src/checkpoint.rs crates/core/src/eager.rs crates/core/src/engine.rs crates/core/src/history.rs crates/core/src/oblist.rs crates/core/src/recovery/mod.rs crates/core/src/recovery/backward.rs crates/core/src/recovery/clusters.rs crates/core/src/recovery/forward.rs crates/core/src/scope.rs crates/core/src/txn_table.rs
+
+crates/core/src/lib.rs:
+crates/core/src/api.rs:
+crates/core/src/checkpoint.rs:
+crates/core/src/eager.rs:
+crates/core/src/engine.rs:
+crates/core/src/history.rs:
+crates/core/src/oblist.rs:
+crates/core/src/recovery/mod.rs:
+crates/core/src/recovery/backward.rs:
+crates/core/src/recovery/clusters.rs:
+crates/core/src/recovery/forward.rs:
+crates/core/src/scope.rs:
+crates/core/src/txn_table.rs:

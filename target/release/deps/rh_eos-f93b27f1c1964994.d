@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/rh_eos-f93b27f1c1964994.d: crates/eos/src/lib.rs crates/eos/src/engine.rs crates/eos/src/global.rs crates/eos/src/private.rs
+
+/root/repo/target/release/deps/librh_eos-f93b27f1c1964994.rlib: crates/eos/src/lib.rs crates/eos/src/engine.rs crates/eos/src/global.rs crates/eos/src/private.rs
+
+/root/repo/target/release/deps/librh_eos-f93b27f1c1964994.rmeta: crates/eos/src/lib.rs crates/eos/src/engine.rs crates/eos/src/global.rs crates/eos/src/private.rs
+
+crates/eos/src/lib.rs:
+crates/eos/src/engine.rs:
+crates/eos/src/global.rs:
+crates/eos/src/private.rs:

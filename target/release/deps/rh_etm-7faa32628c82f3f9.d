@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/rh_etm-7faa32628c82f3f9.d: crates/etm/src/lib.rs crates/etm/src/cotxn.rs crates/etm/src/deps.rs crates/etm/src/joint.rs crates/etm/src/nested.rs crates/etm/src/reporting.rs crates/etm/src/session.rs crates/etm/src/split.rs
+
+/root/repo/target/release/deps/librh_etm-7faa32628c82f3f9.rlib: crates/etm/src/lib.rs crates/etm/src/cotxn.rs crates/etm/src/deps.rs crates/etm/src/joint.rs crates/etm/src/nested.rs crates/etm/src/reporting.rs crates/etm/src/session.rs crates/etm/src/split.rs
+
+/root/repo/target/release/deps/librh_etm-7faa32628c82f3f9.rmeta: crates/etm/src/lib.rs crates/etm/src/cotxn.rs crates/etm/src/deps.rs crates/etm/src/joint.rs crates/etm/src/nested.rs crates/etm/src/reporting.rs crates/etm/src/session.rs crates/etm/src/split.rs
+
+crates/etm/src/lib.rs:
+crates/etm/src/cotxn.rs:
+crates/etm/src/deps.rs:
+crates/etm/src/joint.rs:
+crates/etm/src/nested.rs:
+crates/etm/src/reporting.rs:
+crates/etm/src/session.rs:
+crates/etm/src/split.rs:

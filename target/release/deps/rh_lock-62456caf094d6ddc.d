@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/rh_lock-62456caf094d6ddc.d: crates/lockmgr/src/lib.rs crates/lockmgr/src/manager.rs crates/lockmgr/src/modes.rs crates/lockmgr/src/table.rs crates/lockmgr/src/waits.rs
+
+/root/repo/target/release/deps/librh_lock-62456caf094d6ddc.rlib: crates/lockmgr/src/lib.rs crates/lockmgr/src/manager.rs crates/lockmgr/src/modes.rs crates/lockmgr/src/table.rs crates/lockmgr/src/waits.rs
+
+/root/repo/target/release/deps/librh_lock-62456caf094d6ddc.rmeta: crates/lockmgr/src/lib.rs crates/lockmgr/src/manager.rs crates/lockmgr/src/modes.rs crates/lockmgr/src/table.rs crates/lockmgr/src/waits.rs
+
+crates/lockmgr/src/lib.rs:
+crates/lockmgr/src/manager.rs:
+crates/lockmgr/src/modes.rs:
+crates/lockmgr/src/table.rs:
+crates/lockmgr/src/waits.rs:

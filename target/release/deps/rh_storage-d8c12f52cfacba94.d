@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/rh_storage-d8c12f52cfacba94.d: crates/storage/src/lib.rs crates/storage/src/disk.rs crates/storage/src/metrics.rs crates/storage/src/page.rs crates/storage/src/pool.rs
+
+/root/repo/target/release/deps/librh_storage-d8c12f52cfacba94.rlib: crates/storage/src/lib.rs crates/storage/src/disk.rs crates/storage/src/metrics.rs crates/storage/src/page.rs crates/storage/src/pool.rs
+
+/root/repo/target/release/deps/librh_storage-d8c12f52cfacba94.rmeta: crates/storage/src/lib.rs crates/storage/src/disk.rs crates/storage/src/metrics.rs crates/storage/src/page.rs crates/storage/src/pool.rs
+
+crates/storage/src/lib.rs:
+crates/storage/src/disk.rs:
+crates/storage/src/metrics.rs:
+crates/storage/src/page.rs:
+crates/storage/src/pool.rs:

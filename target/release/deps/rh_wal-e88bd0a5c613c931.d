@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/rh_wal-e88bd0a5c613c931.d: crates/wal/src/lib.rs crates/wal/src/chain.rs crates/wal/src/filelog.rs crates/wal/src/frame.rs crates/wal/src/io.rs crates/wal/src/log.rs crates/wal/src/metrics.rs crates/wal/src/record.rs crates/wal/src/segment.rs
+
+/root/repo/target/release/deps/librh_wal-e88bd0a5c613c931.rlib: crates/wal/src/lib.rs crates/wal/src/chain.rs crates/wal/src/filelog.rs crates/wal/src/frame.rs crates/wal/src/io.rs crates/wal/src/log.rs crates/wal/src/metrics.rs crates/wal/src/record.rs crates/wal/src/segment.rs
+
+/root/repo/target/release/deps/librh_wal-e88bd0a5c613c931.rmeta: crates/wal/src/lib.rs crates/wal/src/chain.rs crates/wal/src/filelog.rs crates/wal/src/frame.rs crates/wal/src/io.rs crates/wal/src/log.rs crates/wal/src/metrics.rs crates/wal/src/record.rs crates/wal/src/segment.rs
+
+crates/wal/src/lib.rs:
+crates/wal/src/chain.rs:
+crates/wal/src/filelog.rs:
+crates/wal/src/frame.rs:
+crates/wal/src/io.rs:
+crates/wal/src/log.rs:
+crates/wal/src/metrics.rs:
+crates/wal/src/record.rs:
+crates/wal/src/segment.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/rh_workload-5c62ae91629ea516.d: crates/workload/src/lib.rs crates/workload/src/gen.rs crates/workload/src/spec.rs
+
+/root/repo/target/release/deps/librh_workload-5c62ae91629ea516.rlib: crates/workload/src/lib.rs crates/workload/src/gen.rs crates/workload/src/spec.rs
+
+/root/repo/target/release/deps/librh_workload-5c62ae91629ea516.rmeta: crates/workload/src/lib.rs crates/workload/src/gen.rs crates/workload/src/spec.rs
+
+crates/workload/src/lib.rs:
+crates/workload/src/gen.rs:
+crates/workload/src/spec.rs:

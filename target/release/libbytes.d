@@ -1,0 +1,1 @@
+/root/repo/target/release/libbytes.rlib: /root/repo/crates/compat/bytes/src/lib.rs
