@@ -1,24 +1,61 @@
-//! Regenerates the paper-claim experiments (E1–E10) and prints their
-//! tables. `EXPERIMENTS.md` records a full run.
+//! Regenerates the paper-claim experiments (E1–E10), prints their
+//! tables, and writes one JSON metrics/timeline artifact per experiment.
+//! `EXPERIMENTS.md` records a full run and documents the artifact schema.
 //!
 //! ```text
 //! cargo run --release -p rh-bench --bin experiments           # all, full scale
 //! cargo run --release -p rh-bench --bin experiments -- e3 e4  # a subset
 //! cargo run -p rh-bench --bin experiments -- --quick all      # smoke sizes
 //! cargo run -p rh-bench --bin experiments -- --smoke          # CI gate
+//! cargo run -p rh-bench --bin experiments -- --out-dir=/tmp/obs e1
 //! ```
 //!
-//! `--smoke` runs every requested experiment at tiny sizes and asserts
-//! that each one produced at least one table — CI uses it to catch
+//! `--smoke` runs every requested experiment at tiny sizes, asserts that
+//! each one produced at least one table, and re-parses every written
+//! artifact to check it is well-formed JSON carrying the log, disk,
+//! scope-table, and recovery-timeline metrics — CI uses it to catch
 //! experiments that panic, hang, or silently go empty, in seconds.
 
 use rh_bench::experiments::{self, Scale};
+use rh_bench::obs_export;
+use rh_obs::JsonValue;
+use std::path::PathBuf;
+
+/// Keys every artifact's probe must carry for the smoke gate to pass.
+const REQUIRED_COUNTERS: [&str; 4] =
+    ["log.appends", "disk.page_reads", "scope.opens", "recovery.runs"];
+
+fn validate_artifact(path: &std::path::Path) -> Result<(), String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("read: {e}"))?;
+    let parsed = rh_obs::json::parse(&text).map_err(|e| format!("parse: {e:?}"))?;
+    let probe = parsed.get("probe").ok_or("no probe")?;
+    let counters =
+        probe.get("metrics").and_then(|m| m.get("counters")).ok_or("no metrics.counters")?;
+    for key in REQUIRED_COUNTERS {
+        counters.get(key).and_then(JsonValue::as_u64).ok_or(format!("counter {key} missing"))?;
+    }
+    let events = probe
+        .get("timeline")
+        .and_then(|t| t.get("events"))
+        .and_then(JsonValue::as_arr)
+        .ok_or("no timeline.events")?;
+    if events.is_empty() {
+        return Err("empty recovery timeline".into());
+    }
+    probe.get("recovery").ok_or("no recovery report")?;
+    Ok(())
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let smoke = args.iter().any(|a| a == "--smoke");
     let quick = smoke || args.iter().any(|a| a == "--quick");
     let scale = if quick { Scale::Quick } else { Scale::Full };
+    let out_dir: PathBuf = args
+        .iter()
+        .find_map(|a| a.strip_prefix("--out-dir="))
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("target/obs"));
     let ids: Vec<String> =
         args.iter().filter(|a| !a.starts_with("--")).map(|a| a.to_lowercase()).collect();
     let ids: Vec<&str> = if ids.is_empty() || ids.iter().any(|a| a == "all") {
@@ -29,7 +66,8 @@ fn main() {
 
     println!("# ARIES/RH experiments ({:?} scale)\n", scale);
     let mut ran = 0usize;
-    for id in ids {
+    let mut artifacts: Vec<PathBuf> = Vec::new();
+    for (i, id) in ids.iter().enumerate() {
         match experiments::run(id, scale) {
             None => {
                 eprintln!("unknown experiment id: {id} (known: {:?})", experiments::ALL);
@@ -40,14 +78,32 @@ fn main() {
                     eprintln!("smoke FAILED: experiment {id} produced no tables");
                     std::process::exit(1);
                 }
-                for t in tables {
+                for t in &tables {
                     t.print();
+                }
+                let probe = obs_export::canonical_probe(scale, i as u64 + 1);
+                let art = obs_export::artifact(id, scale, &tables, probe);
+                match obs_export::write_artifact(&out_dir, id, &art) {
+                    Ok(path) => {
+                        println!("[artifact] {}", path.display());
+                        artifacts.push(path);
+                    }
+                    Err(e) => {
+                        eprintln!("failed to write artifact for {id}: {e}");
+                        std::process::exit(1);
+                    }
                 }
                 ran += 1;
             }
         }
     }
     if smoke {
-        println!("smoke OK: {ran} experiments completed");
+        for path in &artifacts {
+            if let Err(e) = validate_artifact(path) {
+                eprintln!("smoke FAILED: bad artifact {}: {e}", path.display());
+                std::process::exit(1);
+            }
+        }
+        println!("smoke OK: {ran} experiments completed, {} artifacts verified", artifacts.len());
     }
 }

@@ -12,6 +12,7 @@
 
 pub mod experiments;
 pub mod harness;
+pub mod obs_export;
 pub mod table;
 
 pub use harness::{measure, timed, Measurement};

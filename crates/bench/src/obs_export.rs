@@ -1,0 +1,161 @@
+//! JSON metric/timeline artifacts for the experiment harness.
+//!
+//! Every `experiments` run (including `--smoke`) writes one JSON file per
+//! experiment: `{experiment, scale, tables, probe}`. The `probe` is a
+//! full observability report from an instrumented crash-recovery run —
+//! unified `log.*`/`disk.*`/`lock.*`/`scope.*`/`recovery.*` metrics, the
+//! recovery trace timeline, and the structured [`RecoveryReport`] — so
+//! the artifact carries machine-readable evidence for the §4.2 claims
+//! alongside the human-readable tables. See EXPERIMENTS.md for the
+//! schema.
+
+use crate::experiments::Scale;
+use crate::table::Table;
+use rh_core::engine::{RhDb, Strategy};
+use rh_core::history::replay_engine;
+use rh_core::recovery::RecoveryReport;
+use rh_core::TxnEngine;
+use rh_obs::JsonValue;
+use rh_workload::{delegation_mix, WorkloadSpec};
+use std::path::{Path, PathBuf};
+
+/// Renders a [`RecoveryReport`] as a JSON object.
+pub fn recovery_report_json(r: &RecoveryReport) -> JsonValue {
+    JsonValue::obj(vec![
+        (
+            "forward",
+            JsonValue::obj(vec![
+                ("redo_from", JsonValue::U64(r.forward.redo_from.raw())),
+                ("records_scanned", JsonValue::U64(r.forward.records_scanned)),
+                ("redone", JsonValue::U64(r.forward.redone)),
+                ("commits_seen", JsonValue::U64(r.forward.commits_seen)),
+                ("aborts_seen", JsonValue::U64(r.forward.aborts_seen)),
+                ("delegations_seen", JsonValue::U64(r.forward.delegations_seen)),
+                ("wall_us", JsonValue::U64(r.forward_wall.as_micros() as u64)),
+            ]),
+        ),
+        (
+            "undo",
+            JsonValue::obj(vec![
+                ("visited", JsonValue::U64(r.undo.visited)),
+                ("undone", JsonValue::U64(r.undo.undone)),
+                ("skipped_compensated", JsonValue::U64(r.undo.skipped_compensated)),
+                ("clusters", JsonValue::U64(r.undo.clusters)),
+                ("rewrites", JsonValue::U64(r.undo.rewrites)),
+                ("wall_us", JsonValue::U64(r.undo_wall.as_micros() as u64)),
+            ]),
+        ),
+        ("losers", JsonValue::U64(r.losers.len() as u64)),
+        ("winners_seen", JsonValue::U64(r.winners_seen)),
+        ("elapsed_us", JsonValue::U64(r.elapsed.as_micros() as u64)),
+        (
+            "log_delta",
+            JsonValue::obj(vec![
+                ("appends", JsonValue::U64(r.log_delta.appends)),
+                ("records_read", JsonValue::U64(r.log_delta.records_read)),
+                ("seeks", JsonValue::U64(r.log_delta.seeks)),
+                ("in_place_rewrites", JsonValue::U64(r.log_delta.in_place_rewrites)),
+            ]),
+        ),
+        (
+            "disk_delta",
+            JsonValue::obj(vec![
+                ("page_reads", JsonValue::U64(r.disk_delta.page_reads)),
+                ("page_writes", JsonValue::U64(r.disk_delta.page_writes)),
+            ]),
+        ),
+    ])
+}
+
+/// Full observability report for an engine: unified metrics (absorbing
+/// the current log/disk/lock counters), the trace timeline, and — when
+/// the engine came out of restart recovery — the structured report.
+pub fn engine_report(db: &RhDb) -> JsonValue {
+    let mut fields =
+        vec![("metrics", db.stats().to_json()), ("timeline", db.trace_snapshot().to_json())];
+    if let Some(r) = db.last_recovery() {
+        fields.push(("recovery", recovery_report_json(r)));
+    }
+    JsonValue::obj(fields)
+}
+
+/// Runs the canonical instrumented crash-recovery scenario (a delegation
+/// mix with stragglers, crashed and recovered under ARIES/RH) and
+/// returns its [`engine_report`]. `seed` varies the workload so each
+/// experiment's artifact carries an independent run.
+pub fn canonical_probe(scale: Scale, seed: u64) -> JsonValue {
+    let spec = WorkloadSpec {
+        txns: scale.pick(40, 400),
+        updates_per_txn: 4,
+        objects_per_txn: 2,
+        delegation_rate: 0.5,
+        chain_len: 2,
+        straggler_rate: 0.3,
+        abort_rate: 0.1,
+        seed,
+        ..WorkloadSpec::default()
+    };
+    let events = delegation_mix(&spec);
+    let engine = replay_engine(RhDb::new(Strategy::Rh), &events).expect("probe replay");
+    engine.log().flush_all().expect("probe flush");
+    let engine = engine.crash_and_recover().expect("probe recovery");
+    engine_report(&engine)
+}
+
+/// Assembles one experiment's artifact object.
+pub fn artifact(id: &str, scale: Scale, tables: &[Table], probe: JsonValue) -> JsonValue {
+    JsonValue::obj(vec![
+        ("experiment", JsonValue::Str(id.to_string())),
+        ("scale", JsonValue::Str(format!("{scale:?}").to_lowercase())),
+        ("tables", JsonValue::Arr(tables.iter().map(Table::to_json).collect())),
+        ("probe", probe),
+    ])
+}
+
+/// Writes an artifact as pretty-printed JSON to `dir/<id>.json`,
+/// creating `dir` if needed. Returns the written path.
+pub fn write_artifact(dir: &Path, id: &str, value: &JsonValue) -> std::io::Result<PathBuf> {
+    std::fs::create_dir_all(dir)?;
+    let path = dir.join(format!("{id}.json"));
+    std::fs::write(&path, value.render_pretty())?;
+    Ok(path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn canonical_probe_carries_all_metric_families() {
+        let probe = canonical_probe(Scale::Quick, 7);
+        let metrics = probe.get("metrics").expect("metrics");
+        for key in ["counters", "histograms"] {
+            assert!(metrics.get(key).is_some(), "metrics.{key} missing");
+        }
+        let counters = metrics.get("counters").unwrap();
+        for key in ["log.appends", "disk.page_reads", "scope.opens", "recovery.runs"] {
+            assert!(counters.get(key).is_some(), "counter {key} missing");
+        }
+        // The RH probe never rewrites the log in place.
+        assert_eq!(counters.get("log.in_place_rewrites").and_then(JsonValue::as_u64), Some(0));
+        let timeline = probe.get("timeline").expect("timeline");
+        let events = timeline.get("events").and_then(JsonValue::as_arr).expect("events");
+        assert!(!events.is_empty(), "recovery left no trace events");
+        assert!(probe.get("recovery").is_some(), "recovery report missing");
+    }
+
+    #[test]
+    fn artifact_roundtrips_through_the_parser() {
+        let mut t = Table::new("demo", &["a", "b"]);
+        t.row(vec!["1".into(), "2".into()]);
+        let art = artifact("e0", Scale::Quick, &[t], JsonValue::Null);
+        let text = art.render_pretty();
+        let parsed = rh_obs::json::parse(&text).expect("parse back");
+        assert_eq!(
+            parsed.get("experiment").and_then(|v| v.as_str().map(String::from)),
+            Some("e0".to_string())
+        );
+        let tables = parsed.get("tables").and_then(JsonValue::as_arr).unwrap();
+        assert_eq!(tables.len(), 1);
+    }
+}

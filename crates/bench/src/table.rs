@@ -52,6 +52,33 @@ impl Table {
         out
     }
 
+    /// The table's title.
+    pub fn title(&self) -> &str {
+        &self.title
+    }
+
+    /// The column headers.
+    pub fn headers(&self) -> &[String] {
+        &self.headers
+    }
+
+    /// The data rows.
+    pub fn rows(&self) -> &[Vec<String>] {
+        &self.rows
+    }
+
+    /// Renders the table as `{title, headers, rows}` for JSON artifacts.
+    pub fn to_json(&self) -> rh_obs::JsonValue {
+        use rh_obs::JsonValue;
+        let strs =
+            |v: &[String]| JsonValue::Arr(v.iter().map(|s| JsonValue::Str(s.clone())).collect());
+        JsonValue::obj(vec![
+            ("title", JsonValue::Str(self.title.clone())),
+            ("headers", strs(&self.headers)),
+            ("rows", JsonValue::Arr(self.rows.iter().map(|r| strs(r)).collect())),
+        ])
+    }
+
     /// Prints to stdout.
     pub fn print(&self) {
         for line in self.render() {

@@ -22,6 +22,7 @@ use rh_common::codec::Codec;
 use rh_common::ops::Value;
 use rh_common::{Lsn, ObjectId, Result, RhError, TxnId, UpdateOp};
 use rh_lock::{LockManager, LockMode};
+use rh_obs::{names, Obs};
 use rh_storage::{BufferPool, Disk};
 use rh_wal::record::{DelegateBody, RecordBody};
 use rh_wal::{LogManager, StableLog};
@@ -67,6 +68,10 @@ pub struct RhDb {
     /// the forward pass rebuilds the equivalent set from logged CLRs.)
     compensated: std::collections::HashSet<Lsn>,
     last_recovery: Option<RecoveryReport>,
+    /// Unified tracer + metrics registry. Shared (`Arc`) so recovery can
+    /// hand its timeline to the engine it constructs, and so callers can
+    /// keep observing after the engine moves.
+    obs: Arc<Obs>,
 }
 
 impl RhDb {
@@ -91,6 +96,7 @@ impl RhDb {
             next_txn: 0,
             compensated: std::collections::HashSet::new(),
             last_recovery: None,
+            obs: Arc::new(Obs::new()),
         }
     }
 
@@ -115,12 +121,15 @@ impl RhDb {
             next_txn: 0,
             compensated: std::collections::HashSet::new(),
             last_recovery: None,
+            obs: Arc::new(Obs::new()),
         }
     }
 
     /// (Re)constructs an engine over existing stable state **without**
     /// running recovery — used internally and by tests that want to
-    /// inspect a broken state.
+    /// inspect a broken state. The caller supplies the [`Obs`] so a
+    /// recovery's trace survives into the engine it produced.
+    #[allow(clippy::too_many_arguments)]
     pub(crate) fn from_parts(
         strategy: Strategy,
         config: DbConfig,
@@ -129,6 +138,7 @@ impl RhDb {
         pool: BufferPool,
         tr: TrList,
         next_txn: u64,
+        obs: Arc<Obs>,
     ) -> Self {
         RhDb {
             strategy,
@@ -141,6 +151,7 @@ impl RhDb {
             next_txn,
             compensated: std::collections::HashSet::new(),
             last_recovery: None,
+            obs,
         }
     }
 
@@ -170,6 +181,29 @@ impl RhDb {
     /// Report of the recovery that produced this incarnation, if any.
     pub fn last_recovery(&self) -> Option<&RecoveryReport> {
         self.last_recovery.as_ref()
+    }
+
+    /// The engine's observability hub (tracer + metrics registry).
+    pub fn obs(&self) -> &Arc<Obs> {
+        &self.obs
+    }
+
+    /// One-stop metrics snapshot: absorbs the current log, disk, and
+    /// lock-manager counters into the unified registry (under `log.*`,
+    /// `disk.*`, `lock.*`) and returns the whole registry — engine-level
+    /// `scope.*`/`recovery.*` series included. Idempotent: absorption
+    /// writes absolute values.
+    pub fn stats(&self) -> rh_obs::RegistrySnapshot {
+        self.log.metrics().snapshot().export_into(&self.obs.registry);
+        self.disk.metrics().snapshot().export_into(&self.obs.registry);
+        self.locks.stats().snapshot().export_into(&self.obs.registry);
+        self.obs.registry.snapshot()
+    }
+
+    /// Captures the trace ring (recovery timeline, spans, delegate and
+    /// sweep events) without disturbing it.
+    pub fn trace_snapshot(&self) -> rh_obs::TraceSnapshot {
+        self.obs.tracer.snapshot()
     }
 
     /// Number of transactions currently in the table.
@@ -244,7 +278,10 @@ impl RhDb {
     fn apply_update(&mut self, txn: TxnId, ob: ObjectId, op: UpdateOp) -> Result<()> {
         // §3.5 update: log it, adjust scopes, apply in place.
         let lsn = self.log_for_txn(txn, RecordBody::Update { ob, op })?;
-        self.tr.get_mut(txn)?.ob_list.record_update(ob, txn, lsn);
+        match self.tr.get_mut(txn)?.ob_list.record_update(ob, txn, lsn) {
+            crate::oblist::ScopeAction::Opened => self.obs.registry.inc(names::M_SCOPE_OPENS),
+            crate::oblist::ScopeAction::Extended => self.obs.registry.inc(names::M_SCOPE_EXTENDS),
+        }
         let cur = self.pool.read_object(ob, &*self.log)?;
         self.pool.write_object(ob, op.apply(cur), lsn, &*self.log)?;
         Ok(())
@@ -287,6 +324,8 @@ impl RhDb {
     /// by others and delegated here after the savepoint.
     pub fn rollback_to(&mut self, txn: TxnId, sp: Lsn) -> Result<()> {
         self.tr.require_active(txn)?;
+        let obs = Arc::clone(&self.obs);
+        let _span = obs.tracer.span_for_txn(names::SPAN_ROLLBACK, txn.raw());
         // Collect the portions of this transaction's scopes at/after sp.
         let mut to_undo: Vec<recovery::WalkScope> = Vec::new();
         for (ob, scope) in self.tr.get(txn)?.ob_list.all_scopes() {
@@ -306,13 +345,16 @@ impl RhDb {
             to_undo,
             &mut self.compensated,
             false,
+            &obs,
         )?;
         // Truncate the volatile scopes: drop parts at/after sp.
         let entry = self.tr.get_mut(txn)?;
-        let obs: Vec<ObjectId> = entry.ob_list.objects().collect();
-        for ob in obs {
-            entry.ob_list.truncate_scopes(ob, sp);
+        let objects: Vec<ObjectId> = entry.ob_list.objects().collect();
+        let mut splits = 0u64;
+        for ob in objects {
+            splits += entry.ob_list.truncate_scopes(ob, sp);
         }
+        obs.registry.add(names::M_SCOPE_SPLITS, splits);
         Ok(())
     }
 
@@ -329,7 +371,18 @@ impl RhDb {
     /// "sharp" end of the checkpointing spectrum; the recovery code also
     /// handles the fuzzy case (non-empty DPT) for generality.
     pub fn checkpoint(&mut self) -> Result<()> {
+        let obs = Arc::clone(&self.obs);
+        let span = obs.tracer.span(names::SPAN_CHECKPOINT);
+        let disk_before = self.disk.metrics().snapshot();
         self.pool.flush_all(&*self.log)?;
+        let flushed_pages = self.disk.metrics().snapshot().page_writes - disk_before.page_writes;
+        span.point(
+            names::EV_PAGE_FLUSH,
+            rh_obs::trace::NONE,
+            rh_obs::trace::NONE,
+            rh_obs::trace::NONE,
+            flushed_pages,
+        );
         let begin = self.log.append(TxnId::NONE, Lsn::NULL, RecordBody::CheckpointBegin);
         // Compensated LSNs that a live scope could still re-cover must
         // travel with the snapshot (their CLRs are behind the checkpoint
@@ -357,7 +410,17 @@ impl RhDb {
         );
         // Master only moves after the checkpoint is durable (see
         // StableLog::set_master docs).
+        let log_before = self.log.metrics().snapshot();
         self.log.flush_to(end)?;
+        let flushed_recs =
+            self.log.metrics().snapshot().records_flushed - log_before.records_flushed;
+        span.point(
+            names::EV_LOG_FLUSH,
+            rh_obs::trace::NONE,
+            end.raw(),
+            rh_obs::trace::NONE,
+            flushed_recs,
+        );
         self.log.stable().set_master(begin)?;
         Ok(())
     }
@@ -461,9 +524,10 @@ impl TxnEngine for RhDb {
         let tee_bc = self.tr.bc(tee)?;
         // 3. TRANSFER RESPONSIBILITY: move scopes, record the delegator,
         // and move the access rights (locks) with them.
+        let mut merged = 0u64;
         for &ob in obs {
             let entry = self.tr.get_mut(tor)?.ob_list.take(ob).expect("well-formedness checked");
-            self.tr.get_mut(tee)?.ob_list.absorb(ob, entry, tor);
+            merged += self.tr.get_mut(tee)?.ob_list.absorb(ob, entry, tor) as u64;
             self.locks.transfer(tor, tee, ob);
         }
         // 4. WRITE DELEGATION LOG RECORD; it becomes the head of *both*
@@ -475,6 +539,9 @@ impl TxnEngine for RhDb {
         );
         self.tr.set_bc(tor, lsn)?;
         self.tr.set_bc(tee, lsn)?;
+        self.obs.registry.inc(names::M_SCOPE_DELEGATES);
+        self.obs.registry.add(names::M_SCOPE_MERGES, merged);
+        self.obs.tracer.point(names::EV_DELEGATE, lsn.raw(), lsn.raw(), tor.raw(), tee.raw());
         Ok(())
     }
 
@@ -487,8 +554,9 @@ impl TxnEngine for RhDb {
         let tor_bc = self.tr.bc(tor)?;
         let tee_bc = self.tr.bc(tee)?;
         let drained = self.tr.get_mut(tor)?.ob_list.drain_all();
+        let mut merged = 0u64;
         for (ob, entry) in drained {
-            self.tr.get_mut(tee)?.ob_list.absorb(ob, entry, tor);
+            merged += self.tr.get_mut(tee)?.ob_list.absorb(ob, entry, tor) as u64;
         }
         self.locks.transfer_all(tor, tee);
         let lsn = self.log.append(
@@ -498,6 +566,9 @@ impl TxnEngine for RhDb {
         );
         self.tr.set_bc(tor, lsn)?;
         self.tr.set_bc(tee, lsn)?;
+        self.obs.registry.inc(names::M_SCOPE_DELEGATES);
+        self.obs.registry.add(names::M_SCOPE_MERGES, merged);
+        self.obs.tracer.point(names::EV_DELEGATE, lsn.raw(), lsn.raw(), tor.raw(), tee.raw());
         Ok(())
     }
 
@@ -514,6 +585,8 @@ impl TxnEngine for RhDb {
 
     fn abort(&mut self, txn: TxnId) -> Result<()> {
         self.tr.require_active(txn)?;
+        let obs = Arc::clone(&self.obs);
+        let _span = obs.tracer.span_for_txn(names::SPAN_ABORT, txn.raw());
         // §3.5 abort step 1: undo every update in the transaction's
         // scopes — which, after delegations, are exactly the updates it is
         // *responsible for*, not the ones it invoked. The shared
@@ -532,6 +605,7 @@ impl TxnEngine for RhDb {
             scopes,
             &mut self.compensated,
             false,
+            &obs,
         )?;
         // Step 2-3: abort record, then flush through it.
         let lsn = self.log_for_txn(txn, RecordBody::Abort)?;

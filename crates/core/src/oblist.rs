@@ -16,6 +16,17 @@ use rh_common::codec::{Codec, Reader, Writer};
 use rh_common::{Lsn, ObjectId, Result, TxnId};
 use std::collections::BTreeMap;
 
+/// What a scope-table update did — returned so callers can feed the
+/// unified metrics registry (`scope.opens` / `scope.extends`) without
+/// the table knowing about observability.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScopeAction {
+    /// A new scope was opened for the invoker.
+    Opened,
+    /// The invoker's newest scope was extended.
+    Extended,
+}
+
 /// The per-object entry inside one transaction's `Ob_List`.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct ObEntry {
@@ -32,8 +43,10 @@ impl ObEntry {
     /// Merges `incoming` scopes (from a delegation) into this entry —
     /// "We use a union because t2 may already be responsible for some
     /// operations on ob before receiving the delegation" (§3.5 remark).
-    pub fn absorb(&mut self, incoming: Vec<Scope>, from: TxnId) {
+    /// Returns how many scopes were merged in.
+    pub fn absorb(&mut self, incoming: Vec<Scope>, from: TxnId) -> usize {
         self.deleg = Some(from);
+        let merged = incoming.len();
         for s in incoming {
             debug_assert!(
                 self.scopes.iter().all(|own| own.invoker != s.invoker || !own.overlaps(&s)),
@@ -41,20 +54,23 @@ impl ObEntry {
             );
             self.scopes.push(s);
         }
+        merged
     }
 
     /// Records one update at `lsn` invoked by `who` (the owning
     /// transaction itself during normal processing; also called during the
     /// recovery forward pass). Opens a new scope or extends the newest
     /// scope of that invoker, per §3.5 `update` step 1.
-    pub fn record_update(&mut self, who: TxnId, lsn: Lsn) {
+    pub fn record_update(&mut self, who: TxnId, lsn: Lsn) -> ScopeAction {
         // Extend the invoker's most recent scope if one exists; later
         // scopes always have larger LSNs, so max-by-last is "current".
         if let Some(s) = self.scopes.iter_mut().filter(|s| s.invoker == who).max_by_key(|s| s.last)
         {
             s.extend(lsn);
+            ScopeAction::Extended
         } else {
             self.scopes.push(Scope::open(who, lsn));
+            ScopeAction::Opened
         }
     }
 
@@ -106,8 +122,8 @@ impl ObList {
     }
 
     /// Records an update by `who` on `ob` at `lsn` (§3.5 `update`).
-    pub fn record_update(&mut self, ob: ObjectId, who: TxnId, lsn: Lsn) {
-        self.entries.entry(ob).or_default().record_update(who, lsn);
+    pub fn record_update(&mut self, ob: ObjectId, who: TxnId, lsn: Lsn) -> ScopeAction {
+        self.entries.entry(ob).or_default().record_update(who, lsn)
     }
 
     /// Removes and returns the entry for `ob` — the delegator's half of a
@@ -116,9 +132,10 @@ impl ObList {
         self.entries.remove(&ob)
     }
 
-    /// The delegatee's half: merge scopes received from `from`.
-    pub fn absorb(&mut self, ob: ObjectId, incoming: ObEntry, from: TxnId) {
-        self.entries.entry(ob).or_default().absorb(incoming.scopes, from);
+    /// The delegatee's half: merge scopes received from `from`. Returns
+    /// how many scopes were merged in.
+    pub fn absorb(&mut self, ob: ObjectId, incoming: ObEntry, from: TxnId) -> usize {
+        self.entries.entry(ob).or_default().absorb(incoming.scopes, from)
     }
 
     /// All `(object, scope)` pairs — what recovery collects into
@@ -143,14 +160,18 @@ impl ObList {
     /// list. The truncated `last` is conservative (`sp - 1` may not be an
     /// update of this scope), which is safe: scopes bound LSN intervals,
     /// and membership additionally requires invoker+object match.
-    pub fn truncate_scopes(&mut self, ob: ObjectId, sp: Lsn) {
+    /// Returns how many scopes were dropped or cut (`scope.splits`).
+    pub fn truncate_scopes(&mut self, ob: ObjectId, sp: Lsn) -> u64 {
+        let mut splits = 0;
         if let Some(entry) = self.entries.get_mut(&ob) {
             entry.scopes.retain_mut(|s| {
                 if s.first >= sp {
+                    splits += 1;
                     return false;
                 }
                 if s.last >= sp {
                     s.last = sp.prev();
+                    splits += 1;
                 }
                 true
             });
@@ -158,6 +179,7 @@ impl ObList {
                 self.entries.remove(&ob);
             }
         }
+        splits
     }
 }
 

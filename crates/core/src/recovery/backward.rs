@@ -11,6 +11,7 @@ use super::clusters::ClusterWalk;
 pub use super::clusters::WalkScope;
 use crate::txn_table::TrList;
 use rh_common::{Lsn, Result, RhError};
+use rh_obs::{names, trace, Obs};
 use rh_storage::BufferPool;
 use rh_wal::record::RecordBody;
 use rh_wal::LogManager;
@@ -44,6 +45,12 @@ pub struct UndoStats {
 /// Every LSN this pass undoes is added to the set, so later sweeps that
 /// re-cover the same region (a scope re-extended after a partial
 /// rollback) cannot undo a record twice.
+///
+/// The sweep narrates itself into `obs`: every examined position is an
+/// `undo_visit` event, every CLR an `undo_clr`, every inter-cluster jump
+/// a `gap_skip` (with the skipped range), and the LSN distance between
+/// consecutive visits feeds the `undo.lsn_jump` histogram — the raw
+/// material for the §4.2 invariant observers.
 pub fn undo_scopes(
     log: &LogManager,
     pool: &mut BufferPool,
@@ -51,14 +58,32 @@ pub fn undo_scopes(
     scopes: Vec<WalkScope>,
     compensated: &mut HashSet<Lsn>,
     rewrite_history: bool,
+    obs: &Obs,
 ) -> Result<UndoStats> {
     let mut stats = UndoStats::default();
     let mut walk = ClusterWalk::new(scopes);
+    let span = obs.tracer.span(names::SPAN_BACKWARD);
+    let jump_hist = obs.registry.histogram(names::M_UNDO_LSN_JUMP);
+    let mut clusters_seen = 0;
     let mut prev_k = Lsn::NULL;
     while let Some(k) = walk.next_position() {
         // The paper's efficiency invariant: K strictly decreases, so each
         // record is brought in at most once (§4.2).
         debug_assert!(prev_k.is_null() || k < prev_k, "backward pass must be monotone");
+        if walk.clusters > clusters_seen {
+            clusters_seen = walk.clusters;
+            span.point(names::EV_CLUSTER_START, trace::NONE, k.raw(), trace::NONE, clusters_seen);
+        }
+        if !prev_k.is_null() {
+            let dist = prev_k.raw() - k.raw();
+            jump_hist.observe(dist);
+            if dist > 1 {
+                // The β jump of Fig. 8: records in (k, prev_k) belong to
+                // no loser-scope cluster and are never brought in.
+                span.point(names::EV_GAP_SKIP, k.raw(), prev_k.raw(), trace::NONE, dist);
+            }
+        }
+        span.point(names::EV_UNDO_VISIT, k.raw(), k.raw(), trace::NONE, 0);
         prev_k = k;
 
         let rec = log.read(k)?;
@@ -71,13 +96,15 @@ pub fn undo_scopes(
                     // Lazy baseline: setTransID(K, owner) — physically
                     // rewrite history (§3.1 Fig. 1 applied at recovery).
                     log.rewrite_in_place(k, |r| r.txn = ws.owner)?;
+                    span.point(names::EV_REWRITE, k.raw(), k.raw(), ws.owner.raw(), 0);
                     stats.rewrites += 1;
                 }
                 if ws.loser {
                     if compensated.contains(&k) {
                         stats.skipped_compensated += 1;
                     } else {
-                        undo_one(log, pool, tr, k, ob, op, ws, &mut stats)?;
+                        let clr = undo_one(log, pool, tr, k, ob, op, ws, &mut stats)?;
+                        span.point(names::EV_UNDO_CLR, k.raw(), k.raw(), ws.owner.raw(), clr.raw());
                         compensated.insert(k);
                     }
                 }
@@ -100,7 +127,7 @@ fn undo_one(
     op: rh_common::UpdateOp,
     ws: WalkScope,
     stats: &mut UndoStats,
-) -> Result<()> {
+) -> Result<Lsn> {
     let cur = pool.read_object(ob, log)?;
     // The CLR is attributed to the transaction *responsible* for the
     // update (the scope's owner), not its invoker: the rollback is the
@@ -122,7 +149,7 @@ fn undo_one(
     tr.set_bc(ws.owner, clr_lsn)?;
     pool.write_object(ob, op.undo(cur), clr_lsn, log)?;
     stats.undone += 1;
-    Ok(())
+    Ok(clr_lsn)
 }
 
 /// `undo_next` for a CLR compensating the record at `k`: the next-lower

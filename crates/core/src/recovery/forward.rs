@@ -21,6 +21,7 @@ use crate::checkpoint::CheckpointSnapshot;
 use crate::txn_table::{TrList, TxnStatus};
 use rh_common::codec::Codec;
 use rh_common::{Lsn, ObjectId, Result, RhError, TxnId, UpdateOp};
+use rh_obs::{names, Obs};
 use rh_storage::BufferPool;
 use rh_wal::record::{DelegateBody, LogRecord, RecordBody};
 use rh_wal::LogManager;
@@ -92,11 +93,17 @@ fn redo_if_needed(
 
 /// Runs the forward pass. When `track_lazy` is set, also records every
 /// delegated scope for the lazy-rewrite baseline's backward pass.
+///
+/// Scope-table reconstruction is narrated into `obs`: scope opens and
+/// extends, delegate-record replays (with their merge counts), and a
+/// `forward` span bracketing the whole sweep.
 pub fn forward_pass(
     log: &LogManager,
     pool: &mut BufferPool,
     track_lazy: bool,
+    obs: &Obs,
 ) -> Result<ForwardOutcome> {
+    let span = obs.tracer.span(names::SPAN_FORWARD);
     let mut tr = TrList::new();
     let mut compensated = HashSet::new();
     let mut lazy_scopes = HashMap::new();
@@ -170,6 +177,8 @@ pub fn forward_pass(
                 track_lazy,
                 &rec,
                 &mut stats,
+                obs,
+                &span,
             )?;
         }
         if !rec.txn.is_none() {
@@ -191,6 +200,8 @@ fn analyze(
     track_lazy: bool,
     rec: &LogRecord,
     stats: &mut ForwardStats,
+    obs: &Obs,
+    span: &rh_obs::SpanGuard<'_>,
 ) -> Result<()> {
     let lsn = rec.lsn;
     match &rec.body {
@@ -203,7 +214,10 @@ fn analyze(
             ensure_txn(tr, rec.txn, lsn);
             tr.set_bc(rec.txn, lsn)?;
             // ADJUST SCOPES "just as update (1) in normal processing".
-            tr.get_mut(rec.txn)?.ob_list.record_update(*ob, rec.txn, lsn);
+            match tr.get_mut(rec.txn)?.ob_list.record_update(*ob, rec.txn, lsn) {
+                crate::oblist::ScopeAction::Opened => obs.registry.inc(names::M_SCOPE_OPENS),
+                crate::oblist::ScopeAction::Extended => obs.registry.inc(names::M_SCOPE_EXTENDS),
+            }
             redo_if_needed(pool, log, lsn, *ob, op, stats)?;
         }
         RecordBody::Clr { ob, op, compensated: c, .. } => {
@@ -214,23 +228,26 @@ fn analyze(
         }
         RecordBody::Delegate { tee, body, .. } => {
             stats.delegations_seen += 1;
+            obs.registry.inc(names::M_SCOPE_DELEGATE_REPLAYS);
+            span.point(names::EV_DELEGATE_REPLAY, lsn.raw(), lsn.raw(), rec.txn.raw(), tee.raw());
             ensure_txn(tr, rec.txn, lsn);
             ensure_txn(tr, *tee, lsn);
             // TRANSFER RESPONSIBILITY "just as delegate (3) in normal
             // processing" — leniently: on a log the lazy baseline has
             // rewritten, the delegator's entry may already be gone.
-            let obs: Vec<ObjectId> = match body {
-                DelegateBody::Objects(obs) => obs.clone(),
+            let objects: Vec<ObjectId> = match body {
+                DelegateBody::Objects(objs) => objs.clone(),
                 DelegateBody::All => tr.get(rec.txn)?.ob_list.objects().collect(),
             };
-            for ob in obs {
+            for ob in objects {
                 if let Some(entry) = tr.get_mut(rec.txn)?.ob_list.take(ob) {
                     if track_lazy {
                         for s in &entry.scopes {
                             lazy_scopes.insert((ob, s.invoker, s.first), (s.last, *tee));
                         }
                     }
-                    tr.get_mut(*tee)?.ob_list.absorb(ob, entry, rec.txn);
+                    let merged = tr.get_mut(*tee)?.ob_list.absorb(ob, entry, rec.txn);
+                    obs.registry.add(names::M_SCOPE_MERGES, merged as u64);
                 }
             }
             tr.set_bc(rec.txn, lsn)?;

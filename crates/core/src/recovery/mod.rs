@@ -14,11 +14,14 @@ use crate::engine::{DbConfig, RhDb, Strategy};
 use crate::scope::Scope;
 use crate::txn_table::TxnStatus;
 use rh_common::{Lsn, ObjectId, Result, TxnId};
+use rh_obs::{names, Obs};
 use rh_storage::{BufferPool, Disk};
+use rh_wal::metrics::LogMetricsSnapshot;
 use rh_wal::record::RecordBody;
 use rh_wal::{LogManager, StableLog};
 use std::collections::HashSet;
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 /// What a completed recovery did — consumed by tests and the E3/E4/E6
 /// experiments.
@@ -32,6 +35,16 @@ pub struct RecoveryReport {
     pub losers: Vec<TxnId>,
     /// Transactions whose commit records were seen (winners).
     pub winners_seen: u64,
+    /// Wall clock for the whole recovery (attach through log force).
+    pub elapsed: Duration,
+    /// Wall clock for the forward pass alone.
+    pub forward_wall: Duration,
+    /// Wall clock for the backward pass alone.
+    pub undo_wall: Duration,
+    /// Log activity attributable to this recovery (snapshot delta).
+    pub log_delta: LogMetricsSnapshot,
+    /// Disk activity attributable to this recovery (snapshot delta).
+    pub disk_delta: rh_storage::DiskMetricsSnapshot,
 }
 
 /// Runs restart recovery and returns a ready-to-use engine.
@@ -46,12 +59,19 @@ pub fn recover(
     stable: Arc<StableLog>,
     disk: Arc<Disk>,
 ) -> Result<RhDb> {
+    let obs = Arc::new(Obs::new());
+    let started = Instant::now();
+    let span = obs.tracer.span(names::SPAN_RECOVERY);
     let log = Arc::new(LogManager::attach(stable));
     let mut pool = BufferPool::new(Arc::clone(&disk), config.pool_pages);
+    let log_before = log.metrics().snapshot();
+    let disk_before = disk.metrics().snapshot();
 
     // ---- forward pass (analysis + redo) ------------------------------
     let lazy = strategy == Strategy::LazyRewrite;
-    let fwd = forward_pass(&log, &mut pool, lazy)?;
+    let fwd_started = Instant::now();
+    let fwd = forward_pass(&log, &mut pool, lazy, &obs)?;
+    let forward_wall = fwd_started.elapsed();
     let mut tr = fwd.tr;
     let losers = tr.losers();
     let loser_set: HashSet<TxnId> = losers.iter().copied().collect();
@@ -88,7 +108,9 @@ pub fn recover(
 
     // ---- backward pass -------------------------------------------------
     let mut compensated = fwd.compensated;
-    let undo = undo_scopes(&log, &mut pool, &mut tr, scopes, &mut compensated, lazy)?;
+    let undo_started = Instant::now();
+    let undo = undo_scopes(&log, &mut pool, &mut tr, scopes, &mut compensated, lazy, &obs)?;
+    let undo_wall = undo_started.elapsed();
 
     // ---- terminate losers and stragglers --------------------------------
     for &t in &losers {
@@ -109,13 +131,28 @@ pub fn recover(
     }
     log.flush_all()?;
     debug_assert!(tr.is_empty(), "recovery must drain the transaction table");
+    drop(span);
 
-    let mut db = RhDb::from_parts(strategy, config, log, disk, pool, tr, fwd.next_txn);
+    let elapsed = started.elapsed();
+    let log_delta = log.metrics().snapshot().since(&log_before);
+    let disk_delta = disk.metrics().snapshot().since(&disk_before);
+    obs.registry.inc(names::M_RECOVERY_RUNS);
+    obs.registry.observe(names::M_RECOVERY_FORWARD_US, forward_wall.as_micros() as u64);
+    obs.registry.observe(names::M_RECOVERY_UNDO_US, undo_wall.as_micros() as u64);
+    obs.registry.observe(names::M_RECOVERY_TOTAL_US, elapsed.as_micros() as u64);
+
+    let mut db =
+        RhDb::from_parts(strategy, config, log, disk, pool, tr, fwd.next_txn, Arc::clone(&obs));
     db.set_recovery_report(RecoveryReport {
         winners_seen: fwd.stats.commits_seen,
         forward: fwd.stats,
         undo,
         losers,
+        elapsed,
+        forward_wall,
+        undo_wall,
+        log_delta,
+        disk_delta,
     });
     Ok(db)
 }

@@ -27,7 +27,8 @@ fn crash_partial_recover_crash_recover(events: &[Event], keep_nth: usize) -> RhD
     {
         let log = LogManager::attach(Arc::clone(&stable));
         let mut pool = BufferPool::new(Arc::clone(&disk), 64);
-        let fwd = forward_pass(&log, &mut pool, false).expect("forward");
+        let obs = rh_obs::Obs::new();
+        let fwd = forward_pass(&log, &mut pool, false, &obs).expect("forward");
         let mut tr = fwd.tr;
         let losers = tr.losers();
         // Only every keep_nth-th loser scope gets undone before the
@@ -45,7 +46,7 @@ fn crash_partial_recover_crash_recover(events: &[Event], keep_nth: usize) -> RhD
             .map(|(_, s)| s)
             .collect();
         let mut compensated = fwd.compensated;
-        undo_scopes(&log, &mut pool, &mut tr, partial, &mut compensated, false)
+        undo_scopes(&log, &mut pool, &mut tr, partial, &mut compensated, false, &obs)
             .expect("partial undo");
         // The CLRs written so far are forced... and then the machine dies
         // before any abort/end record is appended.

@@ -43,6 +43,27 @@ pub struct EosMetricsSnapshot {
     pub items_discarded: u64,
 }
 
+impl EosMetricsSnapshot {
+    /// Absorbs this snapshot into a unified [`rh_obs::Registry`] under
+    /// the `eos.*` prefix (absolute values; re-absorption overwrites).
+    pub fn export_into(&self, registry: &rh_obs::Registry) {
+        registry.set("eos.batches_flushed", self.batches_flushed);
+        registry.set("eos.items_flushed", self.items_flushed);
+        registry.set("eos.items_replayed", self.items_replayed);
+        registry.set("eos.items_discarded", self.items_discarded);
+    }
+
+    /// Difference since an earlier snapshot (for per-phase reporting).
+    pub fn since(&self, earlier: &EosMetricsSnapshot) -> EosMetricsSnapshot {
+        EosMetricsSnapshot {
+            batches_flushed: self.batches_flushed - earlier.batches_flushed,
+            items_flushed: self.items_flushed - earlier.items_flushed,
+            items_replayed: self.items_replayed - earlier.items_replayed,
+            items_discarded: self.items_discarded - earlier.items_discarded,
+        }
+    }
+}
+
 impl EosMetrics {
     pub(crate) fn flushed(&self, items: u64) {
         self.batches_flushed.fetch_add(1, Ordering::Relaxed);

@@ -35,11 +35,34 @@ struct Edge {
     kind: Dependency,
 }
 
+/// Counters over a [`DepGraph`]'s lifetime (diagnostics / observability).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct DepStats {
+    /// Edges accepted by [`DepGraph::form`] (duplicates included).
+    pub edges_formed: u64,
+    /// `form` calls rejected because they would close a commit cycle
+    /// (or were self-dependencies).
+    pub cycles_rejected: u64,
+    /// Transactions scheduled for cascading abort by [`DepGraph::aborted`].
+    pub cascade_aborts: u64,
+}
+
+impl DepStats {
+    /// Absorbs these counters into a unified [`rh_obs::Registry`] under
+    /// the `etm.*` prefix (absolute values; re-absorption overwrites).
+    pub fn export_into(&self, registry: &rh_obs::Registry) {
+        registry.set("etm.edges_formed", self.edges_formed);
+        registry.set("etm.cycles_rejected", self.cycles_rejected);
+        registry.set("etm.cascade_aborts", self.cascade_aborts);
+    }
+}
+
 /// The dependency graph.
 #[derive(Debug, Default)]
 pub struct DepGraph {
     edges: Vec<Edge>,
     fates: HashMap<TxnId, Fate>,
+    stats: DepStats,
 }
 
 impl DepGraph {
@@ -88,8 +111,10 @@ impl DepGraph {
     /// self-dependencies are always rejected.
     pub fn form(&mut self, kind: Dependency, dependent: TxnId, on: TxnId) -> Result<()> {
         if dependent == on || (kind != Dependency::Abort && self.commit_reachable(on, dependent)) {
+            self.stats.cycles_rejected += 1;
             return Err(RhError::DependencyCycle { from: dependent, to: on });
         }
+        self.stats.edges_formed += 1;
         self.register(dependent);
         self.register(on);
         let edge = Edge { dependent, on, kind };
@@ -135,7 +160,13 @@ impl DepGraph {
             .collect();
         cascade.sort();
         cascade.dedup();
+        self.stats.cascade_aborts += cascade.len() as u64;
         cascade
+    }
+
+    /// Lifetime counters (edges formed, cycles rejected, cascades).
+    pub fn stats(&self) -> DepStats {
+        self.stats
     }
 
     /// Number of edges (diagnostics).

@@ -32,5 +32,5 @@ pub mod reporting;
 pub mod session;
 pub mod split;
 
-pub use deps::{DepGraph, Dependency};
+pub use deps::{DepGraph, DepStats, Dependency};
 pub use session::EtmSession;

@@ -30,7 +30,7 @@ pub mod modes;
 pub mod table;
 pub mod waits;
 
-pub use manager::LockManager;
+pub use manager::{LockManager, LockStats, LockStatsSnapshot};
 pub use modes::LockMode;
 
 // Re-exported so engine crates can match on lock errors without importing

@@ -6,11 +6,73 @@ use crate::table::LockTable;
 use crate::waits::WaitForGraph;
 use parking_lot::{Condvar, Mutex};
 use rh_common::{ObjectId, Result, RhError, TxnId};
+use std::sync::atomic::{AtomicU64, Ordering};
 
 #[derive(Debug, Default)]
 struct State {
     table: LockTable,
     waits: WaitForGraph,
+}
+
+/// Cumulative lock-manager counters (atomic: bumped outside the state
+/// mutex where possible, read concurrently by reporters).
+#[derive(Debug, Default)]
+pub struct LockStats {
+    acquisitions: AtomicU64,
+    conflicts: AtomicU64,
+    waits: AtomicU64,
+    wait_micros: AtomicU64,
+    deadlocks: AtomicU64,
+    transfers: AtomicU64,
+    permits: AtomicU64,
+}
+
+/// Plain-data capture of [`LockStats`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct LockStatsSnapshot {
+    /// Locks granted (including re-grants and upgrades).
+    pub acquisitions: u64,
+    /// Acquisition attempts that hit a conflict.
+    pub conflicts: u64,
+    /// Times a transaction parked waiting for a lock.
+    pub waits: u64,
+    /// Total microseconds spent parked.
+    pub wait_micros: u64,
+    /// Waits refused because they would deadlock.
+    pub deadlocks: u64,
+    /// Locks moved by delegation ([`LockManager::transfer`]/`transfer_all`).
+    pub transfers: u64,
+    /// ASSET permits granted.
+    pub permits: u64,
+}
+
+impl LockStatsSnapshot {
+    /// Absorbs this snapshot into a unified [`rh_obs::Registry`] under
+    /// the `lock.*` prefix (absolute values; re-absorption overwrites).
+    pub fn export_into(&self, registry: &rh_obs::Registry) {
+        registry.set("lock.acquisitions", self.acquisitions);
+        registry.set("lock.conflicts", self.conflicts);
+        registry.set("lock.waits", self.waits);
+        registry.set("lock.wait_micros", self.wait_micros);
+        registry.set("lock.deadlocks", self.deadlocks);
+        registry.set("lock.transfers", self.transfers);
+        registry.set("lock.permits", self.permits);
+    }
+}
+
+impl LockStats {
+    /// Takes a snapshot for reporting.
+    pub fn snapshot(&self) -> LockStatsSnapshot {
+        LockStatsSnapshot {
+            acquisitions: self.acquisitions.load(Ordering::Relaxed),
+            conflicts: self.conflicts.load(Ordering::Relaxed),
+            waits: self.waits.load(Ordering::Relaxed),
+            wait_micros: self.wait_micros.load(Ordering::Relaxed),
+            deadlocks: self.deadlocks.load(Ordering::Relaxed),
+            transfers: self.transfers.load(Ordering::Relaxed),
+            permits: self.permits.load(Ordering::Relaxed),
+        }
+    }
 }
 
 /// A synchronized lock manager shared by all transactions of one engine.
@@ -23,6 +85,7 @@ struct State {
 pub struct LockManager {
     state: Mutex<State>,
     cv: Condvar,
+    stats: LockStats,
 }
 
 impl LockManager {
@@ -31,25 +94,39 @@ impl LockManager {
         Self::default()
     }
 
+    /// The cumulative counters (see [`LockStats`]).
+    pub fn stats(&self) -> &LockStats {
+        &self.stats
+    }
+
     /// Acquires (or upgrades to) `mode` on `ob` for `txn`, failing
     /// immediately with [`RhError::LockConflict`] if it cannot be granted.
     pub fn try_acquire(&self, txn: TxnId, ob: ObjectId, mode: LockMode) -> Result<()> {
         let mut st = self.state.lock();
-        Self::grant_or_conflict(&mut st, txn, ob, mode)
+        self.grant_or_conflict(&mut st, txn, ob, mode)
     }
 
-    fn grant_or_conflict(st: &mut State, txn: TxnId, ob: ObjectId, mode: LockMode) -> Result<()> {
+    fn grant_or_conflict(
+        &self,
+        st: &mut State,
+        txn: TxnId,
+        ob: ObjectId,
+        mode: LockMode,
+    ) -> Result<()> {
         let head = st.table.head_mut(ob);
         if let Some(&held) = head.holders.get(&txn) {
             if held.covers(mode) {
+                self.stats.acquisitions.fetch_add(1, Ordering::Relaxed);
                 return Ok(());
             }
         }
         if head.conflicts(txn, mode) {
+            self.stats.conflicts.fetch_add(1, Ordering::Relaxed);
             return Err(RhError::LockConflict { txn, object: ob });
         }
         let entry = head.holders.entry(txn).or_insert(mode);
         *entry = entry.join(mode);
+        self.stats.acquisitions.fetch_add(1, Ordering::Relaxed);
         Ok(())
     }
 
@@ -59,7 +136,7 @@ impl LockManager {
     pub fn acquire(&self, txn: TxnId, ob: ObjectId, mode: LockMode) -> Result<()> {
         let mut st = self.state.lock();
         loop {
-            match Self::grant_or_conflict(&mut st, txn, ob, mode) {
+            match self.grant_or_conflict(&mut st, txn, ob, mode) {
                 Ok(()) => {
                     st.waits.clear_waiter(txn);
                     return Ok(());
@@ -68,10 +145,16 @@ impl LockManager {
                     let blockers = st.table.head_mut(ob).blockers(txn, mode);
                     if st.waits.would_cycle(txn, &blockers) {
                         st.waits.clear_waiter(txn);
+                        self.stats.deadlocks.fetch_add(1, Ordering::Relaxed);
                         return Err(RhError::Deadlock { txn, object: ob });
                     }
                     st.waits.add_waits(txn, &blockers);
+                    self.stats.waits.fetch_add(1, Ordering::Relaxed);
+                    let parked = std::time::Instant::now();
                     self.cv.wait(&mut st);
+                    self.stats
+                        .wait_micros
+                        .fetch_add(parked.elapsed().as_micros() as u64, Ordering::Relaxed);
                     st.waits.clear_waiter(txn);
                 }
                 Err(other) => return Err(other),
@@ -89,6 +172,7 @@ impl LockManager {
         if !head.permits.contains(&(granter, permittee)) {
             head.permits.push((granter, permittee));
         }
+        self.stats.permits.fetch_add(1, Ordering::Relaxed);
         drop(st);
         self.cv.notify_all();
     }
@@ -110,6 +194,7 @@ impl LockManager {
                     p.0 = to;
                 }
             }
+            self.stats.transfers.fetch_add(1, Ordering::Relaxed);
         }
         drop(st);
         self.cv.notify_all();
@@ -136,6 +221,7 @@ impl LockManager {
                         p.0 = to;
                     }
                 }
+                self.stats.transfers.fetch_add(1, Ordering::Relaxed);
             }
         }
         drop(st);

@@ -1,0 +1,64 @@
+//! # rh-obs
+//!
+//! The unified observability layer for the ARIES/RH reproduction.
+//!
+//! The paper's entire efficiency argument (§3.2, §4.2) is about
+//! *observable access patterns*: ARIES/RH "visits each log record at most
+//! once and in a monotonically decreasing way" while the naïve rewrite
+//! does random in-place log I/O. This crate turns those claims into
+//! first-class, machine-checkable evidence:
+//!
+//! * [`trace`] — a lock-cheap ring buffer of structured [`TraceEvent`]s
+//!   with RAII [`trace::SpanGuard`]s for recovery passes, cluster sweeps,
+//!   delegations, checkpoints, and flush activity;
+//! * [`registry`] — a unified [`Registry`] of named counters and
+//!   power-of-two-bucket histograms, absorbing snapshot deltas from the
+//!   per-crate counter structs (`LogMetrics`, `DiskMetrics`, lock-manager
+//!   stats) and adding scope-table and recovery-pass instrumentation;
+//! * [`observer`] — invariant observers that check a captured trace at
+//!   test time: the backward sweep is LSN-monotone, gaps between
+//!   loser-scope clusters are actually skipped (Fig. 7/8), and ARIES/RH
+//!   performs zero in-place log rewrites;
+//! * [`json`] — a tiny dependency-free JSON value/printer/parser so
+//!   every `experiments` run can emit per-experiment metrics/timeline
+//!   artifacts without serde.
+//!
+//! Per the compat policy (`crates/compat/README.md`) this crate depends on
+//! nothing — not even `rh-common` — so every layer of the stack (WAL,
+//! storage, lock manager, engines, bench harness) can use it freely. LSNs
+//! and transaction ids therefore appear here as raw `u64`s.
+
+pub mod json;
+pub mod names;
+pub mod observer;
+pub mod registry;
+pub mod trace;
+
+pub use json::JsonValue;
+pub use registry::{Counter, Histogram, HistogramSnapshot, Registry, RegistrySnapshot};
+pub use trace::{EventKind, SpanGuard, TraceEvent, TraceSnapshot, Tracer};
+
+/// One observability context: a tracer plus a metrics registry, shared
+/// (via `Arc`) by everything belonging to one engine instance.
+#[derive(Debug, Default)]
+pub struct Obs {
+    /// The event/span tracer.
+    pub tracer: Tracer,
+    /// The named counter/histogram registry.
+    pub registry: Registry,
+}
+
+impl Obs {
+    /// Creates a fresh context with default capacities.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Renders the full context (registry + trace) as one JSON object.
+    pub fn to_json(&self) -> JsonValue {
+        JsonValue::obj(vec![
+            ("metrics", self.registry.snapshot().to_json()),
+            ("trace", self.tracer.snapshot().to_json()),
+        ])
+    }
+}

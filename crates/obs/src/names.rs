@@ -1,0 +1,74 @@
+//! Shared event and metric names.
+//!
+//! The tracer and registry key everything by `&'static str`; these
+//! constants keep the producers (engine, recovery passes, WAL) and the
+//! consumers (invariant observers, JSON artifacts, tests) in one
+//! vocabulary. The `log.*` / `disk.*` / `lock.*` metric names are filled
+//! by the per-crate snapshot exporters; `scope.*` and `recovery.*` are
+//! maintained directly by the core engine.
+
+// ---- span names -------------------------------------------------------
+
+/// Whole restart recovery (forward + backward + termination).
+pub const SPAN_RECOVERY: &str = "recovery";
+/// The forward pass (analysis + redo).
+pub const SPAN_FORWARD: &str = "forward_pass";
+/// The backward pass (cluster sweep + undo).
+pub const SPAN_BACKWARD: &str = "backward_pass";
+/// One checkpoint (flush + begin/end records + master move).
+pub const SPAN_CHECKPOINT: &str = "checkpoint";
+/// One abort's undo sweep during normal processing.
+pub const SPAN_ABORT: &str = "abort";
+/// One partial rollback (savepoint) sweep.
+pub const SPAN_ROLLBACK: &str = "rollback_to";
+
+// ---- point-event names ------------------------------------------------
+
+/// One record examined by the backward sweep; `lsn_lo` = position.
+pub const EV_UNDO_VISIT: &str = "undo_visit";
+/// One update undone (CLR written); `lsn_lo` = compensated LSN,
+/// `payload` = CLR LSN.
+pub const EV_UNDO_CLR: &str = "undo_clr";
+/// The sweep jumped over an inter-cluster gap; `lsn_lo`/`lsn_hi` bound
+/// the *skipped* records exclusive/exclusive, `payload` = distance.
+pub const EV_GAP_SKIP: &str = "gap_skip";
+/// A new cluster was entered; `lsn_hi` = its right end.
+pub const EV_CLUSTER_START: &str = "cluster_start";
+/// A delegation during normal processing; `txn` = delegator,
+/// `payload` = delegatee, `lsn_lo` = delegate-record LSN.
+pub const EV_DELEGATE: &str = "delegate";
+/// A delegate record replayed by the forward pass.
+pub const EV_DELEGATE_REPLAY: &str = "delegate_replay";
+/// An in-place log rewrite (baselines only); `lsn_lo` = position.
+pub const EV_REWRITE: &str = "rewrite_in_place";
+/// A group of records reached stable storage; `payload` = record count.
+pub const EV_LOG_FLUSH: &str = "log_flush";
+/// A page left the pool for stable storage; `payload` = page id.
+pub const EV_PAGE_FLUSH: &str = "page_flush";
+
+// ---- metric names -----------------------------------------------------
+
+/// Scopes opened (first update of an invoker on an object).
+pub const M_SCOPE_OPENS: &str = "scope.opens";
+/// Scopes extended by a further update.
+pub const M_SCOPE_EXTENDS: &str = "scope.extends";
+/// Scopes merged into a delegatee's `Ob_List` entry.
+pub const M_SCOPE_MERGES: &str = "scope.merges";
+/// Scopes split/truncated by a partial rollback.
+pub const M_SCOPE_SPLITS: &str = "scope.splits";
+/// Delegate operations issued during normal processing.
+pub const M_SCOPE_DELEGATES: &str = "scope.delegates";
+/// Delegate records replayed by the forward pass.
+pub const M_SCOPE_DELEGATE_REPLAYS: &str = "scope.delegate_replays";
+
+/// Histogram: forward-pass wall clock, microseconds.
+pub const M_RECOVERY_FORWARD_US: &str = "recovery.forward_us";
+/// Histogram: backward-pass wall clock, microseconds.
+pub const M_RECOVERY_UNDO_US: &str = "recovery.undo_us";
+/// Histogram: whole-recovery wall clock, microseconds.
+pub const M_RECOVERY_TOTAL_US: &str = "recovery.total_us";
+/// Histogram: LSN distance between consecutive backward-sweep visits
+/// (1 = adjacent; larger values are cluster-gap jumps).
+pub const M_UNDO_LSN_JUMP: &str = "undo.lsn_jump";
+/// Counter: recoveries performed.
+pub const M_RECOVERY_RUNS: &str = "recovery.runs";

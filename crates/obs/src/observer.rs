@@ -1,0 +1,167 @@
+//! Invariant observers: checks over a captured trace.
+//!
+//! These operationalize the paper's §4.2 efficiency claims as assertions
+//! a test can run against [`crate::TraceSnapshot`]s:
+//!
+//! * the backward pass visits log records **at most once, in strictly
+//!   decreasing LSN order** ([`check_backward_monotone`]);
+//! * gaps between loser-scope clusters are **actually skipped** — no
+//!   visit lands strictly inside a claimed gap, and every jump longer
+//!   than one step is announced by a gap event
+//!   ([`check_gaps_skipped`]);
+//! * ARIES/RH performs **zero in-place log rewrites**
+//!   ([`check_no_rewrites`]).
+//!
+//! Each check returns `Err(String)` with a human-readable description of
+//! the violation, so test failures read like a diagnosis instead of a
+//! boolean.
+
+use crate::names;
+use crate::registry::RegistrySnapshot;
+use crate::trace::TraceSnapshot;
+
+/// LSN positions visited by the backward sweep, oldest event first.
+pub fn backward_visits(trace: &TraceSnapshot) -> Vec<u64> {
+    trace.named(names::EV_UNDO_VISIT).iter().map(|e| e.lsn_lo).collect()
+}
+
+/// The `(lo, hi)` exclusive bounds of every gap the sweep claims to have
+/// skipped.
+pub fn skipped_gaps(trace: &TraceSnapshot) -> Vec<(u64, u64)> {
+    trace.named(names::EV_GAP_SKIP).iter().map(|e| (e.lsn_lo, e.lsn_hi)).collect()
+}
+
+/// Checks that backward-sweep visits strictly decrease (and therefore
+/// never repeat). Vacuously true for an empty or dropped-into trace only
+/// if nothing was captured at all — callers wanting to assert the sweep
+/// *happened* should check `!backward_visits(..).is_empty()` themselves.
+pub fn check_backward_monotone(trace: &TraceSnapshot) -> Result<(), String> {
+    let visits = backward_visits(trace);
+    for w in visits.windows(2) {
+        if w[1] >= w[0] {
+            return Err(format!(
+                "backward sweep is not strictly decreasing: visited LSN {} after {}",
+                w[1], w[0]
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// Checks gap-skipping (Fig. 7/8):
+///
+/// * every consecutive visit pair with distance > 1 has a matching
+///   `gap_skip` event covering exactly that jump;
+/// * no visit lands strictly inside any claimed gap.
+pub fn check_gaps_skipped(trace: &TraceSnapshot) -> Result<(), String> {
+    let visits = backward_visits(trace);
+    let gaps = skipped_gaps(trace);
+    for w in visits.windows(2) {
+        let (hi, lo) = (w[0], w[1]);
+        if hi.saturating_sub(lo) > 1 && !gaps.contains(&(lo, hi)) {
+            return Err(format!("sweep jumped from {hi} to {lo} without announcing a gap_skip"));
+        }
+    }
+    for &(lo, hi) in &gaps {
+        if let Some(&v) = visits.iter().find(|&&v| v > lo && v < hi) {
+            return Err(format!(
+                "visit at LSN {v} lies inside the claimed skipped gap ({lo}, {hi})"
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// Checks that a specific LSN range `(lo, hi)` (exclusive bounds) was
+/// never visited — the caller knows, from workload construction, that
+/// these records separate two loser clusters.
+pub fn check_range_untouched(trace: &TraceSnapshot, lo: u64, hi: u64) -> Result<(), String> {
+    match backward_visits(trace).iter().find(|&&v| v > lo && v < hi) {
+        Some(v) => Err(format!("backward sweep visited LSN {v} inside the gap ({lo}, {hi})")),
+        None => Ok(()),
+    }
+}
+
+/// Checks the ARIES/RH signature: zero in-place log rewrites, in both the
+/// unified metrics and the trace.
+pub fn check_no_rewrites(trace: &TraceSnapshot, stats: &RegistrySnapshot) -> Result<(), String> {
+    let rewrites = stats.counter("log.in_place_rewrites");
+    if rewrites != 0 {
+        return Err(format!("log.in_place_rewrites = {rewrites}, expected 0 under ARIES/RH"));
+    }
+    let traced = trace.named(names::EV_REWRITE).len();
+    if traced != 0 {
+        return Err(format!("{traced} rewrite_in_place events traced, expected 0 under ARIES/RH"));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::{Tracer, NONE};
+
+    fn visit(t: &Tracer, lsn: u64) {
+        t.point(names::EV_UNDO_VISIT, lsn, lsn, NONE, 0);
+    }
+
+    fn gap(t: &Tracer, lo: u64, hi: u64) {
+        t.point(names::EV_GAP_SKIP, lo, hi, NONE, hi - lo);
+    }
+
+    #[test]
+    fn monotone_trace_passes() {
+        let t = Tracer::default();
+        for lsn in [9, 8, 7, 3, 2] {
+            visit(&t, lsn);
+        }
+        gap(&t, 3, 7);
+        let snap = t.snapshot();
+        assert!(check_backward_monotone(&snap).is_ok());
+        assert!(check_gaps_skipped(&snap).is_ok());
+        assert!(check_range_untouched(&snap, 3, 7).is_ok());
+    }
+
+    #[test]
+    fn repeat_or_increase_fails() {
+        let t = Tracer::default();
+        visit(&t, 5);
+        visit(&t, 5);
+        assert!(check_backward_monotone(&t.snapshot()).is_err());
+
+        let t = Tracer::default();
+        visit(&t, 5);
+        visit(&t, 6);
+        assert!(check_backward_monotone(&t.snapshot()).is_err());
+    }
+
+    #[test]
+    fn unannounced_jump_fails() {
+        let t = Tracer::default();
+        visit(&t, 9);
+        visit(&t, 2);
+        assert!(check_gaps_skipped(&t.snapshot()).is_err());
+    }
+
+    #[test]
+    fn visit_inside_claimed_gap_fails() {
+        let t = Tracer::default();
+        visit(&t, 9);
+        gap(&t, 2, 9);
+        visit(&t, 5);
+        assert!(check_gaps_skipped(&t.snapshot()).is_err());
+        assert!(check_range_untouched(&t.snapshot(), 2, 9).is_err());
+    }
+
+    #[test]
+    fn rewrite_detection() {
+        let reg = crate::Registry::new();
+        let t = Tracer::default();
+        assert!(check_no_rewrites(&t.snapshot(), &reg.snapshot()).is_ok());
+        reg.set("log.in_place_rewrites", 1);
+        assert!(check_no_rewrites(&t.snapshot(), &reg.snapshot()).is_err());
+        reg.set("log.in_place_rewrites", 0);
+        t.point(names::EV_REWRITE, 4, 4, NONE, 0);
+        assert!(check_no_rewrites(&t.snapshot(), &reg.snapshot()).is_err());
+    }
+}

@@ -1,0 +1,392 @@
+//! The unified metrics registry: named counters and histograms.
+//!
+//! The per-crate counter structs (`LogMetrics`, `DiskMetrics`, the lock
+//! manager's stats) stay where they are — they are on hot paths and their
+//! fields are known statically. The registry *unifies* them for
+//! reporting: each crate exports its snapshot into the registry under a
+//! dotted prefix (`log.*`, `disk.*`, `lock.*`), and the engine maintains
+//! additional counters (`scope.*`) and histograms (`recovery.*`,
+//! `undo.*`) directly. A [`RegistrySnapshot`] is plain data with
+//! [`RegistrySnapshot::since`] delta arithmetic, mirroring the snapshot
+//! idiom the per-crate structs already use.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use crate::json::JsonValue;
+
+/// A monotonically increasing (or externally set) named counter.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Adds 1.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Overwrites the value — used when absorbing an *absolute* snapshot
+    /// from one of the per-crate counter structs.
+    pub fn set(&self, v: u64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Number of power-of-two buckets: bucket `i` counts values `v` with
+/// `floor(log2(v.max(1))) == i`; the last bucket absorbs overflow.
+pub const HIST_BUCKETS: usize = 40;
+
+/// A histogram over `u64` values with power-of-two buckets — enough
+/// resolution for wall-clock microseconds and LSN distances without any
+/// configuration.
+#[derive(Debug)]
+pub struct Histogram {
+    count: AtomicU64,
+    sum: AtomicU64,
+    max: AtomicU64,
+    buckets: [AtomicU64; HIST_BUCKETS],
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+}
+
+impl Histogram {
+    fn bucket_of(v: u64) -> usize {
+        (63 - v.max(1).leading_zeros() as usize).min(HIST_BUCKETS - 1)
+    }
+
+    /// Records one value.
+    pub fn observe(&self, v: u64) {
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.max.fetch_max(v, Ordering::Relaxed);
+        self.buckets[Self::bucket_of(v)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Plain-data capture.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            count: self.count.load(Ordering::Relaxed),
+            sum: self.sum.load(Ordering::Relaxed),
+            max: self.max.load(Ordering::Relaxed),
+            buckets: std::array::from_fn(|i| self.buckets[i].load(Ordering::Relaxed)),
+        }
+    }
+}
+
+/// Plain-data capture of a [`Histogram`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Values observed.
+    pub count: u64,
+    /// Sum of observed values.
+    pub sum: u64,
+    /// Largest observed value (0 if none).
+    pub max: u64,
+    /// Power-of-two bucket counts.
+    pub buckets: [u64; HIST_BUCKETS],
+}
+
+impl Default for HistogramSnapshot {
+    fn default() -> Self {
+        HistogramSnapshot { count: 0, sum: 0, max: 0, buckets: [0; HIST_BUCKETS] }
+    }
+}
+
+impl HistogramSnapshot {
+    /// Mean of observed values (0.0 if none).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Upper bound (exclusive, power of two) of the bucket holding the
+    /// `q`-quantile observation, `q` in `[0, 1]`. Zero if empty.
+    pub fn quantile_bound(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = (q.clamp(0.0, 1.0) * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0;
+        for (i, &b) in self.buckets.iter().enumerate() {
+            seen += b;
+            if seen >= rank {
+                return 1u64 << (i + 1).min(63);
+            }
+        }
+        self.max
+    }
+
+    /// Difference since an earlier snapshot. `max` is carried from
+    /// `self` (a max cannot be un-observed), matching the counter idiom.
+    pub fn since(&self, earlier: &HistogramSnapshot) -> HistogramSnapshot {
+        HistogramSnapshot {
+            count: self.count - earlier.count,
+            sum: self.sum - earlier.sum,
+            max: self.max,
+            buckets: std::array::from_fn(|i| self.buckets[i] - earlier.buckets[i]),
+        }
+    }
+
+    /// Renders `{count, sum, mean, max, p50, p99}` — the buckets stay
+    /// internal; quantile bounds are what reports want.
+    pub fn to_json(&self) -> JsonValue {
+        JsonValue::obj(vec![
+            ("count", JsonValue::U64(self.count)),
+            ("sum", JsonValue::U64(self.sum)),
+            ("mean", JsonValue::F64(self.mean())),
+            ("max", JsonValue::U64(self.max)),
+            ("p50_le", JsonValue::U64(self.quantile_bound(0.50))),
+            ("p99_le", JsonValue::U64(self.quantile_bound(0.99))),
+        ])
+    }
+}
+
+#[derive(Debug, Default)]
+struct Families {
+    counters: BTreeMap<&'static str, Arc<Counter>>,
+    histograms: BTreeMap<&'static str, Arc<Histogram>>,
+}
+
+/// The registry proper: name → counter/histogram, created on first use.
+///
+/// Lookup takes a short mutex; hot paths should cache the returned
+/// `Arc<Counter>`/`Arc<Histogram>` handle instead of re-looking-up.
+#[derive(Debug, Default)]
+pub struct Registry {
+    families: Mutex<Families>,
+}
+
+impl Registry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The counter named `name`, created at zero on first use.
+    pub fn counter(&self, name: &'static str) -> Arc<Counter> {
+        Arc::clone(
+            self.families.lock().expect("registry poisoned").counters.entry(name).or_default(),
+        )
+    }
+
+    /// The histogram named `name`, created empty on first use.
+    pub fn histogram(&self, name: &'static str) -> Arc<Histogram> {
+        Arc::clone(
+            self.families.lock().expect("registry poisoned").histograms.entry(name).or_default(),
+        )
+    }
+
+    /// Convenience: `counter(name).add(n)`.
+    pub fn add(&self, name: &'static str, n: u64) {
+        self.counter(name).add(n);
+    }
+
+    /// Convenience: `counter(name).inc()`.
+    pub fn inc(&self, name: &'static str) {
+        self.counter(name).inc();
+    }
+
+    /// Convenience: `counter(name).set(v)` — absolute absorption.
+    pub fn set(&self, name: &'static str, v: u64) {
+        self.counter(name).set(v);
+    }
+
+    /// Convenience: `histogram(name).observe(v)`.
+    pub fn observe(&self, name: &'static str, v: u64) {
+        self.histogram(name).observe(v);
+    }
+
+    /// Plain-data capture of every family.
+    pub fn snapshot(&self) -> RegistrySnapshot {
+        let fam = self.families.lock().expect("registry poisoned");
+        RegistrySnapshot {
+            counters: fam.counters.iter().map(|(&k, v)| (k.to_string(), v.get())).collect(),
+            histograms: fam
+                .histograms
+                .iter()
+                .map(|(&k, v)| (k.to_string(), v.snapshot()))
+                .collect(),
+        }
+    }
+}
+
+/// Plain-data capture of a [`Registry`].
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RegistrySnapshot {
+    /// Counter values by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Histogram captures by name.
+    pub histograms: BTreeMap<String, HistogramSnapshot>,
+}
+
+impl RegistrySnapshot {
+    /// A counter's value, 0 if absent.
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// A histogram's capture, empty if absent.
+    pub fn histogram(&self, name: &str) -> HistogramSnapshot {
+        self.histograms.get(name).copied().unwrap_or_default()
+    }
+
+    /// Difference since an earlier snapshot. Counters/histograms absent
+    /// from `earlier` are treated as zero there; families absent from
+    /// `self` (impossible for a registry that only grows, but possible
+    /// for hand-built snapshots) are dropped.
+    pub fn since(&self, earlier: &RegistrySnapshot) -> RegistrySnapshot {
+        RegistrySnapshot {
+            counters: self
+                .counters
+                .iter()
+                .map(|(k, &v)| (k.clone(), v - earlier.counters.get(k).copied().unwrap_or(0)))
+                .collect(),
+            histograms: self
+                .histograms
+                .iter()
+                .map(|(k, v)| {
+                    (k.clone(), v.since(&earlier.histograms.get(k).copied().unwrap_or_default()))
+                })
+                .collect(),
+        }
+    }
+
+    /// Renders `{counters: {...}, histograms: {...}}` with names sorted.
+    pub fn to_json(&self) -> JsonValue {
+        JsonValue::Obj(vec![
+            (
+                "counters".to_string(),
+                JsonValue::Obj(
+                    self.counters.iter().map(|(k, &v)| (k.clone(), JsonValue::U64(v))).collect(),
+                ),
+            ),
+            (
+                "histograms".to_string(),
+                JsonValue::Obj(
+                    self.histograms.iter().map(|(k, v)| (k.clone(), v.to_json())).collect(),
+                ),
+            ),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_create_on_first_use_and_accumulate() {
+        let r = Registry::new();
+        r.inc("a");
+        r.add("a", 4);
+        r.add("b", 2);
+        let s = r.snapshot();
+        assert_eq!(s.counter("a"), 5);
+        assert_eq!(s.counter("b"), 2);
+        assert_eq!(s.counter("missing"), 0);
+    }
+
+    #[test]
+    fn set_absorbs_absolute_values() {
+        let r = Registry::new();
+        r.set("log.appends", 10);
+        r.set("log.appends", 7); // re-absorption overwrites, not adds
+        assert_eq!(r.snapshot().counter("log.appends"), 7);
+    }
+
+    #[test]
+    fn snapshot_delta_arithmetic() {
+        let r = Registry::new();
+        r.add("x", 3);
+        r.observe("h", 10);
+        let before = r.snapshot();
+        r.add("x", 2);
+        r.add("fresh", 1); // born after `before`
+        r.observe("h", 100);
+        let delta = r.snapshot().since(&before);
+        assert_eq!(delta.counter("x"), 2);
+        assert_eq!(delta.counter("fresh"), 1);
+        let h = delta.histogram("h");
+        assert_eq!(h.count, 1);
+        assert_eq!(h.sum, 100);
+    }
+
+    #[test]
+    fn delta_of_identical_snapshots_is_zero() {
+        let r = Registry::new();
+        r.add("x", 3);
+        r.observe("h", 4);
+        let s = r.snapshot();
+        let delta = s.since(&s.clone());
+        assert_eq!(delta.counter("x"), 0);
+        assert_eq!(delta.histogram("h").count, 0);
+        assert_eq!(delta.histogram("h").sum, 0);
+    }
+
+    #[test]
+    fn histogram_buckets_and_stats() {
+        let h = Histogram::default();
+        for v in [1u64, 1, 2, 3, 1000] {
+            h.observe(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 5);
+        assert_eq!(s.sum, 1007);
+        assert_eq!(s.max, 1000);
+        assert!((s.mean() - 201.4).abs() < 1e-9);
+        // Median observation (rank 3 of 5) is 2 → bucket [2,4).
+        assert_eq!(s.quantile_bound(0.5), 4);
+        // The top observation lands in [512, 1024).
+        assert_eq!(s.quantile_bound(1.0), 1024);
+    }
+
+    #[test]
+    fn histogram_zero_goes_to_first_bucket() {
+        let h = Histogram::default();
+        h.observe(0);
+        let s = h.snapshot();
+        assert_eq!(s.buckets[0], 1);
+        assert_eq!(s.count, 1);
+        assert_eq!(s.quantile_bound(0.5), 2);
+    }
+
+    #[test]
+    fn empty_histogram_quantiles() {
+        let s = HistogramSnapshot::default();
+        assert_eq!(s.quantile_bound(0.5), 0);
+        assert_eq!(s.mean(), 0.0);
+    }
+
+    #[test]
+    fn handles_are_shared() {
+        let r = Registry::new();
+        let c1 = r.counter("shared");
+        let c2 = r.counter("shared");
+        c1.inc();
+        c2.inc();
+        assert_eq!(r.snapshot().counter("shared"), 2);
+    }
+}

@@ -1,0 +1,333 @@
+//! The span/event tracer: a bounded ring buffer of structured events.
+//!
+//! Design constraints, in order:
+//!
+//! 1. **Cheap on the hot path.** One short critical section per event
+//!    (a `Mutex<VecDeque>` push plus a capacity check); no allocation
+//!    per event beyond the ring's amortized growth to capacity; event
+//!    payloads are plain `u64`s and `&'static str` names.
+//! 2. **Bounded.** The ring holds the most recent `capacity` events and
+//!    counts what it dropped, so tracing a million-record recovery can
+//!    never exhaust memory — the *tail* of a recovery timeline is the
+//!    interesting part anyway (the invariant observers run on captures
+//!    from right-sized test workloads).
+//! 3. **Timestamped relative to the tracer's epoch** (microseconds), so
+//!    timelines from different runs line up at zero.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+use crate::json::JsonValue;
+
+/// Sentinel for "no LSN / no transaction" in an event field.
+pub const NONE: u64 = u64::MAX;
+
+/// Default ring capacity (events).
+pub const DEFAULT_CAPACITY: usize = 65_536;
+
+/// What kind of trace entry an event is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EventKind {
+    /// A span opened (the matching close carries the same `span` id).
+    SpanBegin,
+    /// A span closed; `payload` holds its duration in microseconds.
+    SpanEnd,
+    /// An instantaneous event.
+    Point,
+}
+
+impl EventKind {
+    /// Stable lowercase name for export.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            EventKind::SpanBegin => "begin",
+            EventKind::SpanEnd => "end",
+            EventKind::Point => "point",
+        }
+    }
+}
+
+/// One structured trace event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Microseconds since the tracer was created.
+    pub ts_micros: u64,
+    /// Enclosing/owning span id; 0 when emitted outside any span.
+    pub span: u64,
+    /// Begin/end/point.
+    pub kind: EventKind,
+    /// Event name (see [`crate::names`]).
+    pub name: &'static str,
+    /// Low end of the LSN range this event concerns, or [`NONE`].
+    pub lsn_lo: u64,
+    /// High end of the LSN range, or [`NONE`].
+    pub lsn_hi: u64,
+    /// Transaction id, or [`NONE`].
+    pub txn: u64,
+    /// Event-specific scalar (durations, counts, partner txn ids, ...).
+    pub payload: u64,
+}
+
+impl TraceEvent {
+    /// Renders the event as a JSON object (omitting `NONE` fields).
+    pub fn to_json(&self) -> JsonValue {
+        let mut fields = vec![
+            ("ts_us", JsonValue::U64(self.ts_micros)),
+            ("kind", JsonValue::Str(self.kind.as_str().to_string())),
+            ("name", JsonValue::Str(self.name.to_string())),
+        ];
+        if self.span != 0 {
+            fields.push(("span", JsonValue::U64(self.span)));
+        }
+        if self.lsn_lo != NONE {
+            fields.push(("lsn_lo", JsonValue::U64(self.lsn_lo)));
+        }
+        if self.lsn_hi != NONE {
+            fields.push(("lsn_hi", JsonValue::U64(self.lsn_hi)));
+        }
+        if self.txn != NONE {
+            fields.push(("txn", JsonValue::U64(self.txn)));
+        }
+        fields.push(("payload", JsonValue::U64(self.payload)));
+        JsonValue::obj(fields)
+    }
+}
+
+#[derive(Debug, Default)]
+struct Ring {
+    buf: VecDeque<TraceEvent>,
+    dropped: u64,
+}
+
+/// The tracer. Cloneless; share it behind an `Arc` (usually inside
+/// [`crate::Obs`]).
+#[derive(Debug)]
+pub struct Tracer {
+    epoch: Instant,
+    capacity: usize,
+    ring: Mutex<Ring>,
+    next_span: AtomicU64,
+}
+
+impl Default for Tracer {
+    fn default() -> Self {
+        Self::with_capacity(DEFAULT_CAPACITY)
+    }
+}
+
+/// A captured copy of the ring, ready for observers and export.
+#[derive(Debug, Clone, Default)]
+pub struct TraceSnapshot {
+    /// The retained events, oldest first.
+    pub events: Vec<TraceEvent>,
+    /// Events evicted by the ring before this capture.
+    pub dropped: u64,
+}
+
+impl TraceSnapshot {
+    /// Events with the given name, oldest first.
+    pub fn named(&self, name: &str) -> Vec<TraceEvent> {
+        self.events.iter().filter(|e| e.name == name).copied().collect()
+    }
+
+    /// Renders `{dropped, events: [...]}`.
+    pub fn to_json(&self) -> JsonValue {
+        JsonValue::obj(vec![
+            ("dropped", JsonValue::U64(self.dropped)),
+            ("events", JsonValue::Arr(self.events.iter().map(TraceEvent::to_json).collect())),
+        ])
+    }
+}
+
+impl Tracer {
+    /// Creates a tracer retaining at most `capacity` events.
+    pub fn with_capacity(capacity: usize) -> Self {
+        Tracer {
+            epoch: Instant::now(),
+            capacity: capacity.max(1),
+            ring: Mutex::new(Ring::default()),
+            next_span: AtomicU64::new(1),
+        }
+    }
+
+    fn now_micros(&self) -> u64 {
+        self.epoch.elapsed().as_micros() as u64
+    }
+
+    fn push(&self, ev: TraceEvent) {
+        let mut ring = self.ring.lock().expect("tracer ring poisoned");
+        if ring.buf.len() == self.capacity {
+            ring.buf.pop_front();
+            ring.dropped += 1;
+        }
+        ring.buf.push_back(ev);
+    }
+
+    /// Emits an instantaneous event. Use [`NONE`] for absent fields.
+    pub fn point(&self, name: &'static str, lsn_lo: u64, lsn_hi: u64, txn: u64, payload: u64) {
+        self.push(TraceEvent {
+            ts_micros: self.now_micros(),
+            span: 0,
+            kind: EventKind::Point,
+            name,
+            lsn_lo,
+            lsn_hi,
+            txn,
+            payload,
+        });
+    }
+
+    /// Opens a span; the returned guard emits the matching end event
+    /// (with its duration as `payload`) when dropped.
+    pub fn span(&self, name: &'static str) -> SpanGuard<'_> {
+        self.span_for_txn(name, NONE)
+    }
+
+    /// Opens a span attributed to a transaction.
+    pub fn span_for_txn(&self, name: &'static str, txn: u64) -> SpanGuard<'_> {
+        let id = self.next_span.fetch_add(1, Ordering::Relaxed);
+        self.push(TraceEvent {
+            ts_micros: self.now_micros(),
+            span: id,
+            kind: EventKind::SpanBegin,
+            name,
+            lsn_lo: NONE,
+            lsn_hi: NONE,
+            txn,
+            payload: 0,
+        });
+        SpanGuard { tracer: self, name, id, txn, started: Instant::now() }
+    }
+
+    /// Captures the current ring contents.
+    pub fn snapshot(&self) -> TraceSnapshot {
+        let ring = self.ring.lock().expect("tracer ring poisoned");
+        TraceSnapshot { events: ring.buf.iter().copied().collect(), dropped: ring.dropped }
+    }
+
+    /// Discards all retained events (capacity and epoch are kept).
+    pub fn clear(&self) {
+        let mut ring = self.ring.lock().expect("tracer ring poisoned");
+        ring.buf.clear();
+        ring.dropped = 0;
+    }
+}
+
+/// RAII guard for an open span (see [`Tracer::span`]).
+#[derive(Debug)]
+pub struct SpanGuard<'a> {
+    tracer: &'a Tracer,
+    name: &'static str,
+    id: u64,
+    txn: u64,
+    started: Instant,
+}
+
+impl SpanGuard<'_> {
+    /// The span's id (events can reference it explicitly).
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// Emits a point event attributed to this span.
+    pub fn point(&self, name: &'static str, lsn_lo: u64, lsn_hi: u64, txn: u64, payload: u64) {
+        self.tracer.push(TraceEvent {
+            ts_micros: self.tracer.now_micros(),
+            span: self.id,
+            kind: EventKind::Point,
+            name,
+            lsn_lo,
+            lsn_hi,
+            txn,
+            payload,
+        });
+    }
+}
+
+impl Drop for SpanGuard<'_> {
+    fn drop(&mut self) {
+        let dur = self.started.elapsed().as_micros() as u64;
+        self.tracer.push(TraceEvent {
+            ts_micros: self.tracer.now_micros(),
+            span: self.id,
+            kind: EventKind::SpanEnd,
+            name: self.name,
+            lsn_lo: NONE,
+            lsn_hi: NONE,
+            txn: self.txn,
+            payload: dur,
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn points_are_recorded_in_order() {
+        let t = Tracer::default();
+        t.point("a", 1, 2, 3, 4);
+        t.point("b", NONE, NONE, NONE, 0);
+        let snap = t.snapshot();
+        assert_eq!(snap.events.len(), 2);
+        assert_eq!(snap.events[0].name, "a");
+        assert_eq!(snap.events[0].lsn_lo, 1);
+        assert_eq!(snap.events[1].name, "b");
+        assert!(snap.events[0].ts_micros <= snap.events[1].ts_micros);
+        assert_eq!(snap.dropped, 0);
+    }
+
+    #[test]
+    fn span_guard_emits_begin_and_end() {
+        let t = Tracer::default();
+        {
+            let s = t.span("work");
+            s.point("inner", 5, 5, NONE, 0);
+        }
+        let snap = t.snapshot();
+        let kinds: Vec<EventKind> = snap.events.iter().map(|e| e.kind).collect();
+        assert_eq!(kinds, vec![EventKind::SpanBegin, EventKind::Point, EventKind::SpanEnd]);
+        // Begin, inner point, and end share the span id.
+        assert_eq!(snap.events[0].span, snap.events[1].span);
+        assert_eq!(snap.events[0].span, snap.events[2].span);
+    }
+
+    #[test]
+    fn ring_drops_oldest_and_counts() {
+        let t = Tracer::with_capacity(4);
+        for i in 0..10u64 {
+            t.point("e", i, i, NONE, 0);
+        }
+        let snap = t.snapshot();
+        assert_eq!(snap.events.len(), 4);
+        assert_eq!(snap.dropped, 6);
+        // The survivors are the newest four.
+        let lsns: Vec<u64> = snap.events.iter().map(|e| e.lsn_lo).collect();
+        assert_eq!(lsns, vec![6, 7, 8, 9]);
+    }
+
+    #[test]
+    fn named_filters() {
+        let t = Tracer::default();
+        t.point("x", 0, 0, NONE, 0);
+        t.point("y", 1, 1, NONE, 0);
+        t.point("x", 2, 2, NONE, 0);
+        let snap = t.snapshot();
+        assert_eq!(snap.named("x").len(), 2);
+        assert_eq!(snap.named("z").len(), 0);
+    }
+
+    #[test]
+    fn clear_resets() {
+        let t = Tracer::with_capacity(1);
+        t.point("a", 0, 0, NONE, 0);
+        t.point("b", 0, 0, NONE, 0);
+        t.clear();
+        let snap = t.snapshot();
+        assert!(snap.events.is_empty());
+        assert_eq!(snap.dropped, 0);
+    }
+}

@@ -31,6 +31,6 @@ pub mod page;
 pub mod pool;
 
 pub use disk::Disk;
-pub use metrics::DiskMetrics;
+pub use metrics::{DiskMetrics, DiskMetricsSnapshot};
 pub use page::{slot_of, Page, SLOTS_PER_PAGE};
 pub use pool::{BufferPool, LogFlush, NoWal};

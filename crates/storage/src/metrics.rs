@@ -27,6 +27,23 @@ pub struct DiskMetricsSnapshot {
     pub page_writes: u64,
 }
 
+impl DiskMetricsSnapshot {
+    /// Absorbs this snapshot into a unified [`rh_obs::Registry`] under
+    /// the `disk.*` prefix (absolute values; re-absorption overwrites).
+    pub fn export_into(&self, registry: &rh_obs::Registry) {
+        registry.set("disk.page_reads", self.page_reads);
+        registry.set("disk.page_writes", self.page_writes);
+    }
+
+    /// Difference since an earlier snapshot (for per-phase reporting).
+    pub fn since(&self, earlier: &DiskMetricsSnapshot) -> DiskMetricsSnapshot {
+        DiskMetricsSnapshot {
+            page_reads: self.page_reads - earlier.page_reads,
+            page_writes: self.page_writes - earlier.page_writes,
+        }
+    }
+}
+
 impl DiskMetrics {
     pub(crate) fn record_read(&self) {
         self.page_reads.fetch_add(1, Ordering::Relaxed);
@@ -66,5 +83,20 @@ mod tests {
         assert_eq!(s.page_writes, 1);
         m.reset();
         assert_eq!(m.snapshot(), DiskMetricsSnapshot::default());
+    }
+
+    #[test]
+    fn since_and_export() {
+        let m = DiskMetrics::default();
+        m.record_read();
+        let before = m.snapshot();
+        m.record_write();
+        m.record_write();
+        let delta = m.snapshot().since(&before);
+        assert_eq!(delta, DiskMetricsSnapshot { page_reads: 0, page_writes: 2 });
+        let reg = rh_obs::Registry::new();
+        m.snapshot().export_into(&reg);
+        assert_eq!(reg.snapshot().counter("disk.page_reads"), 1);
+        assert_eq!(reg.snapshot().counter("disk.page_writes"), 2);
     }
 }

@@ -146,6 +146,19 @@ impl LogMetrics {
 }
 
 impl LogMetricsSnapshot {
+    /// Absorbs this snapshot into a unified [`rh_obs::Registry`] under
+    /// the `log.*` prefix (absolute values; re-absorption overwrites).
+    pub fn export_into(&self, registry: &rh_obs::Registry) {
+        registry.set("log.appends", self.appends);
+        registry.set("log.flushes", self.flushes);
+        registry.set("log.records_flushed", self.records_flushed);
+        registry.set("log.records_read", self.records_read);
+        registry.set("log.seeks", self.seeks);
+        registry.set("log.in_place_rewrites", self.in_place_rewrites);
+        registry.set("log.fsyncs", self.fsyncs);
+        registry.set("log.bytes_flushed", self.bytes_flushed);
+    }
+
     /// Difference since an earlier snapshot (for per-phase reporting).
     pub fn since(&self, earlier: &LogMetricsSnapshot) -> LogMetricsSnapshot {
         LogMetricsSnapshot {
@@ -215,5 +228,69 @@ mod tests {
         let delta = m.snapshot().since(&before);
         assert_eq!(delta.appends, 1);
         assert_eq!(delta.in_place_rewrites, 1);
+    }
+
+    #[test]
+    fn backward_minus_one_adjacency_is_sequential_from_any_entry() {
+        // Entering a cluster at its right end (a jump) then stepping
+        // K <- K-1 must charge exactly the one entry seek.
+        let m = LogMetrics::default();
+        m.record_append(100);
+        m.record_read(50); // jump into a cluster
+        m.record_read(49);
+        m.record_read(48);
+        assert_eq!(m.snapshot().seeks, 1);
+    }
+
+    #[test]
+    fn rewrite_then_read_adjacency() {
+        // The lazy baseline rewrites LOG[k] in place and then continues
+        // its sweep at k-1: the rewrite repositions the head, so the
+        // following read is adjacent, not a seek.
+        let m = LogMetrics::default();
+        m.record_read(10);
+        m.record_rewrite(10); // same position: not a seek
+        m.record_read(9); // adjacent to the rewrite
+        let s = m.snapshot();
+        assert_eq!(s.seeks, 0);
+        assert_eq!(s.in_place_rewrites, 1);
+        assert_eq!(s.records_read, 2);
+    }
+
+    #[test]
+    fn empty_log_snapshot_is_all_zero_and_first_touch_never_seeks() {
+        let m = LogMetrics::default();
+        assert_eq!(m.snapshot(), LogMetricsSnapshot::default());
+        // The very first access has no predecessor — position 1000 is
+        // arbitrary and must not count as a seek against last_pos = -1.
+        m.record_read(1000);
+        assert_eq!(m.snapshot().seeks, 0);
+    }
+
+    #[test]
+    fn reset_forgets_position() {
+        let m = LogMetrics::default();
+        m.record_append(5);
+        m.reset();
+        assert_eq!(m.snapshot(), LogMetricsSnapshot::default());
+        // After reset the next access is a "first touch" again.
+        m.record_read(999);
+        assert_eq!(m.snapshot().seeks, 0);
+    }
+
+    #[test]
+    fn exports_into_registry_absolutely() {
+        let m = LogMetrics::default();
+        m.record_append(0);
+        m.record_append(1);
+        m.record_read(10); // distance 9: one seek
+        let reg = rh_obs::Registry::new();
+        m.snapshot().export_into(&reg);
+        m.snapshot().export_into(&reg); // idempotent, not doubling
+        let s = reg.snapshot();
+        assert_eq!(s.counter("log.appends"), 2);
+        assert_eq!(s.counter("log.records_read"), 1);
+        assert_eq!(s.counter("log.seeks"), 1);
+        assert_eq!(s.counter("log.in_place_rewrites"), 0);
     }
 }

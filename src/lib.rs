@@ -19,6 +19,7 @@
 //! | [`eos`] | `rh-eos` | NO-UNDO/REDO engine with delegation (§3.7) |
 //! | [`etm`] | `rh-etm` | ASSET primitives + split/nested/reporting/co |
 //! | [`workload`] | `rh-workload` | seeded experiment workloads |
+//! | [`obs`] | `rh-obs` | tracer, metrics registry, invariant observers |
 //!
 //! The most common entry points are re-exported at the top level.
 //!
@@ -47,6 +48,7 @@ pub use rh_core as core;
 pub use rh_eos as eos;
 pub use rh_etm as etm;
 pub use rh_lock as lock;
+pub use rh_obs as obs;
 pub use rh_storage as storage;
 pub use rh_wal as wal;
 pub use rh_workload as workload;
