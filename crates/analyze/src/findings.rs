@@ -1,0 +1,179 @@
+//! Findings, suppressions, and the checked-in baseline.
+//!
+//! A [`Finding`] is one rule violation at one source line. Three layers
+//! decide whether it fails the build:
+//!
+//! 1. **Inline suppression** — a `// rh-analyze: allow(L1)` comment on
+//!    the same or the preceding line waives that rule there, visibly in
+//!    the code under review.
+//! 2. **Baseline** — `crates/analyze/baseline.json` lists findings that
+//!    are accepted debt. The gate fails on findings *not* in the
+//!    baseline, and also (in `--strict` CI mode) on *stale* baseline
+//!    entries that no longer occur, so the file can only shrink.
+//! 3. Everything else is a hard failure.
+//!
+//! Artifacts use the same hand-rolled JSON as the rest of the
+//! observability layer ([`rh_obs::json`]), so CI tooling parses one
+//! dialect.
+
+use crate::lexer::{Kind, Token};
+use rh_obs::json::JsonValue;
+
+/// One rule violation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Rule id, `L1`..`L5`.
+    pub rule: &'static str,
+    /// Repo-relative path.
+    pub file: String,
+    /// 1-based line.
+    pub line: u32,
+    /// Human-readable description of the violation.
+    pub message: String,
+}
+
+impl Finding {
+    /// Stable identity for baseline matching: rule + file + line.
+    pub fn key(&self) -> String {
+        format!("{}:{}:{}", self.rule, self.file, self.line)
+    }
+
+    /// Rendered JSON object for the artifact.
+    pub fn to_json(&self) -> JsonValue {
+        JsonValue::obj(vec![
+            ("rule", JsonValue::Str(self.rule.to_string())),
+            ("file", JsonValue::Str(self.file.clone())),
+            ("line", JsonValue::U64(u64::from(self.line))),
+            ("message", JsonValue::Str(self.message.clone())),
+        ])
+    }
+}
+
+/// Lines on which a given rule is suppressed by an inline
+/// `// rh-analyze: allow(LN)` marker. The marker covers its own line and
+/// the one below it (so it can sit above the flagged statement).
+pub fn suppressed_lines(tokens: &[Token], rule: &str) -> Vec<u32> {
+    let needle = format!("rh-analyze: allow({rule})");
+    let mut out = Vec::new();
+    for t in tokens {
+        if matches!(t.kind, Kind::LineComment | Kind::BlockComment) && t.text.contains(&needle) {
+            out.push(t.line);
+            out.push(t.line + 1);
+        }
+    }
+    out
+}
+
+/// Applies inline suppressions to a batch of findings from one file.
+pub fn apply_suppressions(tokens: &[Token], findings: Vec<Finding>) -> Vec<Finding> {
+    findings.into_iter().filter(|f| !suppressed_lines(tokens, f.rule).contains(&f.line)).collect()
+}
+
+/// The parsed baseline: accepted finding keys.
+#[derive(Debug, Default)]
+pub struct Baseline {
+    /// `rule:file:line` keys accepted as existing debt.
+    pub keys: Vec<String>,
+}
+
+impl Baseline {
+    /// Parses `baseline.json`. Unknown fields are ignored; a malformed
+    /// file is an error (a silently-empty baseline would mask debt).
+    pub fn parse(text: &str) -> Result<Baseline, String> {
+        let v = rh_obs::json::parse(text).map_err(|e| format!("baseline: {e:?}"))?;
+        let Some(entries) = v.get("accepted").and_then(JsonValue::as_arr) else {
+            return Err("baseline: missing `accepted` array".to_string());
+        };
+        let mut keys = Vec::new();
+        for e in entries {
+            let Some(k) = e.get("key").and_then(JsonValue::as_str) else {
+                return Err("baseline: entry without `key`".to_string());
+            };
+            keys.push(k.to_string());
+        }
+        Ok(Baseline { keys })
+    }
+
+    /// Splits findings into `(new, accepted)` and reports stale baseline
+    /// keys that matched nothing.
+    pub fn triage(&self, findings: Vec<Finding>) -> Triage {
+        let mut new = Vec::new();
+        let mut accepted = Vec::new();
+        for f in findings {
+            if self.keys.contains(&f.key()) {
+                accepted.push(f);
+            } else {
+                new.push(f);
+            }
+        }
+        let stale = self
+            .keys
+            .iter()
+            .filter(|k| !accepted.iter().any(|f| &f.key() == *k))
+            .cloned()
+            .collect();
+        Triage { new, accepted, stale }
+    }
+}
+
+/// Outcome of baseline matching.
+#[derive(Debug)]
+pub struct Triage {
+    /// Findings not covered by the baseline — these fail the gate.
+    pub new: Vec<Finding>,
+    /// Findings covered by the baseline — reported, not fatal.
+    pub accepted: Vec<Finding>,
+    /// Baseline keys that matched no finding — the debt was paid; the
+    /// entry must be deleted (fatal under `--strict`).
+    pub stale: Vec<String>,
+}
+
+impl Triage {
+    /// Renders the full triage as the `analyze.json` artifact body.
+    pub fn to_json(&self, files_scanned: u64) -> JsonValue {
+        JsonValue::obj(vec![
+            ("files_scanned", JsonValue::U64(files_scanned)),
+            ("new", JsonValue::Arr(self.new.iter().map(Finding::to_json).collect())),
+            ("accepted", JsonValue::Arr(self.accepted.iter().map(Finding::to_json).collect())),
+            (
+                "stale_baseline",
+                JsonValue::Arr(self.stale.iter().map(|k| JsonValue::Str(k.clone())).collect()),
+            ),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn f(rule: &'static str, line: u32) -> Finding {
+        Finding { rule, file: "x.rs".into(), line, message: "m".into() }
+    }
+
+    #[test]
+    fn inline_suppression_covers_same_and_next_line() {
+        let toks = lex("// rh-analyze: allow(L1)\nfoo.unwrap();\nbar.unwrap();\n");
+        let got = apply_suppressions(&toks, vec![f("L1", 2), f("L1", 3), f("L2", 2)]);
+        // L1 on line 2 is waived; line 3 and the other rule are not.
+        assert_eq!(got, vec![f("L1", 3), f("L2", 2)]);
+    }
+
+    #[test]
+    fn baseline_triage_splits_and_detects_stale() {
+        let bl =
+            Baseline::parse(r#"{"accepted": [{"key": "L1:x.rs:2"}, {"key": "L1:gone.rs:9"}]}"#)
+                .unwrap();
+        let t = bl.triage(vec![f("L1", 2), f("L1", 7)]);
+        assert_eq!(t.accepted.len(), 1);
+        assert_eq!(t.new, vec![f("L1", 7)]);
+        assert_eq!(t.stale, vec!["L1:gone.rs:9".to_string()]);
+    }
+
+    #[test]
+    fn malformed_baseline_is_an_error() {
+        assert!(Baseline::parse("{}").is_err());
+        assert!(Baseline::parse("not json").is_err());
+    }
+}

@@ -1,0 +1,457 @@
+//! A hand-rolled Rust lexer, just deep enough to lint on.
+//!
+//! The analyzer has no access to `syn`/`proc-macro2` (the build is
+//! offline, in-tree dependencies only), so the rules work on a token
+//! stream produced here. The lexer gets right exactly the things that
+//! make naïve `grep`-style linting lie:
+//!
+//! * string literals — including raw strings `r#"…"#` with any hash
+//!   count and the `b`/`br`/`c` prefixes — so `"panic!"` inside a
+//!   string is not a panic;
+//! * comments — line and *nested* block comments — so commented-out
+//!   code never fires a rule, while comment *text* stays available for
+//!   `// SAFETY:` and suppression markers;
+//! * char literals vs lifetimes (`'a'` vs `'a`), the classic tokenizer
+//!   trap;
+//! * `#[cfg(test)]` item spans, so test-only code is exempt from the
+//!   production-path rules (L1/L4).
+//!
+//! It is *not* a parser: rules reason over flat tokens plus brace depth.
+//! That approximation is documented per rule in `DESIGN.md` §10.
+
+/// What kind of lexeme a [`Token`] is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Kind {
+    /// Identifier or keyword.
+    Ident,
+    /// Any string literal (plain, raw, byte, C).
+    Str,
+    /// Character literal.
+    Char,
+    /// Lifetime (`'a`) — distinguished from [`Kind::Char`].
+    Lifetime,
+    /// Numeric literal.
+    Num,
+    /// `//` comment, text without the slashes.
+    LineComment,
+    /// `/* */` comment (possibly nested), text without delimiters.
+    BlockComment,
+    /// Single punctuation character.
+    Punct,
+}
+
+/// One lexeme with its source position.
+#[derive(Debug, Clone)]
+pub struct Token {
+    /// Lexeme class.
+    pub kind: Kind,
+    /// The text: identifier name, *unquoted* string/comment content, or
+    /// the punctuation character.
+    pub text: String,
+    /// 1-based line of the token's first character.
+    pub line: u32,
+}
+
+impl Token {
+    /// True for punctuation equal to `ch`.
+    pub fn is_punct(&self, ch: char) -> bool {
+        self.kind == Kind::Punct && self.text.as_bytes().first() == Some(&(ch as u8))
+    }
+
+    /// True for an identifier with exactly this text.
+    pub fn is_ident(&self, name: &str) -> bool {
+        self.kind == Kind::Ident && self.text == name
+    }
+}
+
+/// Lexes `src` into tokens. Unterminated constructs (possible in
+/// fixtures, never in compiling code) consume to end of input rather
+/// than panicking — the analyzer must not crash on weird inputs.
+pub fn lex(src: &str) -> Vec<Token> {
+    let b: Vec<char> = src.chars().collect();
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    let mut line = 1u32;
+    while i < b.len() {
+        let c = b[i];
+        let start_line = line;
+        match c {
+            '\n' => {
+                line += 1;
+                i += 1;
+            }
+            c if c.is_whitespace() => i += 1,
+            '/' if b.get(i + 1) == Some(&'/') => {
+                let mut j = i + 2;
+                while j < b.len() && b[j] != '\n' {
+                    j += 1;
+                }
+                out.push(Token {
+                    kind: Kind::LineComment,
+                    text: b[i + 2..j].iter().collect(),
+                    line: start_line,
+                });
+                i = j;
+            }
+            '/' if b.get(i + 1) == Some(&'*') => {
+                // Nested block comments: track depth.
+                let mut depth = 1u32;
+                let mut j = i + 2;
+                while j < b.len() && depth > 0 {
+                    if b[j] == '\n' {
+                        line += 1;
+                        j += 1;
+                    } else if b[j] == '/' && b.get(j + 1) == Some(&'*') {
+                        depth += 1;
+                        j += 2;
+                    } else if b[j] == '*' && b.get(j + 1) == Some(&'/') {
+                        depth -= 1;
+                        j += 2;
+                    } else {
+                        j += 1;
+                    }
+                }
+                let end = j.saturating_sub(2).max(i + 2);
+                out.push(Token {
+                    kind: Kind::BlockComment,
+                    text: b[i + 2..end.min(b.len())].iter().collect(),
+                    line: start_line,
+                });
+                i = j;
+            }
+            '"' => {
+                let (text, j, crossed) = scan_string(&b, i + 1);
+                line += crossed;
+                out.push(Token { kind: Kind::Str, text, line: start_line });
+                i = j;
+            }
+            '\'' => {
+                // Lifetime iff followed by ident-start NOT closed by a
+                // quote right after ('a' is a char, 'a is a lifetime).
+                let is_lifetime = matches!(b.get(i + 1), Some(ch) if ch.is_alphabetic() || *ch == '_')
+                    && b.get(i + 2) != Some(&'\'');
+                if is_lifetime {
+                    let mut j = i + 1;
+                    while j < b.len() && (b[j].is_alphanumeric() || b[j] == '_') {
+                        j += 1;
+                    }
+                    out.push(Token {
+                        kind: Kind::Lifetime,
+                        text: b[i + 1..j].iter().collect(),
+                        line: start_line,
+                    });
+                    i = j;
+                } else {
+                    let mut j = i + 1;
+                    if b.get(j) == Some(&'\\') {
+                        j += 2; // skip the escaped char
+                                // \u{...} escapes run to the closing brace.
+                        while j < b.len() && b[j] != '\'' {
+                            j += 1;
+                        }
+                    } else if j < b.len() {
+                        j += 1;
+                    }
+                    let end = j.min(b.len());
+                    out.push(Token {
+                        kind: Kind::Char,
+                        text: b[i + 1..end].iter().collect(),
+                        line: start_line,
+                    });
+                    i = (end + 1).min(b.len());
+                }
+            }
+            c if c.is_alphabetic() || c == '_' => {
+                let mut j = i;
+                while j < b.len() && (b[j].is_alphanumeric() || b[j] == '_') {
+                    j += 1;
+                }
+                let word: String = b[i..j].iter().collect();
+                // Raw / byte string prefixes: r"..", r#"..", b"..", br#"..
+                let is_str_prefix = matches!(word.as_str(), "r" | "b" | "br" | "rb" | "c" | "cr")
+                    && matches!(b.get(j), Some(&'"') | Some(&'#'));
+                if is_str_prefix && word.contains('r') && b.get(j) != Some(&'"') {
+                    // Hashed raw string: count the hashes.
+                    let mut hashes = 0usize;
+                    let mut k = j;
+                    while b.get(k) == Some(&'#') {
+                        hashes += 1;
+                        k += 1;
+                    }
+                    if b.get(k) == Some(&'"') {
+                        let (text, end, crossed) = scan_raw(&b, k + 1, hashes);
+                        line += crossed;
+                        out.push(Token { kind: Kind::Str, text, line: start_line });
+                        i = end;
+                        continue;
+                    }
+                    // `r#ident` raw identifier — fall through as ident.
+                    out.push(Token { kind: Kind::Ident, text: word, line: start_line });
+                    i = j;
+                } else if is_str_prefix && b.get(j) == Some(&'"') {
+                    if word.contains('r') {
+                        let (text, end, crossed) = scan_raw(&b, j + 1, 0);
+                        line += crossed;
+                        out.push(Token { kind: Kind::Str, text, line: start_line });
+                        i = end;
+                    } else {
+                        let (text, end, crossed) = scan_string(&b, j + 1);
+                        line += crossed;
+                        out.push(Token { kind: Kind::Str, text, line: start_line });
+                        i = end;
+                    }
+                } else {
+                    out.push(Token { kind: Kind::Ident, text: word, line: start_line });
+                    i = j;
+                }
+            }
+            c if c.is_ascii_digit() => {
+                let mut j = i;
+                while j < b.len() && (b[j].is_alphanumeric() || b[j] == '_' || b[j] == '.') {
+                    // Stop a range expression `0..n` from being eaten.
+                    if b[j] == '.' && b.get(j + 1) == Some(&'.') {
+                        break;
+                    }
+                    j += 1;
+                }
+                out.push(Token {
+                    kind: Kind::Num,
+                    text: b[i..j].iter().collect(),
+                    line: start_line,
+                });
+                i = j;
+            }
+            p => {
+                out.push(Token { kind: Kind::Punct, text: p.to_string(), line: start_line });
+                i += 1;
+            }
+        }
+    }
+    out
+}
+
+/// Scans a plain string body starting *after* the opening quote.
+/// Returns `(content, index after closing quote, newlines crossed)`.
+fn scan_string(b: &[char], mut j: usize) -> (String, usize, u32) {
+    let start = j;
+    let mut crossed = 0u32;
+    while j < b.len() {
+        match b[j] {
+            '\\' => j += 2,
+            '"' => return (b[start..j].iter().collect(), j + 1, crossed),
+            '\n' => {
+                crossed += 1;
+                j += 1;
+            }
+            _ => j += 1,
+        }
+    }
+    (b[start..].iter().collect(), b.len(), crossed)
+}
+
+/// Scans a raw string body (no escapes) closed by `"` + `hashes` × `#`.
+fn scan_raw(b: &[char], mut j: usize, hashes: usize) -> (String, usize, u32) {
+    let start = j;
+    let mut crossed = 0u32;
+    while j < b.len() {
+        if b[j] == '"' && b[j + 1..].iter().take(hashes).filter(|c| **c == '#').count() == hashes {
+            return (b[start..j].iter().collect(), j + 1 + hashes, crossed);
+        }
+        if b[j] == '\n' {
+            crossed += 1;
+        }
+        j += 1;
+    }
+    (b[start..].iter().collect(), b.len(), crossed)
+}
+
+/// Line ranges (inclusive) of items annotated `#[cfg(test)]` (or any
+/// `cfg` whose argument mentions `test`, e.g. `cfg(any(test, fuzzing))`),
+/// plus `#[test]`-annotated functions. Rules L1/L4 treat these spans as
+/// exempt.
+pub fn test_spans(tokens: &[Token]) -> Vec<(u32, u32)> {
+    let code: Vec<&Token> = tokens
+        .iter()
+        .filter(|t| !matches!(t.kind, Kind::LineComment | Kind::BlockComment))
+        .collect();
+    let mut spans = Vec::new();
+    let mut i = 0usize;
+    while i < code.len() {
+        if code[i].is_punct('#') && code.get(i + 1).is_some_and(|t| t.is_punct('[')) {
+            let (is_test_attr, attr_end) = parse_attr(&code, i + 2);
+            if is_test_attr {
+                if let Some((_, close_line)) = item_body(&code, attr_end) {
+                    spans.push((code[i].line, close_line));
+                }
+            }
+            i = attr_end;
+        } else {
+            i += 1;
+        }
+    }
+    spans
+}
+
+/// Parses the attribute body starting just inside `#[`. Returns whether
+/// it is a test-exempting attribute and the index *after* the closing `]`.
+fn parse_attr(code: &[&Token], mut i: usize) -> (bool, usize) {
+    let mut depth = 1u32; // the `[`
+    let mut saw_cfg = false;
+    let mut saw_test_word = false;
+    let mut first = true;
+    while i < code.len() && depth > 0 {
+        let t = code[i];
+        if first && t.is_ident("cfg") {
+            saw_cfg = true;
+        }
+        if first && t.is_ident("test") {
+            // bare `#[test]`
+            saw_test_word = true;
+        }
+        if saw_cfg && t.is_ident("test") {
+            saw_test_word = true;
+        }
+        if t.is_punct('[') {
+            depth += 1;
+        } else if t.is_punct(']') {
+            depth -= 1;
+        }
+        first = false;
+        i += 1;
+    }
+    (saw_test_word, i)
+}
+
+/// Finds the brace-delimited body of the item following an attribute,
+/// skipping any further attributes. Returns `(open line, close line)`.
+/// Items without a body (`;`-terminated) return the declaration span.
+fn item_body(code: &[&Token], mut i: usize) -> Option<(u32, u32)> {
+    // Skip stacked attributes.
+    while i < code.len()
+        && code[i].is_punct('#')
+        && code.get(i + 1).is_some_and(|t| t.is_punct('['))
+    {
+        let (_, end) = parse_attr(code, i + 2);
+        i = end;
+    }
+    let start = i;
+    // Walk to the first `{` at angle-free top level, or a terminating `;`.
+    let mut j = i;
+    while j < code.len() {
+        if code[j].is_punct('{') {
+            let open_line = code[start].line;
+            let mut depth = 0i32;
+            while j < code.len() {
+                if code[j].is_punct('{') {
+                    depth += 1;
+                } else if code[j].is_punct('}') {
+                    depth -= 1;
+                    if depth == 0 {
+                        return Some((open_line, code[j].line));
+                    }
+                }
+                j += 1;
+            }
+            return Some((open_line, code.last()?.line));
+        }
+        if code[j].is_punct(';') {
+            return Some((code[start].line, code[j].line));
+        }
+        j += 1;
+    }
+    None
+}
+
+/// True if `line` falls inside any of `spans` (inclusive).
+pub fn in_spans(spans: &[(u32, u32)], line: u32) -> bool {
+    spans.iter().any(|&(lo, hi)| (lo..=hi).contains(&line))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<Kind> {
+        lex(src).into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn raw_strings_swallow_quotes_and_hashes() {
+        let toks = lex(r###"let s = r#"with "inner" quotes"#; x"###);
+        let s = toks.iter().find(|t| t.kind == Kind::Str).unwrap();
+        assert_eq!(s.text, r#"with "inner" quotes"#);
+        assert!(toks.last().unwrap().is_ident("x"), "lexing resumed after raw string");
+    }
+
+    #[test]
+    fn byte_and_plain_strings() {
+        let toks = lex(r#"let a = b"bytes"; let c = "pa\"nic!";"#);
+        let strs: Vec<&str> =
+            toks.iter().filter(|t| t.kind == Kind::Str).map(|t| t.text.as_str()).collect();
+        assert_eq!(strs, vec!["bytes", r#"pa\"nic!"#]);
+        // The panic! inside the string must NOT surface as an ident.
+        assert!(!toks.iter().any(|t| t.is_ident("panic")));
+    }
+
+    #[test]
+    fn nested_block_comments_terminate_correctly() {
+        let toks = lex("a /* outer /* inner */ still outer */ b");
+        assert_eq!(
+            toks.iter()
+                .filter(|t| t.kind == Kind::Ident)
+                .map(|t| t.text.clone())
+                .collect::<Vec<_>>(),
+            vec!["a", "b"]
+        );
+        assert!(toks.iter().any(|t| t.kind == Kind::BlockComment && t.text.contains("inner")));
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let toks = lex("fn f<'a>(x: &'a str) { let c = 'x'; let nl = '\\n'; }");
+        assert_eq!(toks.iter().filter(|t| t.kind == Kind::Lifetime).count(), 2);
+        assert_eq!(toks.iter().filter(|t| t.kind == Kind::Char).count(), 2);
+    }
+
+    #[test]
+    fn line_numbers_survive_multiline_tokens() {
+        let toks = lex("\"line\none\"\nident");
+        let id = toks.iter().find(|t| t.kind == Kind::Ident).unwrap();
+        assert_eq!(id.line, 3);
+    }
+
+    #[test]
+    fn numbers_do_not_eat_ranges() {
+        assert_eq!(kinds("0..10"), vec![Kind::Num, Kind::Punct, Kind::Punct, Kind::Num]);
+    }
+
+    #[test]
+    fn cfg_test_span_covers_the_module() {
+        let src = "fn prod() { x.unwrap(); }\n\
+                   #[cfg(test)]\n\
+                   mod tests {\n\
+                       fn t() { y.unwrap(); }\n\
+                   }\n\
+                   fn prod2() {}\n";
+        let toks = lex(src);
+        let spans = test_spans(&toks);
+        assert_eq!(spans, vec![(2, 5)]);
+        assert!(!in_spans(&spans, 1));
+        assert!(in_spans(&spans, 4));
+        assert!(!in_spans(&spans, 6));
+    }
+
+    #[test]
+    fn cfg_any_test_and_bare_test_are_exempt() {
+        let src = "#[cfg(any(test, fuzzing))]\nmod a { }\n#[test]\nfn t() { }\n#[cfg(feature = \"x\")]\nfn not_test() { }\n";
+        let spans = test_spans(&lex(src));
+        assert_eq!(spans, vec![(1, 2), (3, 4)]);
+    }
+
+    #[test]
+    fn stacked_attributes_before_body() {
+        let src = "#[cfg(test)]\n#[allow(dead_code)]\nmod tests {\nfn f() {}\n}\n";
+        let spans = test_spans(&lex(src));
+        assert_eq!(spans, vec![(1, 5)]);
+    }
+}

@@ -1,0 +1,109 @@
+//! `rh-analyze` — static analysis and small-scope model checking for the
+//! ARIES/RH workspace, with zero external dependencies.
+//!
+//! Two engines, one gate (DESIGN.md §10):
+//!
+//! * **Source lints** ([`rules`]) over a hand-rolled lexer ([`lexer`]):
+//!   - **L1** no panic-capable calls on durability-critical paths;
+//!   - **L2** lock acquisition order vs the declared manifest;
+//!   - **L3** obs-name literals must resolve to `rh_obs::names` constants;
+//!   - **L4** one sanctioned wall clock (`rh_obs::Stopwatch`);
+//!   - **L5** `unsafe` allowlist + mandatory `// SAFETY:` comments.
+//! * **Model checker** ([`model`]): exhaustive bounded histories ×
+//!   crash-at-every-LSN, ARIES/RH recovery vs the §2.1 oracle.
+//!
+//! Findings flow through inline suppressions and the checked-in
+//! baseline ([`findings`]); CI runs `cargo run -p rh-analyze --
+//! --workspace --strict` and `-- --model-check --smoke` as blocking
+//! jobs, emitting `rh_obs`-dialect JSON artifacts next to the
+//! experiment artifacts.
+
+pub mod findings;
+pub mod lexer;
+pub mod model;
+pub mod rules;
+
+use findings::{Baseline, Triage};
+use rules::SourceFile;
+use std::collections::HashSet;
+use std::path::{Path, PathBuf};
+
+/// Path prefixes (repo-relative, `/`-separated) never scanned: build
+/// output and the analyzer's own deliberately-violating fixtures.
+const SKIP_PREFIXES: &[&str] = &["target/", "crates/analyze/tests/fixtures/"];
+
+/// Recursively collects `.rs` files under `root/crates`, returning
+/// repo-relative forward-slash paths.
+fn rust_files(root: &Path) -> std::io::Result<Vec<PathBuf>> {
+    fn walk(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
+        for entry in std::fs::read_dir(dir)? {
+            let entry = entry?;
+            let path = entry.path();
+            if entry.file_type()?.is_dir() {
+                if path.file_name().is_some_and(|n| n == "target") {
+                    continue;
+                }
+                walk(&path, out)?;
+            } else if path.extension().is_some_and(|e| e == "rs") {
+                out.push(path);
+            }
+        }
+        Ok(())
+    }
+    let mut out = Vec::new();
+    walk(&root.join("crates"), &mut out)?;
+    out.sort();
+    Ok(out)
+}
+
+fn rel(root: &Path, path: &Path) -> String {
+    path.strip_prefix(root)
+        .unwrap_or(path)
+        .components()
+        .map(|c| c.as_os_str().to_string_lossy())
+        .collect::<Vec<_>>()
+        .join("/")
+}
+
+/// Lexes every in-scope workspace source file and collects the allowed
+/// obs-name values from `crates/obs/src/names.rs`.
+pub fn scan_workspace(root: &Path) -> std::io::Result<(Vec<SourceFile>, HashSet<String>)> {
+    let mut files = Vec::new();
+    let mut obs_names = HashSet::new();
+    for path in rust_files(root)? {
+        let rp = rel(root, &path);
+        if SKIP_PREFIXES.iter().any(|p| rp.starts_with(p)) {
+            continue;
+        }
+        let src = std::fs::read_to_string(&path)?;
+        let file = SourceFile::new(rp.clone(), &src);
+        if rp == "crates/obs/src/names.rs" {
+            obs_names = rules::obsnames::collect_const_values(&file);
+        }
+        files.push(file);
+    }
+    if obs_names.is_empty() {
+        return Err(std::io::Error::other(
+            "crates/obs/src/names.rs yielded no constants — L3 would be vacuous",
+        ));
+    }
+    Ok((files, obs_names))
+}
+
+/// Runs the full lint suite over the workspace at `root`, applying the
+/// checked-in baseline. Returns the triage plus the number of files
+/// scanned.
+pub fn run_lints(root: &Path) -> Result<(Triage, u64), String> {
+    let (files, obs_names) = scan_workspace(root).map_err(|e| format!("scan: {e}"))?;
+    let found = rules::run_all(&files, &obs_names);
+    let baseline_path = root.join("crates/analyze/baseline.json");
+    let baseline = if baseline_path.exists() {
+        let text = std::fs::read_to_string(&baseline_path)
+            .map_err(|e| format!("read {}: {e}", baseline_path.display()))?;
+        Baseline::parse(&text)?
+    } else {
+        Baseline::default()
+    };
+    let n = files.len() as u64;
+    Ok((baseline.triage(found), n))
+}

@@ -1,0 +1,130 @@
+//! CLI for `rh-analyze`. CI's blocking invocations:
+//!
+//! ```text
+//! cargo run -p rh-analyze -- --workspace --strict
+//! cargo run -p rh-analyze -- --model-check --smoke
+//! ```
+//!
+//! Exit codes: `0` clean, `1` findings/divergences, `2` usage error.
+//! Artifacts (`analyze.json`, `model_check.json`) are written to
+//! `--out-dir` (default `target/obs`), in the same JSON dialect as the
+//! experiment artifacts.
+
+use rh_analyze::model;
+use rh_obs::json::JsonValue;
+use rh_obs::Stopwatch;
+use rh_workload::enumerate::Bounds;
+use std::path::{Path, PathBuf};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: rh-analyze [--workspace [--strict]] [--model-check [--smoke]] \
+         [--root=DIR] [--out-dir=DIR]"
+    );
+    std::process::exit(2);
+}
+
+fn write_artifact(out_dir: &Path, name: &str, body: &JsonValue) -> std::io::Result<PathBuf> {
+    std::fs::create_dir_all(out_dir)?;
+    let path = out_dir.join(name);
+    std::fs::write(&path, body.render_pretty())?;
+    Ok(path)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let workspace = args.iter().any(|a| a == "--workspace");
+    let strict = args.iter().any(|a| a == "--strict");
+    let model_check = args.iter().any(|a| a == "--model-check");
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let root: PathBuf = args
+        .iter()
+        .find_map(|a| a.strip_prefix("--root="))
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("."));
+    let out_dir: PathBuf = args
+        .iter()
+        .find_map(|a| a.strip_prefix("--out-dir="))
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("target/obs"));
+    let known = |a: &String| {
+        a == "--workspace"
+            || a == "--strict"
+            || a == "--model-check"
+            || a == "--smoke"
+            || a.starts_with("--root=")
+            || a.starts_with("--out-dir=")
+    };
+    if args.iter().any(|a| !known(a)) || (!workspace && !model_check) {
+        usage();
+    }
+
+    let mut failed = false;
+
+    if workspace {
+        let sw = Stopwatch::start();
+        match rh_analyze::run_lints(&root) {
+            Err(e) => {
+                eprintln!("rh-analyze: {e}");
+                std::process::exit(2);
+            }
+            Ok((triage, files)) => {
+                for f in &triage.new {
+                    println!("{}:{}: [{}] {}", f.file, f.line, f.rule, f.message);
+                }
+                for f in &triage.accepted {
+                    println!("{}:{}: [{}] (baseline) {}", f.file, f.line, f.rule, f.message);
+                }
+                for k in &triage.stale {
+                    println!("stale baseline entry: {k} (debt paid — delete it)");
+                }
+                let body = triage.to_json(files);
+                match write_artifact(&out_dir, "analyze.json", &body) {
+                    Ok(p) => println!("[artifact] {}", p.display()),
+                    Err(e) => {
+                        eprintln!("rh-analyze: writing artifact: {e}");
+                        std::process::exit(2);
+                    }
+                }
+                println!(
+                    "lints: {files} files, {} new, {} baselined, {} stale ({} ms)",
+                    triage.new.len(),
+                    triage.accepted.len(),
+                    triage.stale.len(),
+                    sw.elapsed_micros() / 1000
+                );
+                if !triage.new.is_empty() || (strict && !triage.stale.is_empty()) {
+                    failed = true;
+                }
+            }
+        }
+    }
+
+    if model_check {
+        let sw = Stopwatch::start();
+        let bounds = if smoke { Bounds::smoke() } else { Bounds::full() };
+        let out = model::run(&bounds);
+        for d in &out.divergences {
+            eprintln!("DIVERGENCE [{}] {}\n  history: {}", d.strategy, d.detail, d.history);
+        }
+        match write_artifact(&out_dir, "model_check.json", &out.to_json()) {
+            Ok(p) => println!("[artifact] {}", p.display()),
+            Err(e) => {
+                eprintln!("rh-analyze: writing artifact: {e}");
+                std::process::exit(2);
+            }
+        }
+        println!(
+            "model check: {} histories, {} engine runs, {} divergences ({} ms)",
+            out.histories,
+            out.engine_runs,
+            out.divergence_count,
+            sw.elapsed_micros() / 1000
+        );
+        if out.divergence_count > 0 {
+            failed = true;
+        }
+    }
+
+    std::process::exit(i32::from(failed));
+}

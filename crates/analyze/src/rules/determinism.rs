@@ -1,0 +1,87 @@
+//! L4 — determinism: one sanctioned wall clock.
+//!
+//! Reproducible runs are a core claim of this repo (same workload spec →
+//! same history → same recovery). Wall-clock reads are the main leak:
+//! timing-dependent branches make crash points and benchmarks
+//! unreproducible, and scatter untraceable time sources across crates.
+//! All timing therefore flows through [`rh_obs::Stopwatch`]
+//! (`crates/obs/src/clock.rs`), the single audited `Instant` user; all
+//! randomness flows through the in-tree `rand` stand-in, which is
+//! seed-deterministic by construction.
+//!
+//! Flags `Instant::now` / `SystemTime::now` (including `::UNIX_EPOCH`
+//! arithmetic via `SystemTime` in general) outside `#[cfg(test)]`,
+//! everywhere except the sanctioned clock module.
+
+use super::SourceFile;
+use crate::findings::Finding;
+use crate::lexer::in_spans;
+
+/// The only production file allowed to read the wall clock.
+const ALLOWED: &[&str] = &["crates/obs/src/clock.rs"];
+
+fn applies(path: &str) -> bool {
+    !ALLOWED.contains(&path) && !path.starts_with("crates/compat/")
+}
+
+/// Runs L4 over one file.
+pub fn check(f: &SourceFile) -> Vec<Finding> {
+    if !applies(&f.path) {
+        return Vec::new();
+    }
+    let code = f.code();
+    let mut out = Vec::new();
+    for (i, t) in code.iter().enumerate() {
+        if in_spans(&f.test_spans, t.line) {
+            continue;
+        }
+        // `Instant::now` / `SystemTime::now` — require the `::` to avoid
+        // flagging a local method named `now`.
+        let is_clock_type = t.is_ident("Instant") || t.is_ident("SystemTime");
+        if is_clock_type
+            && code.get(i + 1).is_some_and(|n| n.is_punct(':'))
+            && code.get(i + 2).is_some_and(|n| n.is_punct(':'))
+            && code.get(i + 3).is_some_and(|n| n.is_ident("now"))
+        {
+            out.push(Finding {
+                rule: "L4",
+                file: f.path.clone(),
+                line: t.line,
+                message: format!(
+                    "`{}::now()` outside the sanctioned clock; use rh_obs::Stopwatch",
+                    t.text
+                ),
+            });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flags_wall_clock_reads() {
+        let f = SourceFile::new(
+            "crates/core/src/engine.rs",
+            "fn f() { let t = Instant::now(); let s = std::time::SystemTime::now(); }",
+        );
+        assert_eq!(check(&f).len(), 2);
+    }
+
+    #[test]
+    fn clock_module_compat_and_tests_are_exempt() {
+        let src = "fn f() { let t = Instant::now(); }";
+        assert!(check(&SourceFile::new("crates/obs/src/clock.rs", src)).is_empty());
+        assert!(check(&SourceFile::new("crates/compat/criterion/src/lib.rs", src)).is_empty());
+        let test_src = "#[cfg(test)]\nmod t { fn f() { let t = Instant::now(); } }";
+        assert!(check(&SourceFile::new("crates/core/src/engine.rs", test_src)).is_empty());
+    }
+
+    #[test]
+    fn a_method_named_now_is_not_the_wall_clock() {
+        let f = SourceFile::new("crates/core/src/engine.rs", "fn f(c: &Clock) { c.now(); }");
+        assert!(check(&f).is_empty());
+    }
+}

@@ -1,0 +1,68 @@
+//! The rule catalog (L1–L5).
+//!
+//! Each rule consumes one lexed [`SourceFile`] and returns raw
+//! [`Finding`]s; inline suppressions and the baseline are applied by the
+//! caller ([`crate::run_lints`]). Rules decide their own path scope via
+//! `applies`, so adding a file to a rule's blast radius is a one-line
+//! manifest edit here, reviewable like any other invariant change.
+
+pub mod determinism;
+pub mod locks;
+pub mod obsnames;
+pub mod panics;
+pub mod unsafety;
+
+use crate::findings::Finding;
+use crate::lexer::{Kind, Token};
+
+/// One lexed source file, ready for every rule.
+#[derive(Debug)]
+pub struct SourceFile {
+    /// Repo-relative path with forward slashes (stable across hosts, so
+    /// baseline keys are portable).
+    pub path: String,
+    /// Token stream from [`crate::lexer::lex`].
+    pub tokens: Vec<Token>,
+    /// `#[cfg(test)]` / `#[test]` line spans from
+    /// [`crate::lexer::test_spans`].
+    pub test_spans: Vec<(u32, u32)>,
+}
+
+impl SourceFile {
+    /// Lexes `src` under the given repo-relative path.
+    pub fn new(path: impl Into<String>, src: &str) -> Self {
+        let tokens = crate::lexer::lex(src);
+        let test_spans = crate::lexer::test_spans(&tokens);
+        SourceFile { path: path.into(), tokens, test_spans }
+    }
+
+    /// The token stream with comments removed — most rules reason over
+    /// code tokens only.
+    pub fn code(&self) -> Vec<&Token> {
+        self.tokens
+            .iter()
+            .filter(|t| !matches!(t.kind, Kind::LineComment | Kind::BlockComment))
+            .collect()
+    }
+}
+
+/// Runs every rule over `files`. `obs_names` is the set of string values
+/// of the `rh_obs::names` constants (collected by the scanner from
+/// `crates/obs/src/names.rs`), consumed by L3.
+pub fn run_all(
+    files: &[SourceFile],
+    obs_names: &std::collections::HashSet<String>,
+) -> Vec<Finding> {
+    let mut out = Vec::new();
+    for f in files {
+        let mut found = Vec::new();
+        found.extend(panics::check(f));
+        found.extend(locks::check(f));
+        found.extend(obsnames::check(f, obs_names));
+        found.extend(determinism::check(f));
+        found.extend(unsafety::check(f));
+        out.extend(crate::findings::apply_suppressions(&f.tokens, found));
+    }
+    out.sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
+    out
+}

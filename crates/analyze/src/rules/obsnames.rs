@@ -1,0 +1,151 @@
+//! L3 — observability-name hygiene.
+//!
+//! Every counter/event/span name must be a constant in
+//! [`rh_obs::names`]: dashboards, the invariant observers, and the
+//! artifact validators all match on exact strings, so a typo'd literal
+//! (`"log.apends"`) silently creates a parallel metric that no gate
+//! watches. PR 2 converted the exporters to constants; this rule keeps
+//! it that way.
+//!
+//! A string literal is flagged when it (a) *looks like* an obs name —
+//! dotted lowercase segments — (b) appears as an argument to an obs
+//! recording call (`counter`, `add`, `set`, `observe`, `event`, `span`,
+//! `span_for_txn`), and (c) is not the value of any `names` constant.
+//! Test spans are exempt (assertions on literal names double as
+//! documentation there), as is `crates/obs/` itself, where the
+//! constants are defined.
+
+use super::SourceFile;
+use crate::findings::Finding;
+use crate::lexer::{in_spans, Kind};
+use std::collections::HashSet;
+
+/// Obs recording calls whose first argument is a name.
+const RECORDERS: &[&str] = &["counter", "add", "set", "observe", "event", "span", "span_for_txn"];
+
+/// Dotted lowercase segments: `log.appends`, `undo.lsn_jump_distance`.
+fn looks_like_obs_name(s: &str) -> bool {
+    s.contains('.')
+        && !s.is_empty()
+        && s.split('.')
+            .all(|seg| !seg.is_empty() && seg.chars().all(|c| c.is_ascii_lowercase() || c == '_'))
+}
+
+/// Collects the string values of `pub const … = "…";` items — run over
+/// the lexed `names.rs` to build the allowed set.
+pub fn collect_const_values(f: &SourceFile) -> HashSet<String> {
+    let code = f.code();
+    let mut out = HashSet::new();
+    for (i, t) in code.iter().enumerate() {
+        if t.kind == Kind::Str
+            && i >= 1
+            && code[i - 1].is_punct('=')
+            && code.get(i + 1).is_some_and(|n| n.is_punct(';'))
+        {
+            out.insert(t.text.clone());
+        }
+    }
+    out
+}
+
+/// Runs L3 over one file, given the allowed name values.
+pub fn check(f: &SourceFile, allowed: &HashSet<String>) -> Vec<Finding> {
+    if f.path.starts_with("crates/obs/") {
+        return Vec::new();
+    }
+    let code = f.code();
+    let mut out = Vec::new();
+    for (i, t) in code.iter().enumerate() {
+        if t.kind != Kind::Str
+            || in_spans(&f.test_spans, t.line)
+            || !looks_like_obs_name(&t.text)
+            || allowed.contains(&t.text)
+        {
+            continue;
+        }
+        // Argument position: `recorder ( …, "name"` — walk back over
+        // earlier simple arguments to the opening paren, then require
+        // the call ident just before it.
+        let mut j = i;
+        while j > 0
+            && (code[j - 1].is_punct(',')
+                || code[j - 1].kind == Kind::Str
+                || code[j - 1].kind == Kind::Num)
+        {
+            j -= 1;
+        }
+        let is_recorder_arg = j >= 2
+            && code[j - 1].is_punct('(')
+            && RECORDERS.iter().any(|r| code[j - 2].is_ident(r));
+        if is_recorder_arg {
+            out.push(Finding {
+                rule: "L3",
+                file: f.path.clone(),
+                line: t.line,
+                message: format!(
+                    "obs name literal \"{}\" does not match any rh_obs::names constant; \
+                     add a constant or fix the typo",
+                    t.text
+                ),
+            });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn allowed() -> HashSet<String> {
+        ["log.appends".to_string(), "recovery.runs".to_string()].into_iter().collect()
+    }
+
+    #[test]
+    fn unknown_dotted_literal_in_recorder_call_fails() {
+        let f = SourceFile::new(
+            "crates/wal/src/metrics.rs",
+            "fn e(r: &Registry) { r.set(\"log.apends\", 1); }",
+        );
+        let got = check(&f, &allowed());
+        assert_eq!(got.len(), 1);
+        assert!(got[0].message.contains("log.apends"));
+    }
+
+    #[test]
+    fn known_names_and_non_name_strings_pass() {
+        let f = SourceFile::new(
+            "crates/wal/src/metrics.rs",
+            "fn e(r: &Registry) { r.set(\"log.appends\", 1); print(\"reading file.txt now\"); }",
+        );
+        assert!(check(&f, &allowed()).is_empty());
+    }
+
+    #[test]
+    fn dotted_literal_outside_recorder_calls_passes() {
+        let f =
+            SourceFile::new("crates/wal/src/io.rs", "fn open() { path.push(\"segment.dat\"); }");
+        assert!(check(&f, &allowed()).is_empty());
+    }
+
+    #[test]
+    fn tests_and_obs_crate_are_exempt() {
+        let src = "#[cfg(test)]\nmod t { fn a(r: &R) { r.set(\"log.apends\", 1); } }";
+        assert!(check(&SourceFile::new("crates/wal/src/metrics.rs", src), &allowed()).is_empty());
+        let obs = SourceFile::new(
+            "crates/obs/src/registry.rs",
+            "fn f(r: &R) { r.set(\"internal.name\", 1); }",
+        );
+        assert!(check(&obs, &allowed()).is_empty());
+    }
+
+    #[test]
+    fn collects_const_values() {
+        let f = SourceFile::new(
+            "crates/obs/src/names.rs",
+            "pub const A: &str = \"log.appends\";\npub const B: &str = \"recovery.runs\";\n",
+        );
+        let got = collect_const_values(&f);
+        assert!(got.contains("log.appends") && got.contains("recovery.runs"));
+    }
+}

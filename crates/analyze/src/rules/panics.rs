@@ -1,0 +1,111 @@
+//! L1 — no panic-capable calls on durability-critical paths.
+//!
+//! Recovery and the stable-log backend run exactly when the system is
+//! least able to afford a panic: after a crash, mid-replay, holding
+//! half-applied state. A `unwrap()` there turns a torn tail — a case the
+//! design *specifies* (frame.rs decodes it as `Torn`) — into an abort
+//! loop. These paths must propagate typed [`rh_common`] errors instead.
+//!
+//! Flags `.unwrap(` / `.expect(` method calls and `panic!` /
+//! `unreachable!` / `todo!` / `unimplemented!` macro invocations outside
+//! `#[cfg(test)]` spans, in the durability-critical file set below.
+
+use super::SourceFile;
+use crate::findings::Finding;
+use crate::lexer::in_spans;
+
+/// The durability-critical path manifest. Everything under recovery,
+/// plus the file-backed log's framing/scan/replay chain.
+const CRITICAL: &[&str] = &[
+    "crates/core/src/recovery/",
+    "crates/wal/src/filelog.rs",
+    "crates/wal/src/frame.rs",
+    "crates/wal/src/segment.rs",
+    "crates/wal/src/io.rs",
+];
+
+/// Panic-capable macros (checked as `ident !`).
+const PANIC_MACROS: &[&str] = &["panic", "unreachable", "todo", "unimplemented"];
+
+fn applies(path: &str) -> bool {
+    CRITICAL.iter().any(|p| path.starts_with(p))
+}
+
+/// Runs L1 over one file.
+pub fn check(f: &SourceFile) -> Vec<Finding> {
+    if !applies(&f.path) {
+        return Vec::new();
+    }
+    let code = f.code();
+    let mut out = Vec::new();
+    for (i, t) in code.iter().enumerate() {
+        if in_spans(&f.test_spans, t.line) {
+            continue;
+        }
+        // `.unwrap(` / `.expect(` — method position only, so a local
+        // function named `unwrap` or an ident in a path does not fire.
+        if (t.is_ident("unwrap") || t.is_ident("expect"))
+            && i > 0
+            && code[i - 1].is_punct('.')
+            && code.get(i + 1).is_some_and(|n| n.is_punct('('))
+        {
+            out.push(Finding {
+                rule: "L1",
+                file: f.path.clone(),
+                line: t.line,
+                message: format!(
+                    "`.{}()` on a durability-critical path; propagate a typed error instead",
+                    t.text
+                ),
+            });
+        }
+        if PANIC_MACROS.iter().any(|m| t.is_ident(m))
+            && code.get(i + 1).is_some_and(|n| n.is_punct('!'))
+        {
+            out.push(Finding {
+                rule: "L1",
+                file: f.path.clone(),
+                line: t.line,
+                message: format!(
+                    "`{}!` on a durability-critical path; recovery must not be able to panic",
+                    t.text
+                ),
+            });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(path: &str, src: &str) -> Vec<Finding> {
+        check(&SourceFile::new(path, src))
+    }
+
+    #[test]
+    fn flags_unwrap_and_macros_in_critical_paths() {
+        let src = "fn f() { x.unwrap(); y.expect(\"m\"); panic!(\"no\"); unreachable!(); }";
+        let got = run("crates/core/src/recovery/forward.rs", src);
+        assert_eq!(got.len(), 4);
+        assert!(got.iter().all(|f| f.rule == "L1"));
+    }
+
+    #[test]
+    fn ignores_non_critical_paths_tests_and_strings() {
+        assert!(run("crates/bench/src/harness.rs", "fn f() { x.unwrap(); }").is_empty());
+        let test_src = "#[cfg(test)]\nmod tests { fn t() { x.unwrap(); panic!(); } }";
+        assert!(run("crates/wal/src/frame.rs", test_src).is_empty());
+        let str_src = "fn f() -> &'static str { \"please unwrap() and panic!\" }";
+        assert!(run("crates/wal/src/frame.rs", str_src).is_empty());
+    }
+
+    #[test]
+    fn ignores_non_method_unwrap() {
+        // `unwrap_or_else` and a path item named expect are not calls to
+        // the panicking methods.
+        let src = "fn f() { x.unwrap_or_else(g); let e = expect; h(e); }";
+        assert!(run("crates/wal/src/io.rs", src).is_empty());
+    }
+}

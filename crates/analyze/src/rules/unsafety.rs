@@ -1,0 +1,113 @@
+//! L5 — `unsafe` audit: allowlist + mandatory `// SAFETY:` comments.
+//!
+//! This workspace needs almost no `unsafe`; the two existing sites are
+//! narrow and load-bearing (a zero-copy UTF-8 reinterpretation in the
+//! JSON parser, a guard-replacement dance in the parking_lot stand-in).
+//! The rule freezes that state: a new `unsafe` block anywhere else fails
+//! the gate until its file is added to [`ALLOWLIST`] — a reviewable,
+//! one-line diff — and *every* site, allowlisted or not, must carry a
+//! `// SAFETY:` comment within the preceding few lines explaining the
+//! proof obligation.
+//!
+//! Applies everywhere, including tests and the compat stand-ins.
+
+use super::SourceFile;
+use crate::findings::Finding;
+use crate::lexer::Kind;
+
+/// Files permitted to contain `unsafe` code.
+pub const ALLOWLIST: &[&str] = &["crates/obs/src/json.rs", "crates/compat/parking_lot/src/lib.rs"];
+
+/// How many lines above an `unsafe` token a `// SAFETY:` comment may
+/// sit (multi-line justifications push the keyword down).
+const SAFETY_WINDOW: u32 = 8;
+
+/// Runs L5 over one file.
+pub fn check(f: &SourceFile) -> Vec<Finding> {
+    let mut out = Vec::new();
+    let safety_lines: Vec<u32> = f
+        .tokens
+        .iter()
+        .filter(|t| {
+            matches!(t.kind, Kind::LineComment | Kind::BlockComment) && t.text.contains("SAFETY:")
+        })
+        .map(|t| t.line)
+        .collect();
+    for t in &f.tokens {
+        if !t.is_ident("unsafe") {
+            continue;
+        }
+        if !ALLOWLIST.contains(&f.path.as_str()) {
+            out.push(Finding {
+                rule: "L5",
+                file: f.path.clone(),
+                line: t.line,
+                message: "`unsafe` outside the audited allowlist; extend \
+                          rh-analyze's unsafety::ALLOWLIST in review or remove it"
+                    .to_string(),
+            });
+            continue;
+        }
+        let documented =
+            safety_lines.iter().any(|&sl| sl <= t.line && t.line - sl <= SAFETY_WINDOW);
+        if !documented {
+            out.push(Finding {
+                rule: "L5",
+                file: f.path.clone(),
+                line: t.line,
+                message: "`unsafe` without a `// SAFETY:` comment stating the proof obligation"
+                    .to_string(),
+            });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unsafe_outside_allowlist_fails() {
+        let f = SourceFile::new(
+            "crates/core/src/engine.rs",
+            "fn f() { // SAFETY: documented but still not allowed\n unsafe { x() } }",
+        );
+        let got = check(&f);
+        assert_eq!(got.len(), 1);
+        assert!(got[0].message.contains("allowlist"));
+    }
+
+    #[test]
+    fn allowlisted_with_safety_comment_passes() {
+        let f = SourceFile::new(
+            "crates/obs/src/json.rs",
+            "fn f() {\n // SAFETY: bytes were validated above\n unsafe { x() } }",
+        );
+        assert!(check(&f).is_empty());
+    }
+
+    #[test]
+    fn allowlisted_without_safety_comment_fails() {
+        let f = SourceFile::new("crates/obs/src/json.rs", "fn f() { unsafe { x() } }");
+        let got = check(&f);
+        assert_eq!(got.len(), 1);
+        assert!(got[0].message.contains("SAFETY"));
+    }
+
+    #[test]
+    fn safety_comment_window_is_bounded() {
+        let far = format!("// SAFETY: too far away\n{}unsafe {{ x() }}", "\n".repeat(20));
+        let f = SourceFile::new("crates/obs/src/json.rs", &far);
+        assert_eq!(check(&f).len(), 1);
+    }
+
+    #[test]
+    fn the_word_unsafe_in_a_string_or_comment_is_ignored() {
+        let f = SourceFile::new(
+            "crates/core/src/engine.rs",
+            "// this API is unsafe to misuse\nfn f() { let s = \"unsafe\"; }",
+        );
+        assert!(check(&f).is_empty());
+    }
+}

@@ -1,0 +1,32 @@
+// Fixture: clean code. Scanned under a durability-critical path AND a
+// lock-manifested crate, it must produce zero findings. Not compiled.
+
+fn forward_pass(rec: Option<Record>) -> Result<State> {
+    let Some(r) = rec else {
+        return Err(RhError::CorruptLog { lsn: Lsn::NULL, reason: "truncated record" });
+    };
+    let lsn = r.prev.ok_or(RhError::Storage("record without prev"))?;
+    Ok(redo(r, lsn))
+}
+
+fn ordered(&self) {
+    let mut batches = self.batches.lock();
+    let mut snapshot = self.snapshot.lock();
+    snapshot.extend(batches.drain(..));
+}
+
+fn export(registry: &Registry, sw: rh_obs::Stopwatch) {
+    registry.set(names::M_LOG_APPENDS, sw.elapsed_micros());
+    registry.set("log.appends", 1);
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_can_do_what_they_like() {
+        let x: Option<u8> = Some(1);
+        assert_eq!(x.unwrap(), 1);
+        let t = Instant::now();
+        let _ = t.elapsed();
+    }
+}

@@ -1,0 +1,33 @@
+// Fixture: L1 violations. Scanned by tests as if it lived at
+// crates/core/src/recovery/fixture.rs. Not compiled by cargo.
+
+fn forward_pass(rec: Option<Record>) -> State {
+    let r = rec.unwrap(); // L1: unwrap on a durability-critical path
+    if r.kind == Kind::Unknown {
+        panic!("unknown record kind"); // L1: panic-capable macro
+    }
+    let lsn = r.prev.expect("missing prev"); // L1: expect
+    match r.kind {
+        Kind::Update => redo(r, lsn),
+        _ => unreachable!(), // L1: unreachable
+    }
+}
+
+// Strings and comments must NOT fire: "call .unwrap() and panic!".
+// x.unwrap();
+
+fn fine(rec: Option<Record>) -> Result<State> {
+    // An inline suppression waives the rule, visibly:
+    let r = rec.unwrap(); // rh-analyze: allow(L1)
+    Ok(redo(r, Lsn::NULL))
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_code_is_exempt() {
+        let x: Option<u8> = None;
+        x.unwrap();
+        panic!("fine in tests");
+    }
+}

@@ -1,0 +1,27 @@
+// Fixture: L2 violations. Scanned as if at crates/eos/src/fixture.rs,
+// where the manifest order is [batches < snapshot]. Not compiled.
+
+impl Global {
+    fn good(&self) {
+        let mut batches = self.batches.lock();
+        let mut snapshot = self.snapshot.lock();
+        snapshot.extend(batches.drain(..));
+    }
+
+    fn reversed(&self) {
+        let snap = self.snapshot.lock(); // held...
+        let b = self.batches.lock(); // L2: acquires batches under snapshot
+        drop((snap, b));
+    }
+
+    fn undeclared_nested(&self) {
+        let b = self.batches.lock();
+        let w = self.waiters.lock(); // L2: undeclared lock nested with declared
+        drop((b, w));
+    }
+
+    fn sequential_is_fine(&self) {
+        self.snapshot.lock().clear();
+        self.batches.lock().push(1);
+    }
+}

@@ -1,0 +1,16 @@
+// Fixture: L3 violations. Scanned as if at crates/wal/src/fixture.rs.
+// The test supplies {"log.appends", "recovery.runs"} as the allowed
+// constant values. Not compiled.
+
+fn export(registry: &Registry) {
+    registry.set(names::M_LOG_APPENDS, 1); // constant: fine
+    registry.set("log.appends", 2); // literal but matches a constant: fine
+    registry.set("log.apends", 3); // L3: typo'd name, no constant
+    registry.add("recovery.rnus", 1); // L3: typo'd name
+    tracer.event("undo.mystery_event"); // L3: unknown event name
+}
+
+fn not_obs_calls() {
+    path.push("segment.dat"); // dotted but not a recorder arg: fine
+    let v = semver::parse("1.2.3");
+}

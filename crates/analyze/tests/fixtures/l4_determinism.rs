@@ -1,0 +1,26 @@
+// Fixture: L4 violations. Scanned as if at crates/core/src/fixture.rs.
+// Not compiled.
+
+fn timed_recover(db: &mut RhDb) -> Duration {
+    let started = Instant::now(); // L4: wall clock outside rh_obs::Stopwatch
+    db.recover();
+    started.elapsed()
+}
+
+fn stamp() -> u64 {
+    let t = std::time::SystemTime::now(); // L4: wall clock
+    t.duration_since(UNIX_EPOCH).unwrap_or_default().as_secs()
+}
+
+fn sanctioned(sw: rh_obs::Stopwatch) -> u64 {
+    sw.elapsed_micros() // fine: the one audited clock
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_time_things() {
+        let t = Instant::now();
+        assert!(t.elapsed().as_secs() < 1);
+    }
+}

@@ -1,0 +1,17 @@
+// Fixture: L5 violations. Scanned as if at crates/core/src/fixture.rs —
+// not on the unsafe allowlist. Not compiled.
+
+fn undocumented(ptr: *const u8) -> u8 {
+    unsafe { *ptr } // L5: unsafe outside the allowlist
+}
+
+fn documented_but_disallowed(ptr: *const u8) -> u8 {
+    // SAFETY: caller promises ptr is valid — still not an allowlisted file.
+    unsafe { *ptr } // L5: the allowlist is the gate, not the comment
+}
+
+fn the_word_unsafe_in_text() {
+    // this API would be unsafe to misuse
+    let s = "unsafe";
+    let _ = s;
+}

@@ -1,0 +1,63 @@
+//! End-to-end gate tests: the workspace itself must be clean (the CI
+//! invariant this crate exists to hold), and the CLI must exit non-zero
+//! when pointed at a tree with a seeded violation.
+
+use std::path::Path;
+use std::process::Command;
+
+fn repo_root() -> &'static Path {
+    // crates/analyze -> workspace root.
+    Path::new(env!("CARGO_MANIFEST_DIR")).parent().unwrap().parent().unwrap()
+}
+
+#[test]
+fn workspace_is_lint_clean() {
+    let (triage, files) = rh_analyze::run_lints(repo_root()).expect("lint run failed");
+    assert!(files > 50, "scan found implausibly few files: {files}");
+    assert!(triage.new.is_empty(), "new findings:\n{:#?}", triage.new);
+    assert!(triage.stale.is_empty(), "stale baseline entries: {:?}", triage.stale);
+}
+
+#[test]
+fn cli_fails_on_a_seeded_violation() {
+    // Build a minimal scan tree: a names.rs (so L3 is non-vacuous) and
+    // one recovery file with an unwrap.
+    let dir = std::env::temp_dir().join(format!("rh-analyze-gate-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    for (path, body) in [
+        ("crates/obs/src/names.rs", "/// a name\npub const A: &str = \"log.appends\";\n"),
+        ("crates/core/src/recovery/bad.rs", "fn f(r: Option<u8>) -> u8 { r.unwrap() }\n"),
+    ] {
+        let full = dir.join(path);
+        std::fs::create_dir_all(full.parent().unwrap()).unwrap();
+        std::fs::write(full, body).unwrap();
+    }
+
+    let out_dir = dir.join("out");
+    let out = Command::new(env!("CARGO_BIN_EXE_rh-analyze"))
+        .args([
+            "--workspace",
+            &format!("--root={}", dir.display()),
+            &format!("--out-dir={}", out_dir.display()),
+        ])
+        .output()
+        .expect("running rh-analyze");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert_eq!(out.status.code(), Some(1), "stdout:\n{stdout}");
+    assert!(stdout.contains("[L1]"), "stdout:\n{stdout}");
+    // The artifact must exist and carry the finding.
+    let art = std::fs::read_to_string(out_dir.join("analyze.json")).unwrap();
+    let parsed = rh_obs::json::parse(&art).unwrap();
+    let new = parsed.get("new").and_then(rh_obs::json::JsonValue::as_arr).unwrap();
+    assert_eq!(new.len(), 1);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn cli_usage_errors_exit_2() {
+    let out = Command::new(env!("CARGO_BIN_EXE_rh-analyze"))
+        .arg("--nonsense")
+        .output()
+        .expect("running rh-analyze");
+    assert_eq!(out.status.code(), Some(2));
+}

@@ -1,0 +1,74 @@
+//! Seeded-fixture tests: every rule must fire on its violating fixture
+//! and stay silent on the clean one. Fixtures live in `tests/fixtures/`
+//! (excluded from workspace scans and never compiled); each is lexed
+//! under a path that puts it in the rule's declared scope.
+
+use rh_analyze::rules::{self, SourceFile};
+use std::collections::HashSet;
+
+fn fixture(name: &str) -> String {
+    let path = format!("{}/tests/fixtures/{name}", env!("CARGO_MANIFEST_DIR"));
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("reading {path}: {e}"))
+}
+
+fn allowed_names() -> HashSet<String> {
+    ["log.appends".to_string(), "recovery.runs".to_string()].into_iter().collect()
+}
+
+fn rules_of(findings: &[rh_analyze::findings::Finding]) -> Vec<&'static str> {
+    findings.iter().map(|f| f.rule).collect()
+}
+
+#[test]
+fn l1_fixture_fires_and_respects_suppression() {
+    let f = SourceFile::new("crates/core/src/recovery/fixture.rs", &fixture("l1_panics.rs"));
+    let found = rh_analyze::findings::apply_suppressions(&f.tokens, rules::panics::check(&f));
+    // unwrap, panic!, expect, unreachable! — the suppressed unwrap and
+    // everything inside #[cfg(test)] must not count.
+    assert_eq!(found.len(), 4, "got: {found:#?}");
+    assert!(rules_of(&found).iter().all(|r| *r == "L1"));
+}
+
+#[test]
+fn l2_fixture_fires_on_reversed_and_undeclared_nesting() {
+    let f = SourceFile::new("crates/eos/src/fixture.rs", &fixture("l2_locks.rs"));
+    let found = rules::locks::check(&f);
+    assert_eq!(found.len(), 2, "got: {found:#?}");
+    assert!(found[0].message.contains("holding `snapshot`"));
+    assert!(found[1].message.contains("waiters") || found[1].message.contains("batches"));
+}
+
+#[test]
+fn l3_fixture_fires_on_typod_names_only() {
+    let f = SourceFile::new("crates/wal/src/fixture.rs", &fixture("l3_obsnames.rs"));
+    let found = rules::obsnames::check(&f, &allowed_names());
+    let names: Vec<&str> =
+        found.iter().map(|f| f.message.split('"').nth(1).unwrap_or("")).collect();
+    assert_eq!(names, vec!["log.apends", "recovery.rnus", "undo.mystery_event"], "{found:#?}");
+}
+
+#[test]
+fn l4_fixture_fires_outside_tests() {
+    let f = SourceFile::new("crates/core/src/fixture.rs", &fixture("l4_determinism.rs"));
+    let found = rules::determinism::check(&f);
+    assert_eq!(found.len(), 2, "got: {found:#?}");
+}
+
+#[test]
+fn l5_fixture_fires_on_both_unsafe_sites() {
+    let f = SourceFile::new("crates/core/src/fixture.rs", &fixture("l5_unsafe.rs"));
+    let found = rules::unsafety::check(&f);
+    assert_eq!(found.len(), 2, "got: {found:#?}");
+    assert!(found.iter().all(|x| x.message.contains("allowlist")));
+}
+
+#[test]
+fn clean_fixture_is_clean_everywhere() {
+    // Scan the clean fixture under the *most* rule-exposed paths: a
+    // durability-critical recovery file and a lock-manifested crate.
+    for path in ["crates/core/src/recovery/fixture.rs", "crates/eos/src/fixture.rs"] {
+        let f = SourceFile::new(path, &fixture("clean.rs"));
+        let found = rules::run_all(std::slice::from_ref(&f), &allowed_names());
+        assert!(found.is_empty(), "clean fixture flagged under {path}: {found:#?}");
+    }
+}

@@ -1,0 +1,27 @@
+//! Model-checker smoke: the CI smoke scope must exhaust cleanly, with
+//! the artifact carrying an honest history count.
+
+use rh_analyze::model;
+use rh_obs::json::JsonValue;
+use rh_workload::enumerate::Bounds;
+
+#[test]
+fn smoke_scope_is_divergence_free() {
+    let out = model::run(&Bounds::smoke());
+    assert!(out.histories >= 1000, "smoke scope too small: {}", out.histories);
+    assert_eq!(out.engine_runs, out.histories * 3);
+    assert_eq!(out.divergence_count, 0, "divergences: {:#?}", out.divergences);
+
+    let json = out.to_json();
+    assert_eq!(json.get("histories").and_then(JsonValue::as_u64), Some(out.histories));
+    assert_eq!(json.get("divergence_count").and_then(JsonValue::as_u64), Some(0));
+    assert!(json.get("bounds").is_some());
+}
+
+#[test]
+fn full_scope_meets_the_coverage_floor() {
+    // The acceptance gate requires ≥10k histories at the full scope.
+    // Counting alone is cheap (no engine runs).
+    let n = rh_workload::enumerate::count_prefixes(&Bounds::full());
+    assert!(n >= 10_000, "full scope enumerates only {n} histories");
+}

@@ -22,8 +22,12 @@ use rh_obs::JsonValue;
 use std::path::PathBuf;
 
 /// Keys every artifact's probe must carry for the smoke gate to pass.
-const REQUIRED_COUNTERS: [&str; 4] =
-    ["log.appends", "disk.page_reads", "scope.opens", "recovery.runs"];
+const REQUIRED_COUNTERS: [&str; 4] = [
+    rh_obs::names::M_LOG_APPENDS,
+    rh_obs::names::M_DISK_PAGE_READS,
+    rh_obs::names::M_SCOPE_OPENS,
+    rh_obs::names::M_RECOVERY_RUNS,
+];
 
 fn validate_artifact(path: &std::path::Path) -> Result<(), String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("read: {e}"))?;

@@ -3,7 +3,8 @@
 
 use rh_core::history::{replay_engine, Event};
 use rh_core::TxnEngine;
-use std::time::{Duration, Instant};
+use rh_obs::Stopwatch;
+use std::time::Duration;
 
 /// Wall-clock plus whatever the caller extracted from engine metrics.
 #[derive(Debug, Clone, Copy, Default)]
@@ -14,7 +15,7 @@ pub struct Measurement {
 
 /// Times a closure.
 pub fn timed<T>(f: impl FnOnce() -> T) -> (T, Duration) {
-    let start = Instant::now();
+    let start = Stopwatch::start();
     let out = f();
     (out, start.elapsed())
 }

@@ -147,6 +147,11 @@ fn replace_with<T>(slot: &mut T, f: impl FnOnce(T) -> T) {
         }
     }
     let bomb = Bomb;
+    // SAFETY: `read` duplicates `*slot`, leaving a logically-moved-from
+    // value behind; no code can observe it before the matching `write`
+    // restores ownership, because the only intervening call is `f`, and
+    // if `f` unwinds the `Bomb` guard aborts the process before any
+    // observer (including `slot`'s destructor) can run.
     unsafe {
         let old = std::ptr::read(slot);
         let new = f(old);

@@ -66,6 +66,8 @@ pub struct Oracle {
     active: BTreeSet<Label>,
     /// Savepoint markers: (label, slot) -> ops.len() at declaration.
     savepoints: BTreeMap<(Label, u32), usize>,
+    /// Updates undone by the most recent event; see [`Oracle::last_undone`].
+    last_undone: Vec<(ObjectId, Label)>,
 }
 
 impl Oracle {
@@ -90,6 +92,16 @@ impl Oracle {
         &self.active
     }
 
+    /// The updates undone by the most recently applied event, as
+    /// `(object, responsible label)` pairs in undo order (newest
+    /// invocation first). Non-empty only after `Abort`, `RollbackTo`, or
+    /// `Crash` events that actually undid something. The small-scope
+    /// model checker compares this against the engine's recovery report
+    /// (the undone-update set must match, not just the final values).
+    pub fn last_undone(&self) -> &[(ObjectId, Label)] {
+        &self.last_undone
+    }
+
     /// `Ob_List(t)` at the semantic level: objects with at least one live
     /// update `t` is responsible for. Drives well-formed generation of
     /// `delegate` events.
@@ -112,6 +124,7 @@ impl Oracle {
                 let cur = self.value(ob);
                 self.values.insert(ob, op.undo(cur));
                 self.ops[i].live = false;
+                self.last_undone.push((ob, self.ops[i].responsible));
             }
         }
     }
@@ -120,6 +133,7 @@ impl Oracle {
     /// without responsibility) are applied permissively — validity is the
     /// generator's job; see `rh-workload`.
     pub fn apply(&mut self, ev: &Event) {
+        self.last_undone.clear();
         match ev {
             Event::Begin(t) => {
                 self.active.insert(*t);
@@ -176,6 +190,7 @@ impl Oracle {
                             let cur = self.value(ob);
                             self.values.insert(ob, op.undo(cur));
                             self.ops[i].live = false;
+                            self.last_undone.push((ob, *t));
                         }
                     }
                 }

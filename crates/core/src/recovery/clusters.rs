@@ -114,7 +114,7 @@ impl ClusterWalk {
             if top.0.scope.last != self.k {
                 break;
             }
-            let ws = self.pending.pop().expect("peeked").0;
+            let Some(ByRight(ws)) = self.pending.pop() else { break };
             self.beg_cluster = if self.beg_cluster.is_null() {
                 ws.scope.first
             } else {

@@ -14,14 +14,14 @@ use crate::engine::{DbConfig, RhDb, Strategy};
 use crate::scope::Scope;
 use crate::txn_table::TxnStatus;
 use rh_common::{Lsn, ObjectId, Result, TxnId};
-use rh_obs::{names, Obs};
+use rh_obs::{names, Obs, Stopwatch};
 use rh_storage::{BufferPool, Disk};
 use rh_wal::metrics::LogMetricsSnapshot;
 use rh_wal::record::RecordBody;
 use rh_wal::{LogManager, StableLog};
 use std::collections::HashSet;
 use std::sync::Arc;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 /// What a completed recovery did — consumed by tests and the E3/E4/E6
 /// experiments.
@@ -60,7 +60,7 @@ pub fn recover(
     disk: Arc<Disk>,
 ) -> Result<RhDb> {
     let obs = Arc::new(Obs::new());
-    let started = Instant::now();
+    let started = Stopwatch::start();
     let span = obs.tracer.span(names::SPAN_RECOVERY);
     let log = Arc::new(LogManager::attach(stable));
     let mut pool = BufferPool::new(Arc::clone(&disk), config.pool_pages);
@@ -69,7 +69,7 @@ pub fn recover(
 
     // ---- forward pass (analysis + redo) ------------------------------
     let lazy = strategy == Strategy::LazyRewrite;
-    let fwd_started = Instant::now();
+    let fwd_started = Stopwatch::start();
     let fwd = forward_pass(&log, &mut pool, lazy, &obs)?;
     let forward_wall = fwd_started.elapsed();
     let mut tr = fwd.tr;
@@ -108,7 +108,7 @@ pub fn recover(
 
     // ---- backward pass -------------------------------------------------
     let mut compensated = fwd.compensated;
-    let undo_started = Instant::now();
+    let undo_started = Stopwatch::start();
     let undo = undo_scopes(&log, &mut pool, &mut tr, scopes, &mut compensated, lazy, &obs)?;
     let undo_wall = undo_started.elapsed();
 

@@ -47,10 +47,11 @@ impl EosMetricsSnapshot {
     /// Absorbs this snapshot into a unified [`rh_obs::Registry`] under
     /// the `eos.*` prefix (absolute values; re-absorption overwrites).
     pub fn export_into(&self, registry: &rh_obs::Registry) {
-        registry.set("eos.batches_flushed", self.batches_flushed);
-        registry.set("eos.items_flushed", self.items_flushed);
-        registry.set("eos.items_replayed", self.items_replayed);
-        registry.set("eos.items_discarded", self.items_discarded);
+        use rh_obs::names;
+        registry.set(names::M_EOS_BATCHES_FLUSHED, self.batches_flushed);
+        registry.set(names::M_EOS_ITEMS_FLUSHED, self.items_flushed);
+        registry.set(names::M_EOS_ITEMS_REPLAYED, self.items_replayed);
+        registry.set(names::M_EOS_ITEMS_DISCARDED, self.items_discarded);
     }
 
     /// Difference since an earlier snapshot (for per-phase reporting).

@@ -51,9 +51,10 @@ impl DepStats {
     /// Absorbs these counters into a unified [`rh_obs::Registry`] under
     /// the `etm.*` prefix (absolute values; re-absorption overwrites).
     pub fn export_into(&self, registry: &rh_obs::Registry) {
-        registry.set("etm.edges_formed", self.edges_formed);
-        registry.set("etm.cycles_rejected", self.cycles_rejected);
-        registry.set("etm.cascade_aborts", self.cascade_aborts);
+        use rh_obs::names;
+        registry.set(names::M_ETM_EDGES_FORMED, self.edges_formed);
+        registry.set(names::M_ETM_CYCLES_REJECTED, self.cycles_rejected);
+        registry.set(names::M_ETM_CASCADE_ABORTS, self.cascade_aborts);
     }
 }
 

@@ -50,13 +50,14 @@ impl LockStatsSnapshot {
     /// Absorbs this snapshot into a unified [`rh_obs::Registry`] under
     /// the `lock.*` prefix (absolute values; re-absorption overwrites).
     pub fn export_into(&self, registry: &rh_obs::Registry) {
-        registry.set("lock.acquisitions", self.acquisitions);
-        registry.set("lock.conflicts", self.conflicts);
-        registry.set("lock.waits", self.waits);
-        registry.set("lock.wait_micros", self.wait_micros);
-        registry.set("lock.deadlocks", self.deadlocks);
-        registry.set("lock.transfers", self.transfers);
-        registry.set("lock.permits", self.permits);
+        use rh_obs::names;
+        registry.set(names::M_LOCK_ACQUISITIONS, self.acquisitions);
+        registry.set(names::M_LOCK_CONFLICTS, self.conflicts);
+        registry.set(names::M_LOCK_WAITS, self.waits);
+        registry.set(names::M_LOCK_WAIT_MICROS, self.wait_micros);
+        registry.set(names::M_LOCK_DEADLOCKS, self.deadlocks);
+        registry.set(names::M_LOCK_TRANSFERS, self.transfers);
+        registry.set(names::M_LOCK_PERMITS, self.permits);
     }
 }
 
@@ -150,11 +151,9 @@ impl LockManager {
                     }
                     st.waits.add_waits(txn, &blockers);
                     self.stats.waits.fetch_add(1, Ordering::Relaxed);
-                    let parked = std::time::Instant::now();
+                    let parked = rh_obs::Stopwatch::start();
                     self.cv.wait(&mut st);
-                    self.stats
-                        .wait_micros
-                        .fetch_add(parked.elapsed().as_micros() as u64, Ordering::Relaxed);
+                    self.stats.wait_micros.fetch_add(parked.elapsed_micros(), Ordering::Relaxed);
                     st.waits.clear_waiter(txn);
                 }
                 Err(other) => return Err(other),

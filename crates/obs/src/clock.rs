@@ -1,0 +1,54 @@
+//! The workspace's wall clock.
+//!
+//! Engine code must be deterministic: the only sanctioned sources of
+//! nondeterminism are the seeded `rand` stand-in and this module. Every
+//! wall-clock read in the workspace flows through [`Stopwatch`] so the
+//! static-analysis gate (`rh-analyze`, rule L4) can verify at CI time
+//! that no stray `Instant::now()` / `SystemTime` call crept into a
+//! recovery or logging path — timing belongs to observability, never to
+//! control flow.
+
+use std::time::{Duration, Instant};
+
+/// A started wall-clock measurement. The one place in the workspace
+/// (outside the compat stand-ins) allowed to read the machine clock.
+#[derive(Debug, Clone, Copy)]
+pub struct Stopwatch(Instant);
+
+impl Stopwatch {
+    /// Starts measuring now.
+    pub fn start() -> Self {
+        Stopwatch(Instant::now())
+    }
+
+    /// Wall time since [`Stopwatch::start`].
+    pub fn elapsed(&self) -> Duration {
+        self.0.elapsed()
+    }
+
+    /// Wall time since [`Stopwatch::start`], in whole microseconds
+    /// (saturating at `u64::MAX`, which is ~584 millennia).
+    pub fn elapsed_micros(&self) -> u64 {
+        u64::try_from(self.0.elapsed().as_micros()).unwrap_or(u64::MAX)
+    }
+}
+
+impl Default for Stopwatch {
+    fn default() -> Self {
+        Self::start()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn elapsed_is_monotone() {
+        let sw = Stopwatch::start();
+        let a = sw.elapsed();
+        let b = sw.elapsed();
+        assert!(b >= a);
+        assert!(sw.elapsed_micros() >= a.as_micros() as u64);
+    }
+}

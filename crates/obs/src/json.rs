@@ -336,9 +336,13 @@ fn parse_string(b: &[u8], pos: &mut usize) -> Result<String, JsonError> {
                 *pos += 1;
             }
             Some(_) => {
-                // Consume one UTF-8 scalar (input is a &str, so this is
-                // always valid).
+                // Consume one UTF-8 scalar.
                 let rest = &b[*pos..];
+                // SAFETY: `b` is the byte view of a `&str`, and `*pos`
+                // only ever advances by whole scalar lengths (ASCII
+                // branches step by 1 over ASCII bytes, this branch steps
+                // by `len_utf8`), so `rest` starts on a UTF-8 boundary of
+                // originally-valid UTF-8.
                 let s = unsafe { std::str::from_utf8_unchecked(rest) };
                 let c = s.chars().next().expect("non-empty");
                 if (c as u32) < 0x20 {

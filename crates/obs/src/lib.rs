@@ -28,12 +28,14 @@
 //! storage, lock manager, engines, bench harness) can use it freely. LSNs
 //! and transaction ids therefore appear here as raw `u64`s.
 
+pub mod clock;
 pub mod json;
 pub mod names;
 pub mod observer;
 pub mod registry;
 pub mod trace;
 
+pub use clock::Stopwatch;
 pub use json::JsonValue;
 pub use registry::{Counter, Histogram, HistogramSnapshot, Registry, RegistrySnapshot};
 pub use trace::{EventKind, SpanGuard, TraceEvent, TraceSnapshot, Tracer};

@@ -72,3 +72,62 @@ pub const M_RECOVERY_TOTAL_US: &str = "recovery.total_us";
 pub const M_UNDO_LSN_JUMP: &str = "undo.lsn_jump";
 /// Counter: recoveries performed.
 pub const M_RECOVERY_RUNS: &str = "recovery.runs";
+
+// ---- absorbed snapshot names ------------------------------------------
+// Set (absolutely, not incremented) by the per-crate `export_into`
+// exporters. They live here rather than in the exporting crates so every
+// name literal in the workspace resolves to exactly one constant — the
+// `rh-analyze` L3 lint enforces this.
+
+/// Records appended to the log.
+pub const M_LOG_APPENDS: &str = "log.appends";
+/// Physical log flushes (group commits).
+pub const M_LOG_FLUSHES: &str = "log.flushes";
+/// Records made durable by flushes.
+pub const M_LOG_RECORDS_FLUSHED: &str = "log.records_flushed";
+/// Records read back from the log.
+pub const M_LOG_RECORDS_READ: &str = "log.records_read";
+/// Non-sequential log accesses.
+pub const M_LOG_SEEKS: &str = "log.seeks";
+/// In-place log rewrites (zero under ARIES/RH; the baselines pay these).
+pub const M_LOG_IN_PLACE_REWRITES: &str = "log.in_place_rewrites";
+/// Physical fsyncs issued by the log backend.
+pub const M_LOG_FSYNCS: &str = "log.fsyncs";
+/// Bytes made durable by flushes.
+pub const M_LOG_BYTES_FLUSHED: &str = "log.bytes_flushed";
+
+/// Pages read from stable storage into the pool.
+pub const M_DISK_PAGE_READS: &str = "disk.page_reads";
+/// Pages written from the pool to stable storage.
+pub const M_DISK_PAGE_WRITES: &str = "disk.page_writes";
+
+/// Lock grants (upgrades and re-grants included).
+pub const M_LOCK_ACQUISITIONS: &str = "lock.acquisitions";
+/// Immediate-mode conflicts surfaced to callers.
+pub const M_LOCK_CONFLICTS: &str = "lock.conflicts";
+/// Blocking waits entered.
+pub const M_LOCK_WAITS: &str = "lock.waits";
+/// Microseconds spent parked in blocking waits.
+pub const M_LOCK_WAIT_MICROS: &str = "lock.wait_micros";
+/// Deadlocks detected (requester chosen as victim).
+pub const M_LOCK_DEADLOCKS: &str = "lock.deadlocks";
+/// Lock transfers applied by delegation.
+pub const M_LOCK_TRANSFERS: &str = "lock.transfers";
+/// ASSET permits granted.
+pub const M_LOCK_PERMITS: &str = "lock.permits";
+
+/// EOS batches flushed to the global log.
+pub const M_EOS_BATCHES_FLUSHED: &str = "eos.batches_flushed";
+/// EOS items flushed.
+pub const M_EOS_ITEMS_FLUSHED: &str = "eos.items_flushed";
+/// EOS items reapplied by recovery sweeps.
+pub const M_EOS_ITEMS_REPLAYED: &str = "eos.items_replayed";
+/// EOS items discarded by aborts / crashes (never logged).
+pub const M_EOS_ITEMS_DISCARDED: &str = "eos.items_discarded";
+
+/// ETM dependency edges accepted.
+pub const M_ETM_EDGES_FORMED: &str = "etm.edges_formed";
+/// ETM dependency requests rejected as cycles.
+pub const M_ETM_CYCLES_REJECTED: &str = "etm.cycles_rejected";
+/// ETM cascading aborts scheduled.
+pub const M_ETM_CASCADE_ABORTS: &str = "etm.cascade_aborts";

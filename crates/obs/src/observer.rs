@@ -85,7 +85,7 @@ pub fn check_range_untouched(trace: &TraceSnapshot, lo: u64, hi: u64) -> Result<
 /// Checks the ARIES/RH signature: zero in-place log rewrites, in both the
 /// unified metrics and the trace.
 pub fn check_no_rewrites(trace: &TraceSnapshot, stats: &RegistrySnapshot) -> Result<(), String> {
-    let rewrites = stats.counter("log.in_place_rewrites");
+    let rewrites = stats.counter(names::M_LOG_IN_PLACE_REWRITES);
     if rewrites != 0 {
         return Err(format!("log.in_place_rewrites = {rewrites}, expected 0 under ARIES/RH"));
     }

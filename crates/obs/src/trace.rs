@@ -14,10 +14,10 @@
 //! 3. **Timestamped relative to the tracer's epoch** (microseconds), so
 //!    timelines from different runs line up at zero.
 
+use crate::clock::Stopwatch;
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
-use std::time::Instant;
 
 use crate::json::JsonValue;
 
@@ -105,7 +105,7 @@ struct Ring {
 /// [`crate::Obs`]).
 #[derive(Debug)]
 pub struct Tracer {
-    epoch: Instant,
+    epoch: Stopwatch,
     capacity: usize,
     ring: Mutex<Ring>,
     next_span: AtomicU64,
@@ -145,7 +145,7 @@ impl Tracer {
     /// Creates a tracer retaining at most `capacity` events.
     pub fn with_capacity(capacity: usize) -> Self {
         Tracer {
-            epoch: Instant::now(),
+            epoch: Stopwatch::start(),
             capacity: capacity.max(1),
             ring: Mutex::new(Ring::default()),
             next_span: AtomicU64::new(1),
@@ -153,7 +153,7 @@ impl Tracer {
     }
 
     fn now_micros(&self) -> u64 {
-        self.epoch.elapsed().as_micros() as u64
+        self.epoch.elapsed_micros()
     }
 
     fn push(&self, ev: TraceEvent) {
@@ -198,7 +198,7 @@ impl Tracer {
             txn,
             payload: 0,
         });
-        SpanGuard { tracer: self, name, id, txn, started: Instant::now() }
+        SpanGuard { tracer: self, name, id, txn, started: Stopwatch::start() }
     }
 
     /// Captures the current ring contents.
@@ -222,7 +222,7 @@ pub struct SpanGuard<'a> {
     name: &'static str,
     id: u64,
     txn: u64,
-    started: Instant,
+    started: Stopwatch,
 }
 
 impl SpanGuard<'_> {
@@ -248,7 +248,7 @@ impl SpanGuard<'_> {
 
 impl Drop for SpanGuard<'_> {
     fn drop(&mut self) {
-        let dur = self.started.elapsed().as_micros() as u64;
+        let dur = self.started.elapsed_micros();
         self.tracer.push(TraceEvent {
             ts_micros: self.tracer.now_micros(),
             span: self.id,

@@ -31,8 +31,9 @@ impl DiskMetricsSnapshot {
     /// Absorbs this snapshot into a unified [`rh_obs::Registry`] under
     /// the `disk.*` prefix (absolute values; re-absorption overwrites).
     pub fn export_into(&self, registry: &rh_obs::Registry) {
-        registry.set("disk.page_reads", self.page_reads);
-        registry.set("disk.page_writes", self.page_writes);
+        use rh_obs::names;
+        registry.set(names::M_DISK_PAGE_READS, self.page_reads);
+        registry.set(names::M_DISK_PAGE_WRITES, self.page_writes);
     }
 
     /// Difference since an earlier snapshot (for per-phase reporting).

@@ -255,8 +255,13 @@ impl SegmentedFileLog {
             Ok(12) => {}
             _ => return Lsn::NULL,
         }
-        let raw = u64::from_le_bytes(buf[0..8].try_into().expect("8 bytes"));
-        let crc = u32::from_le_bytes(buf[8..12].try_into().expect("4 bytes"));
+        let (Ok(raw_bytes), Ok(crc_bytes)) =
+            (<[u8; 8]>::try_from(&buf[0..8]), <[u8; 4]>::try_from(&buf[8..12]))
+        else {
+            return Lsn::NULL;
+        };
+        let raw = u64::from_le_bytes(raw_bytes);
+        let crc = u32::from_le_bytes(crc_bytes);
         if frame::crc32(&buf[0..8]) != crc {
             return Lsn::NULL;
         }
@@ -309,14 +314,14 @@ impl SegmentedFileLog {
         let mut out = AppendOut { bytes: framed.len() as u64, fsyncs: 0 };
 
         let roll = {
-            let active = st.segments.back().expect("at least one segment");
+            let active = st.segments.back().ok_or_else(|| storage("log has no active segment"))?;
             active.len > 0 && active.len + framed.len() as u64 > self.segment_bytes
         };
         if roll {
             // Seal the finished segment: it must be fully durable before
             // the log continues elsewhere, so that on open only the
             // active segment can be torn.
-            let active = st.segments.back().expect("at least one segment");
+            let active = st.segments.back().ok_or_else(|| storage("log has no active segment"))?;
             active.file.sync().map_err(|_| storage("cannot sync rolled segment"))?;
             out.fsyncs += 1;
             let path = segment::segment_path(&self.dir, lsn.raw());
@@ -326,7 +331,7 @@ impl SegmentedFileLog {
             st.segments.push_back(OpenSegment { first_lsn: lsn.raw(), file, len: 0 });
         }
 
-        let active = st.segments.back_mut().expect("at least one segment");
+        let active = st.segments.back_mut().ok_or_else(|| storage("log has no active segment"))?;
         write_all(&*active.file, active.len, &framed)?;
         let loc = RecLoc {
             seg_first: active.first_lsn,
@@ -344,7 +349,8 @@ impl SegmentedFileLog {
     pub(crate) fn sync(&self) -> Result<u64> {
         let file = {
             let st = self.state.lock();
-            Arc::clone(&st.segments.back().expect("at least one segment").file)
+            let active = st.segments.back().ok_or_else(|| storage("log has no active segment"))?;
+            Arc::clone(&active.file)
         };
         file.sync().map_err(|_| storage("log fsync failed"))?;
         Ok(1)
@@ -362,12 +368,10 @@ impl SegmentedFileLog {
             .ok_or(RhError::CorruptLog { lsn, reason: "read past end of log" })?;
         // Segments are few (log_bytes / segment_bytes); a linear probe
         // from the back wins for the common recent-record case.
-        let seg = st
-            .segments
-            .iter()
-            .rev()
-            .find(|s| s.first_lsn == loc.seg_first)
-            .expect("index entry points into a live segment");
+        let seg =
+            st.segments.iter().rev().find(|s| s.first_lsn == loc.seg_first).ok_or(
+                RhError::CorruptLog { lsn, reason: "index entry points into a dead segment" },
+            )?;
         Ok((Arc::clone(&seg.file), loc))
     }
 
@@ -419,7 +423,7 @@ impl SegmentedFileLog {
             if next_first > upto.raw() {
                 break;
             }
-            let dead = st.segments.pop_front().expect("len > 1");
+            let Some(dead) = st.segments.pop_front() else { break };
             let n = next_first - dead.first_lsn;
             for _ in 0..n {
                 st.index.pop_front();

@@ -74,8 +74,13 @@ pub fn decode(buf: &[u8]) -> Decoded<'_> {
     if buf.len() < HEADER_LEN {
         return Decoded::Torn;
     }
-    let len = u32::from_le_bytes(buf[0..4].try_into().expect("4 bytes"));
-    let crc = u32::from_le_bytes(buf[4..8].try_into().expect("4 bytes"));
+    let (Ok(len_bytes), Ok(crc_bytes)) =
+        (<[u8; 4]>::try_from(&buf[0..4]), <[u8; 4]>::try_from(&buf[4..8]))
+    else {
+        return Decoded::Torn;
+    };
+    let len = u32::from_le_bytes(len_bytes);
+    let crc = u32::from_le_bytes(crc_bytes);
     if len == 0 || len > MAX_PAYLOAD {
         // len == 0 doubles as the zero-filled-tail case (a preallocated or
         // partially synced region reads back as zeros).

@@ -149,14 +149,15 @@ impl LogMetricsSnapshot {
     /// Absorbs this snapshot into a unified [`rh_obs::Registry`] under
     /// the `log.*` prefix (absolute values; re-absorption overwrites).
     pub fn export_into(&self, registry: &rh_obs::Registry) {
-        registry.set("log.appends", self.appends);
-        registry.set("log.flushes", self.flushes);
-        registry.set("log.records_flushed", self.records_flushed);
-        registry.set("log.records_read", self.records_read);
-        registry.set("log.seeks", self.seeks);
-        registry.set("log.in_place_rewrites", self.in_place_rewrites);
-        registry.set("log.fsyncs", self.fsyncs);
-        registry.set("log.bytes_flushed", self.bytes_flushed);
+        use rh_obs::names;
+        registry.set(names::M_LOG_APPENDS, self.appends);
+        registry.set(names::M_LOG_FLUSHES, self.flushes);
+        registry.set(names::M_LOG_RECORDS_FLUSHED, self.records_flushed);
+        registry.set(names::M_LOG_RECORDS_READ, self.records_read);
+        registry.set(names::M_LOG_SEEKS, self.seeks);
+        registry.set(names::M_LOG_IN_PLACE_REWRITES, self.in_place_rewrites);
+        registry.set(names::M_LOG_FSYNCS, self.fsyncs);
+        registry.set(names::M_LOG_BYTES_FLUSHED, self.bytes_flushed);
     }
 
     /// Difference since an earlier snapshot (for per-phase reporting).

@@ -9,8 +9,10 @@
 //! commuting `Add`s. All randomness flows from an explicit seed, so every
 //! experiment is reproducible.
 
+pub mod enumerate;
 pub mod gen;
 pub mod spec;
 
+pub use enumerate::{for_each_prefix, Bounds};
 pub use gen::{boring, delegation_chain, delegation_mix, fan_delegation, interleaved_mix};
 pub use spec::WorkloadSpec;
