@@ -1,0 +1,177 @@
+//! How much the observability layer costs when it is on, and that it
+//! costs ~nothing when it is off.
+//!
+//! Two comparisons:
+//!
+//! * **tracer hot path** — `Tracer::point` on an enabled tracer (mutex +
+//!   ring push + timestamp) vs a disabled one (a single branch). The
+//!   disabled arm is the "no-op" bar every engine operation pays when
+//!   tracing is off.
+//! * **flight recorder** — the E1-style zero-delegation workload on a
+//!   file-backed engine with the black-box recorder attached (freezing a
+//!   record every `COMMIT_PERIOD` commits) vs detached. This is the
+//!   whole-system overhead of `obs/` sidecar persistence.
+//!
+//! Besides the usual Criterion medians, the run writes its rows to
+//! `target/obs/BENCH_obs.json`; the first measured rows are checked in
+//! at `crates/bench/baselines/BENCH_obs.json` for eyeball regression
+//! comparison (the compat harness does no statistics).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use rh_core::engine::{DbConfig, RhDb, Strategy};
+use rh_core::history::replay_engine;
+use rh_obs::trace::Tracer;
+use rh_obs::{JsonValue, Stopwatch};
+use rh_wal::StableLog;
+use rh_workload::{boring, WorkloadSpec};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+const POINTS: u64 = 10_000;
+
+fn spec() -> WorkloadSpec {
+    WorkloadSpec { txns: 200, updates_per_txn: 4, straggler_rate: 0.05, ..WorkloadSpec::default() }
+}
+
+fn scratch() -> PathBuf {
+    static N: AtomicU64 = AtomicU64::new(0);
+    let dir = std::env::temp_dir().join(format!(
+        "rh-bench-obsoverhead-{}-{}",
+        std::process::id(),
+        N.fetch_add(1, Ordering::Relaxed)
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// A fresh file-backed engine; `flight` controls the black-box recorder.
+fn file_backed(flight: bool) -> (RhDb, PathBuf) {
+    let dir = scratch();
+    let stable = StableLog::open_dir(&dir).expect("bench log dir");
+    let mut db = RhDb::with_stable_log(Strategy::Rh, DbConfig::default(), stable);
+    if !flight {
+        db.disable_flight_recorder();
+    }
+    (db, dir)
+}
+
+fn bench_tracer_points(c: &mut Criterion) {
+    let mut group = c.benchmark_group("obs_tracer_points");
+    group.throughput(Throughput::Elements(POINTS));
+    group.bench_function("enabled", |b| {
+        let tracer = Tracer::default();
+        b.iter(|| {
+            for i in 0..POINTS {
+                tracer.point(black_box("bench_point"), i, i, 1, 0);
+            }
+        })
+    });
+    group.bench_function("disabled_noop", |b| {
+        let tracer = Tracer::disabled();
+        b.iter(|| {
+            for i in 0..POINTS {
+                tracer.point(black_box("bench_point"), i, i, 1, 0);
+            }
+        })
+    });
+    group.finish();
+}
+
+fn bench_flight_recorder(c: &mut Criterion) {
+    let events = boring(&spec());
+    let mut group = c.benchmark_group("obs_flight_recorder");
+    group.sample_size(10);
+    // Both arms replay the identical workload and pay the same teardown,
+    // so the delta between them is the recorder alone.
+    for (label, flight) in [("attached", true), ("detached", false)] {
+        group.bench_function(label, |b| {
+            b.iter_batched(
+                || file_backed(flight),
+                |(db, dir)| {
+                    let db = replay_engine(db, &events).unwrap();
+                    drop(db);
+                    let _ = std::fs::remove_dir_all(&dir);
+                },
+                criterion::BatchSize::LargeInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+/// Medians over `iters` timed calls (one untimed warmup), nanoseconds.
+fn median_ns(iters: usize, mut f: impl FnMut()) -> u64 {
+    f();
+    let mut times: Vec<u64> = (0..iters)
+        .map(|_| {
+            let sw = Stopwatch::start();
+            f();
+            sw.elapsed().as_nanos() as u64
+        })
+        .collect();
+    times.sort_unstable();
+    times[times.len() / 2]
+}
+
+/// Writes the overhead rows to `target/obs/BENCH_obs.json` (the
+/// checked-in baseline at `crates/bench/baselines/BENCH_obs.json` is a
+/// copy of this file from the first run).
+fn export_rows(_c: &mut Criterion) {
+    let mut rows: Vec<JsonValue> = Vec::new();
+    let mut row = |name: &str, median: u64, unit: &str| {
+        rows.push(JsonValue::obj(vec![
+            ("name", JsonValue::Str(name.to_string())),
+            ("median_ns", JsonValue::U64(median)),
+            ("unit", JsonValue::Str(unit.to_string())),
+        ]));
+    };
+
+    let tracer = Tracer::default();
+    let m = median_ns(30, || {
+        for i in 0..POINTS {
+            tracer.point(black_box("bench_point"), i, i, 1, 0);
+        }
+    });
+    row("tracer_point_enabled", m / POINTS, "ns/point");
+    let tracer = Tracer::disabled();
+    let m = median_ns(30, || {
+        for i in 0..POINTS {
+            tracer.point(black_box("bench_point"), i, i, 1, 0);
+        }
+    });
+    row("tracer_point_disabled", m / POINTS, "ns/point");
+
+    let events = boring(&spec());
+    for (name, flight) in [("workload_flight_attached", true), ("workload_flight_detached", false)]
+    {
+        let m = median_ns(5, || {
+            let (db, dir) = file_backed(flight);
+            let db = replay_engine(db, &events).unwrap();
+            drop(db);
+            let _ = std::fs::remove_dir_all(&dir);
+        });
+        row(name, m, "ns/workload");
+    }
+
+    let doc = JsonValue::obj(vec![
+        ("bench", JsonValue::Str("obs_overhead".to_string())),
+        (
+            "workload",
+            JsonValue::obj(vec![
+                ("txns", JsonValue::U64(spec().txns as u64)),
+                ("updates_per_txn", JsonValue::U64(spec().updates_per_txn as u64)),
+            ]),
+        ),
+        ("rows", JsonValue::Arr(rows)),
+    ]);
+    // Benches run with the package as cwd; aim at the workspace target
+    // dir, where CI archives `target/obs/*.json` from.
+    let dir = PathBuf::from(concat!(env!("CARGO_MANIFEST_DIR"), "/../../target/obs"));
+    std::fs::create_dir_all(&dir).expect("create target/obs");
+    let path = dir.join("BENCH_obs.json");
+    std::fs::write(&path, doc.render_pretty()).expect("write BENCH_obs.json");
+    println!("obs_overhead: wrote {}", path.display());
+}
+
+criterion_group!(benches, bench_tracer_points, bench_flight_recorder, export_rows);
+criterion_main!(benches);

@@ -11,13 +11,15 @@
 
 use crate::experiments::Scale;
 use crate::table::Table;
-use rh_core::engine::{RhDb, Strategy};
+use rh_core::engine::{DbConfig, RhDb, Strategy};
 use rh_core::history::replay_engine;
 use rh_core::recovery::RecoveryReport;
 use rh_core::TxnEngine;
 use rh_obs::JsonValue;
+use rh_wal::StableLog;
 use rh_workload::{delegation_mix, WorkloadSpec};
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Renders a [`RecoveryReport`] as a JSON object.
 pub fn recovery_report_json(r: &RecoveryReport) -> JsonValue {
@@ -68,11 +70,17 @@ pub fn recovery_report_json(r: &RecoveryReport) -> JsonValue {
 }
 
 /// Full observability report for an engine: unified metrics (absorbing
-/// the current log/disk/lock counters), the trace timeline, and — when
-/// the engine came out of restart recovery — the structured report.
+/// the current log/disk/lock counters), the trace timeline, every
+/// object's delegation-provenance chain, the predecessor postmortem
+/// (when the engine recovered next to a black box), and — when the
+/// engine came out of restart recovery — the structured report.
 pub fn engine_report(db: &RhDb) -> JsonValue {
-    let mut fields =
-        vec![("metrics", db.stats().to_json()), ("timeline", db.trace_snapshot().to_json())];
+    let mut fields = vec![
+        ("metrics", db.stats().to_json()),
+        ("timeline", db.trace_snapshot().to_json()),
+        ("provenance", db.provenance_json()),
+        ("postmortem", db.postmortem().unwrap_or(JsonValue::Null)),
+    ];
     if let Some(r) = db.last_recovery() {
         fields.push(("recovery", recovery_report_json(r)));
     }
@@ -80,10 +88,12 @@ pub fn engine_report(db: &RhDb) -> JsonValue {
 }
 
 /// Runs the canonical instrumented crash-recovery scenario (a delegation
-/// mix with stragglers, crashed and recovered under ARIES/RH) and
-/// returns its [`engine_report`]. `seed` varies the workload so each
-/// experiment's artifact carries an independent run.
+/// mix with stragglers, run file-backed so the flight recorder engages,
+/// black-boxed, crashed, and recovered under ARIES/RH) and returns its
+/// [`engine_report`]. `seed` varies the workload so each experiment's
+/// artifact carries an independent run.
 pub fn canonical_probe(scale: Scale, seed: u64) -> JsonValue {
+    static PROBE: AtomicU64 = AtomicU64::new(0);
     let spec = WorkloadSpec {
         txns: scale.pick(40, 400),
         updates_per_txn: 4,
@@ -96,10 +106,23 @@ pub fn canonical_probe(scale: Scale, seed: u64) -> JsonValue {
         ..WorkloadSpec::default()
     };
     let events = delegation_mix(&spec);
-    let engine = replay_engine(RhDb::new(Strategy::Rh), &events).expect("probe replay");
+    let dir = std::env::temp_dir().join(format!(
+        "rh-bench-probe-{}-{seed}-{}",
+        std::process::id(),
+        PROBE.fetch_add(1, Ordering::Relaxed)
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    let stable = StableLog::open_dir(&dir).expect("probe log dir");
+    let db = RhDb::with_stable_log(Strategy::Rh, DbConfig::default(), stable);
+    let engine = replay_engine(db, &events).expect("probe replay");
     engine.log().flush_all().expect("probe flush");
+    // Freeze the pre-crash black box the recovery will diff against.
+    engine.record_blackbox("pre-crash");
     let engine = engine.crash_and_recover().expect("probe recovery");
-    engine_report(&engine)
+    let report = engine_report(&engine);
+    drop(engine);
+    let _ = std::fs::remove_dir_all(&dir);
+    report
 }
 
 /// Assembles one experiment's artifact object.
@@ -142,6 +165,19 @@ mod tests {
         let events = timeline.get("events").and_then(JsonValue::as_arr).expect("events");
         assert!(!events.is_empty(), "recovery left no trace events");
         assert!(probe.get("recovery").is_some(), "recovery report missing");
+
+        // The probe runs file-backed with a pre-crash freeze, so the
+        // artifact must carry both new sections: a postmortem diffing
+        // the predecessor and at least one delegation chain.
+        let pm = probe.get("postmortem").expect("postmortem section");
+        assert_ne!(*pm, JsonValue::Null, "file-backed probe must find its predecessor");
+        assert_eq!(
+            pm.get("predecessor").and_then(|p| p.get("reason")).and_then(JsonValue::as_str),
+            Some("pre-crash"),
+        );
+        let prov = probe.get("provenance").expect("provenance section");
+        let JsonValue::Obj(chains) = prov else { panic!("provenance must be an object") };
+        assert!(!chains.is_empty(), "a 50% delegation mix must delegate something");
     }
 
     #[test]

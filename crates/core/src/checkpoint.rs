@@ -14,6 +14,7 @@
 //! * the transaction-id high-water mark, so post-recovery ids never
 //!   collide with pre-crash ones.
 
+use crate::provenance::ProvenanceTable;
 use crate::txn_table::TrList;
 use rh_common::codec::{Codec, Reader, Writer};
 use rh_common::{Lsn, PageId, Result};
@@ -36,6 +37,11 @@ pub struct CheckpointSnapshot {
     /// LSNs at/after the oldest live scope (older ones can never be
     /// re-covered).
     pub compensated: Vec<Lsn>,
+    /// Delegation provenance chains at checkpoint time. Pure
+    /// observability — recovery restores it so responsibility chains
+    /// reach back before the forward-pass scan start, exactly like the
+    /// scope-bearing Ob_Lists above.
+    pub provenance: ProvenanceTable,
 }
 
 impl Codec for CheckpointSnapshot {
@@ -44,6 +50,7 @@ impl Codec for CheckpointSnapshot {
         self.dpt.encode(w);
         w.put_u64(self.next_txn);
         self.compensated.encode(w);
+        self.provenance.encode(w);
     }
 
     fn decode(r: &mut Reader<'_>) -> Result<Self> {
@@ -52,6 +59,7 @@ impl Codec for CheckpointSnapshot {
             dpt: Vec::decode(r)?,
             next_txn: r.take_u64()?,
             compensated: Vec::decode(r)?,
+            provenance: ProvenanceTable::decode(r)?,
         })
     }
 }
@@ -72,11 +80,14 @@ mod tests {
         let mut tr = TrList::new();
         tr.insert(TxnId(3), Lsn(10));
         tr.get_mut(TxnId(3)).unwrap().ob_list.record_update(ObjectId(5), TxnId(3), Lsn(11));
+        let mut provenance = ProvenanceTable::new();
+        provenance.record_hop(ObjectId(5), TxnId(3), TxnId(4), Lsn(12));
         let s = CheckpointSnapshot {
             tr_list: tr,
             dpt: vec![(PageId(0), Lsn(11)), (PageId(4), Lsn(2))],
             next_txn: 17,
             compensated: vec![Lsn(3), Lsn(9)],
+            provenance,
         };
         assert_eq!(CheckpointSnapshot::from_bytes(&s.to_bytes()).unwrap(), s);
     }

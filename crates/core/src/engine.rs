@@ -16,13 +16,16 @@
 
 use crate::api::TxnEngine;
 use crate::checkpoint::CheckpointSnapshot;
+use crate::flight::FlightRecorder;
+use crate::provenance::{ProvHop, ProvenanceTable};
 use crate::recovery::{self, RecoveryReport};
 use crate::txn_table::{TrList, TxnStatus};
+use parking_lot::Mutex;
 use rh_common::codec::Codec;
 use rh_common::ops::Value;
 use rh_common::{Lsn, ObjectId, Result, RhError, TxnId, UpdateOp};
 use rh_lock::{LockManager, LockMode};
-use rh_obs::{names, Obs};
+use rh_obs::{names, IntrospectionServer, JsonValue, Obs};
 use rh_storage::{BufferPool, Disk};
 use rh_wal::record::{DelegateBody, RecordBody};
 use rh_wal::{LogManager, StableLog};
@@ -72,6 +75,18 @@ pub struct RhDb {
     /// hand its timeline to the engine it constructs, and so callers can
     /// keep observing after the engine moves.
     obs: Arc<Obs>,
+    /// Per-object delegation responsibility chains (shared with the
+    /// introspection server's thread; the engine is the only writer).
+    prov: Arc<Mutex<ProvenanceTable>>,
+    /// The predecessor-diff built by the recovery that produced this
+    /// incarnation, if a black box was found. Shared with the server.
+    postmortem: Arc<Mutex<Option<JsonValue>>>,
+    /// The black-box recorder; `None` for mem-backed logs or when
+    /// explicitly disabled.
+    flight: Option<FlightRecorder>,
+    /// The live introspection endpoint; dropped (= shut down) with the
+    /// engine.
+    server: Option<IntrospectionServer>,
 }
 
 impl RhDb {
@@ -97,6 +112,10 @@ impl RhDb {
             compensated: std::collections::HashSet::new(),
             last_recovery: None,
             obs: Arc::new(Obs::new()),
+            prov: Arc::new(Mutex::new(ProvenanceTable::new())),
+            postmortem: Arc::new(Mutex::new(None)),
+            flight: None,
+            server: None,
         }
     }
 
@@ -106,8 +125,24 @@ impl RhDb {
     /// committed work comes from WAL + redo, which is exactly the
     /// configuration the crash-injection tests exercise. For an existing
     /// log directory, open it and run [`RhDb::recover`] instead.
+    ///
+    /// A file-backed log automatically gets a flight recorder in its
+    /// `obs/` subdirectory (sharing the log's I/O layer, so crash
+    /// injection covers the black box too); attach failures degrade to
+    /// "no recorder" with a `blackbox.errors` bump.
     pub fn with_stable_log(strategy: Strategy, config: DbConfig, stable: Arc<StableLog>) -> Self {
         let disk = Disk::new();
+        let obs = Arc::new(Obs::new());
+        let flight = match (stable.dir(), stable.io()) {
+            (Some(dir), Some(io)) => match FlightRecorder::attach(io, dir) {
+                Ok(f) => Some(f),
+                Err(_) => {
+                    obs.registry.inc(names::M_BLACKBOX_ERRORS);
+                    None
+                }
+            },
+            _ => None,
+        };
         let log = Arc::new(LogManager::attach(stable));
         let pool = BufferPool::new(Arc::clone(&disk), config.pool_pages);
         RhDb {
@@ -121,7 +156,11 @@ impl RhDb {
             next_txn: 0,
             compensated: std::collections::HashSet::new(),
             last_recovery: None,
-            obs: Arc::new(Obs::new()),
+            obs,
+            prov: Arc::new(Mutex::new(ProvenanceTable::new())),
+            postmortem: Arc::new(Mutex::new(None)),
+            flight,
+            server: None,
         }
     }
 
@@ -152,7 +191,28 @@ impl RhDb {
             compensated: std::collections::HashSet::new(),
             last_recovery: None,
             obs,
+            prov: Arc::new(Mutex::new(ProvenanceTable::new())),
+            postmortem: Arc::new(Mutex::new(None)),
+            flight: None,
+            server: None,
         }
+    }
+
+    /// Replaces the provenance table (recovery hands over the chains its
+    /// forward pass rebuilt).
+    pub(crate) fn set_provenance(&mut self, table: ProvenanceTable) {
+        *self.prov.lock() = table;
+    }
+
+    /// Stores the predecessor postmortem built by recovery.
+    pub(crate) fn set_postmortem(&mut self, pm: JsonValue) {
+        *self.postmortem.lock() = Some(pm);
+    }
+
+    /// Attaches a flight recorder (recovery does this after the log is
+    /// whole again).
+    pub(crate) fn attach_flight(&mut self, flight: FlightRecorder) {
+        self.flight = Some(flight);
     }
 
     // ---- accessors --------------------------------------------------
@@ -206,6 +266,98 @@ impl RhDb {
         self.obs.tracer.snapshot()
     }
 
+    // ---- provenance / flight recorder / introspection -----------------
+
+    /// The delegation responsibility chain of `ob`, oldest hop first:
+    /// one `(from, to, lsn)` entry per delegate record that moved
+    /// responsibility for the object. Empty for never-delegated objects.
+    /// Survives crashes — the forward pass rebuilds chains from
+    /// `delegate` records (and fuzzy checkpoints persist them).
+    pub fn provenance(&self, ob: ObjectId) -> Vec<ProvHop> {
+        self.prov.lock().chain(ob).to_vec()
+    }
+
+    /// Every object's responsibility chain, as JSON (the `/provenance`
+    /// introspection route and the bench artifacts serve this).
+    pub fn provenance_json(&self) -> JsonValue {
+        self.prov.lock().to_json()
+    }
+
+    /// The postmortem built by the recovery that produced this
+    /// incarnation: the predecessor's black-box identity, final spans,
+    /// and counters diffed against post-recovery state. `None` when no
+    /// predecessor black box was found (fresh database, mem-backed log,
+    /// or not recovered).
+    pub fn postmortem(&self) -> Option<JsonValue> {
+        self.postmortem.lock().clone()
+    }
+
+    /// Explicitly freezes a black-box record now (the commit cadence and
+    /// checkpoints also do this automatically). `reason` tags the record.
+    /// Returns false when no flight recorder is attached or the append
+    /// failed (failures are counted under `blackbox.errors`, never
+    /// raised).
+    pub fn record_blackbox(&self, reason: &str) -> bool {
+        let Some(flight) = &self.flight else { return false };
+        // Absorb log/disk/lock counters first so the frozen registry is
+        // the same "one-stop" view `stats()` serves.
+        let _ = self.stats();
+        flight.record(reason, &self.obs)
+    }
+
+    /// Detaches the flight recorder (the `obs_overhead` bench measures
+    /// the engine with and without it).
+    pub fn disable_flight_recorder(&mut self) {
+        self.flight = None;
+    }
+
+    /// Whether a flight recorder is currently attached.
+    pub fn has_flight_recorder(&self) -> bool {
+        self.flight.is_some()
+    }
+
+    /// Starts the live introspection server on `addr` (use
+    /// `"127.0.0.1:0"` for an ephemeral port) and returns the bound
+    /// address. Read-only and bounded (see `rh_obs::serve`); routes:
+    /// `/stats`, `/trace`, `/provenance`, `/provenance/<ob>`,
+    /// `/postmortem`. The server stops when the engine is dropped (or on
+    /// [`RhDb::stop_introspection`]).
+    pub fn serve_introspection(&mut self, addr: &str) -> std::io::Result<std::net::SocketAddr> {
+        let log = Arc::clone(&self.log);
+        let disk = Arc::clone(&self.disk);
+        let locks = Arc::clone(&self.locks);
+        let obs = Arc::clone(&self.obs);
+        let prov = Arc::clone(&self.prov);
+        let postmortem = Arc::clone(&self.postmortem);
+        let handler: rh_obs::Handler = Arc::new(move |path: &str| match path {
+            "/stats" => {
+                log.metrics().snapshot().export_into(&obs.registry);
+                disk.metrics().snapshot().export_into(&obs.registry);
+                locks.stats().snapshot().export_into(&obs.registry);
+                Some(obs.registry.snapshot().to_json())
+            }
+            "/trace" => Some(obs.tracer.snapshot().to_json()),
+            "/provenance" => Some(prov.lock().to_json()),
+            "/postmortem" => Some(postmortem.lock().clone().unwrap_or(JsonValue::Null)),
+            p => {
+                let ob: u64 = p.strip_prefix("/provenance/")?.parse().ok()?;
+                let chain = prov.lock();
+                Some(JsonValue::Arr(
+                    chain.chain(ObjectId(ob)).iter().map(ProvHop::to_json).collect(),
+                ))
+            }
+        });
+        let server = IntrospectionServer::bind(addr, handler)?;
+        let bound = server.local_addr();
+        self.server = Some(server);
+        Ok(bound)
+    }
+
+    /// Shuts the introspection server down, if one is running.
+    pub fn stop_introspection(&mut self) {
+        self.server = None;
+    }
+
     /// Number of transactions currently in the table.
     pub fn active_txns(&self) -> usize {
         self.tr.len()
@@ -244,13 +396,18 @@ impl RhDb {
     /// * every scope lies within the log (`last < curr_lsn`), ordered
     ///   (`first <= last`);
     /// * no `Ob_List` entry is empty (responsibility implies at least one
-    ///   covered update).
+    ///   covered update);
+    /// * provenance chains agree with the live tables: a live entry whose
+    ///   `deleg` field names a delegator has a chain whose last hop *into
+    ///   the current owner* came from exactly that delegator, and every
+    ///   chain is LSN-monotone within the log.
     #[doc(hidden)]
     pub fn validate_scope_invariants(&self) {
         let end = self.log.curr_lsn();
         for (txn, entry) in self.tr.iter() {
             for ob in entry.ob_list.objects() {
-                let scopes = &entry.ob_list.get(ob).expect("listed object").scopes;
+                let oe = entry.ob_list.get(ob).expect("listed object");
+                let scopes = &oe.scopes;
                 assert!(!scopes.is_empty(), "{txn} holds an empty entry for {ob}");
                 for (i, s) in scopes.iter().enumerate() {
                     assert!(s.first <= s.last, "{txn}/{ob}: inverted scope {s:?}");
@@ -262,11 +419,63 @@ impl RhDb {
                         );
                     }
                 }
+                if let Some(delegator) = oe.deleg {
+                    // Several transactions may hold live entries for the
+                    // same object (a delegator can re-update after
+                    // delegating), so only the last hop *into this
+                    // transaction* must agree with its `deleg` field.
+                    let prov = self.prov.lock();
+                    let last_into = prov.chain(ob).iter().rev().find(|hop| hop.to == txn);
+                    let hop = last_into.unwrap_or_else(|| {
+                        panic!("{txn}/{ob}: deleg={delegator} but no provenance hop into {txn}")
+                    });
+                    assert_eq!(
+                        hop.from, delegator,
+                        "{txn}/{ob}: last hop into {txn} ({hop:?}) disagrees with deleg field"
+                    );
+                }
+            }
+        }
+        let prov = self.prov.lock();
+        for ob in prov.objects() {
+            let chain = prov.chain(ob);
+            for w in chain.windows(2) {
+                assert!(
+                    w[0].lsn < w[1].lsn,
+                    "{ob}: provenance chain not LSN-monotone: {:?} then {:?}",
+                    w[0],
+                    w[1]
+                );
+            }
+            for hop in chain {
+                assert!(hop.from != hop.to, "{ob}: self-delegation hop {hop:?}");
+                assert!(hop.lsn < end, "{ob}: provenance hop {hop:?} beyond the log");
             }
         }
     }
 
     // ---- internals ----------------------------------------------------
+
+    /// Appends one provenance hop per delegated object, with counters
+    /// (`scope.provenance.hops`, chain-depth histogram) and a trace
+    /// event per hop. Shared by [`TxnEngine::delegate`] and
+    /// [`TxnEngine::delegate_all`].
+    fn record_provenance_hops(&self, objects: &[ObjectId], tor: TxnId, tee: TxnId, lsn: Lsn) {
+        let mut prov = self.prov.lock();
+        for &ob in objects {
+            if let Some(depth) = prov.record_hop(ob, tor, tee, lsn) {
+                self.obs.registry.inc(names::M_PROVENANCE_HOPS);
+                self.obs.registry.observe(names::M_PROVENANCE_CHAIN_DEPTH, depth as u64);
+                self.obs.tracer.point(
+                    names::EV_PROVENANCE_HOP,
+                    lsn.raw(),
+                    ob.raw(),
+                    tor.raw(),
+                    tee.raw(),
+                );
+            }
+        }
+    }
 
     fn log_for_txn(&mut self, txn: TxnId, body: RecordBody) -> Result<Lsn> {
         let prev = self.tr.bc(txn)?;
@@ -402,6 +611,7 @@ impl RhDb {
             dpt: self.pool.dirty_page_table(),
             next_txn: self.next_txn,
             compensated,
+            provenance: self.prov.lock().clone(),
         };
         let end = self.log.append(
             TxnId::NONE,
@@ -422,6 +632,13 @@ impl RhDb {
             flushed_recs,
         );
         self.log.stable().set_master(begin)?;
+        // A checkpoint is a crash-adjacent moment worth remembering: a
+        // recovery starting here sees the black box frozen at exactly
+        // the state it restores.
+        if let Some(flight) = &self.flight {
+            let _ = self.stats();
+            flight.record("checkpoint", &self.obs);
+        }
         Ok(())
     }
 
@@ -542,6 +759,7 @@ impl TxnEngine for RhDb {
         self.obs.registry.inc(names::M_SCOPE_DELEGATES);
         self.obs.registry.add(names::M_SCOPE_MERGES, merged);
         self.obs.tracer.point(names::EV_DELEGATE, lsn.raw(), lsn.raw(), tor.raw(), tee.raw());
+        self.record_provenance_hops(obs, tor, tee, lsn);
         Ok(())
     }
 
@@ -554,6 +772,7 @@ impl TxnEngine for RhDb {
         let tor_bc = self.tr.bc(tor)?;
         let tee_bc = self.tr.bc(tee)?;
         let drained = self.tr.get_mut(tor)?.ob_list.drain_all();
+        let objects: Vec<ObjectId> = drained.iter().map(|&(ob, _)| ob).collect();
         let mut merged = 0u64;
         for (ob, entry) in drained {
             merged += self.tr.get_mut(tee)?.ob_list.absorb(ob, entry, tor) as u64;
@@ -569,6 +788,7 @@ impl TxnEngine for RhDb {
         self.obs.registry.inc(names::M_SCOPE_DELEGATES);
         self.obs.registry.add(names::M_SCOPE_MERGES, merged);
         self.obs.tracer.point(names::EV_DELEGATE, lsn.raw(), lsn.raw(), tor.raw(), tee.raw());
+        self.record_provenance_hops(&objects, tor, tee, lsn);
         Ok(())
     }
 
@@ -580,7 +800,12 @@ impl TxnEngine for RhDb {
         let lsn = self.log_for_txn(txn, RecordBody::Commit)?;
         self.log.flush_to(lsn)?;
         self.tr.get_mut(txn)?.status = TxnStatus::Committed;
-        self.end_txn(txn)
+        self.end_txn(txn)?;
+        // Flight-recorder cadence: freeze a black box every N commits.
+        if self.flight.as_ref().is_some_and(FlightRecorder::commit_due) {
+            self.record_blackbox("commit-cadence");
+        }
+        Ok(())
     }
 
     fn abort(&mut self, txn: TxnId) -> Result<()> {

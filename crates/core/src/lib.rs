@@ -55,13 +55,17 @@ pub mod api;
 pub mod checkpoint;
 pub mod eager;
 pub mod engine;
+pub mod flight;
 pub mod history;
 pub mod oblist;
+pub mod provenance;
 pub mod recovery;
 pub mod scope;
 pub mod txn_table;
 
 pub use api::TxnEngine;
 pub use engine::{RhDb, Strategy};
+pub use flight::FlightRecorder;
 pub use history::{Event, Oracle};
+pub use provenance::{ProvHop, ProvenanceTable};
 pub use scope::Scope;

@@ -1,0 +1,203 @@
+//! Delegation provenance: per-object responsibility chains.
+//!
+//! Delegation (paper §2.1) moves *responsibility* for an object's
+//! updates from transaction to transaction without rewriting history —
+//! the log keeps saying "T1 wrote X" while T2 answers for it. That makes
+//! "who is responsible for X, and how did it get that way?" a genuinely
+//! new question the classical transaction table cannot answer: the live
+//! `ObEntry.deleg` field remembers only the *most recent* delegator, and
+//! is empty again by the time recovery finishes.
+//!
+//! A [`ProvenanceTable`] closes that gap. Every delegate record that
+//! moves scopes over an object appends one [`ProvHop`] — `(from, to,
+//! lsn)` where `lsn` is the delegate record's own LSN — to the object's
+//! chain. Chains are:
+//!
+//! * **append-only and LSN-monotone** — hops are recorded in log order,
+//!   so a chain reads as the object's responsibility timeline;
+//! * **rebuilt by recovery** — the forward pass replays delegate records
+//!   in log order and records the same hops, and fuzzy checkpoints
+//!   persist the table so chains reach back before the scan start;
+//! * **exported, not consumed** — nothing in the engine decides anything
+//!   based on a chain; it is pure observability (`RhDb::provenance`,
+//!   `/provenance` over the introspection server, and the §4.2 trace
+//!   observers assert chain consistency).
+
+use rh_common::codec::{Codec, Reader, Writer};
+use rh_common::{Lsn, ObjectId, Result, TxnId};
+use rh_obs::JsonValue;
+use std::collections::BTreeMap;
+
+/// One responsibility transfer: at `lsn`, a delegate record moved
+/// responsibility for the object from `from` to `to`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ProvHop {
+    /// The delegator (paper: "tor").
+    pub from: TxnId,
+    /// The delegatee (paper: "tee").
+    pub to: TxnId,
+    /// LSN of the delegate record that performed the transfer.
+    pub lsn: Lsn,
+}
+
+impl Codec for ProvHop {
+    fn encode(&self, w: &mut Writer) {
+        self.from.encode(w);
+        self.to.encode(w);
+        self.lsn.encode(w);
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<Self> {
+        Ok(ProvHop { from: TxnId::decode(r)?, to: TxnId::decode(r)?, lsn: Lsn::decode(r)? })
+    }
+}
+
+impl ProvHop {
+    /// Renders `{from, to, lsn}`.
+    pub fn to_json(&self) -> JsonValue {
+        JsonValue::obj(vec![
+            ("from", JsonValue::U64(self.from.raw())),
+            ("to", JsonValue::U64(self.to.raw())),
+            ("lsn", JsonValue::U64(self.lsn.raw())),
+        ])
+    }
+}
+
+/// Per-object responsibility chains, oldest hop first.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ProvenanceTable {
+    chains: BTreeMap<ObjectId, Vec<ProvHop>>,
+}
+
+impl ProvenanceTable {
+    /// An empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a hop to `ob`'s chain; returns `Some(new depth)` when the
+    /// hop was actually appended.
+    ///
+    /// Idempotent per `(ob, lsn)`: replaying the same delegate record
+    /// (live execution, then checkpoint restore, then the forward pass)
+    /// must not double-count, so a hop at an LSN the chain has already
+    /// reached is dropped (returning `None` so callers skip their
+    /// counters and events too). This also keeps chains LSN-monotone by
+    /// construction.
+    pub fn record_hop(&mut self, ob: ObjectId, from: TxnId, to: TxnId, lsn: Lsn) -> Option<usize> {
+        let chain = self.chains.entry(ob).or_default();
+        if chain.last().is_some_and(|last| last.lsn >= lsn) {
+            return None;
+        }
+        chain.push(ProvHop { from, to, lsn });
+        Some(chain.len())
+    }
+
+    /// The responsibility chain for `ob`, oldest hop first (empty when
+    /// the object was never delegated).
+    pub fn chain(&self, ob: ObjectId) -> &[ProvHop] {
+        self.chains.get(&ob).map_or(&[], Vec::as_slice)
+    }
+
+    /// Objects with at least one hop, ascending.
+    pub fn objects(&self) -> Vec<ObjectId> {
+        self.chains.keys().copied().collect()
+    }
+
+    /// Total hops across all chains.
+    pub fn total_hops(&self) -> usize {
+        self.chains.values().map(Vec::len).sum()
+    }
+
+    /// True when no object was ever delegated.
+    pub fn is_empty(&self) -> bool {
+        self.chains.is_empty()
+    }
+
+    /// Renders `{ "<ob>": [{from, to, lsn}, ...], ... }`.
+    pub fn to_json(&self) -> JsonValue {
+        JsonValue::Obj(
+            self.chains
+                .iter()
+                .map(|(ob, chain)| {
+                    (
+                        ob.raw().to_string(),
+                        JsonValue::Arr(chain.iter().map(ProvHop::to_json).collect()),
+                    )
+                })
+                .collect(),
+        )
+    }
+}
+
+impl Codec for ProvenanceTable {
+    fn encode(&self, w: &mut Writer) {
+        let flat: Vec<(ObjectId, Vec<ProvHop>)> =
+            self.chains.iter().map(|(ob, chain)| (*ob, chain.clone())).collect();
+        flat.encode(w);
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<Self> {
+        let flat: Vec<(ObjectId, Vec<ProvHop>)> = Vec::decode(r)?;
+        Ok(ProvenanceTable { chains: flat.into_iter().collect() })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hops_accumulate_per_object() {
+        let mut t = ProvenanceTable::new();
+        assert_eq!(t.record_hop(ObjectId(5), TxnId(1), TxnId(2), Lsn(10)), Some(1));
+        assert_eq!(t.record_hop(ObjectId(5), TxnId(2), TxnId(3), Lsn(20)), Some(2));
+        assert_eq!(t.record_hop(ObjectId(9), TxnId(1), TxnId(3), Lsn(15)), Some(1));
+        assert_eq!(
+            t.chain(ObjectId(5)),
+            &[
+                ProvHop { from: TxnId(1), to: TxnId(2), lsn: Lsn(10) },
+                ProvHop { from: TxnId(2), to: TxnId(3), lsn: Lsn(20) },
+            ]
+        );
+        assert_eq!(t.chain(ObjectId(7)), &[]);
+        assert_eq!(t.objects(), vec![ObjectId(5), ObjectId(9)]);
+        assert_eq!(t.total_hops(), 3);
+    }
+
+    #[test]
+    fn replaying_a_hop_is_idempotent() {
+        let mut t = ProvenanceTable::new();
+        t.record_hop(ObjectId(5), TxnId(1), TxnId(2), Lsn(10));
+        // The forward pass replays the same delegate record.
+        assert_eq!(t.record_hop(ObjectId(5), TxnId(1), TxnId(2), Lsn(10)), None);
+        // Anything at-or-before the chain head is also dropped.
+        assert_eq!(t.record_hop(ObjectId(5), TxnId(9), TxnId(8), Lsn(9)), None);
+        assert_eq!(t.total_hops(), 1);
+    }
+
+    #[test]
+    fn codec_roundtrip() {
+        let mut t = ProvenanceTable::new();
+        t.record_hop(ObjectId(5), TxnId(1), TxnId(2), Lsn(10));
+        t.record_hop(ObjectId(5), TxnId(2), TxnId(3), Lsn(20));
+        t.record_hop(ObjectId(1), TxnId(4), TxnId(5), Lsn(12));
+        let bytes = t.to_bytes();
+        assert_eq!(ProvenanceTable::from_bytes(&bytes).unwrap(), t);
+
+        let empty = ProvenanceTable::new();
+        assert_eq!(ProvenanceTable::from_bytes(&empty.to_bytes()).unwrap(), empty);
+    }
+
+    #[test]
+    fn json_shape() {
+        let mut t = ProvenanceTable::new();
+        t.record_hop(ObjectId(5), TxnId(1), TxnId(2), Lsn(10));
+        let j = t.to_json();
+        let chain = j.get("5").and_then(JsonValue::as_arr).expect("chain for ob 5");
+        assert_eq!(chain.len(), 1);
+        assert_eq!(chain[0].get("from").and_then(JsonValue::as_u64), Some(1));
+        assert_eq!(chain[0].get("to").and_then(JsonValue::as_u64), Some(2));
+        assert_eq!(chain[0].get("lsn").and_then(JsonValue::as_u64), Some(10));
+    }
+}

@@ -18,6 +18,7 @@
 //!   crash-during-recovery never undoes the same update twice.
 
 use crate::checkpoint::CheckpointSnapshot;
+use crate::provenance::ProvenanceTable;
 use crate::txn_table::{TrList, TxnStatus};
 use rh_common::codec::Codec;
 use rh_common::{Lsn, ObjectId, Result, RhError, TxnId, UpdateOp};
@@ -61,6 +62,11 @@ pub struct ForwardOutcome {
     /// scopes whose owner has since left the table. Empty unless tracking
     /// was requested.
     pub lazy_scopes: HashMap<(ObjectId, TxnId, Lsn), (Lsn, TxnId)>,
+    /// Per-object delegation responsibility chains: restored from the
+    /// checkpoint snapshot, then extended by every delegate record the
+    /// analysis region replays — the same hops normal processing
+    /// recorded before the crash.
+    pub prov: ProvenanceTable,
     /// Counters.
     pub stats: ForwardStats,
 }
@@ -107,6 +113,7 @@ pub fn forward_pass(
     let mut tr = TrList::new();
     let mut compensated = HashSet::new();
     let mut lazy_scopes = HashMap::new();
+    let mut prov = ProvenanceTable::new();
     let mut next_txn: u64 = 0;
     let mut stats = ForwardStats::default();
 
@@ -131,6 +138,7 @@ pub fn forward_pass(
                     tr = snap.tr_list;
                     next_txn = snap.next_txn;
                     compensated.extend(snap.compensated.iter().copied());
+                    prov = snap.provenance;
                     analysis_from = lsn.next();
                     redo_from = snap
                         .dpt
@@ -174,6 +182,7 @@ pub fn forward_pass(
                 &mut tr,
                 &mut compensated,
                 &mut lazy_scopes,
+                &mut prov,
                 track_lazy,
                 &rec,
                 &mut stats,
@@ -187,7 +196,7 @@ pub fn forward_pass(
         lsn = lsn.next();
     }
 
-    Ok(ForwardOutcome { tr, compensated, next_txn, lazy_scopes, stats })
+    Ok(ForwardOutcome { tr, compensated, next_txn, lazy_scopes, prov, stats })
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -197,6 +206,7 @@ fn analyze(
     tr: &mut TrList,
     compensated: &mut HashSet<Lsn>,
     lazy_scopes: &mut HashMap<(ObjectId, TxnId, Lsn), (Lsn, TxnId)>,
+    prov: &mut ProvenanceTable,
     track_lazy: bool,
     rec: &LogRecord,
     stats: &mut ForwardStats,
@@ -248,6 +258,20 @@ fn analyze(
                     }
                     let merged = tr.get_mut(*tee)?.ob_list.absorb(ob, entry, rec.txn);
                     obs.registry.add(names::M_SCOPE_MERGES, merged as u64);
+                    // REBUILD PROVENANCE: the same hop normal processing
+                    // recorded. Idempotent per (ob, lsn), so hops already
+                    // restored from the checkpoint are not re-counted.
+                    if let Some(depth) = prov.record_hop(ob, rec.txn, *tee, lsn) {
+                        obs.registry.inc(names::M_PROVENANCE_HOPS);
+                        obs.registry.observe(names::M_PROVENANCE_CHAIN_DEPTH, depth as u64);
+                        obs.tracer.point(
+                            names::EV_PROVENANCE_HOP,
+                            lsn.raw(),
+                            ob.raw(),
+                            rec.txn.raw(),
+                            tee.raw(),
+                        );
+                    }
                 }
             }
             tr.set_bc(rec.txn, lsn)?;

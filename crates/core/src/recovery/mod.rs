@@ -11,13 +11,15 @@ pub use backward::{undo_scopes, UndoStats, WalkScope};
 pub use forward::{forward_pass, ForwardOutcome, ForwardStats};
 
 use crate::engine::{DbConfig, RhDb, Strategy};
+use crate::flight::FlightRecorder;
 use crate::scope::Scope;
 use crate::txn_table::TxnStatus;
 use rh_common::{Lsn, ObjectId, Result, TxnId};
-use rh_obs::{names, Obs, Stopwatch};
+use rh_obs::{blackbox, names, BlackBoxRecord, JsonValue, Obs, Stopwatch};
 use rh_storage::{BufferPool, Disk};
 use rh_wal::metrics::LogMetricsSnapshot;
 use rh_wal::record::RecordBody;
+use rh_wal::sidecar::SidecarLog;
 use rh_wal::{LogManager, StableLog};
 use std::collections::HashSet;
 use std::sync::Arc;
@@ -45,6 +47,25 @@ pub struct RecoveryReport {
     pub log_delta: LogMetricsSnapshot,
     /// Disk activity attributable to this recovery (snapshot delta).
     pub disk_delta: rh_storage::DiskMetricsSnapshot,
+    /// Predecessor diff: the crashed incarnation's last black-box record
+    /// (final spans, counters at freeze time) against post-recovery
+    /// state. `None` when no flight-recorder stream was found next to
+    /// the log.
+    pub postmortem: Option<JsonValue>,
+}
+
+/// Loads the predecessor's newest black-box record from the sidecar
+/// stream next to `stable`'s directory. Strictly best-effort: any
+/// failure (mem-backed log, no stream, torn-away tail, unparseable
+/// record) degrades to `None` — a recovery must never fail because the
+/// black box is damaged. Reads through the real filesystem even when
+/// the engine runs fault-injected I/O: the predecessor's records are
+/// plain on-disk state by now.
+fn load_predecessor_blackbox(stable: &StableLog) -> Option<BlackBoxRecord> {
+    let dir = stable.dir()?;
+    let sidecar = SidecarLog::open(SidecarLog::dir_for(dir)).ok()?;
+    let (_, payload) = sidecar.last()?;
+    BlackBoxRecord::parse(&payload)
 }
 
 /// Runs restart recovery and returns a ready-to-use engine.
@@ -61,6 +82,9 @@ pub fn recover(
 ) -> Result<RhDb> {
     let obs = Arc::new(Obs::new());
     let started = Stopwatch::start();
+    // Read the crashed incarnation's black box *before* this recovery
+    // starts writing its own records into the same stream.
+    let predecessor = load_predecessor_blackbox(&stable);
     let span = obs.tracer.span(names::SPAN_RECOVERY);
     let log = Arc::new(LogManager::attach(stable));
     let mut pool = BufferPool::new(Arc::clone(&disk), config.pool_pages);
@@ -143,6 +167,28 @@ pub fn recover(
 
     let mut db =
         RhDb::from_parts(strategy, config, log, disk, pool, tr, fwd.next_txn, Arc::clone(&obs));
+    db.set_provenance(fwd.prov);
+
+    // Re-arm the flight recorder for this incarnation, through the same
+    // I/O layer as the log (attach failures — e.g. a recovery running on
+    // already-crashed fault-injected I/O — degrade to "no recorder").
+    let stable = db.log().stable();
+    if let (Some(dir), Some(io)) = (stable.dir(), stable.io()) {
+        match FlightRecorder::attach(io, dir) {
+            Ok(flight) => db.attach_flight(flight),
+            Err(_) => obs.registry.inc(names::M_BLACKBOX_ERRORS),
+        }
+    }
+
+    // The postmortem diffs the predecessor's frozen counters against the
+    // recovered process's one-stop stats view.
+    let postmortem = predecessor
+        .as_ref()
+        .map(|pred| blackbox::postmortem(pred, &db.stats(), blackbox::DEFAULT_FINAL_EVENTS));
+    if let Some(pm) = &postmortem {
+        db.set_postmortem(pm.clone());
+    }
+
     db.set_recovery_report(RecoveryReport {
         winners_seen: fwd.stats.commits_seen,
         forward: fwd.stats,
@@ -153,6 +199,9 @@ pub fn recover(
         undo_wall,
         log_delta,
         disk_delta,
+        postmortem,
     });
+    // First record of the new incarnation: the full recovery timeline.
+    db.record_blackbox("recovery");
     Ok(db)
 }

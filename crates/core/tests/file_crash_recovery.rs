@@ -17,12 +17,19 @@
 //!
 //! The disk being fresh makes the claim sharp: durability of committed
 //! work is carried *entirely* by the WAL frames that survived the crash.
+//!
+//! The script also freezes flight-recorder (black-box) records through
+//! the **same** fault-injected I/O layer, so the byte sweep cuts the
+//! sidecar stream too: a torn black-box tail must truncate cleanly on
+//! reopen and must never fail recovery of the main log (invariant 3).
 
 use rh_common::ops::Value;
 use rh_common::ObjectId;
 use rh_core::engine::{DbConfig, RhDb, Strategy};
 use rh_core::TxnEngine;
+use rh_obs::BlackBoxRecord;
 use rh_storage::Disk;
+use rh_wal::sidecar::SidecarLog;
 use rh_wal::{FaultInjector, FaultIo, FileLogConfig, StableLog};
 use std::collections::BTreeMap;
 use std::path::PathBuf;
@@ -96,6 +103,14 @@ fn run_script(db: &mut RhDb) -> (BTreeMap<ObjectId, Value>, Vec<ObjectId>) {
             or_die!(db.add(t, ObjectId(40 + r), POISON));
             poisoned.push(cold);
             poisoned.push(ObjectId(40 + r));
+        }
+
+        // Freeze a black box most rounds: its sidecar frames go through
+        // the same fault-injected I/O, so the byte sweep also lands
+        // inside (and tears) flight-recorder records. Best-effort by
+        // contract — post-crash freezes simply report false.
+        if r % 2 == 1 {
+            let _ = db.record_blackbox("sweep-round");
         }
 
         // One delegation round: the update travels tor -> tee and commits
@@ -178,6 +193,24 @@ fn crash_at_any_byte_offset_loses_no_committed_work_and_resurrects_no_loser() {
             assert_ne!(got, POISON, "offset {offset}: loser write resurrected on {ob:?}");
         }
 
+        // Invariant 3: whatever the sweep did to the black-box stream —
+        // torn tail, vanished records, nothing at all — it reopens
+        // cleanly and every retained record parses. (Recovery already
+        // succeeded above despite it, which is the stronger half.)
+        let obs_dir = SidecarLog::dir_for(&dir);
+        if obs_dir.is_dir() {
+            let sidecar = SidecarLog::open(obs_dir)
+                .unwrap_or_else(|e| panic!("offset {offset}: sidecar reopen failed: {e:?}"));
+            let horizon = sidecar.next_seq();
+            for seq in horizon - sidecar.len()..horizon {
+                let payload = sidecar.read(seq).unwrap();
+                assert!(
+                    BlackBoxRecord::parse(&payload).is_some(),
+                    "offset {offset}: retained black-box record {seq} is corrupt"
+                );
+            }
+        }
+
         // The recovered engine is live: new work commits and survives a
         // second (clean) restart.
         let t = db.begin().unwrap();
@@ -209,6 +242,65 @@ fn dropped_fsyncs_are_what_makes_unacked_commits_possible() {
     db.commit(t).unwrap();
     assert!(injector.dropped_syncs() > 0, "commit must have tried to fsync");
     assert_eq!(injector.real_syncs(), 0);
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn torn_blackbox_tail_never_fails_main_log_recovery() {
+    // A damaged black box must cost at most the postmortem, never the
+    // database. Freeze two records, chop the sidecar tail mid-frame,
+    // recover: the main log must come back whole and the postmortem must
+    // fall back to the newest *intact* record; chop the stream down to
+    // nothing and recovery must still succeed with no postmortem at all.
+    let dir = scratch("tornbb");
+    let stable =
+        StableLog::open_file(FileLogConfig::new(&dir).segment_bytes(SEGMENT_BYTES)).expect("open");
+    let mut db = RhDb::with_stable_log(Strategy::Rh, DbConfig::default(), stable);
+    let t = db.begin().unwrap();
+    db.write(t, ObjectId(0), 77).unwrap();
+    db.commit(t).unwrap();
+    assert!(db.record_blackbox("first-freeze"));
+    assert!(db.record_blackbox("second-freeze"));
+    let (stable, _disk) = db.crash();
+    drop(stable);
+
+    // Chop the newest sidecar segment a few bytes short: the second
+    // record's frame is torn exactly as a mid-write crash would leave it.
+    let obs_dir = SidecarLog::dir_for(&dir);
+    let newest = std::fs::read_dir(&obs_dir)
+        .unwrap()
+        .map(|e| e.unwrap().path())
+        .filter(|p| p.extension().is_some_and(|x| x == "seg"))
+        .max()
+        .expect("sidecar segment");
+    let len = newest.metadata().unwrap().len();
+    let file = std::fs::OpenOptions::new().write(true).open(&newest).unwrap();
+    file.set_len(len - 3).unwrap();
+    drop(file);
+
+    let stable = StableLog::open_file(FileLogConfig::new(&dir).segment_bytes(SEGMENT_BYTES))
+        .expect("reopen");
+    let mut db =
+        RhDb::recover(Strategy::Rh, DbConfig::default(), stable, Disk::new()).expect("recover");
+    assert_eq!(db.value_of(ObjectId(0)).unwrap(), 77, "main log must be unaffected");
+    let pm = db.postmortem().expect("intact first record still serves a postmortem");
+    assert_eq!(
+        pm.get("predecessor").and_then(|p| p.get("reason")).and_then(rh_obs::JsonValue::as_str),
+        Some("first-freeze"),
+        "postmortem falls back past the torn tail"
+    );
+    let (stable, _disk) = db.crash();
+    drop(stable);
+
+    // Total black-box loss: nuke the whole stream (plus the record the
+    // recovery above just froze); the database must not care.
+    std::fs::remove_dir_all(&obs_dir).unwrap();
+    let stable = StableLog::open_file(FileLogConfig::new(&dir).segment_bytes(SEGMENT_BYTES))
+        .expect("reopen");
+    let mut db =
+        RhDb::recover(Strategy::Rh, DbConfig::default(), stable, Disk::new()).expect("recover");
+    assert_eq!(db.value_of(ObjectId(0)).unwrap(), 77);
+    assert!(db.postmortem().is_none(), "no black box, no postmortem, no error");
     std::fs::remove_dir_all(&dir).unwrap();
 }
 

@@ -21,23 +21,35 @@
 //!   performs zero in-place log rewrites;
 //! * [`json`] — a tiny dependency-free JSON value/printer/parser so
 //!   every `experiments` run can emit per-experiment metrics/timeline
-//!   artifacts without serde.
+//!   artifacts without serde;
+//! * [`blackbox`] — the flight-recorder record **format**: a frozen
+//!   trace ring + metric snapshot that a post-crash process can parse to
+//!   replay its predecessor's last spans (persistence lives in
+//!   `rh-wal`'s sidecar segment stream, which frames these payloads like
+//!   log records);
+//! * [`serve`] — an opt-in, bounded, read-only introspection endpoint
+//!   (`std::net::TcpListener`, minimal HTTP) that serves whatever JSON
+//!   routes the embedding engine wires up.
 //!
 //! Per the compat policy (`crates/compat/README.md`) this crate depends on
 //! nothing — not even `rh-common` — so every layer of the stack (WAL,
 //! storage, lock manager, engines, bench harness) can use it freely. LSNs
 //! and transaction ids therefore appear here as raw `u64`s.
 
+pub mod blackbox;
 pub mod clock;
 pub mod json;
 pub mod names;
 pub mod observer;
 pub mod registry;
+pub mod serve;
 pub mod trace;
 
+pub use blackbox::BlackBoxRecord;
 pub use clock::Stopwatch;
 pub use json::JsonValue;
 pub use registry::{Counter, Histogram, HistogramSnapshot, Registry, RegistrySnapshot};
+pub use serve::{Handler, IntrospectionServer};
 pub use trace::{EventKind, SpanGuard, TraceEvent, TraceSnapshot, Tracer};
 
 /// One observability context: a tracer plus a metrics registry, shared
@@ -54,6 +66,13 @@ impl Obs {
     /// Creates a fresh context with default capacities.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// A context whose tracer is a no-op (the registry stays live —
+    /// counters are too cheap to gate). Used as the baseline side of the
+    /// `obs_overhead` bench.
+    pub fn with_disabled_tracer() -> Self {
+        Obs { tracer: Tracer::disabled(), registry: Registry::new() }
     }
 
     /// Renders the full context (registry + trace) as one JSON object.

@@ -41,6 +41,14 @@ pub const EV_DELEGATE: &str = "delegate";
 pub const EV_DELEGATE_REPLAY: &str = "delegate_replay";
 /// An in-place log rewrite (baselines only); `lsn_lo` = position.
 pub const EV_REWRITE: &str = "rewrite_in_place";
+/// A responsibility hop appended to an object's provenance chain;
+/// `lsn_lo` = delegate-record LSN, `lsn_hi` = object id, `txn` =
+/// delegator, `payload` = delegatee. Emitted during normal processing
+/// and again when the forward pass rebuilds the chain from the log.
+pub const EV_PROVENANCE_HOP: &str = "provenance_hop";
+/// A flight-recorder record reached the black-box stream; `payload` =
+/// encoded record bytes.
+pub const EV_BLACKBOX_RECORD: &str = "blackbox_record";
 /// A group of records reached stable storage; `payload` = record count.
 pub const EV_LOG_FLUSH: &str = "log_flush";
 /// A page left the pool for stable storage; `payload` = page id.
@@ -60,6 +68,20 @@ pub const M_SCOPE_SPLITS: &str = "scope.splits";
 pub const M_SCOPE_DELEGATES: &str = "scope.delegates";
 /// Delegate records replayed by the forward pass.
 pub const M_SCOPE_DELEGATE_REPLAYS: &str = "scope.delegate_replays";
+/// Provenance hops recorded (one per object actually transferred by a
+/// delegation, in normal processing or forward-pass replay).
+pub const M_PROVENANCE_HOPS: &str = "scope.provenance.hops";
+/// Histogram: an object's responsibility-chain depth, observed after
+/// each hop is appended.
+pub const M_PROVENANCE_CHAIN_DEPTH: &str = "scope.provenance.chain_depth";
+
+/// Flight-recorder records persisted to the black-box stream.
+pub const M_BLACKBOX_RECORDS: &str = "blackbox.records";
+/// Bytes persisted to the black-box stream.
+pub const M_BLACKBOX_BYTES: &str = "blackbox.bytes";
+/// Flight-recorder appends dropped because the sidecar write or sync
+/// failed (the black box is strictly best-effort).
+pub const M_BLACKBOX_ERRORS: &str = "blackbox.errors";
 
 /// Histogram: forward-pass wall clock, microseconds.
 pub const M_RECOVERY_FORWARD_US: &str = "recovery.forward_us";

@@ -96,6 +96,31 @@ pub fn check_no_rewrites(trace: &TraceSnapshot, stats: &RegistrySnapshot) -> Res
     Ok(())
 }
 
+/// Checks the provenance-hop events for chain consistency: per object
+/// (`lsn_hi` carries the object id), delegate-record LSNs strictly
+/// increase along the chain, and no hop is a self-delegation
+/// (`txn` = delegator, `payload` = delegatee).
+pub fn check_provenance_hops(trace: &TraceSnapshot) -> Result<(), String> {
+    let mut last_lsn: std::collections::BTreeMap<u64, u64> = std::collections::BTreeMap::new();
+    for e in trace.named(names::EV_PROVENANCE_HOP) {
+        let (ob, lsn, from, to) = (e.lsn_hi, e.lsn_lo, e.txn, e.payload);
+        if from == to {
+            return Err(format!(
+                "object {ob}: provenance hop at LSN {lsn} delegates {from} to itself"
+            ));
+        }
+        if let Some(&prev) = last_lsn.get(&ob) {
+            if lsn <= prev {
+                return Err(format!(
+                    "object {ob}: provenance chain is not LSN-monotone (hop at {lsn} after {prev})"
+                ));
+            }
+        }
+        last_lsn.insert(ob, lsn);
+    }
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -151,6 +176,24 @@ mod tests {
         visit(&t, 5);
         assert!(check_gaps_skipped(&t.snapshot()).is_err());
         assert!(check_range_untouched(&t.snapshot(), 2, 9).is_err());
+    }
+
+    #[test]
+    fn provenance_hops_must_be_lsn_monotone_and_non_reflexive() {
+        let t = Tracer::default();
+        // Object 7: hops at LSNs 3 then 9; object 8 interleaved at 5.
+        t.point(names::EV_PROVENANCE_HOP, 3, 7, 1, 2);
+        t.point(names::EV_PROVENANCE_HOP, 5, 8, 1, 3);
+        t.point(names::EV_PROVENANCE_HOP, 9, 7, 2, 3);
+        assert!(check_provenance_hops(&t.snapshot()).is_ok());
+
+        // A stale hop re-entering object 7's chain out of order fails.
+        t.point(names::EV_PROVENANCE_HOP, 4, 7, 3, 1);
+        assert!(check_provenance_hops(&t.snapshot()).is_err());
+
+        let t = Tracer::default();
+        t.point(names::EV_PROVENANCE_HOP, 3, 7, 2, 2);
+        assert!(check_provenance_hops(&t.snapshot()).is_err());
     }
 
     #[test]

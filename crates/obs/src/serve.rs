@@ -1,0 +1,226 @@
+//! The live introspection server: a dependency-free, read-only,
+//! bounded text/JSON endpoint over `std::net::TcpListener`.
+//!
+//! The server is **opt-in** (nothing listens unless the embedding engine
+//! calls [`IntrospectionServer::bind`]), **read-only** (the handler is a
+//! pure query closure — it can snapshot state but never mutate it), and
+//! **bounded** (one request per connection, request line capped at
+//! [`MAX_REQUEST_BYTES`], short read timeout, one service thread). It
+//! speaks just enough HTTP/1.0 that `curl`, a browser, and four lines of
+//! test code can all talk to it:
+//!
+//! ```text
+//! GET /stats            -> the unified counter/histogram registry
+//! GET /trace            -> the bounded trace ring
+//! GET /provenance       -> every object's responsibility chain
+//! GET /provenance/<ob>  -> one object's chain
+//! GET /postmortem       -> the predecessor's black-box diff, if any
+//! ```
+//!
+//! This crate only provides the transport; the path-to-JSON mapping is
+//! the embedder's [`Handler`] closure (the engine crate wires the routes
+//! above), keeping `rh-obs` free of any dependency on engine types.
+
+use crate::json::JsonValue;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Hard cap on the bytes read from one request (the request line is all
+/// the server looks at; anything longer is rejected).
+pub const MAX_REQUEST_BYTES: usize = 4096;
+
+/// Maps a request path (e.g. `/stats`) to a JSON response; `None` means
+/// 404. Runs on the service thread, so it must be `Send + Sync` and
+/// should only snapshot shared state.
+pub type Handler = Arc<dyn Fn(&str) -> Option<JsonValue> + Send + Sync>;
+
+/// A running introspection endpoint. Dropping it (or calling
+/// [`IntrospectionServer::shutdown`]) stops the service thread.
+#[derive(Debug)]
+pub struct IntrospectionServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    thread: Option<JoinHandle<()>>,
+}
+
+impl IntrospectionServer {
+    /// Binds `addr` (e.g. `"127.0.0.1:0"` for an ephemeral port) and
+    /// starts serving `handler` on a single background thread.
+    pub fn bind(addr: &str, handler: Handler) -> std::io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let local = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop_flag = Arc::clone(&stop);
+        let thread = std::thread::Builder::new()
+            .name("rh-obs-serve".to_string())
+            .spawn(move || serve_loop(listener, handler, stop_flag))?;
+        Ok(IntrospectionServer { addr: local, stop, thread: Some(thread) })
+    }
+
+    /// The bound address (useful with an ephemeral port).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops the service thread and waits for it to exit. Idempotent.
+    pub fn shutdown(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for IntrospectionServer {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn serve_loop(listener: TcpListener, handler: Handler, stop: Arc<AtomicBool>) {
+    while !stop.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                // Best-effort per connection: a misbehaving client can
+                // only cost this one bounded exchange.
+                let _ = handle_connection(stream, &handler);
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(10));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(10)),
+        }
+    }
+}
+
+fn handle_connection(mut stream: TcpStream, handler: &Handler) -> std::io::Result<()> {
+    stream.set_nonblocking(false)?;
+    stream.set_read_timeout(Some(Duration::from_millis(500)))?;
+
+    let mut buf = [0u8; MAX_REQUEST_BYTES];
+    let mut used = 0usize;
+    // Read until the request line is complete (or the cap is hit —
+    // everything past the first line is ignored anyway).
+    while used < buf.len() && !buf[..used].contains(&b'\n') {
+        match stream.read(&mut buf[used..]) {
+            Ok(0) => break,
+            Ok(n) => used += n,
+            Err(_) => break,
+        }
+    }
+    let line = match std::str::from_utf8(&buf[..used]) {
+        Ok(s) => s.lines().next().unwrap_or(""),
+        Err(_) => "",
+    };
+
+    let response = route(line, handler);
+    stream.write_all(response.as_bytes())?;
+    stream.flush()
+}
+
+/// Parses `GET <path> ...` and produces the full HTTP response text.
+fn route(request_line: &str, handler: &Handler) -> String {
+    let mut parts = request_line.split_whitespace();
+    let (method, path) = (parts.next().unwrap_or(""), parts.next().unwrap_or(""));
+    if method != "GET" || !path.starts_with('/') {
+        return respond(
+            "400 Bad Request",
+            &JsonValue::obj(vec![("error", JsonValue::Str("expected: GET /<path>".into()))]),
+        );
+    }
+    // Strip any query string; the protocol has none.
+    let path = path.split('?').next().unwrap_or(path);
+    match handler(path) {
+        Some(body) => respond("200 OK", &body),
+        None => respond(
+            "404 Not Found",
+            &JsonValue::obj(vec![
+                ("error", JsonValue::Str(format!("unknown path {path}"))),
+                (
+                    "paths",
+                    JsonValue::Arr(
+                        ["/stats", "/trace", "/provenance", "/provenance/<ob>", "/postmortem"]
+                            .iter()
+                            .map(|p| JsonValue::Str((*p).to_string()))
+                            .collect(),
+                    ),
+                ),
+            ]),
+        ),
+    }
+}
+
+fn respond(status: &str, body: &JsonValue) -> String {
+    let text = body.render_pretty();
+    format!(
+        "HTTP/1.0 {status}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{text}",
+        text.len()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn request(addr: SocketAddr, line: &str) -> (String, String) {
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        stream.write_all(line.as_bytes()).expect("send");
+        let mut raw = String::new();
+        stream.read_to_string(&mut raw).expect("receive");
+        let (head, body) = raw.split_once("\r\n\r\n").expect("header/body split");
+        (head.to_string(), body.to_string())
+    }
+
+    fn test_handler() -> Handler {
+        Arc::new(|path: &str| match path {
+            "/stats" => Some(JsonValue::obj(vec![("ok", JsonValue::Bool(true))])),
+            p if p.starts_with("/provenance/") => {
+                let ob: u64 = p.trim_start_matches("/provenance/").parse().ok()?;
+                Some(JsonValue::obj(vec![("ob", JsonValue::U64(ob))]))
+            }
+            _ => None,
+        })
+    }
+
+    #[test]
+    fn serves_known_paths_as_json() {
+        let server = IntrospectionServer::bind("127.0.0.1:0", test_handler()).expect("bind");
+        let (head, body) = request(server.local_addr(), "GET /stats HTTP/1.0\r\n\r\n");
+        assert!(head.starts_with("HTTP/1.0 200"), "head: {head}");
+        let parsed = crate::json::parse(&body).expect("json body");
+        assert_eq!(parsed.get("ok"), Some(&JsonValue::Bool(true)));
+    }
+
+    #[test]
+    fn parameterized_path_and_query_strings() {
+        let server = IntrospectionServer::bind("127.0.0.1:0", test_handler()).expect("bind");
+        let (_, body) = request(server.local_addr(), "GET /provenance/42?x=1 HTTP/1.0\r\n\r\n");
+        let parsed = crate::json::parse(&body).expect("json body");
+        assert_eq!(parsed.get("ob").and_then(JsonValue::as_u64), Some(42));
+    }
+
+    #[test]
+    fn unknown_path_is_404_and_bad_method_is_400() {
+        let server = IntrospectionServer::bind("127.0.0.1:0", test_handler()).expect("bind");
+        let (head, body) = request(server.local_addr(), "GET /nope HTTP/1.0\r\n\r\n");
+        assert!(head.starts_with("HTTP/1.0 404"), "head: {head}");
+        assert!(crate::json::parse(&body).expect("json").get("paths").is_some());
+        let (head, _) = request(server.local_addr(), "POST /stats HTTP/1.0\r\n\r\n");
+        assert!(head.starts_with("HTTP/1.0 400"), "head: {head}");
+    }
+
+    #[test]
+    fn shutdown_is_idempotent_and_frees_the_port() {
+        let mut server = IntrospectionServer::bind("127.0.0.1:0", test_handler()).expect("bind");
+        let addr = server.local_addr();
+        server.shutdown();
+        server.shutdown();
+        // Port is released: a fresh bind on the same address succeeds.
+        let _rebound = TcpListener::bind(addr).expect("rebind after shutdown");
+    }
+}

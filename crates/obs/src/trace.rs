@@ -13,6 +13,12 @@
 //!    from right-sized test workloads).
 //! 3. **Timestamped relative to the tracer's epoch** (microseconds), so
 //!    timelines from different runs line up at zero.
+//! 4. **Internally consistent.** Timestamps are stamped *inside* the
+//!    ring's critical section, so ring order and timestamp order always
+//!    agree: any [`Tracer::snapshot`] sees a `ts_micros` sequence that is
+//!    non-decreasing, even while other threads race the ring around its
+//!    wraparound point. (Stamping before taking the lock — the obvious
+//!    implementation — lets two threads insert out of timestamp order.)
 
 use crate::clock::Stopwatch;
 use std::collections::VecDeque;
@@ -107,6 +113,9 @@ struct Ring {
 pub struct Tracer {
     epoch: Stopwatch,
     capacity: usize,
+    /// When false, every recording call is a cheap early return — the
+    /// no-op mode the `obs_overhead` bench compares against.
+    enabled: bool,
     ring: Mutex<Ring>,
     next_span: AtomicU64,
 }
@@ -147,17 +156,33 @@ impl Tracer {
         Tracer {
             epoch: Stopwatch::start(),
             capacity: capacity.max(1),
+            enabled: true,
             ring: Mutex::new(Ring::default()),
             next_span: AtomicU64::new(1),
         }
     }
 
-    fn now_micros(&self) -> u64 {
-        self.epoch.elapsed_micros()
+    /// Creates a no-op tracer: every recording call returns immediately
+    /// and snapshots are always empty. The `obs_overhead` bench uses this
+    /// as the zero-cost baseline.
+    pub fn disabled() -> Self {
+        Tracer { enabled: false, ..Self::default() }
     }
 
-    fn push(&self, ev: TraceEvent) {
+    /// Whether this tracer records anything at all.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Inserts one event, stamping `ts_micros` inside the critical
+    /// section so ring order and timestamp order agree (see the module
+    /// docs, constraint 4).
+    fn push(&self, mut ev: TraceEvent) {
+        if !self.enabled {
+            return;
+        }
         let mut ring = self.ring.lock().expect("tracer ring poisoned");
+        ev.ts_micros = self.epoch.elapsed_micros();
         if ring.buf.len() == self.capacity {
             ring.buf.pop_front();
             ring.dropped += 1;
@@ -168,7 +193,7 @@ impl Tracer {
     /// Emits an instantaneous event. Use [`NONE`] for absent fields.
     pub fn point(&self, name: &'static str, lsn_lo: u64, lsn_hi: u64, txn: u64, payload: u64) {
         self.push(TraceEvent {
-            ts_micros: self.now_micros(),
+            ts_micros: 0,
             span: 0,
             kind: EventKind::Point,
             name,
@@ -189,7 +214,7 @@ impl Tracer {
     pub fn span_for_txn(&self, name: &'static str, txn: u64) -> SpanGuard<'_> {
         let id = self.next_span.fetch_add(1, Ordering::Relaxed);
         self.push(TraceEvent {
-            ts_micros: self.now_micros(),
+            ts_micros: 0,
             span: id,
             kind: EventKind::SpanBegin,
             name,
@@ -201,7 +226,11 @@ impl Tracer {
         SpanGuard { tracer: self, name, id, txn, started: Stopwatch::start() }
     }
 
-    /// Captures the current ring contents.
+    /// Captures the current ring contents. The capture happens under the
+    /// same lock that stamps timestamps, so the returned event list is
+    /// internally consistent: `ts_micros` is non-decreasing in ring
+    /// order, with no events from concurrent writers interleaved out of
+    /// time order.
     pub fn snapshot(&self) -> TraceSnapshot {
         let ring = self.ring.lock().expect("tracer ring poisoned");
         TraceSnapshot { events: ring.buf.iter().copied().collect(), dropped: ring.dropped }
@@ -234,7 +263,7 @@ impl SpanGuard<'_> {
     /// Emits a point event attributed to this span.
     pub fn point(&self, name: &'static str, lsn_lo: u64, lsn_hi: u64, txn: u64, payload: u64) {
         self.tracer.push(TraceEvent {
-            ts_micros: self.tracer.now_micros(),
+            ts_micros: 0,
             span: self.id,
             kind: EventKind::Point,
             name,
@@ -250,7 +279,7 @@ impl Drop for SpanGuard<'_> {
     fn drop(&mut self) {
         let dur = self.started.elapsed_micros();
         self.tracer.push(TraceEvent {
-            ts_micros: self.tracer.now_micros(),
+            ts_micros: 0,
             span: self.id,
             kind: EventKind::SpanEnd,
             name: self.name,
@@ -318,6 +347,32 @@ mod tests {
         let snap = t.snapshot();
         assert_eq!(snap.named("x").len(), 2);
         assert_eq!(snap.named("z").len(), 0);
+    }
+
+    #[test]
+    fn disabled_tracer_records_nothing() {
+        let t = Tracer::disabled();
+        assert!(!t.is_enabled());
+        t.point("a", 0, 0, NONE, 0);
+        {
+            let s = t.span("work");
+            s.point("inner", 1, 1, NONE, 0);
+        }
+        let snap = t.snapshot();
+        assert!(snap.events.is_empty());
+        assert_eq!(snap.dropped, 0);
+    }
+
+    #[test]
+    fn timestamps_are_non_decreasing_in_ring_order() {
+        let t = Tracer::with_capacity(8);
+        for i in 0..32u64 {
+            t.point("e", i, i, NONE, 0);
+        }
+        let snap = t.snapshot();
+        for w in snap.events.windows(2) {
+            assert!(w[0].ts_micros <= w[1].ts_micros, "ring order disagrees with time order");
+        }
     }
 
     #[test]

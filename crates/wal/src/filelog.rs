@@ -244,6 +244,19 @@ impl SegmentedFileLog {
         self.report
     }
 
+    /// The directory holding this log's segments and master record.
+    /// Sidecar streams (the flight recorder's black box) locate their own
+    /// subdirectory relative to this.
+    pub fn dir(&self) -> &std::path::Path {
+        &self.dir
+    }
+
+    /// The I/O layer this log was opened through. Sidecar streams share
+    /// it so fault injection covers both streams with one injector.
+    pub fn io(&self) -> Arc<dyn WalIo> {
+        Arc::clone(&self.io)
+    }
+
     fn load_master(io: &dyn WalIo, dir: &std::path::Path, base: u64, horizon: u64) -> Lsn {
         // Any failure mode degrades to NULL: recovery then scans from the
         // log base, which is always correct.

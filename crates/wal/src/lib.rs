@@ -25,7 +25,10 @@
 //! record framing), [`segment`] (segment files + torn-tail scanning),
 //! [`filelog`] (the [`filelog::SegmentedFileLog`] directory layout and
 //! master record), and [`io`] (the filesystem seam, including the
-//! fault-injecting [`io::FaultIo`] the crash tests are built on).
+//! fault-injecting [`io::FaultIo`] the crash tests are built on). The
+//! [`sidecar`] module reuses that machinery for the flight recorder's
+//! black-box stream — an independent `obs/` segment stream next to the
+//! log, with the same torn-tail guarantees.
 
 pub mod chain;
 pub mod filelog;
@@ -35,6 +38,7 @@ pub mod log;
 pub mod metrics;
 pub mod record;
 pub mod segment;
+pub mod sidecar;
 
 pub use chain::BackwardChainIter;
 pub use filelog::{FileLogConfig, OpenReport, SegmentedFileLog};
@@ -42,3 +46,4 @@ pub use io::{FaultInjector, FaultIo, StdIo, WalFile, WalIo};
 pub use log::{LogManager, StableLog};
 pub use metrics::{LogMetrics, LogMetricsSnapshot};
 pub use record::{DelegateBody, LogRecord, RecordBody};
+pub use sidecar::SidecarLog;
