@@ -29,6 +29,10 @@ pub const MANIFEST: &[(&str, &[&str])] = &[
     // rh-lockmgr: a single internal mutex — nesting anything under it
     // is a violation by construction.
     ("crates/lockmgr/src/", &["state"]),
+    // rh-server: session table first, then the engine mutex, then a
+    // connection's write half. The engine guard must close before any
+    // reply is written, or a slow client could stall every session.
+    ("crates/server/src/", &["sessions", "engine", "out"]),
 ];
 
 /// Methods that acquire (empty-argument calls only).
@@ -163,6 +167,19 @@ mod tests {
     fn io_write_with_args_is_not_an_acquisition() {
         let src = "fn f(&self) { let b = self.batches.lock(); file.write(buf); }";
         assert!(run(src).is_empty());
+    }
+
+    #[test]
+    fn server_order_sessions_then_engine_then_out() {
+        let path = "crates/server/src/conn.rs";
+        let good = "fn f(&self) { { let s = self.sessions.lock(); } let e = self.engine.lock(); }";
+        assert!(check(&SourceFile::new(path, good)).is_empty());
+        // Writing a reply while holding the engine is the declared
+        // order, but taking the engine under `out` is not.
+        let bad = "fn f(&self) { let o = self.out.lock(); let e = self.engine.lock(); }";
+        let got = check(&SourceFile::new(path, bad));
+        assert_eq!(got.len(), 1);
+        assert!(got[0].message.contains("holding `out`"));
     }
 
     #[test]

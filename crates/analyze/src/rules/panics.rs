@@ -22,6 +22,9 @@ const CRITICAL: &[&str] = &[
     "crates/wal/src/frame.rs",
     "crates/wal/src/segment.rs",
     "crates/wal/src/io.rs",
+    // The network front-end: a panicking connection thread would strand
+    // its session's transactions without the abort-on-close path.
+    "crates/server/src/",
 ];
 
 /// Panic-capable macros (checked as `ident !`).
@@ -99,6 +102,17 @@ mod tests {
         assert!(run("crates/wal/src/frame.rs", test_src).is_empty());
         let str_src = "fn f() -> &'static str { \"please unwrap() and panic!\" }";
         assert!(run("crates/wal/src/frame.rs", str_src).is_empty());
+    }
+
+    #[test]
+    fn server_sources_are_critical() {
+        // The whole network front-end is in the manifest: a connection
+        // thread that panics strands its session's transactions.
+        let src = "fn f() { x.unwrap(); }";
+        assert_eq!(run("crates/server/src/conn.rs", src).len(), 1);
+        assert_eq!(run("crates/server/src/bin/rh-serve.rs", src).len(), 1);
+        let test_src = "#[cfg(test)]\nmod tests { fn t() { x.unwrap(); } }";
+        assert!(run("crates/server/src/wire.rs", test_src).is_empty());
     }
 
     #[test]

@@ -1,0 +1,137 @@
+//! E11 — serving throughput: concurrent sessions funnelling through
+//! one engine, with commits group-committed across them.
+//!
+//! Each measured point stands up a fresh file-backed `rh-server`
+//! in-process, drives it with the `rh-load` closed-loop generator
+//! (`threads` connections, mixed writes/adds, optionally the delegation
+//! idiom), verifies the oracle, and drains. The grid is
+//! threads ∈ {1, 4, 16} × delegation ∈ {0, 0.3}:
+//!
+//! * scaling threads shows group commit amortizing fsyncs — committed
+//!   txns/s grows while `log.fsyncs` per commit falls;
+//! * the delegation axis shows the paper's claim surviving the wire:
+//!   routing effects through delegate → abort → commit costs a couple
+//!   of extra round trips, not a different asymptote.
+//!
+//! Besides the Criterion medians, the run writes throughput rows to
+//! `target/obs/BENCH_server.json`; first measured rows are checked in
+//! at `crates/bench/baselines/BENCH_server.json` for eyeball
+//! regression comparison.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rh_client::load::{run_load, LoadSpec};
+use rh_core::engine::{DbConfig, RhDb, Strategy};
+use rh_obs::{JsonValue, Stopwatch};
+use rh_server::{Server, ServerConfig};
+use rh_wal::StableLog;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+const TXNS_PER_THREAD: usize = 10;
+const UPDATES_PER_TXN: usize = 4;
+const GRID: &[(usize, f64)] = &[(1, 0.0), (1, 0.3), (4, 0.0), (4, 0.3), (16, 0.0), (16, 0.3)];
+
+fn scratch() -> PathBuf {
+    static N: AtomicU64 = AtomicU64::new(0);
+    let dir = std::env::temp_dir().join(format!(
+        "rh-bench-server-{}-{}",
+        std::process::id(),
+        N.fetch_add(1, Ordering::Relaxed)
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn spec(threads: usize, delegation: f64) -> LoadSpec {
+    LoadSpec {
+        threads,
+        txns_per_thread: TXNS_PER_THREAD,
+        updates_per_txn: UPDATES_PER_TXN,
+        delegation_fraction: delegation,
+        seed: 42,
+        base_offset: 0,
+    }
+}
+
+/// One full serve/load/drain cycle on a fresh directory. Object ids are
+/// deterministic per thread, so every cycle needs its own engine — a
+/// reused one would see the generator's `add` objects twice.
+fn one_cycle(threads: usize, delegation: f64) -> (u64, u64, u64) {
+    let dir = scratch();
+    let stable = StableLog::open_dir(&dir).expect("bench log dir");
+    let db = RhDb::with_stable_log(Strategy::Rh, DbConfig::default(), stable);
+    let server = Server::bind("127.0.0.1:0", db, ServerConfig::default()).expect("bind");
+    let addr = server.local_addr().to_string();
+    let report = run_load(&addr, &spec(threads, delegation)).expect("load");
+    assert_eq!(report.divergences, 0, "bench run diverged: {report:?}");
+    assert_eq!(report.errors, 0, "bench run errored: {report:?}");
+    let out = (report.txns_committed, report.server_commits_delta, report.server_fsyncs_delta);
+    drop(server.shutdown().expect("drain"));
+    let _ = std::fs::remove_dir_all(&dir);
+    out
+}
+
+fn bench_serving(c: &mut Criterion) {
+    let mut group = c.benchmark_group("server_throughput");
+    group.sample_size(10);
+    for &(threads, delegation) in GRID {
+        group.throughput(Throughput::Elements((threads * TXNS_PER_THREAD) as u64));
+        let name = format!("t{threads}_d{}", (delegation * 100.0) as u32);
+        group.bench_function(BenchmarkId::from_parameter(name), |b| {
+            b.iter(|| one_cycle(threads, delegation))
+        });
+    }
+    group.finish();
+}
+
+/// Writes the throughput rows to `target/obs/BENCH_server.json` (the
+/// checked-in baseline at `crates/bench/baselines/BENCH_server.json` is
+/// a copy of this file from the first run).
+fn export_rows(_c: &mut Criterion) {
+    let mut rows: Vec<JsonValue> = Vec::new();
+    for &(threads, delegation) in GRID {
+        let commits = (threads * TXNS_PER_THREAD) as u64;
+        // Median of a few full cycles; also keep the batching evidence
+        // (fsyncs per commit) from the median-timed run's neighborhood.
+        let mut times: Vec<(u64, u64)> = Vec::new();
+        for _ in 0..3 {
+            let sw = Stopwatch::start();
+            let (_, _, fsyncs) = one_cycle(threads, delegation);
+            times.push((sw.elapsed().as_nanos() as u64, fsyncs));
+        }
+        times.sort_unstable();
+        let (median_ns, fsyncs) = times[times.len() / 2];
+        let name = format!("serve_t{threads}_d{}", (delegation * 100.0) as u32);
+        rows.push(JsonValue::obj(vec![
+            ("name", JsonValue::Str(name)),
+            ("median_ns", JsonValue::U64(median_ns)),
+            ("unit", JsonValue::Str("ns/cycle".to_string())),
+            ("commits", JsonValue::U64(commits)),
+            ("fsyncs", JsonValue::U64(fsyncs)),
+            (
+                "txns_per_sec",
+                JsonValue::U64((commits * 1_000_000_000).checked_div(median_ns).unwrap_or(0)),
+            ),
+        ]));
+    }
+
+    let doc = JsonValue::obj(vec![
+        ("bench", JsonValue::Str("server_throughput".to_string())),
+        (
+            "workload",
+            JsonValue::obj(vec![
+                ("txns_per_thread", JsonValue::U64(TXNS_PER_THREAD as u64)),
+                ("updates_per_txn", JsonValue::U64(UPDATES_PER_TXN as u64)),
+            ]),
+        ),
+        ("rows", JsonValue::Arr(rows)),
+    ]);
+    let dir = PathBuf::from(concat!(env!("CARGO_MANIFEST_DIR"), "/../../target/obs"));
+    std::fs::create_dir_all(&dir).expect("create target/obs");
+    let path = dir.join("BENCH_server.json");
+    std::fs::write(&path, doc.render_pretty()).expect("write BENCH_server.json");
+    println!("server_throughput: wrote {}", path.display());
+}
+
+criterion_group!(benches, bench_serving, export_rows);
+criterion_main!(benches);

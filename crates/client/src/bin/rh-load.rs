@@ -1,0 +1,123 @@
+//! `rh-load` — drive an rh-serve instance with a concurrent
+//! transaction mix and verify the oracle.
+//!
+//! ```text
+//! rh-load --addr 127.0.0.1:7411 [--threads N] [--txns N] [--updates N]
+//!         [--delegation F] [--seed N] [--smoke] [--report PATH]
+//!         [--shutdown]
+//! ```
+//!
+//! Exits nonzero on any oracle divergence or transport failure, so CI
+//! can gate on it directly. `--report` writes the run's JSON report;
+//! `--shutdown` sends the wire shutdown op afterwards (graceful drain —
+//! the server process exits once drained).
+
+use rh_client::load::{self, LoadSpec};
+
+fn usage(reason: &str) -> ! {
+    eprintln!("rh-load: {reason}");
+    eprintln!(
+        "usage: rh-load --addr HOST:PORT [--threads N] [--txns N] [--updates N] \
+         [--delegation F] [--seed N] [--offset N] [--smoke] [--report PATH] [--shutdown]"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let mut addr = "127.0.0.1:7411".to_string();
+    let mut spec = LoadSpec::default();
+    let mut report_path: Option<String> = None;
+    let mut shutdown = false;
+    let mut argv = std::env::args().skip(1);
+    while let Some(flag) = argv.next() {
+        let mut value = |name: &str| match argv.next() {
+            Some(v) => v,
+            None => usage(&format!("{name} needs a value")),
+        };
+        match flag.as_str() {
+            "--addr" => addr = value("--addr"),
+            "--threads" => match value("--threads").parse() {
+                Ok(n) => spec.threads = n,
+                Err(_) => usage("--threads needs an integer"),
+            },
+            "--txns" => match value("--txns").parse() {
+                Ok(n) => spec.txns_per_thread = n,
+                Err(_) => usage("--txns needs an integer"),
+            },
+            "--updates" => match value("--updates").parse() {
+                Ok(n) => spec.updates_per_txn = n,
+                Err(_) => usage("--updates needs an integer"),
+            },
+            "--delegation" => match value("--delegation").parse() {
+                Ok(f) => spec.delegation_fraction = f,
+                Err(_) => usage("--delegation needs a float in [0,1]"),
+            },
+            "--seed" => match value("--seed").parse() {
+                Ok(n) => spec.seed = n,
+                Err(_) => usage("--seed needs an integer"),
+            },
+            // Repeated runs against one directory need distinct offsets
+            // (spaced by >= threads) to keep object ranges disjoint.
+            "--offset" => match value("--offset").parse() {
+                Ok(n) => spec.base_offset = n,
+                Err(_) => usage("--offset needs an integer"),
+            },
+            "--smoke" => spec = LoadSpec { base_offset: spec.base_offset, ..LoadSpec::smoke() },
+            "--report" => report_path = Some(value("--report")),
+            "--shutdown" => shutdown = true,
+            other => usage(&format!("unknown flag {other}")),
+        }
+    }
+
+    println!(
+        "rh-load: {} threads x {} txns ({} updates/txn, delegation {:.0}%) against {addr}",
+        spec.threads,
+        spec.txns_per_thread,
+        spec.updates_per_txn,
+        spec.delegation_fraction * 100.0
+    );
+    let report = match load::run_load(&addr, &spec) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("rh-load: run failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    println!(
+        "rh-load: committed={} ({:.0} txn/s) busy={} errors={} divergences={} \
+         server commits +{} / fsyncs +{}",
+        report.txns_committed,
+        report.throughput(),
+        report.busy,
+        report.errors,
+        report.divergences,
+        report.server_commits_delta,
+        report.server_fsyncs_delta,
+    );
+    if let Some(path) = report_path {
+        let text = report.to_json().render_pretty();
+        if let Some(parent) = std::path::Path::new(&path).parent() {
+            let _ = std::fs::create_dir_all(parent);
+        }
+        match std::fs::write(&path, text) {
+            Ok(()) => println!("rh-load: report written to {path}"),
+            Err(e) => {
+                eprintln!("rh-load: cannot write {path}: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+    if shutdown {
+        match load::connect_with_retry(&addr).and_then(|mut c| c.shutdown_server()) {
+            Ok(()) => println!("rh-load: shutdown sent"),
+            Err(e) => {
+                eprintln!("rh-load: shutdown failed: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+    if report.divergences > 0 {
+        eprintln!("rh-load: ORACLE DIVERGENCE — served state contradicts acknowledged commits");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,273 @@
+//! # rh-client
+//!
+//! The client side of the `rh-server` wire protocol: a blocking
+//! [`Connection`] handle speaking the framed protocol from
+//! [`rh_server::wire`], plus a multi-threaded closed-loop load
+//! generator ([`load`]) with a per-thread oracle that catches any
+//! divergence between acknowledged effects and served values.
+//!
+//! ```no_run
+//! use rh_client::Connection;
+//! use rh_common::ObjectId;
+//!
+//! let mut c = Connection::connect("127.0.0.1:7411").unwrap();
+//! let t = c.begin().unwrap();
+//! c.write(t, ObjectId(7), 42).unwrap();
+//! c.commit(t).unwrap(); // returns only once the commit is durable
+//! assert_eq!(c.value_of(ObjectId(7)).unwrap(), 42);
+//! ```
+
+pub mod load;
+
+use rh_common::codec::Codec;
+use rh_common::ops::Value;
+use rh_common::{ObjectId, TxnId};
+use rh_server::wire::{self, Hello, Op, Reply, ReplyBody, Request, Response};
+use std::fmt;
+use std::io;
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+/// Client-side errors. The engine's `RhError` cannot cross a process
+/// boundary (it carries `&'static str` and typed ids), so wire errors
+/// arrive as a stable class code plus rendered message.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Admission control refused the connection (server full or
+    /// draining).
+    Rejected,
+    /// The per-connection in-flight cap was exceeded; the operation was
+    /// not attempted and may be resent.
+    Busy,
+    /// The server executed the request and refused it. `code` is an
+    /// [`rh_server::wire::errcode`] constant.
+    Engine {
+        /// Stable error class.
+        code: u8,
+        /// Rendered engine error.
+        message: String,
+    },
+    /// Transport failure (includes the server vanishing mid-exchange —
+    /// the crash tests rely on surfacing this faithfully).
+    Io(io::Error),
+    /// The peer broke the wire protocol.
+    Protocol(String),
+}
+
+impl fmt::Display for ClientError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClientError::Rejected => write!(f, "connection rejected by admission control"),
+            ClientError::Busy => write!(f, "server busy: in-flight cap exceeded"),
+            ClientError::Engine { code, message } => write!(f, "engine error {code}: {message}"),
+            ClientError::Io(e) => write!(f, "transport error: {e}"),
+            ClientError::Protocol(m) => write!(f, "protocol error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<io::Error> for ClientError {
+    fn from(e: io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+/// Client-side result alias.
+pub type Result<T> = std::result::Result<T, ClientError>;
+
+/// One session with an `rh-server`: a blocking request/reply handle.
+///
+/// [`Connection::call`] keeps one request outstanding; the raw
+/// [`Connection::send`] / [`Connection::recv`] pair exposes pipelining
+/// (used by the backpressure tests and the load generator's pipelined
+/// mode).
+#[derive(Debug)]
+pub struct Connection {
+    stream: TcpStream,
+    session: u64,
+    inflight_cap: u32,
+    next_id: u64,
+}
+
+impl Connection {
+    /// Connects and runs the hello exchange.
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<Connection> {
+        let stream = TcpStream::connect(addr)?;
+        let _ = stream.set_nodelay(true);
+        let mut conn = Connection { stream, session: 0, inflight_cap: 0, next_id: 1 };
+        let payload = conn
+            .read_payload()?
+            .ok_or_else(|| ClientError::Protocol("server closed before hello".into()))?;
+        let hello = Hello::from_bytes(&payload)
+            .map_err(|e| ClientError::Protocol(format!("bad hello: {e}")))?;
+        if !hello.accepted {
+            return Err(ClientError::Rejected);
+        }
+        conn.session = hello.session;
+        conn.inflight_cap = hello.inflight_cap;
+        Ok(conn)
+    }
+
+    /// The server-assigned session id.
+    pub fn session(&self) -> u64 {
+        self.session
+    }
+
+    /// The advertised pipelining cap.
+    pub fn inflight_cap(&self) -> u32 {
+        self.inflight_cap
+    }
+
+    /// Sets the socket read timeout (e.g. so a crash test does not hang
+    /// on a killed server).
+    pub fn set_read_timeout(&self, timeout: Option<Duration>) -> Result<()> {
+        self.stream.set_read_timeout(timeout)?;
+        Ok(())
+    }
+
+    fn read_payload(&mut self) -> Result<Option<Vec<u8>>> {
+        Ok(wire::read_frame(&mut self.stream)?)
+    }
+
+    /// Fire-and-forget: frames `op` onto the wire, returning the
+    /// request id. Pair with [`Connection::recv`].
+    pub fn send(&mut self, op: Op) -> Result<u64> {
+        let id = self.next_id;
+        self.next_id += 1;
+        let bytes = Request { id, op }.to_bytes();
+        wire::write_frame(&mut self.stream, &bytes)?;
+        Ok(id)
+    }
+
+    /// Receives the next response frame.
+    pub fn recv(&mut self) -> Result<Response> {
+        let payload = self
+            .read_payload()?
+            .ok_or_else(|| ClientError::Protocol("server closed the connection".into()))?;
+        Response::from_bytes(&payload)
+            .map_err(|e| ClientError::Protocol(format!("bad response: {e}")))
+    }
+
+    /// One blocking round trip.
+    pub fn call(&mut self, op: Op) -> Result<ReplyBody> {
+        let id = self.send(op)?;
+        let resp = self.recv()?;
+        if resp.id != id {
+            return Err(ClientError::Protocol(format!(
+                "reply for request {} while awaiting {id}",
+                resp.id
+            )));
+        }
+        match resp.reply {
+            Reply::Ok(body) => Ok(body),
+            Reply::Err { code, message } => Err(ClientError::Engine { code, message }),
+            Reply::Busy => Err(ClientError::Busy),
+        }
+    }
+
+    // ---- typed operation surface --------------------------------------
+
+    /// Starts a transaction.
+    pub fn begin(&mut self) -> Result<TxnId> {
+        match self.call(Op::Begin)? {
+            ReplyBody::Txn(t) => Ok(t),
+            other => Err(unexpected("txn id", &other)),
+        }
+    }
+
+    /// Transactional read.
+    pub fn read(&mut self, t: TxnId, ob: ObjectId) -> Result<Value> {
+        match self.call(Op::Read(t, ob))? {
+            ReplyBody::Value(v) => Ok(v),
+            other => Err(unexpected("value", &other)),
+        }
+    }
+
+    /// Transactional overwrite.
+    pub fn write(&mut self, t: TxnId, ob: ObjectId, v: Value) -> Result<()> {
+        unit(self.call(Op::Write(t, ob, v))?)
+    }
+
+    /// Transactional commutative increment.
+    pub fn add(&mut self, t: TxnId, ob: ObjectId, delta: Value) -> Result<()> {
+        unit(self.call(Op::Add(t, ob, delta))?)
+    }
+
+    /// `delegate(tor, tee, obs)`.
+    pub fn delegate(&mut self, tor: TxnId, tee: TxnId, obs: &[ObjectId]) -> Result<()> {
+        unit(self.call(Op::Delegate(tor, tee, obs.to_vec()))?)
+    }
+
+    /// `delegate(tor, tee)` of everything.
+    pub fn delegate_all(&mut self, tor: TxnId, tee: TxnId) -> Result<()> {
+        unit(self.call(Op::DelegateAll(tor, tee))?)
+    }
+
+    /// ASSET `permit`.
+    pub fn permit(&mut self, granter: TxnId, permittee: TxnId, ob: ObjectId) -> Result<()> {
+        unit(self.call(Op::Permit(granter, permittee, ob))?)
+    }
+
+    /// Commits; returns only after the commit record is durable on the
+    /// server (group-committed with concurrent sessions).
+    pub fn commit(&mut self, t: TxnId) -> Result<()> {
+        unit(self.call(Op::Commit(t))?)
+    }
+
+    /// Aborts.
+    pub fn abort(&mut self, t: TxnId) -> Result<()> {
+        unit(self.call(Op::Abort(t))?)
+    }
+
+    /// Establishes a savepoint, returning its opaque token.
+    pub fn savepoint(&mut self, t: TxnId) -> Result<u64> {
+        match self.call(Op::Savepoint(t))? {
+            ReplyBody::Token(tok) => Ok(tok),
+            other => Err(unexpected("savepoint token", &other)),
+        }
+    }
+
+    /// Partial rollback to a savepoint token.
+    pub fn rollback_to(&mut self, t: TxnId, token: u64) -> Result<()> {
+        unit(self.call(Op::RollbackTo(t, token))?)
+    }
+
+    /// Non-transactional peek.
+    pub fn value_of(&mut self, ob: ObjectId) -> Result<Value> {
+        match self.call(Op::ValueOf(ob))? {
+            ReplyBody::Value(v) => Ok(v),
+            other => Err(unexpected("value", &other)),
+        }
+    }
+
+    /// The server's one-stop stats snapshot, as rendered JSON.
+    pub fn stats_json(&mut self) -> Result<String> {
+        match self.call(Op::Stats)? {
+            ReplyBody::Json(s) => Ok(s),
+            other => Err(unexpected("stats json", &other)),
+        }
+    }
+
+    /// Liveness probe.
+    pub fn ping(&mut self) -> Result<()> {
+        unit(self.call(Op::Ping)?)
+    }
+
+    /// Asks the server to drain and exit.
+    pub fn shutdown_server(&mut self) -> Result<()> {
+        unit(self.call(Op::Shutdown)?)
+    }
+}
+
+fn unit(body: ReplyBody) -> Result<()> {
+    match body {
+        ReplyBody::Unit => Ok(()),
+        other => Err(unexpected("unit", &other)),
+    }
+}
+
+fn unexpected(wanted: &str, got: &ReplyBody) -> ClientError {
+    ClientError::Protocol(format!("expected {wanted}, got {got:?}"))
+}

@@ -1,0 +1,305 @@
+//! A multi-threaded, closed-loop load generator with a built-in
+//! correctness oracle.
+//!
+//! Each thread owns a private, never-reused object range and drives a
+//! transaction mix against one server: a run of writes/adds, then —
+//! with a configurable probability — the paper's delegation idiom (a
+//! second transaction takes responsibility for the first one's
+//! updates, the first aborts, the delegatee commits). Effects of
+//! **acknowledged** commits are recorded in a per-thread oracle; after
+//! the run a verification pass reads every object back and counts
+//! divergences. A correct server/engine pair yields exactly zero.
+//!
+//! The report also captures the server-side `server.commits` and
+//! `log.fsyncs` deltas over the run: group commit shows up as fsyncs
+//! growing sublinearly in commits.
+
+use crate::{ClientError, Connection, Result};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use rh_common::ops::Value;
+use rh_common::ObjectId;
+use rh_obs::json::{self, JsonValue};
+use rh_obs::{names, HistogramSnapshot, Registry, Stopwatch};
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Shape of one load run.
+#[derive(Debug, Clone)]
+pub struct LoadSpec {
+    /// Concurrent client threads (one connection each).
+    pub threads: usize,
+    /// Transactions attempted per thread.
+    pub txns_per_thread: usize,
+    /// Updates (alternating write/add) per transaction.
+    pub updates_per_txn: usize,
+    /// Probability that a transaction's effects travel through the
+    /// delegation idiom (delegate → abort delegator → commit delegatee).
+    pub delegation_fraction: f64,
+    /// Seed for the per-thread generators (thread id is mixed in).
+    pub seed: u64,
+    /// Shifts every thread's private object range. Object ids are
+    /// deterministic in `(base_offset, thread, sequence)`, so repeated
+    /// runs against one directory must use distinct offsets (spaced by
+    /// at least `threads`) or the oracle's `add` objects would
+    /// accumulate across runs and report false divergences.
+    pub base_offset: u64,
+}
+
+impl Default for LoadSpec {
+    fn default() -> Self {
+        LoadSpec {
+            threads: 16,
+            txns_per_thread: 50,
+            updates_per_txn: 4,
+            delegation_fraction: 0.25,
+            seed: 42,
+            base_offset: 0,
+        }
+    }
+}
+
+impl LoadSpec {
+    /// A small mix for smoke tests and CI gates.
+    pub fn smoke() -> Self {
+        LoadSpec { threads: 4, txns_per_thread: 10, ..LoadSpec::default() }
+    }
+}
+
+/// Outcome of one load run.
+#[derive(Debug)]
+pub struct LoadReport {
+    /// Threads that ran.
+    pub threads: usize,
+    /// Transactions whose commit was acknowledged.
+    pub txns_committed: u64,
+    /// BUSY bounces observed.
+    pub busy: u64,
+    /// Failed transactions (engine or transport errors).
+    pub errors: u64,
+    /// Objects whose served value contradicted the oracle. The whole
+    /// point: this must be zero.
+    pub divergences: u64,
+    /// Objects verified against the oracle.
+    pub objects_checked: u64,
+    /// Wall clock of the load phase (excluding verification).
+    pub elapsed_us: u64,
+    /// Server-side `server.commits` growth over the run.
+    pub server_commits_delta: u64,
+    /// Server-side `log.fsyncs` growth over the run — sublinear in
+    /// commits when group commit is doing its job.
+    pub server_fsyncs_delta: u64,
+    /// Client-observed commit round-trip latencies.
+    pub commit_latency: HistogramSnapshot,
+    /// Client-observed non-commit operation latencies.
+    pub op_latency: HistogramSnapshot,
+}
+
+impl LoadReport {
+    /// Committed transactions per second over the load phase.
+    pub fn throughput(&self) -> f64 {
+        if self.elapsed_us == 0 {
+            return 0.0;
+        }
+        self.txns_committed as f64 / (self.elapsed_us as f64 / 1_000_000.0)
+    }
+
+    /// Renders the report (for CI artifacts and the bench baselines).
+    pub fn to_json(&self) -> JsonValue {
+        JsonValue::obj(vec![
+            ("threads", JsonValue::U64(self.threads as u64)),
+            ("txns_committed", JsonValue::U64(self.txns_committed)),
+            ("busy", JsonValue::U64(self.busy)),
+            ("errors", JsonValue::U64(self.errors)),
+            ("divergences", JsonValue::U64(self.divergences)),
+            ("objects_checked", JsonValue::U64(self.objects_checked)),
+            ("elapsed_us", JsonValue::U64(self.elapsed_us)),
+            ("throughput_txns_per_sec", JsonValue::U64(self.throughput() as u64)),
+            ("server_commits_delta", JsonValue::U64(self.server_commits_delta)),
+            ("server_fsyncs_delta", JsonValue::U64(self.server_fsyncs_delta)),
+            ("commit_latency", self.commit_latency.to_json()),
+            ("op_latency", self.op_latency.to_json()),
+        ])
+    }
+}
+
+/// Base of thread `tid`'s private object range. Ranges never overlap
+/// and objects are never reused across transactions, which is what
+/// makes the oracle exact: each object is written by at most one
+/// transaction, so its final value is fully determined by whether that
+/// transaction's commit was acknowledged.
+///
+/// The shift is 26, not 32: the object store maps `ob / 64` to a
+/// `u32` page id, so bases must stay below `2^38` or distinct ranges
+/// would alias the same pages. That caps `threads + base_offset` at
+/// 4095 — far beyond any realistic run — with `2^26` objects each.
+fn thread_base(tid: usize, base_offset: u64) -> u64 {
+    (tid as u64 + 1 + base_offset) << 26
+}
+
+/// Per-thread tally.
+struct ThreadOutcome {
+    committed: u64,
+    busy: u64,
+    errors: u64,
+    oracle: HashMap<ObjectId, Value>,
+}
+
+/// Runs the load against a serving address and verifies the oracle.
+pub fn run_load(addr: &str, spec: &LoadSpec) -> Result<LoadReport> {
+    let registry = Arc::new(Registry::new());
+    let mut stats_conn = connect_with_retry(addr)?;
+    let before = parse_counters(&stats_conn.stats_json()?);
+
+    let sw = Stopwatch::start();
+    let mut handles = Vec::new();
+    for tid in 0..spec.threads {
+        let addr = addr.to_string();
+        let spec = spec.clone();
+        let registry = Arc::clone(&registry);
+        handles.push(std::thread::spawn(move || worker(&addr, tid, &spec, &registry)));
+    }
+    let mut outcome = ThreadOutcome { committed: 0, busy: 0, errors: 0, oracle: HashMap::new() };
+    for h in handles {
+        match h.join() {
+            Ok(t) => {
+                outcome.committed += t.committed;
+                outcome.busy += t.busy;
+                outcome.errors += t.errors;
+                outcome.oracle.extend(t.oracle);
+            }
+            Err(_) => outcome.errors += 1,
+        }
+    }
+    let elapsed_us = sw.elapsed_micros();
+
+    // Verification pass: every acknowledged effect must be served back.
+    let mut divergences = 0u64;
+    for (&ob, &expect) in &outcome.oracle {
+        match stats_conn.value_of(ob) {
+            Ok(got) if got == expect => {}
+            _ => divergences += 1,
+        }
+    }
+    let after = parse_counters(&stats_conn.stats_json()?);
+
+    let snap = registry.snapshot();
+    Ok(LoadReport {
+        threads: spec.threads,
+        txns_committed: outcome.committed,
+        busy: outcome.busy,
+        errors: outcome.errors,
+        divergences,
+        objects_checked: outcome.oracle.len() as u64,
+        elapsed_us,
+        server_commits_delta: counter_delta(&after, &before, names::M_SRV_COMMITS),
+        server_fsyncs_delta: counter_delta(&after, &before, names::M_LOG_FSYNCS),
+        commit_latency: snap.histogram(names::M_CLIENT_COMMIT_US),
+        op_latency: snap.histogram(names::M_CLIENT_OP_US),
+    })
+}
+
+/// Connects, retrying briefly through admission-control rejections
+/// (sessions freed by a previous phase deregister asynchronously).
+pub fn connect_with_retry(addr: &str) -> Result<Connection> {
+    let mut last = None;
+    for _ in 0..100 {
+        match Connection::connect(addr) {
+            Ok(c) => return Ok(c),
+            Err(e @ (ClientError::Rejected | ClientError::Io(_))) => {
+                last = Some(e);
+                std::thread::sleep(Duration::from_millis(10));
+            }
+            Err(e) => return Err(e),
+        }
+    }
+    Err(last.unwrap_or(ClientError::Rejected))
+}
+
+fn worker(addr: &str, tid: usize, spec: &LoadSpec, registry: &Registry) -> ThreadOutcome {
+    let mut out = ThreadOutcome { committed: 0, busy: 0, errors: 0, oracle: HashMap::new() };
+    let mut conn = match connect_with_retry(addr) {
+        Ok(c) => c,
+        Err(_) => {
+            out.errors += 1;
+            return out;
+        }
+    };
+    let mut rng = StdRng::seed_from_u64(spec.seed ^ (tid as u64).wrapping_mul(0x9e37_79b9));
+    let base = thread_base(tid, spec.base_offset);
+    for i in 0..spec.txns_per_thread {
+        match one_txn(&mut conn, &mut rng, spec, base, i, registry) {
+            Ok(effects) => {
+                out.committed += 1;
+                out.oracle.extend(effects);
+            }
+            Err(ClientError::Busy) => out.busy += 1,
+            Err(_) => out.errors += 1,
+        }
+    }
+    out
+}
+
+/// Runs one transaction of the mix; returns its effects iff the commit
+/// was acknowledged. On any error the effects are NOT recorded — an
+/// unacknowledged transaction is allowed to survive or vanish, and the
+/// oracle only asserts about acks.
+fn one_txn(
+    conn: &mut Connection,
+    rng: &mut StdRng,
+    spec: &LoadSpec,
+    base: u64,
+    seq: usize,
+    registry: &Registry,
+) -> Result<Vec<(ObjectId, Value)>> {
+    let op_sw = Stopwatch::start();
+    let t1 = conn.begin()?;
+    let mut effects = Vec::with_capacity(spec.updates_per_txn + 1);
+    let mut touched = Vec::with_capacity(spec.updates_per_txn);
+    for k in 0..spec.updates_per_txn {
+        let ob = ObjectId(base + (seq * spec.updates_per_txn + k) as u64);
+        let v: Value = rng.random_range(1..1_000_000i64);
+        if k % 2 == 0 {
+            conn.write(t1, ob, v)?;
+        } else {
+            conn.add(t1, ob, v)?;
+        }
+        touched.push(ob);
+        effects.push((ob, v));
+    }
+    registry.observe(names::M_CLIENT_OP_US, op_sw.elapsed_micros());
+
+    if rng.random_bool(spec.delegation_fraction) && !touched.is_empty() {
+        // The delegation idiom: t2 takes responsibility, t1 aborts —
+        // the updates survive because responsibility moved — then t2
+        // commits everything.
+        let t2 = conn.begin()?;
+        conn.delegate(t1, t2, &touched)?;
+        conn.abort(t1)?;
+        let extra = ObjectId(base + (1 << 20) + seq as u64);
+        conn.add(t2, extra, 1)?;
+        effects.push((extra, 1));
+        let sw = Stopwatch::start();
+        conn.commit(t2)?;
+        registry.observe(names::M_CLIENT_COMMIT_US, sw.elapsed_micros());
+    } else {
+        let sw = Stopwatch::start();
+        conn.commit(t1)?;
+        registry.observe(names::M_CLIENT_COMMIT_US, sw.elapsed_micros());
+    }
+    Ok(effects)
+}
+
+/// Pulls the counters object out of a rendered stats document.
+fn parse_counters(stats: &str) -> JsonValue {
+    match json::parse(stats) {
+        Ok(v) => v.get("counters").cloned().unwrap_or(JsonValue::Null),
+        Err(_) => JsonValue::Null,
+    }
+}
+
+fn counter_delta(after: &JsonValue, before: &JsonValue, name: &str) -> u64 {
+    let read = |v: &JsonValue| v.get(name).and_then(JsonValue::as_u64).unwrap_or(0);
+    read(after).saturating_sub(read(before))
+}

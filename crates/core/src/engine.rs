@@ -692,6 +692,34 @@ impl RhDb {
     pub(crate) fn set_recovery_report(&mut self, report: RecoveryReport) {
         self.last_recovery = Some(report);
     }
+
+    // ---- group-committed commit -----------------------------------------
+
+    /// The non-durable half of [`TxnEngine::commit`]: writes the commit
+    /// record, marks the transaction committed, ends it (End record,
+    /// table removal, lock release) — but does **not** force the log.
+    /// Returns the commit record's LSN; the commit is durable (and may
+    /// be acknowledged) only once `log().flush_to(lsn)` has returned.
+    ///
+    /// This split exists for the network front-end: many sessions can
+    /// prepare commits under the engine mutex and then force the log
+    /// *outside* it, letting [`rh_wal::LogManager::flush_to`]'s
+    /// group-commit leader cover all of them with one fsync. Releasing
+    /// locks before durability is safe here because flushes are prefix
+    /// operations: no later transaction's commit can become durable
+    /// without this commit record becoming durable first, so a crash
+    /// either loses both or neither.
+    pub fn commit_prepare(&mut self, txn: TxnId) -> Result<Lsn> {
+        self.tr.require_active(txn)?;
+        let lsn = self.log_for_txn(txn, RecordBody::Commit)?;
+        self.tr.get_mut(txn)?.status = TxnStatus::Committed;
+        self.end_txn(txn)?;
+        // Flight-recorder cadence: freeze a black box every N commits.
+        if self.flight.as_ref().is_some_and(FlightRecorder::commit_due) {
+            self.record_blackbox("commit-cadence");
+        }
+        Ok(lsn)
+    }
 }
 
 impl TxnEngine for RhDb {
@@ -793,18 +821,11 @@ impl TxnEngine for RhDb {
     }
 
     fn commit(&mut self, txn: TxnId) -> Result<()> {
-        self.tr.require_active(txn)?;
         // §3.5 commit: the operations the transaction is responsible for
         // are already on the log (they were logged at execution time);
         // write the commit record and force the log through it.
-        let lsn = self.log_for_txn(txn, RecordBody::Commit)?;
+        let lsn = self.commit_prepare(txn)?;
         self.log.flush_to(lsn)?;
-        self.tr.get_mut(txn)?.status = TxnStatus::Committed;
-        self.end_txn(txn)?;
-        // Flight-recorder cadence: freeze a black box every N commits.
-        if self.flight.as_ref().is_some_and(FlightRecorder::commit_due) {
-            self.record_blackbox("commit-cadence");
-        }
         Ok(())
     }
 

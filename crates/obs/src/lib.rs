@@ -29,7 +29,9 @@
 //!   log records);
 //! * [`serve`] — an opt-in, bounded, read-only introspection endpoint
 //!   (`std::net::TcpListener`, minimal HTTP) that serves whatever JSON
-//!   routes the embedding engine wires up.
+//!   routes the embedding engine wires up;
+//! * [`net`] — the shared bind/accept-loop/shutdown-flag skeleton under
+//!   both [`serve`] and the `rh-server` transaction front-end.
 //!
 //! Per the compat policy (`crates/compat/README.md`) this crate depends on
 //! nothing — not even `rh-common` — so every layer of the stack (WAL,
@@ -40,6 +42,7 @@ pub mod blackbox;
 pub mod clock;
 pub mod json;
 pub mod names;
+pub mod net;
 pub mod observer;
 pub mod registry;
 pub mod serve;
@@ -48,6 +51,7 @@ pub mod trace;
 pub use blackbox::BlackBoxRecord;
 pub use clock::Stopwatch;
 pub use json::JsonValue;
+pub use net::TcpService;
 pub use registry::{Counter, Histogram, HistogramSnapshot, Registry, RegistrySnapshot};
 pub use serve::{Handler, IntrospectionServer};
 pub use trace::{EventKind, SpanGuard, TraceEvent, TraceSnapshot, Tracer};

@@ -147,6 +147,42 @@ pub const M_EOS_ITEMS_REPLAYED: &str = "eos.items_replayed";
 /// EOS items discarded by aborts / crashes (never logged).
 pub const M_EOS_ITEMS_DISCARDED: &str = "eos.items_discarded";
 
+// ---- network front-end (rh-server) ------------------------------------
+// Maintained directly by `rh-server`; exported through the same registry
+// the engine's `RhDb::stats()` and `/stats` introspection route serve.
+
+/// Sessions accepted by the front-end (hello exchanged).
+pub const M_SRV_SESSIONS_OPENED: &str = "server.sessions.opened";
+/// Sessions refused by admission control (hello answered BUSY).
+pub const M_SRV_SESSIONS_REJECTED: &str = "server.sessions.rejected";
+/// Sessions fully closed (socket gone, open transactions resolved).
+pub const M_SRV_SESSIONS_CLOSED: &str = "server.sessions.closed";
+/// Gauge: sessions currently registered.
+pub const M_SRV_SESSIONS_ACTIVE: &str = "server.sessions.active";
+/// Requests decoded off the wire (admitted or bounced).
+pub const M_SRV_REQUESTS: &str = "server.requests";
+/// Replies answered BUSY because the per-connection pipeline was full.
+pub const M_SRV_REPLIES_BUSY: &str = "server.replies.busy";
+/// Replies carrying an engine error.
+pub const M_SRV_REPLIES_ERR: &str = "server.replies.err";
+/// Commits acknowledged to clients (durable on ack).
+pub const M_SRV_COMMITS: &str = "server.commits";
+/// Open transactions aborted because their session closed.
+pub const M_SRV_TXNS_ABORTED_ON_CLOSE: &str = "server.txns.aborted_on_close";
+/// Graceful drains performed (abort leftovers, checkpoint, stop).
+pub const M_SRV_DRAINS: &str = "server.drains";
+/// Histogram: per-request service time (engine work + reply encode),
+/// microseconds.
+pub const M_SRV_REQUEST_US: &str = "server.request_us";
+
+/// Histogram: client-observed commit round trip (request write to
+/// durable ack), microseconds. Maintained by the `rh-client` load
+/// generator in its own registry.
+pub const M_CLIENT_COMMIT_US: &str = "client.commit_us";
+/// Histogram: client-observed non-commit operation round trip,
+/// microseconds.
+pub const M_CLIENT_OP_US: &str = "client.op_us";
+
 /// ETM dependency edges accepted.
 pub const M_ETM_EDGES_FORMED: &str = "etm.edges_formed";
 /// ETM dependency requests rejected as cycles.

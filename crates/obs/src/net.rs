@@ -1,0 +1,136 @@
+//! Shared TCP listener plumbing.
+//!
+//! Two services in this workspace accept TCP connections: the read-only
+//! introspection endpoint ([`crate::serve::IntrospectionServer`]) and the
+//! transaction front-end (`rh-server`). Both need the same boring —
+//! and easy to get subtly wrong — accept-loop skeleton: bind, flip the
+//! listener non-blocking so shutdown is prompt, poll-accept on a named
+//! background thread, and stop cleanly on a shared flag. [`TcpService`]
+//! is that skeleton, extracted so there is exactly one of it.
+//!
+//! The service owns *only* the accept loop. What happens to an accepted
+//! stream is the embedder's `on_conn` callback: the introspection server
+//! answers one bounded request inline; the transaction server registers
+//! a session and spawns handler threads. Either way, a panic-free
+//! callback is the embedder's responsibility — the loop itself never
+//! panics.
+
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// How long the accept loop sleeps when no connection is pending. Bounds
+/// shutdown latency; small enough to be invisible next to any fsync.
+const ACCEPT_POLL: Duration = Duration::from_millis(10);
+
+/// Callback invoked (on the accept thread) for every accepted stream.
+pub type OnConn = Box<dyn Fn(TcpStream) + Send + 'static>;
+
+/// A background accept loop over one bound [`TcpListener`].
+///
+/// Dropping the service (or calling [`TcpService::shutdown`]) stops the
+/// loop and joins the thread. Streams already handed to `on_conn` are
+/// not affected — connection lifetime is the embedder's concern.
+#[derive(Debug)]
+pub struct TcpService {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    thread: Option<JoinHandle<()>>,
+}
+
+impl TcpService {
+    /// Binds `addr` (e.g. `"127.0.0.1:0"` for an ephemeral port) and
+    /// starts accepting on a background thread named `name`. Every
+    /// accepted stream is passed to `on_conn`.
+    pub fn bind(addr: &str, name: &str, on_conn: OnConn) -> std::io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let local = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop_flag = Arc::clone(&stop);
+        let thread = std::thread::Builder::new()
+            .name(name.to_string())
+            .spawn(move || accept_loop(listener, on_conn, stop_flag))?;
+        Ok(TcpService { addr: local, stop, thread: Some(thread) })
+    }
+
+    /// The bound address (useful with an ephemeral port).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// True once [`TcpService::shutdown`] has been requested.
+    pub fn is_stopped(&self) -> bool {
+        self.stop.load(Ordering::SeqCst)
+    }
+
+    /// Stops accepting and joins the accept thread. Idempotent; the
+    /// bound port is free again when this returns.
+    pub fn shutdown(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for TcpService {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn accept_loop(listener: TcpListener, on_conn: OnConn, stop: Arc<AtomicBool>) {
+    while !stop.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _)) => on_conn(stream),
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(ACCEPT_POLL);
+            }
+            Err(_) => std::thread::sleep(ACCEPT_POLL),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{Read, Write};
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn accepts_connections_and_runs_callback() {
+        let hits = Arc::new(AtomicUsize::new(0));
+        let hits_cb = Arc::clone(&hits);
+        let service = TcpService::bind(
+            "127.0.0.1:0",
+            "test-accept",
+            Box::new(move |mut s: TcpStream| {
+                hits_cb.fetch_add(1, Ordering::SeqCst);
+                let _ = s.write_all(b"hi");
+            }),
+        )
+        .expect("bind");
+        for _ in 0..3 {
+            let mut c = TcpStream::connect(service.local_addr()).expect("connect");
+            let mut buf = [0u8; 2];
+            c.read_exact(&mut buf).expect("greeting");
+            assert_eq!(&buf, b"hi");
+        }
+        assert_eq!(hits.load(Ordering::SeqCst), 3);
+    }
+
+    #[test]
+    fn shutdown_is_idempotent_and_frees_the_port() {
+        let mut service =
+            TcpService::bind("127.0.0.1:0", "test-stop", Box::new(|_s| {})).expect("bind");
+        let addr = service.local_addr();
+        assert!(!service.is_stopped());
+        service.shutdown();
+        service.shutdown();
+        assert!(service.is_stopped());
+        let _rebound = TcpListener::bind(addr).expect("rebind after shutdown");
+    }
+}

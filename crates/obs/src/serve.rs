@@ -22,11 +22,10 @@
 //! above), keeping `rh-obs` free of any dependency on engine types.
 
 use crate::json::JsonValue;
+use crate::net::TcpService;
 use std::io::{Read, Write};
-use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::net::{SocketAddr, TcpStream};
 use std::sync::Arc;
-use std::thread::JoinHandle;
 use std::time::Duration;
 
 /// Hard cap on the bytes read from one request (the request line is all
@@ -40,61 +39,40 @@ pub type Handler = Arc<dyn Fn(&str) -> Option<JsonValue> + Send + Sync>;
 
 /// A running introspection endpoint. Dropping it (or calling
 /// [`IntrospectionServer::shutdown`]) stops the service thread.
+///
+/// The accept loop is the shared [`crate::net::TcpService`]; each
+/// connection is answered inline on the accept thread (one request per
+/// connection, bounded read, short timeout), so a misbehaving client can
+/// only cost one bounded exchange.
 #[derive(Debug)]
 pub struct IntrospectionServer {
-    addr: SocketAddr,
-    stop: Arc<AtomicBool>,
-    thread: Option<JoinHandle<()>>,
+    service: TcpService,
 }
 
 impl IntrospectionServer {
     /// Binds `addr` (e.g. `"127.0.0.1:0"` for an ephemeral port) and
     /// starts serving `handler` on a single background thread.
     pub fn bind(addr: &str, handler: Handler) -> std::io::Result<Self> {
-        let listener = TcpListener::bind(addr)?;
-        listener.set_nonblocking(true)?;
-        let local = listener.local_addr()?;
-        let stop = Arc::new(AtomicBool::new(false));
-        let stop_flag = Arc::clone(&stop);
-        let thread = std::thread::Builder::new()
-            .name("rh-obs-serve".to_string())
-            .spawn(move || serve_loop(listener, handler, stop_flag))?;
-        Ok(IntrospectionServer { addr: local, stop, thread: Some(thread) })
+        let service = TcpService::bind(
+            addr,
+            "rh-obs-serve",
+            Box::new(move |stream| {
+                // Best-effort per connection: a misbehaving client can
+                // only cost this one bounded exchange.
+                let _ = handle_connection(stream, &handler);
+            }),
+        )?;
+        Ok(IntrospectionServer { service })
     }
 
     /// The bound address (useful with an ephemeral port).
     pub fn local_addr(&self) -> SocketAddr {
-        self.addr
+        self.service.local_addr()
     }
 
     /// Stops the service thread and waits for it to exit. Idempotent.
     pub fn shutdown(&mut self) {
-        self.stop.store(true, Ordering::SeqCst);
-        if let Some(t) = self.thread.take() {
-            let _ = t.join();
-        }
-    }
-}
-
-impl Drop for IntrospectionServer {
-    fn drop(&mut self) {
-        self.shutdown();
-    }
-}
-
-fn serve_loop(listener: TcpListener, handler: Handler, stop: Arc<AtomicBool>) {
-    while !stop.load(Ordering::SeqCst) {
-        match listener.accept() {
-            Ok((stream, _)) => {
-                // Best-effort per connection: a misbehaving client can
-                // only cost this one bounded exchange.
-                let _ = handle_connection(stream, &handler);
-            }
-            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
-                std::thread::sleep(Duration::from_millis(10));
-            }
-            Err(_) => std::thread::sleep(Duration::from_millis(10)),
-        }
+        self.service.shutdown();
     }
 }
 
@@ -221,6 +199,6 @@ mod tests {
         server.shutdown();
         server.shutdown();
         // Port is released: a fresh bind on the same address succeeds.
-        let _rebound = TcpListener::bind(addr).expect("rebind after shutdown");
+        let _rebound = std::net::TcpListener::bind(addr).expect("rebind after shutdown");
     }
 }

@@ -1,0 +1,158 @@
+//! `rh-serve` — run the ARIES/RH engine as a network server.
+//!
+//! ```text
+//! rh-serve --dir target/obs/db --addr 127.0.0.1:7411 \
+//!          [--introspect 127.0.0.1:7412] [--strategy rh|lazy] \
+//!          [--max-sessions N] [--inflight N] [--idle-ms N]
+//! ```
+//!
+//! Opens (or creates) a file-backed WAL in `--dir`. A non-empty log
+//! with a NULL master record is the crash-restart case: the server
+//! runs restart recovery first and prints the report, so a kill-9'd
+//! predecessor's acknowledged commits are back before the first
+//! connection is accepted. A non-NULL master means the directory was
+//! closed by a *graceful* drain-and-checkpoint; its page state lives in
+//! the drained process's disk image, which files alone cannot rebuild —
+//! the server refuses such a directory rather than serve wrong data.
+//!
+//! The process exits on a wire `Shutdown` op (graceful drain +
+//! checkpoint). Kill it with a signal to exercise the crash path
+//! instead.
+
+use rh_core::engine::{DbConfig, RhDb, Strategy};
+use rh_server::{Server, ServerConfig};
+use rh_storage::Disk;
+use rh_wal::StableLog;
+use std::time::Duration;
+
+struct Args {
+    dir: String,
+    addr: String,
+    introspect: Option<String>,
+    strategy: Strategy,
+    cfg: ServerConfig,
+}
+
+fn usage(reason: &str) -> ! {
+    eprintln!("rh-serve: {reason}");
+    eprintln!(
+        "usage: rh-serve --dir PATH [--addr HOST:PORT] [--introspect HOST:PORT] \
+         [--strategy rh|lazy] [--max-sessions N] [--inflight N] [--idle-ms N]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_args() -> Args {
+    let mut out = Args {
+        dir: String::new(),
+        addr: "127.0.0.1:7411".to_string(),
+        introspect: None,
+        strategy: Strategy::Rh,
+        cfg: ServerConfig::default(),
+    };
+    let mut argv = std::env::args().skip(1);
+    while let Some(flag) = argv.next() {
+        let mut value = |name: &str| match argv.next() {
+            Some(v) => v,
+            None => usage(&format!("{name} needs a value")),
+        };
+        match flag.as_str() {
+            "--dir" => out.dir = value("--dir"),
+            "--addr" => out.addr = value("--addr"),
+            "--introspect" => out.introspect = Some(value("--introspect")),
+            "--strategy" => {
+                out.strategy = match value("--strategy").as_str() {
+                    "rh" => Strategy::Rh,
+                    "lazy" => Strategy::LazyRewrite,
+                    other => usage(&format!("unknown strategy {other}")),
+                }
+            }
+            "--max-sessions" => match value("--max-sessions").parse() {
+                Ok(n) => out.cfg.max_sessions = n,
+                Err(_) => usage("--max-sessions needs an integer"),
+            },
+            "--inflight" => match value("--inflight").parse() {
+                Ok(n) => out.cfg.inflight_per_conn = n,
+                Err(_) => usage("--inflight needs an integer"),
+            },
+            "--idle-ms" => match value("--idle-ms").parse() {
+                Ok(n) => out.cfg.idle_timeout = Duration::from_millis(n),
+                Err(_) => usage("--idle-ms needs an integer"),
+            },
+            other => usage(&format!("unknown flag {other}")),
+        }
+    }
+    if out.dir.is_empty() {
+        usage("--dir is required");
+    }
+    out
+}
+
+fn open_engine(args: &Args) -> Result<RhDb, String> {
+    let stable = StableLog::open_dir(&args.dir).map_err(|e| format!("open {}: {e}", args.dir))?;
+    if stable.is_empty() {
+        println!("rh-serve: fresh database in {}", args.dir);
+        return Ok(RhDb::with_stable_log(args.strategy, DbConfig::default(), stable));
+    }
+    if !stable.master().is_null() {
+        return Err(format!(
+            "{} was closed by a graceful drain (checkpoint taken at {}); its page state \
+             lives in the drained process's disk image and cannot be rebuilt from the log \
+             alone. Serve a fresh --dir, or restart only after crashes.",
+            args.dir,
+            stable.master()
+        ));
+    }
+    println!("rh-serve: crash-restart of {} ({} stable records)", args.dir, stable.len());
+    let db = RhDb::recover(args.strategy, DbConfig::default(), stable, Disk::new())
+        .map_err(|e| format!("recovery failed: {e}"))?;
+    if let Some(report) = db.last_recovery() {
+        println!("rh-serve: recovery report: {report:?}");
+    }
+    Ok(db)
+}
+
+fn main() {
+    let args = parse_args();
+    let mut db = match open_engine(&args) {
+        Ok(db) => db,
+        Err(reason) => {
+            eprintln!("rh-serve: {reason}");
+            std::process::exit(1);
+        }
+    };
+    if let Some(iaddr) = &args.introspect {
+        match db.serve_introspection(iaddr) {
+            Ok(bound) => println!("rh-serve: introspection on http://{bound}"),
+            Err(e) => {
+                eprintln!("rh-serve: cannot bind introspection {iaddr}: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+    let server = match Server::bind(&args.addr, db, args.cfg.clone()) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("rh-serve: cannot bind {}: {e}", args.addr);
+            std::process::exit(1);
+        }
+    };
+    println!("rh-serve: listening on {}", server.local_addr());
+    server.run_until_shutdown();
+    println!("rh-serve: shutdown requested, draining");
+    match server.shutdown() {
+        Ok(db) => {
+            let stats = db.stats();
+            println!(
+                "rh-serve: drained. commits={} sessions={} fsyncs={}",
+                stats.counter("server.commits"),
+                stats.counter("server.sessions.opened"),
+                stats.counter("log.fsyncs"),
+            );
+        }
+        Err(e) => {
+            eprintln!("rh-serve: drain failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}

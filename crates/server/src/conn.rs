@@ -1,0 +1,332 @@
+//! Per-connection machinery: admission, the frame-reader thread, the
+//! op-worker thread, and operation execution.
+//!
+//! Each admitted socket gets exactly two threads:
+//!
+//! * the **reader** decodes frames into [`Request`]s and feeds a
+//!   bounded channel (capacity = the advertised in-flight cap). A full
+//!   channel bounces the request with [`Reply::Busy`] *immediately* —
+//!   explicit backpressure instead of unbounded queueing;
+//! * the **worker** executes requests in arrival order and writes each
+//!   reply (tagged with the request's id) through the shared write
+//!   half. When the channel closes (peer gone, idle timeout, drain) the
+//!   worker aborts the session's still-open transactions and
+//!   deregisters it.
+//!
+//! Commits are two-phase against the engine mutex: prepare (append
+//! commit record, release locks) happens under it, the durable force
+//! happens outside it so concurrent sessions share one group-commit
+//! fsync. See [`rh_core::engine::RhDb::commit_prepare`] for the safety
+//! argument.
+
+use crate::server::Shared;
+use crate::wire::{self, errcode, Hello, Op, Reply, ReplyBody, Request, Response};
+use parking_lot::Mutex;
+use rh_common::codec::Codec;
+use rh_common::{Result, TxnId};
+use rh_core::engine::RhDb;
+use rh_etm::EtmSession;
+use rh_obs::{names, Stopwatch};
+use std::net::TcpStream;
+use std::sync::atomic::Ordering;
+use std::sync::mpsc::{Receiver, TrySendError};
+use std::sync::Arc;
+
+/// Handles one freshly accepted socket: admission, hello, threads.
+/// Runs on the accept thread, so everything here is non-blocking or
+/// bounded (the hello write is one small frame to a just-connected
+/// peer).
+pub(crate) fn accept(shared: &Arc<Shared>, stream: TcpStream) {
+    if shared.draining.load(Ordering::SeqCst) {
+        reject(shared, stream);
+        return;
+    }
+    let (Ok(table_half), Ok(write_half)) = (stream.try_clone(), stream.try_clone()) else {
+        return;
+    };
+    let admitted = {
+        let mut table = shared.sessions.lock();
+        table.admit(table_half, shared.cfg.max_sessions)
+    };
+    let Some(sid) = admitted else {
+        reject(shared, stream);
+        return;
+    };
+    let hello =
+        Hello { accepted: true, session: sid, inflight_cap: shared.cfg.inflight_per_conn as u32 };
+    let mut write_half = write_half;
+    if wire::write_frame(&mut write_half, &hello.to_bytes()).is_err() {
+        close_session(shared, sid);
+        return;
+    }
+    shared.obs.registry.inc(names::M_SRV_SESSIONS_OPENED);
+    shared.session_gauge();
+
+    let out = Arc::new(Mutex::new(write_half));
+    let (tx, rx) = std::sync::mpsc::sync_channel::<Request>(shared.cfg.inflight_per_conn.max(1));
+    let worker = {
+        let shared = Arc::clone(shared);
+        let out = Arc::clone(&out);
+        std::thread::Builder::new()
+            .name(format!("rh-serve-w{sid}"))
+            .spawn(move || worker_loop(&shared, sid, &rx, &out))
+    };
+    let Ok(worker) = worker else {
+        // No worker: undo the registration; nothing ran yet.
+        close_session(shared, sid);
+        return;
+    };
+    let reader = {
+        let shared = Arc::clone(shared);
+        let out = Arc::clone(&out);
+        std::thread::Builder::new()
+            .name(format!("rh-serve-r{sid}"))
+            .spawn(move || reader_loop(&shared, stream, tx, &out))
+    };
+    // A failed reader spawn drops `tx`; the worker then drains an empty
+    // channel and closes the session — same path as a normal hangup.
+    let mut handles = vec![worker];
+    if let Ok(h) = reader {
+        handles.push(h);
+    }
+    {
+        let mut reapers = shared.reapers.lock();
+        reapers.extend(handles);
+    }
+}
+
+/// Answers an unadmittable connection: rejected hello, then hang up.
+fn reject(shared: &Arc<Shared>, mut stream: TcpStream) {
+    shared.obs.registry.inc(names::M_SRV_SESSIONS_REJECTED);
+    let hello = Hello { accepted: false, session: 0, inflight_cap: 0 };
+    let _ = wire::write_frame(&mut stream, &hello.to_bytes());
+}
+
+/// The frame-reader loop: decode, admit to the pipeline or bounce BUSY.
+/// Exits on peer hangup, idle timeout, garbage, or a slammed socket.
+fn reader_loop(
+    shared: &Arc<Shared>,
+    mut stream: TcpStream,
+    tx: std::sync::mpsc::SyncSender<Request>,
+    out: &Arc<Mutex<TcpStream>>,
+) {
+    let _ = stream.set_read_timeout(Some(shared.cfg.idle_timeout));
+    // Clean EOF, idle/read timeout, or transport error all end the
+    // loop: the connection is over either way.
+    while let Ok(Some(payload)) = wire::read_frame(&mut stream) {
+        shared.obs.registry.inc(names::M_SRV_REQUESTS);
+        let req = match Request::from_bytes(&payload) {
+            Ok(r) => r,
+            Err(e) => {
+                // A frame that passed CRC but does not decode is a
+                // protocol bug, not line noise: answer once, hang up.
+                send_reply(out, Response { id: 0, reply: wire::error_reply(&e) });
+                break;
+            }
+        };
+        if shared.draining.load(Ordering::SeqCst) {
+            let reply =
+                Reply::Err { code: errcode::DRAINING, message: "server is draining".to_string() };
+            send_reply(out, Response { id: req.id, reply });
+            continue;
+        }
+        match tx.try_send(req) {
+            Ok(()) => {}
+            Err(TrySendError::Full(req)) => {
+                // Backpressure: the pipeline is at the advertised cap.
+                // The op was NOT attempted; the client may resend.
+                shared.obs.registry.inc(names::M_SRV_REPLIES_BUSY);
+                send_reply(out, Response { id: req.id, reply: Reply::Busy });
+            }
+            Err(TrySendError::Disconnected(_)) => break,
+        }
+    }
+    // Dropping `tx` lets the worker drain the tail and close up shop.
+}
+
+/// The op-worker loop: execute in order, reply, and on channel close
+/// tear the session down.
+fn worker_loop(
+    shared: &Arc<Shared>,
+    sid: u64,
+    rx: &Receiver<Request>,
+    out: &Arc<Mutex<TcpStream>>,
+) {
+    while let Ok(req) = rx.recv() {
+        let sw = Stopwatch::start();
+        let wants_shutdown = matches!(req.op, Op::Shutdown);
+        let reply = execute(shared, sid, req.op);
+        if matches!(reply, Reply::Err { .. }) {
+            shared.obs.registry.inc(names::M_SRV_REPLIES_ERR);
+        }
+        send_reply(out, Response { id: req.id, reply });
+        shared.obs.registry.observe(names::M_SRV_REQUEST_US, sw.elapsed_micros());
+        if wants_shutdown {
+            shared.request_shutdown();
+        }
+    }
+    close_session(shared, sid);
+}
+
+/// Serializes one response frame through the connection's write half.
+/// Write errors are final for the socket; the reader will notice.
+fn send_reply(out: &Arc<Mutex<TcpStream>>, resp: Response) {
+    let bytes = resp.to_bytes();
+    let mut guard = out.lock();
+    let _ = wire::write_frame(&mut *guard, &bytes);
+}
+
+/// Deregisters `sid` and aborts its still-open transactions. Idempotent
+/// (the second caller finds no entry). After [`Server::force_stop`]
+/// set the killed flag, this does nothing — a simulated kill-9 must
+/// leave open transactions as recovery losers, not tidily aborted.
+///
+/// [`Server::force_stop`]: crate::Server::force_stop
+pub(crate) fn close_session(shared: &Arc<Shared>, sid: u64) {
+    if shared.killed.load(Ordering::SeqCst) {
+        return;
+    }
+    let leftovers = {
+        let mut table = shared.sessions.lock();
+        table.close(sid)
+    };
+    let Some(leftovers) = leftovers else { return };
+    if !leftovers.is_empty() {
+        let mut eng = shared.engine.lock();
+        for t in &leftovers {
+            if eng.abort(*t).is_ok() {
+                shared.obs.registry.inc(names::M_SRV_TXNS_ABORTED_ON_CLOSE);
+            }
+        }
+    }
+    shared.obs.registry.inc(names::M_SRV_SESSIONS_CLOSED);
+    shared.session_gauge();
+}
+
+/// Executes one operation against the shared engine, producing the
+/// reply. Engine guards are scoped as tightly as possible: nothing
+/// below holds the engine mutex across a socket write or a log force.
+fn execute(shared: &Arc<Shared>, sid: u64, op: Op) -> Reply {
+    match op {
+        Op::Begin => {
+            let begun = {
+                let mut eng = shared.engine.lock();
+                eng.initiate_empty()
+            };
+            match begun {
+                Ok(t) => {
+                    {
+                        let mut table = shared.sessions.lock();
+                        table.note_begin(sid, t);
+                    }
+                    Reply::Ok(ReplyBody::Txn(t))
+                }
+                Err(e) => wire::error_reply(&e),
+            }
+        }
+        Op::Read(t, ob) => {
+            let read = {
+                let mut eng = shared.engine.lock();
+                eng.read(t, ob)
+            };
+            match read {
+                Ok(v) => Reply::Ok(ReplyBody::Value(v)),
+                Err(e) => wire::error_reply(&e),
+            }
+        }
+        Op::Write(t, ob, v) => engine_unit(shared, |eng| eng.write(t, ob, v)),
+        Op::Add(t, ob, d) => engine_unit(shared, |eng| eng.add(t, ob, d)),
+        Op::Delegate(tor, tee, obs) => engine_unit(shared, move |eng| eng.delegate(tor, tee, &obs)),
+        Op::DelegateAll(tor, tee) => engine_unit(shared, |eng| eng.delegate_all(tor, tee)),
+        Op::Permit(g, p, ob) => engine_unit(shared, |eng| eng.permit(g, p, ob)),
+        Op::Commit(t) => commit(shared, t),
+        Op::Abort(t) => {
+            let aborted = {
+                let mut eng = shared.engine.lock();
+                eng.abort(t)
+            };
+            match aborted {
+                Ok(()) => {
+                    {
+                        let mut table = shared.sessions.lock();
+                        table.note_terminated(t);
+                    }
+                    Reply::Ok(ReplyBody::Unit)
+                }
+                Err(e) => wire::error_reply(&e),
+            }
+        }
+        Op::Savepoint(t) => {
+            let saved = {
+                let mut eng = shared.engine.lock();
+                eng.engine().savepoint(t)
+            };
+            match saved {
+                Ok(lsn) => Reply::Ok(ReplyBody::Token(wire::token_of(lsn))),
+                Err(e) => wire::error_reply(&e),
+            }
+        }
+        Op::RollbackTo(t, token) => {
+            engine_unit(shared, |eng| eng.engine().rollback_to(t, wire::lsn_of(token)))
+        }
+        Op::ValueOf(ob) => {
+            let read = {
+                let mut eng = shared.engine.lock();
+                eng.value_of(ob)
+            };
+            match read {
+                Ok(v) => Reply::Ok(ReplyBody::Value(v)),
+                Err(e) => wire::error_reply(&e),
+            }
+        }
+        Op::Stats => Reply::Ok(ReplyBody::Json(stats_json(shared))),
+        Op::Ping | Op::Shutdown => Reply::Ok(ReplyBody::Unit),
+    }
+}
+
+/// Runs a unit-result engine operation under a tightly scoped guard.
+fn engine_unit(shared: &Arc<Shared>, f: impl FnOnce(&mut EtmSession<RhDb>) -> Result<()>) -> Reply {
+    let ran = {
+        let mut eng = shared.engine.lock();
+        f(&mut eng)
+    };
+    match ran {
+        Ok(()) => Reply::Ok(ReplyBody::Unit),
+        Err(e) => wire::error_reply(&e),
+    }
+}
+
+/// The group-committed commit path: prepare under the engine mutex,
+/// force the log outside it, acknowledge only after the force.
+fn commit(shared: &Arc<Shared>, t: TxnId) -> Reply {
+    let prepared = {
+        let mut eng = shared.engine.lock();
+        eng.commit_with(t, |db, t| db.commit_prepare(t))
+    };
+    let lsn = match prepared {
+        Ok(lsn) => lsn,
+        Err(e) => return wire::error_reply(&e),
+    };
+    // The force: many workers arrive here concurrently and the
+    // LogManager's group-commit leader covers them with one fsync.
+    if let Err(e) = shared.log.flush_to(lsn) {
+        return wire::error_reply(&e);
+    }
+    {
+        let mut table = shared.sessions.lock();
+        table.note_terminated(t);
+    }
+    shared.obs.registry.inc(names::M_SRV_COMMITS);
+    Reply::Ok(ReplyBody::Unit)
+}
+
+/// One-stop stats: absorb log/disk/lock counters into the registry
+/// (same view as `RhDb::stats()` and the `/stats` route — `server.*`
+/// series included) and render it. No engine lock needed: every input
+/// is an `Arc` captured at bind time.
+fn stats_json(shared: &Arc<Shared>) -> String {
+    shared.log.metrics().snapshot().export_into(&shared.obs.registry);
+    shared.disk.metrics().snapshot().export_into(&shared.obs.registry);
+    shared.locks.stats().snapshot().export_into(&shared.obs.registry);
+    shared.obs.registry.snapshot().to_json().render_pretty()
+}

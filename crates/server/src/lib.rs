@@ -1,0 +1,32 @@
+//! # rh-server
+//!
+//! A pipelined TCP front-end for the ARIES/RH engine.
+//!
+//! The paper's recovery and delegation machinery runs inside one
+//! process; this crate puts a network edge on it so many client
+//! processes can drive one engine concurrently — and so crash-recovery
+//! claims can be exercised the way the original systems were: kill the
+//! server mid-load, restart, and check that exactly the acknowledged
+//! commits survived.
+//!
+//! * [`wire`] — the frame layout (the WAL's `[len][crc][payload]`
+//!   convention on a socket), opcodes, replies, the hello exchange, and
+//!   error classes;
+//! * [`Server`] — sessions, admission control, bounded pipelining with
+//!   explicit BUSY backpressure, idle timeouts, graceful
+//!   drain-and-checkpoint, and a `force_stop` crash hatch for tests;
+//! * commits are **group-committed**: each worker prepares its commit
+//!   under the engine mutex and forces the log outside it, so
+//!   concurrent sessions share fsyncs
+//!   ([`rh_core::engine::RhDb::commit_prepare`]).
+//!
+//! Counters appear under `server.*` in the engine's unified registry —
+//! visible through the wire `Stats` op, `RhDb::stats()`, and the
+//! `/stats` introspection route alike. The binary is `rh-serve`; the
+//! matching client library and load generator live in `rh-client`.
+
+mod conn;
+pub mod server;
+pub mod wire;
+
+pub use server::{Server, ServerConfig};

@@ -1,0 +1,345 @@
+//! The serving core: shared state, admission control, session table,
+//! and the drain / force-stop lifecycle.
+//!
+//! One [`Server`] owns one engine ([`rh_core::engine::RhDb`] wrapped in
+//! the [`rh_etm::EtmSession`] synchronization layer) behind a mutex, a
+//! [`rh_obs::TcpService`] accept loop, and a table of live sessions.
+//! Each accepted connection gets two threads (frame reader + op worker,
+//! see [`crate::conn`]); the worker executes operations under the
+//! engine mutex but forces commits *outside* it, so concurrent sessions'
+//! commit records share the WAL's group-commit fsync (the point of the
+//! [`rh_core::engine::RhDb::commit_prepare`] split).
+//!
+//! Lock order in this crate (declared in the `rh-analyze` L2 manifest):
+//! `sessions` before `engine` before `out`. In practice guards are
+//! scoped so tightly that nesting never happens — the order exists so
+//! the analyzer can prove it.
+
+use crate::conn;
+use parking_lot::{Condvar, Mutex};
+use rh_common::{Result, RhError, TxnId};
+use rh_core::engine::RhDb;
+use rh_etm::EtmSession;
+use rh_lock::LockManager;
+use rh_obs::{names, Obs, TcpService};
+use rh_storage::Disk;
+use rh_wal::{LogManager, StableLog};
+use std::collections::{HashMap, HashSet};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Tunables for one server instance.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Admission control: sessions beyond this are answered with a
+    /// rejected hello and closed.
+    pub max_sessions: usize,
+    /// Per-connection pipelining depth; requests beyond this many
+    /// outstanding are bounced with BUSY (never queued unboundedly).
+    pub inflight_per_conn: usize,
+    /// A connection idle (or mid-frame stalled) longer than this is
+    /// closed, its open transactions aborted.
+    pub idle_timeout: Duration,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            max_sessions: 64,
+            inflight_per_conn: 32,
+            idle_timeout: Duration::from_secs(30),
+        }
+    }
+}
+
+/// One registered session.
+struct SessionEntry {
+    /// A handle to the socket, kept to force-close it at drain.
+    stream: TcpStream,
+    /// Transactions begun by this session and not yet terminated.
+    open: HashSet<TxnId>,
+}
+
+/// The session table: admission state plus transaction ownership, all
+/// behind one mutex (`sessions` in the lock-order manifest).
+pub(crate) struct SessionTable {
+    next_id: u64,
+    entries: HashMap<u64, SessionEntry>,
+    /// Which session began each live transaction (for abort-on-close).
+    owners: HashMap<TxnId, u64>,
+}
+
+impl SessionTable {
+    fn new() -> Self {
+        SessionTable { next_id: 1, entries: HashMap::new(), owners: HashMap::new() }
+    }
+
+    /// Admits a connection if below `max`, returning its session id.
+    pub(crate) fn admit(&mut self, stream: TcpStream, max: usize) -> Option<u64> {
+        if self.entries.len() >= max {
+            return None;
+        }
+        let id = self.next_id;
+        self.next_id += 1;
+        self.entries.insert(id, SessionEntry { stream, open: HashSet::new() });
+        Some(id)
+    }
+
+    /// Records that `sid` began `txn`.
+    pub(crate) fn note_begin(&mut self, sid: u64, txn: TxnId) {
+        if let Some(e) = self.entries.get_mut(&sid) {
+            e.open.insert(txn);
+            self.owners.insert(txn, sid);
+        }
+    }
+
+    /// Records that `txn` terminated (committed or aborted), whoever
+    /// owned it.
+    pub(crate) fn note_terminated(&mut self, txn: TxnId) {
+        if let Some(sid) = self.owners.remove(&txn) {
+            if let Some(e) = self.entries.get_mut(&sid) {
+                e.open.remove(&txn);
+            }
+        }
+    }
+
+    /// Deregisters `sid`, returning its still-open transactions.
+    /// `None` if the session was already gone (closure is idempotent).
+    pub(crate) fn close(&mut self, sid: u64) -> Option<Vec<TxnId>> {
+        let entry = self.entries.remove(&sid)?;
+        let mut open: Vec<TxnId> = entry.open.into_iter().collect();
+        open.sort_unstable();
+        for t in &open {
+            self.owners.remove(t);
+        }
+        Some(open)
+    }
+
+    /// Live session count.
+    pub(crate) fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Force-closes every session's socket (drain / force-stop): the
+    /// readers see EOF and the per-connection threads wind down.
+    fn slam_sockets(&self) {
+        for e in self.entries.values() {
+            let _ = e.stream.shutdown(std::net::Shutdown::Both);
+        }
+    }
+
+    /// Removes every entry, returning all still-open transactions.
+    fn drain_all(&mut self) -> Vec<TxnId> {
+        let mut open: Vec<TxnId> = self.owners.keys().copied().collect();
+        open.sort_unstable();
+        self.entries.clear();
+        self.owners.clear();
+        open
+    }
+}
+
+/// State shared by the accept loop and every per-connection thread.
+pub(crate) struct Shared {
+    /// The engine, behind the ETM layer. Guarded; see the lock-order
+    /// note in the module docs.
+    pub(crate) engine: Mutex<EtmSession<RhDb>>,
+    /// The engine's log manager — thread-safe by itself, so commit
+    /// forcing happens here *without* the engine mutex (group commit).
+    pub(crate) log: Arc<LogManager>,
+    /// The engine's disk (for stats absorption without the engine lock).
+    pub(crate) disk: Arc<Disk>,
+    /// The engine's lock manager (stats absorption).
+    pub(crate) locks: Arc<LockManager>,
+    /// The engine's observability hub; `server.*` counters land here,
+    /// which is what makes them visible to `RhDb::stats()` and the
+    /// `/stats` introspection route.
+    pub(crate) obs: Arc<Obs>,
+    /// The session table.
+    pub(crate) sessions: Mutex<SessionTable>,
+    /// Join handles of per-connection threads, reaped at shutdown.
+    pub(crate) reapers: Mutex<Vec<JoinHandle<()>>>,
+    /// Set during drain: new connections and new requests are refused.
+    pub(crate) draining: AtomicBool,
+    /// Set by [`Server::force_stop`]: skip all tidy-up (simulated
+    /// kill-9 — open transactions must become recovery losers).
+    pub(crate) killed: AtomicBool,
+    /// Tunables.
+    pub(crate) cfg: ServerConfig,
+    /// Flag + condvar behind [`Server::run_until_shutdown`].
+    stop_flag: Mutex<bool>,
+    stop_cv: Condvar,
+}
+
+impl Shared {
+    /// Signals `run_until_shutdown` to return (wire `Shutdown` op).
+    pub(crate) fn request_shutdown(&self) {
+        let mut stopped = self.stop_flag.lock();
+        *stopped = true;
+        self.stop_cv.notify_all();
+    }
+
+    /// Current session count, for the active-sessions gauge.
+    pub(crate) fn session_gauge(&self) {
+        let n = { self.sessions.lock().len() } as u64;
+        self.obs.registry.set(names::M_SRV_SESSIONS_ACTIVE, n);
+    }
+}
+
+/// A running transaction front-end.
+///
+/// ```no_run
+/// use rh_core::engine::{RhDb, Strategy};
+/// use rh_server::{Server, ServerConfig};
+///
+/// let db = RhDb::new(Strategy::Rh);
+/// let server = Server::bind("127.0.0.1:0", db, ServerConfig::default()).unwrap();
+/// println!("serving on {}", server.local_addr());
+/// server.run_until_shutdown();          // returns after a wire Shutdown op
+/// let _db = server.shutdown().unwrap(); // drain: abort leftovers, checkpoint
+/// ```
+pub struct Server {
+    shared: Arc<Shared>,
+    service: TcpService,
+}
+
+impl Server {
+    /// Binds `addr` (e.g. `"127.0.0.1:0"`) and starts serving `db`.
+    ///
+    /// The engine is wrapped in an [`EtmSession`] and owned by the
+    /// server until [`Server::shutdown`] returns it. If the engine has
+    /// a flight recorder, a "server-start" black box is frozen so a
+    /// post-crash incarnation's postmortem covers the serving period.
+    pub fn bind(addr: &str, db: RhDb, cfg: ServerConfig) -> std::io::Result<Server> {
+        let log = Arc::clone(db.log());
+        let disk = Arc::clone(db.disk());
+        let locks = Arc::clone(db.locks());
+        let obs = Arc::clone(db.obs());
+        db.record_blackbox("server-start");
+        let shared = Arc::new(Shared {
+            engine: Mutex::new(EtmSession::new(db)),
+            log,
+            disk,
+            locks,
+            obs,
+            sessions: Mutex::new(SessionTable::new()),
+            reapers: Mutex::new(Vec::new()),
+            draining: AtomicBool::new(false),
+            killed: AtomicBool::new(false),
+            cfg,
+            stop_flag: Mutex::new(false),
+            stop_cv: Condvar::new(),
+        });
+        let on_conn = Arc::clone(&shared);
+        let service = TcpService::bind(
+            addr,
+            "rh-serve",
+            Box::new(move |stream| conn::accept(&on_conn, stream)),
+        )?;
+        Ok(Server { shared, service })
+    }
+
+    /// The bound listen address.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.service.local_addr()
+    }
+
+    /// The stable half of the engine's log (crash tests keep this to
+    /// recover a post-`force_stop` incarnation).
+    pub fn stable(&self) -> Arc<StableLog> {
+        self.shared.log.stable()
+    }
+
+    /// The engine's disk handle (crash tests pair it with
+    /// [`Server::stable`] for [`RhDb::recover`]).
+    pub fn disk(&self) -> Arc<Disk> {
+        Arc::clone(&self.shared.disk)
+    }
+
+    /// Blocks until a client sends the wire `Shutdown` op.
+    pub fn run_until_shutdown(&self) {
+        let mut stopped = self.shared.stop_flag.lock();
+        while !*stopped {
+            self.shared.stop_cv.wait(&mut stopped);
+        }
+    }
+
+    /// Graceful drain: stop accepting, close every session (their open
+    /// transactions abort), checkpoint, and hand the engine back.
+    ///
+    /// The checkpoint moves the master record, so the next incarnation
+    /// of this database must be opened from a surviving disk image —
+    /// the normal path for a *graceful* stop. (Crash restarts instead
+    /// rely on the master staying NULL while serving: the server never
+    /// checkpoints mid-flight.)
+    pub fn shutdown(self) -> Result<RhDb> {
+        let Server { shared, mut service } = self;
+        shared.draining.store(true, Ordering::SeqCst);
+        service.shutdown();
+        {
+            let table = shared.sessions.lock();
+            table.slam_sockets();
+        }
+        join_reapers(&shared);
+        let leftovers = {
+            let mut table = shared.sessions.lock();
+            table.drain_all()
+        };
+        {
+            let mut eng = shared.engine.lock();
+            for t in &leftovers {
+                // Already-terminated ids are fine: abort is best-effort
+                // here, the session workers normally beat us to it.
+                let _ = eng.abort(*t);
+                shared.obs.registry.inc(names::M_SRV_TXNS_ABORTED_ON_CLOSE);
+            }
+            eng.engine().checkpoint()?;
+        }
+        shared.obs.registry.inc(names::M_SRV_DRAINS);
+        shared.obs.registry.set(names::M_SRV_SESSIONS_ACTIVE, 0);
+        drop(service);
+        let shared = Arc::try_unwrap(shared)
+            .map_err(|_| RhError::Protocol("server state still shared at drain"))?;
+        let db = shared.engine.into_inner().into_engine();
+        db.record_blackbox("server-drain");
+        Ok(db)
+    }
+
+    /// Simulated kill-9: stop everything *without* aborting open
+    /// transactions, flushing the log tail, or checkpointing. Volatile
+    /// state evaporates exactly as in [`RhDb::crash`]; pair the handles
+    /// from [`Server::stable`] / [`Server::disk`] with
+    /// [`RhDb::recover`] to bring up the next incarnation.
+    pub fn force_stop(self) {
+        let Server { shared, mut service } = self;
+        shared.killed.store(true, Ordering::SeqCst);
+        shared.draining.store(true, Ordering::SeqCst);
+        service.shutdown();
+        {
+            let table = shared.sessions.lock();
+            table.slam_sockets();
+        }
+        join_reapers(&shared);
+        // Dropping `shared` drops the engine: buffer pool, transaction
+        // table, scopes, unflushed log tail — all gone, as in a crash.
+    }
+}
+
+impl std::fmt::Debug for Server {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Server").field("addr", &self.service.local_addr()).finish()
+    }
+}
+
+/// Joins every per-connection thread spawned so far.
+fn join_reapers(shared: &Arc<Shared>) {
+    let handles = {
+        let mut reapers = shared.reapers.lock();
+        std::mem::take(&mut *reapers)
+    };
+    for h in handles {
+        let _ = h.join();
+    }
+}
