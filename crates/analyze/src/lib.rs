@@ -10,7 +10,10 @@
 //!   - **L4** one sanctioned wall clock (`rh_obs::Stopwatch`);
 //!   - **L5** `unsafe` allowlist + mandatory `// SAFETY:` comments.
 //! * **Model checker** ([`model`]): exhaustive bounded histories ×
-//!   crash-at-every-LSN, ARIES/RH recovery vs the §2.1 oracle.
+//!   crash-at-every-LSN, ARIES/RH recovery vs the §2.1 oracle; the
+//!   sharded mode ([`model_sharded`]) replays the same histories
+//!   through a 2-shard engine and additionally crashes *inside* the
+//!   cross-shard 2PC commit protocol at every durability edge.
 //!
 //! Findings flow through inline suppressions and the checked-in
 //! baseline ([`findings`]); CI runs `cargo run -p rh-analyze --
@@ -21,6 +24,7 @@
 pub mod findings;
 pub mod lexer;
 pub mod model;
+pub mod model_sharded;
 pub mod rules;
 
 use findings::{Baseline, Triage};

@@ -3,14 +3,19 @@
 //! ```text
 //! cargo run -p rh-analyze -- --workspace --strict
 //! cargo run -p rh-analyze -- --model-check --smoke
+//! cargo run -p rh-analyze -- --model-check --sharded --smoke
 //! ```
 //!
+//! `--sharded` switches the model check to the 2-shard mode: the same
+//! bounded histories through a range-sharded engine, plus a crash
+//! injected at every 2PC durability edge of every commit.
+//!
 //! Exit codes: `0` clean, `1` findings/divergences, `2` usage error.
-//! Artifacts (`analyze.json`, `model_check.json`) are written to
-//! `--out-dir` (default `target/obs`), in the same JSON dialect as the
-//! experiment artifacts.
+//! Artifacts (`analyze.json`, `model_check.json`,
+//! `model_check_sharded.json`) are written to `--out-dir` (default
+//! `target/obs`), in the same JSON dialect as the experiment artifacts.
 
-use rh_analyze::model;
+use rh_analyze::{model, model_sharded};
 use rh_obs::json::JsonValue;
 use rh_obs::Stopwatch;
 use rh_workload::enumerate::Bounds;
@@ -18,7 +23,7 @@ use std::path::{Path, PathBuf};
 
 fn usage() -> ! {
     eprintln!(
-        "usage: rh-analyze [--workspace [--strict]] [--model-check [--smoke]] \
+        "usage: rh-analyze [--workspace [--strict]] [--model-check [--sharded] [--smoke]] \
          [--root=DIR] [--out-dir=DIR]"
     );
     std::process::exit(2);
@@ -36,6 +41,7 @@ fn main() {
     let workspace = args.iter().any(|a| a == "--workspace");
     let strict = args.iter().any(|a| a == "--strict");
     let model_check = args.iter().any(|a| a == "--model-check");
+    let sharded = args.iter().any(|a| a == "--sharded");
     let smoke = args.iter().any(|a| a == "--smoke");
     let root: PathBuf = args
         .iter()
@@ -51,11 +57,12 @@ fn main() {
         a == "--workspace"
             || a == "--strict"
             || a == "--model-check"
+            || a == "--sharded"
             || a == "--smoke"
             || a.starts_with("--root=")
             || a.starts_with("--out-dir=")
     };
-    if args.iter().any(|a| !known(a)) || (!workspace && !model_check) {
+    if args.iter().any(|a| !known(a)) || (!workspace && !model_check) || (sharded && !model_check) {
         usage();
     }
 
@@ -100,7 +107,33 @@ fn main() {
         }
     }
 
-    if model_check {
+    if model_check && sharded {
+        let sw = Stopwatch::start();
+        let bounds = if smoke { Bounds::smoke() } else { Bounds::full() };
+        let out = model_sharded::run(&bounds);
+        for d in &out.divergences {
+            eprintln!("DIVERGENCE [{}] {}\n  history: {}", d.strategy, d.detail, d.history);
+        }
+        match write_artifact(&out_dir, "model_check_sharded.json", &out.to_json()) {
+            Ok(p) => println!("[artifact] {}", p.display()),
+            Err(e) => {
+                eprintln!("rh-analyze: writing artifact: {e}");
+                std::process::exit(2);
+            }
+        }
+        println!(
+            "sharded model check: {} histories, {} engine runs, {} 2PC fault runs, \
+             {} divergences ({} ms)",
+            out.histories,
+            out.engine_runs,
+            out.fault_runs,
+            out.divergence_count,
+            sw.elapsed_micros() / 1000
+        );
+        if out.divergence_count > 0 {
+            failed = true;
+        }
+    } else if model_check {
         let sw = Stopwatch::start();
         let bounds = if smoke { Bounds::smoke() } else { Bounds::full() };
         let out = model::run(&bounds);

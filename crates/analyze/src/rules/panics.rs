@@ -25,6 +25,10 @@ const CRITICAL: &[&str] = &[
     // The network front-end: a panicking connection thread would strand
     // its session's transactions without the abort-on-close path.
     "crates/server/src/",
+    // The sharded router runs the 2PC commit protocol and cross-shard
+    // recovery: a panic between a participant's prepare and the
+    // coordinator's decision would strand in-doubt transactions.
+    "crates/core/src/sharded/",
 ];
 
 /// Panic-capable macros (checked as `ident !`).

@@ -1,84 +1,59 @@
 //! E11 — serving throughput: concurrent sessions funnelling through
-//! one engine, with commits group-committed across them.
+//! one engine (or a range-sharded set of engines), with commits
+//! group-committed per log.
 //!
 //! Each measured point stands up a fresh file-backed `rh-server`
 //! in-process, drives it with the `rh-load` closed-loop generator
 //! (`threads` connections, mixed writes/adds, optionally the delegation
-//! idiom), verifies the oracle, and drains. The grid is
-//! threads ∈ {1, 4, 16} × delegation ∈ {0, 0.3}:
+//! idiom), verifies the oracle, and drains — the shared cycle lives in
+//! [`rh_bench::serve_cycle`] so the `rh-bench --check-baselines` CI
+//! gate re-runs exactly this workload. The grid is
+//! threads ∈ {1, 4, 16} × delegation ∈ {0, 0.3}, plus the headline
+//! sharded point `serve_s4_t16_d30` (4 shards, 16 threads, 30%
+//! delegation, 25% cross-shard traffic committing through 2PC):
 //!
 //! * scaling threads shows group commit amortizing fsyncs — committed
 //!   txns/s grows while `log.fsyncs` per commit falls;
 //! * the delegation axis shows the paper's claim surviving the wire:
 //!   routing effects through delegate → abort → commit costs a couple
-//!   of extra round trips, not a different asymptote.
+//!   of extra round trips, not a different asymptote;
+//! * the sharded point shows range partitioning buying parallel commit
+//!   (and cross-shard delegation paying exactly one extra forced log
+//!   flush for the non-coordinator prepare).
 //!
 //! Besides the Criterion medians, the run writes throughput rows to
 //! `target/obs/BENCH_server.json`; first measured rows are checked in
-//! at `crates/bench/baselines/BENCH_server.json` for eyeball
-//! regression comparison.
+//! at `crates/bench/baselines/BENCH_server.json` and guarded by the
+//! `rh-bench` regression gate.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use rh_client::load::{run_load, LoadSpec};
-use rh_core::engine::{DbConfig, RhDb, Strategy};
-use rh_obs::{JsonValue, Stopwatch};
-use rh_server::{Server, ServerConfig};
-use rh_wal::StableLog;
+use rh_bench::serve_cycle::{self, CyclePoint, TXNS_PER_THREAD, UPDATES_PER_TXN};
+use rh_obs::JsonValue;
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicU64, Ordering};
 
-const TXNS_PER_THREAD: usize = 10;
-const UPDATES_PER_TXN: usize = 4;
-const GRID: &[(usize, f64)] = &[(1, 0.0), (1, 0.3), (4, 0.0), (4, 0.3), (16, 0.0), (16, 0.3)];
-
-fn scratch() -> PathBuf {
-    static N: AtomicU64 = AtomicU64::new(0);
-    let dir = std::env::temp_dir().join(format!(
-        "rh-bench-server-{}-{}",
-        std::process::id(),
-        N.fetch_add(1, Ordering::Relaxed)
-    ));
-    let _ = std::fs::remove_dir_all(&dir);
-    dir
-}
-
-fn spec(threads: usize, delegation: f64) -> LoadSpec {
-    LoadSpec {
-        threads,
-        txns_per_thread: TXNS_PER_THREAD,
-        updates_per_txn: UPDATES_PER_TXN,
-        delegation_fraction: delegation,
-        seed: 42,
-        base_offset: 0,
-    }
-}
-
-/// One full serve/load/drain cycle on a fresh directory. Object ids are
-/// deterministic per thread, so every cycle needs its own engine — a
-/// reused one would see the generator's `add` objects twice.
-fn one_cycle(threads: usize, delegation: f64) -> (u64, u64, u64) {
-    let dir = scratch();
-    let stable = StableLog::open_dir(&dir).expect("bench log dir");
-    let db = RhDb::with_stable_log(Strategy::Rh, DbConfig::default(), stable);
-    let server = Server::bind("127.0.0.1:0", db, ServerConfig::default()).expect("bind");
-    let addr = server.local_addr().to_string();
-    let report = run_load(&addr, &spec(threads, delegation)).expect("load");
-    assert_eq!(report.divergences, 0, "bench run diverged: {report:?}");
-    assert_eq!(report.errors, 0, "bench run errored: {report:?}");
-    let out = (report.txns_committed, report.server_commits_delta, report.server_fsyncs_delta);
-    drop(server.shutdown().expect("drain"));
-    let _ = std::fs::remove_dir_all(&dir);
-    out
+/// The measured grid: the unsharded thread/delegation matrix plus the
+/// 4-shard headline point the CI speedup bar reads.
+fn grid() -> Vec<CyclePoint> {
+    vec![
+        CyclePoint::single(1, 0.0),
+        CyclePoint::single(1, 0.3),
+        CyclePoint::single(4, 0.0),
+        CyclePoint::single(4, 0.3),
+        CyclePoint::single(16, 0.0),
+        CyclePoint::single(16, 0.3),
+        CyclePoint::sharded(4, 16, 0.3),
+    ]
 }
 
 fn bench_serving(c: &mut Criterion) {
     let mut group = c.benchmark_group("server_throughput");
     group.sample_size(10);
-    for &(threads, delegation) in GRID {
-        group.throughput(Throughput::Elements((threads * TXNS_PER_THREAD) as u64));
-        let name = format!("t{threads}_d{}", (delegation * 100.0) as u32);
+    for point in grid() {
+        group.throughput(Throughput::Elements(point.commits()));
+        // Criterion ids keep the historical short form (`t16_d30`).
+        let name = point.name().trim_start_matches("serve_").to_string();
         group.bench_function(BenchmarkId::from_parameter(name), |b| {
-            b.iter(|| one_cycle(threads, delegation))
+            b.iter(|| serve_cycle::one_cycle(&point))
         });
     }
     group.finish();
@@ -86,32 +61,19 @@ fn bench_serving(c: &mut Criterion) {
 
 /// Writes the throughput rows to `target/obs/BENCH_server.json` (the
 /// checked-in baseline at `crates/bench/baselines/BENCH_server.json` is
-/// a copy of this file from the first run).
+/// a copy of this file, regenerated when the serving stack changes).
 fn export_rows(_c: &mut Criterion) {
     let mut rows: Vec<JsonValue> = Vec::new();
-    for &(threads, delegation) in GRID {
-        let commits = (threads * TXNS_PER_THREAD) as u64;
-        // Median of a few full cycles; also keep the batching evidence
-        // (fsyncs per commit) from the median-timed run's neighborhood.
-        let mut times: Vec<(u64, u64)> = Vec::new();
-        for _ in 0..3 {
-            let sw = Stopwatch::start();
-            let (_, _, fsyncs) = one_cycle(threads, delegation);
-            times.push((sw.elapsed().as_nanos() as u64, fsyncs));
-        }
-        times.sort_unstable();
-        let (median_ns, fsyncs) = times[times.len() / 2];
-        let name = format!("serve_t{threads}_d{}", (delegation * 100.0) as u32);
+    for point in grid() {
+        let commits = point.commits();
+        let (median_ns, fsyncs) = serve_cycle::median_cycle_ns(&point, 3);
         rows.push(JsonValue::obj(vec![
-            ("name", JsonValue::Str(name)),
+            ("name", JsonValue::Str(point.name())),
             ("median_ns", JsonValue::U64(median_ns)),
             ("unit", JsonValue::Str("ns/cycle".to_string())),
             ("commits", JsonValue::U64(commits)),
             ("fsyncs", JsonValue::U64(fsyncs)),
-            (
-                "txns_per_sec",
-                JsonValue::U64((commits * 1_000_000_000).checked_div(median_ns).unwrap_or(0)),
-            ),
+            ("txns_per_sec", JsonValue::U64(serve_cycle::txns_per_sec(commits, median_ns))),
         ]));
     }
 

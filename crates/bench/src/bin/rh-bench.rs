@@ -1,0 +1,329 @@
+//! `rh-bench` — the CI bench-regression gate.
+//!
+//! ```text
+//! rh-bench --check-baselines [--tolerance F]
+//! rh-bench --measure NAME [--iters N]
+//! ```
+//!
+//! `--check-baselines` re-runs the workload behind every row of the
+//! checked-in baselines (`crates/bench/baselines/BENCH_server.json` and
+//! `BENCH_obs.json`) on this machine, compares against the recorded
+//! medians with a relative tolerance (default ±25%, overridable with
+//! `--tolerance` or `RH_BENCH_TOLERANCE`), writes the full comparison
+//! to `target/obs/bench_delta.json`, and exits nonzero if any row
+//! regressed. Sub-100ns rows additionally get an absolute slack of
+//! 100ns — a timer tick on a loaded CI box is not a regression.
+//!
+//! The sharded serving row is held to a stronger bar than
+//! no-regression: `serve_s4_t16_d30` must deliver at least 2.5× the
+//! throughput of the *unsharded* `serve_t16_d30` baseline, which is the
+//! headline scaling claim for range-sharding the engine. Sharding buys
+//! parallel commit across cores, so the bar is only physical on a
+//! machine with at least as many cores as shards — on smaller boxes
+//! (`available_parallelism() < shards`) the ratio is printed as
+//! information and the floor does not fail the run.
+//!
+//! `--measure NAME` runs one row's workload and prints the freshly
+//! measured row, for regenerating baselines.
+
+use rh_bench::serve_cycle::{self, CyclePoint};
+use rh_obs::{JsonValue, Stopwatch};
+
+/// Relative tolerance applied to every baseline comparison.
+const DEFAULT_TOLERANCE: f64 = 0.25;
+/// Absolute slack for rows whose baseline is under 100ns.
+const ABSOLUTE_SLACK_NS: u64 = 100;
+/// The sharded row must beat the matching unsharded row by this factor.
+const SHARDED_SPEEDUP_FLOOR: f64 = 2.5;
+/// Cycles per serving point when re-measuring (median taken).
+const SERVE_ITERS: usize = 3;
+
+fn usage(reason: &str) -> ! {
+    eprintln!("rh-bench: {reason}");
+    eprintln!("usage: rh-bench --check-baselines [--tolerance F] | --measure NAME [--iters N]");
+    std::process::exit(2);
+}
+
+fn baselines_dir() -> std::path::PathBuf {
+    std::path::PathBuf::from(concat!(env!("CARGO_MANIFEST_DIR"), "/baselines"))
+}
+
+fn out_dir() -> std::path::PathBuf {
+    std::path::PathBuf::from(concat!(env!("CARGO_MANIFEST_DIR"), "/../../target/obs"))
+}
+
+fn load_rows(file: &str) -> Vec<JsonValue> {
+    let path = baselines_dir().join(file);
+    let text = match std::fs::read_to_string(&path) {
+        Ok(t) => t,
+        Err(e) => usage(&format!("cannot read baseline {}: {e}", path.display())),
+    };
+    let doc = match rh_obs::json::parse(&text) {
+        Ok(d) => d,
+        Err(e) => usage(&format!("cannot parse {}: {e:?}", path.display())),
+    };
+    match doc.get("rows") {
+        Some(JsonValue::Arr(rows)) => rows.clone(),
+        _ => usage(&format!("{} has no rows array", path.display())),
+    }
+}
+
+fn row_str(row: &JsonValue, key: &str) -> String {
+    row.get(key).and_then(|v| v.as_str().map(String::from)).unwrap_or_default()
+}
+
+fn row_u64(row: &JsonValue, key: &str) -> u64 {
+    row.get(key).and_then(JsonValue::as_u64).unwrap_or(0)
+}
+
+/// One freshly measured value for a named baseline row.
+struct Measured {
+    /// Metric compared against the baseline (`txns_per_sec` for serving
+    /// rows — higher is better; `median_ns` for obs rows — lower is
+    /// better).
+    value: u64,
+    /// True if larger values are better for this row.
+    higher_is_better: bool,
+    /// Extra fields worth carrying into the delta artifact.
+    extra: Vec<(&'static str, JsonValue)>,
+}
+
+/// Re-runs the workload behind one baseline row.
+fn measure(name: &str, iters: usize) -> Option<Measured> {
+    if let Some(point) = CyclePoint::parse(name) {
+        let (median_ns, fsyncs) = serve_cycle::median_cycle_ns(&point, iters);
+        let commits = point.commits();
+        return Some(Measured {
+            value: serve_cycle::txns_per_sec(commits, median_ns),
+            higher_is_better: true,
+            extra: vec![
+                ("median_ns", JsonValue::U64(median_ns)),
+                ("commits", JsonValue::U64(commits)),
+                ("fsyncs", JsonValue::U64(fsyncs)),
+            ],
+        });
+    }
+    let ns = match name {
+        "tracer_point_enabled" => obs_tracer_ns(true),
+        "tracer_point_disabled" => obs_tracer_ns(false),
+        "workload_flight_attached" => obs_workload_ns(true),
+        "workload_flight_detached" => obs_workload_ns(false),
+        _ => return None,
+    };
+    Some(Measured { value: ns, higher_is_better: false, extra: Vec::new() })
+}
+
+/// Median nanoseconds per `Tracer::point` call, matching the
+/// `obs_overhead` bench's export exactly.
+fn obs_tracer_ns(enabled: bool) -> u64 {
+    use rh_obs::trace::Tracer;
+    const POINTS: u64 = 10_000;
+    let tracer = if enabled { Tracer::default() } else { Tracer::disabled() };
+    let loop_ns = median_ns(30, || {
+        for i in 0..POINTS {
+            tracer.point(std::hint::black_box("bench_point"), i, i, 1, 0);
+        }
+    });
+    loop_ns / POINTS
+}
+
+/// Median nanoseconds for the E1-style workload with or without the
+/// flight recorder, matching the `obs_overhead` bench's export.
+fn obs_workload_ns(flight: bool) -> u64 {
+    use rh_core::engine::{DbConfig, RhDb, Strategy};
+    use rh_core::history::replay_engine;
+    use rh_wal::StableLog;
+    use rh_workload::{boring, WorkloadSpec};
+    let spec = WorkloadSpec {
+        txns: 200,
+        updates_per_txn: 4,
+        straggler_rate: 0.05,
+        ..WorkloadSpec::default()
+    };
+    let events = boring(&spec);
+    let mut n = 0u64;
+    median_ns(5, || {
+        n += 1;
+        let dir =
+            std::env::temp_dir().join(format!("rh-bench-gate-obs-{}-{n}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let stable = StableLog::open_dir(&dir).expect("gate log dir");
+        let mut db = RhDb::with_stable_log(Strategy::Rh, DbConfig::default(), stable);
+        if !flight {
+            db.disable_flight_recorder();
+        }
+        let db = replay_engine(db, &events).expect("gate replay");
+        drop(db);
+        let _ = std::fs::remove_dir_all(&dir);
+    })
+}
+
+/// Median over `iters` timed calls (one untimed warmup), nanoseconds.
+fn median_ns(iters: usize, mut f: impl FnMut()) -> u64 {
+    f();
+    let mut times: Vec<u64> = (0..iters)
+        .map(|_| {
+            let sw = Stopwatch::start();
+            f();
+            sw.elapsed().as_nanos() as u64
+        })
+        .collect();
+    times.sort_unstable();
+    times[times.len() / 2]
+}
+
+/// Whether `measured` is an acceptable showing against `baseline`.
+fn within(measured: u64, baseline: u64, higher_is_better: bool, tolerance: f64) -> bool {
+    let floor_slack =
+        if baseline < ABSOLUTE_SLACK_NS && !higher_is_better { ABSOLUTE_SLACK_NS } else { 0 };
+    if higher_is_better {
+        measured as f64 >= baseline as f64 * (1.0 - tolerance)
+    } else {
+        measured as f64 <= baseline as f64 * (1.0 + tolerance) + floor_slack as f64
+    }
+}
+
+fn check_baselines(tolerance: f64) -> ! {
+    let mut rows = load_rows("BENCH_server.json");
+    rows.extend(load_rows("BENCH_obs.json"));
+
+    // The unsharded 16-thread/30%-delegation baseline anchors the
+    // sharded speedup claim.
+    let t16_d30_baseline = rows
+        .iter()
+        .find(|r| row_str(r, "name") == "serve_t16_d30")
+        .map(|r| row_u64(r, "txns_per_sec"))
+        .unwrap_or(0);
+
+    let mut deltas: Vec<JsonValue> = Vec::new();
+    let mut failures = 0usize;
+    for row in &rows {
+        let name = row_str(row, "name");
+        let Some(m) = measure(&name, SERVE_ITERS) else {
+            println!("rh-bench: SKIP {name} (no measurement defined)");
+            continue;
+        };
+        let key = if m.higher_is_better { "txns_per_sec" } else { "median_ns" };
+        let baseline = row_u64(row, key);
+        let mut ok = within(m.value, baseline, m.higher_is_better, tolerance);
+        let mut bar = String::new();
+        if name == "serve_s4_t16_d30" && t16_d30_baseline > 0 {
+            let shards = CyclePoint::parse(&name).map_or(4, |p| p.shards);
+            let cores =
+                std::thread::available_parallelism().map(std::num::NonZero::get).unwrap_or(1);
+            let floor = (t16_d30_baseline as f64 * SHARDED_SPEEDUP_FLOOR) as u64;
+            let ratio = m.value as f64 / t16_d30_baseline as f64;
+            if cores < shards {
+                // One engine per shard can only commit in parallel on
+                // distinct cores; on a smaller box the floor measures
+                // the scheduler, not the sharding.
+                bar = format!(
+                    " (speedup bar skipped: {cores} core(s) < {shards} shards; \
+                     measured {ratio:.2}x unsharded t16_d30)"
+                );
+            } else {
+                if m.value < floor {
+                    ok = false;
+                }
+                bar = format!(
+                    " (speedup bar: >= {floor} = {SHARDED_SPEEDUP_FLOOR}x unsharded t16_d30, \
+                     measured {ratio:.2}x)"
+                );
+            }
+        }
+        let delta =
+            if baseline > 0 { (m.value as f64 - baseline as f64) / baseline as f64 } else { 0.0 };
+        println!(
+            "rh-bench: {} {name}: {key} baseline={baseline} measured={} ({:+.1}%){bar}",
+            if ok { "ok  " } else { "FAIL" },
+            m.value,
+            delta * 100.0,
+        );
+        if !ok {
+            failures += 1;
+        }
+        let mut fields = vec![
+            ("name", JsonValue::Str(name)),
+            ("metric", JsonValue::Str(key.to_string())),
+            ("baseline", JsonValue::U64(baseline)),
+            ("measured", JsonValue::U64(m.value)),
+            ("delta_pct", JsonValue::Str(format!("{:+.1}", delta * 100.0))),
+            ("ok", JsonValue::Bool(ok)),
+        ];
+        fields.extend(m.extra);
+        deltas.push(JsonValue::obj(fields));
+    }
+
+    let doc = JsonValue::obj(vec![
+        ("tolerance", JsonValue::Str(format!("{tolerance}"))),
+        ("failures", JsonValue::U64(failures as u64)),
+        ("rows", JsonValue::Arr(deltas)),
+    ]);
+    let dir = out_dir();
+    std::fs::create_dir_all(&dir).expect("create target/obs");
+    let path = dir.join("bench_delta.json");
+    std::fs::write(&path, doc.render_pretty()).expect("write bench_delta.json");
+    println!("rh-bench: wrote {}", path.display());
+
+    if failures > 0 {
+        eprintln!("rh-bench: {failures} row(s) regressed beyond ±{:.0}%", tolerance * 100.0);
+        std::process::exit(1);
+    }
+    println!("rh-bench: all rows within ±{:.0}%", tolerance * 100.0);
+    std::process::exit(0);
+}
+
+fn measure_one(name: &str, iters: usize) -> ! {
+    match measure(name, iters) {
+        Some(m) => {
+            let mut fields = vec![
+                ("name", JsonValue::Str(name.to_string())),
+                (
+                    if m.higher_is_better { "txns_per_sec" } else { "median_ns" },
+                    JsonValue::U64(m.value),
+                ),
+            ];
+            fields.extend(m.extra);
+            println!("{}", JsonValue::obj(fields).render_pretty());
+            std::process::exit(0);
+        }
+        None => usage(&format!("no measurement defined for row {name}")),
+    }
+}
+
+fn main() {
+    let mut tolerance = match std::env::var("RH_BENCH_TOLERANCE") {
+        Ok(v) => v.parse().unwrap_or(DEFAULT_TOLERANCE),
+        Err(_) => DEFAULT_TOLERANCE,
+    };
+    let mut check = false;
+    let mut measure_name: Option<String> = None;
+    let mut iters = SERVE_ITERS;
+    let mut argv = std::env::args().skip(1);
+    while let Some(flag) = argv.next() {
+        let mut value = |name: &str| match argv.next() {
+            Some(v) => v,
+            None => usage(&format!("{name} needs a value")),
+        };
+        match flag.as_str() {
+            "--check-baselines" => check = true,
+            "--tolerance" => match value("--tolerance").parse() {
+                Ok(f) => tolerance = f,
+                Err(_) => usage("--tolerance needs a float"),
+            },
+            "--measure" => measure_name = Some(value("--measure")),
+            "--iters" => match value("--iters").parse() {
+                Ok(n) => iters = n,
+                Err(_) => usage("--iters needs an integer"),
+            },
+            other => usage(&format!("unknown flag {other}")),
+        }
+    }
+    if let Some(name) = measure_name {
+        measure_one(&name, iters);
+    }
+    if check {
+        check_baselines(tolerance);
+    }
+    usage("pass --check-baselines or --measure NAME");
+}

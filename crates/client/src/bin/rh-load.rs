@@ -3,8 +3,8 @@
 //!
 //! ```text
 //! rh-load --addr 127.0.0.1:7411 [--threads N] [--txns N] [--updates N]
-//!         [--delegation F] [--seed N] [--smoke] [--report PATH]
-//!         [--shutdown]
+//!         [--delegation F] [--cross-shard F --shards N] [--seed N]
+//!         [--smoke] [--report PATH] [--shutdown]
 //! ```
 //!
 //! Exits nonzero on any oracle divergence or transport failure, so CI
@@ -18,7 +18,8 @@ fn usage(reason: &str) -> ! {
     eprintln!("rh-load: {reason}");
     eprintln!(
         "usage: rh-load --addr HOST:PORT [--threads N] [--txns N] [--updates N] \
-         [--delegation F] [--seed N] [--offset N] [--smoke] [--report PATH] [--shutdown]"
+         [--delegation F] [--cross-shard F --shards N] [--seed N] [--offset N] \
+         [--smoke] [--report PATH] [--shutdown]"
     );
     std::process::exit(2);
 }
@@ -52,6 +53,18 @@ fn main() {
                 Ok(f) => spec.delegation_fraction = f,
                 Err(_) => usage("--delegation needs a float in [0,1]"),
             },
+            // Cross-shard traffic: the fraction of transactions that
+            // touch a second shard (and commit via 2PC). Pass the
+            // server's shard count too so remote ranges provably route
+            // to a different shard.
+            "--cross-shard" => match value("--cross-shard").parse() {
+                Ok(f) => spec.cross_shard_fraction = f,
+                Err(_) => usage("--cross-shard needs a float in [0,1]"),
+            },
+            "--shards" => match value("--shards").parse() {
+                Ok(n) if n >= 1 => spec.shards = n,
+                _ => usage("--shards needs an integer >= 1"),
+            },
             "--seed" => match value("--seed").parse() {
                 Ok(n) => spec.seed = n,
                 Err(_) => usage("--seed needs an integer"),
@@ -62,7 +75,14 @@ fn main() {
                 Ok(n) => spec.base_offset = n,
                 Err(_) => usage("--offset needs an integer"),
             },
-            "--smoke" => spec = LoadSpec { base_offset: spec.base_offset, ..LoadSpec::smoke() },
+            "--smoke" => {
+                spec = LoadSpec {
+                    base_offset: spec.base_offset,
+                    cross_shard_fraction: spec.cross_shard_fraction,
+                    shards: spec.shards,
+                    ..LoadSpec::smoke()
+                }
+            }
             "--report" => report_path = Some(value("--report")),
             "--shutdown" => shutdown = true,
             other => usage(&format!("unknown flag {other}")),
@@ -70,11 +90,14 @@ fn main() {
     }
 
     println!(
-        "rh-load: {} threads x {} txns ({} updates/txn, delegation {:.0}%) against {addr}",
+        "rh-load: {} threads x {} txns ({} updates/txn, delegation {:.0}%, \
+         cross-shard {:.0}% of {} shards) against {addr}",
         spec.threads,
         spec.txns_per_thread,
         spec.updates_per_txn,
-        spec.delegation_fraction * 100.0
+        spec.delegation_fraction * 100.0,
+        spec.cross_shard_fraction * 100.0,
+        spec.shards,
     );
     let report = match load::run_load(&addr, &spec) {
         Ok(r) => r,

@@ -42,9 +42,20 @@ pub struct LoadSpec {
     /// Shifts every thread's private object range. Object ids are
     /// deterministic in `(base_offset, thread, sequence)`, so repeated
     /// runs against one directory must use distinct offsets (spaced by
-    /// at least `threads`) or the oracle's `add` objects would
-    /// accumulate across runs and report false divergences.
+    /// at least `threads` — at least `2 * threads + 1` when cross-shard
+    /// traffic is on, to clear the remote ranges too) or the oracle's
+    /// `add` objects would accumulate across runs and report false
+    /// divergences.
     pub base_offset: u64,
+    /// Probability that a transaction also touches a *remote* object in
+    /// a different shard, making it (and, combined with the delegation
+    /// idiom, the delegation itself) cross-shard — its commit then runs
+    /// the server's 2PC path. Only meaningful with `shards > 1`.
+    pub cross_shard_fraction: f64,
+    /// Shard count of the target server (must match its `--shards` so
+    /// the remote ranges provably land in a different shard). 1 = the
+    /// unsharded configuration; cross-shard traffic is disabled.
+    pub shards: usize,
 }
 
 impl Default for LoadSpec {
@@ -56,6 +67,8 @@ impl Default for LoadSpec {
             delegation_fraction: 0.25,
             seed: 42,
             base_offset: 0,
+            cross_shard_fraction: 0.0,
+            shards: 1,
         }
     }
 }
@@ -134,8 +147,31 @@ impl LoadReport {
 /// `u32` page id, so bases must stay below `2^38` or distinct ranges
 /// would alias the same pages. That caps `threads + base_offset` at
 /// 4095 — far beyond any realistic run — with `2^26` objects each.
+/// (The shift also matches `rh_core::sharded::ShardMap::RANGE_SHIFT`:
+/// one range = one routing unit, so a thread's home range lives wholly
+/// in one shard.)
 fn thread_base(tid: usize, base_offset: u64) -> u64 {
-    (tid as u64 + 1 + base_offset) << 26
+    let range = tid as u64 + 1 + base_offset;
+    // The page-id budget: `ob / 64` must fit a u32, so the top range
+    // index is 2^38 / 2^26 - 1 = 4095 (see rh_storage's slot mapping,
+    // which asserts the same invariant from the other side).
+    debug_assert!(range <= 4095, "range index {range} exceeds the 2^38 page-id budget");
+    range << 26
+}
+
+/// Base of thread `tid`'s private *remote* range for cross-shard
+/// traffic: a second never-shared range whose 2^26 block index is
+/// `delta` above the home range, with `delta` chosen so that
+/// (a) `delta >= threads`, keeping remote ranges disjoint from every
+/// thread's home range and from other threads' remote ranges, and
+/// (b) `delta % shards != 0`, so the remote range provably routes to a
+/// different shard than the home range under
+/// `shard_of = (ob >> 26) % shards`.
+fn remote_base(tid: usize, spec: &LoadSpec) -> u64 {
+    let delta =
+        if spec.threads.is_multiple_of(spec.shards) { spec.threads + 1 } else { spec.threads };
+    debug_assert!(spec.shards > 1 && delta % spec.shards != 0);
+    thread_base(tid + delta, spec.base_offset)
 }
 
 /// Per-thread tally.
@@ -229,7 +265,7 @@ fn worker(addr: &str, tid: usize, spec: &LoadSpec, registry: &Registry) -> Threa
     let mut rng = StdRng::seed_from_u64(spec.seed ^ (tid as u64).wrapping_mul(0x9e37_79b9));
     let base = thread_base(tid, spec.base_offset);
     for i in 0..spec.txns_per_thread {
-        match one_txn(&mut conn, &mut rng, spec, base, i, registry) {
+        match one_txn(&mut conn, &mut rng, spec, tid, base, i, registry) {
             Ok(effects) => {
                 out.committed += 1;
                 out.oracle.extend(effects);
@@ -245,10 +281,12 @@ fn worker(addr: &str, tid: usize, spec: &LoadSpec, registry: &Registry) -> Threa
 /// was acknowledged. On any error the effects are NOT recorded — an
 /// unacknowledged transaction is allowed to survive or vanish, and the
 /// oracle only asserts about acks.
+#[allow(clippy::too_many_arguments)]
 fn one_txn(
     conn: &mut Connection,
     rng: &mut StdRng,
     spec: &LoadSpec,
+    tid: usize,
     base: u64,
     seq: usize,
     registry: &Registry,
@@ -267,6 +305,18 @@ fn one_txn(
         }
         touched.push(ob);
         effects.push((ob, v));
+    }
+    // Cross-shard traffic: also touch an object routed to a different
+    // shard, so this transaction (and, through the delegation idiom
+    // below, the delegation itself) spans shards and commits via 2PC.
+    // The draw only happens for sharded targets, so unsharded runs keep
+    // their exact historical randomness (and baselines).
+    if spec.shards > 1 && rng.random_bool(spec.cross_shard_fraction) {
+        let remote = ObjectId(remote_base(tid, spec) + seq as u64);
+        let v: Value = rng.random_range(1..1_000_000i64);
+        conn.write(t1, remote, v)?;
+        touched.push(remote);
+        effects.push((remote, v));
     }
     registry.observe(names::M_CLIENT_OP_US, op_sw.elapsed_micros());
 
@@ -302,4 +352,49 @@ fn parse_counters(stats: &str) -> JsonValue {
 fn counter_delta(after: &JsonValue, before: &JsonValue, name: &str) -> u64 {
     let read = |v: &JsonValue| v.get(name).and_then(JsonValue::as_u64).unwrap_or(0);
     read(after).saturating_sub(read(before))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn range_bases_fit_the_page_id_budget() {
+        assert_eq!(thread_base(0, 0), 1 << 26);
+        // The last object of the top admissible range (index 4095) must
+        // still map to a valid u32 page id — the storage layer truncates
+        // `ob / 64` to u32, so anything past this would alias pages.
+        let top = thread_base(4094, 0) + ((1u64 << 26) - 1);
+        assert!(top / 64 <= u32::MAX as u64);
+        assert!(top < 1u64 << 38);
+    }
+
+    #[test]
+    fn remote_ranges_cross_shards_and_stay_private() {
+        for shards in [2usize, 3, 4, 8] {
+            for threads in [1usize, 4, 16, 17] {
+                let spec =
+                    LoadSpec { threads, shards, cross_shard_fraction: 0.3, ..LoadSpec::default() };
+                let range = |b: u64| b >> 26;
+                for tid in 0..threads {
+                    let home = thread_base(tid, spec.base_offset);
+                    let remote = remote_base(tid, &spec);
+                    // The remote range routes to a different shard …
+                    assert_ne!(
+                        range(home) % shards as u64,
+                        range(remote) % shards as u64,
+                        "threads={threads} shards={shards} tid={tid}"
+                    );
+                    // … and collides with no thread's home range.
+                    for other in 0..threads {
+                        assert_ne!(range(remote), range(thread_base(other, spec.base_offset)));
+                    }
+                }
+                // Distinct threads get distinct remote ranges.
+                let distinct: std::collections::HashSet<u64> =
+                    (0..threads).map(|t| range(remote_base(t, &spec))).collect();
+                assert_eq!(distinct.len(), threads);
+            }
+        }
+    }
 }

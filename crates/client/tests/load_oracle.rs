@@ -37,7 +37,7 @@ fn sixteen_threads_zero_divergence_and_batched_fsyncs() {
         updates_per_txn: 4,
         delegation_fraction: 0.3,
         seed: 7,
-        base_offset: 0,
+        ..LoadSpec::default()
     };
     let report = run_load(&addr, &spec).expect("load run");
 
@@ -80,7 +80,7 @@ fn lazy_rewrite_strategy_serves_the_same_contract() {
         updates_per_txn: 3,
         delegation_fraction: 0.5,
         seed: 11,
-        base_offset: 0,
+        ..LoadSpec::default()
     };
     let report = run_load(&addr, &spec).expect("load run");
     assert_eq!(report.divergences, 0, "oracle divergence: {report:?}");

@@ -1,0 +1,108 @@
+//! Acceptance test for the sharded serving stack: a concurrent mixed
+//! workload with cross-shard transactions (and cross-shard delegation
+//! chains) against a 4-shard file-backed server must finish with zero
+//! oracle divergences, commit cross-shard traffic through 2PC, and
+//! drain gracefully with every shard checkpointed.
+
+use rh_client::load::{run_load, LoadSpec};
+use rh_core::engine::{DbConfig, Strategy};
+use rh_core::sharded::{ShardMap, ShardedDb};
+use rh_server::{Server, ServerConfig};
+use rh_wal::StableLog;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+const SHARDS: usize = 4;
+
+fn scratch(tag: &str) -> PathBuf {
+    static N: AtomicU64 = AtomicU64::new(0);
+    let dir = std::env::temp_dir().join(format!(
+        "rh-shardload-{}-{}-{}",
+        std::process::id(),
+        tag,
+        N.fetch_add(1, Ordering::Relaxed)
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn sharded_server(strategy: Strategy, dir: &Path) -> Server {
+    let stables = (0..SHARDS)
+        .map(|k| StableLog::open_dir(dir.join(format!("shard-{k}"))).expect("open shard dir"))
+        .collect();
+    let db =
+        ShardedDb::with_stable_logs(strategy, DbConfig::default(), stables, ShardMap::RANGE_SHIFT)
+            .expect("sharded open");
+    Server::bind_sharded("127.0.0.1:0", db, ServerConfig::default()).expect("bind")
+}
+
+#[test]
+fn cross_shard_load_holds_the_oracle_and_commits_via_2pc() {
+    let dir = scratch("accept");
+    let server = sharded_server(Strategy::Rh, &dir);
+    let addr = server.local_addr().to_string();
+
+    let spec = LoadSpec {
+        threads: 8,
+        txns_per_thread: 20,
+        updates_per_txn: 4,
+        delegation_fraction: 0.3,
+        cross_shard_fraction: 0.5,
+        shards: SHARDS,
+        seed: 9,
+        base_offset: 0,
+    };
+    let report = run_load(&addr, &spec).expect("load run");
+
+    assert_eq!(report.divergences, 0, "oracle divergence: {report:?}");
+    assert_eq!(report.errors, 0, "no transaction may fail: {report:?}");
+    let expected = (spec.threads * spec.txns_per_thread) as u64;
+    assert_eq!(report.txns_committed, expected);
+    assert_eq!(report.server_commits_delta, expected);
+
+    let db = server.shutdown_sharded().expect("drain");
+    let stats = db.stats();
+    assert_eq!(stats.counter("server.commits"), expected);
+    // Half the transactions drew a remote-range write, so a healthy
+    // number of commits must have gone through the 2PC path. (The
+    // cross-shard counter also sees delegators that aborted after
+    // handing off, so it bounds the 2PC commits from above.)
+    let cross = stats.counter("shard.cross.txns");
+    let twopc = stats.counter("shard.twopc.commits");
+    assert!(twopc >= expected / 4, "only {twopc} 2PC commits out of {expected}");
+    assert!(twopc <= cross);
+    // One prepare per 2PC commit (the coordinator never prepares).
+    assert!(stats.counter("shard.twopc.prepares") >= twopc);
+    // Graceful drain checkpoints every shard, not just the primary.
+    for k in 0..SHARDS {
+        let log = db.shard_log(k).expect("shard log");
+        assert!(!log.stable().master().is_null(), "shard {k} must be checkpointed on drain");
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn lazy_rewrite_serves_the_same_sharded_contract() {
+    let dir = scratch("lazy");
+    let server = sharded_server(Strategy::LazyRewrite, &dir);
+    let addr = server.local_addr().to_string();
+
+    let spec = LoadSpec {
+        threads: 4,
+        txns_per_thread: 10,
+        updates_per_txn: 3,
+        delegation_fraction: 0.5,
+        cross_shard_fraction: 0.4,
+        shards: SHARDS,
+        seed: 13,
+        base_offset: 0,
+    };
+    let report = run_load(&addr, &spec).expect("load run");
+    assert_eq!(report.divergences, 0, "oracle divergence: {report:?}");
+    assert_eq!(report.errors, 0);
+    assert_eq!(report.txns_committed, (spec.threads * spec.txns_per_thread) as u64);
+
+    let db = server.shutdown_sharded().expect("drain");
+    assert!(db.stats().counter("shard.twopc.commits") >= 1);
+    let _ = std::fs::remove_dir_all(&dir);
+}

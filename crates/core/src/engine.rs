@@ -238,6 +238,19 @@ impl RhDb {
         &self.locks
     }
 
+    /// The provenance table handle (the sharded router's introspection
+    /// endpoint serves chains without holding the engine mutex).
+    pub(crate) fn prov_handle(&self) -> Arc<Mutex<ProvenanceTable>> {
+        Arc::clone(&self.prov)
+    }
+
+    /// The next transaction id this engine would hand out — the sharded
+    /// router seeds its global counter from the max across shards after
+    /// recovery.
+    pub(crate) fn next_txn_hint(&self) -> u64 {
+        self.next_txn
+    }
+
     /// Report of the recovery that produced this incarnation, if any.
     pub fn last_recovery(&self) -> Option<&RecoveryReport> {
         self.last_recovery.as_ref()
@@ -720,6 +733,97 @@ impl RhDb {
         }
         Ok(lsn)
     }
+
+    // ---- two-phase commit (sharded participant surface) ------------------
+    //
+    // A cross-shard transaction commits through `crate::sharded`: every
+    // participant shard except the coordinator prepares (Prepare record
+    // forced, status Prepared, locks kept), the coordinator shard forces a
+    // CoordCommit record (the commit point, which also commits it locally —
+    // the coordinator itself never prepares), then each prepared
+    // participant resolves (Commit + End records, lazily flushed — a crash
+    // in between leaves the transaction in doubt and recovery re-resolves
+    // it against the coordinator record).
+
+    /// Begins a transaction **with a caller-chosen id** — the sharded
+    /// router allocates one global id and begins it in every participant
+    /// shard, so delegation provenance stitches across shard logs by
+    /// plain id equality. Idempotent: a second `begin_as` for a live id
+    /// is a no-op. The engine's own id counter advances past `txn` so
+    /// local `begin` never collides.
+    pub fn begin_as(&mut self, txn: TxnId) -> Result<()> {
+        self.next_txn = self.next_txn.max(txn.raw() + 1);
+        if self.tr.contains(txn) {
+            return Ok(());
+        }
+        let lsn = self.log.append(txn, Lsn::NULL, RecordBody::Begin);
+        self.tr.insert(txn, lsn);
+        Ok(())
+    }
+
+    /// 2PC phase one on this participant: appends a `Prepare` record and
+    /// moves the transaction to [`TxnStatus::Prepared`]. Scopes and locks
+    /// are **kept** — the transaction can still be rolled back if the
+    /// coordinator decides abort. Durable (and binding) only once
+    /// `log().flush_to(lsn)` has returned.
+    pub fn prepare_commit(&mut self, txn: TxnId) -> Result<Lsn> {
+        self.tr.require_active(txn)?;
+        let lsn = self.log_for_txn(txn, RecordBody::Prepare)?;
+        self.tr.get_mut(txn)?.status = TxnStatus::Prepared;
+        Ok(lsn)
+    }
+
+    /// Appends the coordinator's commit record and finishes `txn` locally.
+    /// The record's durability is the global commit point; `participants`
+    /// names every *other* shard whose log holds a `Prepare` to resolve.
+    ///
+    /// The coordinator never prepares (the classic coordinator-as-
+    /// participant optimization): before this record is durable its
+    /// updates are an ordinary loser and presumed abort covers them;
+    /// once durable, the forward pass replays `CoordCommit` straight to
+    /// [`TxnStatus::Committed`]. Skipping the Prepare saves one forced
+    /// fsync per cross-shard transaction.
+    pub fn append_coord_commit(&mut self, txn: TxnId, participants: &[u32]) -> Result<Lsn> {
+        self.tr.require_active(txn)?;
+        let lsn =
+            self.log_for_txn(txn, RecordBody::CoordCommit { participants: participants.to_vec() })?;
+        self.tr.get_mut(txn)?.status = TxnStatus::Committed;
+        self.end_txn(txn)?;
+        if self.flight.as_ref().is_some_and(FlightRecorder::commit_due) {
+            self.record_blackbox("commit-cadence");
+        }
+        Ok(lsn)
+    }
+
+    /// 2PC phase two on this participant: finishes a prepared `txn` with
+    /// the coordinator's decision. `commit` writes the local Commit + End
+    /// records (lazily flushed — the coordinator record already made the
+    /// outcome durable); abort reverts the transaction to Active and runs
+    /// the ordinary rollback. Returns the terminating record's LSN.
+    pub fn resolve_prepared(&mut self, txn: TxnId, commit: bool) -> Result<Lsn> {
+        if self.tr.get(txn)?.status != TxnStatus::Prepared {
+            return Err(RhError::TxnNotActive(txn));
+        }
+        if commit {
+            let lsn = self.log_for_txn(txn, RecordBody::Commit)?;
+            self.tr.get_mut(txn)?.status = TxnStatus::Committed;
+            self.end_txn(txn)?;
+            if self.flight.as_ref().is_some_and(FlightRecorder::commit_due) {
+                self.record_blackbox("commit-cadence");
+            }
+            Ok(lsn)
+        } else {
+            self.tr.get_mut(txn)?.status = TxnStatus::Active;
+            self.abort(txn)?;
+            Ok(self.log.curr_lsn())
+        }
+    }
+
+    /// Transactions left in doubt (status [`TxnStatus::Prepared`]) — after
+    /// a recovery, exactly the ones the sharded resolver must decide.
+    pub fn in_doubt(&self) -> Vec<TxnId> {
+        self.tr.with_status(TxnStatus::Prepared)
+    }
 }
 
 impl TxnEngine for RhDb {
@@ -853,9 +957,13 @@ impl TxnEngine for RhDb {
             false,
             &obs,
         )?;
-        // Step 2-3: abort record, then flush through it.
-        let lsn = self.log_for_txn(txn, RecordBody::Abort)?;
-        self.log.flush_to(lsn)?;
+        // Step 2-3: abort record, *lazily* durable. Aborts are presumed:
+        // if a crash loses this record (and any tail of the CLRs), the
+        // forward pass simply sees the transaction as a loser and the
+        // undo pass re-undoes it — the same outcome this abort produced.
+        // Forcing here would also serialize every concurrent operation
+        // behind an fsync, since abort runs under the engine lock.
+        let _lsn = self.log_for_txn(txn, RecordBody::Abort)?;
         self.tr.get_mut(txn)?.status = TxnStatus::Aborted;
         self.end_txn(txn)
     }

@@ -61,6 +61,7 @@ pub mod oblist;
 pub mod provenance;
 pub mod recovery;
 pub mod scope;
+pub mod sharded;
 pub mod txn_table;
 
 pub use api::TxnEngine;
@@ -69,3 +70,4 @@ pub use flight::FlightRecorder;
 pub use history::{Event, Oracle};
 pub use provenance::{ProvHop, ProvenanceTable};
 pub use scope::Scope;
+pub use sharded::{ShardMap, ShardedDb, TwoPcFault};

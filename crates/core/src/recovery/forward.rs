@@ -45,6 +45,8 @@ pub struct ForwardStats {
     pub aborts_seen: u64,
     /// Delegate records seen.
     pub delegations_seen: u64,
+    /// 2PC `Prepare` records seen.
+    pub prepares_seen: u64,
 }
 
 /// Everything the forward pass reconstructs.
@@ -67,6 +69,10 @@ pub struct ForwardOutcome {
     /// analysis region replays — the same hops normal processing
     /// recorded before the crash.
     pub prov: ProvenanceTable,
+    /// Coordinator commit decisions found in this log: transaction →
+    /// participant shard indices. The sharded resolver unions these
+    /// across every shard's recovery to decide in-doubt transactions.
+    pub coord_commits: Vec<(TxnId, Vec<u32>)>,
     /// Counters.
     pub stats: ForwardStats,
 }
@@ -114,6 +120,7 @@ pub fn forward_pass(
     let mut compensated = HashSet::new();
     let mut lazy_scopes = HashMap::new();
     let mut prov = ProvenanceTable::new();
+    let mut coord_commits: Vec<(TxnId, Vec<u32>)> = Vec::new();
     let mut next_txn: u64 = 0;
     let mut stats = ForwardStats::default();
 
@@ -183,6 +190,7 @@ pub fn forward_pass(
                 &mut compensated,
                 &mut lazy_scopes,
                 &mut prov,
+                &mut coord_commits,
                 track_lazy,
                 &rec,
                 &mut stats,
@@ -196,7 +204,7 @@ pub fn forward_pass(
         lsn = lsn.next();
     }
 
-    Ok(ForwardOutcome { tr, compensated, next_txn, lazy_scopes, prov, stats })
+    Ok(ForwardOutcome { tr, compensated, next_txn, lazy_scopes, prov, coord_commits, stats })
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -207,6 +215,7 @@ fn analyze(
     compensated: &mut HashSet<Lsn>,
     lazy_scopes: &mut HashMap<(ObjectId, TxnId, Lsn), (Lsn, TxnId)>,
     prov: &mut ProvenanceTable,
+    coord_commits: &mut Vec<(TxnId, Vec<u32>)>,
     track_lazy: bool,
     rec: &LogRecord,
     stats: &mut ForwardStats,
@@ -298,6 +307,24 @@ fn analyze(
         }
         RecordBody::End => {
             tr.remove(rec.txn);
+        }
+        RecordBody::Prepare => {
+            stats.prepares_seen += 1;
+            ensure_txn(tr, rec.txn, lsn);
+            tr.set_bc(rec.txn, lsn)?;
+            // IN DOUBT: prepared, and no local commit/abort seen yet. A
+            // later Commit/Abort record overrides this, exactly as during
+            // normal 2PC processing.
+            tr.get_mut(rec.txn)?.status = TxnStatus::Prepared;
+        }
+        RecordBody::CoordCommit { participants } => {
+            ensure_txn(tr, rec.txn, lsn);
+            tr.set_bc(rec.txn, lsn)?;
+            coord_commits.push((rec.txn, participants.clone()));
+            // The coordinator record's durability IS the global commit:
+            // locally the transaction is a winner from here on, even if
+            // its (lazily flushed) participant Commit record was lost.
+            tr.get_mut(rec.txn)?.status = TxnStatus::Committed;
         }
         RecordBody::CheckpointBegin | RecordBody::CheckpointEnd { .. } => {
             // A checkpoint later than the master anchor (or an incomplete

@@ -35,6 +35,13 @@ pub struct RecoveryReport {
     pub undo: UndoStats,
     /// Transactions rolled back by this recovery.
     pub losers: Vec<TxnId>,
+    /// Transactions left **in doubt**: a 2PC `Prepare` record with no
+    /// local decision. They stay in the table (status `Prepared`) for the
+    /// sharded resolver; empty for unsharded databases.
+    pub indoubt: Vec<TxnId>,
+    /// Coordinator commit decisions found in this log, with their
+    /// participant shard lists.
+    pub coord_commits: Vec<(TxnId, Vec<u32>)>,
     /// Transactions whose commit records were seen (winners).
     pub winners_seen: u64,
     /// Wall clock for the whole recovery (attach through log force).
@@ -154,7 +161,14 @@ pub fn recover(
         tr.remove(t);
     }
     log.flush_all()?;
-    debug_assert!(tr.is_empty(), "recovery must drain the transaction table");
+    // Only in-doubt (2PC-prepared) transactions may survive recovery;
+    // the sharded resolver terminates them once every shard's decision
+    // records have been unioned.
+    let indoubt = tr.with_status(TxnStatus::Prepared);
+    debug_assert!(
+        tr.len() == indoubt.len(),
+        "recovery must drain all but the in-doubt transactions"
+    );
     drop(span);
 
     let elapsed = started.elapsed();
@@ -194,6 +208,8 @@ pub fn recover(
         forward: fwd.stats,
         undo,
         losers,
+        indoubt,
+        coord_commits: fwd.coord_commits,
         elapsed,
         forward_wall,
         undo_wall,

@@ -1,0 +1,820 @@
+//! Range-sharded engine with cross-shard two-phase commit.
+//!
+//! [`ShardedDb`] partitions the object space across N independent
+//! [`RhDb`] instances — each with its own WAL (segment directory when
+//! file-backed), lock manager, scope tables, buffer pool, and
+//! flight-recorder sidecar — and routes every operation by object id
+//! through a [`ShardMap`]. Transactions that touch a single shard commit
+//! on the existing fast path (one `commit_prepare` + one group-committed
+//! flush, untouched). Transactions that touch several shards — including
+//! cross-shard `delegate` / `delegate_all` / `permit` — commit through
+//! presumed-abort two-phase commit:
+//!
+//! 1. every participant shard *except the coordinator* forces a
+//!    `Prepare` record (phase one),
+//! 2. the **coordinator shard** (the lowest participant index) forces a
+//!    `CoordCommit` record carrying the prepared-participant list — this
+//!    flush is the commit point, and commits the coordinator locally:
+//!    the coordinator itself never prepares (before the decision record
+//!    its updates are an ordinary loser and presumed abort covers them),
+//!    which saves one forced fsync per cross-shard transaction,
+//! 3. each prepared participant lazily appends its `Commit`/`End`
+//!    records (durable by the next prefix flush; loss is harmless
+//!    because the coordinator record already decides the outcome).
+//!
+//! After a crash, each shard recovers independently (in parallel
+//! threads); transactions left `Prepared` are *in doubt* and are
+//! resolved against the union of `CoordCommit` decisions found in any
+//! shard's log: decided → commit, undecided → presumed abort.
+//!
+//! Transaction ids are allocated by the router, so one global id names
+//! the same transaction in every shard it touches (shards materialize it
+//! on first touch via [`RhDb::begin_as`]); provenance chains therefore
+//! stitch across shard boundaries by plain id equality, and an object's
+//! chain lives wholly in its owning shard.
+//!
+//! Lock order (enforced by the rh-analyze L2 manifest): `gtxns` <
+//! `fault` < `engine`; engine mutexes are only ever taken in ascending
+//! shard order, and no path acquires `gtxns` while holding an engine.
+
+use crate::api::TxnEngine;
+use crate::engine::{DbConfig, RhDb, Strategy};
+use crate::provenance::{ProvHop, ProvenanceTable};
+use crate::recovery::RecoveryReport;
+use parking_lot::Mutex;
+use rh_common::ops::Value;
+use rh_common::{Lsn, ObjectId, Result, RhError, TxnId};
+use rh_lock::LockManager;
+use rh_obs::{names, IntrospectionServer, JsonValue, Obs, RegistrySnapshot};
+use rh_storage::Disk;
+use rh_wal::{LogManager, StableLog};
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::Arc;
+
+/// Maps object ids to shard indices: `shard_of(ob) = (ob >> shift) % n`.
+///
+/// The production shift is [`ShardMap::RANGE_SHIFT`] (26), matching the
+/// load generator's per-thread range bases (`(tid+1) << 26`) so each
+/// thread's home range lands wholly in one shard and cross-shard traffic
+/// is an explicit workload choice. The model checker uses shift 0 so
+/// tiny object ids spread across shards.
+#[derive(Debug, Clone, Copy)]
+pub struct ShardMap {
+    shards: usize,
+    shift: u32,
+}
+
+impl ShardMap {
+    /// The production routing shift: object ids are partitioned in
+    /// 2^26-object ranges, the granularity of the load generator's
+    /// per-thread bases.
+    pub const RANGE_SHIFT: u32 = 26;
+
+    /// Builds a map over `shards` partitions (must be nonzero) routing
+    /// on bits at and above `shift`.
+    pub fn new(shards: usize, shift: u32) -> Self {
+        ShardMap { shards: shards.max(1), shift }
+    }
+
+    /// The number of shards.
+    pub fn shards(&self) -> usize {
+        self.shards
+    }
+
+    /// The routing shift.
+    pub fn shift(&self) -> u32 {
+        self.shift
+    }
+
+    /// The shard that owns `ob`. Always `< shards()`.
+    pub fn shard_of(&self, ob: ObjectId) -> usize {
+        ((ob.raw() >> self.shift) % self.shards as u64) as usize
+    }
+}
+
+/// A 2PC fault-injection point: the commit protocol stops with an error
+/// *after* completing the named step, leaving exactly the on-log state a
+/// crash at that instant would leave. Armed via
+/// [`ShardedDb::inject_fault`]; one-shot (disarms when it fires).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TwoPcFault {
+    /// Stop after participant `0..=i` (by position in the ascending
+    /// participant list) have forced their `Prepare` records — before
+    /// the coordinator decision exists. Recovery must presume abort.
+    AfterPrepare(usize),
+    /// Stop after the coordinator's `CoordCommit` record is durable but
+    /// before any participant wrote its `Commit`. Recovery must commit
+    /// every participant from the coordinator record.
+    AfterCoordCommit,
+    /// Stop after participant at position `i` has resolved (written its
+    /// lazy `Commit`) but later participants have not. Recovery must
+    /// commit the stragglers from the coordinator record.
+    AfterResolve(usize),
+}
+
+/// One shard: the engine behind its mutex, plus the handles the router
+/// needs without that mutex (stats, introspection, provenance).
+struct ShardCell {
+    engine: Mutex<RhDb>,
+    log: Arc<LogManager>,
+    disk: Arc<Disk>,
+    locks: Arc<LockManager>,
+    obs: Arc<Obs>,
+    prov: Arc<Mutex<ProvenanceTable>>,
+}
+
+impl ShardCell {
+    fn new(db: RhDb) -> Self {
+        ShardCell {
+            log: Arc::clone(db.log()),
+            disk: Arc::clone(db.disk()),
+            locks: Arc::clone(db.locks()),
+            obs: Arc::clone(db.obs()),
+            prov: db.prov_handle(),
+            engine: Mutex::new(db),
+        }
+    }
+}
+
+/// Router-side state of one global transaction.
+#[derive(Default)]
+struct GtxnEntry {
+    /// Shards this transaction has touched, ascending.
+    participants: BTreeSet<usize>,
+    /// Savepoint token → one mark per shard (participant marks come from
+    /// the shard engine, the rest are that shard's `curr_lsn` at capture
+    /// time, so shards joined *after* the savepoint roll back fully).
+    savepoints: BTreeMap<u64, Vec<Lsn>>,
+}
+
+/// The router's global transaction table.
+struct GtxnState {
+    next_txn: u64,
+    next_token: u64,
+    entries: BTreeMap<TxnId, GtxnEntry>,
+}
+
+/// A range-sharded database: N [`RhDb`] shards behind one [`TxnEngine`]
+/// surface, with cross-shard transactions committed by two-phase commit.
+/// All operational methods take `&self` — the router is shared across
+/// server worker threads via `Arc`, and per-shard engine mutexes plus
+/// the `gtxns` table provide the synchronization.
+pub struct ShardedDb {
+    strategy: Strategy,
+    config: DbConfig,
+    map: ShardMap,
+    shards: Vec<ShardCell>,
+    gtxns: Mutex<GtxnState>,
+    /// Router-level metrics (`shard.*`, and `server.*` when embedded in
+    /// the network front-end). Per-shard series stay in the shard
+    /// registries and are merge-summed by [`ShardedDb::stats`].
+    obs: Arc<Obs>,
+    fault: Mutex<Option<TwoPcFault>>,
+    server: Mutex<Option<IntrospectionServer>>,
+}
+
+impl ShardedDb {
+    /// Creates a fresh all-volatile sharded database (each shard's log is
+    /// memory-backed) — the model checker's and unit tests' constructor.
+    pub fn new_mem(strategy: Strategy, shards: usize, shift: u32) -> Self {
+        let config = DbConfig::default();
+        let engines = (0..shards.max(1)).map(|_| RhDb::with_config(strategy, config)).collect();
+        Self::from_engines(strategy, config, shift, engines, Arc::new(Obs::new()), 0)
+    }
+
+    /// Creates a fresh sharded database over the given stable log
+    /// backends, one per shard (typically file-backed segment
+    /// directories `shard-0/ .. shard-N-1/`). Each file-backed shard gets
+    /// its own flight-recorder sidecar, exactly as
+    /// [`RhDb::with_stable_log`] provides.
+    pub fn with_stable_logs(
+        strategy: Strategy,
+        config: DbConfig,
+        stables: Vec<Arc<StableLog>>,
+        shift: u32,
+    ) -> Result<Self> {
+        if stables.is_empty() {
+            return Err(RhError::Protocol("sharded database needs at least one shard"));
+        }
+        let engines =
+            stables.into_iter().map(|s| RhDb::with_stable_log(strategy, config, s)).collect();
+        Ok(Self::from_engines(strategy, config, shift, engines, Arc::new(Obs::new()), 0))
+    }
+
+    /// Recovers a sharded database from per-shard stable state. Shards
+    /// recover **in parallel** (one thread each, forward + backward
+    /// passes per shard); then in-doubt transactions are resolved
+    /// against the union of coordinator decisions: a `Prepared`
+    /// transaction commits iff *any* shard's log holds its
+    /// `CoordCommit` record, and is presumed aborted otherwise. The
+    /// resolution counters `shard.indoubt.resolved` /
+    /// `shard.indoubt.committed` are always present afterwards (possibly
+    /// zero), so crash-cycle CI can assert on them.
+    pub fn recover(
+        strategy: Strategy,
+        config: DbConfig,
+        parts: Vec<(Arc<StableLog>, Arc<Disk>)>,
+        shift: u32,
+    ) -> Result<Self> {
+        if parts.is_empty() {
+            return Err(RhError::Protocol("sharded recovery needs at least one shard"));
+        }
+        let results: Vec<Result<RhDb>> = std::thread::scope(|s| {
+            let handles: Vec<_> = parts
+                .into_iter()
+                .map(|(stable, disk)| {
+                    s.spawn(move || RhDb::recover(strategy, config, stable, disk))
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| {
+                    h.join().unwrap_or(Err(RhError::Protocol("shard recovery thread panicked")))
+                })
+                .collect()
+        });
+        let mut engines = Vec::with_capacity(results.len());
+        for r in results {
+            engines.push(r?);
+        }
+
+        // Union of coordinator decisions across every shard's log.
+        let mut decided: BTreeSet<TxnId> = BTreeSet::new();
+        for eng in &engines {
+            if let Some(report) = eng.last_recovery() {
+                for (txn, _participants) in &report.coord_commits {
+                    decided.insert(*txn);
+                }
+            }
+        }
+
+        // Resolve the in-doubt transactions shard by shard, then force
+        // each shard's log so the resolution records are durable before
+        // the database accepts new work.
+        let obs = Arc::new(Obs::new());
+        let mut resolved = 0u64;
+        let mut committed = 0u64;
+        for eng in &mut engines {
+            for txn in eng.in_doubt() {
+                let commit = decided.contains(&txn);
+                eng.resolve_prepared(txn, commit)?;
+                resolved += 1;
+                committed += u64::from(commit);
+            }
+            eng.log().flush_all()?;
+        }
+        obs.registry.add(names::M_SHARD_INDOUBT_RESOLVED, resolved);
+        obs.registry.add(names::M_SHARD_INDOUBT_COMMITTED, committed);
+
+        let next_txn = engines.iter().map(RhDb::next_txn_hint).max().unwrap_or(0);
+        Ok(Self::from_engines(strategy, config, shift, engines, obs, next_txn))
+    }
+
+    fn from_engines(
+        strategy: Strategy,
+        config: DbConfig,
+        shift: u32,
+        engines: Vec<RhDb>,
+        obs: Arc<Obs>,
+        next_txn: u64,
+    ) -> Self {
+        let map = ShardMap::new(engines.len(), shift);
+        ShardedDb {
+            strategy,
+            config,
+            map,
+            shards: engines.into_iter().map(ShardCell::new).collect(),
+            gtxns: Mutex::new(GtxnState { next_txn, next_token: 1, entries: BTreeMap::new() }),
+            obs,
+            fault: Mutex::new(None),
+            server: Mutex::new(None),
+        }
+    }
+
+    // ---- accessors ----------------------------------------------------
+
+    /// The active strategy.
+    pub fn strategy(&self) -> Strategy {
+        self.strategy
+    }
+
+    /// The object→shard map.
+    pub fn map(&self) -> ShardMap {
+        self.map
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.map.shards()
+    }
+
+    /// The shard that owns `ob`.
+    pub fn shard_of(&self, ob: ObjectId) -> usize {
+        self.map.shard_of(ob)
+    }
+
+    /// The router's observability hub (`shard.*` counters; the network
+    /// front-end adds its `server.*` series here).
+    pub fn obs(&self) -> &Arc<Obs> {
+        &self.obs
+    }
+
+    /// Shard `shard`'s log manager (tests inspect per-shard logs).
+    pub fn shard_log(&self, shard: usize) -> Option<&Arc<LogManager>> {
+        self.shards.get(shard).map(|c| &c.log)
+    }
+
+    /// Shard 0's log manager — for callers that need *a* representative
+    /// log handle (the network front-end's `stable()` accessor). Shards
+    /// are never empty, so the index always resolves.
+    pub fn primary_log(&self) -> &Arc<LogManager> {
+        &self.shards[0].log
+    }
+
+    /// Shard 0's disk handle (see [`ShardedDb::primary_log`]).
+    pub fn primary_disk(&self) -> &Arc<Disk> {
+        &self.shards[0].disk
+    }
+
+    /// The recovery report of shard `shard`'s current incarnation, if it
+    /// was produced by [`ShardedDb::recover`].
+    pub fn shard_recovery(&self, shard: usize) -> Option<RecoveryReport> {
+        let cell = self.shards.get(shard)?;
+        let engine = cell.engine.lock();
+        engine.last_recovery().cloned()
+    }
+
+    /// Transactions currently in doubt (2PC-prepared), as
+    /// `(shard, txn)` pairs. Nonempty only between a 2PC fault and the
+    /// recovery that resolves it.
+    pub fn in_doubt(&self) -> Vec<(usize, TxnId)> {
+        let mut out = Vec::new();
+        for (shard, cell) in self.shards.iter().enumerate() {
+            let engine = cell.engine.lock();
+            for txn in engine.in_doubt() {
+                out.push((shard, txn));
+            }
+        }
+        out
+    }
+
+    /// Arms a one-shot 2PC fault (tests and the model checker use this
+    /// to stop the commit protocol between its durability points).
+    pub fn inject_fault(&self, point: TwoPcFault) {
+        *self.fault.lock() = Some(point);
+    }
+
+    fn fault_point(&self, at: TwoPcFault) -> Result<()> {
+        let mut fault = self.fault.lock();
+        if *fault == Some(at) {
+            *fault = None;
+            return Err(RhError::Protocol("injected 2PC fault"));
+        }
+        Ok(())
+    }
+
+    // ---- transaction lifecycle ----------------------------------------
+
+    /// Starts a new global transaction. No shard writes a record until
+    /// the transaction first touches it.
+    pub fn begin(&self) -> Result<TxnId> {
+        let mut gtxns = self.gtxns.lock();
+        let txn = TxnId(gtxns.next_txn);
+        gtxns.next_txn += 1;
+        gtxns.entries.insert(txn, GtxnEntry::default());
+        Ok(txn)
+    }
+
+    /// Registers `txn` as touching `shard` in the router table.
+    fn join(&self, txn: TxnId, shard: usize) -> Result<()> {
+        let mut gtxns = self.gtxns.lock();
+        let entry = gtxns.entries.get_mut(&txn).ok_or(RhError::UnknownTxn(txn))?;
+        if entry.participants.insert(shard) && entry.participants.len() == 2 {
+            self.obs.registry.inc(names::M_SHARD_CROSS_TXNS);
+        }
+        Ok(())
+    }
+
+    /// Runs `f` on `shard`'s engine with every transaction in `txns`
+    /// joined and materialized there first.
+    fn on_shard<R>(
+        &self,
+        shard: usize,
+        txns: &[TxnId],
+        f: impl FnOnce(&mut RhDb) -> Result<R>,
+    ) -> Result<R> {
+        for &t in txns {
+            self.join(t, shard)?;
+        }
+        let Some(cell) = self.shards.get(shard) else {
+            return Err(RhError::Protocol("shard index out of range"));
+        };
+        let mut engine = cell.engine.lock();
+        for &t in txns {
+            engine.begin_as(t)?;
+        }
+        f(&mut engine)
+    }
+
+    /// Removes `txn` from the router table, returning its participant
+    /// shards ascending. Late arrivals (a concurrent delegate into a
+    /// committing transaction) observe `UnknownTxn` from here on.
+    fn take_entry(&self, txn: TxnId) -> Result<Vec<usize>> {
+        let mut gtxns = self.gtxns.lock();
+        let entry = gtxns.entries.remove(&txn).ok_or(RhError::UnknownTxn(txn))?;
+        Ok(entry.participants.into_iter().collect())
+    }
+
+    /// Commits `txn`: single-shard transactions take the existing
+    /// group-committed fast path; cross-shard transactions run the 2PC
+    /// protocol described at module level. Durable on return.
+    pub fn commit(&self, txn: TxnId) -> Result<()> {
+        let parts = self.take_entry(txn)?;
+        match parts.as_slice() {
+            [] => Ok(()),
+            [shard] => {
+                let shard = *shard;
+                let lsn = {
+                    let Some(cell) = self.shards.get(shard) else {
+                        return Err(RhError::Protocol("shard index out of range"));
+                    };
+                    let mut engine = cell.engine.lock();
+                    engine.commit_prepare(txn)?
+                };
+                self.shards[shard].log.flush_to(lsn)
+            }
+            _ => self.commit_2pc(txn, &parts),
+        }
+    }
+
+    fn commit_2pc(&self, txn: TxnId, parts: &[usize]) -> Result<()> {
+        // The coordinator (lowest participant) never prepares — until its
+        // CoordCommit record is durable its updates are an ordinary loser,
+        // so presumed abort already covers them. One forced fsync saved
+        // per cross-shard transaction.
+        let Some((&coord, rest)) = parts.split_first() else {
+            return Err(RhError::Protocol("2PC with no participants"));
+        };
+        // Phase one: every non-coordinator participant forces a Prepare.
+        for (i, &shard) in rest.iter().enumerate() {
+            let lsn = {
+                let mut engine = self.shards[shard].engine.lock();
+                engine.prepare_commit(txn)?
+            };
+            self.shards[shard].log.flush_to(lsn)?;
+            self.obs.registry.inc(names::M_SHARD_2PC_PREPARES);
+            self.fault_point(TwoPcFault::AfterPrepare(i))?;
+        }
+        // Commit point: the coordinator forces the decision record naming
+        // every prepared participant, committing locally as it does.
+        let participants: Vec<u32> = rest.iter().map(|&s| s as u32).collect();
+        let lsn = {
+            let mut engine = self.shards[coord].engine.lock();
+            engine.append_coord_commit(txn, &participants)?
+        };
+        self.shards[coord].log.flush_to(lsn)?;
+        self.obs.registry.inc(names::M_SHARD_2PC_COMMITS);
+        self.fault_point(TwoPcFault::AfterCoordCommit)?;
+        // Phase two: lazy participant commits — the decision is already
+        // durable, so these records need no force of their own.
+        for (i, &shard) in rest.iter().enumerate() {
+            {
+                let mut engine = self.shards[shard].engine.lock();
+                engine.resolve_prepared(txn, true)?;
+            }
+            self.fault_point(TwoPcFault::AfterResolve(i))?;
+        }
+        Ok(())
+    }
+
+    /// Aborts `txn` in every shard it touched.
+    pub fn abort(&self, txn: TxnId) -> Result<()> {
+        let parts = self.take_entry(txn)?;
+        for shard in parts {
+            let Some(cell) = self.shards.get(shard) else {
+                return Err(RhError::Protocol("shard index out of range"));
+            };
+            let mut engine = cell.engine.lock();
+            engine.abort(txn)?;
+        }
+        Ok(())
+    }
+
+    // ---- routed operations --------------------------------------------
+
+    /// Reads `ob` under a shared lock in its owning shard.
+    pub fn read(&self, txn: TxnId, ob: ObjectId) -> Result<Value> {
+        self.on_shard(self.map.shard_of(ob), &[txn], |eng| eng.read(txn, ob))
+    }
+
+    /// Overwrites `ob` in its owning shard.
+    pub fn write(&self, txn: TxnId, ob: ObjectId, value: Value) -> Result<()> {
+        self.on_shard(self.map.shard_of(ob), &[txn], |eng| eng.write(txn, ob, value))
+    }
+
+    /// Adds to `ob` in its owning shard.
+    pub fn add(&self, txn: TxnId, ob: ObjectId, delta: Value) -> Result<()> {
+        self.on_shard(self.map.shard_of(ob), &[txn], |eng| eng.add(txn, ob, delta))
+    }
+
+    /// ASSET `permit`, routed to the object's shard (both transactions
+    /// join that shard, so a later commit of either covers it).
+    pub fn permit(&self, granter: TxnId, permittee: TxnId, ob: ObjectId) -> Result<()> {
+        self.on_shard(self.map.shard_of(ob), &[granter, permittee], |eng| {
+            eng.permit(granter, permittee, ob)
+        })
+    }
+
+    /// Cross-shard `delegate`: the objects are grouped by owning shard
+    /// and delegated shard-locally (responsibility for an object never
+    /// leaves its shard — what crosses the boundary is the *transaction*,
+    /// which 2PC then commits atomically). Well-formedness is validated
+    /// against every shard before the first shard mutates, so a
+    /// `NotResponsible` error leaves no partial transfer.
+    pub fn delegate(&self, tor: TxnId, tee: TxnId, objects: &[ObjectId]) -> Result<()> {
+        if tor == tee {
+            return Err(RhError::SelfDelegation(tor));
+        }
+        let mut by_shard: BTreeMap<usize, Vec<ObjectId>> = BTreeMap::new();
+        for &ob in objects {
+            by_shard.entry(self.map.shard_of(ob)).or_default().push(ob);
+        }
+        for (&shard, obs) in &by_shard {
+            self.join(tor, shard)?;
+            let Some(cell) = self.shards.get(shard) else {
+                return Err(RhError::Protocol("shard index out of range"));
+            };
+            let mut engine = cell.engine.lock();
+            engine.begin_as(tor)?;
+            for &ob in obs {
+                if engine.scopes_of(tor, ob).is_empty() {
+                    return Err(RhError::NotResponsible { txn: tor, object: ob });
+                }
+            }
+        }
+        for (&shard, obs) in &by_shard {
+            self.on_shard(shard, &[tor, tee], |eng| eng.delegate(tor, tee, obs))?;
+        }
+        Ok(())
+    }
+
+    /// Cross-shard `delegate_all`: delegates everything `tor` holds in
+    /// every shard it touched to `tee` (joining `tee` to each).
+    pub fn delegate_all(&self, tor: TxnId, tee: TxnId) -> Result<()> {
+        if tor == tee {
+            return Err(RhError::SelfDelegation(tor));
+        }
+        let parts: Vec<usize> = {
+            let gtxns = self.gtxns.lock();
+            gtxns
+                .entries
+                .get(&tor)
+                .ok_or(RhError::UnknownTxn(tor))?
+                .participants
+                .iter()
+                .copied()
+                .collect()
+        };
+        for shard in parts {
+            self.on_shard(shard, &[tor, tee], |eng| eng.delegate_all(tor, tee))?;
+        }
+        Ok(())
+    }
+
+    /// Declares a savepoint across every shard: participant shards mark
+    /// through their engine, the rest record their current log position
+    /// (so work in shards joined later is fully covered).
+    pub fn savepoint(&self, txn: TxnId) -> Result<u64> {
+        let mut gtxns = self.gtxns.lock();
+        let token = gtxns.next_token;
+        gtxns.next_token += 1;
+        let entry = gtxns.entries.get_mut(&txn).ok_or(RhError::UnknownTxn(txn))?;
+        let mut marks = Vec::with_capacity(self.shards.len());
+        for (shard, cell) in self.shards.iter().enumerate() {
+            if entry.participants.contains(&shard) {
+                let mut engine = cell.engine.lock();
+                marks.push(engine.savepoint(txn)?);
+            } else {
+                marks.push(cell.log.curr_lsn());
+            }
+        }
+        entry.savepoints.insert(token, marks);
+        Ok(token)
+    }
+
+    /// Partially rolls `txn` back to a token from
+    /// [`ShardedDb::savepoint`], in every shard it currently touches.
+    pub fn rollback_to(&self, txn: TxnId, token: u64) -> Result<()> {
+        let (marks, parts) = {
+            let mut gtxns = self.gtxns.lock();
+            let entry = gtxns.entries.get_mut(&txn).ok_or(RhError::UnknownTxn(txn))?;
+            let marks = entry
+                .savepoints
+                .get(&token)
+                .cloned()
+                .ok_or(RhError::Protocol("unknown savepoint token"))?;
+            let parts: Vec<usize> = entry.participants.iter().copied().collect();
+            (marks, parts)
+        };
+        for shard in parts {
+            let Some(&mark) = marks.get(shard) else {
+                return Err(RhError::Protocol("savepoint mark missing for shard"));
+            };
+            let Some(cell) = self.shards.get(shard) else {
+                return Err(RhError::Protocol("shard index out of range"));
+            };
+            let mut engine = cell.engine.lock();
+            engine.rollback_to(txn, mark)?;
+        }
+        Ok(())
+    }
+
+    /// Non-transactional peek at `ob`'s current value in its shard.
+    pub fn value_of(&self, ob: ObjectId) -> Result<Value> {
+        let Some(cell) = self.shards.get(self.map.shard_of(ob)) else {
+            return Err(RhError::Protocol("shard index out of range"));
+        };
+        let mut engine = cell.engine.lock();
+        engine.value_of(ob)
+    }
+
+    /// Takes a checkpoint in every shard.
+    pub fn checkpoint_all(&self) -> Result<()> {
+        for cell in &self.shards {
+            let mut engine = cell.engine.lock();
+            engine.checkpoint()?;
+        }
+        Ok(())
+    }
+
+    /// Open transactions in the router table (the front-end's drain
+    /// aborts these on shutdown).
+    pub fn active_txns(&self) -> Vec<TxnId> {
+        let gtxns = self.gtxns.lock();
+        gtxns.entries.keys().copied().collect()
+    }
+
+    // ---- observability ------------------------------------------------
+
+    /// Unified metrics: each shard's absorbed snapshot (log/disk/lock
+    /// series included) merge-summed together, plus the router's own
+    /// `shard.*` / `server.*` series. Histograms merge bucket-wise.
+    /// Takes no engine mutex — safe to call from the introspection
+    /// thread while commits are in flight.
+    pub fn stats(&self) -> RegistrySnapshot {
+        let mut merged = self.obs.registry.snapshot();
+        for cell in &self.shards {
+            cell.log.metrics().snapshot().export_into(&cell.obs.registry);
+            cell.disk.metrics().snapshot().export_into(&cell.obs.registry);
+            cell.locks.stats().snapshot().export_into(&cell.obs.registry);
+            merged.merge_sum(&cell.obs.registry.snapshot());
+        }
+        merged
+    }
+
+    /// The delegation provenance chain of `ob`, from its owning shard.
+    /// Chains survive crashes per shard, and because transaction ids are
+    /// global, a chain's hops read identically whether the delegations
+    /// were shard-local or part of cross-shard transactions.
+    pub fn provenance(&self, ob: ObjectId) -> Vec<ProvHop> {
+        match self.shards.get(self.map.shard_of(ob)) {
+            Some(cell) => cell.prov.lock().chain(ob).to_vec(),
+            None => Vec::new(),
+        }
+    }
+
+    /// Every shard's provenance table as a JSON array indexed by shard.
+    pub fn provenance_json(&self) -> JsonValue {
+        JsonValue::Arr(self.shards.iter().map(|c| c.prov.lock().to_json()).collect())
+    }
+
+    /// Starts the live introspection endpoint on `addr` (use port 0 for
+    /// ephemeral). Routes: `/stats` (merged registry), `/trace` (per-
+    /// shard trace snapshots, array indexed by shard), `/provenance`,
+    /// `/provenance/<ob>` (routed to the owning shard). Holds no engine
+    /// mutex on any route.
+    pub fn serve_introspection(&self, addr: &str) -> std::io::Result<std::net::SocketAddr> {
+        let router_obs = Arc::clone(&self.obs);
+        let map = self.map;
+        let cells: Vec<_> = self
+            .shards
+            .iter()
+            .map(|c| {
+                (
+                    Arc::clone(&c.log),
+                    Arc::clone(&c.disk),
+                    Arc::clone(&c.locks),
+                    Arc::clone(&c.obs),
+                    Arc::clone(&c.prov),
+                )
+            })
+            .collect();
+        let handler: rh_obs::Handler = Arc::new(move |path: &str| match path {
+            "/stats" => {
+                let mut merged = router_obs.registry.snapshot();
+                for (log, disk, locks, obs, _prov) in &cells {
+                    log.metrics().snapshot().export_into(&obs.registry);
+                    disk.metrics().snapshot().export_into(&obs.registry);
+                    locks.stats().snapshot().export_into(&obs.registry);
+                    merged.merge_sum(&obs.registry.snapshot());
+                }
+                Some(merged.to_json())
+            }
+            "/trace" => Some(JsonValue::Arr(
+                cells.iter().map(|(_, _, _, obs, _)| obs.tracer.snapshot().to_json()).collect(),
+            )),
+            "/provenance" => {
+                let tables: Vec<JsonValue> =
+                    cells.iter().map(|(_, _, _, _, prov)| prov.lock().to_json()).collect();
+                Some(JsonValue::Arr(tables))
+            }
+            p => {
+                let ob: u64 = p.strip_prefix("/provenance/")?.parse().ok()?;
+                let (_, _, _, _, prov) = cells.get(map.shard_of(ObjectId(ob)))?;
+                let chain = prov.lock();
+                Some(JsonValue::Arr(
+                    chain.chain(ObjectId(ob)).iter().map(ProvHop::to_json).collect(),
+                ))
+            }
+        });
+        let server = IntrospectionServer::bind(addr, handler)?;
+        let bound = server.local_addr();
+        *self.server.lock() = Some(server);
+        Ok(bound)
+    }
+
+    /// Stops the introspection endpoint, if running.
+    pub fn stop_introspection(&self) {
+        *self.server.lock() = None;
+    }
+
+    // ---- crash ---------------------------------------------------------
+
+    /// Simulates a whole-system crash: every shard's volatile state is
+    /// dropped; the per-shard stable state survives, in shard order,
+    /// ready for [`ShardedDb::recover`].
+    pub fn crash(self) -> Vec<(Arc<StableLog>, Arc<Disk>)> {
+        self.stop_introspection();
+        self.shards.into_iter().map(|cell| cell.engine.into_inner().crash()).collect()
+    }
+}
+
+impl TxnEngine for ShardedDb {
+    fn begin(&mut self) -> Result<TxnId> {
+        ShardedDb::begin(self)
+    }
+
+    fn read(&mut self, txn: TxnId, ob: ObjectId) -> Result<Value> {
+        ShardedDb::read(self, txn, ob)
+    }
+
+    fn write(&mut self, txn: TxnId, ob: ObjectId, value: Value) -> Result<()> {
+        ShardedDb::write(self, txn, ob, value)
+    }
+
+    fn add(&mut self, txn: TxnId, ob: ObjectId, delta: Value) -> Result<()> {
+        ShardedDb::add(self, txn, ob, delta)
+    }
+
+    fn delegate(&mut self, tor: TxnId, tee: TxnId, obs: &[ObjectId]) -> Result<()> {
+        ShardedDb::delegate(self, tor, tee, obs)
+    }
+
+    fn delegate_all(&mut self, tor: TxnId, tee: TxnId) -> Result<()> {
+        ShardedDb::delegate_all(self, tor, tee)
+    }
+
+    fn commit(&mut self, txn: TxnId) -> Result<()> {
+        ShardedDb::commit(self, txn)
+    }
+
+    fn abort(&mut self, txn: TxnId) -> Result<()> {
+        ShardedDb::abort(self, txn)
+    }
+
+    fn savepoint(&mut self, txn: TxnId) -> Result<u64> {
+        ShardedDb::savepoint(self, txn)
+    }
+
+    fn rollback_to(&mut self, txn: TxnId, token: u64) -> Result<()> {
+        ShardedDb::rollback_to(self, txn, token)
+    }
+
+    fn permit(&mut self, granter: TxnId, permittee: TxnId, ob: ObjectId) -> Result<()> {
+        ShardedDb::permit(self, granter, permittee, ob)
+    }
+
+    fn checkpoint(&mut self) -> Result<()> {
+        self.checkpoint_all()
+    }
+
+    fn crash_and_recover(self) -> Result<Self> {
+        let (strategy, config, shift) = (self.strategy, self.config, self.map.shift());
+        let parts = self.crash();
+        ShardedDb::recover(strategy, config, parts, shift)
+    }
+
+    fn value_of(&mut self, ob: ObjectId) -> Result<Value> {
+        ShardedDb::value_of(self, ob)
+    }
+}

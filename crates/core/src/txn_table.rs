@@ -22,6 +22,12 @@ pub enum TxnStatus {
     /// An abort record exists — a loser whose rollback already completed
     /// (its updates were compensated before the abort record was written).
     Aborted,
+    /// A two-phase-commit `Prepare` record exists but no local commit or
+    /// abort: the transaction is **in doubt**. Recovery must neither undo
+    /// nor terminate it; the sharded coordinator resolves it against the
+    /// `CoordCommit` record (commit if one is durable anywhere, presumed
+    /// abort otherwise).
+    Prepared,
 }
 
 /// One `Tr_List` entry.
@@ -121,11 +127,13 @@ impl TrList {
     /// The **losers** after a forward pass: every table resident that is
     /// not committed ("Losers includes transactions that had aborted
     /// before the crash", §4.1 — though fully-ended ones have left the
-    /// table and have nothing to undo).
+    /// table and have nothing to undo). Prepared (in-doubt) transactions
+    /// are excluded: their fate belongs to the 2PC coordinator, so
+    /// recovery must not roll them back unilaterally.
     pub fn losers(&self) -> Vec<TxnId> {
         self.entries
             .iter()
-            .filter(|(_, e)| e.status != TxnStatus::Committed)
+            .filter(|(_, e)| e.status != TxnStatus::Committed && e.status != TxnStatus::Prepared)
             .map(|(&t, _)| t)
             .collect()
     }
@@ -147,6 +155,7 @@ impl Codec for TxnStatus {
             TxnStatus::Active => 0,
             TxnStatus::Committed => 1,
             TxnStatus::Aborted => 2,
+            TxnStatus::Prepared => 3,
         });
     }
     fn decode(r: &mut Reader<'_>) -> Result<Self> {
@@ -154,6 +163,7 @@ impl Codec for TxnStatus {
             0 => TxnStatus::Active,
             1 => TxnStatus::Committed,
             2 => TxnStatus::Aborted,
+            3 => TxnStatus::Prepared,
             _ => return Err(RhError::Codec("invalid TxnStatus tag")),
         })
     }
@@ -228,6 +238,20 @@ mod tests {
         t.get_mut(TxnId(3)).unwrap().status = TxnStatus::Aborted;
         assert_eq!(t.losers(), vec![TxnId(1), TxnId(3)]);
         assert_eq!(t.with_status(TxnStatus::Committed), vec![TxnId(2)]);
+    }
+
+    #[test]
+    fn prepared_is_neither_loser_nor_winner() {
+        let mut t = TrList::new();
+        t.insert(TxnId(1), Lsn(0));
+        t.insert(TxnId(2), Lsn(1));
+        t.get_mut(TxnId(2)).unwrap().status = TxnStatus::Prepared;
+        assert_eq!(t.losers(), vec![TxnId(1)]);
+        assert_eq!(t.with_status(TxnStatus::Prepared), vec![TxnId(2)]);
+        // In-doubt transactions refuse further normal-processing work.
+        assert_eq!(t.require_active(TxnId(2)), Err(RhError::TxnNotActive(TxnId(2))));
+        // And the status survives the checkpoint codec.
+        assert_eq!(TrList::from_bytes(&t.to_bytes()).unwrap(), t);
     }
 
     #[test]

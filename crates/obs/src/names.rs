@@ -183,6 +183,24 @@ pub const M_CLIENT_COMMIT_US: &str = "client.commit_us";
 /// microseconds.
 pub const M_CLIENT_OP_US: &str = "client.op_us";
 
+// ---- sharded engine (rh-core::sharded) --------------------------------
+// Maintained by the cross-shard router registry; per-shard engine series
+// keep their usual names and are merge-summed into the unified view.
+
+/// Cross-shard transactions committed through two-phase commit.
+pub const M_SHARD_2PC_COMMITS: &str = "shard.twopc.commits";
+/// Participant `Prepare` records forced (phase one votes).
+pub const M_SHARD_2PC_PREPARES: &str = "shard.twopc.prepares";
+/// Transactions that touched more than one shard (committed or not).
+pub const M_SHARD_CROSS_TXNS: &str = "shard.cross.txns";
+/// In-doubt transactions resolved by sharded recovery (committed or
+/// presumed-aborted against the unioned coordinator records). Always
+/// present (possibly zero) after a sharded recovery, so crash-cycle CI
+/// can assert on it.
+pub const M_SHARD_INDOUBT_RESOLVED: &str = "shard.indoubt.resolved";
+/// Of the resolved in-doubt transactions, how many committed.
+pub const M_SHARD_INDOUBT_COMMITTED: &str = "shard.indoubt.committed";
+
 /// ETM dependency edges accepted.
 pub const M_ETM_EDGES_FORMED: &str = "etm.edges_formed";
 /// ETM dependency requests rejected as cycles.

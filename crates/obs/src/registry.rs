@@ -274,6 +274,26 @@ impl RegistrySnapshot {
         }
     }
 
+    /// Element-wise sum with another snapshot: counters add, histogram
+    /// counts/sums/buckets add, maxima take the max. This is how the
+    /// sharded engine unifies N per-shard registries (each shard's
+    /// `log.*`/`disk.*`/`lock.*`/`scope.*` series are independent
+    /// absolute values, so their sum is the whole-database view).
+    pub fn merge_sum(&mut self, other: &RegistrySnapshot) {
+        for (k, &v) in &other.counters {
+            *self.counters.entry(k.clone()).or_insert(0) += v;
+        }
+        for (k, o) in &other.histograms {
+            let h = self.histograms.entry(k.clone()).or_default();
+            h.count += o.count;
+            h.sum += o.sum;
+            h.max = h.max.max(o.max);
+            for (b, ob) in h.buckets.iter_mut().zip(o.buckets.iter()) {
+                *b += ob;
+            }
+        }
+    }
+
     /// Renders `{counters: {...}, histograms: {...}}` with names sorted.
     pub fn to_json(&self) -> JsonValue {
         JsonValue::Obj(vec![
@@ -378,6 +398,26 @@ mod tests {
         let s = HistogramSnapshot::default();
         assert_eq!(s.quantile_bound(0.5), 0);
         assert_eq!(s.mean(), 0.0);
+    }
+
+    #[test]
+    fn merge_sum_adds_counters_and_histograms() {
+        let a = Registry::new();
+        a.add("x", 3);
+        a.observe("h", 8);
+        let b = Registry::new();
+        b.add("x", 4);
+        b.add("only_b", 1);
+        b.observe("h", 100);
+        let mut merged = a.snapshot();
+        merged.merge_sum(&b.snapshot());
+        assert_eq!(merged.counter("x"), 7);
+        assert_eq!(merged.counter("only_b"), 1);
+        let h = merged.histogram("h");
+        assert_eq!(h.count, 2);
+        assert_eq!(h.sum, 108);
+        assert_eq!(h.max, 100);
+        assert_eq!(h.buckets.iter().sum::<u64>(), 2);
     }
 
     #[test]

@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! rh-serve --dir target/obs/db --addr 127.0.0.1:7411 \
-//!          [--introspect 127.0.0.1:7412] [--strategy rh|lazy] \
+//!          [--shards N] [--introspect 127.0.0.1:7412] [--strategy rh|lazy] \
 //!          [--max-sessions N] [--inflight N] [--idle-ms N]
 //! ```
 //!
@@ -15,11 +15,19 @@
 //! the drained process's disk image, which files alone cannot rebuild —
 //! the server refuses such a directory rather than serve wrong data.
 //!
+//! With `--shards N` (N > 1) the engine is range-sharded: each shard
+//! keeps its own WAL segment directory `--dir/shard-K/` (plus its own
+//! flight-recorder sidecar), requests route by object id, and
+//! cross-shard transactions commit through two-phase commit. A
+//! crash-restart recovers every shard in parallel and resolves in-doubt
+//! 2PC transactions against the coordinator records before serving.
+//!
 //! The process exits on a wire `Shutdown` op (graceful drain +
 //! checkpoint). Kill it with a signal to exercise the crash path
 //! instead.
 
 use rh_core::engine::{DbConfig, RhDb, Strategy};
+use rh_core::sharded::{ShardMap, ShardedDb};
 use rh_server::{Server, ServerConfig};
 use rh_storage::Disk;
 use rh_wal::StableLog;
@@ -30,14 +38,16 @@ struct Args {
     addr: String,
     introspect: Option<String>,
     strategy: Strategy,
+    shards: usize,
     cfg: ServerConfig,
 }
 
 fn usage(reason: &str) -> ! {
     eprintln!("rh-serve: {reason}");
     eprintln!(
-        "usage: rh-serve --dir PATH [--addr HOST:PORT] [--introspect HOST:PORT] \
-         [--strategy rh|lazy] [--max-sessions N] [--inflight N] [--idle-ms N]"
+        "usage: rh-serve --dir PATH [--addr HOST:PORT] [--shards N] \
+         [--introspect HOST:PORT] [--strategy rh|lazy] [--max-sessions N] \
+         [--inflight N] [--idle-ms N]"
     );
     std::process::exit(2);
 }
@@ -48,6 +58,7 @@ fn parse_args() -> Args {
         addr: "127.0.0.1:7411".to_string(),
         introspect: None,
         strategy: Strategy::Rh,
+        shards: 1,
         cfg: ServerConfig::default(),
     };
     let mut argv = std::env::args().skip(1);
@@ -67,6 +78,10 @@ fn parse_args() -> Args {
                     other => usage(&format!("unknown strategy {other}")),
                 }
             }
+            "--shards" => match value("--shards").parse() {
+                Ok(n) if n >= 1 => out.shards = n,
+                _ => usage("--shards needs an integer >= 1"),
+            },
             "--max-sessions" => match value("--max-sessions").parse() {
                 Ok(n) => out.cfg.max_sessions = n,
                 Err(_) => usage("--max-sessions needs an integer"),
@@ -88,6 +103,15 @@ fn parse_args() -> Args {
     out
 }
 
+/// The graceful-drain refusal, shared by both configurations.
+fn refuse_drained(dir: &str, master: rh_common::Lsn) -> String {
+    format!(
+        "{dir} was closed by a graceful drain (checkpoint taken at {master}); its page state \
+         lives in the drained process's disk image and cannot be rebuilt from the log \
+         alone. Serve a fresh --dir, or restart only after crashes."
+    )
+}
+
 fn open_engine(args: &Args) -> Result<RhDb, String> {
     let stable = StableLog::open_dir(&args.dir).map_err(|e| format!("open {}: {e}", args.dir))?;
     if stable.is_empty() {
@@ -95,13 +119,7 @@ fn open_engine(args: &Args) -> Result<RhDb, String> {
         return Ok(RhDb::with_stable_log(args.strategy, DbConfig::default(), stable));
     }
     if !stable.master().is_null() {
-        return Err(format!(
-            "{} was closed by a graceful drain (checkpoint taken at {}); its page state \
-             lives in the drained process's disk image and cannot be rebuilt from the log \
-             alone. Serve a fresh --dir, or restart only after crashes.",
-            args.dir,
-            stable.master()
-        ));
+        return Err(refuse_drained(&args.dir, stable.master()));
     }
     println!("rh-serve: crash-restart of {} ({} stable records)", args.dir, stable.len());
     let db = RhDb::recover(args.strategy, DbConfig::default(), stable, Disk::new())
@@ -112,47 +130,129 @@ fn open_engine(args: &Args) -> Result<RhDb, String> {
     Ok(db)
 }
 
-fn main() {
-    let args = parse_args();
-    let mut db = match open_engine(&args) {
-        Ok(db) => db,
-        Err(reason) => {
-            eprintln!("rh-serve: {reason}");
-            std::process::exit(1);
+/// Opens (or creates / crash-recovers) the per-shard WAL directories
+/// `--dir/shard-0 .. shard-N-1`. The tri-state is uniform across
+/// shards: any shard closed by a graceful drain refuses the whole
+/// directory; all-empty is a fresh database; anything else is a
+/// crash-restart, recovered shard-parallel with in-doubt 2PC resolution.
+fn open_sharded(args: &Args) -> Result<ShardedDb, String> {
+    let mut stables = Vec::with_capacity(args.shards);
+    let mut empty = 0usize;
+    for k in 0..args.shards {
+        let dir = format!("{}/shard-{k}", args.dir);
+        let stable = StableLog::open_dir(&dir).map_err(|e| format!("open {dir}: {e}"))?;
+        if !stable.master().is_null() {
+            return Err(refuse_drained(&dir, stable.master()));
         }
+        if stable.is_empty() {
+            empty += 1;
+        }
+        stables.push(stable);
+    }
+    if empty == args.shards {
+        println!("rh-serve: fresh sharded database in {} ({} shards)", args.dir, args.shards);
+        return ShardedDb::with_stable_logs(
+            args.strategy,
+            DbConfig::default(),
+            stables,
+            ShardMap::RANGE_SHIFT,
+        )
+        .map_err(|e| format!("open sharded: {e}"));
+    }
+    let records: usize = stables.iter().map(|s| s.len()).sum();
+    println!(
+        "rh-serve: crash-restart of {} ({} shards, {} stable records)",
+        args.dir, args.shards, records
+    );
+    let parts = stables.into_iter().map(|s| (s, Disk::new())).collect();
+    let db = ShardedDb::recover(args.strategy, DbConfig::default(), parts, ShardMap::RANGE_SHIFT)
+        .map_err(|e| format!("recovery failed: {e}"))?;
+    for k in 0..db.shard_count() {
+        if let Some(report) = db.shard_recovery(k) {
+            println!(
+                "rh-serve: shard {k} recovery: losers={:?} indoubt={:?} coord-commits={}",
+                report.losers,
+                report.indoubt,
+                report.coord_commits.len()
+            );
+        }
+    }
+    let stats = db.stats();
+    println!(
+        "rh-serve: in-doubt resolution: resolved={} committed={}",
+        stats.counter("shard.indoubt.resolved"),
+        stats.counter("shard.indoubt.committed"),
+    );
+    Ok(db)
+}
+
+fn die(reason: &str) -> ! {
+    eprintln!("rh-serve: {reason}");
+    std::process::exit(1);
+}
+
+fn print_drained(stats: &rh_obs::RegistrySnapshot) {
+    println!(
+        "rh-serve: drained. commits={} sessions={} fsyncs={}",
+        stats.counter("server.commits"),
+        stats.counter("server.sessions.opened"),
+        stats.counter("log.fsyncs"),
+    );
+}
+
+fn run_single(args: &Args) {
+    let mut db = match open_engine(args) {
+        Ok(db) => db,
+        Err(reason) => die(&reason),
     };
     if let Some(iaddr) = &args.introspect {
         match db.serve_introspection(iaddr) {
             Ok(bound) => println!("rh-serve: introspection on http://{bound}"),
-            Err(e) => {
-                eprintln!("rh-serve: cannot bind introspection {iaddr}: {e}");
-                std::process::exit(1);
-            }
+            Err(e) => die(&format!("cannot bind introspection {iaddr}: {e}")),
         }
     }
     let server = match Server::bind(&args.addr, db, args.cfg.clone()) {
         Ok(s) => s,
-        Err(e) => {
-            eprintln!("rh-serve: cannot bind {}: {e}", args.addr);
-            std::process::exit(1);
-        }
+        Err(e) => die(&format!("cannot bind {}: {e}", args.addr)),
     };
     println!("rh-serve: listening on {}", server.local_addr());
     server.run_until_shutdown();
     println!("rh-serve: shutdown requested, draining");
     match server.shutdown() {
-        Ok(db) => {
-            let stats = db.stats();
-            println!(
-                "rh-serve: drained. commits={} sessions={} fsyncs={}",
-                stats.counter("server.commits"),
-                stats.counter("server.sessions.opened"),
-                stats.counter("log.fsyncs"),
-            );
+        Ok(db) => print_drained(&db.stats()),
+        Err(e) => die(&format!("drain failed: {e}")),
+    }
+}
+
+fn run_sharded(args: &Args) {
+    let db = match open_sharded(args) {
+        Ok(db) => db,
+        Err(reason) => die(&reason),
+    };
+    if let Some(iaddr) = &args.introspect {
+        match db.serve_introspection(iaddr) {
+            Ok(bound) => println!("rh-serve: introspection on http://{bound}"),
+            Err(e) => die(&format!("cannot bind introspection {iaddr}: {e}")),
         }
-        Err(e) => {
-            eprintln!("rh-serve: drain failed: {e}");
-            std::process::exit(1);
-        }
+    }
+    let server = match Server::bind_sharded(&args.addr, db, args.cfg.clone()) {
+        Ok(s) => s,
+        Err(e) => die(&format!("cannot bind {}: {e}", args.addr)),
+    };
+    println!("rh-serve: listening on {} ({} shards)", server.local_addr(), args.shards);
+    server.run_until_shutdown();
+    println!("rh-serve: shutdown requested, draining");
+    match server.shutdown_sharded() {
+        Ok(db) => print_drained(&db.stats()),
+        Err(e) => die(&format!("drain failed: {e}")),
+    }
+}
+
+fn main() {
+    let args = parse_args();
+    if args.shards > 1 {
+        run_sharded(&args);
+    } else {
+        run_single(&args);
     }
 }

@@ -23,9 +23,8 @@ use crate::server::Shared;
 use crate::wire::{self, errcode, Hello, Op, Reply, ReplyBody, Request, Response};
 use parking_lot::Mutex;
 use rh_common::codec::Codec;
+use rh_common::ops::Value;
 use rh_common::{Result, TxnId};
-use rh_core::engine::RhDb;
-use rh_etm::EtmSession;
 use rh_obs::{names, Stopwatch};
 use std::net::TcpStream;
 use std::sync::atomic::Ordering;
@@ -41,6 +40,10 @@ pub(crate) fn accept(shared: &Arc<Shared>, stream: TcpStream) {
         reject(shared, stream);
         return;
     }
+    // Replies are small frames; without this they sit in Nagle's buffer
+    // waiting for the client's delayed ACK, turning every round trip
+    // into a potential 40ms stall.
+    let _ = stream.set_nodelay(true);
     let (Ok(table_half), Ok(write_half)) = (stream.try_clone(), stream.try_clone()) else {
         return;
     };
@@ -191,125 +194,80 @@ pub(crate) fn close_session(shared: &Arc<Shared>, sid: u64) {
         table.close(sid)
     };
     let Some(leftovers) = leftovers else { return };
-    if !leftovers.is_empty() {
-        let mut eng = shared.engine.lock();
-        for t in &leftovers {
-            if eng.abort(*t).is_ok() {
-                shared.obs.registry.inc(names::M_SRV_TXNS_ABORTED_ON_CLOSE);
-            }
+    for t in &leftovers {
+        if shared.backend.abort(*t).is_ok() {
+            shared.obs.registry.inc(names::M_SRV_TXNS_ABORTED_ON_CLOSE);
         }
     }
     shared.obs.registry.inc(names::M_SRV_SESSIONS_CLOSED);
     shared.session_gauge();
 }
 
-/// Executes one operation against the shared engine, producing the
-/// reply. Engine guards are scoped as tightly as possible: nothing
-/// below holds the engine mutex across a socket write or a log force.
+/// Executes one operation against the shared backend, producing the
+/// reply. Engine guards (single backend) live inside the `Backend`
+/// methods and are scoped as tightly as possible: nothing here holds an
+/// engine mutex across a socket write, and commit forces happen outside
+/// the mutex on both backends.
 fn execute(shared: &Arc<Shared>, sid: u64, op: Op) -> Reply {
     match op {
-        Op::Begin => {
-            let begun = {
-                let mut eng = shared.engine.lock();
-                eng.initiate_empty()
-            };
-            match begun {
-                Ok(t) => {
-                    {
-                        let mut table = shared.sessions.lock();
-                        table.note_begin(sid, t);
-                    }
-                    Reply::Ok(ReplyBody::Txn(t))
+        Op::Begin => match shared.backend.begin() {
+            Ok(t) => {
+                {
+                    let mut table = shared.sessions.lock();
+                    table.note_begin(sid, t);
                 }
-                Err(e) => wire::error_reply(&e),
+                Reply::Ok(ReplyBody::Txn(t))
             }
-        }
-        Op::Read(t, ob) => {
-            let read = {
-                let mut eng = shared.engine.lock();
-                eng.read(t, ob)
-            };
-            match read {
-                Ok(v) => Reply::Ok(ReplyBody::Value(v)),
-                Err(e) => wire::error_reply(&e),
-            }
-        }
-        Op::Write(t, ob, v) => engine_unit(shared, |eng| eng.write(t, ob, v)),
-        Op::Add(t, ob, d) => engine_unit(shared, |eng| eng.add(t, ob, d)),
-        Op::Delegate(tor, tee, obs) => engine_unit(shared, move |eng| eng.delegate(tor, tee, &obs)),
-        Op::DelegateAll(tor, tee) => engine_unit(shared, |eng| eng.delegate_all(tor, tee)),
-        Op::Permit(g, p, ob) => engine_unit(shared, |eng| eng.permit(g, p, ob)),
+            Err(e) => wire::error_reply(&e),
+        },
+        Op::Read(t, ob) => value_reply(shared.backend.read(t, ob)),
+        Op::Write(t, ob, v) => unit_reply(shared.backend.write(t, ob, v)),
+        Op::Add(t, ob, d) => unit_reply(shared.backend.add(t, ob, d)),
+        Op::Delegate(tor, tee, obs) => unit_reply(shared.backend.delegate(tor, tee, &obs)),
+        Op::DelegateAll(tor, tee) => unit_reply(shared.backend.delegate_all(tor, tee)),
+        Op::Permit(g, p, ob) => unit_reply(shared.backend.permit(g, p, ob)),
         Op::Commit(t) => commit(shared, t),
-        Op::Abort(t) => {
-            let aborted = {
-                let mut eng = shared.engine.lock();
-                eng.abort(t)
-            };
-            match aborted {
-                Ok(()) => {
-                    {
-                        let mut table = shared.sessions.lock();
-                        table.note_terminated(t);
-                    }
-                    Reply::Ok(ReplyBody::Unit)
+        Op::Abort(t) => match shared.backend.abort(t) {
+            Ok(()) => {
+                {
+                    let mut table = shared.sessions.lock();
+                    table.note_terminated(t);
                 }
-                Err(e) => wire::error_reply(&e),
+                Reply::Ok(ReplyBody::Unit)
             }
-        }
-        Op::Savepoint(t) => {
-            let saved = {
-                let mut eng = shared.engine.lock();
-                eng.engine().savepoint(t)
-            };
-            match saved {
-                Ok(lsn) => Reply::Ok(ReplyBody::Token(wire::token_of(lsn))),
-                Err(e) => wire::error_reply(&e),
-            }
-        }
-        Op::RollbackTo(t, token) => {
-            engine_unit(shared, |eng| eng.engine().rollback_to(t, wire::lsn_of(token)))
-        }
-        Op::ValueOf(ob) => {
-            let read = {
-                let mut eng = shared.engine.lock();
-                eng.value_of(ob)
-            };
-            match read {
-                Ok(v) => Reply::Ok(ReplyBody::Value(v)),
-                Err(e) => wire::error_reply(&e),
-            }
-        }
-        Op::Stats => Reply::Ok(ReplyBody::Json(stats_json(shared))),
+            Err(e) => wire::error_reply(&e),
+        },
+        Op::Savepoint(t) => match shared.backend.savepoint(t) {
+            Ok(token) => Reply::Ok(ReplyBody::Token(token)),
+            Err(e) => wire::error_reply(&e),
+        },
+        Op::RollbackTo(t, token) => unit_reply(shared.backend.rollback_to(t, token)),
+        Op::ValueOf(ob) => value_reply(shared.backend.value_of(ob)),
+        Op::Stats => Reply::Ok(ReplyBody::Json(shared.backend.stats_json(&shared.obs))),
         Op::Ping | Op::Shutdown => Reply::Ok(ReplyBody::Unit),
     }
 }
 
-/// Runs a unit-result engine operation under a tightly scoped guard.
-fn engine_unit(shared: &Arc<Shared>, f: impl FnOnce(&mut EtmSession<RhDb>) -> Result<()>) -> Reply {
-    let ran = {
-        let mut eng = shared.engine.lock();
-        f(&mut eng)
-    };
+/// Renders a unit-result backend operation.
+fn unit_reply(ran: Result<()>) -> Reply {
     match ran {
         Ok(()) => Reply::Ok(ReplyBody::Unit),
         Err(e) => wire::error_reply(&e),
     }
 }
 
-/// The group-committed commit path: prepare under the engine mutex,
-/// force the log outside it, acknowledge only after the force.
+/// Renders a value-result backend operation.
+fn value_reply(read: Result<Value>) -> Reply {
+    match read {
+        Ok(v) => Reply::Ok(ReplyBody::Value(v)),
+        Err(e) => wire::error_reply(&e),
+    }
+}
+
+/// The durable commit path: acknowledge only after the backend's force
+/// (group-committed per engine — see `Backend::commit`).
 fn commit(shared: &Arc<Shared>, t: TxnId) -> Reply {
-    let prepared = {
-        let mut eng = shared.engine.lock();
-        eng.commit_with(t, |db, t| db.commit_prepare(t))
-    };
-    let lsn = match prepared {
-        Ok(lsn) => lsn,
-        Err(e) => return wire::error_reply(&e),
-    };
-    // The force: many workers arrive here concurrently and the
-    // LogManager's group-commit leader covers them with one fsync.
-    if let Err(e) = shared.log.flush_to(lsn) {
+    if let Err(e) = shared.backend.commit(t) {
         return wire::error_reply(&e);
     }
     {
@@ -318,15 +276,4 @@ fn commit(shared: &Arc<Shared>, t: TxnId) -> Reply {
     }
     shared.obs.registry.inc(names::M_SRV_COMMITS);
     Reply::Ok(ReplyBody::Unit)
-}
-
-/// One-stop stats: absorb log/disk/lock counters into the registry
-/// (same view as `RhDb::stats()` and the `/stats` route — `server.*`
-/// series included) and render it. No engine lock needed: every input
-/// is an `Arc` captured at bind time.
-fn stats_json(shared: &Arc<Shared>) -> String {
-    shared.log.metrics().snapshot().export_into(&shared.obs.registry);
-    shared.disk.metrics().snapshot().export_into(&shared.obs.registry);
-    shared.locks.stats().snapshot().export_into(&shared.obs.registry);
-    shared.obs.registry.snapshot().to_json().render_pretty()
 }

@@ -1,13 +1,16 @@
 //! The serving core: shared state, admission control, session table,
 //! and the drain / force-stop lifecycle.
 //!
-//! One [`Server`] owns one engine ([`rh_core::engine::RhDb`] wrapped in
-//! the [`rh_etm::EtmSession`] synchronization layer) behind a mutex, a
-//! [`rh_obs::TcpService`] accept loop, and a table of live sessions.
+//! One [`Server`] owns one [`Backend`] — either a single engine
+//! ([`rh_core::engine::RhDb`] wrapped in the [`rh_etm::EtmSession`]
+//! synchronization layer) behind a mutex, or a range-sharded
+//! [`rh_core::sharded::ShardedDb`] router — plus a
+//! [`rh_obs::TcpService`] accept loop and a table of live sessions.
 //! Each accepted connection gets two threads (frame reader + op worker,
 //! see [`crate::conn`]); the worker executes operations under the
-//! engine mutex but forces commits *outside* it, so concurrent sessions'
-//! commit records share the WAL's group-commit fsync (the point of the
+//! engine mutex (per shard, for the sharded backend) but forces commits
+//! *outside* it, so concurrent sessions' commit records share the WAL's
+//! group-commit fsync (the point of the
 //! [`rh_core::engine::RhDb::commit_prepare`] split).
 //!
 //! Lock order in this crate (declared in the `rh-analyze` L2 manifest):
@@ -16,9 +19,12 @@
 //! the analyzer can prove it.
 
 use crate::conn;
+use crate::wire;
 use parking_lot::{Condvar, Mutex};
-use rh_common::{Result, RhError, TxnId};
+use rh_common::ops::Value;
+use rh_common::{ObjectId, Result, RhError, TxnId};
 use rh_core::engine::RhDb;
+use rh_core::sharded::ShardedDb;
 use rh_etm::EtmSession;
 use rh_lock::LockManager;
 use rh_obs::{names, Obs, TcpService};
@@ -141,19 +147,192 @@ impl SessionTable {
     }
 }
 
+/// The engine behind the wire: either one [`RhDb`] under the ETM layer
+/// and a single mutex (the original configuration), or a range-sharded
+/// [`ShardedDb`] whose router synchronizes internally — per-shard engine
+/// mutexes instead of one global one, which is what lets independent
+/// shards commit concurrently.
+pub(crate) enum Backend {
+    /// One engine, one mutex; commit forces happen on `log` *outside*
+    /// the mutex (group commit).
+    Single {
+        /// The engine, behind the ETM layer.
+        engine: Box<Mutex<EtmSession<RhDb>>>,
+        /// The engine's log manager (commit forcing + stats absorption
+        /// without the engine mutex).
+        log: Arc<LogManager>,
+        /// The engine's disk (stats absorption).
+        disk: Arc<Disk>,
+        /// The engine's lock manager (stats absorption).
+        locks: Arc<LockManager>,
+    },
+    /// N shards behind the router; all methods take `&self`.
+    Sharded(Arc<ShardedDb>),
+}
+
+impl Backend {
+    pub(crate) fn begin(&self) -> Result<TxnId> {
+        match self {
+            Backend::Single { engine, .. } => {
+                let mut eng = engine.lock();
+                eng.initiate_empty()
+            }
+            Backend::Sharded(db) => db.begin(),
+        }
+    }
+
+    pub(crate) fn read(&self, t: TxnId, ob: ObjectId) -> Result<Value> {
+        match self {
+            Backend::Single { engine, .. } => {
+                let mut eng = engine.lock();
+                eng.read(t, ob)
+            }
+            Backend::Sharded(db) => db.read(t, ob),
+        }
+    }
+
+    pub(crate) fn write(&self, t: TxnId, ob: ObjectId, v: Value) -> Result<()> {
+        match self {
+            Backend::Single { engine, .. } => {
+                let mut eng = engine.lock();
+                eng.write(t, ob, v)
+            }
+            Backend::Sharded(db) => db.write(t, ob, v),
+        }
+    }
+
+    pub(crate) fn add(&self, t: TxnId, ob: ObjectId, d: Value) -> Result<()> {
+        match self {
+            Backend::Single { engine, .. } => {
+                let mut eng = engine.lock();
+                eng.add(t, ob, d)
+            }
+            Backend::Sharded(db) => db.add(t, ob, d),
+        }
+    }
+
+    pub(crate) fn delegate(&self, tor: TxnId, tee: TxnId, obs: &[ObjectId]) -> Result<()> {
+        match self {
+            Backend::Single { engine, .. } => {
+                let mut eng = engine.lock();
+                eng.delegate(tor, tee, obs)
+            }
+            Backend::Sharded(db) => db.delegate(tor, tee, obs),
+        }
+    }
+
+    pub(crate) fn delegate_all(&self, tor: TxnId, tee: TxnId) -> Result<()> {
+        match self {
+            Backend::Single { engine, .. } => {
+                let mut eng = engine.lock();
+                eng.delegate_all(tor, tee)
+            }
+            Backend::Sharded(db) => db.delegate_all(tor, tee),
+        }
+    }
+
+    pub(crate) fn permit(&self, g: TxnId, p: TxnId, ob: ObjectId) -> Result<()> {
+        match self {
+            Backend::Single { engine, .. } => {
+                let mut eng = engine.lock();
+                eng.permit(g, p, ob)
+            }
+            Backend::Sharded(db) => db.permit(g, p, ob),
+        }
+    }
+
+    /// The durable commit. Single: prepare under the engine mutex, force
+    /// the log outside it so concurrent sessions share one group-commit
+    /// fsync. Sharded: the router picks the single-shard fast path (same
+    /// prepare/force split, per shard) or the cross-shard 2PC protocol.
+    pub(crate) fn commit(&self, t: TxnId) -> Result<()> {
+        match self {
+            Backend::Single { engine, log, .. } => {
+                let lsn = {
+                    let mut eng = engine.lock();
+                    eng.commit_with(t, |db, t| db.commit_prepare(t))?
+                };
+                log.flush_to(lsn)
+            }
+            Backend::Sharded(db) => db.commit(t),
+        }
+    }
+
+    pub(crate) fn abort(&self, t: TxnId) -> Result<()> {
+        match self {
+            Backend::Single { engine, .. } => {
+                let mut eng = engine.lock();
+                eng.abort(t)
+            }
+            Backend::Sharded(db) => db.abort(t),
+        }
+    }
+
+    pub(crate) fn savepoint(&self, t: TxnId) -> Result<u64> {
+        match self {
+            Backend::Single { engine, .. } => {
+                let lsn = {
+                    let mut eng = engine.lock();
+                    eng.engine().savepoint(t)?
+                };
+                Ok(wire::token_of(lsn))
+            }
+            Backend::Sharded(db) => db.savepoint(t),
+        }
+    }
+
+    pub(crate) fn rollback_to(&self, t: TxnId, token: u64) -> Result<()> {
+        match self {
+            Backend::Single { engine, .. } => {
+                let mut eng = engine.lock();
+                eng.engine().rollback_to(t, wire::lsn_of(token))
+            }
+            Backend::Sharded(db) => db.rollback_to(t, token),
+        }
+    }
+
+    pub(crate) fn value_of(&self, ob: ObjectId) -> Result<Value> {
+        match self {
+            Backend::Single { engine, .. } => {
+                let mut eng = engine.lock();
+                eng.value_of(ob)
+            }
+            Backend::Sharded(db) => db.value_of(ob),
+        }
+    }
+
+    pub(crate) fn checkpoint(&self) -> Result<()> {
+        match self {
+            Backend::Single { engine, .. } => {
+                let mut eng = engine.lock();
+                eng.engine().checkpoint()
+            }
+            Backend::Sharded(db) => db.checkpoint_all(),
+        }
+    }
+
+    /// One-stop stats, rendered. No engine mutex on either arm: the
+    /// single backend absorbs through Arcs captured at bind time, the
+    /// sharded router merge-sums per-shard registries.
+    pub(crate) fn stats_json(&self, obs: &Arc<Obs>) -> String {
+        match self {
+            Backend::Single { log, disk, locks, .. } => {
+                log.metrics().snapshot().export_into(&obs.registry);
+                disk.metrics().snapshot().export_into(&obs.registry);
+                locks.stats().snapshot().export_into(&obs.registry);
+                obs.registry.snapshot().to_json().render_pretty()
+            }
+            Backend::Sharded(db) => db.stats().to_json().render_pretty(),
+        }
+    }
+}
+
 /// State shared by the accept loop and every per-connection thread.
 pub(crate) struct Shared {
-    /// The engine, behind the ETM layer. Guarded; see the lock-order
+    /// The engine backend (single or sharded). See the lock-order
     /// note in the module docs.
-    pub(crate) engine: Mutex<EtmSession<RhDb>>,
-    /// The engine's log manager — thread-safe by itself, so commit
-    /// forcing happens here *without* the engine mutex (group commit).
-    pub(crate) log: Arc<LogManager>,
-    /// The engine's disk (for stats absorption without the engine lock).
-    pub(crate) disk: Arc<Disk>,
-    /// The engine's lock manager (stats absorption).
-    pub(crate) locks: Arc<LockManager>,
-    /// The engine's observability hub; `server.*` counters land here,
+    pub(crate) backend: Backend,
+    /// The backend's observability hub; `server.*` counters land here,
     /// which is what makes them visible to `RhDb::stats()` and the
     /// `/stats` introspection route.
     pub(crate) obs: Arc<Obs>,
@@ -218,11 +397,31 @@ impl Server {
         let locks = Arc::clone(db.locks());
         let obs = Arc::clone(db.obs());
         db.record_blackbox("server-start");
+        let backend =
+            Backend::Single { engine: Box::new(Mutex::new(EtmSession::new(db))), log, disk, locks };
+        Self::bind_backend(addr, backend, obs, cfg)
+    }
+
+    /// Binds `addr` and serves a range-sharded engine: requests are
+    /// routed by object id at the wire layer, single-shard transactions
+    /// take the per-shard fast path, cross-shard ones commit through
+    /// 2PC. The router's internal synchronization replaces the single
+    /// engine mutex, so sessions on different shards execute
+    /// concurrently. Tear down with [`Server::shutdown_sharded`] (or
+    /// [`Server::force_stop`] for a simulated kill-9).
+    pub fn bind_sharded(addr: &str, db: ShardedDb, cfg: ServerConfig) -> std::io::Result<Server> {
+        let obs = Arc::clone(db.obs());
+        Self::bind_backend(addr, Backend::Sharded(Arc::new(db)), obs, cfg)
+    }
+
+    fn bind_backend(
+        addr: &str,
+        backend: Backend,
+        obs: Arc<Obs>,
+        cfg: ServerConfig,
+    ) -> std::io::Result<Server> {
         let shared = Arc::new(Shared {
-            engine: Mutex::new(EtmSession::new(db)),
-            log,
-            disk,
-            locks,
+            backend,
             obs,
             sessions: Mutex::new(SessionTable::new()),
             reapers: Mutex::new(Vec::new()),
@@ -247,15 +446,24 @@ impl Server {
     }
 
     /// The stable half of the engine's log (crash tests keep this to
-    /// recover a post-`force_stop` incarnation).
+    /// recover a post-`force_stop` incarnation). For a sharded server
+    /// this is shard 0's stable log; crash tests over sharded servers
+    /// should keep per-shard handles from the [`ShardedDb`] instead.
     pub fn stable(&self) -> Arc<StableLog> {
-        self.shared.log.stable()
+        match &self.shared.backend {
+            Backend::Single { log, .. } => log.stable(),
+            Backend::Sharded(db) => db.primary_log().stable(),
+        }
     }
 
     /// The engine's disk handle (crash tests pair it with
-    /// [`Server::stable`] for [`RhDb::recover`]).
+    /// [`Server::stable`] for [`RhDb::recover`]). Shard 0's disk for a
+    /// sharded server.
     pub fn disk(&self) -> Arc<Disk> {
-        Arc::clone(&self.shared.disk)
+        match &self.shared.backend {
+            Backend::Single { disk, .. } => Arc::clone(disk),
+            Backend::Sharded(db) => Arc::clone(db.primary_disk()),
+        }
     }
 
     /// Blocks until a client sends the wire `Shutdown` op.
@@ -275,7 +483,36 @@ impl Server {
     /// rely on the master staying NULL while serving: the server never
     /// checkpoints mid-flight.)
     pub fn shutdown(self) -> Result<RhDb> {
-        let Server { shared, mut service } = self;
+        match Self::drain(self)? {
+            Backend::Single { engine, .. } => {
+                let db = engine.into_inner().into_engine();
+                db.record_blackbox("server-drain");
+                Ok(db)
+            }
+            Backend::Sharded(_) => {
+                Err(RhError::Protocol("sharded server: drain with shutdown_sharded"))
+            }
+        }
+    }
+
+    /// Graceful drain of a sharded server: stop accepting, close every
+    /// session (their open transactions abort in every shard they
+    /// touched), checkpoint every shard, and hand the sharded engine
+    /// back.
+    pub fn shutdown_sharded(self) -> Result<ShardedDb> {
+        match Self::drain(self)? {
+            Backend::Sharded(db) => Arc::try_unwrap(db)
+                .map_err(|_| RhError::Protocol("sharded engine still shared at drain")),
+            Backend::Single { .. } => {
+                Err(RhError::Protocol("single-engine server: drain with shutdown"))
+            }
+        }
+    }
+
+    /// The common drain: refuse new work, close sessions, abort
+    /// leftovers, checkpoint, and unwrap the shared state.
+    fn drain(server: Server) -> Result<Backend> {
+        let Server { shared, mut service } = server;
         shared.draining.store(true, Ordering::SeqCst);
         service.shutdown();
         {
@@ -287,24 +524,19 @@ impl Server {
             let mut table = shared.sessions.lock();
             table.drain_all()
         };
-        {
-            let mut eng = shared.engine.lock();
-            for t in &leftovers {
-                // Already-terminated ids are fine: abort is best-effort
-                // here, the session workers normally beat us to it.
-                let _ = eng.abort(*t);
-                shared.obs.registry.inc(names::M_SRV_TXNS_ABORTED_ON_CLOSE);
-            }
-            eng.engine().checkpoint()?;
+        for t in &leftovers {
+            // Already-terminated ids are fine: abort is best-effort
+            // here, the session workers normally beat us to it.
+            let _ = shared.backend.abort(*t);
+            shared.obs.registry.inc(names::M_SRV_TXNS_ABORTED_ON_CLOSE);
         }
+        shared.backend.checkpoint()?;
         shared.obs.registry.inc(names::M_SRV_DRAINS);
         shared.obs.registry.set(names::M_SRV_SESSIONS_ACTIVE, 0);
         drop(service);
         let shared = Arc::try_unwrap(shared)
             .map_err(|_| RhError::Protocol("server state still shared at drain"))?;
-        let db = shared.engine.into_inner().into_engine();
-        db.record_blackbox("server-drain");
-        Ok(db)
+        Ok(shared.backend)
     }
 
     /// Simulated kill-9: stop everything *without* aborting open

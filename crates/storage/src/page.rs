@@ -25,8 +25,19 @@ use rh_common::{Lsn, ObjectId, PageId, Result};
 pub const SLOTS_PER_PAGE: usize = 64;
 
 /// Maps an object to its (page, slot) location.
+///
+/// The page id is a `u32`, so the object space this mapping can address
+/// without aliasing ends at `2^38` (`u32::MAX` pages × 64 slots).
+/// Callers that mint object ranges (the load generator's 26-bit range
+/// bases, the sharded router's routing shift) rely on this bound; the
+/// debug assert turns a would-be silent page collision into a failure.
 #[inline]
 pub fn slot_of(ob: ObjectId) -> (PageId, usize) {
+    debug_assert!(
+        ob.raw() / SLOTS_PER_PAGE as u64 <= u32::MAX as u64,
+        "object {} exceeds the u32 page-id budget (2^38 objects)",
+        ob.raw()
+    );
     let page = (ob.raw() / SLOTS_PER_PAGE as u64) as u32;
     let slot = (ob.raw() % SLOTS_PER_PAGE as u64) as usize;
     (PageId(page), slot)
@@ -107,6 +118,18 @@ mod tests {
         assert_eq!(slot_of(ObjectId(63)), (PageId(0), 63));
         assert_eq!(slot_of(ObjectId(64)), (PageId(1), 0));
         assert_eq!(slot_of(ObjectId(129)), (PageId(2), 1));
+    }
+
+    #[test]
+    fn slot_mapping_covers_the_full_page_id_budget() {
+        // The largest admissible object: the last slot of the last u32
+        // page. One past it would truncate — the debug_assert in
+        // slot_of guards that line.
+        let top = (u32::MAX as u64) * SLOTS_PER_PAGE as u64 + (SLOTS_PER_PAGE as u64 - 1);
+        assert_eq!(slot_of(ObjectId(top)), (PageId(u32::MAX), SLOTS_PER_PAGE - 1));
+        // The load generator's top range (index 4095 << 26) stays inside.
+        let load_top = (4095u64 << 26) + ((1 << 26) - 1);
+        assert!(load_top <= top);
     }
 
     #[test]

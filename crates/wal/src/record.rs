@@ -93,6 +93,22 @@ pub enum RecordBody {
         /// Engine-encoded snapshot.
         payload: Vec<u8>,
     },
+    /// Two-phase commit, phase one: this participant log holds every
+    /// update the transaction is responsible for here, durably, and the
+    /// transaction may no longer be unilaterally aborted by this
+    /// participant. A recovery that finds a `Prepare` without a local
+    /// commit/abort must leave the transaction **in doubt** and resolve
+    /// it against the coordinator's [`RecordBody::CoordCommit`] record.
+    Prepare,
+    /// Two-phase commit, commit point: written (and forced) in the
+    /// coordinator participant's log after every participant prepared.
+    /// Its durability *is* the global commit; participants without one
+    /// anywhere are presumed aborted.
+    CoordCommit {
+        /// Shard indices of every participant (the coordinator included),
+        /// so recovery knows which logs hold `Prepare` records to resolve.
+        participants: Vec<u32>,
+    },
 }
 
 impl RecordBody {
@@ -108,6 +124,8 @@ impl RecordBody {
             RecordBody::Delegate { .. } => "delegate",
             RecordBody::CheckpointBegin => "chkpt-begin",
             RecordBody::CheckpointEnd { .. } => "chkpt-end",
+            RecordBody::Prepare => "prepare",
+            RecordBody::CoordCommit { .. } => "coord-commit",
         }
     }
 }
@@ -159,6 +177,11 @@ impl LogRecord {
                     }
                 };
                 format!("{} delegate {} --{}--> {}", self.lsn.raw(), self.txn, what, tee)
+            }
+            RecordBody::CoordCommit { participants } => {
+                let parts =
+                    participants.iter().map(|s| s.to_string()).collect::<Vec<_>>().join(",");
+                format!("{} coord-commit[{}] shards={}", self.lsn.raw(), self.txn, parts)
             }
             other => format!("{} {}[{}]", self.lsn.raw(), other.kind(), self.txn),
         }
@@ -215,6 +238,11 @@ impl Codec for RecordBody {
                 w.put_u8(8);
                 w.put_bytes(payload);
             }
+            RecordBody::Prepare => w.put_u8(9),
+            RecordBody::CoordCommit { participants } => {
+                w.put_u8(10);
+                participants.encode(w);
+            }
         }
     }
 
@@ -238,6 +266,8 @@ impl Codec for RecordBody {
             },
             7 => RecordBody::CheckpointBegin,
             8 => RecordBody::CheckpointEnd { payload: r.take_bytes()? },
+            9 => RecordBody::Prepare,
+            10 => RecordBody::CoordCommit { participants: Vec::decode(r)? },
             _ => return Err(RhError::Codec("invalid RecordBody tag")),
         })
     }
@@ -299,6 +329,18 @@ mod tests {
         }));
         roundtrip(base(RecordBody::CheckpointBegin));
         roundtrip(base(RecordBody::CheckpointEnd { payload: vec![1, 2, 3] }));
+        roundtrip(base(RecordBody::Prepare));
+        roundtrip(base(RecordBody::CoordCommit { participants: vec![0, 2, 3] }));
+        roundtrip(base(RecordBody::CoordCommit { participants: Vec::new() }));
+    }
+
+    #[test]
+    fn twopc_records_render_and_kind() {
+        let base = |body| LogRecord { lsn: Lsn(7), txn: TxnId(3), prev_lsn: Lsn(6), body };
+        assert_eq!(base(RecordBody::Prepare).body.kind(), "prepare");
+        let cc = base(RecordBody::CoordCommit { participants: vec![1, 2] });
+        assert_eq!(cc.body.kind(), "coord-commit");
+        assert_eq!(cc.render(), "7 coord-commit[t3] shards=1,2");
     }
 
     #[test]
