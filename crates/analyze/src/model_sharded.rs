@@ -15,12 +15,19 @@
 //!   recovery, and compare every touched object against the §2.1
 //!   [`Oracle`]; no transaction may stay in doubt after recovery;
 //! * **crash inside 2PC** — for every history ending in a commit, rerun
-//!   it three times with an injected fault stopping the protocol at
-//!   each durability edge (after the non-coordinator's `Prepare`, after
-//!   the coordinator's `CoordCommit` decision record, after a
-//!   participant resolves), then crash: a decision that was not durable
-//!   must be presumed aborted, a durable decision must commit every
-//!   participant, and in-doubt state must always drain.
+//!   it with an injected fault stopping the protocol at each durability
+//!   edge (after the non-coordinator's `Prepare`, after the
+//!   coordinator's `CoordCommit` decision record, after a participant
+//!   resolves), then crash: a decision that was not durable must be
+//!   presumed aborted, a durable decision must commit every
+//!   participant, and in-doubt state must always drain;
+//! * **checkpoint × 2PC edge** — each fault variant (plus the unfaulted
+//!   commit) additionally reruns with a `checkpoint_all` layered in
+//!   before the crash, both completed and interrupted between the two
+//!   shards' checkpoints (`AfterShardCheckpoint(0)`). This pins down
+//!   decision retention: a coordinator checkpoint that advances the
+//!   recovery anchor past its `CoordCommit` records must not strand
+//!   another shard's in-doubt transaction.
 
 use crate::model::Divergence;
 use rh_common::TxnId;
@@ -38,12 +45,34 @@ use std::collections::HashMap;
 const SHARDS: usize = 2;
 
 /// The 2PC durability edges a crash is injected at, with the outcome
-/// recovery must then produce for the committing transaction.
-const FAULTS: &[(TwoPcFault, bool, &str)] = &[
-    (TwoPcFault::AfterPrepare(0), false, "after-prepare"),
-    (TwoPcFault::AfterCoordCommit, true, "after-coord-commit"),
-    (TwoPcFault::AfterResolve(0), true, "after-resolve"),
+/// recovery must then produce for the committing transaction. The
+/// `None` edge lets the commit run to completion (it only appears
+/// combined with a checkpoint mode — the bare variant is already
+/// covered by the crash-at-every-prefix sweep).
+const EDGES: &[(Option<TwoPcFault>, bool, &str)] = &[
+    (None, true, "no-fault"),
+    (Some(TwoPcFault::AfterPrepare(0)), false, "after-prepare"),
+    (Some(TwoPcFault::AfterCoordCommit), true, "after-coord-commit"),
+    (Some(TwoPcFault::AfterResolve(0)), true, "after-resolve"),
 ];
+
+/// What happens between the (possibly faulted) commit and the crash: a
+/// checkpoint stalls the committing thread in a real schedule, so every
+/// combination is a realizable interleaving.
+#[derive(Debug, Clone, Copy)]
+enum CkptMode {
+    /// Crash straight away.
+    None,
+    /// `checkpoint_all` interrupted between the two shards' checkpoints
+    /// (`AfterShardCheckpoint(0)`): shard 0's anchor has advanced,
+    /// shard 1's has not.
+    Interrupted,
+    /// A completed `checkpoint_all`.
+    Full,
+}
+
+const CKPTS: &[(CkptMode, &str)] =
+    &[(CkptMode::None, ""), (CkptMode::Interrupted, " +ckpt-torn"), (CkptMode::Full, " +ckpt")];
 
 /// At most this many divergent histories are kept verbatim.
 const KEEP: usize = 25;
@@ -57,7 +86,9 @@ pub struct ShardedOutcome {
     pub histories: u64,
     /// Whole-history crash replays (two strategies per history).
     pub engine_runs: u64,
-    /// Fault-injected 2PC replays (three per commit-ending history).
+    /// Fault-injected 2PC replays (eleven per commit-ending history:
+    /// four commit edges × three checkpoint modes, minus the unfaulted
+    /// uncheckpointed duplicate).
     pub fault_runs: u64,
     /// Total divergences seen.
     pub divergence_count: u64,
@@ -174,53 +205,80 @@ pub fn run(bounds: &Bounds) -> ShardedOutcome {
             }
         }
         // Histories ending in a commit rerun with a crash injected at
-        // each 2PC durability edge. (Single-shard commits pass through
-        // unfaulted — the armed fault is volatile and dies in the
-        // crash — so these variants also pin down that the fast path
-        // never enters the protocol.)
+        // each 2PC durability edge, each also layered with a completed
+        // or interrupted checkpoint_all before the crash. (Single-shard
+        // commits pass through unfaulted — the armed fault is volatile
+        // and dies in the crash — so these variants also pin down that
+        // the fast path never enters the protocol.)
         if let Some(&Event::Commit(label)) = prefix.last() {
             let setup = &prefix[..prefix.len() - 1];
-            for &(fault, decided, edge) in FAULTS {
-                out.fault_runs += 1;
-                let (db, ids) = match replay_with_ids(Strategy::Rh, setup) {
-                    Ok(ok) => ok,
-                    Err(e) => {
-                        record(&mut out, "sharded+2pc-fault", format!("{setup:?}"), e);
+            for &(fault, decided, edge) in EDGES {
+                for &(ckpt, ckpt_name) in CKPTS {
+                    // The unfaulted, uncheckpointed commit is exactly
+                    // the crash-at-every-prefix run above.
+                    if fault.is_none() && matches!(ckpt, CkptMode::None) {
                         continue;
                     }
-                };
-                db.inject_fault(fault);
-                let commit = db.commit(ids[&label]);
-                // Committed iff the decision record was durable before
-                // the crash: an unfaulted (single-shard) commit, or a
-                // fault at/after the coordinator's decision.
-                let expect_commit = commit.is_ok() || decided;
-                events.clear();
-                events.extend_from_slice(setup);
-                if expect_commit {
-                    events.push(Event::Commit(label));
-                }
-                events.push(Event::Crash);
-                let oracle = Oracle::run(&events);
-                let db = match db.crash_and_recover() {
-                    Ok(db) => db,
-                    Err(e) => {
-                        record(
-                            &mut out,
-                            "sharded+2pc-fault",
-                            format!("{prefix:?} [crash {edge}]"),
-                            format!("recovery failed: {e:?}"),
-                        );
-                        continue;
+                    out.fault_runs += 1;
+                    let variant = format!("{prefix:?} [crash {edge}{ckpt_name}]");
+                    let (db, ids) = match replay_with_ids(Strategy::Rh, setup) {
+                        Ok(ok) => ok,
+                        Err(e) => {
+                            record(&mut out, "sharded+2pc-fault", format!("{setup:?}"), e);
+                            continue;
+                        }
+                    };
+                    if let Some(f) = fault {
+                        db.inject_fault(f);
                     }
-                };
-                for detail in check_state(&db, &oracle) {
-                    record(
-                        &mut out,
-                        "sharded+2pc-fault",
-                        format!("{prefix:?} [crash {edge}]"),
-                        detail,
-                    );
+                    let commit = db.commit(ids[&label]);
+                    // Committed iff the decision record was durable
+                    // before the crash: an unfaulted commit, or a fault
+                    // at/after the coordinator's decision.
+                    let expect_commit = commit.is_ok() || decided;
+                    match ckpt {
+                        CkptMode::None => {}
+                        CkptMode::Interrupted => {
+                            // Re-arming is safe: a single-shard commit
+                            // never consumed the 2PC fault, and the cell
+                            // holds one shot either way.
+                            db.inject_fault(TwoPcFault::AfterShardCheckpoint(0));
+                            let _ = db.checkpoint_all();
+                        }
+                        CkptMode::Full => {
+                            if let Err(e) = db.checkpoint_all() {
+                                record(
+                                    &mut out,
+                                    "sharded+2pc-fault",
+                                    variant,
+                                    format!("checkpoint_all failed: {e:?}"),
+                                );
+                                continue;
+                            }
+                        }
+                    }
+                    events.clear();
+                    events.extend_from_slice(setup);
+                    if expect_commit {
+                        events.push(Event::Commit(label));
+                    }
+                    events.push(Event::Crash);
+                    let oracle = Oracle::run(&events);
+                    let db = match db.crash_and_recover() {
+                        Ok(db) => db,
+                        Err(e) => {
+                            record(
+                                &mut out,
+                                "sharded+2pc-fault",
+                                variant,
+                                format!("recovery failed: {e:?}"),
+                            );
+                            continue;
+                        }
+                    };
+                    for detail in check_state(&db, &oracle) {
+                        record(&mut out, "sharded+2pc-fault", variant.clone(), detail);
+                    }
                 }
             }
         }

@@ -35,10 +35,12 @@ pub const MANIFEST: &[(&str, &[&str])] = &[
     ("crates/server/src/", &["sessions", "engine", "out"]),
     // rh-core sharded router: the global transaction table before any
     // shard's engine mutex (savepoint holds `gtxns` while marking each
-    // participant shard). The 2PC fault cell and the provenance /
-    // introspection handles never nest with either, but are declared so
-    // a future nesting is forced through this order.
-    ("crates/core/src/sharded/", &["gtxns", "fault", "engine", "prov", "server"]),
+    // participant shard). The decision-retirement queue (`retire`)
+    // orders before the engines it drains into. The 2PC fault cell and
+    // the provenance / introspection handles never nest with either,
+    // but are declared so a future nesting is forced through this
+    // order.
+    ("crates/core/src/sharded/", &["gtxns", "fault", "retire", "engine", "prov", "server"]),
 ];
 
 /// Methods that acquire (empty-argument calls only).

@@ -17,7 +17,7 @@
 use crate::provenance::ProvenanceTable;
 use crate::txn_table::TrList;
 use rh_common::codec::{Codec, Reader, Writer};
-use rh_common::{Lsn, PageId, Result};
+use rh_common::{Lsn, PageId, Result, TxnId};
 
 /// The state frozen into a `CheckpointEnd` record.
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
@@ -42,6 +42,15 @@ pub struct CheckpointSnapshot {
     /// reach back before the forward-pass scan start, exactly like the
     /// scope-bearing Ob_Lists above.
     pub provenance: ProvenanceTable,
+    /// Coordinator 2PC decisions (transaction → participant shards)
+    /// whose participants may not all have durable Commit records yet.
+    /// A checkpoint advances the recovery anchor past the `CoordCommit`
+    /// records themselves, but another shard's in-doubt resolution may
+    /// still depend on the decision — so unretired decisions ride in the
+    /// snapshot and the forward pass re-reports them. The sharded router
+    /// retires a decision only once every participant's Commit record is
+    /// durable (see `ShardedDb::checkpoint_all`).
+    pub coord_decisions: Vec<(TxnId, Vec<u32>)>,
 }
 
 impl Codec for CheckpointSnapshot {
@@ -51,6 +60,7 @@ impl Codec for CheckpointSnapshot {
         w.put_u64(self.next_txn);
         self.compensated.encode(w);
         self.provenance.encode(w);
+        self.coord_decisions.encode(w);
     }
 
     fn decode(r: &mut Reader<'_>) -> Result<Self> {
@@ -60,6 +70,7 @@ impl Codec for CheckpointSnapshot {
             next_txn: r.take_u64()?,
             compensated: Vec::decode(r)?,
             provenance: ProvenanceTable::decode(r)?,
+            coord_decisions: Vec::decode(r)?,
         })
     }
 }
@@ -88,6 +99,7 @@ mod tests {
             next_txn: 17,
             compensated: vec![Lsn(3), Lsn(9)],
             provenance,
+            coord_decisions: vec![(TxnId(3), vec![1, 2])],
         };
         assert_eq!(CheckpointSnapshot::from_bytes(&s.to_bytes()).unwrap(), s);
     }

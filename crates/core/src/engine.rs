@@ -70,6 +70,13 @@ pub struct RhDb {
     /// later undo sweep from compensating them twice. (Across crashes
     /// the forward pass rebuilds the equivalent set from logged CLRs.)
     compensated: std::collections::HashSet<Lsn>,
+    /// Coordinator 2PC decisions this engine has logged whose participant
+    /// shards may not all have durable Commit records yet. Every
+    /// checkpoint snapshot carries them (the anchor may advance past the
+    /// `CoordCommit` records other shards' in-doubt resolution depends
+    /// on); the sharded router retires an entry once all its participant
+    /// commits are durable.
+    coord_decisions: std::collections::BTreeMap<TxnId, Vec<u32>>,
     last_recovery: Option<RecoveryReport>,
     /// Unified tracer + metrics registry. Shared (`Arc`) so recovery can
     /// hand its timeline to the engine it constructs, and so callers can
@@ -110,6 +117,7 @@ impl RhDb {
             tr: TrList::new(),
             next_txn: 0,
             compensated: std::collections::HashSet::new(),
+            coord_decisions: std::collections::BTreeMap::new(),
             last_recovery: None,
             obs: Arc::new(Obs::new()),
             prov: Arc::new(Mutex::new(ProvenanceTable::new())),
@@ -155,6 +163,7 @@ impl RhDb {
             tr: TrList::new(),
             next_txn: 0,
             compensated: std::collections::HashSet::new(),
+            coord_decisions: std::collections::BTreeMap::new(),
             last_recovery: None,
             obs,
             prov: Arc::new(Mutex::new(ProvenanceTable::new())),
@@ -189,6 +198,7 @@ impl RhDb {
             tr,
             next_txn,
             compensated: std::collections::HashSet::new(),
+            coord_decisions: std::collections::BTreeMap::new(),
             last_recovery: None,
             obs,
             prov: Arc::new(Mutex::new(ProvenanceTable::new())),
@@ -625,6 +635,10 @@ impl RhDb {
             next_txn: self.next_txn,
             compensated,
             provenance: self.prov.lock().clone(),
+            // Unretired coordinator decisions ride in every snapshot:
+            // another shard's in-doubt resolution may still need them
+            // after this anchor hides their CoordCommit records.
+            coord_decisions: self.coord_decisions.iter().map(|(t, p)| (*t, p.clone())).collect(),
         };
         let end = self.log.append(
             TxnId::NONE,
@@ -787,6 +801,10 @@ impl RhDb {
         self.tr.require_active(txn)?;
         let lsn =
             self.log_for_txn(txn, RecordBody::CoordCommit { participants: participants.to_vec() })?;
+        // The decision outlives this transaction locally: until every
+        // participant's Commit record is durable, checkpoints must keep
+        // carrying it (the anchor can advance past the record itself).
+        self.coord_decisions.insert(txn, participants.to_vec());
         self.tr.get_mut(txn)?.status = TxnStatus::Committed;
         self.end_txn(txn)?;
         if self.flight.as_ref().is_some_and(FlightRecorder::commit_due) {
@@ -823,6 +841,33 @@ impl RhDb {
     /// a recovery, exactly the ones the sharded resolver must decide.
     pub fn in_doubt(&self) -> Vec<TxnId> {
         self.tr.with_status(TxnStatus::Prepared)
+    }
+
+    /// Seeds the live decision map (recovery hands over every decision it
+    /// found — snapshot-carried and freshly scanned alike).
+    pub(crate) fn set_coord_decisions(&mut self, decisions: &[(TxnId, Vec<u32>)]) {
+        self.coord_decisions = decisions.iter().map(|(t, p)| (*t, p.clone())).collect();
+    }
+
+    /// Retires a coordinator decision: the sharded router calls this once
+    /// every participant's Commit record for `txn` is durable, after
+    /// which no recovery can need the decision and checkpoint snapshots
+    /// stop carrying it. Returns whether an entry was present.
+    pub(crate) fn retire_coord_decision(&mut self, txn: TxnId) -> bool {
+        self.coord_decisions.remove(&txn).is_some()
+    }
+
+    /// Drops every held decision — sharded recovery calls this after all
+    /// in-doubt transactions across all shards are resolved and every
+    /// shard's log is forced, at which point no decision can be needed
+    /// again.
+    pub(crate) fn clear_coord_decisions(&mut self) {
+        self.coord_decisions.clear();
+    }
+
+    /// The decisions currently carried into checkpoints (test hook).
+    pub fn coord_decisions(&self) -> Vec<(TxnId, Vec<u32>)> {
+        self.coord_decisions.iter().map(|(t, p)| (*t, p.clone())).collect()
     }
 }
 

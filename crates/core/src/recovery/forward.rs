@@ -146,6 +146,11 @@ pub fn forward_pass(
                     next_txn = snap.next_txn;
                     compensated.extend(snap.compensated.iter().copied());
                     prov = snap.provenance;
+                    // Re-report coordinator decisions the snapshot
+                    // carried: their CoordCommit records lie behind this
+                    // anchor, but another shard's in-doubt resolution
+                    // may still depend on them.
+                    coord_commits.extend(snap.coord_decisions.iter().cloned());
                     analysis_from = lsn.next();
                     redo_from = snap
                         .dpt

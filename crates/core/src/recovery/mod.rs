@@ -182,6 +182,9 @@ pub fn recover(
     let mut db =
         RhDb::from_parts(strategy, config, log, disk, pool, tr, fwd.next_txn, Arc::clone(&obs));
     db.set_provenance(fwd.prov);
+    // Decisions survive into the new incarnation's checkpoints until the
+    // sharded resolver retires them (unsharded logs never have any).
+    db.set_coord_decisions(&fwd.coord_commits);
 
     // Re-arm the flight recorder for this incarnation, through the same
     // I/O layer as the log (attach failures — e.g. a recovery running on

@@ -27,6 +27,18 @@
 //! resolved against the union of `CoordCommit` decisions found in any
 //! shard's log: decided → commit, undecided → presumed abort.
 //!
+//! **Decision retention.** A coordinator's checkpoint advances its
+//! recovery anchor, which would hide `CoordCommit` records that another
+//! shard's in-doubt resolution still needs (participant Commit records
+//! are lazily flushed). Two mechanisms close that hole: every engine
+//! carries its unretired decisions inside each checkpoint snapshot (the
+//! forward pass re-reports them), and [`ShardedDb::checkpoint_all`]
+//! forces **every** shard's log before any shard checkpoints, then
+//! retires exactly the decisions whose participant Commit records are
+//! durable. A real (non-injected) failure before the decision record is
+//! durable rolls the whole transaction back (presumed abort) instead of
+//! stranding prepared participants with their locks held.
+//!
 //! Transaction ids are allocated by the router, so one global id names
 //! the same transaction in every shard it touches (shards materialize it
 //! on first touch via [`RhDb::begin_as`]); provenance chains therefore
@@ -34,8 +46,10 @@
 //! chain lives wholly in its owning shard.
 //!
 //! Lock order (enforced by the rh-analyze L2 manifest): `gtxns` <
-//! `fault` < `engine`; engine mutexes are only ever taken in ascending
-//! shard order, and no path acquires `gtxns` while holding an engine.
+//! `fault` < `retire` < `engine`; engine mutexes are only ever taken in
+//! ascending shard order (cross-shard `delegate` holds all touched
+//! shards' engines at once, still ascending), and no path acquires
+//! `gtxns` while holding an engine.
 
 use crate::api::TxnEngine;
 use crate::engine::{DbConfig, RhDb, Strategy};
@@ -110,6 +124,12 @@ pub enum TwoPcFault {
     /// lazy `Commit`) but later participants have not. Recovery must
     /// commit the stragglers from the coordinator record.
     AfterResolve(usize),
+    /// Stop [`ShardedDb::checkpoint_all`] after shard `i`'s checkpoint
+    /// completed but before shard `i + 1`'s — the window where the
+    /// coordinator's anchor has advanced past decisions other shards may
+    /// still need. Recovery must still resolve every in-doubt
+    /// transaction correctly (the snapshot carries unretired decisions).
+    AfterShardCheckpoint(usize),
 }
 
 /// One shard: the engine behind its mutex, plus the handles the router
@@ -154,6 +174,18 @@ struct GtxnState {
     entries: BTreeMap<TxnId, GtxnEntry>,
 }
 
+/// A committed cross-shard transaction whose coordinator decision is not
+/// yet retireable: each participant's lazy `Commit` record must be
+/// durable first. [`ShardedDb::checkpoint_all`] retires these after its
+/// all-shard force.
+struct PendingRetire {
+    /// Coordinator shard holding the decision.
+    coord: usize,
+    txn: TxnId,
+    /// Participant shard → LSN of its lazily appended `Commit` record.
+    commits: Vec<(usize, Lsn)>,
+}
+
 /// A range-sharded database: N [`RhDb`] shards behind one [`TxnEngine`]
 /// surface, with cross-shard transactions committed by two-phase commit.
 /// All operational methods take `&self` — the router is shared across
@@ -170,6 +202,10 @@ pub struct ShardedDb {
     /// registries and are merge-summed by [`ShardedDb::stats`].
     obs: Arc<Obs>,
     fault: Mutex<Option<TwoPcFault>>,
+    /// Decisions whose participant commits may still be volatile — the
+    /// retire queue drained (against durable log horizons) by
+    /// [`ShardedDb::checkpoint_all`].
+    retire: Mutex<Vec<PendingRetire>>,
     server: Mutex<Option<IntrospectionServer>>,
 }
 
@@ -263,6 +299,12 @@ impl ShardedDb {
             }
             eng.log().flush_all()?;
         }
+        // Every in-doubt transaction is now resolved and every shard's
+        // log forced, so no future recovery can need a coordinator
+        // decision again — stop carrying them into checkpoints.
+        for eng in &mut engines {
+            eng.clear_coord_decisions();
+        }
         obs.registry.add(names::M_SHARD_INDOUBT_RESOLVED, resolved);
         obs.registry.add(names::M_SHARD_INDOUBT_COMMITTED, committed);
 
@@ -287,6 +329,7 @@ impl ShardedDb {
             gtxns: Mutex::new(GtxnState { next_txn, next_token: 1, entries: BTreeMap::new() }),
             obs,
             fault: Mutex::new(None),
+            retire: Mutex::new(Vec::new()),
             server: Mutex::new(None),
         }
     }
@@ -447,43 +490,119 @@ impl ShardedDb {
         }
     }
 
+    /// 2PC phase one on one participant: force its `Prepare` record.
+    fn prepare_shard(&self, txn: TxnId, shard: usize) -> Result<()> {
+        let lsn = {
+            let mut engine = self.shards[shard].engine.lock();
+            engine.prepare_commit(txn)?
+        };
+        self.shards[shard].log.flush_to(lsn)
+    }
+
+    /// Best-effort rollback of one shard's half of a doomed cross-shard
+    /// commit: a prepared participant resolves as an abort, anything
+    /// else (the coordinator, a participant that never finished its
+    /// prepare) aborts outright. Errors are swallowed — the decision
+    /// record does not exist, so presumed abort covers whatever a
+    /// failing shard leaves behind.
+    fn abort_in_shard(&self, txn: TxnId, shard: usize) {
+        let mut engine = self.shards[shard].engine.lock();
+        if engine.resolve_prepared(txn, false).is_err() {
+            let _ = engine.abort(txn);
+        }
+    }
+
+    /// Unwinds a cross-shard commit attempt that failed for real (an I/O
+    /// error, not an injected crash) **before** the coordinator decision
+    /// record existed: every participant rolls back and releases its
+    /// locks, so the failure does not strand `Prepared` transactions
+    /// that nothing can resolve or drain (the router entry is already
+    /// gone by commit time).
+    fn unwind_undecided(&self, txn: TxnId, parts: &[usize]) {
+        for &shard in parts {
+            self.abort_in_shard(txn, shard);
+        }
+        self.obs.registry.inc(names::M_SHARD_2PC_UNWOUND);
+    }
+
     fn commit_2pc(&self, txn: TxnId, parts: &[usize]) -> Result<()> {
         // The coordinator (lowest participant) never prepares — until its
         // CoordCommit record is durable its updates are an ordinary loser,
         // so presumed abort already covers them. One forced fsync saved
         // per cross-shard transaction.
+        //
+        // Error discipline: an injected `TwoPcFault` simulates a crash at
+        // that instant, so it propagates with the on-log state untouched
+        // (recovery is the test subject). A *real* failure before the
+        // decision record is durable instead unwinds the transaction —
+        // presumed abort — so no participant is left `Prepared` holding
+        // locks with no resolution path.
         let Some((&coord, rest)) = parts.split_first() else {
             return Err(RhError::Protocol("2PC with no participants"));
         };
         // Phase one: every non-coordinator participant forces a Prepare.
         for (i, &shard) in rest.iter().enumerate() {
-            let lsn = {
-                let mut engine = self.shards[shard].engine.lock();
-                engine.prepare_commit(txn)?
-            };
-            self.shards[shard].log.flush_to(lsn)?;
+            if let Err(e) = self.prepare_shard(txn, shard) {
+                self.unwind_undecided(txn, parts);
+                return Err(e);
+            }
             self.obs.registry.inc(names::M_SHARD_2PC_PREPARES);
             self.fault_point(TwoPcFault::AfterPrepare(i))?;
         }
         // Commit point: the coordinator forces the decision record naming
         // every prepared participant, committing locally as it does.
         let participants: Vec<u32> = rest.iter().map(|&s| s as u32).collect();
-        let lsn = {
+        let appended = {
             let mut engine = self.shards[coord].engine.lock();
-            engine.append_coord_commit(txn, &participants)?
+            let before = self.shards[coord].log.curr_lsn();
+            engine
+                .append_coord_commit(txn, &participants)
+                .map_err(|e| (e, self.shards[coord].log.curr_lsn() == before))
         };
+        let lsn = match appended {
+            Ok(lsn) => lsn,
+            Err((e, clean)) => {
+                // Unwind only if the decision record was never appended;
+                // once appended it could still become durable through a
+                // later group-commit flush, and aborting the prepared
+                // participants then would contradict it. Leave the
+                // ambiguous case to recovery, exactly like a crash.
+                if clean {
+                    self.unwind_undecided(txn, parts);
+                }
+                return Err(e);
+            }
+        };
+        // A flush failure here is the same ambiguity: the record is
+        // appended and may yet reach the disk, so the outcome stays
+        // undecided until recovery — no unwind.
         self.shards[coord].log.flush_to(lsn)?;
         self.obs.registry.inc(names::M_SHARD_2PC_COMMITS);
         self.fault_point(TwoPcFault::AfterCoordCommit)?;
         // Phase two: lazy participant commits — the decision is already
         // durable, so these records need no force of their own.
+        let mut commits: Vec<(usize, Lsn)> = Vec::with_capacity(rest.len());
+        let mut late_err = None;
         for (i, &shard) in rest.iter().enumerate() {
-            {
+            let resolved = {
                 let mut engine = self.shards[shard].engine.lock();
-                engine.resolve_prepared(txn, true)?;
+                engine.resolve_prepared(txn, true)
+            };
+            match resolved {
+                Ok(lsn) => commits.push((shard, lsn)),
+                // The decision is durable, so a participant that fails to
+                // resolve locally stays in doubt for recovery — but must
+                // not stop the remaining participants from resolving.
+                Err(e) => late_err = Some(e),
             }
             self.fault_point(TwoPcFault::AfterResolve(i))?;
         }
+        if let Some(e) = late_err {
+            return Err(e);
+        }
+        // Fully resolved: the decision retires once these lazy Commit
+        // records are durable (checkpoint_all checks the log horizons).
+        self.retire.lock().push(PendingRetire { coord, txn, commits });
         Ok(())
     }
 
@@ -528,9 +647,11 @@ impl ShardedDb {
     /// Cross-shard `delegate`: the objects are grouped by owning shard
     /// and delegated shard-locally (responsibility for an object never
     /// leaves its shard — what crosses the boundary is the *transaction*,
-    /// which 2PC then commits atomically). Well-formedness is validated
-    /// against every shard before the first shard mutates, so a
-    /// `NotResponsible` error leaves no partial transfer.
+    /// which 2PC then commits atomically). Every touched shard's engine
+    /// mutex is held — in ascending shard order — across both the
+    /// validation sweep and the mutation sweep, so no concurrent
+    /// operation can invalidate a checked scope in between: a
+    /// `NotResponsible` error genuinely leaves no partial transfer.
     pub fn delegate(&self, tor: TxnId, tee: TxnId, objects: &[ObjectId]) -> Result<()> {
         if tor == tee {
             return Err(RhError::SelfDelegation(tor));
@@ -539,21 +660,33 @@ impl ShardedDb {
         for &ob in objects {
             by_shard.entry(self.map.shard_of(ob)).or_default().push(ob);
         }
-        for (&shard, obs) in &by_shard {
+        // Router joins first (`gtxns` orders before any engine mutex),
+        // then lock every touched engine, ascending by shard index.
+        for &shard in by_shard.keys() {
             self.join(tor, shard)?;
+            self.join(tee, shard)?;
+        }
+        let mut engines = Vec::with_capacity(by_shard.len());
+        for &shard in by_shard.keys() {
             let Some(cell) = self.shards.get(shard) else {
                 return Err(RhError::Protocol("shard index out of range"));
             };
-            let mut engine = cell.engine.lock();
+            engines.push(cell.engine.lock());
+        }
+        // Validate everywhere under the same locks the mutation runs
+        // under. `delegate` below cannot fail once every object has a
+        // live scope for `tor`, so the two sweeps are atomic as a pair.
+        for (engine, obs) in engines.iter_mut().zip(by_shard.values()) {
             engine.begin_as(tor)?;
+            engine.begin_as(tee)?;
             for &ob in obs {
                 if engine.scopes_of(tor, ob).is_empty() {
                     return Err(RhError::NotResponsible { txn: tor, object: ob });
                 }
             }
         }
-        for (&shard, obs) in &by_shard {
-            self.on_shard(shard, &[tor, tee], |eng| eng.delegate(tor, tee, obs))?;
+        for (engine, obs) in engines.iter_mut().zip(by_shard.values()) {
+            engine.delegate(tor, tee, obs)?;
         }
         Ok(())
     }
@@ -639,12 +772,55 @@ impl ShardedDb {
     }
 
     /// Takes a checkpoint in every shard.
+    ///
+    /// Every shard's log is forced **before** the first checkpoint is
+    /// taken, so the lazily-appended participant `Commit` records of
+    /// already-decided cross-shard transactions are durable before any
+    /// shard's recovery anchor moves past its `CoordCommit` records. A
+    /// decision is *retired* (dropped from future snapshots) only once
+    /// every participant's Commit LSN sits below its shard's durable
+    /// horizon — decisions not yet covered keep riding inside the
+    /// coordinator's snapshots, so a crash anywhere between the
+    /// per-shard checkpoints still resolves every in-doubt transaction.
     pub fn checkpoint_all(&self) -> Result<()> {
         for cell in &self.shards {
-            let mut engine = cell.engine.lock();
-            engine.checkpoint()?;
+            cell.log.flush_all()?;
+        }
+        self.retire_durable_decisions();
+        for (i, cell) in self.shards.iter().enumerate() {
+            {
+                let mut engine = cell.engine.lock();
+                engine.checkpoint()?;
+            }
+            self.fault_point(TwoPcFault::AfterShardCheckpoint(i))?;
         }
         Ok(())
+    }
+
+    /// Drops from the coordinator engines every pending decision whose
+    /// participant `Commit` records are all durable; the rest stay
+    /// queued (and keep riding in checkpoint snapshots). Checked against
+    /// the logs' durable horizons rather than assumed from the
+    /// preceding flush: a cross-shard commit can land between the flush
+    /// and this sweep.
+    fn retire_durable_decisions(&self) {
+        let pending = std::mem::take(&mut *self.retire.lock());
+        let mut keep = Vec::new();
+        for p in pending {
+            let durable = p
+                .commits
+                .iter()
+                .all(|&(shard, lsn)| lsn.raw() < self.shards[shard].log.durable_len());
+            if durable {
+                let mut engine = self.shards[p.coord].engine.lock();
+                if engine.retire_coord_decision(p.txn) {
+                    self.obs.registry.inc(names::M_SHARD_2PC_RETIRED);
+                }
+            } else {
+                keep.push(p);
+            }
+        }
+        self.retire.lock().extend(keep);
     }
 
     /// Open transactions in the router table (the front-end's drain

@@ -213,6 +213,126 @@ fn indoubt_counter_is_present_even_when_zero() {
 }
 
 #[test]
+fn coordinator_checkpoint_does_not_erase_the_decision() {
+    both_strategies(|strategy| {
+        let db = ShardedDb::new_mem(strategy, 2, 0);
+        let t = db.begin().unwrap();
+        db.write(t, OB_A, 81).unwrap();
+        db.write(t, OB_B, 83).unwrap();
+        // Decision durable, participant Commit not yet written — then a
+        // full checkpoint sweep moves every shard's recovery anchor past
+        // the CoordCommit record. The decision must ride inside the
+        // coordinator's snapshot, or shard 1's in-doubt transaction
+        // would wrongly presume abort.
+        db.inject_fault(TwoPcFault::AfterCoordCommit);
+        assert!(db.commit(t).is_err());
+        db.checkpoint_all().unwrap();
+
+        let db = db.crash_and_recover().unwrap();
+        assert_eq!(db.value_of(OB_A).unwrap(), 81);
+        assert_eq!(db.value_of(OB_B).unwrap(), 83);
+        assert!(db.in_doubt().is_empty());
+        assert_eq!(counter(&db, "shard.indoubt.resolved"), 1);
+        assert_eq!(counter(&db, "shard.indoubt.committed"), 1);
+    });
+}
+
+#[test]
+fn crash_between_shard_checkpoints_keeps_the_commit() {
+    both_strategies(|strategy| {
+        let db = ShardedDb::new_mem(strategy, 2, 0);
+        let t = db.begin().unwrap();
+        db.write(t, OB_A, 91).unwrap();
+        db.write(t, OB_B, 93).unwrap();
+        db.commit(t).unwrap();
+        // checkpoint_all dies between shard 0's checkpoint and shard
+        // 1's: shard 0's anchor has advanced, shard 1's has not. The
+        // flush-all-shards-first rule means shard 1's lazy Commit record
+        // is already durable, so recovery sees no in-doubt state at all.
+        db.inject_fault(TwoPcFault::AfterShardCheckpoint(0));
+        assert!(db.checkpoint_all().is_err());
+
+        let db = db.crash_and_recover().unwrap();
+        assert_eq!(db.value_of(OB_A).unwrap(), 91);
+        assert_eq!(db.value_of(OB_B).unwrap(), 93);
+        assert!(db.in_doubt().is_empty());
+    });
+}
+
+#[test]
+fn resolved_decisions_are_retired_at_checkpoint() {
+    let db = ShardedDb::new_mem(Strategy::Rh, 2, 0);
+    let t = db.begin().unwrap();
+    db.write(t, OB_A, 101).unwrap();
+    db.write(t, OB_B, 103).unwrap();
+    db.commit(t).unwrap();
+    assert_eq!(counter(&db, "shard.twopc.retired"), 0);
+    // The checkpoint forces every shard's log first, so the lazy Commit
+    // record is durable and the decision stops riding in snapshots.
+    db.checkpoint_all().unwrap();
+    assert_eq!(counter(&db, "shard.twopc.retired"), 1);
+    // Retiring must not have cost correctness: the transaction is long
+    // decided and fully durable.
+    let db = db.crash_and_recover().unwrap();
+    assert_eq!(db.value_of(OB_A).unwrap(), 101);
+    assert_eq!(db.value_of(OB_B).unwrap(), 103);
+    assert!(db.in_doubt().is_empty());
+}
+
+#[test]
+fn real_prepare_failure_unwinds_instead_of_stranding_locks() {
+    use rh_core::engine::DbConfig;
+    use rh_wal::{FaultInjector, FaultIo, FileLogConfig, StableLog};
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::Arc;
+
+    static N: AtomicU64 = AtomicU64::new(0);
+    let dir = std::env::temp_dir().join(format!(
+        "rh-2pc-unwind-{}-{}",
+        std::process::id(),
+        N.fetch_add(1, Ordering::Relaxed)
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    // Shard 0 (the coordinator) is mem-backed; shard 1 runs on
+    // fault-injected file I/O that we trip mid-protocol, so its Prepare
+    // flush fails with a *real* error — no crash follows.
+    let injector = FaultInjector::unlimited();
+    let s0 = StableLog::new();
+    let s1 = StableLog::open_file_with(
+        Arc::new(FaultIo::std(Arc::clone(&injector))),
+        FileLogConfig::new(&dir),
+    )
+    .unwrap();
+    let db =
+        ShardedDb::with_stable_logs(Strategy::Rh, DbConfig::default(), vec![s0, s1], 0).unwrap();
+
+    let t = db.begin().unwrap();
+    db.write(t, OB_A, 111).unwrap();
+    db.write(t, OB_B, 113).unwrap();
+    // Force the update records to disk before tripping the I/O, so the
+    // only thing that fails is the Prepare flush itself — the rollback
+    // sweep must still be able to read the updates it undoes.
+    db.checkpoint_all().unwrap();
+    injector.trip();
+    // The commit fails before any decision exists; presumed abort must
+    // roll the whole transaction back rather than leave shard 1
+    // Prepared with its locks held and no resolution path.
+    assert!(db.commit(t).is_err());
+    assert!(db.in_doubt().is_empty(), "unwind must not leave prepared state");
+    assert!(db.active_txns().is_empty(), "router entry must be gone");
+    assert_eq!(counter(&db, "shard.twopc.unwound"), 1);
+
+    // The proof the locks were released: a fresh transaction can write
+    // both objects immediately (immediate-mode conflicts would error).
+    let t2 = db.begin().unwrap();
+    db.write(t2, OB_A, 115).unwrap();
+    db.write(t2, OB_B, 117).unwrap();
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
 fn txn_ids_stay_global_across_recovery() {
     let db = ShardedDb::new_mem(Strategy::Rh, 2, 0);
     let t0 = db.begin().unwrap();

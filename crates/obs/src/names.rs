@@ -200,6 +200,12 @@ pub const M_SHARD_CROSS_TXNS: &str = "shard.cross.txns";
 pub const M_SHARD_INDOUBT_RESOLVED: &str = "shard.indoubt.resolved";
 /// Of the resolved in-doubt transactions, how many committed.
 pub const M_SHARD_INDOUBT_COMMITTED: &str = "shard.indoubt.committed";
+/// Coordinator decisions retired at a checkpoint: every participant's
+/// Commit record was durable, so snapshots stop carrying the decision.
+pub const M_SHARD_2PC_RETIRED: &str = "shard.twopc.retired";
+/// Cross-shard commit attempts rolled back (presumed abort) after a real
+/// failure before the coordinator decision record existed.
+pub const M_SHARD_2PC_UNWOUND: &str = "shard.twopc.unwound";
 
 /// ETM dependency edges accepted.
 pub const M_ETM_EDGES_FORMED: &str = "etm.edges_formed";
