@@ -37,10 +37,13 @@ pub const MANIFEST: &[(&str, &[&str])] = &[
     // shard's engine mutex (savepoint holds `gtxns` while marking each
     // participant shard). The decision-retirement queue (`retire`)
     // orders before the engines it drains into. The 2PC fault cell and
-    // the provenance / introspection handles never nest with either,
-    // but are declared so a future nesting is forced through this
-    // order.
-    ("crates/core/src/sharded/", &["gtxns", "fault", "retire", "engine", "prov", "server"]),
+    // the provenance / introspection handles (`prov`, `sampler`,
+    // `server`) never nest with either, but are declared so a future
+    // nesting is forced through this order.
+    (
+        "crates/core/src/sharded/",
+        &["gtxns", "fault", "retire", "engine", "prov", "sampler", "server"],
+    ),
 ];
 
 /// Methods that acquire (empty-argument calls only).

@@ -21,7 +21,8 @@ use crate::lexer::{in_spans, Kind};
 use std::collections::HashSet;
 
 /// Obs recording calls whose first argument is a name.
-const RECORDERS: &[&str] = &["counter", "add", "set", "observe", "event", "span", "span_for_txn"];
+const RECORDERS: &[&str] =
+    &["counter", "add", "set", "observe", "event", "span", "span_for_txn", "phase"];
 
 /// Dotted lowercase segments: `log.appends`, `undo.lsn_jump_distance`.
 fn looks_like_obs_name(s: &str) -> bool {
@@ -119,6 +120,19 @@ mod tests {
             "fn e(r: &Registry) { r.set(\"log.appends\", 1); print(\"reading file.txt now\"); }",
         );
         assert!(check(&f, &allowed()).is_empty());
+    }
+
+    #[test]
+    fn phase_is_a_recorder_too() {
+        // `tracer.phase("phase.engin_hold", …)` — the typo'd phase name
+        // must be flagged exactly like a counter typo.
+        let f = SourceFile::new(
+            "crates/server/src/conn.rs",
+            "fn e(t: &Tracer) { t.phase(\"phase.engin_hold\", 1, 2, 3); }",
+        );
+        let got = check(&f, &allowed());
+        assert_eq!(got.len(), 1);
+        assert!(got[0].message.contains("phase.engin_hold"));
     }
 
     #[test]

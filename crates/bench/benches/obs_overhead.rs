@@ -11,6 +11,11 @@
 //!   file-backed engine with the black-box recorder attached (freezing a
 //!   record every `COMMIT_PERIOD` commits) vs detached. This is the
 //!   whole-system overhead of `obs/` sidecar persistence.
+//! * **2PC tracing** — a run of cross-shard commits on a two-shard
+//!   in-memory router with the phase tracers enabled (every commit
+//!   carries a trace id; each 2PC edge lands in a shard ring) vs
+//!   disabled. This is the tracing tentpole's whole-path cost, gated
+//!   ≤ 10% by `rh-bench --check-baselines`.
 //!
 //! Besides the usual Criterion medians, the run writes its rows to
 //! `target/obs/BENCH_obs.json`; the first measured rows are checked in
@@ -18,8 +23,10 @@
 //! comparison (the compat harness does no statistics).
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use rh_common::ObjectId;
 use rh_core::engine::{DbConfig, RhDb, Strategy};
 use rh_core::history::replay_engine;
+use rh_core::sharded::ShardedDb;
 use rh_obs::trace::Tracer;
 use rh_obs::{JsonValue, Stopwatch};
 use rh_wal::StableLog;
@@ -28,6 +35,8 @@ use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
 
 const POINTS: u64 = 10_000;
+/// Cross-shard commits per tracing-overhead workload run.
+const TWO_PC_COMMITS: u64 = 100;
 
 fn spec() -> WorkloadSpec {
     WorkloadSpec { txns: 200, updates_per_txn: 4, straggler_rate: 0.05, ..WorkloadSpec::default() }
@@ -99,6 +108,43 @@ fn bench_flight_recorder(c: &mut Criterion) {
     group.finish();
 }
 
+/// One tracing-overhead workload run: `TWO_PC_COMMITS` cross-shard
+/// commits against a two-shard in-memory router. The traced arm tags
+/// every commit with a trace id; the untraced arm disables the shard
+/// tracers, turning every phase emission into its no-op branch — the
+/// delta is the full cost of 2PC phase tracing.
+fn sharded_2pc_workload(traced: bool) {
+    let db = ShardedDb::new_mem(Strategy::Rh, 2, 0);
+    if !traced {
+        for k in 0..2 {
+            db.shard_obs(k).expect("shard obs").tracer.set_enabled(false);
+        }
+    }
+    for i in 0..TWO_PC_COMMITS {
+        let t = db.begin().unwrap();
+        // Even object ids land on shard 0, odd on shard 1 (shift 0).
+        db.write(t, ObjectId(4 * i), 1).unwrap();
+        db.write(t, ObjectId(4 * i + 2), 2).unwrap();
+        db.write(t, ObjectId(4 * i + 1), 3).unwrap();
+        db.write(t, ObjectId(4 * i + 3), 4).unwrap();
+        if traced {
+            db.commit_traced(t, i + 1).unwrap();
+        } else {
+            db.commit(t).unwrap();
+        }
+    }
+}
+
+fn bench_sharded_2pc_tracing(c: &mut Criterion) {
+    let mut group = c.benchmark_group("obs_sharded_2pc");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(TWO_PC_COMMITS));
+    for (label, traced) in [("traced", true), ("untraced", false)] {
+        group.bench_function(label, |b| b.iter(|| sharded_2pc_workload(black_box(traced))));
+    }
+    group.finish();
+}
+
 /// Medians over `iters` timed calls (one untimed warmup), nanoseconds.
 fn median_ns(iters: usize, mut f: impl FnMut()) -> u64 {
     f();
@@ -153,6 +199,13 @@ fn export_rows(_c: &mut Criterion) {
         row(name, m, "ns/workload");
     }
 
+    // Untraced first: the baseline checker reads the pair in row order
+    // when applying the ≤10% tracing-overhead bar.
+    for (name, traced) in [("sharded_2pc_untraced", false), ("sharded_2pc_traced", true)] {
+        let m = median_ns(10, || sharded_2pc_workload(traced));
+        row(name, m, "ns/workload");
+    }
+
     let doc = JsonValue::obj(vec![
         ("bench", JsonValue::Str("obs_overhead".to_string())),
         (
@@ -173,5 +226,11 @@ fn export_rows(_c: &mut Criterion) {
     println!("obs_overhead: wrote {}", path.display());
 }
 
-criterion_group!(benches, bench_tracer_points, bench_flight_recorder, export_rows);
+criterion_group!(
+    benches,
+    bench_tracer_points,
+    bench_flight_recorder,
+    bench_sharded_2pc_tracing,
+    export_rows
+);
 criterion_main!(benches);

@@ -23,6 +23,12 @@
 //! (`available_parallelism() < shards`) the ratio is printed as
 //! information and the floor does not fail the run.
 //!
+//! The tracing rows get a same-machine bar on top of no-regression:
+//! `sharded_2pc_traced` must land within 1.10× of `sharded_2pc_untraced`
+//! *as measured in the same run*, the ≤10% whole-path tracing-overhead
+//! budget. Comparing two fresh measurements sidesteps the cross-machine
+//! noise the relative tolerance exists to absorb.
+//!
 //! `--measure NAME` runs one row's workload and prints the freshly
 //! measured row, for regenerating baselines.
 
@@ -35,6 +41,10 @@ const DEFAULT_TOLERANCE: f64 = 0.25;
 const ABSOLUTE_SLACK_NS: u64 = 100;
 /// The sharded row must beat the matching unsharded row by this factor.
 const SHARDED_SPEEDUP_FLOOR: f64 = 2.5;
+/// The traced 2PC workload may cost at most this multiple of the
+/// untraced run *measured in the same process* — a same-machine bar,
+/// immune to the cross-machine noise the relative tolerance absorbs.
+const TRACING_OVERHEAD_CEILING: f64 = 1.10;
 /// Cycles per serving point when re-measuring (median taken).
 const SERVE_ITERS: usize = 3;
 
@@ -108,6 +118,8 @@ fn measure(name: &str, iters: usize) -> Option<Measured> {
         "tracer_point_disabled" => obs_tracer_ns(false),
         "workload_flight_attached" => obs_workload_ns(true),
         "workload_flight_detached" => obs_workload_ns(false),
+        "sharded_2pc_traced" => obs_sharded_2pc_ns(true),
+        "sharded_2pc_untraced" => obs_sharded_2pc_ns(false),
         _ => return None,
     };
     Some(Measured { value: ns, higher_is_better: false, extra: Vec::new() })
@@ -158,6 +170,37 @@ fn obs_workload_ns(flight: bool) -> u64 {
     })
 }
 
+/// Median nanoseconds for a run of cross-shard 2PC commits on a
+/// two-shard in-memory router, with the shard tracers enabled (traced
+/// commits) or disabled — matching the `obs_overhead` bench's export.
+fn obs_sharded_2pc_ns(traced: bool) -> u64 {
+    use rh_common::ObjectId;
+    use rh_core::engine::Strategy;
+    use rh_core::sharded::ShardedDb;
+    const COMMITS: u64 = 100;
+    median_ns(10, || {
+        let db = ShardedDb::new_mem(Strategy::Rh, 2, 0);
+        if !traced {
+            for k in 0..2 {
+                db.shard_obs(k).expect("shard obs").tracer.set_enabled(false);
+            }
+        }
+        for i in 0..COMMITS {
+            let t = db.begin().unwrap();
+            // Even object ids land on shard 0, odd on shard 1 (shift 0).
+            db.write(t, ObjectId(4 * i), 1).unwrap();
+            db.write(t, ObjectId(4 * i + 2), 2).unwrap();
+            db.write(t, ObjectId(4 * i + 1), 3).unwrap();
+            db.write(t, ObjectId(4 * i + 3), 4).unwrap();
+            if traced {
+                db.commit_traced(t, i + 1).unwrap();
+            } else {
+                db.commit(t).unwrap();
+            }
+        }
+    })
+}
+
 /// Median over `iters` timed calls (one untimed warmup), nanoseconds.
 fn median_ns(iters: usize, mut f: impl FnMut()) -> u64 {
     f();
@@ -197,12 +240,14 @@ fn check_baselines(tolerance: f64) -> ! {
 
     let mut deltas: Vec<JsonValue> = Vec::new();
     let mut failures = 0usize;
+    let mut measured: std::collections::HashMap<String, u64> = std::collections::HashMap::new();
     for row in &rows {
         let name = row_str(row, "name");
         let Some(m) = measure(&name, SERVE_ITERS) else {
             println!("rh-bench: SKIP {name} (no measurement defined)");
             continue;
         };
+        measured.insert(name.clone(), m.value);
         let key = if m.higher_is_better { "txns_per_sec" } else { "median_ns" };
         let baseline = row_u64(row, key);
         let mut ok = within(m.value, baseline, m.higher_is_better, tolerance);
@@ -230,6 +275,24 @@ fn check_baselines(tolerance: f64) -> ! {
                      measured {ratio:.2}x)"
                 );
             }
+        }
+        if name == "sharded_2pc_traced" {
+            // Same-run comparison: the untraced row precedes this one in
+            // the baseline file, so its fresh measurement is already in
+            // hand (re-measure as a fallback if the file was reordered).
+            let untraced = measured
+                .get("sharded_2pc_untraced")
+                .copied()
+                .unwrap_or_else(|| obs_sharded_2pc_ns(false));
+            let ceiling = (untraced as f64 * TRACING_OVERHEAD_CEILING) as u64;
+            let ratio = m.value as f64 / untraced as f64;
+            if m.value > ceiling {
+                ok = false;
+            }
+            bar = format!(
+                " (overhead bar: <= {ceiling} = {TRACING_OVERHEAD_CEILING}x untraced measured \
+                 {untraced}, ratio {ratio:.3}x)"
+            );
         }
         let delta =
             if baseline > 0 { (m.value as f64 - baseline as f64) / baseline as f64 } else { 0.0 };

@@ -102,6 +102,7 @@ impl CyclePoint {
             base_offset: 0,
             cross_shard_fraction: if self.shards > 1 { CROSS_SHARD_FRACTION } else { 0.0 },
             shards: self.shards,
+            trace: false,
         }
     }
 

@@ -1,0 +1,137 @@
+//! `rh-trace` — render per-transaction latency waterfalls and validate
+//! the metrics exposition of a running (or crashed) server.
+//!
+//! ```text
+//! rh-trace waterfall (--addr HOST:PORT | --file PATH) [--trace ID] [--top N]
+//! rh-trace check-metrics --addr HOST:PORT
+//! ```
+//!
+//! `waterfall` stitches every `phase.*` trace point by its
+//! client-assigned trace id — across shard rings for a sharded server —
+//! and prints one waterfall per traced request, slowest first. The
+//! source is either a live introspection endpoint's `/trace` (`--addr`)
+//! or a postmortem artifact on disk (`--file`): a saved `/trace`
+//! document or a flight-recorder black-box record, both carry the same
+//! nested `events` arrays.
+//!
+//! `check-metrics` fetches `/metrics` and runs the checked-in
+//! Prometheus text-exposition validator over it — the CI server-smoke
+//! job gates on its exit code.
+
+use rh_client::introspect;
+use rh_obs::{json, promtext};
+
+fn usage(reason: &str) -> ! {
+    eprintln!("rh-trace: {reason}");
+    eprintln!(
+        "usage: rh-trace waterfall (--addr HOST:PORT | --file PATH) [--trace ID] [--top N]\n\
+         \x20      rh-trace check-metrics --addr HOST:PORT"
+    );
+    std::process::exit(2);
+}
+
+fn die(reason: &str) -> ! {
+    eprintln!("rh-trace: {reason}");
+    std::process::exit(1);
+}
+
+struct Flags {
+    addr: Option<String>,
+    file: Option<String>,
+    trace: Option<u64>,
+    top: usize,
+}
+
+fn parse_flags(mut argv: std::env::Args) -> Flags {
+    let mut out = Flags { addr: None, file: None, trace: None, top: 10 };
+    while let Some(flag) = argv.next() {
+        let mut value = |name: &str| match argv.next() {
+            Some(v) => v,
+            None => usage(&format!("{name} needs a value")),
+        };
+        match flag.as_str() {
+            "--addr" => out.addr = Some(value("--addr")),
+            "--file" => out.file = Some(value("--file")),
+            "--trace" => match value("--trace").parse() {
+                Ok(id) => out.trace = Some(id),
+                Err(_) => usage("--trace needs an integer trace id"),
+            },
+            "--top" => match value("--top").parse() {
+                Ok(n) => out.top = n,
+                Err(_) => usage("--top needs an integer"),
+            },
+            other => usage(&format!("unknown flag {other}")),
+        }
+    }
+    out
+}
+
+fn waterfall(flags: Flags) {
+    let (doc, source) = match (&flags.addr, &flags.file) {
+        (Some(addr), None) => match introspect::http_get_json(addr, "/trace") {
+            Ok(doc) => (doc, format!("http://{addr}/trace")),
+            Err(e) => die(&format!("cannot fetch /trace from {addr}: {e}")),
+        },
+        (None, Some(path)) => {
+            let text = match std::fs::read_to_string(path) {
+                Ok(t) => t,
+                Err(e) => die(&format!("cannot read {path}: {e}")),
+            };
+            match json::parse(&text) {
+                Ok(doc) => (doc, path.clone()),
+                Err(e) => die(&format!("{path} is not a JSON trace artifact: {e}")),
+            }
+        }
+        _ => usage("waterfall needs exactly one of --addr or --file"),
+    };
+    let phases = introspect::collect_phases(&doc);
+    let mut falls = introspect::stitch(&phases);
+    if let Some(id) = flags.trace {
+        falls.retain(|w| w.trace == id);
+        if falls.is_empty() {
+            die(&format!("no phases for trace {id} in {source}"));
+        }
+    }
+    if falls.is_empty() {
+        println!("rh-trace: no traced requests in {source} (commits need a trace id)");
+        return;
+    }
+    let shown = falls.len().min(flags.top);
+    // One buffered write, errors ignored: a downstream `head`/`grep -q`
+    // closing the pipe early must not turn into a panic.
+    let mut out = format!(
+        "rh-trace: {} traced request(s) in {source}, showing {shown} slowest\n",
+        falls.len()
+    );
+    for wf in falls.iter().take(shown) {
+        out.push_str(&wf.render());
+    }
+    use std::io::Write;
+    let _ = std::io::stdout().write_all(out.as_bytes());
+}
+
+fn check_metrics(flags: Flags) {
+    let Some(addr) = &flags.addr else { usage("check-metrics needs --addr") };
+    let body = match introspect::http_get(addr, "/metrics") {
+        Ok(b) => b,
+        Err(e) => die(&format!("cannot fetch /metrics from {addr}: {e}")),
+    };
+    match promtext::validate(&body) {
+        Ok(()) => {
+            let samples = body.lines().filter(|l| !l.starts_with('#') && !l.is_empty()).count();
+            println!("rh-trace: /metrics OK ({samples} samples)");
+        }
+        Err((line, msg)) => die(&format!("/metrics line {line}: {msg}")),
+    }
+}
+
+fn main() {
+    let mut argv = std::env::args();
+    let _ = argv.next();
+    match argv.next().as_deref() {
+        Some("waterfall") => waterfall(parse_flags(argv)),
+        Some("check-metrics") => check_metrics(parse_flags(argv)),
+        Some(other) => usage(&format!("unknown command {other}")),
+        None => usage("missing command"),
+    }
+}

@@ -17,11 +17,12 @@
 //! assert_eq!(c.value_of(ObjectId(7)).unwrap(), 42);
 //! ```
 
+pub mod introspect;
 pub mod load;
 
 use rh_common::codec::Codec;
 use rh_common::ops::Value;
-use rh_common::{ObjectId, TxnId};
+use rh_common::{ObjectId, RhError, TxnId};
 use rh_server::wire::{self, Hello, Op, Reply, ReplyBody, Request, Response};
 use std::fmt;
 use std::io;
@@ -50,6 +51,16 @@ pub enum ClientError {
     /// Transport failure (includes the server vanishing mid-exchange —
     /// the crash tests rely on surfacing this faithfully).
     Io(io::Error),
+    /// The server speaks a different wire-protocol version. Its own
+    /// class (not [`ClientError::Protocol`]) so callers can print the
+    /// actionable "upgrade one side" message instead of treating the
+    /// mismatch as stream corruption.
+    Version {
+        /// The version the server announced in its hello.
+        server: u32,
+        /// The version this client build speaks.
+        client: u32,
+    },
     /// The peer broke the wire protocol.
     Protocol(String),
 }
@@ -61,6 +72,11 @@ impl fmt::Display for ClientError {
             ClientError::Busy => write!(f, "server busy: in-flight cap exceeded"),
             ClientError::Engine { code, message } => write!(f, "engine error {code}: {message}"),
             ClientError::Io(e) => write!(f, "transport error: {e}"),
+            ClientError::Version { server, client } => write!(
+                f,
+                "wire protocol version mismatch: server speaks v{server}, this client speaks \
+                 v{client} (upgrade whichever side is older)"
+            ),
             ClientError::Protocol(m) => write!(f, "protocol error: {m}"),
         }
     }
@@ -100,8 +116,13 @@ impl Connection {
         let payload = conn
             .read_payload()?
             .ok_or_else(|| ClientError::Protocol("server closed before hello".into()))?;
-        let hello = Hello::from_bytes(&payload)
-            .map_err(|e| ClientError::Protocol(format!("bad hello: {e}")))?;
+        let hello = match Hello::from_bytes(&payload) {
+            Ok(h) => h,
+            Err(RhError::VersionMismatch { got, want }) => {
+                return Err(ClientError::Version { server: got, client: want })
+            }
+            Err(e) => return Err(ClientError::Protocol(format!("bad hello: {e}"))),
+        };
         if !hello.accepted {
             return Err(ClientError::Rejected);
         }
@@ -134,9 +155,17 @@ impl Connection {
     /// Fire-and-forget: frames `op` onto the wire, returning the
     /// request id. Pair with [`Connection::recv`].
     pub fn send(&mut self, op: Op) -> Result<u64> {
+        self.send_traced(op, wire::NO_TRACE)
+    }
+
+    /// [`Connection::send`] with a client-assigned trace id: the server
+    /// tags every phase of the request's execution with it, so the
+    /// resulting spans stitch into one waterfall across sessions and
+    /// shards (`rh-trace` renders them).
+    pub fn send_traced(&mut self, op: Op, trace: u64) -> Result<u64> {
         let id = self.next_id;
         self.next_id += 1;
-        let bytes = Request { id, op }.to_bytes();
+        let bytes = Request { id, trace, op }.to_bytes();
         wire::write_frame(&mut self.stream, &bytes)?;
         Ok(id)
     }
@@ -152,7 +181,13 @@ impl Connection {
 
     /// One blocking round trip.
     pub fn call(&mut self, op: Op) -> Result<ReplyBody> {
-        let id = self.send(op)?;
+        self.call_traced(op, wire::NO_TRACE)
+    }
+
+    /// One blocking round trip carrying a trace id (see
+    /// [`Connection::send_traced`]).
+    pub fn call_traced(&mut self, op: Op, trace: u64) -> Result<ReplyBody> {
+        let id = self.send_traced(op, trace)?;
         let resp = self.recv()?;
         if resp.id != id {
             return Err(ClientError::Protocol(format!(
@@ -214,6 +249,14 @@ impl Connection {
     /// server (group-committed with concurrent sessions).
     pub fn commit(&mut self, t: TxnId) -> Result<()> {
         unit(self.call(Op::Commit(t))?)
+    }
+
+    /// [`Connection::commit`] tagged with a client-assigned trace id:
+    /// the server's commit phases (queue wait, engine hold, prepare,
+    /// flush — and each 2PC edge, for a sharded backend) are emitted as
+    /// trace points carrying this id.
+    pub fn commit_traced(&mut self, t: TxnId, trace: u64) -> Result<()> {
+        unit(self.call_traced(Op::Commit(t), trace)?)
     }
 
     /// Aborts.

@@ -14,13 +14,14 @@
 //! `log.fsyncs` deltas over the run: group commit shows up as fsyncs
 //! growing sublinearly in commits.
 
-use crate::{ClientError, Connection, Result};
+use crate::{introspect, ClientError, Connection, Result};
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 use rh_common::ops::Value;
 use rh_common::ObjectId;
 use rh_obs::json::{self, JsonValue};
 use rh_obs::{names, HistogramSnapshot, Registry, Stopwatch};
+use rh_server::wire;
 use std::collections::HashMap;
 use std::sync::Arc;
 use std::time::Duration;
@@ -56,6 +57,12 @@ pub struct LoadSpec {
     /// the remote ranges provably land in a different shard). 1 = the
     /// unsharded configuration; cross-shard traffic is disabled.
     pub shards: usize,
+    /// When true, every commit carries a unique client-assigned trace
+    /// id ([`Connection::commit_traced`]) and the report records each
+    /// acked commit's `(trace, client latency)` pair, so
+    /// [`trace_coverage`] can stitch the server's `/trace` rings into
+    /// waterfalls and check attribution coverage.
+    pub trace: bool,
 }
 
 impl Default for LoadSpec {
@@ -69,6 +76,7 @@ impl Default for LoadSpec {
             base_offset: 0,
             cross_shard_fraction: 0.0,
             shards: 1,
+            trace: false,
         }
     }
 }
@@ -78,6 +86,17 @@ impl LoadSpec {
     pub fn smoke() -> Self {
         LoadSpec { threads: 4, txns_per_thread: 10, ..LoadSpec::default() }
     }
+}
+
+/// One acked commit that carried a trace id (see [`LoadSpec::trace`]).
+#[derive(Debug, Clone, Copy)]
+pub struct TracedCommit {
+    /// The client-assigned trace id sent with the commit.
+    pub trace: u64,
+    /// Client-observed commit round trip in microseconds.
+    pub client_us: u64,
+    /// Whether the transaction touched a second shard (2PC commit).
+    pub cross_shard: bool,
 }
 
 /// Outcome of one load run.
@@ -107,6 +126,9 @@ pub struct LoadReport {
     pub commit_latency: HistogramSnapshot,
     /// Client-observed non-commit operation latencies.
     pub op_latency: HistogramSnapshot,
+    /// Acked commits that carried a trace id (empty unless
+    /// [`LoadSpec::trace`] was set). Input to [`trace_coverage`].
+    pub traced: Vec<TracedCommit>,
 }
 
 impl LoadReport {
@@ -180,6 +202,25 @@ struct ThreadOutcome {
     busy: u64,
     errors: u64,
     oracle: HashMap<ObjectId, Value>,
+    traced: Vec<TracedCommit>,
+}
+
+impl ThreadOutcome {
+    fn empty() -> Self {
+        ThreadOutcome {
+            committed: 0,
+            busy: 0,
+            errors: 0,
+            oracle: HashMap::new(),
+            traced: Vec::new(),
+        }
+    }
+}
+
+/// Trace id for thread `tid`'s `seq`-th commit: unique across the run
+/// and never the wire's NO_TRACE sentinel.
+fn trace_id(tid: usize, seq: usize) -> u64 {
+    ((tid as u64 + 1) << 40) | (seq as u64 + 1)
 }
 
 /// Runs the load against a serving address and verifies the oracle.
@@ -196,7 +237,7 @@ pub fn run_load(addr: &str, spec: &LoadSpec) -> Result<LoadReport> {
         let registry = Arc::clone(&registry);
         handles.push(std::thread::spawn(move || worker(&addr, tid, &spec, &registry)));
     }
-    let mut outcome = ThreadOutcome { committed: 0, busy: 0, errors: 0, oracle: HashMap::new() };
+    let mut outcome = ThreadOutcome::empty();
     for h in handles {
         match h.join() {
             Ok(t) => {
@@ -204,6 +245,7 @@ pub fn run_load(addr: &str, spec: &LoadSpec) -> Result<LoadReport> {
                 outcome.busy += t.busy;
                 outcome.errors += t.errors;
                 outcome.oracle.extend(t.oracle);
+                outcome.traced.extend(t.traced);
             }
             Err(_) => outcome.errors += 1,
         }
@@ -233,6 +275,7 @@ pub fn run_load(addr: &str, spec: &LoadSpec) -> Result<LoadReport> {
         server_fsyncs_delta: counter_delta(&after, &before, names::M_LOG_FSYNCS),
         commit_latency: snap.histogram(names::M_CLIENT_COMMIT_US),
         op_latency: snap.histogram(names::M_CLIENT_OP_US),
+        traced: outcome.traced,
     })
 }
 
@@ -254,7 +297,7 @@ pub fn connect_with_retry(addr: &str) -> Result<Connection> {
 }
 
 fn worker(addr: &str, tid: usize, spec: &LoadSpec, registry: &Registry) -> ThreadOutcome {
-    let mut out = ThreadOutcome { committed: 0, busy: 0, errors: 0, oracle: HashMap::new() };
+    let mut out = ThreadOutcome::empty();
     let mut conn = match connect_with_retry(addr) {
         Ok(c) => c,
         Err(_) => {
@@ -266,9 +309,10 @@ fn worker(addr: &str, tid: usize, spec: &LoadSpec, registry: &Registry) -> Threa
     let base = thread_base(tid, spec.base_offset);
     for i in 0..spec.txns_per_thread {
         match one_txn(&mut conn, &mut rng, spec, tid, base, i, registry) {
-            Ok(effects) => {
+            Ok((effects, traced)) => {
                 out.committed += 1;
                 out.oracle.extend(effects);
+                out.traced.extend(traced);
             }
             Err(ClientError::Busy) => out.busy += 1,
             Err(_) => out.errors += 1,
@@ -281,6 +325,10 @@ fn worker(addr: &str, tid: usize, spec: &LoadSpec, registry: &Registry) -> Threa
 /// was acknowledged. On any error the effects are NOT recorded — an
 /// unacknowledged transaction is allowed to survive or vanish, and the
 /// oracle only asserts about acks.
+/// Acked effects of one transaction plus, when tracing, the commit's
+/// client-observed timing keyed by its trace id.
+type TxnOutcome = (Vec<(ObjectId, Value)>, Option<TracedCommit>);
+
 #[allow(clippy::too_many_arguments)]
 fn one_txn(
     conn: &mut Connection,
@@ -290,11 +338,12 @@ fn one_txn(
     base: u64,
     seq: usize,
     registry: &Registry,
-) -> Result<Vec<(ObjectId, Value)>> {
+) -> Result<TxnOutcome> {
     let op_sw = Stopwatch::start();
     let t1 = conn.begin()?;
     let mut effects = Vec::with_capacity(spec.updates_per_txn + 1);
     let mut touched = Vec::with_capacity(spec.updates_per_txn);
+    let mut cross_shard = false;
     for k in 0..spec.updates_per_txn {
         let ob = ObjectId(base + (seq * spec.updates_per_txn + k) as u64);
         let v: Value = rng.random_range(1..1_000_000i64);
@@ -317,10 +366,14 @@ fn one_txn(
         conn.write(t1, remote, v)?;
         touched.push(remote);
         effects.push((remote, v));
+        cross_shard = true;
     }
     registry.observe(names::M_CLIENT_OP_US, op_sw.elapsed_micros());
 
-    if rng.random_bool(spec.delegation_fraction) && !touched.is_empty() {
+    // The commit carries a unique trace id when tracing is on, so the
+    // server's phase points stitch back to this specific round trip.
+    let trace = if spec.trace { trace_id(tid, seq) } else { wire::NO_TRACE };
+    let committer = if rng.random_bool(spec.delegation_fraction) && !touched.is_empty() {
         // The delegation idiom: t2 takes responsibility, t1 aborts —
         // the updates survive because responsibility moved — then t2
         // commits everything.
@@ -330,15 +383,145 @@ fn one_txn(
         let extra = ObjectId(base + (1 << 20) + seq as u64);
         conn.add(t2, extra, 1)?;
         effects.push((extra, 1));
-        let sw = Stopwatch::start();
-        conn.commit(t2)?;
-        registry.observe(names::M_CLIENT_COMMIT_US, sw.elapsed_micros());
+        t2
     } else {
-        let sw = Stopwatch::start();
-        conn.commit(t1)?;
-        registry.observe(names::M_CLIENT_COMMIT_US, sw.elapsed_micros());
+        t1
+    };
+    let sw = Stopwatch::start();
+    conn.commit_traced(committer, trace)?;
+    let client_us = sw.elapsed_micros();
+    registry.observe(names::M_CLIENT_COMMIT_US, client_us);
+    let traced = spec.trace.then_some(TracedCommit { trace, client_us, cross_shard });
+    Ok((effects, traced))
+}
+
+/// How well the server's `/trace` rings attribute the run's acked
+/// commits: for each traced commit, was a waterfall stitched at all,
+/// and do its phase durations sum to within 5% of the client-observed
+/// round trip? The `cross_*` fields restrict to 2PC commits — the
+/// population the tracing tentpole's acceptance gate is about.
+#[derive(Debug, Default)]
+pub struct TraceCoverage {
+    /// Acked commits that carried a trace id.
+    pub traced: u64,
+    /// … of which a waterfall with at least one phase was stitched.
+    pub stitched: u64,
+    /// … of which the phase sum lands within 5% of the client latency.
+    pub close: u64,
+    /// Traced commits that committed through 2PC.
+    pub cross_traced: u64,
+    /// Cross-shard commits with a stitched waterfall.
+    pub cross_stitched: u64,
+    /// Cross-shard commits whose phase sum is within 5%.
+    pub cross_close: u64,
+    /// The worst misses, for diagnosing a failed gate:
+    /// `(trace, client_us, phase_sum_us)`, largest gap first (at most
+    /// [`WORST_MISSES`] entries).
+    pub worst: Vec<(u64, u64, u64)>,
+}
+
+/// How many missed-band commits `TraceCoverage::worst` retains.
+const WORST_MISSES: usize = 5;
+
+impl TraceCoverage {
+    /// Fraction of traced commits with a stitched waterfall.
+    pub fn stitched_fraction(&self) -> f64 {
+        if self.traced == 0 {
+            1.0
+        } else {
+            self.stitched as f64 / self.traced as f64
+        }
     }
-    Ok(effects)
+
+    /// Fraction of traced *cross-shard* commits with a stitched
+    /// waterfall whose phase sum is within 5% of the client latency.
+    pub fn cross_close_fraction(&self) -> f64 {
+        if self.cross_traced == 0 {
+            1.0
+        } else {
+            self.cross_close as f64 / self.cross_traced as f64
+        }
+    }
+
+    /// Renders the coverage block of the run report.
+    pub fn to_json(&self) -> JsonValue {
+        JsonValue::obj(vec![
+            ("traced", JsonValue::U64(self.traced)),
+            ("stitched", JsonValue::U64(self.stitched)),
+            ("close", JsonValue::U64(self.close)),
+            ("cross_traced", JsonValue::U64(self.cross_traced)),
+            ("cross_stitched", JsonValue::U64(self.cross_stitched)),
+            ("cross_close", JsonValue::U64(self.cross_close)),
+            ("stitched_fraction", JsonValue::F64(self.stitched_fraction())),
+            ("cross_close_fraction", JsonValue::F64(self.cross_close_fraction())),
+            (
+                "worst_misses",
+                JsonValue::Arr(
+                    self.worst
+                        .iter()
+                        .map(|&(trace, client_us, sum)| {
+                            JsonValue::obj(vec![
+                                ("trace", JsonValue::U64(trace)),
+                                ("client_us", JsonValue::U64(client_us)),
+                                ("phase_sum_us", JsonValue::U64(sum)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+}
+
+/// Wire transit, reader-thread parse, and client-side scheduling —
+/// round-trip microseconds no server-side timer can ever attribute.
+/// The close band widens by this absolute allowance so a fast commit
+/// (fsync piggybacked on another thread's force) is not judged solely
+/// on loopback overhead that dwarfs its 5% relative budget.
+const CLOSE_SLACK_US: u64 = 200;
+
+/// Fetches `/trace` from the introspection server at `obs_addr`,
+/// stitches waterfalls, and scores them against the run's traced
+/// commits. The phase timers are engineered to be disjoint and to
+/// cover the *whole* server-side service interval of a commit (the
+/// uninstrumented remainder is emitted as `phase.serve_other`), so the
+/// phase sum should approach the client round trip from below; "close"
+/// means `phase_sum >= 0.95 * client_us - CLOSE_SLACK_US` (and not
+/// above `1.05 * client_us + CLOSE_SLACK_US` — a sum exceeding the
+/// round trip would mean overlapping timers).
+pub fn trace_coverage(obs_addr: &str, traced: &[TracedCommit]) -> Result<TraceCoverage> {
+    let doc = introspect::http_get_json(obs_addr, "/trace")?;
+    let phases = introspect::collect_phases(&doc);
+    let mut sums: HashMap<u64, u64> = HashMap::new();
+    for wf in introspect::stitch(&phases) {
+        sums.insert(wf.trace, wf.total_us());
+    }
+    let mut cov = TraceCoverage::default();
+    for tc in traced {
+        cov.traced += 1;
+        if tc.cross_shard {
+            cov.cross_traced += 1;
+        }
+        let Some(&sum) = sums.get(&tc.trace) else { continue };
+        cov.stitched += 1;
+        let slack = CLOSE_SLACK_US as f64;
+        let close = (sum as f64) >= 0.95 * tc.client_us as f64 - slack
+            && (sum as f64) <= 1.05 * tc.client_us as f64 + slack;
+        if tc.cross_shard {
+            cov.cross_stitched += 1;
+        }
+        if close {
+            cov.close += 1;
+            if tc.cross_shard {
+                cov.cross_close += 1;
+            }
+        } else {
+            cov.worst.push((tc.trace, tc.client_us, sum));
+        }
+    }
+    cov.worst.sort_by_key(|&(_, client_us, sum)| std::cmp::Reverse(client_us.abs_diff(sum)));
+    cov.worst.truncate(WORST_MISSES);
+    Ok(cov)
 }
 
 /// Pulls the counters object out of a rendered stats document.

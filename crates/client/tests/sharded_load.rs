@@ -4,7 +4,7 @@
 //! oracle divergences, commit cross-shard traffic through 2PC, and
 //! drain gracefully with every shard checkpointed.
 
-use rh_client::load::{run_load, LoadSpec};
+use rh_client::load::{self, run_load, LoadSpec};
 use rh_core::engine::{DbConfig, Strategy};
 use rh_core::sharded::{ShardMap, ShardedDb};
 use rh_server::{Server, ServerConfig};
@@ -26,20 +26,21 @@ fn scratch(tag: &str) -> PathBuf {
     dir
 }
 
-fn sharded_server(strategy: Strategy, dir: &Path) -> Server {
+fn sharded_server(strategy: Strategy, dir: &Path) -> (Server, String) {
     let stables = (0..SHARDS)
         .map(|k| StableLog::open_dir(dir.join(format!("shard-{k}"))).expect("open shard dir"))
         .collect();
     let db =
         ShardedDb::with_stable_logs(strategy, DbConfig::default(), stables, ShardMap::RANGE_SHIFT)
             .expect("sharded open");
-    Server::bind_sharded("127.0.0.1:0", db, ServerConfig::default()).expect("bind")
+    let obs_addr = db.serve_introspection("127.0.0.1:0").expect("introspection").to_string();
+    (Server::bind_sharded("127.0.0.1:0", db, ServerConfig::default()).expect("bind"), obs_addr)
 }
 
 #[test]
 fn cross_shard_load_holds_the_oracle_and_commits_via_2pc() {
     let dir = scratch("accept");
-    let server = sharded_server(Strategy::Rh, &dir);
+    let (server, obs_addr) = sharded_server(Strategy::Rh, &dir);
     let addr = server.local_addr().to_string();
 
     let spec = LoadSpec {
@@ -51,6 +52,7 @@ fn cross_shard_load_holds_the_oracle_and_commits_via_2pc() {
         shards: SHARDS,
         seed: 9,
         base_offset: 0,
+        trace: true,
     };
     let report = run_load(&addr, &spec).expect("load run");
 
@@ -59,6 +61,33 @@ fn cross_shard_load_holds_the_oracle_and_commits_via_2pc() {
     let expected = (spec.threads * spec.txns_per_thread) as u64;
     assert_eq!(report.txns_committed, expected);
     assert_eq!(report.server_commits_delta, expected);
+
+    // Every acked commit carried a trace id; the server's `/trace`
+    // rings must stitch a waterfall for (at least) 99% of them, and for
+    // every cross-shard commit — the acceptance population — the
+    // waterfall must exist and its phase sum must not exceed the
+    // client-observed round trip (disjoint timers cannot overlap it).
+    assert_eq!(report.traced.len() as u64, expected);
+    let cov = load::trace_coverage(&obs_addr, &report.traced).expect("trace fetch");
+    assert!(cov.stitched_fraction() >= 0.99, "stitched only {:?}", cov);
+    assert!(cov.cross_traced > 0, "the mix must produce cross-shard commits");
+    assert_eq!(cov.cross_stitched, cov.cross_traced, "unstitched 2PC commits: {cov:?}");
+    let doc = rh_client::introspect::http_get_json(&obs_addr, "/trace").expect("trace doc");
+    let falls = rh_client::introspect::stitch(&rh_client::introspect::collect_phases(&doc));
+    let by_trace: std::collections::HashMap<u64, _> =
+        falls.into_iter().map(|w| (w.trace, w)).collect();
+    for tc in report.traced.iter().filter(|t| t.cross_shard) {
+        let wf = &by_trace[&tc.trace];
+        let named = |n: &str| wf.phases.iter().filter(|(name, _)| name == n).count();
+        assert!(named("phase.twopc.prepare_force") >= 1, "no prepare edge: {wf:?}");
+        assert_eq!(named("phase.twopc.coord_force"), 1, "coord edge: {wf:?}");
+        assert!(
+            wf.total_us() <= tc.client_us + tc.client_us / 20 + 50,
+            "phase sum {} overlaps the client round trip {}",
+            wf.total_us(),
+            tc.client_us
+        );
+    }
 
     let db = server.shutdown_sharded().expect("drain");
     let stats = db.stats();
@@ -84,7 +113,7 @@ fn cross_shard_load_holds_the_oracle_and_commits_via_2pc() {
 #[test]
 fn lazy_rewrite_serves_the_same_sharded_contract() {
     let dir = scratch("lazy");
-    let server = sharded_server(Strategy::LazyRewrite, &dir);
+    let (server, _obs) = sharded_server(Strategy::LazyRewrite, &dir);
     let addr = server.local_addr().to_string();
 
     let spec = LoadSpec {
@@ -96,6 +125,7 @@ fn lazy_rewrite_serves_the_same_sharded_contract() {
         shards: SHARDS,
         seed: 13,
         base_offset: 0,
+        trace: false,
     };
     let report = run_load(&addr, &spec).expect("load run");
     assert_eq!(report.divergences, 0, "oracle divergence: {report:?}");

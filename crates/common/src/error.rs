@@ -38,6 +38,16 @@ pub enum RhError {
     /// ETM-layer protocol violation (e.g. joining a transaction that was
     /// never split, committing a nested child before its own children).
     Protocol(&'static str),
+    /// The peer speaks a different wire-protocol version. A dedicated
+    /// class (not [`RhError::Codec`]) so clients can tell "upgrade one
+    /// side" apart from "corrupted stream", and so the wire error code
+    /// stays stable across releases.
+    VersionMismatch {
+        /// The version the peer announced.
+        got: u32,
+        /// The version this build speaks.
+        want: u32,
+    },
 }
 
 impl fmt::Display for RhError {
@@ -66,6 +76,11 @@ impl fmt::Display for RhError {
                 write!(f, "dependency {from} -> {to} would create a cycle")
             }
             RhError::Protocol(reason) => write!(f, "protocol violation: {reason}"),
+            RhError::VersionMismatch { got, want } => write!(
+                f,
+                "wire protocol version mismatch: peer speaks v{got}, this build speaks v{want} \
+                 (upgrade the older side)"
+            ),
         }
     }
 }

@@ -25,7 +25,7 @@ use rh_common::codec::Codec;
 use rh_common::ops::Value;
 use rh_common::{Lsn, ObjectId, Result, RhError, TxnId, UpdateOp};
 use rh_lock::{LockManager, LockMode};
-use rh_obs::{names, IntrospectionServer, JsonValue, Obs};
+use rh_obs::{names, HttpResponse, IntrospectionServer, JsonValue, Obs, Sampler};
 use rh_storage::{BufferPool, Disk};
 use rh_wal::record::{DelegateBody, RecordBody};
 use rh_wal::{LogManager, StableLog};
@@ -94,6 +94,9 @@ pub struct RhDb {
     /// The live introspection endpoint; dropped (= shut down) with the
     /// engine.
     server: Option<IntrospectionServer>,
+    /// The cadence thread feeding `/timeseries` while the introspection
+    /// endpoint runs; dropped (= stopped) with it.
+    sampler: Option<Sampler>,
 }
 
 impl RhDb {
@@ -124,6 +127,7 @@ impl RhDb {
             postmortem: Arc::new(Mutex::new(None)),
             flight: None,
             server: None,
+            sampler: None,
         }
     }
 
@@ -170,6 +174,7 @@ impl RhDb {
             postmortem: Arc::new(Mutex::new(None)),
             flight,
             server: None,
+            sampler: None,
         }
     }
 
@@ -205,6 +210,7 @@ impl RhDb {
             postmortem: Arc::new(Mutex::new(None)),
             flight: None,
             server: None,
+            sampler: None,
         }
     }
 
@@ -342,8 +348,11 @@ impl RhDb {
     /// Starts the live introspection server on `addr` (use
     /// `"127.0.0.1:0"` for an ephemeral port) and returns the bound
     /// address. Read-only and bounded (see `rh_obs::serve`); routes:
-    /// `/stats`, `/trace`, `/provenance`, `/provenance/<ob>`,
-    /// `/postmortem`. The server stops when the engine is dropped (or on
+    /// `/stats`, `/metrics` (Prometheus text exposition of the same
+    /// registry), `/timeseries`, `/slowops`, `/trace`, `/provenance`,
+    /// `/provenance/<ob>`, `/postmortem`. Also spawns the once-a-second
+    /// cadence sampler feeding `/timeseries`. The server and sampler
+    /// stop when the engine is dropped (or on
     /// [`RhDb::stop_introspection`]).
     pub fn serve_introspection(&mut self, addr: &str) -> std::io::Result<std::net::SocketAddr> {
         let log = Arc::clone(&self.log);
@@ -352,32 +361,70 @@ impl RhDb {
         let obs = Arc::clone(&self.obs);
         let prov = Arc::clone(&self.prov);
         let postmortem = Arc::clone(&self.postmortem);
-        let handler: rh_obs::Handler = Arc::new(move |path: &str| match path {
-            "/stats" => {
+        // The absorbed "one-stop" registry view, shared by /stats,
+        // /metrics, and the sampler tick — the same arithmetic as
+        // `stats()`.
+        let absorbed = {
+            let obs = Arc::clone(&obs);
+            move || {
                 log.metrics().snapshot().export_into(&obs.registry);
                 disk.metrics().snapshot().export_into(&obs.registry);
                 locks.stats().snapshot().export_into(&obs.registry);
-                Some(obs.registry.snapshot().to_json())
+                obs.registry.snapshot()
             }
-            "/trace" => Some(obs.tracer.snapshot().to_json()),
-            "/provenance" => Some(prov.lock().to_json()),
-            "/postmortem" => Some(postmortem.lock().clone().unwrap_or(JsonValue::Null)),
-            p => {
-                let ob: u64 = p.strip_prefix("/provenance/")?.parse().ok()?;
-                let chain = prov.lock();
-                Some(JsonValue::Arr(
-                    chain.chain(ObjectId(ob)).iter().map(ProvHop::to_json).collect(),
-                ))
-            }
-        });
-        let server = IntrospectionServer::bind(addr, handler)?;
+        };
+        let endpoints = [
+            "/stats",
+            "/metrics",
+            "/timeseries",
+            "/slowops",
+            "/trace",
+            "/provenance",
+            "/postmortem",
+        ];
+        let handler: rh_obs::Handler = {
+            let absorbed = absorbed.clone();
+            let obs = Arc::clone(&obs);
+            Arc::new(move |path: &str| match path {
+                "/stats" => Some(HttpResponse::Json(absorbed().to_json())),
+                "/metrics" => Some(HttpResponse::Text {
+                    content_type: rh_obs::serve::PROMETHEUS_CONTENT_TYPE,
+                    body: rh_obs::promtext::render(&absorbed()),
+                }),
+                "/timeseries" => Some(HttpResponse::Json(obs.timeseries.to_json())),
+                "/slowops" => Some(HttpResponse::Json(obs.slowops.to_json())),
+                "/trace" => Some(HttpResponse::Json(obs.tracer.snapshot().to_json())),
+                "/provenance" => Some(HttpResponse::Json(prov.lock().to_json())),
+                "/postmortem" => {
+                    Some(HttpResponse::Json(postmortem.lock().clone().unwrap_or(JsonValue::Null)))
+                }
+                p => {
+                    let ob: u64 = p.strip_prefix("/provenance/")?.parse().ok()?;
+                    let chain = prov.lock();
+                    Some(HttpResponse::Json(JsonValue::Arr(
+                        chain.chain(ObjectId(ob)).iter().map(ProvHop::to_json).collect(),
+                    )))
+                }
+            })
+        };
+        let server = IntrospectionServer::bind(addr, &endpoints, handler)?;
         let bound = server.local_addr();
+        let tick_obs = Arc::clone(&self.obs);
+        self.sampler = Some(Sampler::spawn_every(
+            std::time::Duration::from_secs(1),
+            Box::new(move || {
+                tick_obs.registry.inc(names::M_TS_SAMPLES);
+                tick_obs.timeseries.sample(&absorbed());
+            }),
+        ));
         self.server = Some(server);
         Ok(bound)
     }
 
-    /// Shuts the introspection server down, if one is running.
+    /// Shuts the introspection server (and its cadence sampler) down, if
+    /// running.
     pub fn stop_introspection(&mut self) {
+        self.sampler = None;
         self.server = None;
     }
 

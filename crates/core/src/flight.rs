@@ -71,8 +71,14 @@ impl FlightRecorder {
             trace.dropped += skip as u64;
         }
         let seq = self.sidecar.next_seq();
-        let bytes =
-            blackbox::encode_record(seq, self.epoch.elapsed_micros(), reason, &metrics, &trace);
+        let bytes = blackbox::encode_record(
+            seq,
+            self.epoch.elapsed_micros(),
+            reason,
+            &metrics,
+            &trace,
+            &obs.slowops,
+        );
         match self.sidecar.append(&bytes) {
             Ok(seq) => {
                 obs.registry.inc(names::M_BLACKBOX_RECORDS);
@@ -121,6 +127,8 @@ mod tests {
         let obs = Obs::new();
         obs.registry.add("log.appends", 7);
         obs.tracer.point("e", 1, 1, 1, 0);
+        obs.slowops.set_threshold_us(0);
+        obs.record_slow_op("commit", 1, 9, 1500, vec![(names::PH_FLUSH_WAIT, 1400)]);
         assert!(fr.record("unit-test", &obs));
         assert_eq!(obs.registry.snapshot().counter(names::M_BLACKBOX_RECORDS), 1);
 
@@ -129,6 +137,10 @@ mod tests {
         assert_eq!(rec.reason, "unit-test");
         assert_eq!(rec.counter("log.appends"), 7);
         assert_eq!(rec.events().len(), 1);
+        // The slow-op log rides into the black box with the record.
+        let slow = rec.slow_ops();
+        assert_eq!(slow.len(), 1);
+        assert_eq!(slow[0].get("op").and_then(rh_obs::JsonValue::as_str), Some("commit"));
     }
 
     #[test]

@@ -93,6 +93,11 @@ pub fn recover(
     // starts writing its own records into the same stream.
     let predecessor = load_predecessor_blackbox(&stable);
     let span = obs.tracer.span(names::SPAN_RECOVERY);
+    // Recovery progress is first-class telemetry: each pass boundary
+    // pins a *marked* sample into the time-series ring, so once this
+    // obs context becomes the recovered engine's, `/timeseries` shows
+    // the recovery era alongside live serving samples.
+    obs.mark_timeseries(names::TS_RECOVERY_START);
     let log = Arc::new(LogManager::attach(stable));
     let mut pool = BufferPool::new(Arc::clone(&disk), config.pool_pages);
     let log_before = log.metrics().snapshot();
@@ -103,6 +108,11 @@ pub fn recover(
     let fwd_started = Stopwatch::start();
     let fwd = forward_pass(&log, &mut pool, lazy, &obs)?;
     let forward_wall = fwd_started.elapsed();
+    obs.mark_timeseries(names::TS_RECOVERY_FORWARD);
+    {
+        use rh_obs::trace::NONE;
+        span.point(names::EV_PAGES_REDONE, NONE, NONE, NONE, fwd.stats.redone);
+    }
     let mut tr = fwd.tr;
     let losers = tr.losers();
     let loser_set: HashSet<TxnId> = losers.iter().copied().collect();
@@ -142,6 +152,7 @@ pub fn recover(
     let undo_started = Stopwatch::start();
     let undo = undo_scopes(&log, &mut pool, &mut tr, scopes, &mut compensated, lazy, &obs)?;
     let undo_wall = undo_started.elapsed();
+    obs.mark_timeseries(names::TS_RECOVERY_UNDO);
 
     // ---- terminate losers and stragglers --------------------------------
     for &t in &losers {
@@ -178,6 +189,7 @@ pub fn recover(
     obs.registry.observe(names::M_RECOVERY_FORWARD_US, forward_wall.as_micros() as u64);
     obs.registry.observe(names::M_RECOVERY_UNDO_US, undo_wall.as_micros() as u64);
     obs.registry.observe(names::M_RECOVERY_TOTAL_US, elapsed.as_micros() as u64);
+    obs.mark_timeseries(names::TS_RECOVERY_DONE);
 
     let mut db =
         RhDb::from_parts(strategy, config, log, disk, pool, tr, fwd.next_txn, Arc::clone(&obs));

@@ -59,7 +59,10 @@ use parking_lot::Mutex;
 use rh_common::ops::Value;
 use rh_common::{Lsn, ObjectId, Result, RhError, TxnId};
 use rh_lock::LockManager;
-use rh_obs::{names, IntrospectionServer, JsonValue, Obs, RegistrySnapshot};
+use rh_obs::{
+    names, promtext, HttpResponse, IntrospectionServer, JsonValue, Obs, RegistrySnapshot, Sampler,
+    Stopwatch,
+};
 use rh_storage::Disk;
 use rh_wal::{LogManager, StableLog};
 use std::collections::{BTreeMap, BTreeSet};
@@ -207,6 +210,9 @@ pub struct ShardedDb {
     /// [`ShardedDb::checkpoint_all`].
     retire: Mutex<Vec<PendingRetire>>,
     server: Mutex<Option<IntrospectionServer>>,
+    /// The cadence thread feeding `/timeseries` while the introspection
+    /// endpoint runs (stops when the endpoint does).
+    sampler: Mutex<Option<Sampler>>,
 }
 
 impl ShardedDb {
@@ -331,6 +337,7 @@ impl ShardedDb {
             fault: Mutex::new(None),
             retire: Mutex::new(Vec::new()),
             server: Mutex::new(None),
+            sampler: Mutex::new(None),
         }
     }
 
@@ -365,6 +372,24 @@ impl ShardedDb {
     /// Shard `shard`'s log manager (tests inspect per-shard logs).
     pub fn shard_log(&self, shard: usize) -> Option<&Arc<LogManager>> {
         self.shards.get(shard).map(|c| &c.log)
+    }
+
+    /// Shard `shard`'s observability hub (tests lower its slow-op
+    /// threshold and read its trace ring; 2PC edge phases land here, on
+    /// the shard where each edge ran).
+    pub fn shard_obs(&self, shard: usize) -> Option<&Arc<Obs>> {
+        self.shards.get(shard).map(|c| &c.obs)
+    }
+
+    /// Freezes a black-box record in every shard's flight recorder (a
+    /// no-op for shards without one). Crash tests call this so the
+    /// post-crash sidecars carry the freshest slow-op log and trace
+    /// ring.
+    pub fn record_blackbox_all(&self, reason: &str) {
+        for cell in &self.shards {
+            let engine = cell.engine.lock();
+            engine.record_blackbox(reason);
+        }
     }
 
     /// Shard 0's log manager — for callers that need *a* representative
@@ -472,21 +497,48 @@ impl ShardedDb {
     /// group-committed fast path; cross-shard transactions run the 2PC
     /// protocol described at module level. Durable on return.
     pub fn commit(&self, txn: TxnId) -> Result<()> {
+        self.commit_traced(txn, rh_obs::trace::NONE).map(|_| ())
+    }
+
+    /// [`ShardedDb::commit`] with trace attribution: every commit phase
+    /// is measured and emitted as a `phase.*` trace point *on the shard
+    /// where it ran* — participant `Prepare` forces on their shards, the
+    /// `CoordCommit` force on the coordinator, lazy catch-ups on each
+    /// resolver — all tagged `(txn, trace)` so a reader can stitch one
+    /// cross-shard waterfall from the per-shard trace rings by global
+    /// transaction id. Returns the `(phase, micros)` list in protocol
+    /// order.
+    pub fn commit_traced(&self, txn: TxnId, trace: u64) -> Result<Vec<(&'static str, u64)>> {
         let parts = self.take_entry(txn)?;
         match parts.as_slice() {
-            [] => Ok(()),
+            [] => Ok(Vec::new()),
             [shard] => {
                 let shard = *shard;
-                let lsn = {
-                    let Some(cell) = self.shards.get(shard) else {
-                        return Err(RhError::Protocol("shard index out of range"));
-                    };
-                    let mut engine = cell.engine.lock();
-                    engine.commit_prepare(txn)?
+                let Some(cell) = self.shards.get(shard) else {
+                    return Err(RhError::Protocol("shard index out of range"));
                 };
-                self.shards[shard].log.flush_to(lsn)
+                let held = Stopwatch::start();
+                let (lsn, prepare_us) = {
+                    let mut engine = cell.engine.lock();
+                    let sw = Stopwatch::start();
+                    let lsn = engine.commit_prepare(txn)?;
+                    (lsn, sw.elapsed_micros())
+                };
+                let engine_us = held.elapsed_micros().saturating_sub(prepare_us);
+                let forced = Stopwatch::start();
+                cell.log.flush_to(lsn)?;
+                let flush_us = forced.elapsed_micros();
+                let phases = vec![
+                    (names::PH_ENGINE_HOLD, engine_us),
+                    (names::PH_COMMIT_PREPARE, prepare_us),
+                    (names::PH_FLUSH_WAIT, flush_us),
+                ];
+                for &(name, us) in &phases {
+                    cell.obs.tracer.phase(name, txn.0, trace, us);
+                }
+                Ok(phases)
             }
-            _ => self.commit_2pc(txn, &parts),
+            _ => self.commit_2pc(txn, &parts, trace),
         }
     }
 
@@ -525,7 +577,12 @@ impl ShardedDb {
         self.obs.registry.inc(names::M_SHARD_2PC_UNWOUND);
     }
 
-    fn commit_2pc(&self, txn: TxnId, parts: &[usize]) -> Result<()> {
+    fn commit_2pc(
+        &self,
+        txn: TxnId,
+        parts: &[usize],
+        trace: u64,
+    ) -> Result<Vec<(&'static str, u64)>> {
         // The coordinator (lowest participant) never prepares — until its
         // CoordCommit record is durable its updates are an ordinary loser,
         // so presumed abort already covers them. One forced fsync saved
@@ -540,17 +597,26 @@ impl ShardedDb {
         let Some((&coord, rest)) = parts.split_first() else {
             return Err(RhError::Protocol("2PC with no participants"));
         };
+        // Phase timing: each 2PC edge is measured around its durability
+        // action and emitted as a trace point on the shard that did the
+        // work *before* the next fault point, so a crash mid-protocol
+        // still leaves the completed edges in the shards' trace rings
+        // (and, via `edge_phase`'s slow-op gate, in their black boxes).
+        let mut phases: Vec<(&'static str, u64)> = Vec::with_capacity(2 * rest.len() + 1);
         // Phase one: every non-coordinator participant forces a Prepare.
         for (i, &shard) in rest.iter().enumerate() {
+            let edge = Stopwatch::start();
             if let Err(e) = self.prepare_shard(txn, shard) {
                 self.unwind_undecided(txn, parts);
                 return Err(e);
             }
+            phases.push(self.edge_phase(names::PH_2PC_PREPARE, shard, txn, trace, &edge));
             self.obs.registry.inc(names::M_SHARD_2PC_PREPARES);
             self.fault_point(TwoPcFault::AfterPrepare(i))?;
         }
         // Commit point: the coordinator forces the decision record naming
         // every prepared participant, committing locally as it does.
+        let coord_edge = Stopwatch::start();
         let participants: Vec<u32> = rest.iter().map(|&s| s as u32).collect();
         let appended = {
             let mut engine = self.shards[coord].engine.lock();
@@ -577,6 +643,7 @@ impl ShardedDb {
         // appended and may yet reach the disk, so the outcome stays
         // undecided until recovery — no unwind.
         self.shards[coord].log.flush_to(lsn)?;
+        phases.push(self.edge_phase(names::PH_2PC_COORD, coord, txn, trace, &coord_edge));
         self.obs.registry.inc(names::M_SHARD_2PC_COMMITS);
         self.fault_point(TwoPcFault::AfterCoordCommit)?;
         // Phase two: lazy participant commits — the decision is already
@@ -584,12 +651,16 @@ impl ShardedDb {
         let mut commits: Vec<(usize, Lsn)> = Vec::with_capacity(rest.len());
         let mut late_err = None;
         for (i, &shard) in rest.iter().enumerate() {
+            let edge = Stopwatch::start();
             let resolved = {
                 let mut engine = self.shards[shard].engine.lock();
                 engine.resolve_prepared(txn, true)
             };
             match resolved {
-                Ok(lsn) => commits.push((shard, lsn)),
+                Ok(lsn) => {
+                    commits.push((shard, lsn));
+                    phases.push(self.edge_phase(names::PH_2PC_RESOLVE, shard, txn, trace, &edge));
+                }
                 // The decision is durable, so a participant that fails to
                 // resolve locally stays in doubt for recovery — but must
                 // not stop the remaining participants from resolving.
@@ -603,7 +674,30 @@ impl ShardedDb {
         // Fully resolved: the decision retires once these lazy Commit
         // records are durable (checkpoint_all checks the log horizons).
         self.retire.lock().push(PendingRetire { coord, txn, commits });
-        Ok(())
+        Ok(phases)
+    }
+
+    /// Emits one finished 2PC edge on the shard where it ran: a trace
+    /// point (stitched later by `(txn, trace)`), and — when the edge
+    /// alone crosses the shard's slow-op threshold — an entry in that
+    /// shard's slow-op log, which its flight recorder freezes into black
+    /// boxes. Recording per edge (not per transaction) is what lets a
+    /// crash *mid*-2PC leave evidence of the completed edges behind.
+    fn edge_phase(
+        &self,
+        name: &'static str,
+        shard: usize,
+        txn: TxnId,
+        trace: u64,
+        edge: &Stopwatch,
+    ) -> (&'static str, u64) {
+        let us = edge.elapsed_micros();
+        let obs = &self.shards[shard].obs;
+        obs.tracer.phase(name, txn.0, trace, us);
+        if us >= obs.slowops.threshold_us() {
+            obs.record_slow_op(name, txn.0, trace, us, vec![(name, us)]);
+        }
+        (name, us)
     }
 
     /// Aborts `txn` in every shard it touched.
@@ -865,10 +959,14 @@ impl ShardedDb {
     }
 
     /// Starts the live introspection endpoint on `addr` (use port 0 for
-    /// ephemeral). Routes: `/stats` (merged registry), `/trace` (per-
-    /// shard trace snapshots, array indexed by shard), `/provenance`,
-    /// `/provenance/<ob>` (routed to the owning shard). Holds no engine
-    /// mutex on any route.
+    /// ephemeral). Routes: `/stats` (merged registry, JSON), `/metrics`
+    /// (the same registry in Prometheus text exposition), `/timeseries`
+    /// / `/slowops` / `/trace` (router plus per-shard views — queue
+    /// phases live on the router, 2PC edge phases on the shards, so a
+    /// stitcher needs both), `/provenance`, `/provenance/<ob>` (routed
+    /// to the owning shard). Holds no engine mutex on any route. Also
+    /// spawns the cadence sampler that feeds `/timeseries` once per
+    /// second until [`ShardedDb::stop_introspection`].
     pub fn serve_introspection(&self, addr: &str) -> std::io::Result<std::net::SocketAddr> {
         let router_obs = Arc::clone(&self.obs);
         let map = self.map;
@@ -885,8 +983,12 @@ impl ShardedDb {
                 )
             })
             .collect();
-        let handler: rh_obs::Handler = Arc::new(move |path: &str| match path {
-            "/stats" => {
+        // One absorbed+merged registry view shared by /stats, /metrics,
+        // and the sampler tick — the same arithmetic as `stats()`.
+        let merged_snapshot = {
+            let router_obs = Arc::clone(&router_obs);
+            let cells = cells.clone();
+            move || {
                 let mut merged = router_obs.registry.snapshot();
                 for (log, disk, locks, obs, _prov) in &cells {
                     log.metrics().snapshot().export_into(&obs.registry);
@@ -894,33 +996,86 @@ impl ShardedDb {
                     locks.stats().snapshot().export_into(&obs.registry);
                     merged.merge_sum(&obs.registry.snapshot());
                 }
-                Some(merged.to_json())
+                merged
             }
-            "/trace" => Some(JsonValue::Arr(
-                cells.iter().map(|(_, _, _, obs, _)| obs.tracer.snapshot().to_json()).collect(),
-            )),
-            "/provenance" => {
-                let tables: Vec<JsonValue> =
-                    cells.iter().map(|(_, _, _, _, prov)| prov.lock().to_json()).collect();
-                Some(JsonValue::Arr(tables))
-            }
-            p => {
-                let ob: u64 = p.strip_prefix("/provenance/")?.parse().ok()?;
-                let (_, _, _, _, prov) = cells.get(map.shard_of(ObjectId(ob)))?;
-                let chain = prov.lock();
-                Some(JsonValue::Arr(
-                    chain.chain(ObjectId(ob)).iter().map(ProvHop::to_json).collect(),
-                ))
-            }
-        });
-        let server = IntrospectionServer::bind(addr, handler)?;
+        };
+        let endpoints = ["/stats", "/metrics", "/timeseries", "/slowops", "/trace", "/provenance"];
+        let handler: rh_obs::Handler = {
+            let merged_snapshot = merged_snapshot.clone();
+            let router_obs = Arc::clone(&router_obs);
+            Arc::new(move |path: &str| match path {
+                "/stats" => Some(HttpResponse::Json(merged_snapshot().to_json())),
+                "/metrics" => Some(HttpResponse::Text {
+                    content_type: rh_obs::serve::PROMETHEUS_CONTENT_TYPE,
+                    body: promtext::render(&merged_snapshot()),
+                }),
+                "/timeseries" => Some(HttpResponse::Json(JsonValue::obj(vec![
+                    ("router", router_obs.timeseries.to_json()),
+                    (
+                        "shards",
+                        JsonValue::Arr(
+                            cells
+                                .iter()
+                                .map(|(_, _, _, obs, _)| obs.timeseries.to_json())
+                                .collect(),
+                        ),
+                    ),
+                ]))),
+                "/slowops" => Some(HttpResponse::Json(JsonValue::obj(vec![
+                    ("router", router_obs.slowops.to_json()),
+                    (
+                        "shards",
+                        JsonValue::Arr(
+                            cells.iter().map(|(_, _, _, obs, _)| obs.slowops.to_json()).collect(),
+                        ),
+                    ),
+                ]))),
+                "/trace" => Some(HttpResponse::Json(JsonValue::obj(vec![
+                    ("router", router_obs.tracer.snapshot().to_json()),
+                    (
+                        "shards",
+                        JsonValue::Arr(
+                            cells
+                                .iter()
+                                .map(|(_, _, _, obs, _)| obs.tracer.snapshot().to_json())
+                                .collect(),
+                        ),
+                    ),
+                ]))),
+                "/provenance" => {
+                    let tables: Vec<JsonValue> =
+                        cells.iter().map(|(_, _, _, _, prov)| prov.lock().to_json()).collect();
+                    Some(HttpResponse::Json(JsonValue::Arr(tables)))
+                }
+                p => {
+                    let ob: u64 = p.strip_prefix("/provenance/")?.parse().ok()?;
+                    let (_, _, _, _, prov) = cells.get(map.shard_of(ObjectId(ob)))?;
+                    let chain = prov.lock();
+                    Some(HttpResponse::Json(JsonValue::Arr(
+                        chain.chain(ObjectId(ob)).iter().map(ProvHop::to_json).collect(),
+                    )))
+                }
+            })
+        };
+        let server = IntrospectionServer::bind(addr, &endpoints, handler)?;
         let bound = server.local_addr();
+        let tick_obs = Arc::clone(&self.obs);
+        let sampler = Sampler::spawn_every(
+            std::time::Duration::from_secs(1),
+            Box::new(move || {
+                tick_obs.registry.inc(names::M_TS_SAMPLES);
+                tick_obs.timeseries.sample(&merged_snapshot());
+            }),
+        );
+        *self.sampler.lock() = Some(sampler);
         *self.server.lock() = Some(server);
         Ok(bound)
     }
 
-    /// Stops the introspection endpoint, if running.
+    /// Stops the introspection endpoint (and its cadence sampler), if
+    /// running.
     pub fn stop_introspection(&self) {
+        *self.sampler.lock() = None;
         *self.server.lock() = None;
     }
 

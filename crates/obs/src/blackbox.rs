@@ -10,7 +10,7 @@
 //! open. The split keeps this crate dependency-free (see the crate
 //! docs): everything here is plain [`JsonValue`] plumbing.
 //!
-//! Record layout (all fields always present):
+//! Record layout:
 //!
 //! ```json
 //! {
@@ -19,12 +19,18 @@
 //!   "reason":  "...",   // what triggered the freeze (commit cadence,
 //!                       // "checkpoint", "recovery", ...)
 //!   "metrics": { "counters": {...}, "histograms": {...} },
-//!   "trace":   { "dropped": <u64>, "events": [...] }
+//!   "trace":   { "dropped": <u64>, "events": [...] },
+//!   "slowops": { "threshold_us": <u64>, "entries": [...] }
 //! }
 //! ```
+//!
+//! All fields except `slowops` are required by [`BlackBoxRecord::parse`];
+//! `slowops` stays optional on parse so records written by builds that
+//! predate the slow-op log still load.
 
 use crate::json::JsonValue;
 use crate::registry::RegistrySnapshot;
+use crate::slowlog::SlowOpLog;
 use crate::trace::TraceSnapshot;
 
 /// How many trailing trace events a postmortem replays by default — the
@@ -38,6 +44,7 @@ pub fn encode_record(
     reason: &str,
     metrics: &RegistrySnapshot,
     trace: &TraceSnapshot,
+    slowops: &SlowOpLog,
 ) -> Vec<u8> {
     JsonValue::obj(vec![
         ("seq", JsonValue::U64(seq)),
@@ -45,6 +52,7 @@ pub fn encode_record(
         ("reason", JsonValue::Str(reason.to_string())),
         ("metrics", metrics.to_json()),
         ("trace", trace.to_json()),
+        ("slowops", slowops.to_json()),
     ])
     .render()
     .into_bytes()
@@ -113,6 +121,17 @@ impl BlackBoxRecord {
         let skip = events.len().saturating_sub(n);
         events[skip..].to_vec()
     }
+
+    /// The slow-op entries frozen into this record, slowest first. Empty
+    /// for records written before the slow-op log existed.
+    pub fn slow_ops(&self) -> Vec<JsonValue> {
+        self.raw
+            .get("slowops")
+            .and_then(|s| s.get("entries"))
+            .and_then(JsonValue::as_arr)
+            .map(<[JsonValue]>::to_vec)
+            .unwrap_or_default()
+    }
 }
 
 /// Builds the postmortem section of a recovery report: the predecessor's
@@ -177,7 +196,7 @@ mod tests {
     use crate::registry::Registry;
     use crate::trace::Tracer;
 
-    fn sample() -> (Registry, Tracer) {
+    fn sample() -> (Registry, Tracer, SlowOpLog) {
         let registry = Registry::new();
         registry.add("log.appends", 42);
         registry.inc("recovery.runs");
@@ -185,13 +204,22 @@ mod tests {
         for i in 0..30u64 {
             tracer.point("e", i, i, 7, 0);
         }
-        (registry, tracer)
+        let slowops = SlowOpLog::with(4, 0);
+        slowops.record("commit", 7, 99, 5000, vec![("phase.flush_wait", 4000)]);
+        (registry, tracer, slowops)
     }
 
     #[test]
     fn roundtrip() {
-        let (registry, tracer) = sample();
-        let bytes = encode_record(3, 1234, "checkpoint", &registry.snapshot(), &tracer.snapshot());
+        let (registry, tracer, slowops) = sample();
+        let bytes = encode_record(
+            3,
+            1234,
+            "checkpoint",
+            &registry.snapshot(),
+            &tracer.snapshot(),
+            &slowops,
+        );
         let rec = BlackBoxRecord::parse(&bytes).expect("parse");
         assert_eq!(rec.seq, 3);
         assert_eq!(rec.at_us, 1234);
@@ -203,6 +231,19 @@ mod tests {
         let last = rec.final_events(20);
         assert_eq!(last.len(), 20);
         assert_eq!(last[19].get("lsn_lo").and_then(JsonValue::as_u64), Some(29));
+        let slow = rec.slow_ops();
+        assert_eq!(slow.len(), 1);
+        assert_eq!(slow[0].get("total_us").and_then(JsonValue::as_u64), Some(5000));
+    }
+
+    #[test]
+    fn records_without_slowops_still_parse() {
+        // A record written by a build that predates the slow-op log.
+        let old = r#"{"seq": 1, "at_us": 2, "reason": "cadence",
+                      "metrics": {"counters": {}, "histograms": {}},
+                      "trace": {"dropped": 0, "events": []}}"#;
+        let rec = BlackBoxRecord::parse(old.as_bytes()).expect("parse legacy record");
+        assert!(rec.slow_ops().is_empty());
     }
 
     #[test]
@@ -215,8 +256,9 @@ mod tests {
 
     #[test]
     fn postmortem_diffs_counters_and_keeps_final_spans() {
-        let (registry, tracer) = sample();
-        let bytes = encode_record(0, 10, "cadence", &registry.snapshot(), &tracer.snapshot());
+        let (registry, tracer, slowops) = sample();
+        let bytes =
+            encode_record(0, 10, "cadence", &registry.snapshot(), &tracer.snapshot(), &slowops);
         let pred = BlackBoxRecord::parse(&bytes).unwrap();
 
         let after = Registry::new();

@@ -44,8 +44,11 @@ pub mod json;
 pub mod names;
 pub mod net;
 pub mod observer;
+pub mod promtext;
 pub mod registry;
 pub mod serve;
+pub mod slowlog;
+pub mod timeseries;
 pub mod trace;
 
 pub use blackbox::BlackBoxRecord;
@@ -53,17 +56,24 @@ pub use clock::Stopwatch;
 pub use json::JsonValue;
 pub use net::TcpService;
 pub use registry::{Counter, Histogram, HistogramSnapshot, Registry, RegistrySnapshot};
-pub use serve::{Handler, IntrospectionServer};
+pub use serve::{Handler, HttpResponse, IntrospectionServer};
+pub use slowlog::{SlowOp, SlowOpLog};
+pub use timeseries::{Sample, Sampler, TimeSeries};
 pub use trace::{EventKind, SpanGuard, TraceEvent, TraceSnapshot, Tracer};
 
-/// One observability context: a tracer plus a metrics registry, shared
-/// (via `Arc`) by everything belonging to one engine instance.
+/// One observability context: a tracer, a metrics registry, a bounded
+/// time-series ring, and a slow-op log, shared (via `Arc`) by everything
+/// belonging to one engine instance.
 #[derive(Debug, Default)]
 pub struct Obs {
     /// The event/span tracer.
     pub tracer: Tracer,
     /// The named counter/histogram registry.
     pub registry: Registry,
+    /// The bounded per-second sample ring behind `/timeseries`.
+    pub timeseries: TimeSeries,
+    /// The top-K slow-op log behind `/slowops`.
+    pub slowops: SlowOpLog,
 }
 
 impl Obs {
@@ -76,7 +86,38 @@ impl Obs {
     /// counters are too cheap to gate). Used as the baseline side of the
     /// `obs_overhead` bench.
     pub fn with_disabled_tracer() -> Self {
-        Obs { tracer: Tracer::disabled(), registry: Registry::new() }
+        Obs { tracer: Tracer::disabled(), ..Self::default() }
+    }
+
+    /// Takes one cadence sample of the registry into the time-series
+    /// ring (the `/timeseries` sampler thread's tick).
+    pub fn sample_timeseries(&self) {
+        self.registry.inc(names::M_TS_SAMPLES);
+        self.timeseries.sample(&self.registry.snapshot());
+    }
+
+    /// Takes one *marked* sample — pins a named moment (recovery pass
+    /// boundary, drain start) to the time-series timeline.
+    pub fn mark_timeseries(&self, label: &str) {
+        self.registry.inc(names::M_TS_SAMPLES);
+        self.timeseries.mark(label, &self.registry.snapshot());
+    }
+
+    /// Offers one finished op to the slow-op log; counts it when
+    /// retained. Returns whether it was retained.
+    pub fn record_slow_op(
+        &self,
+        op: &'static str,
+        txn: u64,
+        trace: u64,
+        total_us: u64,
+        phases: Vec<(&'static str, u64)>,
+    ) -> bool {
+        let kept = self.slowops.record(op, txn, trace, total_us, phases);
+        if kept {
+            self.registry.inc(names::M_SLOWOPS_RECORDED);
+        }
+        kept
     }
 
     /// Renders the full context (registry + trace) as one JSON object.

@@ -53,6 +53,89 @@ pub const EV_BLACKBOX_RECORD: &str = "blackbox_record";
 pub const EV_LOG_FLUSH: &str = "log_flush";
 /// A page left the pool for stable storage; `payload` = page id.
 pub const EV_PAGE_FLUSH: &str = "page_flush";
+/// Forward-pass progress: updates/CLRs reapplied so far; `payload` =
+/// running redone count. Emitted so a `/timeseries` scrape during a long
+/// recovery shows redo advancing, not just a final total.
+pub const EV_PAGES_REDONE: &str = "pages_redone";
+
+// ---- phase-timer names (request latency attribution) -------------------
+// Phase timers are emitted as *point* events whose `payload` is the
+// phase's duration in microseconds, `txn` is the transaction they belong
+// to, and `lsn_lo` carries the client-assigned trace id (or `NONE`).
+// Points rather than retroactive spans because the tracer stamps
+// timestamps inside the ring lock — a span cannot be back-dated to when
+// the phase actually began. `rh-trace` stitches them into waterfalls by
+// (trace id, txn).
+
+/// Time a decoded request waited in the per-connection pipeline queue
+/// before a worker picked it up.
+pub const PH_QUEUE_WAIT: &str = "phase.queue_wait";
+/// Engine-mutex phase of a single-engine commit: mutex acquisition plus
+/// ETM bookkeeping, *excluding* `commit_prepare` (reported separately so
+/// the two never overlap).
+pub const PH_ENGINE_HOLD: &str = "phase.engine_hold";
+/// The `commit_prepare` body (commit record append + lock release) under
+/// the engine mutex.
+pub const PH_COMMIT_PREPARE: &str = "phase.commit_prepare";
+/// Group-commit flush wait: from mutex release to the commit LSN being
+/// durable.
+pub const PH_FLUSH_WAIT: &str = "phase.flush_wait";
+/// One participant's 2PC `Prepare` force (prepare record + flush), on
+/// the participant shard.
+pub const PH_2PC_PREPARE: &str = "phase.twopc.prepare_force";
+/// The coordinator's `CoordCommit` force — the 2PC commit point.
+pub const PH_2PC_COORD: &str = "phase.twopc.coord_force";
+/// One participant's lazy catch-up (`resolve_prepared`) after the
+/// coordinator decided.
+pub const PH_2PC_RESOLVE: &str = "phase.twopc.lazy_catchup";
+/// Server-side service time the instrumented phases do not cover:
+/// dispatch, router orchestration between forces, reply serialization.
+/// Emitted as `service_total - sum(other phases)` so a waterfall's sum
+/// accounts for the whole service interval, not just the named pieces.
+pub const PH_SERVE_OTHER: &str = "phase.serve_other";
+
+// ---- phase histograms --------------------------------------------------
+
+/// Histogram: request queue wait, microseconds.
+pub const M_SRV_QUEUE_US: &str = "server.queue_us";
+/// Histogram: engine-mutex phase of a commit (excluding
+/// `commit_prepare`), microseconds.
+pub const M_SRV_ENGINE_US: &str = "server.engine_us";
+/// Histogram: `commit_prepare` under the engine mutex, microseconds.
+pub const M_SRV_COMMIT_PREPARE_US: &str = "server.commit_prepare_us";
+/// Histogram: group-commit flush wait, microseconds.
+pub const M_SRV_FLUSH_US: &str = "server.flush_us";
+/// Histogram: per-participant 2PC `Prepare` force, microseconds.
+pub const M_SHARD_PREPARE_US: &str = "shard.twopc.prepare_us";
+/// Histogram: coordinator `CoordCommit` force, microseconds.
+pub const M_SHARD_COORD_US: &str = "shard.twopc.coord_us";
+/// Histogram: per-participant lazy catch-up, microseconds.
+pub const M_SHARD_RESOLVE_US: &str = "shard.twopc.resolve_us";
+
+// ---- time-series / slow-op log ----------------------------------------
+
+/// Samples appended to the time-series ring (including marks).
+pub const M_TS_SAMPLES: &str = "timeseries.samples";
+/// Operations admitted to the slow-op log (over threshold, kept or
+/// displacing a faster entry).
+pub const M_SLOWOPS_RECORDED: &str = "slowops.recorded";
+/// Histogram: elapsed time from server start to the first commit
+/// acknowledged after a restart recovery, microseconds (ROADMAP item 2's
+/// time-to-first-ack hook; observed once per recovered process).
+pub const M_RECOVERY_FIRST_ACK_US: &str = "recovery.first_ack_us";
+
+// ---- time-series mark labels ------------------------------------------
+// Marks are sample annotations in the `/timeseries` ring: a sample taken
+// at a named moment rather than by the periodic cadence.
+
+/// Recovery started (sample taken before the forward pass).
+pub const TS_RECOVERY_START: &str = "recovery.start";
+/// Forward pass (analysis + redo) completed.
+pub const TS_RECOVERY_FORWARD: &str = "recovery.forward_done";
+/// Backward pass (undo) completed.
+pub const TS_RECOVERY_UNDO: &str = "recovery.undo_done";
+/// Recovery fully completed (losers terminated, log forced).
+pub const TS_RECOVERY_DONE: &str = "recovery.done";
 
 // ---- metric names -----------------------------------------------------
 

@@ -1,0 +1,207 @@
+//! Prometheus text exposition (format version 0.0.4) for a
+//! [`RegistrySnapshot`] — hand-rolled, dependency-free, plus the small
+//! validator CI uses to keep `/metrics` honest.
+//!
+//! Mapping: every dotted registry name is sanitized (`.` → `_`) and
+//! prefixed `rh_`. Counters render as `counter` families. Histograms
+//! render as `summary` families — `{quantile="0.5"|"0.99"}` gauge
+//! samples (the power-of-two bucket *bounds*, like the JSON `p50_le`
+//! fields) plus the standard `_sum` and `_count` series.
+//!
+//! The [`validate`] function is intentionally strict about what *this*
+//! renderer promises (TYPE line before any sample of a family, legal
+//! metric names, parseable values) while accepting any well-formed
+//! exposition text, so it doubles as a general scrape linter for the CI
+//! smoke job (`rh-trace check-metrics`).
+
+use crate::registry::RegistrySnapshot;
+use std::fmt::Write as _;
+
+/// Sanitizes a dotted registry name into a legal Prometheus metric name.
+pub fn sanitize(name: &str) -> String {
+    let mut out = String::with_capacity(name.len() + 3);
+    out.push_str("rh_");
+    for c in name.chars() {
+        if c.is_ascii_alphanumeric() || c == '_' {
+            out.push(c);
+        } else {
+            out.push('_');
+        }
+    }
+    out
+}
+
+/// Renders the snapshot as exposition text. Deterministic: families are
+/// emitted in the registry's sorted-name order, counters first.
+pub fn render(snap: &RegistrySnapshot) -> String {
+    let mut out = String::new();
+    for (name, &v) in &snap.counters {
+        let m = sanitize(name);
+        let _ = writeln!(out, "# TYPE {m} counter");
+        let _ = writeln!(out, "{m} {v}");
+    }
+    for (name, h) in &snap.histograms {
+        let m = sanitize(name);
+        let _ = writeln!(out, "# TYPE {m} summary");
+        let _ = writeln!(out, "{m}{{quantile=\"0.5\"}} {}", h.quantile_bound(0.50));
+        let _ = writeln!(out, "{m}{{quantile=\"0.99\"}} {}", h.quantile_bound(0.99));
+        let _ = writeln!(out, "{m}_sum {}", h.sum);
+        let _ = writeln!(out, "{m}_count {}", h.count);
+    }
+    out
+}
+
+fn legal_name(s: &str) -> bool {
+    let mut chars = s.chars();
+    match chars.next() {
+        Some(c) if c.is_ascii_alphabetic() || c == '_' || c == ':' => {}
+        _ => return false,
+    }
+    chars.all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+}
+
+fn legal_value(s: &str) -> bool {
+    matches!(s, "+Inf" | "-Inf" | "NaN") || s.parse::<f64>().is_ok()
+}
+
+/// Splits `rh_x{quantile="0.5"}` into (`rh_x`, had-labels); checks label
+/// syntax shallowly (balanced braces, `key="value"` pairs).
+fn split_sample_name(s: &str) -> Option<&str> {
+    match s.find('{') {
+        None => Some(s),
+        Some(open) => {
+            let rest = &s[open + 1..];
+            let close = rest.rfind('}')?;
+            if close != rest.len() - 1 {
+                return None;
+            }
+            for pair in rest[..close].split(',').filter(|p| !p.is_empty()) {
+                let (k, v) = pair.split_once('=')?;
+                if !legal_name(k) || !v.starts_with('"') || !v.ends_with('"') || v.len() < 2 {
+                    return None;
+                }
+            }
+            Some(&s[..open])
+        }
+    }
+}
+
+/// Checks exposition text: every line is a `# HELP`/`# TYPE` comment or
+/// a `name[{labels}] value [timestamp]` sample; names are legal; every
+/// sample whose family has a declared TYPE appears *after* that
+/// declaration (`_sum`/`_count`/`_bucket` suffixes attach to their base
+/// family). Returns the first offense as `Err((line_no, message))`.
+pub fn validate(text: &str) -> Result<(), (usize, String)> {
+    if text.is_empty() {
+        return Err((0, "empty exposition body".to_string()));
+    }
+    let mut typed: Vec<String> = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        let n = i + 1;
+        let line = line.trim_end();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(comment) = line.strip_prefix('#') {
+            let mut parts = comment.split_whitespace();
+            // HELP and free comments pass; only TYPE lines are validated.
+            if let Some("TYPE") = parts.next() {
+                let name =
+                    parts.next().ok_or_else(|| (n, "TYPE line missing metric name".to_string()))?;
+                if !legal_name(name) {
+                    return Err((n, format!("illegal metric name `{name}` in TYPE")));
+                }
+                let kind =
+                    parts.next().ok_or_else(|| (n, "TYPE line missing metric type".to_string()))?;
+                if !matches!(kind, "counter" | "gauge" | "summary" | "histogram" | "untyped") {
+                    return Err((n, format!("unknown metric type `{kind}`")));
+                }
+                typed.push(name.to_string());
+            }
+            continue;
+        }
+        // A sample line: name[{labels}] value [timestamp]
+        let (head, rest) = line
+            .split_once(char::is_whitespace)
+            .ok_or_else(|| (n, format!("sample line has no value: `{line}`")))?;
+        let name =
+            split_sample_name(head).ok_or_else(|| (n, format!("malformed labels in `{head}`")))?;
+        if !legal_name(name) {
+            return Err((n, format!("illegal metric name `{name}`")));
+        }
+        let mut fields = rest.split_whitespace();
+        let value = fields.next().ok_or_else(|| (n, "missing sample value".to_string()))?;
+        if !legal_value(value) {
+            return Err((n, format!("unparseable sample value `{value}`")));
+        }
+        if let Some(ts) = fields.next() {
+            if ts.parse::<i64>().is_err() {
+                return Err((n, format!("unparseable timestamp `{ts}`")));
+            }
+        }
+        // If the family was (or will be) declared, the declaration must
+        // already have been seen — exposition order matters to scrapers.
+        let base = name
+            .strip_suffix("_sum")
+            .or_else(|| name.strip_suffix("_count"))
+            .or_else(|| name.strip_suffix("_bucket"))
+            .unwrap_or(name);
+        let declared_late = text.lines().skip(n).any(|l| {
+            l.strip_prefix("# TYPE ")
+                .and_then(|r| r.split_whitespace().next())
+                .is_some_and(|t| t == base || t == name)
+        });
+        if declared_late && !typed.iter().any(|t| t == base || t == name) {
+            return Err((n, format!("sample `{name}` precedes its TYPE declaration")));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::Registry;
+
+    #[test]
+    fn renders_counters_and_summaries_that_validate() {
+        let r = Registry::new();
+        r.add("log.appends", 42);
+        r.observe("server.request_us", 100);
+        r.observe("server.request_us", 3000);
+        let text = render(&r.snapshot());
+        assert!(text.contains("# TYPE rh_log_appends counter\nrh_log_appends 42\n"));
+        assert!(text.contains("# TYPE rh_server_request_us summary\n"));
+        assert!(text.contains("rh_server_request_us{quantile=\"0.99\"} 4096\n"));
+        assert!(text.contains("rh_server_request_us_sum 3100\n"));
+        assert!(text.contains("rh_server_request_us_count 2\n"));
+        validate(&text).expect("own rendering must validate");
+    }
+
+    #[test]
+    fn sanitize_prefixes_and_replaces_dots() {
+        assert_eq!(sanitize("shard.twopc.commits"), "rh_shard_twopc_commits");
+        assert_eq!(sanitize("p99-le"), "rh_p99_le");
+    }
+
+    #[test]
+    fn validator_rejects_malformed_lines() {
+        assert!(validate("").is_err());
+        assert!(validate("rh_x\n").is_err(), "missing value");
+        assert!(validate("9bad 1\n").is_err(), "illegal name");
+        assert!(validate("rh_x notanumber\n").is_err(), "bad value");
+        assert!(validate("rh_x{quantile=\"0.5\" 1\n").is_err(), "unbalanced labels");
+        assert!(validate("# TYPE rh_x flavor\nrh_x 1\n").is_err(), "unknown type");
+        let late = "rh_x 1\n# TYPE rh_x counter\n";
+        let err = validate(late).unwrap_err();
+        assert_eq!(err.0, 1);
+        assert!(err.1.contains("precedes"));
+    }
+
+    #[test]
+    fn validator_accepts_foreign_but_well_formed_text() {
+        let text =
+            "# HELP up whatever\n# TYPE up gauge\nup 1\nfree_metric 2.5 1700000000\nnan_ok NaN\n";
+        validate(text).expect("well-formed foreign exposition");
+    }
+}

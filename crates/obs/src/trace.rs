@@ -22,7 +22,7 @@
 
 use crate::clock::Stopwatch;
 use std::collections::VecDeque;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Mutex;
 
 use crate::json::JsonValue;
@@ -113,9 +113,11 @@ struct Ring {
 pub struct Tracer {
     epoch: Stopwatch,
     capacity: usize,
-    /// When false, every recording call is a cheap early return — the
-    /// no-op mode the `obs_overhead` bench compares against.
-    enabled: bool,
+    /// When false, every recording call is a cheap early return (one
+    /// relaxed load) — the no-op mode the `obs_overhead` bench compares
+    /// against. Runtime-togglable so the bench can measure the same
+    /// engine with tracing on and off.
+    enabled: AtomicBool,
     ring: Mutex<Ring>,
     next_span: AtomicU64,
 }
@@ -156,7 +158,7 @@ impl Tracer {
         Tracer {
             epoch: Stopwatch::start(),
             capacity: capacity.max(1),
-            enabled: true,
+            enabled: AtomicBool::new(true),
             ring: Mutex::new(Ring::default()),
             next_span: AtomicU64::new(1),
         }
@@ -166,19 +168,27 @@ impl Tracer {
     /// and snapshots are always empty. The `obs_overhead` bench uses this
     /// as the zero-cost baseline.
     pub fn disabled() -> Self {
-        Tracer { enabled: false, ..Self::default() }
+        let t = Self::default();
+        t.set_enabled(false);
+        t
     }
 
     /// Whether this tracer records anything at all.
     pub fn is_enabled(&self) -> bool {
-        self.enabled
+        self.enabled.load(Ordering::Relaxed)
+    }
+
+    /// Turns recording on or off at runtime. Already-retained events
+    /// stay in the ring; a disabled tracer simply stops adding to it.
+    pub fn set_enabled(&self, on: bool) {
+        self.enabled.store(on, Ordering::Relaxed);
     }
 
     /// Inserts one event, stamping `ts_micros` inside the critical
     /// section so ring order and timestamp order agree (see the module
     /// docs, constraint 4).
     fn push(&self, mut ev: TraceEvent) {
-        if !self.enabled {
+        if !self.is_enabled() {
             return;
         }
         let mut ring = self.ring.lock().expect("tracer ring poisoned");
@@ -201,6 +211,26 @@ impl Tracer {
             lsn_hi,
             txn,
             payload,
+        });
+    }
+
+    /// Emits a phase-timer point: a measured sub-phase of one request,
+    /// `payload` = duration in microseconds, `lsn_lo` = the
+    /// client-assigned trace id (or [`NONE`]). Phases are points rather
+    /// than retroactive spans because [`Tracer::push`] stamps timestamps
+    /// inside the ring lock — a span cannot be back-dated to the phase's
+    /// true start. Consumers stitch phases into waterfalls by
+    /// `(trace, txn)`.
+    pub fn phase(&self, name: &'static str, txn: u64, trace: u64, micros: u64) {
+        self.push(TraceEvent {
+            ts_micros: 0,
+            span: 0,
+            kind: EventKind::Point,
+            name,
+            lsn_lo: trace,
+            lsn_hi: NONE,
+            txn,
+            payload: micros,
         });
     }
 
@@ -336,6 +366,19 @@ mod tests {
         // The survivors are the newest four.
         let lsns: Vec<u64> = snap.events.iter().map(|e| e.lsn_lo).collect();
         assert_eq!(lsns, vec![6, 7, 8, 9]);
+    }
+
+    #[test]
+    fn phase_points_carry_txn_trace_and_duration() {
+        let t = Tracer::default();
+        t.phase("phase.queue_wait", 7, 99, 1234);
+        let snap = t.snapshot();
+        assert_eq!(snap.events.len(), 1);
+        let e = snap.events[0];
+        assert_eq!(e.kind, EventKind::Point);
+        assert_eq!(e.txn, 7);
+        assert_eq!(e.lsn_lo, 99); // trace id rides in lsn_lo
+        assert_eq!(e.payload, 1234); // duration in micros
     }
 
     #[test]

@@ -66,7 +66,8 @@ pub(crate) fn accept(shared: &Arc<Shared>, stream: TcpStream) {
     shared.session_gauge();
 
     let out = Arc::new(Mutex::new(write_half));
-    let (tx, rx) = std::sync::mpsc::sync_channel::<Request>(shared.cfg.inflight_per_conn.max(1));
+    let (tx, rx) =
+        std::sync::mpsc::sync_channel::<(Request, Stopwatch)>(shared.cfg.inflight_per_conn.max(1));
     let worker = {
         let shared = Arc::clone(shared);
         let out = Arc::clone(&out);
@@ -110,7 +111,7 @@ fn reject(shared: &Arc<Shared>, mut stream: TcpStream) {
 fn reader_loop(
     shared: &Arc<Shared>,
     mut stream: TcpStream,
-    tx: std::sync::mpsc::SyncSender<Request>,
+    tx: std::sync::mpsc::SyncSender<(Request, Stopwatch)>,
     out: &Arc<Mutex<TcpStream>>,
 ) {
     let _ = stream.set_read_timeout(Some(shared.cfg.idle_timeout));
@@ -133,9 +134,11 @@ fn reader_loop(
             send_reply(out, Response { id: req.id, reply });
             continue;
         }
-        match tx.try_send(req) {
+        // The stopwatch rides the channel: the worker's dequeue-time
+        // reading *is* the session-queue wait (phase.queue_wait).
+        match tx.try_send((req, Stopwatch::start())) {
             Ok(()) => {}
-            Err(TrySendError::Full(req)) => {
+            Err(TrySendError::Full((req, _))) => {
                 // Backpressure: the pipeline is at the advertised cap.
                 // The op was NOT attempted; the client may resend.
                 shared.obs.registry.inc(names::M_SRV_REPLIES_BUSY);
@@ -152,23 +155,113 @@ fn reader_loop(
 fn worker_loop(
     shared: &Arc<Shared>,
     sid: u64,
-    rx: &Receiver<Request>,
+    rx: &Receiver<(Request, Stopwatch)>,
     out: &Arc<Mutex<TcpStream>>,
 ) {
-    while let Ok(req) = rx.recv() {
+    while let Ok((req, queued)) = rx.recv() {
+        let queue_us = queued.elapsed_micros();
         let sw = Stopwatch::start();
+        let txn = txn_of(&req.op);
+        let label = op_name(&req.op);
         let wants_shutdown = matches!(req.op, Op::Shutdown);
-        let reply = execute(shared, sid, req.op);
+        shared.obs.registry.observe(names::M_SRV_QUEUE_US, queue_us);
+        shared.obs.tracer.phase(names::PH_QUEUE_WAIT, txn, req.trace, queue_us);
+        let (reply, mut phases) = execute(shared, sid, req.op, req.trace);
         if matches!(reply, Reply::Err { .. }) {
             shared.obs.registry.inc(names::M_SRV_REPLIES_ERR);
         }
+        // Snapshot *before* the reply write: once the reply is on the
+        // wire the client's round-trip clock may stop, so any time this
+        // thread loses afterwards must not be attributed to the request
+        // (a waterfall summing past the round trip reads as overlap).
+        let pre_reply_us = sw.elapsed_micros();
         send_reply(out, Response { id: req.id, reply });
-        shared.obs.registry.observe(names::M_SRV_REQUEST_US, sw.elapsed_micros());
+        let service_us = sw.elapsed_micros();
+        shared.obs.registry.observe(names::M_SRV_REQUEST_US, service_us);
+        if !phases.is_empty() {
+            // Whatever the instrumented phases did not cover — dispatch
+            // and router orchestration between forces — becomes its own
+            // disjoint phase, so the stitched waterfall sums to the
+            // whole pre-reply service interval and can be held against
+            // the client-observed round trip.
+            let attributed: u64 = phases.iter().map(|&(_, us)| us).sum();
+            let other_us = pre_reply_us.saturating_sub(attributed);
+            shared.obs.tracer.phase(names::PH_SERVE_OTHER, txn, req.trace, other_us);
+            phases.push((names::PH_SERVE_OTHER, other_us));
+        }
+        for &(name, us) in &phases {
+            observe_phase(&shared.obs, name, us);
+        }
+        // Slow-op admission uses the *client-visible* total (queue wait
+        // included), and the retained entry carries the full phase
+        // breakdown so a postmortem waterfall needs nothing else.
+        let total_us = queue_us + service_us;
+        if total_us >= shared.obs.slowops.threshold_us() {
+            phases.insert(0, (names::PH_QUEUE_WAIT, queue_us));
+            shared.obs.record_slow_op(label, txn, req.trace, total_us, phases);
+        }
         if wants_shutdown {
             shared.request_shutdown();
         }
     }
     close_session(shared, sid);
+}
+
+/// The transaction an op acts on, as a raw id for trace attribution
+/// (`rh_obs::trace::NONE` for transaction-less ops).
+fn txn_of(op: &Op) -> u64 {
+    match op {
+        Op::Read(t, _)
+        | Op::Write(t, _, _)
+        | Op::Add(t, _, _)
+        | Op::Delegate(t, _, _)
+        | Op::DelegateAll(t, _)
+        | Op::Permit(t, _, _)
+        | Op::Commit(t)
+        | Op::Abort(t)
+        | Op::Savepoint(t)
+        | Op::RollbackTo(t, _) => t.0,
+        Op::Begin | Op::ValueOf(_) | Op::Stats | Op::Ping | Op::Shutdown => rh_obs::trace::NONE,
+    }
+}
+
+/// A stable label for the slow-op log.
+fn op_name(op: &Op) -> &'static str {
+    match op {
+        Op::Begin => "begin",
+        Op::Read(..) => "read",
+        Op::Write(..) => "write",
+        Op::Add(..) => "add",
+        Op::Delegate(..) => "delegate",
+        Op::DelegateAll(..) => "delegate_all",
+        Op::Permit(..) => "permit",
+        Op::Commit(..) => "commit",
+        Op::Abort(..) => "abort",
+        Op::Savepoint(..) => "savepoint",
+        Op::RollbackTo(..) => "rollback_to",
+        Op::ValueOf(..) => "value_of",
+        Op::Stats => "stats",
+        Op::Ping => "ping",
+        Op::Shutdown => "shutdown",
+    }
+}
+
+/// Feeds one measured phase into its per-phase latency histogram. The
+/// tracer points were already emitted where the phase ran (see
+/// `Backend::commit`); the histograms all land here, on the *serving*
+/// obs, so `/stats` and `/metrics` aggregate them in one place without
+/// double-counting against shard registries.
+fn observe_phase(obs: &rh_obs::Obs, name: &'static str, us: u64) {
+    let hist = match name {
+        names::PH_ENGINE_HOLD => names::M_SRV_ENGINE_US,
+        names::PH_COMMIT_PREPARE => names::M_SRV_COMMIT_PREPARE_US,
+        names::PH_FLUSH_WAIT => names::M_SRV_FLUSH_US,
+        names::PH_2PC_PREPARE => names::M_SHARD_PREPARE_US,
+        names::PH_2PC_COORD => names::M_SHARD_COORD_US,
+        names::PH_2PC_RESOLVE => names::M_SHARD_RESOLVE_US,
+        _ => return,
+    };
+    obs.registry.observe(hist, us);
 }
 
 /// Serializes one response frame through the connection's write half.
@@ -204,12 +297,18 @@ pub(crate) fn close_session(shared: &Arc<Shared>, sid: u64) {
 }
 
 /// Executes one operation against the shared backend, producing the
-/// reply. Engine guards (single backend) live inside the `Backend`
+/// reply plus the op's measured commit phases (empty for everything but
+/// `Commit`). Engine guards (single backend) live inside the `Backend`
 /// methods and are scoped as tightly as possible: nothing here holds an
 /// engine mutex across a socket write, and commit forces happen outside
 /// the mutex on both backends.
-fn execute(shared: &Arc<Shared>, sid: u64, op: Op) -> Reply {
-    match op {
+fn execute(
+    shared: &Arc<Shared>,
+    sid: u64,
+    op: Op,
+    trace: u64,
+) -> (Reply, Vec<(&'static str, u64)>) {
+    let reply = match op {
         Op::Begin => match shared.backend.begin() {
             Ok(t) => {
                 {
@@ -226,7 +325,7 @@ fn execute(shared: &Arc<Shared>, sid: u64, op: Op) -> Reply {
         Op::Delegate(tor, tee, obs) => unit_reply(shared.backend.delegate(tor, tee, &obs)),
         Op::DelegateAll(tor, tee) => unit_reply(shared.backend.delegate_all(tor, tee)),
         Op::Permit(g, p, ob) => unit_reply(shared.backend.permit(g, p, ob)),
-        Op::Commit(t) => commit(shared, t),
+        Op::Commit(t) => return commit(shared, t, trace),
         Op::Abort(t) => match shared.backend.abort(t) {
             Ok(()) => {
                 {
@@ -245,7 +344,8 @@ fn execute(shared: &Arc<Shared>, sid: u64, op: Op) -> Reply {
         Op::ValueOf(ob) => value_reply(shared.backend.value_of(ob)),
         Op::Stats => Reply::Ok(ReplyBody::Json(shared.backend.stats_json(&shared.obs))),
         Op::Ping | Op::Shutdown => Reply::Ok(ReplyBody::Unit),
-    }
+    };
+    (reply, Vec::new())
 }
 
 /// Renders a unit-result backend operation.
@@ -265,15 +365,24 @@ fn value_reply(read: Result<Value>) -> Reply {
 }
 
 /// The durable commit path: acknowledge only after the backend's force
-/// (group-committed per engine — see `Backend::commit`).
-fn commit(shared: &Arc<Shared>, t: TxnId) -> Reply {
-    if let Err(e) = shared.backend.commit(t) {
-        return wire::error_reply(&e);
-    }
+/// (group-committed per engine — see `Backend::commit`). Returns the
+/// phase breakdown the backend measured, for histograms + the slow-op
+/// log.
+fn commit(shared: &Arc<Shared>, t: TxnId, trace: u64) -> (Reply, Vec<(&'static str, u64)>) {
+    let phases = match shared.backend.commit(t, trace, &shared.obs) {
+        Ok(phases) => phases,
+        Err(e) => return (wire::error_reply(&e), Vec::new()),
+    };
     {
         let mut table = shared.sessions.lock();
         table.note_terminated(t);
     }
     shared.obs.registry.inc(names::M_SRV_COMMITS);
-    Reply::Ok(ReplyBody::Unit)
+    if shared.first_ack_pending.swap(false, Ordering::Relaxed) {
+        shared
+            .obs
+            .registry
+            .observe(names::M_RECOVERY_FIRST_ACK_US, shared.started.elapsed_micros());
+    }
+    (Reply::Ok(ReplyBody::Unit), phases)
 }

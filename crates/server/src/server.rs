@@ -27,7 +27,7 @@ use rh_core::engine::RhDb;
 use rh_core::sharded::ShardedDb;
 use rh_etm::EtmSession;
 use rh_lock::LockManager;
-use rh_obs::{names, Obs, TcpService};
+use rh_obs::{names, Obs, Stopwatch, TcpService};
 use rh_storage::Disk;
 use rh_wal::{LogManager, StableLog};
 use std::collections::{HashMap, HashSet};
@@ -245,16 +245,48 @@ impl Backend {
     /// the log outside it so concurrent sessions share one group-commit
     /// fsync. Sharded: the router picks the single-shard fast path (same
     /// prepare/force split, per shard) or the cross-shard 2PC protocol.
-    pub(crate) fn commit(&self, t: TxnId) -> Result<()> {
+    ///
+    /// Returns the commit's measured phases `(name, micros)`, already
+    /// emitted as `phase.*` trace points attributed to `(t, trace)` on
+    /// the obs context where each phase ran (this engine's for the
+    /// single backend; the owning shard's for 2PC edges). The phases are
+    /// disjoint by construction — `phase.engine_hold` *excludes* the
+    /// `commit_prepare` body it brackets — so their sum approximates the
+    /// server-side commit latency.
+    pub(crate) fn commit(
+        &self,
+        t: TxnId,
+        trace: u64,
+        obs: &Obs,
+    ) -> Result<Vec<(&'static str, u64)>> {
         match self {
             Backend::Single { engine, log, .. } => {
+                let held = Stopwatch::start();
+                let mut prepare_us = 0u64;
                 let lsn = {
                     let mut eng = engine.lock();
-                    eng.commit_with(t, |db, t| db.commit_prepare(t))?
+                    eng.commit_with(t, |db, t| {
+                        let sw = Stopwatch::start();
+                        let lsn = db.commit_prepare(t);
+                        prepare_us = sw.elapsed_micros();
+                        lsn
+                    })?
                 };
-                log.flush_to(lsn)
+                let engine_us = held.elapsed_micros().saturating_sub(prepare_us);
+                let forced = Stopwatch::start();
+                log.flush_to(lsn)?;
+                let flush_us = forced.elapsed_micros();
+                let phases = vec![
+                    (names::PH_ENGINE_HOLD, engine_us),
+                    (names::PH_COMMIT_PREPARE, prepare_us),
+                    (names::PH_FLUSH_WAIT, flush_us),
+                ];
+                for &(name, us) in &phases {
+                    obs.tracer.phase(name, t.0, trace, us);
+                }
+                Ok(phases)
             }
-            Backend::Sharded(db) => db.commit(t),
+            Backend::Sharded(db) => db.commit_traced(t, trace),
         }
     }
 
@@ -347,6 +379,14 @@ pub(crate) struct Shared {
     pub(crate) killed: AtomicBool,
     /// Tunables.
     pub(crate) cfg: ServerConfig,
+    /// When this incarnation serves a *recovered* engine, the first
+    /// committed ack observes `recovery.first_ack_us` against this
+    /// watch — the operational "time until the restarted server did
+    /// useful durable work" number the recovery report cannot see.
+    pub(crate) started: Stopwatch,
+    /// Armed at bind iff the engine came out of recovery; the first
+    /// commit ack disarms it.
+    pub(crate) first_ack_pending: AtomicBool,
     /// Flag + condvar behind [`Server::run_until_shutdown`].
     stop_flag: Mutex<bool>,
     stop_cv: Condvar,
@@ -396,10 +436,11 @@ impl Server {
         let disk = Arc::clone(db.disk());
         let locks = Arc::clone(db.locks());
         let obs = Arc::clone(db.obs());
+        let recovered = db.last_recovery().is_some();
         db.record_blackbox("server-start");
         let backend =
             Backend::Single { engine: Box::new(Mutex::new(EtmSession::new(db))), log, disk, locks };
-        Self::bind_backend(addr, backend, obs, cfg)
+        Self::bind_backend(addr, backend, obs, recovered, cfg)
     }
 
     /// Binds `addr` and serves a range-sharded engine: requests are
@@ -411,13 +452,15 @@ impl Server {
     /// [`Server::force_stop`] for a simulated kill-9).
     pub fn bind_sharded(addr: &str, db: ShardedDb, cfg: ServerConfig) -> std::io::Result<Server> {
         let obs = Arc::clone(db.obs());
-        Self::bind_backend(addr, Backend::Sharded(Arc::new(db)), obs, cfg)
+        let recovered = db.stats().counter(names::M_RECOVERY_RUNS) > 0;
+        Self::bind_backend(addr, Backend::Sharded(Arc::new(db)), obs, recovered, cfg)
     }
 
     fn bind_backend(
         addr: &str,
         backend: Backend,
         obs: Arc<Obs>,
+        recovered: bool,
         cfg: ServerConfig,
     ) -> std::io::Result<Server> {
         let shared = Arc::new(Shared {
@@ -428,6 +471,8 @@ impl Server {
             draining: AtomicBool::new(false),
             killed: AtomicBool::new(false),
             cfg,
+            started: Stopwatch::start(),
+            first_ack_pending: AtomicBool::new(recovered),
             stop_flag: Mutex::new(false),
             stop_cv: Condvar::new(),
         });

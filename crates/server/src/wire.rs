@@ -11,10 +11,17 @@
 //! Payloads use the workspace binary codec ([`rh_common::codec`]):
 //!
 //! ```text
-//! request  := req_id: u64, opcode: u8, args…
+//! request  := req_id: u64, trace_id: u64, opcode: u8, args…
 //! response := req_id: u64, status: u8, body…        (status: OK/ERR/BUSY)
 //! hello    := magic: u32, version: u32, status: u8, session: u64, cap: u32
 //! ```
+//!
+//! `trace_id` (v2) is the client-assigned trace context: the server
+//! attributes every measured phase of the request (queue wait, engine
+//! hold, flush wait, 2PC edges) to it in the trace ring, and `rh-trace`
+//! stitches them back into a waterfall. [`NO_TRACE`] means "untraced".
+//! The field is negotiated implicitly by [`PROTOCOL_VERSION`]: a v1
+//! peer rejects the v2 hello before any request is exchanged.
 //!
 //! Requests are answered exactly once, tagged with the request's
 //! `req_id`; clients may pipeline any number of requests subject to the
@@ -28,7 +35,11 @@ use std::io::{self, Read, Write};
 
 /// Protocol version carried in the hello frame. Bumped on any change to
 /// the frame layout, opcode numbering, or reply encoding.
-pub const PROTOCOL_VERSION: u32 = 1;
+/// v2: requests carry a `trace_id` field after `req_id`.
+pub const PROTOCOL_VERSION: u32 = 2;
+
+/// The `trace_id` value meaning "this request is untraced".
+pub const NO_TRACE: u64 = u64::MAX;
 
 /// Magic prefix of the hello frame (`b"RHSV"` little-endian).
 pub const HELLO_MAGIC: u32 = u32::from_le_bytes(*b"RHSV");
@@ -242,12 +253,16 @@ impl Codec for Op {
     }
 }
 
-/// One request: a client-chosen correlation id plus the operation.
+/// One request: a client-chosen correlation id, the trace context, and
+/// the operation.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Request {
     /// Correlation id, echoed verbatim in the reply. Client-chosen;
     /// `0` is reserved for the hello exchange.
     pub id: u64,
+    /// Client-assigned trace context, or [`NO_TRACE`]. The server tags
+    /// every phase timer of this request with it.
+    pub trace: u64,
     /// The operation to perform.
     pub op: Op,
 }
@@ -255,10 +270,11 @@ pub struct Request {
 impl Codec for Request {
     fn encode(&self, w: &mut Writer) {
         w.put_u64(self.id);
+        w.put_u64(self.trace);
         self.op.encode(w);
     }
     fn decode(r: &mut Reader<'_>) -> Result<Self> {
-        Ok(Request { id: r.take_u64()?, op: Op::decode(r)? })
+        Ok(Request { id: r.take_u64()?, trace: r.take_u64()?, op: Op::decode(r)? })
     }
 }
 
@@ -422,8 +438,9 @@ impl Codec for Hello {
         if r.take_u32()? != HELLO_MAGIC {
             return Err(RhError::Codec("bad hello magic"));
         }
-        if r.take_u32()? != PROTOCOL_VERSION {
-            return Err(RhError::Codec("protocol version mismatch"));
+        let got = r.take_u32()?;
+        if got != PROTOCOL_VERSION {
+            return Err(RhError::VersionMismatch { got, want: PROTOCOL_VERSION });
         }
         let accepted = r.take_u8()? != 0;
         Ok(Hello { accepted, session: r.take_u64()?, inflight_cap: r.take_u32()? })
@@ -465,6 +482,9 @@ pub mod errcode {
     pub const PROTOCOL: u8 = 12;
     /// The server is draining and takes no new work.
     pub const DRAINING: u8 = 13;
+    /// [`rh_common::RhError::VersionMismatch`] — the peers speak
+    /// different wire-protocol versions.
+    pub const VERSION_MISMATCH: u8 = 14;
 }
 
 /// Maps an engine error to its wire class.
@@ -482,6 +502,7 @@ pub fn error_code(e: &RhError) -> u8 {
         RhError::Storage(_) => errcode::STORAGE,
         RhError::DependencyCycle { .. } => errcode::DEPENDENCY_CYCLE,
         RhError::Protocol(_) => errcode::PROTOCOL,
+        RhError::VersionMismatch { .. } => errcode::VERSION_MISMATCH,
     }
 }
 
@@ -528,7 +549,7 @@ mod tests {
             Op::Ping,
             Op::Shutdown,
         ] {
-            round_trip(Request { id: 42, op });
+            round_trip(Request { id: 42, trace: 99, op });
         }
     }
 
@@ -556,8 +577,26 @@ mod tests {
     }
 
     #[test]
+    fn hello_version_mismatch_is_a_dedicated_error_class() {
+        // A peer announcing a different version must surface as
+        // VersionMismatch (stable class, both versions named) — not as a
+        // generic Codec failure.
+        let mut bytes = Hello { accepted: true, session: 3, inflight_cap: 32 }.to_bytes();
+        bytes[4..8].copy_from_slice(&(PROTOCOL_VERSION + 1).to_le_bytes());
+        let err = Hello::from_bytes(&bytes).unwrap_err();
+        assert_eq!(
+            err,
+            RhError::VersionMismatch { got: PROTOCOL_VERSION + 1, want: PROTOCOL_VERSION }
+        );
+        assert_eq!(error_code(&err), errcode::VERSION_MISMATCH);
+        let msg = err.to_string();
+        assert!(msg.contains(&format!("v{}", PROTOCOL_VERSION + 1)), "message: {msg}");
+        assert!(msg.contains(&format!("v{PROTOCOL_VERSION}")), "message: {msg}");
+    }
+
+    #[test]
     fn frames_round_trip_over_a_buffer() {
-        let req = Request { id: 1, op: Op::Ping }.to_bytes();
+        let req = Request { id: 1, trace: NO_TRACE, op: Op::Ping }.to_bytes();
         let mut buf = Vec::new();
         write_frame(&mut buf, &req).unwrap();
         write_frame(&mut buf, &req).unwrap();
@@ -569,7 +608,7 @@ mod tests {
 
     #[test]
     fn corrupt_frames_are_io_errors() {
-        let req = Request { id: 1, op: Op::Ping }.to_bytes();
+        let req = Request { id: 1, trace: NO_TRACE, op: Op::Ping }.to_bytes();
         let mut buf = Vec::new();
         write_frame(&mut buf, &req).unwrap();
         // Flip a payload bit: CRC mismatch.

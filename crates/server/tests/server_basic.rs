@@ -47,7 +47,7 @@ fn read_hello(stream: &mut TcpStream) -> Hello {
 
 /// One blocking round trip over a raw socket.
 fn call(stream: &mut TcpStream, id: u64, op: Op) -> Reply {
-    wire::write_frame(stream, &Request { id, op }.to_bytes()).expect("send");
+    wire::write_frame(stream, &Request { id, trace: wire::NO_TRACE, op }.to_bytes()).expect("send");
     let payload = wire::read_frame(stream).expect("reply frame").expect("reply present");
     let resp = Response::from_bytes(&payload).expect("reply decodes");
     assert_eq!(resp.id, id, "reply correlation");
@@ -190,7 +190,11 @@ fn pipelining_beyond_the_cap_earns_busy_not_queueing() {
                           // we only count reply dispositions here, so target
                           // a bogus txn: Err replies are fine for this test.
         let _ = t;
-        wire::write_frame(&mut c, &Request { id: i + 1, op: Op::Ping }.to_bytes()).expect("send");
+        wire::write_frame(
+            &mut c,
+            &Request { id: i + 1, trace: wire::NO_TRACE, op: Op::Ping }.to_bytes(),
+        )
+        .expect("send");
         sent += 1;
     }
     // Every request gets exactly one reply: OK or BUSY, never silence.
@@ -242,7 +246,10 @@ fn idle_sessions_are_closed_and_their_txns_aborted() {
     std::thread::sleep(Duration::from_millis(400));
     // The server hung up on us. The write may still land in OS buffers,
     // but the read must see either EOF or a reset.
-    let _ = wire::write_frame(&mut c, &Request { id: 2, op: Op::Ping }.to_bytes());
+    let _ = wire::write_frame(
+        &mut c,
+        &Request { id: 2, trace: wire::NO_TRACE, op: Op::Ping }.to_bytes(),
+    );
     let dead = matches!(wire::read_frame(&mut c), Ok(None) | Err(_));
     assert!(dead, "idle session must be closed by the server");
     let db = server.shutdown().expect("drain");

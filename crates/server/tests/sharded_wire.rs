@@ -32,7 +32,7 @@ fn connect(addr: SocketAddr) -> TcpStream {
 }
 
 fn call(stream: &mut TcpStream, id: u64, op: Op) -> Reply {
-    wire::write_frame(stream, &Request { id, op }.to_bytes()).expect("send");
+    wire::write_frame(stream, &Request { id, trace: wire::NO_TRACE, op }.to_bytes()).expect("send");
     let payload = wire::read_frame(stream).expect("reply frame").expect("reply present");
     let resp = Response::from_bytes(&payload).expect("reply decodes");
     assert_eq!(resp.id, id, "reply correlation");
