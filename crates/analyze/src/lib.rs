@@ -21,13 +21,17 @@
 //! jobs, emitting `rh_obs`-dialect JSON artifacts next to the
 //! experiment artifacts.
 
+pub mod callgraph;
 pub mod findings;
 pub mod lexer;
+pub mod lockgraph;
 pub mod model;
 pub mod model_sharded;
 pub mod rules;
+pub mod unify;
 
-use findings::{Baseline, Triage};
+use findings::{Baseline, Finding, Triage};
+use rh_obs::json::JsonValue;
 use rules::SourceFile;
 use std::collections::HashSet;
 use std::path::{Path, PathBuf};
@@ -94,12 +98,89 @@ pub fn scan_workspace(root: &Path) -> std::io::Result<(Vec<SourceFile>, HashSet<
     Ok((files, obs_names))
 }
 
+/// The full `--workspace` run: baseline triage, per-rule timings, the
+/// interprocedural lock-graph analysis, and the manifest cross-check.
+#[derive(Debug)]
+pub struct LintRun {
+    /// Findings triaged against the checked-in baseline.
+    pub triage: Triage,
+    /// Files scanned.
+    pub files: u64,
+    /// Wall-clock per rule (L1–L5 individually, the lock-graph pass as
+    /// one entry).
+    pub timings: Vec<rules::RuleTiming>,
+    /// The inferred global lock graph (reused by `--lock-graph`).
+    pub analysis: lockgraph::Analysis,
+}
+
+impl LintRun {
+    /// Renders the `analyze.json` artifact body: the triage plus the
+    /// per-rule timings and any stale L2 manifest entries.
+    pub fn to_json(&self) -> JsonValue {
+        JsonValue::obj(vec![
+            ("files_scanned", JsonValue::U64(self.files)),
+            ("new", JsonValue::Arr(self.triage.new.iter().map(Finding::to_json).collect())),
+            (
+                "accepted",
+                JsonValue::Arr(self.triage.accepted.iter().map(Finding::to_json).collect()),
+            ),
+            (
+                "stale_baseline",
+                JsonValue::Arr(
+                    self.triage.stale.iter().map(|k| JsonValue::Str(k.clone())).collect(),
+                ),
+            ),
+            (
+                "stale_manifest",
+                JsonValue::Arr(
+                    self.analysis
+                        .stale_manifest
+                        .iter()
+                        .map(|k| JsonValue::Str(k.clone()))
+                        .collect(),
+                ),
+            ),
+            (
+                "rule_timings",
+                JsonValue::Arr(
+                    self.timings
+                        .iter()
+                        .map(|t| {
+                            JsonValue::obj(vec![
+                                ("rule", JsonValue::Str(t.rule.to_string())),
+                                ("micros", JsonValue::U64(t.micros)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+}
+
 /// Runs the full lint suite over the workspace at `root`, applying the
 /// checked-in baseline. Returns the triage plus the number of files
 /// scanned.
 pub fn run_lints(root: &Path) -> Result<(Triage, u64), String> {
+    run_lints_full(root).map(|run| (run.triage, run.files))
+}
+
+/// [`run_lints`] plus the interprocedural lock-graph pass (findings
+/// L6–L8 flow through the same suppression/baseline machinery), the
+/// per-rule timings, and the manifest cross-check.
+pub fn run_lints_full(root: &Path) -> Result<LintRun, String> {
     let (files, obs_names) = scan_workspace(root).map_err(|e| format!("scan: {e}"))?;
-    let found = rules::run_all(&files, &obs_names);
+    let (mut found, mut timings) = rules::run_all_timed(&files, &obs_names);
+    let sw = rh_obs::Stopwatch::start();
+    let deps = callgraph::DepMap::load(root).map_err(|e| format!("dep map: {e}"))?;
+    let analysis = lockgraph::analyze(&files, &deps);
+    for f in &files {
+        let mine: Vec<Finding> =
+            analysis.findings.iter().filter(|x| x.file == f.path).cloned().collect();
+        found.extend(findings::apply_suppressions(&f.tokens, mine));
+    }
+    timings.push(rules::RuleTiming { rule: "L6-L8/lock-graph", micros: sw.elapsed_micros() });
+    found.sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
     let baseline_path = root.join("crates/analyze/baseline.json");
     let baseline = if baseline_path.exists() {
         let text = std::fs::read_to_string(&baseline_path)
@@ -109,5 +190,5 @@ pub fn run_lints(root: &Path) -> Result<(Triage, u64), String> {
         Baseline::default()
     };
     let n = files.len() as u64;
-    Ok((baseline.triage(found), n))
+    Ok(LintRun { triage: baseline.triage(found), files: n, timings, analysis })
 }

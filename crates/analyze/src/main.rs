@@ -4,18 +4,28 @@
 //! cargo run -p rh-analyze -- --workspace --strict
 //! cargo run -p rh-analyze -- --model-check --smoke
 //! cargo run -p rh-analyze -- --model-check --sharded --smoke
+//! cargo run -p rh-analyze -- --lock-graph --witness=target/obs/lockwitness --strict
 //! ```
 //!
 //! `--sharded` switches the model check to the 2-shard mode: the same
 //! bounded histories through a range-sharded engine, plus a crash
 //! injected at every 2PC durability edge of every commit.
 //!
+//! `--lock-graph` runs the deadlock gate (DESIGN.md §15): the static
+//! interprocedural lock-graph inference, unified with the runtime
+//! lock-witness artifacts named by `--witness=PATH` (one
+//! `lockwitness.json` file, or a directory of `lockwitness-*.json`
+//! files from a suite run under `RH_LOCK_WITNESS=1`). It fails on any
+//! cycle — static or witnessed — and on any dynamic edge the static
+//! pass did not predict, and prints the ranked hold-time report.
+//!
 //! Exit codes: `0` clean, `1` findings/divergences, `2` usage error.
 //! Artifacts (`analyze.json`, `model_check.json`,
-//! `model_check_sharded.json`) are written to `--out-dir` (default
-//! `target/obs`), in the same JSON dialect as the experiment artifacts.
+//! `model_check_sharded.json`, `lockgraph.json`) are written to
+//! `--out-dir` (default `target/obs`), in the same JSON dialect as the
+//! experiment artifacts.
 
-use rh_analyze::{model, model_sharded};
+use rh_analyze::{model, model_sharded, unify};
 use rh_obs::json::JsonValue;
 use rh_obs::Stopwatch;
 use rh_workload::enumerate::Bounds;
@@ -24,7 +34,7 @@ use std::path::{Path, PathBuf};
 fn usage() -> ! {
     eprintln!(
         "usage: rh-analyze [--workspace [--strict]] [--model-check [--sharded] [--smoke]] \
-         [--root=DIR] [--out-dir=DIR]"
+         [--lock-graph [--witness=PATH] [--strict]] [--root=DIR] [--out-dir=DIR]"
     );
     std::process::exit(2);
 }
@@ -43,6 +53,9 @@ fn main() {
     let model_check = args.iter().any(|a| a == "--model-check");
     let sharded = args.iter().any(|a| a == "--sharded");
     let smoke = args.iter().any(|a| a == "--smoke");
+    let lock_graph = args.iter().any(|a| a == "--lock-graph");
+    let witness_path: Option<PathBuf> =
+        args.iter().find_map(|a| a.strip_prefix("--witness=")).map(PathBuf::from);
     let root: PathBuf = args
         .iter()
         .find_map(|a| a.strip_prefix("--root="))
@@ -59,51 +72,170 @@ fn main() {
             || a == "--model-check"
             || a == "--sharded"
             || a == "--smoke"
+            || a == "--lock-graph"
+            || a.starts_with("--witness=")
             || a.starts_with("--root=")
             || a.starts_with("--out-dir=")
     };
-    if args.iter().any(|a| !known(a)) || (!workspace && !model_check) || (sharded && !model_check) {
+    if args.iter().any(|a| !known(a))
+        || (!workspace && !model_check && !lock_graph)
+        || (sharded && !model_check)
+        || (witness_path.is_some() && !lock_graph)
+    {
         usage();
     }
 
     let mut failed = false;
 
-    if workspace {
+    // One lint+lock-graph pass feeds both `--workspace` and
+    // `--lock-graph`; running them together never analyzes twice.
+    let lint_run = if workspace || lock_graph {
         let sw = Stopwatch::start();
-        match rh_analyze::run_lints(&root) {
+        match rh_analyze::run_lints_full(&root) {
             Err(e) => {
                 eprintln!("rh-analyze: {e}");
                 std::process::exit(2);
             }
-            Ok((triage, files)) => {
-                for f in &triage.new {
-                    println!("{}:{}: [{}] {}", f.file, f.line, f.rule, f.message);
+            Ok(run) => Some((run, sw)),
+        }
+    } else {
+        None
+    };
+
+    if workspace {
+        let (run, sw) = lint_run.as_ref().expect("workspace implies a lint run");
+        let triage = &run.triage;
+        for f in &triage.new {
+            println!("{}:{}: [{}] {}", f.file, f.line, f.rule, f.message);
+        }
+        for f in &triage.accepted {
+            println!("{}:{}: [{}] (baseline) {}", f.file, f.line, f.rule, f.message);
+        }
+        for k in &triage.stale {
+            println!("stale baseline entry: {k} (debt paid — delete it)");
+        }
+        for site in &run.analysis.stale_manifest {
+            println!("stale manifest receiver: {site} (never observed acquiring — delete it)");
+        }
+        match write_artifact(&out_dir, "analyze.json", &run.to_json()) {
+            Ok(p) => println!("[artifact] {}", p.display()),
+            Err(e) => {
+                eprintln!("rh-analyze: writing artifact: {e}");
+                std::process::exit(2);
+            }
+        }
+        println!(
+            "lints: {} files, {} new, {} baselined, {} stale ({} ms)",
+            run.files,
+            triage.new.len(),
+            triage.accepted.len(),
+            triage.stale.len(),
+            sw.elapsed_micros() / 1000
+        );
+        if !triage.new.is_empty()
+            || (strict && (!triage.stale.is_empty() || !run.analysis.stale_manifest.is_empty()))
+        {
+            failed = true;
+        }
+    }
+
+    if lock_graph {
+        let (run, _) = lint_run.as_ref().expect("lock-graph implies a lint run");
+        let sw = Stopwatch::start();
+        let analysis = &run.analysis;
+        let witness = match &witness_path {
+            None => None,
+            Some(p) => match unify::Witness::load(p) {
+                Ok(w) => Some(w),
+                Err(e) => {
+                    eprintln!("rh-analyze: witness: {e}");
+                    std::process::exit(2);
                 }
-                for f in &triage.accepted {
-                    println!("{}:{}: [{}] (baseline) {}", f.file, f.line, f.rule, f.message);
-                }
-                for k in &triage.stale {
-                    println!("stale baseline entry: {k} (debt paid — delete it)");
-                }
-                let body = triage.to_json(files);
-                match write_artifact(&out_dir, "analyze.json", &body) {
-                    Ok(p) => println!("[artifact] {}", p.display()),
-                    Err(e) => {
-                        eprintln!("rh-analyze: writing artifact: {e}");
-                        std::process::exit(2);
-                    }
-                }
-                println!(
-                    "lints: {files} files, {} new, {} baselined, {} stale ({} ms)",
-                    triage.new.len(),
-                    triage.accepted.len(),
-                    triage.stale.len(),
-                    sw.elapsed_micros() / 1000
-                );
-                if !triage.new.is_empty() || (strict && !triage.stale.is_empty()) {
-                    failed = true;
+            },
+        };
+        let unified = unify::unify(analysis, witness.as_ref().unwrap_or(&Default::default()));
+        for cycle in &unified.static_cycles {
+            eprintln!("LOCK CYCLE (static): {}", cycle.join(" -> "));
+            for pair in cycle.windows(2) {
+                if let Some(e) = analysis.edge(&pair[0], &pair[1]) {
+                    let via = e.via.as_deref().map_or(String::new(), |v| format!(" via {v}()"));
+                    eprintln!("  {} -> {} at {}:{}{via}", e.from, e.to, e.file, e.line);
                 }
             }
+        }
+        for cycle in &unified.witness_cycles {
+            eprintln!("LOCK CYCLE (witnessed): {cycle}");
+        }
+        for u in &unified.unpredicted {
+            eprintln!(
+                "UNPREDICTED DYNAMIC EDGE: {} -> {} (seen {}x, first on thread `{}`) — \
+                 the static inference missed this nesting",
+                u.from, u.to, u.count, u.first_thread
+            );
+        }
+        if strict && !analysis.stale_manifest.is_empty() {
+            for site in &analysis.stale_manifest {
+                eprintln!("STALE MANIFEST RECEIVER: {site} (never observed acquiring)");
+            }
+        }
+        if let Some(w) = &witness {
+            println!(
+                "lock graph: {} nodes, {} static edges, {} witnessed edges \
+                 ({} confirmed, {} unpredicted) from {} artifact(s), {} sites uncovered",
+                analysis.nodes.len(),
+                analysis.edges.len(),
+                w.edges.len(),
+                unified.confirmed,
+                unified.unpredicted.len(),
+                w.artifacts,
+                unified.uncovered.len(),
+            );
+            println!("hold-time report (ranked by total held time):");
+            for (i, row) in unified.report.iter().enumerate().take(12) {
+                println!(
+                    "  {:>2}. {:<24} acquires={:<8} holds={:<8} total={:<10} avg={:<8} max={}",
+                    i + 1,
+                    row.site,
+                    row.acquires,
+                    row.hold.count,
+                    unify::fmt_us(row.hold.total_us),
+                    unify::fmt_us(row.hold.avg_us()),
+                    unify::fmt_us(row.hold.max_us),
+                );
+                for (name, h) in &row.subs {
+                    println!(
+                        "        {:<21} count={:<8} total={:<10} avg={:<8} max={}",
+                        name,
+                        h.count,
+                        unify::fmt_us(h.total_us),
+                        unify::fmt_us(h.avg_us()),
+                        unify::fmt_us(h.max_us),
+                    );
+                }
+            }
+        } else {
+            println!(
+                "lock graph: {} nodes, {} static edges, no witness artifacts given \
+                 (static-only check)",
+                analysis.nodes.len(),
+                analysis.edges.len(),
+            );
+        }
+        let body = unify::to_json(analysis, witness.as_ref(), &unified);
+        match write_artifact(&out_dir, "lockgraph.json", &body) {
+            Ok(p) => println!("[artifact] {}", p.display()),
+            Err(e) => {
+                eprintln!("rh-analyze: writing artifact: {e}");
+                std::process::exit(2);
+            }
+        }
+        println!(
+            "lock-graph gate: {} ({} ms)",
+            if unified.ok() { "clean" } else { "FAILED" },
+            sw.elapsed_micros() / 1000
+        );
+        if !unified.ok() || (strict && !analysis.stale_manifest.is_empty()) {
+            failed = true;
         }
     }
 

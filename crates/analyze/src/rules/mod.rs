@@ -46,6 +46,18 @@ impl SourceFile {
     }
 }
 
+/// Wall-clock spent in one rule across the whole workspace — emitted
+/// into `analyze.json` so a rule that regresses the gate's latency is
+/// visible in CI history.
+#[derive(Debug, Clone)]
+pub struct RuleTiming {
+    /// Rule id (`L1`..`L5`, or `L6-L8/lock-graph` for the combined
+    /// interprocedural pass).
+    pub rule: &'static str,
+    /// Total microseconds across all files.
+    pub micros: u64,
+}
+
 /// Runs every rule over `files`. `obs_names` is the set of string values
 /// of the `rh_obs::names` constants (collected by the scanner from
 /// `crates/obs/src/names.rs`), consumed by L3.
@@ -53,16 +65,36 @@ pub fn run_all(
     files: &[SourceFile],
     obs_names: &std::collections::HashSet<String>,
 ) -> Vec<Finding> {
+    run_all_timed(files, obs_names).0
+}
+
+/// [`run_all`] with per-rule wall-clock timing.
+pub fn run_all_timed(
+    files: &[SourceFile],
+    obs_names: &std::collections::HashSet<String>,
+) -> (Vec<Finding>, Vec<RuleTiming>) {
+    type Rule<'a> = (&'static str, Box<dyn Fn(&SourceFile) -> Vec<Finding> + 'a>);
+    let rules: Vec<Rule> = vec![
+        ("L1", Box::new(panics::check)),
+        ("L2", Box::new(locks::check)),
+        ("L3", Box::new(|f| obsnames::check(f, obs_names))),
+        ("L4", Box::new(determinism::check)),
+        ("L5", Box::new(unsafety::check)),
+    ];
+    let mut found = Vec::new();
+    let mut timings = Vec::new();
+    for (rule, check) in &rules {
+        let sw = rh_obs::Stopwatch::start();
+        for f in files {
+            found.extend(check(f));
+        }
+        timings.push(RuleTiming { rule, micros: sw.elapsed_micros() });
+    }
     let mut out = Vec::new();
     for f in files {
-        let mut found = Vec::new();
-        found.extend(panics::check(f));
-        found.extend(locks::check(f));
-        found.extend(obsnames::check(f, obs_names));
-        found.extend(determinism::check(f));
-        found.extend(unsafety::check(f));
-        out.extend(crate::findings::apply_suppressions(&f.tokens, found));
+        let mine: Vec<Finding> = found.iter().filter(|x| x.file == f.path).cloned().collect();
+        out.extend(crate::findings::apply_suppressions(&f.tokens, mine));
     }
     out.sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
-    out
+    (out, timings)
 }

@@ -24,6 +24,13 @@ use std::collections::HashSet;
 const RECORDERS: &[&str] =
     &["counter", "add", "set", "observe", "event", "span", "span_for_txn", "phase"];
 
+/// Lock-witness calls that take a site (or sub-histogram) name in a
+/// *later* argument position (`Mutex::named(value, "site")`,
+/// `note_hold("site", "sub", us)`): any name-shaped literal anywhere in
+/// their argument list must resolve to a constant — a typo'd site
+/// silently detaches the dynamic witness from the static lock graph.
+const SITE_RECORDERS: &[&str] = &["named", "named_ordered", "note_hold"];
+
 /// Dotted lowercase segments: `log.appends`, `undo.lsn_jump_distance`.
 fn looks_like_obs_name(s: &str) -> bool {
     s.contains('.')
@@ -91,6 +98,43 @@ pub fn check(f: &SourceFile, allowed: &HashSet<String>) -> Vec<Finding> {
             });
         }
     }
+    // Site-name recorders: scan each call's whole argument list forward
+    // (the name is not the first argument, so the walk-back above never
+    // sees it).
+    for (i, t) in code.iter().enumerate() {
+        if t.kind != Kind::Ident
+            || !SITE_RECORDERS.iter().any(|r| t.text == *r)
+            || !code.get(i + 1).is_some_and(|n| n.is_punct('('))
+        {
+            continue;
+        }
+        let mut depth = 0usize;
+        for arg in &code[i + 1..] {
+            if arg.is_punct('(') {
+                depth += 1;
+            } else if arg.is_punct(')') {
+                depth -= 1;
+                if depth == 0 {
+                    break;
+                }
+            } else if arg.kind == Kind::Str
+                && !in_spans(&f.test_spans, arg.line)
+                && looks_like_obs_name(&arg.text)
+                && !allowed.contains(&arg.text)
+            {
+                out.push(Finding {
+                    rule: "L3",
+                    file: f.path.clone(),
+                    line: arg.line,
+                    message: format!(
+                        "lock-witness site literal \"{}\" does not match any rh_obs::names \
+                         constant; a typo'd site detaches the witness from the static lock graph",
+                        arg.text
+                    ),
+                });
+            }
+        }
+    }
     out
 }
 
@@ -133,6 +177,42 @@ mod tests {
         let got = check(&f, &allowed());
         assert_eq!(got.len(), 1);
         assert!(got[0].message.contains("phase.engin_hold"));
+    }
+
+    #[test]
+    fn named_site_literal_in_later_argument_position_fails() {
+        // `Mutex::named(value, "site")` puts the name *second*; the
+        // forward scan must still catch the typo.
+        let f = SourceFile::new(
+            "crates/server/src/server.rs",
+            "fn b() { let m = Mutex::named(SessionTable::new(), \"server.sesions\"); }",
+        );
+        let got = check(&f, &allowed());
+        assert_eq!(got.len(), 1);
+        assert!(got[0].message.contains("server.sesions"));
+        assert!(got[0].message.contains("site"));
+    }
+
+    #[test]
+    fn named_ordered_and_note_hold_are_site_recorders() {
+        let f = SourceFile::new(
+            "crates/core/src/sharded/mod.rs",
+            "fn b() { let m = Mutex::named_ordered(db, \"core.engin\", 3); \
+             witness::note_hold(\"core.engin\", \"sub\", us); }",
+        );
+        let got = check(&f, &allowed());
+        assert_eq!(got.len(), 2);
+    }
+
+    #[test]
+    fn known_site_constants_pass_through_site_recorders() {
+        let mut ok = allowed();
+        ok.insert("core.engine".to_string());
+        let f = SourceFile::new(
+            "crates/core/src/sharded/mod.rs",
+            "fn b() { let m = Mutex::named_ordered(db, \"core.engine\", 3); }",
+        );
+        assert!(check(&f, &ok).is_empty());
     }
 
     #[test]

@@ -1,0 +1,26 @@
+//! Interprocedural ABBA fixture, crate A side (lexed as
+//! `crates/fixa/src/lib.rs`; crate B is `abba_b.rs`). `forward` holds
+//! `alpha` and calls into crate B, which takes `beta`; `reverse` runs
+//! `grab_alpha` inside crate B's `with_beta` callback, so `alpha` is
+//! acquired while `beta` is held — closing the cross-crate cycle.
+//! (Never compiled — lexed by tests/lints.rs.)
+
+struct Router {
+    alpha: Mutex<Plan>,
+    remote: Remote,
+}
+
+impl Router {
+    fn forward(&self, x: u32) {
+        let a = self.alpha.lock();
+        self.remote.poke(x);
+    }
+
+    fn reverse(&self) {
+        self.remote.with_beta(|b| self.grab_alpha(b));
+    }
+
+    fn grab_alpha(&self, b: u32) {
+        let a = self.alpha.lock();
+    }
+}

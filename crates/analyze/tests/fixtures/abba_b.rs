@@ -1,0 +1,20 @@
+//! Interprocedural ABBA fixture, crate B side (lexed as
+//! `crates/fixb/src/lib.rs`; see `abba_a.rs`). `poke` takes `beta`
+//! under crate A's `alpha`; `with_beta` invokes a caller-supplied
+//! closure while holding `beta` — the higher-order dispatch edge.
+//! (Never compiled — lexed by tests/lints.rs.)
+
+struct Remote {
+    beta: Mutex<Queue>,
+}
+
+impl Remote {
+    fn poke(&self, x: u32) {
+        let b = self.beta.lock();
+    }
+
+    fn with_beta(&self, f: F) {
+        let b = self.beta.lock();
+        f(b);
+    }
+}

@@ -1,0 +1,40 @@
+//! L6 fixture: lock held across fsync/flush. `force` fires directly,
+//! `outer` fires through the resolved `flush_inner` callee, `waived`
+//! is suppressed by the allow comment, and the `#[cfg(test)]` copy
+//! must not count. (Never compiled — lexed by tests/lints.rs.)
+
+struct Log {
+    state: Mutex<State>,
+    file: File,
+}
+
+impl Log {
+    fn force(&self) {
+        let g = self.state.lock();
+        self.file.sync_all();
+    }
+
+    fn flush_inner(&self) {
+        self.file.sync_data();
+    }
+
+    fn outer(&self) {
+        let g = self.state.lock();
+        self.flush_inner();
+    }
+
+    fn waived(&self) {
+        let g = self.state.lock();
+        // The master-record force is this lock's whole purpose.
+        // rh-analyze: allow(L6)
+        self.file.sync_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    fn in_test_does_not_count(log: &Log) {
+        let g = log.state.lock();
+        log.file.sync_all();
+    }
+}

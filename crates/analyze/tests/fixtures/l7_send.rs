@@ -1,0 +1,30 @@
+//! L7 fixture: lock held across a socket send. `reply` fires (the
+//! engine guard is held over `write_all`); `pong` is clean because the
+//! guard of the socket itself is expected around a send; `waived` is
+//! suppressed. (Never compiled — lexed by tests/lints.rs.)
+
+struct Conn {
+    out: Mutex<WriteHalf>,
+    engine: Mutex<Engine>,
+    sock: UdpSocket,
+}
+
+impl Conn {
+    fn reply(&self, buf: &[u8]) {
+        let out = self.out.lock();
+        let g = self.engine.lock();
+        out.write_all(buf);
+    }
+
+    fn pong(&self, buf: &[u8]) {
+        let out = self.out.lock();
+        out.write_all(buf);
+    }
+
+    fn waived(&self, msg: &[u8]) {
+        let g = self.engine.lock();
+        // Loopback heartbeat: never blocks.
+        // rh-analyze: allow(L7)
+        self.sock.send(msg);
+    }
+}

@@ -1,0 +1,27 @@
+//! L8 fixture: lock held across sleep/park on a non-test path.
+//! `backoff` and `spin` fire; the `#[cfg(test)]` copy must not count.
+//! (Never compiled — lexed by tests/lints.rs.)
+
+struct Engine {
+    prov: Mutex<Provisional>,
+}
+
+impl Engine {
+    fn backoff(&self) {
+        let g = self.prov.lock();
+        thread::sleep(BACKOFF);
+    }
+
+    fn spin(&self) {
+        let g = self.prov.lock();
+        std::thread::park_timeout(SPIN_QUANTUM);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    fn in_test_does_not_count(e: &Engine) {
+        let g = e.prov.lock();
+        thread::sleep(BACKOFF);
+    }
+}

@@ -62,6 +62,67 @@ fn l5_fixture_fires_on_both_unsafe_sites() {
     assert!(found.iter().all(|x| x.message.contains("allowlist")));
 }
 
+/// Dep map for the lock-graph fixtures: the two fixture "crates" plus
+/// nothing else — resolution across them exercises `can_call`.
+fn lock_deps() -> rh_analyze::callgraph::DepMap {
+    rh_analyze::callgraph::DepMap::from_edges(&[("fixa", "fixb")])
+}
+
+#[test]
+fn l6_fixture_fires_direct_and_interprocedural_respecting_waivers() {
+    let f = SourceFile::new("crates/wal/src/fixture.rs", &fixture("l6_fsync.rs"));
+    let a = rh_analyze::lockgraph::analyze(std::slice::from_ref(&f), &lock_deps());
+    let found = rh_analyze::findings::apply_suppressions(&f.tokens, a.findings);
+    // `force` (direct sink) and `outer` (through the resolved
+    // `flush_inner`); the waived and in-test copies must not count.
+    assert_eq!(found.len(), 2, "got: {found:#?}");
+    assert!(rules_of(&found).iter().all(|r| *r == "L6"));
+    assert!(found.iter().any(|x| x.message.contains("is a fsync/flush")), "{found:#?}");
+    assert!(found.iter().any(|x| x.message.contains("may fsync/flush")), "{found:#?}");
+    assert!(found.iter().all(|x| x.message.contains("`wal.state`")), "{found:#?}");
+}
+
+#[test]
+fn l7_fixture_fires_only_past_the_sockets_own_guard() {
+    let f = SourceFile::new("crates/server/src/fixture.rs", &fixture("l7_send.rs"));
+    let a = rh_analyze::lockgraph::analyze(std::slice::from_ref(&f), &lock_deps());
+    let found = rh_analyze::findings::apply_suppressions(&f.tokens, a.findings);
+    // `reply` fires on the engine guard only; `pong` holds just the
+    // socket's own write-half mutex (expected around a send) and the
+    // waived heartbeat is suppressed.
+    assert_eq!(found.len(), 1, "got: {found:#?}");
+    assert_eq!(found[0].rule, "L7");
+    assert!(found[0].message.contains("`server.engine`"), "{found:#?}");
+    assert!(!found[0].message.contains("`server.out`"), "{found:#?}");
+}
+
+#[test]
+fn l8_fixture_fires_on_sleep_and_park_outside_tests() {
+    let f = SourceFile::new("crates/core/src/fixture.rs", &fixture("l8_sleep.rs"));
+    let a = rh_analyze::lockgraph::analyze(std::slice::from_ref(&f), &lock_deps());
+    let found = rh_analyze::findings::apply_suppressions(&f.tokens, a.findings);
+    assert_eq!(found.len(), 2, "got: {found:#?}");
+    assert!(rules_of(&found).iter().all(|r| *r == "L8"));
+    assert!(found.iter().all(|x| x.message.contains("`core.prov`")), "{found:#?}");
+}
+
+#[test]
+fn abba_fixture_spanning_two_crates_is_a_diagnosed_cycle() {
+    let files = [
+        SourceFile::new("crates/fixa/src/lib.rs", &fixture("abba_a.rs")),
+        SourceFile::new("crates/fixb/src/lib.rs", &fixture("abba_b.rs")),
+    ];
+    let g = rh_analyze::lockgraph::analyze(&files, &lock_deps());
+    assert!(g.has_cycle(), "edges: {:?}", g.edges);
+    assert_eq!(g.cycles[0], vec!["fixa.alpha".to_string(), "fixb.beta".to_string()]);
+    // Two-site diagnosis: each direction carries its own provenance.
+    let fwd = g.edge("fixa.alpha", "fixb.beta").expect("forward edge");
+    let rev = g.edge("fixb.beta", "fixa.alpha").expect("reverse edge");
+    assert_eq!(fwd.via.as_deref(), Some("poke"), "{fwd:?}");
+    assert!(rev.via.as_deref().unwrap_or("").contains("with_beta"), "{rev:?}");
+    assert_ne!((&fwd.file, fwd.line), (&rev.file, rev.line));
+}
+
 #[test]
 fn clean_fixture_is_clean_everywhere() {
     // Scan the clean fixture under the *most* rule-exposed paths: a

@@ -16,6 +16,14 @@
 //!   carries a trace id; each 2PC edge lands in a shard ring) vs
 //!   disabled. This is the tracing tentpole's whole-path cost, gated
 //!   ≤ 10% by `rh-bench --check-baselines`.
+//! * **lock witness** — the E1-style file-backed workload with the
+//!   `parking_lot` lock-witness recording (held stacks, edge graph,
+//!   hold histograms) vs off. The off arm is the production
+//!   configuration — one relaxed atomic load per acquisition — and the
+//!   witnessed arm is gated ≤ 1.10× of it by `--check-baselines`. (The
+//!   in-memory 2PC workload is deliberately *not* the bar: a mem-only
+//!   lock-per-microsecond loop would put any recording witness over
+//!   10×; the budget is for witnessing real durability work.)
 //!
 //! Besides the usual Criterion medians, the run writes its rows to
 //! `target/obs/BENCH_obs.json`; the first measured rows are checked in
@@ -145,6 +153,29 @@ fn bench_sharded_2pc_tracing(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_lock_witness(c: &mut Criterion) {
+    let events = boring(&spec());
+    let mut group = c.benchmark_group("obs_lock_witness");
+    group.sample_size(10);
+    // Flight recorder attached in both arms; the delta is the witness.
+    for (label, on) in [("witness_on", true), ("witness_off", false)] {
+        group.bench_function(label, |b| {
+            parking_lot::witness::set_enabled(on);
+            b.iter_batched(
+                || file_backed(true),
+                |(db, dir)| {
+                    let db = replay_engine(db, &events).unwrap();
+                    drop(db);
+                    let _ = std::fs::remove_dir_all(&dir);
+                },
+                criterion::BatchSize::LargeInput,
+            );
+            parking_lot::witness::set_enabled(false);
+        });
+    }
+    group.finish();
+}
+
 /// Medians over `iters` timed calls (one untimed warmup), nanoseconds.
 fn median_ns(iters: usize, mut f: impl FnMut()) -> u64 {
     f();
@@ -206,6 +237,37 @@ fn export_rows(_c: &mut Criterion) {
         row(name, m, "ns/workload");
     }
 
+    // Witness-off first, same row-order convention for the ≤1.10× bar.
+    // Interleaved pairs, min per arm: pairing cancels drift between
+    // the arms and the min sheds fsync stalls (see rh-bench, which
+    // measures the gate rows the same way).
+    let once = |on: bool| {
+        parking_lot::witness::set_enabled(on);
+        let sw = Stopwatch::start();
+        let (db, dir) = file_backed(true);
+        let db = replay_engine(db, &events).unwrap();
+        drop(db);
+        let ns = sw.elapsed().as_nanos() as u64;
+        parking_lot::witness::set_enabled(false);
+        let _ = std::fs::remove_dir_all(&dir);
+        ns
+    };
+    once(false); // warmup
+                 // Alternate which arm goes first so drift cannot systematically tax
+                 // the second arm.
+    let (mut off, mut on) = (u64::MAX, u64::MAX);
+    for i in 0..15 {
+        if i % 2 == 0 {
+            off = off.min(once(false));
+            on = on.min(once(true));
+        } else {
+            on = on.min(once(true));
+            off = off.min(once(false));
+        }
+    }
+    row("workload_witness_off", off, "ns/workload");
+    row("workload_witness_on", on, "ns/workload");
+
     let doc = JsonValue::obj(vec![
         ("bench", JsonValue::Str("obs_overhead".to_string())),
         (
@@ -231,6 +293,7 @@ criterion_group!(
     bench_tracer_points,
     bench_flight_recorder,
     bench_sharded_2pc_tracing,
+    bench_lock_witness,
     export_rows
 );
 criterion_main!(benches);

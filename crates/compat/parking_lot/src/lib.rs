@@ -12,22 +12,86 @@
 //! Performance is whatever `std::sync` provides, which is adequate for the
 //! test suites and honest for the benchmarks (both log backends pay the
 //! same locking cost).
+//!
+//! On top of the stand-in API, the shim hosts the **lock-witness**
+//! ([`witness`], DESIGN.md §15): locks constructed with
+//! [`Mutex::named`] / [`RwLock::named`] carry a static *site* name, and
+//! when the witness is enabled (`RH_LOCK_WITNESS=1`) every acquisition
+//! maintains per-thread held-lock stacks, an observed lock-order edge
+//! graph with online ABBA detection, and per-site hold-time histograms.
+//! When the witness is off the entire machinery costs one relaxed atomic
+//! load per acquisition. `try_lock` is never witnessed: it cannot block,
+//! so it cannot deadlock, and the one call site in the workspace uses it
+//! exactly to probe without ordering commitments.
 
+use std::ops::{Deref, DerefMut};
 use std::sync;
+
+pub mod witness;
 
 /// Mutual exclusion with `parking_lot`'s panic-transparent API.
 #[derive(Debug, Default)]
 pub struct Mutex<T: ?Sized> {
+    site: std::sync::atomic::AtomicU32,
+    rank: std::sync::atomic::AtomicU32,
     inner: sync::Mutex<T>,
 }
 
-/// Guard returned by [`Mutex::lock`].
-pub type MutexGuard<'a, T> = sync::MutexGuard<'a, T>;
+/// Sentinel in the `rank` cell meaning "no instance rank".
+const NO_RANK: u32 = u32::MAX;
+/// Sentinel in the `site` cell meaning "unnamed, never witnessed".
+const NO_SITE: u32 = u32::MAX;
+
+/// Guard returned by [`Mutex::lock`]; releases the mutex (and pops the
+/// witness held-stack) on drop.
+#[derive(Debug)]
+pub struct MutexGuard<'a, T: ?Sized> {
+    inner: sync::MutexGuard<'a, T>,
+    _hold: Option<witness::HoldToken>,
+}
+
+impl<T: ?Sized> Deref for MutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.inner
+    }
+}
+
+impl<T: ?Sized> DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.inner
+    }
+}
 
 impl<T> Mutex<T> {
-    /// Creates a new mutex.
+    /// Creates a new (unnamed, unwitnessed) mutex.
     pub const fn new(value: T) -> Self {
-        Mutex { inner: sync::Mutex::new(value) }
+        Mutex {
+            site: std::sync::atomic::AtomicU32::new(NO_SITE),
+            rank: std::sync::atomic::AtomicU32::new(NO_RANK),
+            inner: sync::Mutex::new(value),
+        }
+    }
+
+    /// Creates a mutex carrying a witness site name (DESIGN.md §15). The
+    /// name is the lock's identity in the observed-edge graph and the
+    /// hold-time report; it must match the static analyzer's inferred id
+    /// (`<crate>.<field>`), which the `--lock-graph` unifier checks.
+    pub fn named(value: T, site: &'static str) -> Self {
+        let m = Mutex::new(value);
+        m.site.store(witness::intern(site), std::sync::atomic::Ordering::Relaxed);
+        m
+    }
+
+    /// Creates a named mutex with an *instance rank*: several locks of
+    /// the same site (the sharded router's per-shard engine mutexes) may
+    /// be held at once if acquired in strictly ascending rank order — the
+    /// witness enforces the ascent instead of treating the nesting as a
+    /// self-cycle.
+    pub fn named_ordered(value: T, site: &'static str, rank: u32) -> Self {
+        let m = Mutex::named(value, site);
+        m.rank.store(rank, std::sync::atomic::Ordering::Relaxed);
+        m
     }
 
     /// Consumes the mutex, returning the inner value.
@@ -37,17 +101,38 @@ impl<T> Mutex<T> {
 }
 
 impl<T: ?Sized> Mutex<T> {
+    fn witness_ids(&self) -> Option<(u32, Option<u32>)> {
+        let site = self.site.load(std::sync::atomic::Ordering::Relaxed);
+        if site == NO_SITE {
+            return None;
+        }
+        let rank = self.rank.load(std::sync::atomic::Ordering::Relaxed);
+        Some((site, if rank == NO_RANK { None } else { Some(rank) }))
+    }
+
     /// Acquires the mutex, blocking until available. Unlike `std`, a
     /// panicked previous holder does not poison the lock.
     pub fn lock(&self) -> MutexGuard<'_, T> {
-        self.inner.lock().unwrap_or_else(sync::PoisonError::into_inner)
+        let hold = if witness::enabled() {
+            self.witness_ids().map(|(site, rank)| {
+                witness::pre_acquire(site, rank, witness::LockKind::Mutex);
+                (site, rank)
+            })
+        } else {
+            None
+        };
+        let inner = self.inner.lock().unwrap_or_else(sync::PoisonError::into_inner);
+        MutexGuard { inner, _hold: hold.map(|(s, r)| witness::post_acquire(s, r)) }
     }
 
-    /// Attempts to acquire the mutex without blocking.
+    /// Attempts to acquire the mutex without blocking. Never witnessed:
+    /// a non-blocking probe cannot deadlock.
     pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
         match self.inner.try_lock() {
-            Ok(g) => Some(g),
-            Err(sync::TryLockError::Poisoned(p)) => Some(p.into_inner()),
+            Ok(g) => Some(MutexGuard { inner: g, _hold: None }),
+            Err(sync::TryLockError::Poisoned(p)) => {
+                Some(MutexGuard { inner: p.into_inner(), _hold: None })
+            }
             Err(sync::TryLockError::WouldBlock) => None,
         }
     }
@@ -61,18 +146,56 @@ impl<T: ?Sized> Mutex<T> {
 /// Reader-writer lock with `parking_lot`'s panic-transparent API.
 #[derive(Debug, Default)]
 pub struct RwLock<T: ?Sized> {
+    site: std::sync::atomic::AtomicU32,
     inner: sync::RwLock<T>,
 }
 
 /// Guard returned by [`RwLock::read`].
-pub type RwLockReadGuard<'a, T> = sync::RwLockReadGuard<'a, T>;
+#[derive(Debug)]
+pub struct RwLockReadGuard<'a, T: ?Sized> {
+    inner: sync::RwLockReadGuard<'a, T>,
+    _hold: Option<witness::HoldToken>,
+}
+
+impl<T: ?Sized> Deref for RwLockReadGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.inner
+    }
+}
+
 /// Guard returned by [`RwLock::write`].
-pub type RwLockWriteGuard<'a, T> = sync::RwLockWriteGuard<'a, T>;
+#[derive(Debug)]
+pub struct RwLockWriteGuard<'a, T: ?Sized> {
+    inner: sync::RwLockWriteGuard<'a, T>,
+    _hold: Option<witness::HoldToken>,
+}
+
+impl<T: ?Sized> Deref for RwLockWriteGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.inner
+    }
+}
+
+impl<T: ?Sized> DerefMut for RwLockWriteGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.inner
+    }
+}
 
 impl<T> RwLock<T> {
-    /// Creates a new reader-writer lock.
+    /// Creates a new (unnamed, unwitnessed) reader-writer lock.
     pub const fn new(value: T) -> Self {
-        RwLock { inner: sync::RwLock::new(value) }
+        RwLock { site: std::sync::atomic::AtomicU32::new(NO_SITE), inner: sync::RwLock::new(value) }
+    }
+
+    /// Creates an rwlock carrying a witness site name; see
+    /// [`Mutex::named`].
+    pub fn named(value: T, site: &'static str) -> Self {
+        let l = RwLock::new(value);
+        l.site.store(witness::intern(site), std::sync::atomic::Ordering::Relaxed);
+        l
     }
 
     /// Consumes the lock, returning the inner value.
@@ -82,14 +205,39 @@ impl<T> RwLock<T> {
 }
 
 impl<T: ?Sized> RwLock<T> {
+    fn witness_site(&self) -> Option<u32> {
+        let site = self.site.load(std::sync::atomic::Ordering::Relaxed);
+        if site == NO_SITE {
+            None
+        } else {
+            Some(site)
+        }
+    }
+
     /// Acquires a shared read guard.
     pub fn read(&self) -> RwLockReadGuard<'_, T> {
-        self.inner.read().unwrap_or_else(sync::PoisonError::into_inner)
+        let site = if witness::enabled() {
+            self.witness_site().inspect(|&s| {
+                witness::pre_acquire(s, None, witness::LockKind::Read);
+            })
+        } else {
+            None
+        };
+        let inner = self.inner.read().unwrap_or_else(sync::PoisonError::into_inner);
+        RwLockReadGuard { inner, _hold: site.map(|s| witness::post_acquire(s, None)) }
     }
 
     /// Acquires an exclusive write guard.
     pub fn write(&self) -> RwLockWriteGuard<'_, T> {
-        self.inner.write().unwrap_or_else(sync::PoisonError::into_inner)
+        let site = if witness::enabled() {
+            self.witness_site().inspect(|&s| {
+                witness::pre_acquire(s, None, witness::LockKind::Write);
+            })
+        } else {
+            None
+        };
+        let inner = self.inner.write().unwrap_or_else(sync::PoisonError::into_inner);
+        RwLockWriteGuard { inner, _hold: site.map(|s| witness::post_acquire(s, None)) }
     }
 
     /// Mutable access without locking (requires exclusive borrow).
@@ -113,10 +261,18 @@ impl Condvar {
 
     /// Atomically releases the guard's mutex and waits; re-acquires before
     /// returning. Spurious wakeups are possible, as with any condvar.
+    ///
+    /// The witness hold-token is *not* cycled across the wait: the site
+    /// stays on the thread's held stack (matching the lexical guard
+    /// scope), so hold-time histograms for condvar-coupled locks include
+    /// time parked in `wait` — which is exactly the "who holds this lock
+    /// how long" question the hold report answers.
     pub fn wait<T>(&self, guard: &mut MutexGuard<'_, T>) {
         // Move the guard out, wait, and move the re-acquired guard back in.
         // SAFETY-free dance: std's API consumes and returns the guard.
-        replace_with(guard, |g| self.inner.wait(g).unwrap_or_else(sync::PoisonError::into_inner));
+        replace_with(&mut guard.inner, |g| {
+            self.inner.wait(g).unwrap_or_else(sync::PoisonError::into_inner)
+        });
     }
 
     /// Wakes one waiter.

@@ -1,0 +1,236 @@
+//! Lock-witness acceptance tests (DESIGN.md §15): a deliberate
+//! two-thread ABBA must fail loudly with a two-site diagnosis instead of
+//! hanging, ordered same-site acquisition must be rank-checked, and
+//! hold-time histograms must measure real holds.
+//!
+//! All sites use the `fixture.` prefix, which the exporter strips — a
+//! full test-suite run under `RH_LOCK_WITNESS=1` stays unifiable even
+//! though this file manufactures cycles on purpose.
+
+use parking_lot::{witness, Mutex};
+use std::sync::{Arc, Barrier};
+use std::thread;
+
+/// The witness panics (instead of deadlocking) when the observed-edge
+/// graph closes a cycle, and the diagnosis names *both* sites.
+#[test]
+fn abba_deadlock_is_diagnosed_with_both_sites() {
+    witness::set_enabled(true);
+    let a = Arc::new(Mutex::named(0u32, "fixture.abba_a"));
+    let b = Arc::new(Mutex::named(0u32, "fixture.abba_b"));
+
+    // Thread 1 teaches the witness the edge a -> b and fully releases.
+    {
+        let (a, b) = (Arc::clone(&a), Arc::clone(&b));
+        thread::Builder::new()
+            .name("abba-forward".into())
+            .spawn(move || {
+                let _ga = a.lock();
+                let _gb = b.lock();
+            })
+            .unwrap()
+            .join()
+            .unwrap();
+    }
+
+    // Thread 2 then tries b -> a: the edge would close the cycle, so the
+    // pre-blocking check panics with the ABBA diagnosis.
+    let (a2, b2) = (Arc::clone(&a), Arc::clone(&b));
+    let err = thread::Builder::new()
+        .name("abba-reverse".into())
+        .spawn(move || {
+            let _gb = b2.lock();
+            let _ga = a2.lock(); // must panic, not block
+        })
+        .unwrap()
+        .join()
+        .expect_err("reversed acquisition order must be diagnosed");
+
+    let msg = err
+        .downcast_ref::<String>()
+        .cloned()
+        .or_else(|| err.downcast_ref::<&str>().map(ToString::to_string))
+        .expect("panic payload is a string");
+    assert!(msg.contains("ABBA"), "diagnosis names the failure mode: {msg}");
+    assert!(msg.contains("fixture.abba_a"), "diagnosis names site a: {msg}");
+    assert!(msg.contains("fixture.abba_b"), "diagnosis names site b: {msg}");
+    // The cycle is also recorded for the artifact (but filtered from
+    // exports by the fixture prefix).
+    let snap = witness::snapshot();
+    assert!(snap.cycles.iter().any(|c| c.contains("fixture.abba_a")));
+    assert!(!witness::render_json().contains("fixture.abba_a"), "fixture sites never exported");
+}
+
+/// The diagnosed thread is the *acquiring* one: a real contention rig
+/// where both threads hold one lock each still fails loudly (in at least
+/// one thread) rather than deadlocking the suite.
+#[test]
+fn contended_abba_fails_instead_of_hanging() {
+    witness::set_enabled(true);
+    let a = Arc::new(Mutex::named(0u32, "fixture.cont_a"));
+    let b = Arc::new(Mutex::named(0u32, "fixture.cont_b"));
+    let gate = Arc::new(Barrier::new(2));
+
+    let t1 = {
+        let (a, b, gate) = (Arc::clone(&a), Arc::clone(&b), Arc::clone(&gate));
+        thread::Builder::new()
+            .name("cont-ab".into())
+            .spawn(move || {
+                let _ga = a.lock();
+                gate.wait(); // both threads hold their first lock
+                let _gb = b.lock();
+            })
+            .unwrap()
+    };
+    let t2 = {
+        let (a, b, gate) = (Arc::clone(&a), Arc::clone(&b), Arc::clone(&gate));
+        thread::Builder::new()
+            .name("cont-ba".into())
+            .spawn(move || {
+                let _gb = b.lock();
+                gate.wait();
+                let _ga = a.lock();
+            })
+            .unwrap()
+    };
+    let outcomes = [t1.join(), t2.join()];
+    assert!(
+        outcomes.iter().any(|o| o.is_err()),
+        "at least one thread must be diagnosed; a silent pass means the witness \
+         let the ABBA race through"
+    );
+}
+
+/// Same-site multi-instance acquisition (the sharded router's per-shard
+/// engine mutexes) is legal in ascending rank order and diagnosed in
+/// descending order.
+#[test]
+fn ordered_same_site_ranks_must_ascend() {
+    witness::set_enabled(true);
+    let s0 = Arc::new(Mutex::named_ordered(0u32, "fixture.shard_engine", 0));
+    let s1 = Arc::new(Mutex::named_ordered(0u32, "fixture.shard_engine", 1));
+
+    // Ascending: fine.
+    {
+        let _g0 = s0.lock();
+        let _g1 = s1.lock();
+    }
+
+    // Descending: diagnosed.
+    let err = thread::spawn(move || {
+        let _g1 = s1.lock();
+        let _g0 = s0.lock();
+    })
+    .join()
+    .expect_err("descending rank order must be diagnosed");
+    let msg = err
+        .downcast_ref::<String>()
+        .cloned()
+        .or_else(|| err.downcast_ref::<&str>().map(ToString::to_string))
+        .expect("panic payload is a string");
+    assert!(msg.contains("rank order violation"), "{msg}");
+    assert!(msg.contains("fixture.shard_engine"), "{msg}");
+}
+
+/// Rank-less same-site `Mutex` nesting is a self-deadlock bug on std
+/// mutexes; the witness refuses it outright.
+#[test]
+fn rankless_same_site_mutex_nesting_is_refused() {
+    witness::set_enabled(true);
+    let a = Mutex::named(0u32, "fixture.selfnest");
+    let b = Mutex::named(0u32, "fixture.selfnest");
+    let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        let _ga = a.lock();
+        let _gb = b.lock();
+    }))
+    .expect_err("rank-less same-site nesting must be refused");
+    let msg = err
+        .downcast_ref::<String>()
+        .cloned()
+        .or_else(|| err.downcast_ref::<&str>().map(ToString::to_string))
+        .expect("panic payload is a string");
+    assert!(msg.contains("fixture.selfnest"), "{msg}");
+}
+
+/// Hold-time histograms: a deliberate ~10ms hold lands in the site's
+/// histogram with a plausible magnitude, and `note_hold` attributes a
+/// named sub-slice (the `commit_prepare` mechanism).
+#[test]
+fn hold_time_histogram_measures_real_holds() {
+    witness::set_enabled(true);
+    let m = Mutex::named(0u32, "fixture.holdtimer");
+    {
+        let _g = m.lock();
+        thread::sleep(std::time::Duration::from_millis(10));
+        witness::note_hold("fixture.holdtimer", "slow_part", 7_000);
+    }
+    let snap = witness::snapshot();
+    let site = snap
+        .sites
+        .iter()
+        .find(|s| s.name == "fixture.holdtimer")
+        .expect("site registered by construction");
+    assert_eq!(site.acquires, 1);
+    assert_eq!(site.hold.count, 1);
+    assert!(
+        site.hold.max_us >= 8_000,
+        "a 10ms hold must not be measured under 8ms, got {}us",
+        site.hold.max_us
+    );
+    assert!(site.hold.total_us >= 8_000);
+    assert_eq!(site.hold.buckets.iter().sum::<u64>(), 1, "exactly one bucket hit");
+    let (sub, hist) = site.subs.first().expect("note_hold recorded a sub");
+    assert_eq!(*sub, "slow_part");
+    assert_eq!(hist.count, 1);
+    assert_eq!(hist.total_us, 7_000);
+}
+
+/// Edges between distinct named sites are recorded with first-thread
+/// provenance, and nested holds release in any order without corrupting
+/// the per-thread stack.
+#[test]
+fn edges_record_provenance_and_stacks_tolerate_out_of_order_release() {
+    witness::set_enabled(true);
+    let outer = Mutex::named(0u32, "fixture.prov_outer");
+    let inner = Mutex::named(0u32, "fixture.prov_inner");
+    thread::Builder::new()
+        .name("prov-thread".into())
+        .spawn(move || {
+            let go = outer.lock();
+            let gi = inner.lock();
+            drop(go); // out of acquisition order
+            drop(gi);
+        })
+        .unwrap()
+        .join()
+        .unwrap();
+    let snap = witness::snapshot();
+    let edge = snap
+        .edges
+        .iter()
+        .find(|e| e.from == "fixture.prov_outer" && e.to == "fixture.prov_inner")
+        .expect("edge recorded");
+    assert_eq!(edge.first_thread, "prov-thread");
+    let outer_site = snap.sites.iter().find(|s| s.name == "fixture.prov_outer").unwrap();
+    assert_eq!(outer_site.hold.count, 1, "out-of-order release still pops exactly once");
+}
+
+/// The export artifact is valid JSON-shaped text and excludes fixtures;
+/// real (non-fixture) sites do appear.
+#[test]
+fn export_roundtrip_excludes_fixtures_only() {
+    witness::set_enabled(true);
+    let real = Mutex::named(0u32, "exporttest.real_site");
+    drop(real.lock());
+    let body = witness::render_json();
+    assert!(body.contains("\"schema\": \"lockwitness.v1\""));
+    assert!(body.contains("exporttest.real_site"));
+    assert!(!body.contains("fixture."));
+    let dir = std::env::temp_dir().join(format!("rh-witness-export-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("lockwitness-test.json");
+    witness::export_to(&path).unwrap();
+    let read_back = std::fs::read_to_string(&path).unwrap();
+    assert_eq!(read_back, witness::render_json());
+    std::fs::remove_dir_all(&dir).unwrap();
+}

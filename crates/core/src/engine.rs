@@ -123,8 +123,8 @@ impl RhDb {
             coord_decisions: std::collections::BTreeMap::new(),
             last_recovery: None,
             obs: Arc::new(Obs::new()),
-            prov: Arc::new(Mutex::new(ProvenanceTable::new())),
-            postmortem: Arc::new(Mutex::new(None)),
+            prov: Arc::new(Mutex::named(ProvenanceTable::new(), names::LS_CORE_PROV)),
+            postmortem: Arc::new(Mutex::named(None, names::LS_CORE_POSTMORTEM)),
             flight: None,
             server: None,
             sampler: None,
@@ -170,8 +170,8 @@ impl RhDb {
             coord_decisions: std::collections::BTreeMap::new(),
             last_recovery: None,
             obs,
-            prov: Arc::new(Mutex::new(ProvenanceTable::new())),
-            postmortem: Arc::new(Mutex::new(None)),
+            prov: Arc::new(Mutex::named(ProvenanceTable::new(), names::LS_CORE_PROV)),
+            postmortem: Arc::new(Mutex::named(None, names::LS_CORE_POSTMORTEM)),
             flight,
             server: None,
             sampler: None,
@@ -206,8 +206,8 @@ impl RhDb {
             coord_decisions: std::collections::BTreeMap::new(),
             last_recovery: None,
             obs,
-            prov: Arc::new(Mutex::new(ProvenanceTable::new())),
-            postmortem: Arc::new(Mutex::new(None)),
+            prov: Arc::new(Mutex::named(ProvenanceTable::new(), names::LS_CORE_PROV)),
+            postmortem: Arc::new(Mutex::named(None, names::LS_CORE_POSTMORTEM)),
             flight: None,
             server: None,
             sampler: None,
@@ -414,6 +414,7 @@ impl RhDb {
             std::time::Duration::from_secs(1),
             Box::new(move || {
                 tick_obs.registry.inc(names::M_TS_SAMPLES);
+                crate::witness_bridge::sample_lock_witness(&tick_obs.registry);
                 tick_obs.timeseries.sample(&absorbed());
             }),
         ));

@@ -63,6 +63,7 @@ pub mod recovery;
 pub mod scope;
 pub mod sharded;
 pub mod txn_table;
+pub mod witness_bridge;
 
 pub use api::TxnEngine;
 pub use engine::{RhDb, Strategy};

@@ -147,14 +147,18 @@ struct ShardCell {
 }
 
 impl ShardCell {
-    fn new(db: RhDb) -> Self {
+    /// `rank` is the shard index: the 2PC paths hold several shards'
+    /// engine mutexes at once, always in ascending shard order, and the
+    /// lock-witness enforces that ascent per-site instead of flagging
+    /// the same-site nesting as a self-cycle (DESIGN.md §15).
+    fn new(db: RhDb, rank: u32) -> Self {
         ShardCell {
             log: Arc::clone(db.log()),
             disk: Arc::clone(db.disk()),
             locks: Arc::clone(db.locks()),
             obs: Arc::clone(db.obs()),
             prov: db.prov_handle(),
-            engine: Mutex::new(db),
+            engine: Mutex::named_ordered(db, names::LS_CORE_ENGINE, rank),
         }
     }
 }
@@ -331,13 +335,20 @@ impl ShardedDb {
             strategy,
             config,
             map,
-            shards: engines.into_iter().map(ShardCell::new).collect(),
-            gtxns: Mutex::new(GtxnState { next_txn, next_token: 1, entries: BTreeMap::new() }),
+            shards: engines
+                .into_iter()
+                .enumerate()
+                .map(|(i, db)| ShardCell::new(db, i as u32))
+                .collect(),
+            gtxns: Mutex::named(
+                GtxnState { next_txn, next_token: 1, entries: BTreeMap::new() },
+                names::LS_CORE_GTXNS,
+            ),
             obs,
-            fault: Mutex::new(None),
-            retire: Mutex::new(Vec::new()),
-            server: Mutex::new(None),
-            sampler: Mutex::new(None),
+            fault: Mutex::named(None, names::LS_CORE_FAULT),
+            retire: Mutex::named(Vec::new(), names::LS_CORE_RETIRE),
+            server: Mutex::named(None, names::LS_CORE_SERVER),
+            sampler: Mutex::named(None, names::LS_CORE_SAMPLER),
         }
     }
 
@@ -388,6 +399,9 @@ impl ShardedDb {
     pub fn record_blackbox_all(&self, reason: &str) {
         for cell in &self.shards {
             let engine = cell.engine.lock();
+            // The black-box dump may force its sidecar under the shard mutex:
+            // crash-adjacent state must not race the crash.
+            // rh-analyze: allow(L6)
             engine.record_blackbox(reason);
         }
     }
@@ -521,10 +535,17 @@ impl ShardedDb {
                 let (lsn, prepare_us) = {
                     let mut engine = cell.engine.lock();
                     let sw = Stopwatch::start();
+                    // The prepare force under the shard mutex IS the 2PC vote's
+                    // durability point. rh-analyze: allow(L6)
                     let lsn = engine.commit_prepare(txn)?;
                     (lsn, sw.elapsed_micros())
                 };
                 let engine_us = held.elapsed_micros().saturating_sub(prepare_us);
+                parking_lot::witness::note_hold(
+                    names::LS_CORE_ENGINE,
+                    names::LW_SUB_COMMIT_PREPARE,
+                    prepare_us,
+                );
                 let forced = Stopwatch::start();
                 cell.log.flush_to(lsn)?;
                 let flush_us = forced.elapsed_micros();
@@ -559,6 +580,8 @@ impl ShardedDb {
     /// failing shard leaves behind.
     fn abort_in_shard(&self, txn: TxnId, shard: usize) {
         let mut engine = self.shards[shard].engine.lock();
+        // Writing the durable outcome under the shard mutex is the
+        // presumed-abort protocol. rh-analyze: allow(L6)
         if engine.resolve_prepared(txn, false).is_err() {
             let _ = engine.abort(txn);
         }
@@ -622,6 +645,9 @@ impl ShardedDb {
             let mut engine = self.shards[coord].engine.lock();
             let before = self.shards[coord].log.curr_lsn();
             engine
+                // The coordinator's commit record must be durable before any
+                // participant resolves — forced under the coord shard mutex.
+                // rh-analyze: allow(L6)
                 .append_coord_commit(txn, &participants)
                 .map_err(|e| (e, self.shards[coord].log.curr_lsn() == before))
         };
@@ -654,6 +680,7 @@ impl ShardedDb {
             let edge = Stopwatch::start();
             let resolved = {
                 let mut engine = self.shards[shard].engine.lock();
+                // rh-analyze: allow(L6) — participant outcome force, same protocol.
                 engine.resolve_prepared(txn, true)
             };
             match resolved {
@@ -884,6 +911,9 @@ impl ShardedDb {
         for (i, cell) in self.shards.iter().enumerate() {
             {
                 let mut engine = cell.engine.lock();
+                // A checkpoint forces the master record under the shard mutex —
+                // quiescing the shard is the checkpoint's correctness argument.
+                // rh-analyze: allow(L6)
                 engine.checkpoint()?;
             }
             self.fault_point(TwoPcFault::AfterShardCheckpoint(i))?;
@@ -1064,6 +1094,7 @@ impl ShardedDb {
             std::time::Duration::from_secs(1),
             Box::new(move || {
                 tick_obs.registry.inc(names::M_TS_SAMPLES);
+                crate::witness_bridge::sample_lock_witness(&tick_obs.registry);
                 tick_obs.timeseries.sample(&merged_snapshot());
             }),
         );

@@ -94,11 +94,21 @@ impl EosMetrics {
 /// materialized database image that [`GlobalLog::compact`] folds
 /// committed batches into, so the log itself can be truncated (otherwise
 /// an EOS log grows forever and recovery replays all of history).
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct GlobalLog {
     batches: Mutex<Vec<CommitBatch>>,
     snapshot: Mutex<std::collections::HashMap<rh_common::ObjectId, i64>>,
     metrics: EosMetrics,
+}
+
+impl Default for GlobalLog {
+    fn default() -> Self {
+        GlobalLog {
+            batches: Mutex::named(Vec::new(), rh_obs::names::LS_EOS_BATCHES),
+            snapshot: Mutex::named(Default::default(), rh_obs::names::LS_EOS_SNAPSHOT),
+            metrics: EosMetrics::default(),
+        }
+    }
 }
 
 impl GlobalLog {

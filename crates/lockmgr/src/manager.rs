@@ -82,11 +82,21 @@ impl LockStats {
 /// [`RhError::LockConflict`] as "abort or retry"; the multi-threaded ETM
 /// driver uses the blocking [`LockManager::acquire`], which parks on a
 /// condvar and detects deadlocks via the wait-for graph.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct LockManager {
     state: Mutex<State>,
     cv: Condvar,
     stats: LockStats,
+}
+
+impl Default for LockManager {
+    fn default() -> Self {
+        LockManager {
+            state: Mutex::named(State::default(), rh_obs::names::LS_LOCKMGR_STATE),
+            cv: Condvar::new(),
+            stats: LockStats::default(),
+        }
+    }
 }
 
 impl LockManager {

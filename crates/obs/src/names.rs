@@ -296,3 +296,82 @@ pub const M_ETM_EDGES_FORMED: &str = "etm.edges_formed";
 pub const M_ETM_CYCLES_REJECTED: &str = "etm.cycles_rejected";
 /// ETM cascading aborts scheduled.
 pub const M_ETM_CASCADE_ABORTS: &str = "etm.cascade_aborts";
+
+// ---- lock-witness (compat parking_lot::witness) -----------------------
+// Site names given to `Mutex::named` / `RwLock::named` at construction.
+// Each value is the lock's identity in the witness's observed-edge graph
+// and hold-time report, and MUST equal the static analyzer's inferred id
+// for the same lock (`<crate>.<field>`): `rh-analyze --lock-graph`
+// unifies the two graphs by these strings, and an unwitnessed rename
+// shows up as an unpredicted dynamic edge. The `fixture.` prefix is
+// reserved for deliberate test rigs and excluded from exports.
+
+/// The single-backend engine mutex (serializes every engine call).
+pub const LS_SERVER_ENGINE: &str = "server.engine";
+/// The server's session table.
+pub const LS_SERVER_SESSIONS: &str = "server.sessions";
+/// The server's reaper-thread join handles.
+pub const LS_SERVER_REAPERS: &str = "server.reapers";
+/// The server's stop flag (condvar-coupled).
+pub const LS_SERVER_STOP_FLAG: &str = "server.stop_flag";
+/// A connection's socket write half (frame atomicity).
+pub const LS_SERVER_OUT: &str = "server.out";
+/// The segmented file log's segment map + active segment.
+pub const LS_WAL_STATE: &str = "wal.state";
+/// The master (checkpoint) record cell.
+pub const LS_WAL_MASTER: &str = "wal.master";
+/// The stable log's volatile tail.
+pub const LS_WAL_INNER: &str = "wal.inner";
+/// The group-commit leader/follower state (condvar-coupled).
+pub const LS_WAL_SYNC_STATE: &str = "wal.sync_state";
+/// The sidecar's append serializer.
+pub const LS_WAL_APPEND: &str = "wal.append";
+/// The in-memory log backend's record vector.
+pub const LS_WAL_RECORDS: &str = "wal.records";
+/// The in-memory log backend's truncation base.
+pub const LS_WAL_BASE: &str = "wal.base";
+/// A shard's engine mutex (ranked: the router may hold several in
+/// ascending shard order).
+pub const LS_CORE_ENGINE: &str = "core.engine";
+/// The cross-shard router's global-transaction table.
+pub const LS_CORE_GTXNS: &str = "core.gtxns";
+/// The provenance table behind delegation chains.
+pub const LS_CORE_PROV: &str = "core.prov";
+/// The captured postmortem report cell.
+pub const LS_CORE_POSTMORTEM: &str = "core.postmortem";
+/// The router's 2PC fault-injection plan cell.
+pub const LS_CORE_FAULT: &str = "core.fault";
+/// The router's retired-decision scratch list.
+pub const LS_CORE_RETIRE: &str = "core.retire";
+/// The router's introspection-server handle cell.
+pub const LS_CORE_SERVER: &str = "core.server";
+/// The router's cadence-sampler handle cell.
+pub const LS_CORE_SAMPLER: &str = "core.sampler";
+/// The EOS global log's pending commit batches.
+pub const LS_EOS_BATCHES: &str = "eos.batches";
+/// The EOS global log's applied-value snapshot.
+pub const LS_EOS_SNAPSHOT: &str = "eos.snapshot";
+/// The lock manager's whole-table state (condvar-coupled).
+pub const LS_LOCKMGR_STATE: &str = "lockmgr.state";
+/// The in-memory disk's page map (rwlock).
+pub const LS_STORAGE_PAGES: &str = "storage.pages";
+
+/// Sub-histogram name: the `commit_prepare` slice of an engine-mutex
+/// hold, attributed via `witness::note_hold`.
+pub const LW_SUB_COMMIT_PREPARE: &str = "commit_prepare";
+
+// ---- lock-witness aggregates (bridged by rh-core) ---------------------
+// The witness itself is dependency-free; `rh-core` copies these
+// aggregates out of its snapshot into the metrics registry on each
+// sampler tick so `/metrics` and the time-series ring see them.
+
+/// Gauge: lock sites interned by the witness.
+pub const M_LW_SITES: &str = "lockwitness.sites";
+/// Acquisitions witnessed across all sites.
+pub const M_LW_ACQUIRES: &str = "lockwitness.acquires";
+/// Guard releases witnessed (hold-time observations).
+pub const M_LW_RELEASES: &str = "lockwitness.releases";
+/// Distinct nesting edges observed.
+pub const M_LW_EDGES: &str = "lockwitness.edges";
+/// Deadlock cycles diagnosed at runtime (each aborted a thread).
+pub const M_LW_CYCLES: &str = "lockwitness.cycles";

@@ -65,7 +65,7 @@ pub(crate) fn accept(shared: &Arc<Shared>, stream: TcpStream) {
     shared.obs.registry.inc(names::M_SRV_SESSIONS_OPENED);
     shared.session_gauge();
 
-    let out = Arc::new(Mutex::new(write_half));
+    let out = Arc::new(Mutex::named(write_half, names::LS_SERVER_OUT));
     let (tx, rx) =
         std::sync::mpsc::sync_channel::<(Request, Stopwatch)>(shared.cfg.inflight_per_conn.max(1));
     let worker = {
@@ -269,7 +269,10 @@ fn observe_phase(obs: &rh_obs::Obs, name: &'static str, us: u64) {
 fn send_reply(out: &Arc<Mutex<TcpStream>>, resp: Response) {
     let bytes = resp.to_bytes();
     let mut guard = out.lock();
-    let _ = wire::write_frame(&mut *guard, &bytes);
+    // `out` IS the socket write-half mutex: holding it across the send
+    // is the mechanism that keeps frames whole, not a hazard.
+    // rh-analyze: allow(L7)
+    let _ = wire::write_frame(&mut *guard, &bytes); // rh-analyze: allow(L6)
 }
 
 /// Deregisters `sid` and aborts its still-open transactions. Idempotent

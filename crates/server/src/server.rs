@@ -267,12 +267,20 @@ impl Backend {
                     let mut eng = engine.lock();
                     eng.commit_with(t, |db, t| {
                         let sw = Stopwatch::start();
+                        // The commit-record force under the engine mutex is the
+                        // single-node durability point (group commit happens
+                        // below, in flush_to). rh-analyze: allow(L6)
                         let lsn = db.commit_prepare(t);
                         prepare_us = sw.elapsed_micros();
                         lsn
                     })?
                 };
                 let engine_us = held.elapsed_micros().saturating_sub(prepare_us);
+                parking_lot::witness::note_hold(
+                    names::LS_SERVER_ENGINE,
+                    names::LW_SUB_COMMIT_PREPARE,
+                    prepare_us,
+                );
                 let forced = Stopwatch::start();
                 log.flush_to(lsn)?;
                 let flush_us = forced.elapsed_micros();
@@ -337,6 +345,9 @@ impl Backend {
         match self {
             Backend::Single { engine, .. } => {
                 let mut eng = engine.lock();
+                // The checkpoint's master-record force runs under the engine
+                // mutex: a quiesced engine is what makes the snapshot
+                // consistent. rh-analyze: allow(L6)
                 eng.engine().checkpoint()
             }
             Backend::Sharded(db) => db.checkpoint_all(),
@@ -438,8 +449,12 @@ impl Server {
         let obs = Arc::clone(db.obs());
         let recovered = db.last_recovery().is_some();
         db.record_blackbox("server-start");
-        let backend =
-            Backend::Single { engine: Box::new(Mutex::new(EtmSession::new(db))), log, disk, locks };
+        let backend = Backend::Single {
+            engine: Box::new(Mutex::named(EtmSession::new(db), names::LS_SERVER_ENGINE)),
+            log,
+            disk,
+            locks,
+        };
         Self::bind_backend(addr, backend, obs, recovered, cfg)
     }
 
@@ -466,14 +481,14 @@ impl Server {
         let shared = Arc::new(Shared {
             backend,
             obs,
-            sessions: Mutex::new(SessionTable::new()),
-            reapers: Mutex::new(Vec::new()),
+            sessions: Mutex::named(SessionTable::new(), names::LS_SERVER_SESSIONS),
+            reapers: Mutex::named(Vec::new(), names::LS_SERVER_REAPERS),
             draining: AtomicBool::new(false),
             killed: AtomicBool::new(false),
             cfg,
             started: Stopwatch::start(),
             first_ack_pending: AtomicBool::new(recovered),
-            stop_flag: Mutex::new(false),
+            stop_flag: Mutex::named(false, names::LS_SERVER_STOP_FLAG),
             stop_cv: Condvar::new(),
         });
         let on_conn = Arc::clone(&shared);

@@ -29,7 +29,7 @@ impl Disk {
     /// Creates an empty disk.
     pub fn new() -> Arc<Self> {
         Arc::new(Disk {
-            pages: RwLock::new(HashMap::new()),
+            pages: RwLock::named(HashMap::new(), rh_obs::names::LS_STORAGE_PAGES),
             metrics: Arc::new(DiskMetrics::default()),
         })
     }
@@ -71,7 +71,10 @@ impl Disk {
 
 impl Default for Disk {
     fn default() -> Self {
-        Disk { pages: RwLock::new(HashMap::new()), metrics: Arc::new(DiskMetrics::default()) }
+        Disk {
+            pages: RwLock::named(HashMap::new(), rh_obs::names::LS_STORAGE_PAGES),
+            metrics: Arc::new(DiskMetrics::default()),
+        }
     }
 }
 

@@ -43,16 +43,27 @@ use crate::record::{LogRecord, RecordBody};
 use parking_lot::{Condvar, Mutex};
 use rh_common::codec::Codec;
 use rh_common::{Lsn, Result, RhError, TxnId};
+use rh_obs::names;
 use std::sync::Arc;
 
 /// In-memory stable backend: the original seed implementation.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 struct MemLog {
     records: Mutex<Vec<Arc<[u8]>>>,
     master: Mutex<Lsn>,
     /// Number of records truncated off the front: `records[i]` holds the
     /// record with LSN `base + i`.
     base: Mutex<u64>,
+}
+
+impl Default for MemLog {
+    fn default() -> Self {
+        MemLog {
+            records: Mutex::named(Vec::new(), names::LS_WAL_RECORDS),
+            master: Mutex::named(Lsn::default(), names::LS_WAL_MASTER),
+            base: Mutex::named(0, names::LS_WAL_BASE),
+        }
+    }
 }
 
 impl MemLog {
@@ -316,8 +327,14 @@ impl LogManager {
         let durable = stable.horizon();
         LogManager {
             stable,
-            inner: Mutex::new(Inner { tail: std::collections::VecDeque::new() }),
-            sync_state: Mutex::new(SyncState { durable, syncing: false }),
+            inner: Mutex::named(
+                Inner { tail: std::collections::VecDeque::new() },
+                names::LS_WAL_INNER,
+            ),
+            sync_state: Mutex::named(
+                SyncState { durable, syncing: false },
+                names::LS_WAL_SYNC_STATE,
+            ),
             sync_cv: Condvar::new(),
             metrics: Arc::new(LogMetrics::default()),
         }
@@ -424,6 +441,11 @@ impl LogManager {
                 let rec = inner.tail.pop_front().expect("tail non-empty");
                 debug_assert_eq!(rec.lsn.raw(), self.stable.horizon(), "flush order");
                 let encoded = rec.to_bytes();
+                // Stable appends happen under the tail mutex so the
+                // tail→stable handoff is atomic per record; the backend
+                // only fsyncs here on a segment roll, and group sync
+                // happens in `sync_to` after `inner` is released.
+                // rh-analyze: allow(L6)
                 let out = self.stable.append_encoded(rec.lsn, &encoded)?;
                 bytes += out.bytes;
                 fsyncs += out.fsyncs;
