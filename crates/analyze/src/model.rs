@@ -155,6 +155,156 @@ fn check_one(
     problems
 }
 
+/// Replays `events` (ending in `Crash`) through the ARIES/RH engine,
+/// recording after **every commit** the log position and the oracle's
+/// committed state (`value_as_of`) and version timeline (`versions`)
+/// for every object touched so far. Each recorded point is verified
+/// twice against reenactment: live, immediately after the commit, and
+/// again after the final crash's recovery — `read_as_of`/`history`
+/// answers must be stable across the crash boundary, because
+/// reenactment interprets the same log records recovery does.
+///
+/// Version timelines are compared as a **suffix**: a checkpoint at or
+/// below the target summarizes everything older into the reenactment
+/// seed, so the engine reports the versions after the seed and the
+/// oracle's list must end with exactly those. With no checkpoint in the
+/// prefix the suffix is the whole list.
+///
+/// RH strategy only: the lazy baseline rewrites log records in place at
+/// delegation, so its history is not reenactable by design.
+fn check_time_travel(events: &[Event]) -> Vec<String> {
+    use rh_common::{Lsn, ObjectId, RhError, TxnId};
+    use std::collections::HashMap;
+
+    /// One object's expectation at an instant: committed value and
+    /// committed versions (engine txn ids, at-the-time values).
+    type ObjectExpect = (ObjectId, i64, Vec<(TxnId, i64)>);
+    struct Point {
+        as_of: Lsn,
+        /// Whether a checkpoint preceded this point (suffix-only check).
+        checkpointed: bool,
+        /// Per touched object at this instant.
+        expect: Vec<ObjectExpect>,
+    }
+
+    let mut problems = Vec::new();
+    let mut db = RhDb::new(Strategy::Rh);
+    let mut oracle = Oracle::new();
+    let mut ids: HashMap<u32, TxnId> = HashMap::new();
+    // Label → engine id mapping that survives crashes (crashed labels
+    // are never reused, but their committed versions still name them).
+    let mut all_ids: HashMap<u32, TxnId> = HashMap::new();
+    let mut sp_tokens: HashMap<(u32, u32), u64> = HashMap::new();
+    let mut points: Vec<Point> = Vec::new();
+    let mut checkpointed = false;
+
+    // One point's verification against the engine, shared by the live
+    // and the post-recovery passes.
+    let verify = |db: &RhDb, p: &Point, when: &str, problems: &mut Vec<String>| {
+        for (ob, want, want_versions) in &p.expect {
+            match db.read_as_of(*ob, p.as_of) {
+                Ok(got) if got == *want => {}
+                Ok(got) => problems.push(format!(
+                    "read_as_of({ob}, {}) {when}: engine={got}, oracle={want}",
+                    p.as_of
+                )),
+                // Truncation may legitimately outrun an old target; any
+                // other error (or an error with nothing truncated) is a
+                // divergence.
+                Err(RhError::Reenact { .. }) if db.log().first_lsn().raw() > 0 => return,
+                Err(e) => {
+                    problems.push(format!("read_as_of({ob}, {}) {when} failed: {e:?}", p.as_of))
+                }
+            }
+            match db.history(*ob, Lsn::FIRST, p.as_of) {
+                Ok(got) => {
+                    let got: Vec<(TxnId, i64)> =
+                        got.iter().map(|v| (v.responsible, v.value)).collect();
+                    let ok = if p.checkpointed {
+                        got.len() <= want_versions.len()
+                            && got[..] == want_versions[want_versions.len() - got.len()..]
+                    } else {
+                        got == *want_versions
+                    };
+                    if !ok {
+                        problems.push(format!(
+                            "history({ob}, ..{}) {when}: engine={got:?}, oracle={want_versions:?}{}",
+                            p.as_of,
+                            if p.checkpointed { " (suffix match)" } else { "" }
+                        ));
+                    }
+                }
+                Err(RhError::Reenact { .. }) if db.log().first_lsn().raw() > 0 => return,
+                Err(e) => {
+                    problems.push(format!("history({ob}, ..{}) {when} failed: {e:?}", p.as_of))
+                }
+            }
+        }
+    };
+
+    for ev in events {
+        oracle.apply(ev);
+        let stepped = match ev {
+            Event::Begin(t) => db.begin().map(|id| {
+                ids.insert(*t, id);
+                all_ids.insert(*t, id);
+            }),
+            Event::Write(t, ob, v) => db.write(ids[t], *ob, *v),
+            Event::Add(t, ob, d) => db.add(ids[t], *ob, *d),
+            Event::Delegate(tor, tee, obs) => db.delegate(ids[tor], ids[tee], obs),
+            Event::DelegateAll(tor, tee) => db.delegate_all(ids[tor], ids[tee]),
+            Event::Commit(t) => db.commit(ids[t]),
+            Event::Abort(t) => db.abort(ids[t]),
+            Event::Savepoint(t, slot) => TxnEngine::savepoint(&mut db, ids[t]).map(|token| {
+                sp_tokens.insert((*t, *slot), token);
+            }),
+            Event::RollbackTo(t, slot) => match sp_tokens.get(&(*t, *slot)) {
+                Some(&token) => TxnEngine::rollback_to(&mut db, ids[t], token),
+                None => Ok(()),
+            },
+            Event::Checkpoint => {
+                checkpointed = true;
+                TxnEngine::checkpoint(&mut db)
+            }
+            Event::Crash => {
+                ids.clear();
+                sp_tokens.clear();
+                match db.crash_and_recover() {
+                    Ok(recovered) => {
+                        db = recovered;
+                        Ok(())
+                    }
+                    Err(e) => return vec![format!("recovery failed mid-history: {e:?}")],
+                }
+            }
+        };
+        if let Err(e) = stepped {
+            return vec![format!("engine rejected a well-formed history: {e:?}")];
+        }
+        if let Event::Commit(_) = ev {
+            let as_of = db.log().last_lsn();
+            let expect = oracle
+                .touched()
+                .into_iter()
+                .map(|ob| {
+                    let versions =
+                        oracle.versions(ob).into_iter().map(|(l, v)| (all_ids[&l], v)).collect();
+                    (ob, oracle.value_as_of(ob), versions)
+                })
+                .collect();
+            let point = Point { as_of, checkpointed, expect };
+            verify(&db, &point, "live", &mut problems);
+            points.push(point);
+        }
+    }
+    // The history ended in a crash: every recorded answer must hold
+    // verbatim against the recovered log.
+    for p in &points {
+        verify(&db, p, "after recovery", &mut problems);
+    }
+    problems
+}
+
 /// Exhausts `bounds`: every history prefix, crash appended, both engine
 /// strategies vs the oracle.
 pub fn run(bounds: &Bounds) -> ModelOutcome {
@@ -190,6 +340,14 @@ pub fn run(bounds: &Bounds) -> ModelOutcome {
                 record(&mut out, name, &events, detail);
             }
         }
+        // Variant A′ — the same history checked through the time-travel
+        // lens: reenacted read_as_of/history at every committed LSN,
+        // live and again after the crash's recovery (RH only; the lazy
+        // baseline rewrites its log, so its history is not reenactable).
+        out.engine_runs += 1;
+        for detail in check_time_travel(&events) {
+            record(&mut out, "rh+time_travel", &events, detail);
+        }
         // Variant B — checkpoint (flushes the whole log, engine.rs
         // `checkpoint`), then crash: every update, abort, and rollback
         // is durable, so the backward pass must undo exactly the
@@ -202,6 +360,13 @@ pub fn run(bounds: &Bounds) -> ModelOutcome {
         out.engine_runs += 1;
         for detail in check_one(Strategy::Rh, &events, &oracle, UndoneCheck::Exact, undone_exact) {
             record(&mut out, "rh+checkpointed", &events, detail);
+        }
+        // Variant B′ — time travel across a checkpoint-then-crash edge:
+        // commit points recorded *before* the final checkpoint must
+        // still be answerable (or legitimately truncated) afterwards.
+        out.engine_runs += 1;
+        for detail in check_time_travel(&events) {
+            record(&mut out, "rh+checkpointed+time_travel", &events, detail);
         }
     });
     out
@@ -270,7 +435,7 @@ mod tests {
             Bounds { txns: 1, objects: 1, max_events: 3, max_checkpoints: 1, delegate_all: false };
         let out = run(&bounds);
         assert!(out.histories > 0);
-        assert_eq!(out.engine_runs, out.histories * 3);
+        assert_eq!(out.engine_runs, out.histories * 5);
         assert_eq!(out.divergence_count, 0, "divergences: {:?}", out.divergences);
     }
 }

@@ -32,7 +32,7 @@
 use crate::model::Divergence;
 use rh_common::TxnId;
 use rh_core::engine::Strategy;
-use rh_core::history::{replay_engine, Event, Label, Oracle};
+use rh_core::history::{Event, Label, Oracle};
 use rh_core::sharded::{ShardedDb, TwoPcFault};
 use rh_core::TxnEngine;
 use rh_obs::json::JsonValue;
@@ -103,6 +103,53 @@ fn record(out: &mut ShardedOutcome, strategy: &'static str, history: String, det
     }
 }
 
+/// Time-travel comparison at one instant: for every object the oracle
+/// has seen, the reenacted `read_as_of` at its owning shard's tail must
+/// equal the oracle's committed state (`value_as_of`), and the
+/// reenacted `history` must be a suffix of the oracle's committed
+/// version timeline (a checkpoint summarizes older versions into the
+/// seed). `ids` maps labels to the global transaction ids the engine
+/// used, so version responsibility is compared by id. This is where
+/// cross-shard stitching earns its keep: with a transaction left
+/// in doubt on one shard, the answer depends on finding (or correctly
+/// not finding) the coordinator's decision on another shard's log.
+fn check_time_travel(
+    db: &ShardedDb,
+    oracle: &Oracle,
+    ids: &HashMap<Label, TxnId>,
+    when: &str,
+) -> Vec<String> {
+    use rh_common::Lsn;
+    let mut problems = Vec::new();
+    for ob in oracle.touched() {
+        let want = oracle.value_as_of(ob);
+        match db.read_as_of(ob, Lsn::NULL) {
+            Ok(got) if got == want => {}
+            Ok(got) => {
+                problems.push(format!("read_as_of({ob}) {when}: engine={got}, oracle={want}"))
+            }
+            Err(e) => problems.push(format!("read_as_of({ob}) {when} failed: {e:?}")),
+        }
+        let want_versions: Vec<(TxnId, i64)> =
+            oracle.versions(ob).into_iter().map(|(l, v)| (ids[&l], v)).collect();
+        match db.history(ob, Lsn::FIRST, Lsn::NULL) {
+            Ok(got) => {
+                let got: Vec<(TxnId, i64)> = got.iter().map(|v| (v.responsible, v.value)).collect();
+                let ok = got.len() <= want_versions.len()
+                    && got[..] == want_versions[want_versions.len() - got.len()..];
+                if !ok {
+                    problems.push(format!(
+                        "history({ob}) {when}: engine={got:?}, oracle={want_versions:?} \
+                         (suffix match)"
+                    ));
+                }
+            }
+            Err(e) => problems.push(format!("history({ob}) {when} failed: {e:?}")),
+        }
+    }
+    problems
+}
+
 /// Final-state comparison plus the in-doubt drain invariant.
 fn check_state(db: &ShardedDb, oracle: &Oracle) -> Vec<String> {
     let mut problems = Vec::new();
@@ -133,11 +180,15 @@ fn replay_with_ids(
 ) -> Result<(ShardedDb, HashMap<Label, TxnId>), String> {
     let mut db = ShardedDb::new_mem(strategy, SHARDS, 0);
     let mut ids: HashMap<Label, TxnId> = HashMap::new();
+    // Label → id mapping that survives crashes (crashed labels are not
+    // reused, but their committed versions still name them).
+    let mut all_ids: HashMap<Label, TxnId> = HashMap::new();
     let mut sp_tokens: HashMap<(Label, u32), u64> = HashMap::new();
     for ev in events {
         let step = match ev {
             Event::Begin(t) => db.begin().map(|id| {
                 ids.insert(*t, id);
+                all_ids.insert(*t, id);
             }),
             Event::Write(t, ob, v) => db.write(ids[t], *ob, *v),
             Event::Add(t, ob, d) => db.add(ids[t], *ob, *d),
@@ -162,7 +213,7 @@ fn replay_with_ids(
         };
         step.map_err(|e| format!("engine rejected a well-formed history at {ev:?}: {e:?}"))?;
     }
-    Ok((db, ids))
+    Ok((db, all_ids))
 }
 
 /// Exhausts `bounds` against the 2-shard engine: every history prefix
@@ -190,18 +241,26 @@ pub fn run(bounds: &Bounds) -> ShardedOutcome {
             [(Strategy::Rh, "sharded+rh"), (Strategy::LazyRewrite, "sharded+lazy_rewrite")]
         {
             out.engine_runs += 1;
-            match replay_engine(ShardedDb::new_mem(strategy, SHARDS, 0), &events) {
-                Ok(db) => {
+            match replay_with_ids(strategy, &events) {
+                Ok((db, ids)) => {
                     for detail in check_state(&db, &oracle) {
                         record(&mut out, name, format!("{events:?}"), detail);
                     }
+                    // Time travel after recovery (RH only: the lazy
+                    // baseline rewrites its log, so its history is not
+                    // reenactable by design).
+                    if matches!(strategy, Strategy::Rh) {
+                        for detail in check_time_travel(&db, &oracle, &ids, "after recovery") {
+                            record(
+                                &mut out,
+                                "sharded+rh+time_travel",
+                                format!("{events:?}"),
+                                detail,
+                            );
+                        }
+                    }
                 }
-                Err(e) => record(
-                    &mut out,
-                    name,
-                    format!("{events:?}"),
-                    format!("engine rejected a well-formed history: {e:?}"),
-                ),
+                Err(e) => record(&mut out, name, format!("{events:?}"), e),
             }
         }
         // Histories ending in a commit rerun with a crash injected at
@@ -262,6 +321,15 @@ pub fn run(bounds: &Bounds) -> ShardedOutcome {
                     if expect_commit {
                         events.push(Event::Commit(label));
                     }
+                    // Time travel against the *live* in-doubt state: the
+                    // fault may have left a shard Prepared, so a correct
+                    // answer requires stitching the coordinator decision
+                    // from the other shard's log (or presuming abort
+                    // when none exists).
+                    let live_oracle = Oracle::run(&events);
+                    for detail in check_time_travel(&db, &live_oracle, &ids, "live in doubt") {
+                        record(&mut out, "sharded+2pc-fault+time_travel", variant.clone(), detail);
+                    }
                     events.push(Event::Crash);
                     let oracle = Oracle::run(&events);
                     let db = match db.crash_and_recover() {
@@ -278,6 +346,9 @@ pub fn run(bounds: &Bounds) -> ShardedOutcome {
                     };
                     for detail in check_state(&db, &oracle) {
                         record(&mut out, "sharded+2pc-fault", variant.clone(), detail);
+                    }
+                    for detail in check_time_travel(&db, &oracle, &ids, "after recovery") {
+                        record(&mut out, "sharded+2pc-fault+time_travel", variant.clone(), detail);
                     }
                 }
             }

@@ -29,6 +29,11 @@ const CRITICAL: &[&str] = &[
     // recovery: a panic between a participant's prepare and the
     // coordinator's decision would strand in-doubt transactions.
     "crates/core/src/sharded/",
+    // Reenactment interprets raw WAL bytes on the serving path (wire
+    // `ReadAsOf`/`History` and the introspection endpoints): a panic on
+    // a malformed or truncated record would take down the connection
+    // worker instead of answering with a typed `RhError::Reenact`.
+    "crates/core/src/reenact.rs",
 ];
 
 /// Panic-capable macros (checked as `ident !`).

@@ -1,0 +1,75 @@
+//! E13 — what a time-travel read costs, and what checkpoint seeding
+//! buys it.
+//!
+//! Three query regimes against one 600-commit log with a checkpoint at
+//! the midpoint (the shared [`rh_bench::time_travel`] fixture):
+//!
+//! * **near_tip** — target = log tail; seeds from the midpoint
+//!   checkpoint and scans the younger half.
+//! * **deep_history** — target just below the checkpoint; seedless,
+//!   folds forward from the log's first record through as many
+//!   committed versions as the near-tip query replays.
+//! * **checkpoint_adjacent** — target right after the checkpoint;
+//!   seed + near-zero scan (the best case).
+//!
+//! The deep-history row is the price of *not* having a checkpoint below
+//! the target, which is the quantitative argument for the
+//! checkpoint-seeding design in DESIGN.md §16.
+//!
+//! Besides the Criterion medians, the run writes its rows to
+//! `target/obs/BENCH_history.json`; the first measured rows are checked
+//! in at `crates/bench/baselines/BENCH_history.json` and re-measured by
+//! `rh-bench --check-baselines`.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use rh_bench::time_travel::{self, COMMITS_PER_HALF};
+use rh_obs::JsonValue;
+use std::path::PathBuf;
+
+fn bench_read_as_of(c: &mut Criterion) {
+    let fixture = time_travel::build();
+    let mut group = c.benchmark_group("e13_read_as_of");
+    for name in ["asof_near_tip", "asof_deep_history", "asof_checkpoint_adjacent"] {
+        let target = fixture.target(name).expect("known row");
+        group.bench_function(name, |b| b.iter(|| black_box(fixture.query(target))));
+    }
+    group.finish();
+}
+
+/// Writes the three rows to `target/obs/BENCH_history.json` (the
+/// checked-in baseline at `crates/bench/baselines/BENCH_history.json`
+/// is a copy of this file from the first run).
+fn export_rows(_c: &mut Criterion) {
+    let fixture = time_travel::build();
+    let mut rows: Vec<JsonValue> = Vec::new();
+    for name in ["asof_near_tip", "asof_deep_history", "asof_checkpoint_adjacent"] {
+        let target = fixture.target(name).expect("known row");
+        let median = time_travel::median_asof_ns(&fixture, target, 30);
+        rows.push(JsonValue::obj(vec![
+            ("name", JsonValue::Str(name.to_string())),
+            ("median_ns", JsonValue::U64(median)),
+            ("unit", JsonValue::Str("ns/query".to_string())),
+        ]));
+    }
+    let doc = JsonValue::obj(vec![
+        ("bench", JsonValue::Str("e13_time_travel".to_string())),
+        (
+            "workload",
+            JsonValue::obj(vec![
+                ("commits", JsonValue::U64(2 * COMMITS_PER_HALF)),
+                ("checkpoint_at_commit", JsonValue::U64(COMMITS_PER_HALF)),
+            ]),
+        ),
+        ("rows", JsonValue::Arr(rows)),
+    ]);
+    // Benches run with the package as cwd; aim at the workspace target
+    // dir, where CI archives `target/obs/*.json` from.
+    let dir = PathBuf::from(concat!(env!("CARGO_MANIFEST_DIR"), "/../../target/obs"));
+    std::fs::create_dir_all(&dir).expect("create target/obs");
+    let path = dir.join("BENCH_history.json");
+    std::fs::write(&path, doc.render_pretty()).expect("write BENCH_history.json");
+    println!("e13_time_travel: wrote {}", path.display());
+}
+
+criterion_group!(benches, bench_read_as_of, export_rows);
+criterion_main!(benches);

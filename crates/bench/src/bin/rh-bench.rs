@@ -6,8 +6,9 @@
 //! ```
 //!
 //! `--check-baselines` re-runs the workload behind every row of the
-//! checked-in baselines (`crates/bench/baselines/BENCH_server.json` and
-//! `BENCH_obs.json`) on this machine, compares against the recorded
+//! checked-in baselines (`crates/bench/baselines/BENCH_server.json`,
+//! `BENCH_obs.json`, and `BENCH_history.json` — the time-travel
+//! `read_as_of` rows) on this machine, compares against the recorded
 //! medians with a relative tolerance (default ±25%, overridable with
 //! `--tolerance` or `RH_BENCH_TOLERANCE`), writes the full comparison
 //! to `target/obs/bench_delta.json`, and exits nonzero if any row
@@ -108,8 +109,22 @@ struct Measured {
     extra: Vec<(&'static str, JsonValue)>,
 }
 
+/// The time-travel fixture, built once and shared by the three `asof_*`
+/// rows (the fixture is the workload; only the query target varies).
+fn asof_fixture() -> &'static rh_bench::time_travel::AsofFixture {
+    static FIXTURE: std::sync::OnceLock<rh_bench::time_travel::AsofFixture> =
+        std::sync::OnceLock::new();
+    FIXTURE.get_or_init(rh_bench::time_travel::build)
+}
+
 /// Re-runs the workload behind one baseline row.
 fn measure(name: &str, iters: usize) -> Option<Measured> {
+    if name.starts_with("asof_") {
+        let fixture = asof_fixture();
+        let target = fixture.target(name)?;
+        let median = rh_bench::time_travel::median_asof_ns(fixture, target, 30.max(iters));
+        return Some(Measured { value: median, higher_is_better: false, extra: Vec::new() });
+    }
     if let Some(point) = CyclePoint::parse(name) {
         let (median_ns, fsyncs) = serve_cycle::median_cycle_ns(&point, iters);
         let commits = point.commits();
@@ -307,6 +322,7 @@ fn within(measured: u64, baseline: u64, higher_is_better: bool, tolerance: f64) 
 fn check_baselines(tolerance: f64) -> ! {
     let mut rows = load_rows("BENCH_server.json");
     rows.extend(load_rows("BENCH_obs.json"));
+    rows.extend(load_rows("BENCH_history.json"));
 
     // The unsharded 16-thread/30%-delegation baseline anchors the
     // sharded speedup claim.

@@ -15,6 +15,7 @@ pub mod harness;
 pub mod obs_export;
 pub mod serve_cycle;
 pub mod table;
+pub mod time_travel;
 
 pub use harness::{measure, timed, Measurement};
 pub use table::Table;

@@ -103,6 +103,7 @@ impl CyclePoint {
             cross_shard_fraction: if self.shards > 1 { CROSS_SHARD_FRACTION } else { 0.0 },
             shards: self.shards,
             trace: false,
+            audit_fraction: 0.0,
         }
     }
 

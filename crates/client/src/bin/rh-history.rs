@@ -1,0 +1,179 @@
+//! `rh-history` — render an object's reenacted version timeline.
+//!
+//! ```text
+//! rh-history (--addr HOST:PORT --object N | --file PATH)
+//!            [--from LSN] [--as-of LSN] [--json]
+//! ```
+//!
+//! The source is either a live introspection endpoint (`--addr` fetches
+//! `/history/<object>`, the server reenacts the WAL without taking the
+//! engine mutex) or a saved `history.v1` artifact on disk (`--file`,
+//! e.g. one archived by the CI audit-cycle job). Either way the
+//! timeline prints one line per committed version: value, the LSN of
+//! the update that produced it, the transaction that answered for it at
+//! commit time, the delegation hops that moved responsibility there,
+//! and the originating request trace id when the commit was stitched to
+//! one. `--json` re-emits the raw artifact instead (so a live fetch can
+//! be archived for later offline rendering).
+
+use rh_client::introspect;
+use rh_obs::json::{self, JsonValue};
+
+fn usage(reason: &str) -> ! {
+    eprintln!("rh-history: {reason}");
+    eprintln!(
+        "usage: rh-history (--addr HOST:PORT --object N | --file PATH) \
+         [--from LSN] [--as-of LSN] [--json]"
+    );
+    std::process::exit(2);
+}
+
+fn die(reason: &str) -> ! {
+    eprintln!("rh-history: {reason}");
+    std::process::exit(1);
+}
+
+struct Flags {
+    addr: Option<String>,
+    object: Option<u64>,
+    file: Option<String>,
+    from: Option<u64>,
+    as_of: Option<u64>,
+    raw_json: bool,
+}
+
+fn parse_flags(mut argv: std::env::Args) -> Flags {
+    let mut out =
+        Flags { addr: None, object: None, file: None, from: None, as_of: None, raw_json: false };
+    while let Some(flag) = argv.next() {
+        let mut value = |name: &str| match argv.next() {
+            Some(v) => v,
+            None => usage(&format!("{name} needs a value")),
+        };
+        let int = |name: &str, v: String| match v.parse::<u64>() {
+            Ok(n) => n,
+            Err(_) => usage(&format!("{name} needs an integer")),
+        };
+        match flag.as_str() {
+            "--addr" => out.addr = Some(value("--addr")),
+            "--object" => out.object = Some(int("--object", value("--object"))),
+            "--file" => out.file = Some(value("--file")),
+            "--from" => out.from = Some(int("--from", value("--from"))),
+            "--as-of" => out.as_of = Some(int("--as-of", value("--as-of"))),
+            "--json" => out.raw_json = true,
+            other => usage(&format!("unknown flag {other}")),
+        }
+    }
+    out
+}
+
+/// Fetches or reads the `history.v1` document.
+fn load_doc(flags: &Flags) -> (JsonValue, String) {
+    match (&flags.addr, &flags.file) {
+        (Some(addr), None) => {
+            let Some(ob) = flags.object else { usage("--addr needs --object") };
+            let path = format!("/history/{ob}");
+            match introspect::http_get_json(addr, &path) {
+                Ok(doc) => (doc, format!("http://{addr}{path}")),
+                Err(e) => die(&format!("cannot fetch {path} from {addr}: {e}")),
+            }
+        }
+        (None, Some(path)) => {
+            let text = match std::fs::read_to_string(path) {
+                Ok(t) => t,
+                Err(e) => die(&format!("cannot read {path}: {e}")),
+            };
+            match json::parse(&text) {
+                Ok(doc) => (doc, path.clone()),
+                Err(e) => die(&format!("{path} is not a JSON history artifact: {e}")),
+            }
+        }
+        _ => usage("need exactly one of --addr or --file"),
+    }
+}
+
+fn u64_of(doc: &JsonValue, key: &str) -> Option<u64> {
+    doc.get(key).and_then(JsonValue::as_u64)
+}
+
+/// Renders one version's delegation hops as `t1 -> t2 -> t3` (the
+/// invoker through every delegatee to the finally responsible txn).
+fn render_hops(v: &JsonValue) -> String {
+    let hops = match v.get("hops") {
+        Some(JsonValue::Arr(hops)) if !hops.is_empty() => hops,
+        _ => return String::new(),
+    };
+    let mut chain: Vec<String> = Vec::new();
+    for h in hops {
+        if let (Some(from), Some(to)) = (u64_of(h, "from"), u64_of(h, "to")) {
+            if chain.is_empty() {
+                chain.push(from.to_string());
+            }
+            chain.push(to.to_string());
+        }
+    }
+    format!("  via {}", chain.join(" -> "))
+}
+
+fn main() {
+    let mut argv = std::env::args();
+    let _ = argv.next();
+    let flags = parse_flags(argv);
+    let (doc, source) = load_doc(&flags);
+    if flags.raw_json {
+        println!("{}", doc.render_pretty());
+        return;
+    }
+    if doc.get("schema").and_then(JsonValue::as_str) != Some("history.v1") {
+        die(&format!("{source} is not a history.v1 document"));
+    }
+    let object = u64_of(&doc, "object").unwrap_or(0);
+    let as_of = u64_of(&doc, "as_of").unwrap_or(0);
+    let value = doc.get("value").and_then(JsonValue::as_i64).unwrap_or(0);
+    let versions: &[JsonValue] = match doc.get("versions") {
+        Some(JsonValue::Arr(v)) => v,
+        _ => &[],
+    };
+    println!(
+        "rh-history: object {object} as of LSN {as_of} — value {value}, {} version(s) ({source})",
+        versions.len()
+    );
+    if let Some(seed) = u64_of(&doc, "seeded_from") {
+        println!("  seeded from checkpoint at LSN {seed} (older versions summarized)");
+    }
+    if let Some(JsonValue::Arr(in_doubt)) = doc.get("in_doubt") {
+        if !in_doubt.is_empty() {
+            let txns: Vec<String> =
+                in_doubt.iter().filter_map(JsonValue::as_u64).map(|t| t.to_string()).collect();
+            println!("  in doubt at target: txn(s) {}", txns.join(", "));
+        }
+    }
+    // The rendered window: `--from`/`--as-of` narrow by update LSN
+    // (the live endpoint already reenacts up to "now"; narrowing is a
+    // display concern so saved artifacts can be re-windowed offline).
+    let lo = flags.from.unwrap_or(0);
+    let hi = flags.as_of.unwrap_or(u64::MAX);
+    for v in versions {
+        let lsn = u64_of(v, "lsn").unwrap_or(0);
+        if lsn < lo || lsn > hi {
+            continue;
+        }
+        let val = v.get("value").and_then(JsonValue::as_i64).unwrap_or(0);
+        let invoker = u64_of(v, "invoker").unwrap_or(0);
+        let responsible = u64_of(v, "responsible").unwrap_or(0);
+        let committed_at = u64_of(v, "committed_at").unwrap_or(0);
+        let who = if invoker == responsible {
+            format!("txn {responsible}")
+        } else {
+            format!("txn {responsible} (invoked by {invoker})")
+        };
+        let trace = match u64_of(v, "trace") {
+            Some(t) => format!("  trace {t:#x}"),
+            None => String::new(),
+        };
+        println!(
+            "  lsn {lsn:>6}  value {val:>10}  {who}  committed@{committed_at}{}{trace}",
+            render_hops(v)
+        );
+    }
+}

@@ -5,13 +5,19 @@
 //! rh-load --addr 127.0.0.1:7411 [--threads N] [--txns N] [--updates N]
 //!         [--delegation F] [--cross-shard F --shards N] [--seed N]
 //!         [--trace] [--obs HOST:PORT] [--trace-gate F] [--close-gate F]
-//!         [--smoke] [--report PATH] [--shutdown]
+//!         [--audit F] [--smoke] [--report PATH] [--shutdown]
 //! ```
 //!
 //! Exits nonzero on any oracle divergence or transport failure, so CI
 //! can gate on it directly. `--report` writes the run's JSON report;
 //! `--shutdown` sends the wire shutdown op afterwards (graceful drain —
 //! the server process exits once drained).
+//!
+//! With `--audit F`, each thread interleaves time-travel audit probes
+//! with the write workload: after an acked commit, with probability
+//! `F`, it issues a `read_as_of` of a randomly chosen already-acked
+//! object and gates on exact agreement with the acked-effects oracle.
+//! Any audit divergence also exits nonzero.
 //!
 //! With `--trace`, every commit carries a unique client-assigned trace
 //! id; with `--obs` (the server's introspection address) the run then
@@ -31,7 +37,7 @@ fn usage(reason: &str) -> ! {
         "usage: rh-load --addr HOST:PORT [--threads N] [--txns N] [--updates N] \
          [--delegation F] [--cross-shard F --shards N] [--seed N] [--offset N] \
          [--trace] [--obs HOST:PORT] [--trace-gate F] [--close-gate F] \
-         [--smoke] [--report PATH] [--shutdown]"
+         [--audit F] [--smoke] [--report PATH] [--shutdown]"
     );
     std::process::exit(2);
 }
@@ -119,6 +125,13 @@ fn main() {
                 Ok(f) if (0.0..=1.0).contains(&f) => close_gate = Some(f),
                 _ => usage("--close-gate needs a float in [0,1]"),
             },
+            // Interleave time-travel audit probes with the writes: the
+            // probability, per acked commit, of reenacting a random
+            // already-acked object and checking it against the oracle.
+            "--audit" => match value("--audit").parse() {
+                Ok(f) if (0.0..=1.0).contains(&f) => spec.audit_fraction = f,
+                _ => usage("--audit needs a float in [0,1]"),
+            },
             "--report" => report_path = Some(value("--report")),
             "--shutdown" => shutdown = true,
             other => usage(&format!("unknown flag {other}")),
@@ -153,6 +166,12 @@ fn main() {
         report.server_commits_delta,
         report.server_fsyncs_delta,
     );
+    if spec.audit_fraction > 0.0 {
+        println!(
+            "rh-load: audit: {} time-travel probes, {} divergences",
+            report.audit_queries, report.audit_divergences,
+        );
+    }
     // Trace-attribution coverage: stitch the server's `/trace` rings
     // against the traced commits and (optionally) gate on the result.
     let coverage = match &obs_addr {
@@ -206,6 +225,10 @@ fn main() {
     }
     if report.divergences > 0 {
         eprintln!("rh-load: ORACLE DIVERGENCE — served state contradicts acknowledged commits");
+        std::process::exit(1);
+    }
+    if report.audit_divergences > 0 {
+        eprintln!("rh-load: AUDIT DIVERGENCE — reenacted history contradicts acknowledged commits");
         std::process::exit(1);
     }
     if let Some(cov) = &coverage {

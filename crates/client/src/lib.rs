@@ -22,7 +22,7 @@ pub mod load;
 
 use rh_common::codec::Codec;
 use rh_common::ops::Value;
-use rh_common::{ObjectId, RhError, TxnId};
+use rh_common::{Lsn, ObjectId, RhError, TxnId};
 use rh_server::wire::{self, Hello, Op, Reply, ReplyBody, Request, Response};
 use std::fmt;
 use std::io;
@@ -282,6 +282,27 @@ impl Connection {
         match self.call(Op::ValueOf(ob))? {
             ReplyBody::Value(v) => Ok(v),
             other => Err(unexpected("value", &other)),
+        }
+    }
+
+    /// Time-travel read: the committed value of `ob` as of `as_of`
+    /// (pass [`Lsn::NULL`] for "now" — the server resolves it to the
+    /// log tail). Answered by WAL reenactment on the server without
+    /// taking the engine mutex, so it is safe to issue under load.
+    pub fn read_as_of(&mut self, ob: ObjectId, as_of: Lsn) -> Result<Value> {
+        match self.call(Op::ReadAsOf(ob, as_of))? {
+            ReplyBody::Value(v) => Ok(v),
+            other => Err(unexpected("value", &other)),
+        }
+    }
+
+    /// Version timeline of `ob` over `[from, to]` as a rendered
+    /// `history.v1` JSON document (pass [`Lsn::FIRST`]`..`[`Lsn::NULL`]
+    /// for the whole reenactable history up to now).
+    pub fn history_json(&mut self, ob: ObjectId, from: Lsn, to: Lsn) -> Result<String> {
+        match self.call(Op::History(ob, from, to))? {
+            ReplyBody::Json(s) => Ok(s),
+            other => Err(unexpected("history json", &other)),
         }
     }
 

@@ -63,6 +63,14 @@ pub struct LoadSpec {
     /// [`trace_coverage`] can stitch the server's `/trace` rings into
     /// waterfalls and check attribution coverage.
     pub trace: bool,
+    /// Probability that, after an acked commit, the thread interleaves
+    /// a time-travel audit probe with the write workload: a
+    /// [`Connection::read_as_of`] of a randomly chosen already-acked
+    /// object, gated on *exact* agreement with the acked-effects
+    /// oracle. Audit draws come from a dedicated RNG that is only
+    /// seeded when this is positive, so historical runs (and their
+    /// recorded baselines) keep their exact randomness at `0.0`.
+    pub audit_fraction: f64,
 }
 
 impl Default for LoadSpec {
@@ -77,6 +85,7 @@ impl Default for LoadSpec {
             cross_shard_fraction: 0.0,
             shards: 1,
             trace: false,
+            audit_fraction: 0.0,
         }
     }
 }
@@ -129,6 +138,12 @@ pub struct LoadReport {
     /// Acked commits that carried a trace id (empty unless
     /// [`LoadSpec::trace`] was set). Input to [`trace_coverage`].
     pub traced: Vec<TracedCommit>,
+    /// Time-travel audit probes issued during the load phase (zero
+    /// unless [`LoadSpec::audit_fraction`] was positive).
+    pub audit_queries: u64,
+    /// Audit probes whose reenacted value disagreed with the
+    /// acked-effects oracle. Like `divergences`, this must be zero.
+    pub audit_divergences: u64,
 }
 
 impl LoadReport {
@@ -153,6 +168,8 @@ impl LoadReport {
             ("throughput_txns_per_sec", JsonValue::U64(self.throughput() as u64)),
             ("server_commits_delta", JsonValue::U64(self.server_commits_delta)),
             ("server_fsyncs_delta", JsonValue::U64(self.server_fsyncs_delta)),
+            ("audit_queries", JsonValue::U64(self.audit_queries)),
+            ("audit_divergences", JsonValue::U64(self.audit_divergences)),
             ("commit_latency", self.commit_latency.to_json()),
             ("op_latency", self.op_latency.to_json()),
         ])
@@ -203,6 +220,8 @@ struct ThreadOutcome {
     errors: u64,
     oracle: HashMap<ObjectId, Value>,
     traced: Vec<TracedCommit>,
+    audit_queries: u64,
+    audit_divergences: u64,
 }
 
 impl ThreadOutcome {
@@ -213,6 +232,8 @@ impl ThreadOutcome {
             errors: 0,
             oracle: HashMap::new(),
             traced: Vec::new(),
+            audit_queries: 0,
+            audit_divergences: 0,
         }
     }
 }
@@ -246,6 +267,8 @@ pub fn run_load(addr: &str, spec: &LoadSpec) -> Result<LoadReport> {
                 outcome.errors += t.errors;
                 outcome.oracle.extend(t.oracle);
                 outcome.traced.extend(t.traced);
+                outcome.audit_queries += t.audit_queries;
+                outcome.audit_divergences += t.audit_divergences;
             }
             Err(_) => outcome.errors += 1,
         }
@@ -276,6 +299,8 @@ pub fn run_load(addr: &str, spec: &LoadSpec) -> Result<LoadReport> {
         commit_latency: snap.histogram(names::M_CLIENT_COMMIT_US),
         op_latency: snap.histogram(names::M_CLIENT_OP_US),
         traced: outcome.traced,
+        audit_queries: outcome.audit_queries,
+        audit_divergences: outcome.audit_divergences,
     })
 }
 
@@ -307,18 +332,67 @@ fn worker(addr: &str, tid: usize, spec: &LoadSpec, registry: &Registry) -> Threa
     };
     let mut rng = StdRng::seed_from_u64(spec.seed ^ (tid as u64).wrapping_mul(0x9e37_79b9));
     let base = thread_base(tid, spec.base_offset);
+    // The audit generator is separate from (and only seeded alongside)
+    // the workload RNG, so enabling audits never perturbs the workload's
+    // historical randomness — values, object ids, and delegation draws
+    // stay bit-identical to an unaudited run with the same seed.
+    let mut audit_rng = (spec.audit_fraction > 0.0)
+        .then(|| StdRng::seed_from_u64(spec.seed ^ 0x00d1_7a0d_17ca_fe00 ^ ((tid as u64) << 32)));
+    let mut acked: Vec<(ObjectId, Value)> = Vec::new();
     for i in 0..spec.txns_per_thread {
         match one_txn(&mut conn, &mut rng, spec, tid, base, i, registry) {
             Ok((effects, traced)) => {
                 out.committed += 1;
+                acked.extend(effects.iter().copied());
                 out.oracle.extend(effects);
                 out.traced.extend(traced);
             }
             Err(ClientError::Busy) => out.busy += 1,
             Err(_) => out.errors += 1,
         }
+        if let Some(arng) = audit_rng.as_mut() {
+            if !acked.is_empty() && arng.random_bool(spec.audit_fraction) {
+                audit_probe(&mut conn, arng, &acked, &mut out, registry);
+            }
+        }
     }
     out
+}
+
+/// One interleaved time-travel audit: reenact a randomly chosen
+/// already-acked object "as of now" and gate on exact agreement with
+/// the acked-effects oracle. Sound because every acked effect is
+/// durable before the probe is issued, each object is written by
+/// exactly one transaction (the private-range invariant), and
+/// `read_as_of` resolves in-doubt transactions through the coordinator
+/// decision — so the reenacted committed value must equal the acked
+/// one. Transport errors are not divergences (the crash tests kill
+/// servers mid-run); only a served wrong value counts.
+fn audit_probe(
+    conn: &mut Connection,
+    arng: &mut StdRng,
+    acked: &[(ObjectId, Value)],
+    out: &mut ThreadOutcome,
+    registry: &Registry,
+) {
+    let (ob, expect) = acked[arng.random_range(0..acked.len())];
+    match conn.read_as_of(ob, rh_common::Lsn::NULL) {
+        Ok(got) => {
+            out.audit_queries += 1;
+            if got != expect {
+                out.audit_divergences += 1;
+                registry.inc(names::M_AUDIT_DIVERGENCES);
+            }
+        }
+        Err(ClientError::Engine { .. }) => {
+            // The engine answered and refused (e.g. the target LSN was
+            // truncated by a checkpoint) — answerable-but-wrong is the
+            // only divergence, a refusal is not, but it still counts as
+            // an issued probe.
+            out.audit_queries += 1;
+        }
+        Err(_) => {}
+    }
 }
 
 /// Runs one transaction of the mix; returns its effects iff the commit

@@ -53,10 +53,16 @@ fn cross_shard_load_holds_the_oracle_and_commits_via_2pc() {
         seed: 9,
         base_offset: 0,
         trace: true,
+        // Interleave time-travel audits with the 2PC write load: the
+        // reenacted value of already-acked objects must agree with the
+        // oracle exactly, even while cross-shard commits are in flight.
+        audit_fraction: 0.25,
     };
     let report = run_load(&addr, &spec).expect("load run");
 
     assert_eq!(report.divergences, 0, "oracle divergence: {report:?}");
+    assert!(report.audit_queries > 0, "the audit draw must fire: {report:?}");
+    assert_eq!(report.audit_divergences, 0, "audit divergence: {report:?}");
     assert_eq!(report.errors, 0, "no transaction may fail: {report:?}");
     let expected = (spec.threads * spec.txns_per_thread) as u64;
     assert_eq!(report.txns_committed, expected);
@@ -126,6 +132,7 @@ fn lazy_rewrite_serves_the_same_sharded_contract() {
         seed: 13,
         base_offset: 0,
         trace: false,
+        audit_fraction: 0.0,
     };
     let report = run_load(&addr, &spec).expect("load run");
     assert_eq!(report.divergences, 0, "oracle divergence: {report:?}");

@@ -38,6 +38,16 @@ pub enum RhError {
     /// ETM-layer protocol violation (e.g. joining a transaction that was
     /// never split, committing a nested child before its own children).
     Protocol(&'static str),
+    /// A time-travel (reenactment) query could not be answered from the
+    /// retained log: the target LSN precedes both the oldest retained
+    /// record and every surviving checkpoint, so the state at that point
+    /// is no longer reconstructible.
+    Reenact {
+        /// The LSN the query asked for.
+        as_of: Lsn,
+        /// Why the reconstruction is impossible.
+        reason: &'static str,
+    },
     /// The peer speaks a different wire-protocol version. A dedicated
     /// class (not [`RhError::Codec`]) so clients can tell "upgrade one
     /// side" apart from "corrupted stream", and so the wire error code
@@ -76,6 +86,9 @@ impl fmt::Display for RhError {
                 write!(f, "dependency {from} -> {to} would create a cycle")
             }
             RhError::Protocol(reason) => write!(f, "protocol violation: {reason}"),
+            RhError::Reenact { as_of, reason } => {
+                write!(f, "reenactment cannot answer as-of {as_of}: {reason}")
+            }
             RhError::VersionMismatch { got, want } => write!(
                 f,
                 "wire protocol version mismatch: peer speaks v{got}, this build speaks v{want} \

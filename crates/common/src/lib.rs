@@ -24,4 +24,4 @@ pub mod ops;
 pub use error::{Result, RhError};
 pub use ids::{ObjectId, PageId, TxnId};
 pub use lsn::Lsn;
-pub use ops::UpdateOp;
+pub use ops::{UpdateOp, Value};

@@ -17,7 +17,7 @@
 use crate::provenance::ProvenanceTable;
 use crate::txn_table::TrList;
 use rh_common::codec::{Codec, Reader, Writer};
-use rh_common::{Lsn, PageId, Result, TxnId};
+use rh_common::{Lsn, ObjectId, PageId, Result, TxnId, Value};
 
 /// The state frozen into a `CheckpointEnd` record.
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
@@ -51,6 +51,15 @@ pub struct CheckpointSnapshot {
     /// retires a decision only once every participant's Commit record is
     /// durable (see `ShardedDb::checkpoint_all`).
     pub coord_decisions: Vec<(TxnId, Vec<u32>)>,
+    /// Object values at checkpoint time, omitting objects still at the
+    /// initial value. Captured right after the checkpoint's `flush_all`,
+    /// while the engine is exclusively held — so the flushed disk images
+    /// *are* the database state as of `CheckpointBegin`, and no update
+    /// record can land between the capture and `CheckpointEnd`. This is
+    /// what lets reenactment (`read_as_of`/`history`) seed from a
+    /// checkpoint and replay forward without ever touching live pages,
+    /// even after `truncate_prefix` has dropped pre-checkpoint records.
+    pub values: Vec<(ObjectId, Value)>,
 }
 
 impl Codec for CheckpointSnapshot {
@@ -61,6 +70,7 @@ impl Codec for CheckpointSnapshot {
         self.compensated.encode(w);
         self.provenance.encode(w);
         self.coord_decisions.encode(w);
+        self.values.encode(w);
     }
 
     fn decode(r: &mut Reader<'_>) -> Result<Self> {
@@ -71,6 +81,7 @@ impl Codec for CheckpointSnapshot {
             compensated: Vec::decode(r)?,
             provenance: ProvenanceTable::decode(r)?,
             coord_decisions: Vec::decode(r)?,
+            values: Vec::decode(r)?,
         })
     }
 }
@@ -100,6 +111,7 @@ mod tests {
             compensated: vec![Lsn(3), Lsn(9)],
             provenance,
             coord_decisions: vec![(TxnId(3), vec![1, 2])],
+            values: vec![(ObjectId(5), 42), (ObjectId(9), -3)],
         };
         assert_eq!(CheckpointSnapshot::from_bytes(&s.to_bytes()).unwrap(), s);
     }

@@ -29,6 +29,7 @@ use rh_obs::{names, HttpResponse, IntrospectionServer, JsonValue, Obs, Sampler};
 use rh_storage::{BufferPool, Disk};
 use rh_wal::record::{DelegateBody, RecordBody};
 use rh_wal::{LogManager, StableLog};
+use std::collections::BTreeSet;
 use std::sync::Arc;
 
 /// Which delegation-implementation strategy the engine runs.
@@ -312,6 +313,43 @@ impl RhDb {
         self.prov.lock().to_json()
     }
 
+    // ---- time-travel reads (reenactment) ------------------------------
+
+    /// The committed value of `ob` as of `lsn` (inclusive; [`Lsn::NULL`]
+    /// means the log's last record), reconstructed by seeding from the
+    /// newest checkpoint at-or-below the target and replaying forward
+    /// through a shadow scope table. Never touches live pages — only the
+    /// internally-synchronized log and observability handles, so replays
+    /// can run concurrently with a loaded engine (see
+    /// [`crate::reenact::query`]). Prepared-but-undecided transactions
+    /// are presumed aborted, exactly as recovery would.
+    pub fn read_as_of(&self, ob: ObjectId, lsn: Lsn) -> Result<Value> {
+        Ok(crate::reenact::query(&self.log, &self.obs, ob, lsn)?.value())
+    }
+
+    /// The committed version timeline of `ob` over `[from, to]`
+    /// (inclusive; `to = Lsn::NULL` means the log's last record): each
+    /// version carries its value, update LSN, invoker, responsible
+    /// transaction, delegation hops, and — when the commit was traced —
+    /// the originating trace id.
+    pub fn history(
+        &self,
+        ob: ObjectId,
+        from: Lsn,
+        to: Lsn,
+    ) -> Result<Vec<crate::reenact::VersionRecord>> {
+        let r = crate::reenact::query(&self.log, &self.obs, ob, to)?;
+        Ok(r.versions().into_iter().filter(|v| v.lsn >= from).collect())
+    }
+
+    /// The full reenactment of `ob` at `as_of` — value, version
+    /// timeline, and in-doubt transactions awaiting a coordinator
+    /// decision. The typed result behind [`RhDb::read_as_of`] and
+    /// [`RhDb::history`].
+    pub fn reenact(&self, ob: ObjectId, as_of: Lsn) -> Result<crate::reenact::Reenactment> {
+        crate::reenact::query(&self.log, &self.obs, ob, as_of)
+    }
+
     /// The postmortem built by the recovery that produced this
     /// incarnation: the predecessor's black-box identity, final spans,
     /// and counters diffed against post-recovery state. `None` when no
@@ -350,7 +388,9 @@ impl RhDb {
     /// address. Read-only and bounded (see `rh_obs::serve`); routes:
     /// `/stats`, `/metrics` (Prometheus text exposition of the same
     /// registry), `/timeseries`, `/slowops`, `/trace`, `/provenance`,
-    /// `/provenance/<ob>`, `/postmortem`. Also spawns the once-a-second
+    /// `/provenance/<ob>`, `/postmortem`, and the time-travel routes
+    /// `/asof/<ob>/<lsn>` and `/history/<ob>` (reenacted off the shared
+    /// log handle — never through the engine). Also spawns the once-a-second
     /// cadence sampler feeding `/timeseries`. The server and sampler
     /// stop when the engine is dropped (or on
     /// [`RhDb::stop_introspection`]).
@@ -381,10 +421,13 @@ impl RhDb {
             "/trace",
             "/provenance",
             "/postmortem",
+            "/asof/<ob>/<lsn>",
+            "/history/<ob>",
         ];
         let handler: rh_obs::Handler = {
             let absorbed = absorbed.clone();
             let obs = Arc::clone(&obs);
+            let log = Arc::clone(&self.log);
             Arc::new(move |path: &str| match path {
                 "/stats" => Some(HttpResponse::Json(absorbed().to_json())),
                 "/metrics" => Some(HttpResponse::Text {
@@ -399,11 +442,32 @@ impl RhDb {
                     Some(HttpResponse::Json(postmortem.lock().clone().unwrap_or(JsonValue::Null)))
                 }
                 p => {
-                    let ob: u64 = p.strip_prefix("/provenance/")?.parse().ok()?;
-                    let chain = prov.lock();
-                    Some(HttpResponse::Json(JsonValue::Arr(
-                        chain.chain(ObjectId(ob)).iter().map(ProvHop::to_json).collect(),
-                    )))
+                    let reenact = |ob, lsn| {
+                        crate::reenact::query(&log, &obs, ob, lsn).map(|r| (r, BTreeSet::new()))
+                    };
+                    if let Some(rest) = p.strip_prefix("/asof/") {
+                        Some(introspect_asof(rest, reenact))
+                    } else if let Some(rest) = p.strip_prefix("/history/") {
+                        Some(introspect_history(rest, reenact))
+                    } else if let Some(rest) = p.strip_prefix("/provenance/") {
+                        // Malformed segments are a 400, not a 404: the
+                        // route shape matched, the parameter did not.
+                        match rest.parse::<u64>() {
+                            Ok(ob) => {
+                                let chain = prov.lock();
+                                Some(HttpResponse::Json(JsonValue::Arr(
+                                    chain
+                                        .chain(ObjectId(ob))
+                                        .iter()
+                                        .map(ProvHop::to_json)
+                                        .collect(),
+                                )))
+                            }
+                            Err(_) => Some(HttpResponse::bad_request("object id must be numeric")),
+                        }
+                    } else {
+                        None
+                    }
                 }
             })
         };
@@ -687,6 +751,9 @@ impl RhDb {
             // another shard's in-doubt resolution may still need them
             // after this anchor hides their CoordCommit records.
             coord_decisions: self.coord_decisions.iter().map(|(t, p)| (*t, p.clone())).collect(),
+            // Captured after flush_all, while `&mut self` excludes
+            // writers: the disk images are the state at CheckpointBegin.
+            values: self.disk.non_initial_values()?,
         };
         let end = self.log.append(
             TxnId::NONE,
@@ -916,6 +983,74 @@ impl RhDb {
     /// The decisions currently carried into checkpoints (test hook).
     pub fn coord_decisions(&self) -> Vec<(TxnId, Vec<u32>)> {
         self.coord_decisions.iter().map(|(t, p)| (*t, p.clone())).collect()
+    }
+}
+
+/// Parses an LSN path segment: a decimal LSN, or the literal `now` for
+/// "the log's last record".
+pub(crate) fn parse_lsn_segment(s: &str) -> Option<Lsn> {
+    if s == "now" {
+        return Some(Lsn::NULL);
+    }
+    s.parse::<u64>().ok().map(Lsn)
+}
+
+/// `/asof/<ob>/<lsn>`: the reenacted committed value at an LSN. `run`
+/// performs the replay and returns the reenactment plus the set of its
+/// in-doubt transactions some coordinator decision commits (always
+/// empty for a single-node engine; the sharded router stitches
+/// decisions across shard logs). Runs entirely off shared log + obs
+/// handles — the engine mutex (where one exists) is never involved.
+/// Malformed segments are a 400; an unanswerable target (truncated
+/// history) is a 400 carrying the reenactment error.
+pub(crate) fn introspect_asof(
+    rest: &str,
+    run: impl Fn(ObjectId, Lsn) -> Result<(crate::reenact::Reenactment, BTreeSet<TxnId>)>,
+) -> HttpResponse {
+    let mut it = rest.splitn(2, '/');
+    let ob = it.next().and_then(|s| s.parse::<u64>().ok());
+    let lsn = it.next().and_then(parse_lsn_segment);
+    let (Some(ob), Some(lsn)) = (ob, lsn) else {
+        return HttpResponse::bad_request(
+            "expected /asof/<ob>/<lsn> with numeric segments (or \"now\" for the lsn)",
+        );
+    };
+    match run(ObjectId(ob), lsn) {
+        Ok((r, decided)) => HttpResponse::Json(JsonValue::obj(vec![
+            ("object", JsonValue::U64(ob)),
+            ("as_of", JsonValue::U64(r.as_of.raw())),
+            ("value", JsonValue::I64(r.value_with(|t| decided.contains(&t)))),
+            (
+                "seeded_from",
+                match r.seeded_from {
+                    Some(l) => JsonValue::U64(l.raw()),
+                    None => JsonValue::Null,
+                },
+            ),
+            (
+                "in_doubt",
+                JsonValue::Arr(r.in_doubt.iter().map(|d| JsonValue::U64(d.txn.raw())).collect()),
+            ),
+        ])),
+        Err(e) => HttpResponse::bad_request(e.to_string()),
+    }
+}
+
+/// `/history/<ob>`: the full `history.v1` version timeline up to the
+/// log's last record. Same mutex-free discipline and `run` contract as
+/// [`introspect_asof`].
+pub(crate) fn introspect_history(
+    rest: &str,
+    run: impl Fn(ObjectId, Lsn) -> Result<(crate::reenact::Reenactment, BTreeSet<TxnId>)>,
+) -> HttpResponse {
+    let Ok(ob) = rest.parse::<u64>() else {
+        return HttpResponse::bad_request("object id must be numeric");
+    };
+    match run(ObjectId(ob), Lsn::NULL) {
+        Ok((r, decided)) => {
+            HttpResponse::Json(r.to_json_range(Lsn::FIRST, r.as_of, |t| decided.contains(&t)))
+        }
+        Err(e) => HttpResponse::bad_request(e.to_string()),
     }
 }
 

@@ -56,6 +56,12 @@ struct OracleOp {
     responsible: Label,
     /// Still undoable: neither committed (made permanent) nor undone.
     live: bool,
+    /// The object's value right after this update applied — the
+    /// at-the-time value a reenacted version record must report.
+    value_after: Value,
+    /// Resolved by a commit of its responsible transaction (as opposed
+    /// to dead because it was undone).
+    committed: bool,
 }
 
 /// The log-free reference implementation of §2.1 semantics.
@@ -111,8 +117,43 @@ impl Oracle {
 
     fn apply_update(&mut self, t: Label, ob: ObjectId, op: UpdateOp) {
         let cur = self.value(ob);
-        self.values.insert(ob, op.apply(cur));
-        self.ops.push(OracleOp { ob, op, responsible: t, live: true });
+        let after = op.apply(cur);
+        self.values.insert(ob, after);
+        self.ops.push(OracleOp {
+            ob,
+            op,
+            responsible: t,
+            live: true,
+            value_after: after,
+            committed: false,
+        });
+    }
+
+    /// The **committed-state** value of `ob` at this instant of the
+    /// history: the current value with every still-live (uncommitted)
+    /// update undone, newest first — exactly what crash recovery would
+    /// leave, and therefore what a time-travel `read_as_of` targeting
+    /// this instant must answer.
+    pub fn value_as_of(&self, ob: ObjectId) -> Value {
+        let mut v = self.value(ob);
+        for o in self.ops.iter().rev() {
+            if o.live && o.ob == ob {
+                v = o.op.undo(v);
+            }
+        }
+        v
+    }
+
+    /// The committed version timeline of `ob`: one `(responsible label,
+    /// at-the-time value)` pair per committed update, in invocation
+    /// order — the oracle's side of the reenactment `history()` check.
+    /// Undone updates (abort, rollback, crash) never appear.
+    pub fn versions(&self, ob: ObjectId) -> Vec<(Label, Value)> {
+        self.ops
+            .iter()
+            .filter(|o| o.committed && o.ob == ob)
+            .map(|o| (o.responsible, o.value_after))
+            .collect()
     }
 
     /// Undoes (in reverse execution order) every live op for which a
@@ -165,6 +206,7 @@ impl Oracle {
                 for o in &mut self.ops {
                     if o.live && o.responsible == *t {
                         o.live = false;
+                        o.committed = true;
                     }
                 }
             }
@@ -586,6 +628,55 @@ mod tests {
             Event::Abort(1), // -101, keeping t2's +10
         ]);
         assert_eq!(o.value(A), 10);
+    }
+
+    #[test]
+    fn value_as_of_excludes_live_updates() {
+        let mut o = Oracle::new();
+        for ev in [
+            Event::Begin(1),
+            Event::Begin(2),
+            Event::Add(1, A, 5),
+            Event::Commit(1),
+            Event::Add(2, A, 100),
+        ] {
+            o.apply(&ev);
+        }
+        // The raw map sees t2's live +100; the committed state does not.
+        assert_eq!(o.value(A), 105);
+        assert_eq!(o.value_as_of(A), 5);
+        o.apply(&Event::Commit(2));
+        assert_eq!(o.value_as_of(A), 105);
+    }
+
+    #[test]
+    fn versions_record_at_the_time_values_and_final_responsibility() {
+        let o = Oracle::run(&[
+            Event::Begin(1),
+            Event::Begin(2),
+            Event::Add(1, A, 1),
+            Event::Add(2, A, 10),
+            Event::Delegate(1, 2, vec![A]),
+            Event::Commit(1), // commits nothing on A: responsibility moved
+            Event::Commit(2),
+        ]);
+        // Both updates resolve through t2, each with the value the
+        // object held right after it applied.
+        assert_eq!(o.versions(A), vec![(2, 1), (2, 11)]);
+    }
+
+    #[test]
+    fn undone_updates_never_become_versions() {
+        let o = Oracle::run(&[
+            Event::Begin(1),
+            Event::Begin(2),
+            Event::Add(1, A, 1),
+            Event::Add(2, A, 10),
+            Event::Commit(2),
+            Event::Abort(1),
+        ]);
+        assert_eq!(o.versions(A), vec![(2, 11)]);
+        assert_eq!(o.value_as_of(A), 10);
     }
 
     #[test]

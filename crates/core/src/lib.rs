@@ -60,6 +60,7 @@ pub mod history;
 pub mod oblist;
 pub mod provenance;
 pub mod recovery;
+pub mod reenact;
 pub mod scope;
 pub mod sharded;
 pub mod txn_table;
@@ -70,5 +71,6 @@ pub use engine::{RhDb, Strategy};
 pub use flight::FlightRecorder;
 pub use history::{Event, Oracle};
 pub use provenance::{ProvHop, ProvenanceTable};
+pub use reenact::{Reenactment, VersionRecord};
 pub use scope::Scope;
 pub use sharded::{ShardMap, ShardedDb, TwoPcFault};

@@ -1,0 +1,898 @@
+//! Time-travel reads and reenactment audit (ROADMAP item 5a).
+//!
+//! Delegation's premise is that history is *interpreted*, never
+//! rewritten: the log keeps saying "T1 wrote X at LSN l" while the scope
+//! tables decide who answers for it. That means the WAL — plus the
+//! checkpointed scope tables and the provenance chains — already contains
+//! everything needed to answer "what was this object's value as of LSN L,
+//! and who was responsible for it". This module turns that observation
+//! into a queryable surface, in the spirit of reenactment query
+//! processing (Arab et al., arXiv:1608.08258): [`replay`] reconstructs an
+//! object's state at any retained LSN by replaying the log through a
+//! *shadow* scope table, without ever touching live pages or the live
+//! engine state.
+//!
+//! ## Algorithm
+//!
+//! 1. **Seed.** Scan backward from the target LSN for the newest
+//!    decodable `CheckpointEnd` at-or-below it. Its snapshot provides the
+//!    object's value at checkpoint time (the checkpoint captures a value
+//!    overlay right after its `flush_all`, while the engine is
+//!    exclusively held — so the overlay *is* the database state at
+//!    `CheckpointBegin`), the transaction table with its scope-bearing
+//!    Ob_Lists, the compensated-LSN set, and the provenance chains. With
+//!    no checkpoint below the target the replay seeds from the log's
+//!    first record and the initial value — correct whenever the log was
+//!    never truncated, an error otherwise.
+//! 2. **Replay.** Scan forward to the target, repeating history on the
+//!    one object: every `Update`/`Clr` on it is applied in LSN order, so
+//!    the running value at LSN L equals the page state a crash-recovery
+//!    at L would rebuild. Commit, abort, prepare, and delegate records
+//!    drive the shadow transaction table exactly as the recovery forward
+//!    pass does; a delegate additionally retargets the *pending* (not yet
+//!    committed) updates of the delegator to the delegatee, recording the
+//!    hop on each — that is the per-version provenance trail.
+//! 3. **Resolve.** A commit freezes the committer's un-compensated
+//!    pending updates into [`VersionRecord`]s. Updates still owned by an
+//!    active transaction at the target become the *undo set*: the
+//!    as-of value is the all-applied value with those ops undone in
+//!    reverse LSN order — precisely what recovery's backward pass would
+//!    do, so `read_as_of(ob, L)` equals the committed state a crash at L
+//!    recovers. Prepared-but-undecided transactions are reported as
+//!    [`InDoubt`]: the caller decides their fate (the sharded router
+//!    consults other shards' durable `CoordCommit` records, stitching
+//!    cross-shard histories by global transaction id; a standalone engine
+//!    presumes abort, like recovery).
+//!
+//! Updates that precede the seeding checkpoint but belong to scopes still
+//! live at it are reconstructed by a bounded pre-seed scan: the records
+//! are guaranteed readable (log truncation never passes the oldest live
+//! scope), and their at-the-time values are recovered by *undoing* the
+//! suffix of operations between them and the checkpoint — `UpdateOp::undo`
+//! is exact, so the overlay plus the op sequence determines every
+//! intermediate value.
+
+use crate::checkpoint::CheckpointSnapshot;
+use crate::provenance::{ProvHop, ProvenanceTable};
+use crate::txn_table::{TrList, TxnStatus};
+use rh_common::codec::Codec;
+use rh_common::{Lsn, ObjectId, Result, RhError, TxnId, UpdateOp, Value};
+use rh_obs::JsonValue;
+use rh_wal::record::{DelegateBody, RecordBody};
+use rh_wal::LogManager;
+use std::collections::HashSet;
+
+/// One committed version of an object: an update stitched with its full
+/// responsibility trail.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VersionRecord {
+    /// LSN of the update record that produced this version.
+    pub lsn: Lsn,
+    /// The object's value immediately after the update applied.
+    pub value: Value,
+    /// The transaction that physically logged the update.
+    pub invoker: TxnId,
+    /// The transaction that answered for it at commit time (differs from
+    /// `invoker` exactly when the update was delegated).
+    pub responsible: TxnId,
+    /// LSN of the commit record that made this version durable truth
+    /// (for a cross-shard decision, the local `Prepare` LSN).
+    pub committed_at: Lsn,
+    /// The delegation hops that moved responsibility from `invoker` to
+    /// `responsible`, in log order (empty when never delegated).
+    pub hops: Vec<ProvHop>,
+    /// The originating trace id, when the commit was stitched to a
+    /// request trace (filled by the engine from the tracer ring; `None`
+    /// in pure log replay).
+    pub trace: Option<u64>,
+}
+
+impl VersionRecord {
+    /// Renders one `history.v1` version entry.
+    pub fn to_json(&self) -> JsonValue {
+        let mut fields = vec![
+            ("lsn", JsonValue::U64(self.lsn.raw())),
+            ("value", JsonValue::I64(self.value)),
+            ("invoker", JsonValue::U64(self.invoker.raw())),
+            ("responsible", JsonValue::U64(self.responsible.raw())),
+            ("committed_at", JsonValue::U64(self.committed_at.raw())),
+            ("hops", JsonValue::Arr(self.hops.iter().map(ProvHop::to_json).collect())),
+        ];
+        if let Some(t) = self.trace {
+            fields.push(("trace", JsonValue::U64(t)));
+        }
+        JsonValue::obj(fields)
+    }
+}
+
+/// A transaction prepared but undecided at the target LSN. Its effects
+/// are part of the all-applied value; the caller picks a fate.
+#[derive(Debug, Clone)]
+pub struct InDoubt {
+    /// The in-doubt transaction (a global id under 2PC).
+    pub txn: TxnId,
+    /// LSN of its `Prepare` record.
+    pub prepared_at: Lsn,
+    /// The versions its updates become if a coordinator committed it.
+    versions: Vec<VersionRecord>,
+    /// The `(lsn, op)` pairs to undo if it is presumed aborted.
+    undo: Vec<(Lsn, UpdateOp)>,
+}
+
+impl InDoubt {
+    /// The versions this transaction contributes if globally committed.
+    pub fn versions_if_committed(&self) -> &[VersionRecord] {
+        &self.versions
+    }
+}
+
+/// The result of reenacting one object up to a target LSN.
+#[derive(Debug, Clone)]
+pub struct Reenactment {
+    /// The object replayed.
+    pub ob: ObjectId,
+    /// The effective target LSN (clamped to the last record; `NULL` only
+    /// on an empty log).
+    pub as_of: Lsn,
+    /// LSN of the `CheckpointEnd` the replay seeded from, if any.
+    pub seeded_from: Option<Lsn>,
+    /// Transactions prepared but undecided at the target.
+    pub in_doubt: Vec<InDoubt>,
+    /// Log records visited (seek + replay + pre-seed reconstruction).
+    pub records_scanned: u64,
+    /// Committed versions in LSN order (commits at/below the target).
+    versions: Vec<VersionRecord>,
+    /// The value with *every* retained update applied (repeating
+    /// history), before loser/in-doubt undo.
+    value_all: Value,
+    /// Un-compensated updates of transactions still active at the
+    /// target, ascending by LSN.
+    loser_undo: Vec<(Lsn, UpdateOp)>,
+}
+
+impl Reenactment {
+    /// The committed value as of the target, presuming every in-doubt
+    /// transaction aborts — exactly what a crash at the target recovers
+    /// on a standalone engine.
+    pub fn value(&self) -> Value {
+        self.value_with(|_| false)
+    }
+
+    /// The committed value as of the target, with `decided` answering
+    /// whether an in-doubt transaction was globally committed.
+    pub fn value_with(&self, decided: impl Fn(TxnId) -> bool) -> Value {
+        let mut undo: Vec<(Lsn, UpdateOp)> = self.loser_undo.clone();
+        for d in &self.in_doubt {
+            if !decided(d.txn) {
+                undo.extend(d.undo.iter().cloned());
+            }
+        }
+        // Reverse LSN order, like recovery's backward pass.
+        undo.sort_by_key(|&(l, _)| std::cmp::Reverse(l));
+        let mut v = self.value_all;
+        for (_, op) in &undo {
+            v = op.undo(v);
+        }
+        v
+    }
+
+    /// Committed versions in LSN order, presuming in-doubt aborts.
+    pub fn versions(&self) -> Vec<VersionRecord> {
+        self.versions_with(|_| false)
+    }
+
+    /// Committed versions in LSN order, merging in the versions of
+    /// in-doubt transactions `decided` reports as globally committed.
+    pub fn versions_with(&self, decided: impl Fn(TxnId) -> bool) -> Vec<VersionRecord> {
+        let mut out = self.versions.clone();
+        for d in &self.in_doubt {
+            if decided(d.txn) {
+                out.extend(d.versions.iter().cloned());
+            }
+        }
+        out.sort_by_key(|v| v.lsn);
+        out
+    }
+
+    /// Renders the `history.v1` artifact for this replay, restricting
+    /// versions to update LSNs within `[from, to]` (pass `Lsn::FIRST`
+    /// and the target to keep everything). `decided` resolves in-doubt
+    /// transactions, as in [`Self::versions_with`].
+    pub fn to_json_range(&self, from: Lsn, to: Lsn, decided: impl Fn(TxnId) -> bool) -> JsonValue {
+        let versions: Vec<JsonValue> = self
+            .versions_with(&decided)
+            .iter()
+            .filter(|v| v.lsn >= from && v.lsn <= to)
+            .map(VersionRecord::to_json)
+            .collect();
+        JsonValue::obj(vec![
+            ("schema", JsonValue::Str("history.v1".to_string())),
+            ("object", JsonValue::U64(self.ob.raw())),
+            ("as_of", JsonValue::U64(self.as_of.raw())),
+            ("value", JsonValue::I64(self.value_with(&decided))),
+            (
+                "seeded_from",
+                match self.seeded_from {
+                    Some(l) => JsonValue::U64(l.raw()),
+                    None => JsonValue::Null,
+                },
+            ),
+            (
+                "in_doubt",
+                JsonValue::Arr(self.in_doubt.iter().map(|d| JsonValue::U64(d.txn.raw())).collect()),
+            ),
+            ("versions", JsonValue::Arr(versions)),
+        ])
+    }
+}
+
+/// An update replayed but not yet resolved by a commit/abort.
+struct Pending {
+    lsn: Lsn,
+    value_after: Value,
+    invoker: TxnId,
+    /// The transaction currently answering for it (moves on delegate).
+    owner: TxnId,
+    op: UpdateOp,
+    hops: Vec<ProvHop>,
+}
+
+/// A transaction whose resolution needs pre-seed scope reconstruction:
+/// `committed_at` is `Some(lsn)` for winners, `None` for losers and
+/// in-doubt transactions (whose ops join an undo set instead).
+struct PreSeedNeed {
+    txn: TxnId,
+    committed_at: Option<Lsn>,
+    scopes: Vec<crate::scope::Scope>,
+}
+
+fn ensure_txn(tr: &mut TrList, txn: TxnId, lsn: Lsn) {
+    if !tr.contains(txn) {
+        tr.insert(txn, lsn);
+    }
+}
+
+/// Walks `ob`'s provenance chain to reconstruct the hop trail of an
+/// update invoked by `invoker` at `lsn`, following transfers up to
+/// `until` (the resolution LSN). A hop moves every scope its `from`
+/// holds, so the trail follows `from == current owner`.
+fn hops_for(
+    prov: &ProvenanceTable,
+    ob: ObjectId,
+    invoker: TxnId,
+    lsn: Lsn,
+    until: Lsn,
+) -> Vec<ProvHop> {
+    let mut owner = invoker;
+    let mut hops = Vec::new();
+    for hop in prov.chain(ob) {
+        if hop.lsn > lsn && hop.lsn <= until && hop.from == owner {
+            hops.push(*hop);
+            owner = hop.to;
+        }
+    }
+    hops
+}
+
+/// Reenacts `ob` up to `as_of` (inclusive; `Lsn::NULL` means the log's
+/// last record) against `log` alone — live pages and live engine state
+/// are never consulted, so this can run concurrently with a loaded
+/// engine. Errors with [`RhError::Reenact`] when the target precedes the
+/// retained log and no surviving checkpoint covers it.
+pub fn replay(log: &LogManager, ob: ObjectId, as_of: Lsn) -> Result<Reenactment> {
+    let last = log.last_lsn();
+    let mut scanned: u64 = 0;
+    if last.is_null() {
+        // Empty log: the object is at its initial value, no history.
+        return Ok(Reenactment {
+            ob,
+            as_of: Lsn::NULL,
+            seeded_from: None,
+            in_doubt: Vec::new(),
+            records_scanned: 0,
+            versions: Vec::new(),
+            value_all: rh_storage::Page::INITIAL_VALUE,
+            loser_undo: Vec::new(),
+        });
+    }
+    let as_of = if as_of.is_null() || as_of > last { last } else { as_of };
+    let first = log.first_lsn();
+
+    // ---- seed: newest decodable CheckpointEnd at-or-below the target --
+    let mut seed: Option<(Lsn, CheckpointSnapshot)> = None;
+    let mut cursor = as_of;
+    while !cursor.is_null() && cursor >= first {
+        let rec = log.read(cursor)?;
+        scanned += 1;
+        if let RecordBody::CheckpointEnd { payload } = &rec.body {
+            if let Ok(snap) = CheckpointSnapshot::from_bytes(payload) {
+                seed = Some((cursor, snap));
+                break;
+            }
+        }
+        cursor = cursor.prev();
+    }
+    if seed.is_none() && first > Lsn::FIRST {
+        return Err(RhError::Reenact {
+            as_of,
+            reason: "target precedes the retained log and no checkpoint survives at-or-below it",
+        });
+    }
+
+    let (scan_from, seed_val, mut tr, mut compensated, mut prov, seeded_from) = match seed {
+        Some((cl, snap)) => {
+            let v = snap
+                .values
+                .iter()
+                .find(|(o, _)| *o == ob)
+                .map(|&(_, v)| v)
+                .unwrap_or(rh_storage::Page::INITIAL_VALUE);
+            let comp: HashSet<Lsn> = snap.compensated.iter().copied().collect();
+            (cl.next(), v, snap.tr_list, comp, snap.provenance, Some(cl))
+        }
+        None => (
+            first,
+            rh_storage::Page::INITIAL_VALUE,
+            TrList::new(),
+            HashSet::new(),
+            ProvenanceTable::new(),
+            None,
+        ),
+    };
+
+    // ---- replay: repeat history on this one object ---------------------
+    let mut val = seed_val;
+    let mut pending: Vec<Pending> = Vec::new();
+    let mut versions: Vec<VersionRecord> = Vec::new();
+    let mut needs: Vec<PreSeedNeed> = Vec::new();
+    let mut in_doubt: Vec<InDoubt> = Vec::new();
+
+    // Scopes on `ob` reaching back before the seed, captured at the
+    // moment the owning transaction resolves (commit) or at scan end
+    // (active/prepared) — resolved by the pre-seed pass below.
+    let pre_seed_scopes = |tr: &TrList, t: TxnId, scan_from: Lsn| -> Vec<crate::scope::Scope> {
+        tr.get(t)
+            .ok()
+            .and_then(|e| e.ob_list.get(ob))
+            .map(|e| e.scopes.iter().filter(|s| s.first < scan_from).copied().collect())
+            .unwrap_or_default()
+    };
+
+    let mut lsn = scan_from;
+    while !lsn.is_null() && lsn <= as_of {
+        let rec = log.read(lsn)?;
+        scanned += 1;
+        match &rec.body {
+            RecordBody::Begin => ensure_txn(&mut tr, rec.txn, lsn),
+            RecordBody::Update { ob: o, op } => {
+                ensure_txn(&mut tr, rec.txn, lsn);
+                tr.set_bc(rec.txn, lsn)?;
+                tr.get_mut(rec.txn)?.ob_list.record_update(*o, rec.txn, lsn);
+                if *o == ob {
+                    val = op.apply(val);
+                    pending.push(Pending {
+                        lsn,
+                        value_after: val,
+                        invoker: rec.txn,
+                        owner: rec.txn,
+                        op: *op,
+                        hops: Vec::new(),
+                    });
+                }
+            }
+            RecordBody::Clr { ob: o, op, compensated: c, .. } => {
+                ensure_txn(&mut tr, rec.txn, lsn);
+                tr.set_bc(rec.txn, lsn)?;
+                compensated.insert(*c);
+                if *o == ob {
+                    val = op.apply(val);
+                }
+            }
+            RecordBody::Delegate { tee, body, .. } => {
+                ensure_txn(&mut tr, rec.txn, lsn);
+                ensure_txn(&mut tr, *tee, lsn);
+                let objects: Vec<ObjectId> = match body {
+                    DelegateBody::Objects(objs) => objs.clone(),
+                    DelegateBody::All => tr.get(rec.txn)?.ob_list.objects().collect(),
+                };
+                for o in objects {
+                    if let Some(entry) = tr.get_mut(rec.txn)?.ob_list.take(o) {
+                        tr.get_mut(*tee)?.ob_list.absorb(o, entry, rec.txn);
+                        prov.record_hop(o, rec.txn, *tee, lsn);
+                        if o == ob {
+                            // Responsibility for the pending updates of
+                            // the delegator moves to the delegatee.
+                            for p in pending.iter_mut().filter(|p| p.owner == rec.txn) {
+                                p.owner = *tee;
+                                p.hops.push(ProvHop { from: rec.txn, to: *tee, lsn });
+                            }
+                        }
+                    }
+                }
+                tr.set_bc(rec.txn, lsn)?;
+                tr.set_bc(*tee, lsn)?;
+            }
+            RecordBody::Commit | RecordBody::CoordCommit { .. } => {
+                ensure_txn(&mut tr, rec.txn, lsn);
+                tr.set_bc(rec.txn, lsn)?;
+                let scopes = pre_seed_scopes(&tr, rec.txn, scan_from);
+                if !scopes.is_empty() {
+                    needs.push(PreSeedNeed { txn: rec.txn, committed_at: Some(lsn), scopes });
+                }
+                tr.get_mut(rec.txn)?.status = TxnStatus::Committed;
+                let mut kept = Vec::with_capacity(pending.len());
+                for p in pending.drain(..) {
+                    if p.owner == rec.txn {
+                        if !compensated.contains(&p.lsn) {
+                            versions.push(VersionRecord {
+                                lsn: p.lsn,
+                                value: p.value_after,
+                                invoker: p.invoker,
+                                responsible: rec.txn,
+                                committed_at: lsn,
+                                hops: p.hops,
+                                trace: None,
+                            });
+                        }
+                    } else {
+                        kept.push(p);
+                    }
+                }
+                pending = kept;
+            }
+            RecordBody::Abort => {
+                ensure_txn(&mut tr, rec.txn, lsn);
+                tr.set_bc(rec.txn, lsn)?;
+                let entry = tr.get_mut(rec.txn)?;
+                entry.status = TxnStatus::Aborted;
+                // The abort record follows the CLRs that undid every
+                // responsible update — those pendings are already
+                // re-reversed in `val`, so they simply disappear.
+                entry.ob_list = crate::oblist::ObList::new();
+                pending.retain(|p| p.owner != rec.txn);
+            }
+            RecordBody::End => {
+                tr.remove(rec.txn);
+            }
+            RecordBody::Prepare => {
+                ensure_txn(&mut tr, rec.txn, lsn);
+                tr.set_bc(rec.txn, lsn)?;
+                tr.get_mut(rec.txn)?.status = TxnStatus::Prepared;
+            }
+            RecordBody::CheckpointBegin | RecordBody::CheckpointEnd { .. } => {}
+        }
+        lsn = lsn.next();
+    }
+
+    // ---- unresolved transactions at the target -------------------------
+    let mut loser_undo: Vec<(Lsn, UpdateOp)> = Vec::new();
+    for (t, e) in tr.iter() {
+        match e.status {
+            TxnStatus::Active => {
+                let scopes = pre_seed_scopes(&tr, t, scan_from);
+                if !scopes.is_empty() {
+                    needs.push(PreSeedNeed { txn: t, committed_at: None, scopes });
+                }
+            }
+            TxnStatus::Prepared => {
+                let scopes = pre_seed_scopes(&tr, t, scan_from);
+                let prepared_at = e.last_lsn;
+                let mut d = InDoubt { txn: t, prepared_at, versions: Vec::new(), undo: Vec::new() };
+                for p in pending.iter().filter(|p| p.owner == t) {
+                    if !compensated.contains(&p.lsn) {
+                        d.versions.push(VersionRecord {
+                            lsn: p.lsn,
+                            value: p.value_after,
+                            invoker: p.invoker,
+                            responsible: t,
+                            committed_at: prepared_at,
+                            hops: p.hops.clone(),
+                            trace: None,
+                        });
+                        d.undo.push((p.lsn, p.op));
+                    }
+                }
+                if !scopes.is_empty() {
+                    needs.push(PreSeedNeed { txn: t, committed_at: None, scopes });
+                }
+                in_doubt.push(d);
+            }
+            TxnStatus::Committed | TxnStatus::Aborted => {}
+        }
+    }
+    for p in pending.iter() {
+        let active = tr.get(p.owner).map(|e| e.status == TxnStatus::Active).unwrap_or(false);
+        if active && !compensated.contains(&p.lsn) {
+            loser_undo.push((p.lsn, p.op));
+        }
+    }
+
+    // ---- pre-seed reconstruction ---------------------------------------
+    // Scopes alive at the checkpoint can cover updates behind the seed.
+    // Their records are retained (truncation never passes the oldest
+    // live scope), and their at-the-time values follow by undoing the
+    // op suffix between them and the checkpoint's value overlay.
+    if !needs.is_empty() {
+        let start = needs
+            .iter()
+            .flat_map(|n| n.scopes.iter().map(|s| s.first))
+            .min()
+            .unwrap_or(scan_from)
+            .max(first);
+        // All ops on `ob` in [start, scan_from), in LSN order.
+        let mut pre_ops: Vec<(Lsn, TxnId, UpdateOp, bool)> = Vec::new();
+        let mut l = start;
+        while !l.is_null() && l < scan_from {
+            let rec = log.read(l)?;
+            scanned += 1;
+            match &rec.body {
+                RecordBody::Update { ob: o, op } if *o == ob => {
+                    pre_ops.push((l, rec.txn, *op, false));
+                }
+                RecordBody::Clr { ob: o, op, compensated: c, .. } if *o == ob => {
+                    compensated.insert(*c);
+                    pre_ops.push((l, rec.txn, *op, true));
+                }
+                _ => {}
+            }
+            l = l.next();
+        }
+        // Values at the time: walk backward from the seed value.
+        let mut value_after = vec![seed_val; pre_ops.len()];
+        let mut cur = seed_val;
+        for (i, (_, _, op, _)) in pre_ops.iter().enumerate().rev() {
+            value_after[i] = cur;
+            cur = op.undo(cur);
+        }
+        for need in &needs {
+            for (i, &(l, txn, op, is_clr)) in pre_ops.iter().enumerate() {
+                if is_clr || compensated.contains(&l) {
+                    continue;
+                }
+                if !need.scopes.iter().any(|s| s.invoker == txn && s.covers(l)) {
+                    continue;
+                }
+                match need.committed_at {
+                    Some(c) => versions.push(VersionRecord {
+                        lsn: l,
+                        value: value_after[i],
+                        invoker: txn,
+                        responsible: need.txn,
+                        committed_at: c,
+                        hops: hops_for(&prov, ob, txn, l, c),
+                        trace: None,
+                    }),
+                    None => {
+                        // Loser or in-doubt: joins the matching undo set.
+                        if let Some(d) = in_doubt.iter_mut().find(|d| d.txn == need.txn) {
+                            d.undo.push((l, op));
+                            d.versions.push(VersionRecord {
+                                lsn: l,
+                                value: value_after[i],
+                                invoker: txn,
+                                responsible: need.txn,
+                                committed_at: d.prepared_at,
+                                hops: hops_for(&prov, ob, txn, l, d.prepared_at),
+                                trace: None,
+                            });
+                        } else {
+                            loser_undo.push((l, op));
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    versions.sort_by_key(|v| v.lsn);
+    loser_undo.sort_by_key(|&(l, _)| l);
+    for d in &mut in_doubt {
+        d.versions.sort_by_key(|v| v.lsn);
+        d.undo.sort_by_key(|&(l, _)| l);
+    }
+
+    Ok(Reenactment {
+        ob,
+        as_of,
+        seeded_from,
+        in_doubt,
+        records_scanned: scanned,
+        versions,
+        value_all: val,
+        loser_undo,
+    })
+}
+
+/// The instrumented front door: [`replay`] plus `reenact.*` counters and
+/// trace stitching. Takes only the log and observability handles — both
+/// `Arc`-shared and internally synchronized — so the engine mutex is
+/// never held across a replay; the introspection server and the wire
+/// dispatch call this from captured handles.
+pub fn query(log: &LogManager, obs: &rh_obs::Obs, ob: ObjectId, as_of: Lsn) -> Result<Reenactment> {
+    let mut r = replay(log, ob, as_of)?;
+    obs.registry.inc(rh_obs::names::M_REENACT_QUERIES);
+    obs.registry.add(rh_obs::names::M_REENACT_RECORDS, r.records_scanned);
+    if r.seeded_from.is_some() {
+        obs.registry.inc(rh_obs::names::M_REENACT_SEEDED);
+    }
+    obs.registry.add(rh_obs::names::M_REENACT_VERSIONS, r.versions.len() as u64);
+    let events = obs.tracer.snapshot().events;
+    stitch_traces(&mut r.versions, &events);
+    for d in &mut r.in_doubt {
+        stitch_traces(&mut d.versions, &events);
+    }
+    Ok(r)
+}
+
+/// Fills each version's `trace` from a tracer snapshot: a version is
+/// stitched to the trace id of any `phase.*` point logged for its
+/// responsible transaction (the request-side spans of PR 7 put the trace
+/// id in `lsn_lo`).
+pub fn stitch_traces(versions: &mut [VersionRecord], events: &[rh_obs::trace::TraceEvent]) {
+    for v in versions.iter_mut() {
+        if v.trace.is_some() {
+            continue;
+        }
+        v.trace = events
+            .iter()
+            .find(|e| {
+                e.name.starts_with("phase.")
+                    && e.txn == v.responsible.raw()
+                    && e.lsn_lo != rh_obs::trace::NONE
+            })
+            .map(|e| e.lsn_lo);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::api::TxnEngine;
+    use crate::engine::{RhDb, Strategy};
+
+    const A: ObjectId = ObjectId(0);
+    const B: ObjectId = ObjectId(1);
+
+    fn db() -> RhDb {
+        RhDb::new(Strategy::Rh)
+    }
+
+    fn write(db: &mut RhDb, t: TxnId, ob: ObjectId, after: Value) {
+        TxnEngine::write(db, t, ob, after).expect("write");
+    }
+
+    #[test]
+    fn empty_log_reads_initial() {
+        let d = db();
+        let r = replay(d.log(), A, Lsn::NULL).unwrap();
+        assert_eq!(r.value(), rh_storage::Page::INITIAL_VALUE);
+        assert!(r.versions().is_empty());
+    }
+
+    #[test]
+    fn committed_updates_become_versions() {
+        let mut d = db();
+        let t = d.begin().unwrap();
+        write(&mut d, t, A, 10);
+        write(&mut d, t, A, 20);
+        d.commit(t).unwrap();
+        let r = replay(d.log(), A, Lsn::NULL).unwrap();
+        assert_eq!(r.value(), 20);
+        let vs = r.versions();
+        assert_eq!(vs.len(), 2);
+        assert_eq!((vs[0].value, vs[1].value), (10, 20));
+        assert_eq!(vs[0].invoker, t);
+        assert_eq!(vs[0].responsible, t);
+        assert!(vs[0].committed_at > vs[1].lsn);
+    }
+
+    #[test]
+    fn uncommitted_updates_are_undone() {
+        let mut d = db();
+        let t1 = d.begin().unwrap();
+        write(&mut d, t1, A, 10);
+        d.commit(t1).unwrap();
+        let t2 = d.begin().unwrap();
+        write(&mut d, t2, A, 99);
+        // t2 never commits: as-of "now" must still read 10.
+        let r = replay(d.log(), A, Lsn::NULL).unwrap();
+        assert_eq!(r.value(), 10);
+        assert_eq!(r.versions().len(), 1);
+    }
+
+    #[test]
+    fn read_as_of_sees_each_prefix() {
+        let mut d = db();
+        let t1 = d.begin().unwrap();
+        write(&mut d, t1, A, 5);
+        let c1 = d.commit_prepare(t1).unwrap();
+        let t2 = d.begin().unwrap();
+        write(&mut d, t2, A, 7);
+        let c2 = d.commit_prepare(t2).unwrap();
+        // Before t1's commit record: uncommitted → initial.
+        let r = replay(d.log(), A, c1.prev()).unwrap();
+        assert_eq!(r.value(), rh_storage::Page::INITIAL_VALUE);
+        // At t1's commit: 5. At t2's commit: 7.
+        assert_eq!(replay(d.log(), A, c1).unwrap().value(), 5);
+        assert_eq!(replay(d.log(), A, c2.prev()).unwrap().value(), 5);
+        assert_eq!(replay(d.log(), A, c2).unwrap().value(), 7);
+    }
+
+    #[test]
+    fn delegated_version_carries_hop_and_responsible() {
+        let mut d = db();
+        let t1 = d.begin().unwrap();
+        let t2 = d.begin().unwrap();
+        write(&mut d, t1, A, 42);
+        d.delegate(t1, t2, &[A]).unwrap();
+        d.commit(t1).unwrap(); // t1 commits but is no longer responsible for A
+        d.commit(t2).unwrap();
+        let r = replay(d.log(), A, Lsn::NULL).unwrap();
+        assert_eq!(r.value(), 42);
+        let vs = r.versions();
+        assert_eq!(vs.len(), 1);
+        assert_eq!(vs[0].invoker, t1);
+        assert_eq!(vs[0].responsible, t2);
+        assert_eq!(vs[0].hops.len(), 1);
+        assert_eq!((vs[0].hops[0].from, vs[0].hops[0].to), (t1, t2));
+    }
+
+    #[test]
+    fn delegatee_abort_undoes_delegated_update() {
+        let mut d = db();
+        let t1 = d.begin().unwrap();
+        let t2 = d.begin().unwrap();
+        write(&mut d, t1, A, 42);
+        d.delegate(t1, t2, &[A]).unwrap();
+        d.commit(t1).unwrap();
+        d.abort(t2).unwrap();
+        let r = replay(d.log(), A, Lsn::NULL).unwrap();
+        assert_eq!(r.value(), rh_storage::Page::INITIAL_VALUE);
+        assert!(r.versions().is_empty());
+    }
+
+    #[test]
+    fn checkpoint_seeds_value_and_preserves_versions_after_it() {
+        let mut d = db();
+        let t1 = d.begin().unwrap();
+        write(&mut d, t1, A, 10);
+        write(&mut d, t1, B, 3);
+        d.commit(t1).unwrap();
+        d.checkpoint().unwrap();
+        let t2 = d.begin().unwrap();
+        write(&mut d, t2, A, 20);
+        d.commit(t2).unwrap();
+        let r = replay(d.log(), A, Lsn::NULL).unwrap();
+        assert!(r.seeded_from.is_some());
+        assert_eq!(r.value(), 20);
+        // t1 committed before the seed: its version is summarized by the
+        // overlay; only t2's post-seed version is listed.
+        let vs = r.versions();
+        assert_eq!(vs.len(), 1);
+        assert_eq!(vs[0].value, 20);
+        assert_eq!(vs[0].responsible, t2);
+    }
+
+    #[test]
+    fn scope_straddling_checkpoint_reconstructs_pre_seed_versions() {
+        let mut d = db();
+        let t1 = d.begin().unwrap();
+        write(&mut d, t1, A, 10); // pre-seed update of a txn live at the checkpoint
+        d.checkpoint().unwrap();
+        write(&mut d, t1, A, 20);
+        d.commit(t1).unwrap();
+        let r = replay(d.log(), A, Lsn::NULL).unwrap();
+        assert!(r.seeded_from.is_some());
+        assert_eq!(r.value(), 20);
+        let vs = r.versions();
+        assert_eq!(vs.len(), 2, "pre-seed update of a straddling scope must be reconstructed");
+        assert_eq!((vs[0].value, vs[1].value), (10, 20));
+        assert_eq!(vs[0].responsible, t1);
+    }
+
+    #[test]
+    fn uncommitted_straddling_scope_is_undone_via_preseed_records() {
+        let mut d = db();
+        let t1 = d.begin().unwrap();
+        write(&mut d, t1, A, 10);
+        d.commit(t1).unwrap();
+        let t2 = d.begin().unwrap();
+        write(&mut d, t2, A, 99);
+        d.checkpoint().unwrap();
+        // The checkpoint overlay holds 99 (dirty value), but t2 never
+        // commits: the as-of value must fall back to 10.
+        let r = replay(d.log(), A, Lsn::NULL).unwrap();
+        assert!(r.seeded_from.is_some());
+        assert_eq!(r.value(), 10);
+    }
+
+    #[test]
+    fn truncated_log_before_any_checkpoint_errors() {
+        let mut d = db();
+        let t1 = d.begin().unwrap();
+        write(&mut d, t1, A, 10);
+        d.commit(t1).unwrap();
+        d.checkpoint().unwrap();
+        let cut = d.log().truncate_prefix(d.log().stable().master()).unwrap();
+        assert!(cut > 0);
+        let err = replay(d.log(), A, Lsn(0)).unwrap_err();
+        assert!(matches!(err, RhError::Reenact { .. }), "got {err:?}");
+        // But targets at/after the surviving checkpoint still answer.
+        assert_eq!(replay(d.log(), A, Lsn::NULL).unwrap().value(), 10);
+    }
+
+    #[test]
+    fn partial_rollback_excludes_compensated_updates() {
+        let mut d = db();
+        let t = d.begin().unwrap();
+        write(&mut d, t, A, 10);
+        let sp = d.savepoint(t).unwrap();
+        write(&mut d, t, A, 20);
+        d.rollback_to(t, sp).unwrap();
+        d.commit(t).unwrap();
+        let r = replay(d.log(), A, Lsn::NULL).unwrap();
+        assert_eq!(r.value(), 10);
+        let vs = r.versions();
+        assert_eq!(vs.len(), 1, "rolled-back update must not appear as a version");
+        assert_eq!(vs[0].value, 10);
+    }
+
+    #[test]
+    fn in_doubt_prepared_txn_is_reported_not_decided() {
+        let mut d = db();
+        let t1 = d.begin().unwrap();
+        write(&mut d, t1, A, 10);
+        d.commit(t1).unwrap();
+        let t2 = d.begin().unwrap();
+        write(&mut d, t2, A, 77);
+        d.prepare_commit(t2).unwrap();
+        let r = replay(d.log(), A, Lsn::NULL).unwrap();
+        assert_eq!(r.in_doubt.len(), 1);
+        assert_eq!(r.in_doubt[0].txn, t2);
+        // Presumed abort: 10. Decided commit: 77.
+        assert_eq!(r.value(), 10);
+        assert_eq!(r.value_with(|t| t == t2), 77);
+        assert_eq!(r.versions().len(), 1);
+        assert_eq!(r.versions_with(|t| t == t2).len(), 2);
+    }
+
+    #[test]
+    fn matches_recovery_across_a_crash_boundary() {
+        // read_as_of is a pure function of the log prefix, so the answer
+        // at an LSN must be identical before and after a crash+recovery
+        // (recovery only appends CLRs with larger LSNs).
+        let mut d = db();
+        let t1 = d.begin().unwrap();
+        write(&mut d, t1, A, 10);
+        let c1 = d.commit_prepare(t1).unwrap();
+        let t2 = d.begin().unwrap();
+        write(&mut d, t2, A, 99);
+        d.log().flush_all().unwrap();
+        let before = replay(d.log(), A, c1).unwrap().value();
+        let (stable, disk) = d.crash();
+        let d2 =
+            RhDb::recover(Strategy::Rh, crate::engine::DbConfig::default(), stable, disk).unwrap();
+        let after = replay(d2.log(), A, c1).unwrap().value();
+        assert_eq!(before, 10);
+        assert_eq!(before, after);
+        // And at the post-recovery tip the loser's effect is gone.
+        assert_eq!(replay(d2.log(), A, Lsn::NULL).unwrap().value(), 10);
+    }
+
+    #[test]
+    fn history_json_has_v1_schema_shape() {
+        let mut d = db();
+        let t = d.begin().unwrap();
+        write(&mut d, t, A, 10);
+        d.commit(t).unwrap();
+        let r = replay(d.log(), A, Lsn::NULL).unwrap();
+        let j = r.to_json_range(Lsn::FIRST, r.as_of, |_| false);
+        assert_eq!(j.get("schema").and_then(JsonValue::as_str), Some("history.v1"));
+        assert_eq!(j.get("object").and_then(JsonValue::as_u64), Some(A.raw()));
+        assert_eq!(j.get("value").and_then(JsonValue::as_i64), Some(10));
+        let vs = j.get("versions").and_then(JsonValue::as_arr).unwrap();
+        assert_eq!(vs.len(), 1);
+        assert_eq!(vs[0].get("value").and_then(JsonValue::as_i64), Some(10));
+        assert!(vs[0].get("hops").is_some());
+    }
+}

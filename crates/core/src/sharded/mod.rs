@@ -55,7 +55,9 @@ use crate::api::TxnEngine;
 use crate::engine::{DbConfig, RhDb, Strategy};
 use crate::provenance::{ProvHop, ProvenanceTable};
 use crate::recovery::RecoveryReport;
+use crate::reenact::{self, Reenactment, VersionRecord};
 use parking_lot::Mutex;
+use rh_common::codec::Codec;
 use rh_common::ops::Value;
 use rh_common::{Lsn, ObjectId, Result, RhError, TxnId};
 use rh_lock::LockManager;
@@ -988,6 +990,44 @@ impl ShardedDb {
         JsonValue::Arr(self.shards.iter().map(|c| c.prov.lock().to_json()).collect())
     }
 
+    // ---- time travel ---------------------------------------------------
+
+    /// Time-travel read routed to `ob`'s owning shard: the value the
+    /// committed state held at `as_of` on that shard's log (`Lsn::NULL`
+    /// means the log tail). Replays the owning shard's log only — no
+    /// engine mutex is taken — and resolves transactions left in doubt
+    /// (2PC-prepared) at `as_of` by stitching across shards: a global
+    /// transaction counts as committed iff *any* shard's log (or a
+    /// checkpoint-carried decision) holds its `CoordCommit` record,
+    /// exactly the rule crash recovery applies.
+    pub fn read_as_of(&self, ob: ObjectId, as_of: Lsn) -> Result<Value> {
+        let (r, decided) = self.reenact(ob, as_of)?;
+        Ok(r.value_with(|t| decided.contains(&t)))
+    }
+
+    /// The committed version timeline of `ob` with update LSNs in
+    /// `[from, to]` on its owning shard, cross-shard in-doubt
+    /// transactions resolved as in [`ShardedDb::read_as_of`].
+    pub fn history(&self, ob: ObjectId, from: Lsn, to: Lsn) -> Result<Vec<VersionRecord>> {
+        let (r, decided) = self.reenact(ob, to)?;
+        Ok(r.versions_with(|t| decided.contains(&t))
+            .into_iter()
+            .filter(|v| v.lsn >= from)
+            .collect())
+    }
+
+    /// The full reenactment of `ob` at `as_of` on its owning shard, plus
+    /// the set of its in-doubt transactions that some shard's durable
+    /// coordinator decision commits (empty when nothing was in doubt).
+    pub fn reenact(&self, ob: ObjectId, as_of: Lsn) -> Result<(Reenactment, BTreeSet<TxnId>)> {
+        let cell = &self.shards[self.map.shard_of(ob)];
+        let r = reenact::query(&cell.log, &cell.obs, ob, as_of)?;
+        let in_doubt: Vec<TxnId> = r.in_doubt.iter().map(|d| d.txn).collect();
+        let logs: Vec<&Arc<LogManager>> = self.shards.iter().map(|c| &c.log).collect();
+        let decided = coord_decisions_in(&logs, &in_doubt, &self.obs);
+        Ok((r, decided))
+    }
+
     /// Starts the live introspection endpoint on `addr` (use port 0 for
     /// ephemeral). Routes: `/stats` (merged registry, JSON), `/metrics`
     /// (the same registry in Prometheus text exposition), `/timeseries`
@@ -1029,7 +1069,16 @@ impl ShardedDb {
                 merged
             }
         };
-        let endpoints = ["/stats", "/metrics", "/timeseries", "/slowops", "/trace", "/provenance"];
+        let endpoints = [
+            "/stats",
+            "/metrics",
+            "/timeseries",
+            "/slowops",
+            "/trace",
+            "/provenance",
+            "/asof/<ob>/<lsn>",
+            "/history/<ob>",
+        ];
         let handler: rh_obs::Handler = {
             let merged_snapshot = merged_snapshot.clone();
             let router_obs = Arc::clone(&router_obs);
@@ -1078,12 +1127,42 @@ impl ShardedDb {
                     Some(HttpResponse::Json(JsonValue::Arr(tables)))
                 }
                 p => {
-                    let ob: u64 = p.strip_prefix("/provenance/")?.parse().ok()?;
-                    let (_, _, _, _, prov) = cells.get(map.shard_of(ObjectId(ob)))?;
-                    let chain = prov.lock();
-                    Some(HttpResponse::Json(JsonValue::Arr(
-                        chain.chain(ObjectId(ob)).iter().map(ProvHop::to_json).collect(),
-                    )))
+                    // Reenacts on the owning shard's log, stitching
+                    // in-doubt 2PC outcomes from every shard's durable
+                    // coordinator decisions — no engine mutex anywhere.
+                    let reenact = |ob: ObjectId, lsn: Lsn| {
+                        let (log, _, _, obs, _) = &cells[map.shard_of(ob)];
+                        let r = crate::reenact::query(log, obs, ob, lsn)?;
+                        let in_doubt: Vec<TxnId> = r.in_doubt.iter().map(|d| d.txn).collect();
+                        let logs: Vec<&Arc<LogManager>> =
+                            cells.iter().map(|(log, _, _, _, _)| log).collect();
+                        let decided = coord_decisions_in(&logs, &in_doubt, &router_obs);
+                        Ok((r, decided))
+                    };
+                    if let Some(rest) = p.strip_prefix("/asof/") {
+                        Some(crate::engine::introspect_asof(rest, reenact))
+                    } else if let Some(rest) = p.strip_prefix("/history/") {
+                        Some(crate::engine::introspect_history(rest, reenact))
+                    } else if let Some(rest) = p.strip_prefix("/provenance/") {
+                        // Malformed segments are a 400, not a 404: the
+                        // route shape matched, the parameter did not.
+                        match rest.parse::<u64>() {
+                            Ok(ob) => {
+                                let (_, _, _, _, prov) = &cells[map.shard_of(ObjectId(ob))];
+                                let chain = prov.lock();
+                                Some(HttpResponse::Json(JsonValue::Arr(
+                                    chain
+                                        .chain(ObjectId(ob))
+                                        .iter()
+                                        .map(ProvHop::to_json)
+                                        .collect(),
+                                )))
+                            }
+                            Err(_) => Some(HttpResponse::bad_request("object id must be numeric")),
+                        }
+                    } else {
+                        None
+                    }
                 }
             })
         };
@@ -1119,6 +1198,50 @@ impl ShardedDb {
         self.stop_introspection();
         self.shards.into_iter().map(|cell| cell.engine.into_inner().crash()).collect()
     }
+}
+
+/// Scans every shard's log for coordinator decisions covering `txns`:
+/// durable-or-tail `CoordCommit` records, plus decisions carried in
+/// checkpoint snapshots (whose original records may lie behind a
+/// truncated prefix). This is the same union-of-decisions rule
+/// [`ShardedDb::recover`] applies to in-doubt transactions, evaluated
+/// against the logs alone so reenactment never takes an engine mutex.
+/// Each transaction resolved to *committed* bumps
+/// `reenact.cross_shard_decisions` on `obs`.
+fn coord_decisions_in(logs: &[&Arc<LogManager>], txns: &[TxnId], obs: &Obs) -> BTreeSet<TxnId> {
+    let mut decided = BTreeSet::new();
+    if txns.is_empty() {
+        return decided;
+    }
+    let want: BTreeSet<TxnId> = txns.iter().copied().collect();
+    for log in logs {
+        let last = log.last_lsn();
+        if last.is_null() {
+            continue;
+        }
+        // Best-effort per shard: a torn tail on one shard must not hide
+        // decisions readable from the others.
+        let _ = log.scan_forward(log.first_lsn(), last, |rec| {
+            match &rec.body {
+                rh_wal::record::RecordBody::CoordCommit { .. } if want.contains(&rec.txn) => {
+                    decided.insert(rec.txn);
+                }
+                rh_wal::record::RecordBody::CheckpointEnd { payload } => {
+                    if let Ok(snap) = crate::checkpoint::CheckpointSnapshot::from_bytes(payload) {
+                        for (txn, _participants) in &snap.coord_decisions {
+                            if want.contains(txn) {
+                                decided.insert(*txn);
+                            }
+                        }
+                    }
+                }
+                _ => {}
+            }
+            Ok(())
+        });
+    }
+    obs.registry.add(names::M_REENACT_CROSS_SHARD_DECISIONS, decided.len() as u64);
+    decided
 }
 
 impl TxnEngine for ShardedDb {

@@ -343,3 +343,72 @@ fn txn_ids_stay_global_across_recovery() {
     let t1 = db.begin().unwrap();
     assert!(t1.raw() > t0.raw(), "recovered router must not reissue {t0}");
 }
+
+// ---- time-travel reads across shards ----------------------------------
+
+#[test]
+fn read_as_of_resolves_in_doubt_from_the_coordinator_decision() {
+    let db = ShardedDb::new_mem(Strategy::Rh, 2, 0);
+    let t = db.begin().unwrap();
+    db.write(t, OB_A, 21).unwrap();
+    db.write(t, OB_B, 23).unwrap();
+    // Decision durable on shard 0 (the coordinator); shard 1 is left
+    // Prepared with no local Commit record — in doubt.
+    db.inject_fault(TwoPcFault::AfterCoordCommit);
+    assert!(db.commit(t).is_err());
+    assert_eq!(db.in_doubt(), vec![(1, t)]);
+
+    // Reenacting shard 1's object must stitch the outcome from shard
+    // 0's CoordCommit by global txn id: the write counts as committed.
+    assert_eq!(db.read_as_of(OB_B, rh_common::Lsn::NULL).unwrap(), 23);
+    assert!(counter(&db, "reenact.cross_shard_decisions") >= 1);
+    // The coordinator's own log holds the decision, so its object never
+    // needs stitching.
+    assert_eq!(db.read_as_of(OB_A, rh_common::Lsn::NULL).unwrap(), 21);
+
+    // history() resolves the same way and carries the responsible txn.
+    let versions = db.history(OB_B, rh_common::Lsn::FIRST, rh_common::Lsn::NULL).unwrap();
+    assert_eq!(versions.len(), 1);
+    assert_eq!(versions[0].value, 23);
+    assert_eq!(versions[0].responsible, t);
+}
+
+#[test]
+fn read_as_of_presumes_abort_when_no_decision_exists() {
+    let db = ShardedDb::new_mem(Strategy::Rh, 2, 0);
+    let t = db.begin().unwrap();
+    db.write(t, OB_A, 31).unwrap();
+    db.write(t, OB_B, 33).unwrap();
+    // Shard 1 prepared, but the commit point was never reached: no
+    // shard's log holds a CoordCommit for `t`.
+    db.inject_fault(TwoPcFault::AfterPrepare(0));
+    assert!(db.commit(t).is_err());
+    assert_eq!(db.in_doubt(), vec![(1, t)]);
+
+    // Presumed abort: the in-doubt write must not surface.
+    assert_eq!(db.read_as_of(OB_B, rh_common::Lsn::NULL).unwrap(), 0);
+    assert_eq!(counter(&db, "reenact.cross_shard_decisions"), 0);
+    assert!(db.history(OB_B, rh_common::Lsn::FIRST, rh_common::Lsn::NULL).unwrap().is_empty());
+}
+
+#[test]
+fn read_as_of_survives_checkpointed_decisions_and_crash() {
+    let db = ShardedDb::new_mem(Strategy::Rh, 2, 0);
+    let t = db.begin().unwrap();
+    db.write(t, OB_A, 41).unwrap();
+    db.write(t, OB_B, 43).unwrap();
+    db.inject_fault(TwoPcFault::AfterCoordCommit);
+    assert!(db.commit(t).is_err());
+    // The sweep advances every shard's anchor; the decision now lives
+    // only inside the coordinator's checkpoint snapshot. Reenactment
+    // must still find it there.
+    db.checkpoint_all().unwrap();
+    assert_eq!(db.read_as_of(OB_B, rh_common::Lsn::NULL).unwrap(), 43);
+
+    // And after recovery resolves the in-doubt state for real, the
+    // time-travel answer is unchanged — the resolution Commit records
+    // now decide directly.
+    let db = db.crash_and_recover().unwrap();
+    assert_eq!(db.read_as_of(OB_B, rh_common::Lsn::NULL).unwrap(), 43);
+    assert_eq!(db.read_as_of(OB_A, rh_common::Lsn::NULL).unwrap(), 41);
+}

@@ -58,6 +58,15 @@ impl JsonValue {
         }
     }
 
+    /// The value as an i64, if it is an integer that fits.
+    pub fn as_i64(&self) -> Option<i64> {
+        match *self {
+            JsonValue::I64(v) => Some(v),
+            JsonValue::U64(v) => i64::try_from(v).ok(),
+            _ => None,
+        }
+    }
+
     /// The value as a string slice, if it is a string.
     pub fn as_str(&self) -> Option<&str> {
         match self {

@@ -124,6 +124,25 @@ pub const M_SLOWOPS_RECORDED: &str = "slowops.recorded";
 /// time-to-first-ack hook; observed once per recovered process).
 pub const M_RECOVERY_FIRST_ACK_US: &str = "recovery.first_ack_us";
 
+// ---- reenactment (time-travel reads) ----------------------------------
+
+/// Reenactment queries answered (`read_as_of` + `history`).
+pub const M_REENACT_QUERIES: &str = "reenact.queries";
+/// Log records visited by reenactment replays (seek + replay + pre-seed
+/// reconstruction).
+pub const M_REENACT_RECORDS: &str = "reenact.records_scanned";
+/// Replays that seeded from a checkpoint value overlay (the rest
+/// replayed from the log's first record).
+pub const M_REENACT_SEEDED: &str = "reenact.checkpoint_seeded";
+/// Committed versions returned by reenactment queries.
+pub const M_REENACT_VERSIONS: &str = "reenact.versions";
+/// In-doubt transactions a reenactment resolved against another shard's
+/// durable coordinator decision (cross-shard history stitching).
+pub const M_REENACT_CROSS_SHARD_DECISIONS: &str = "reenact.cross_shard_decisions";
+/// Audit reenactment queries whose answer disagreed with the
+/// acked-effects oracle (must stay zero).
+pub const M_AUDIT_DIVERGENCES: &str = "audit.divergences";
+
 // ---- time-series mark labels ------------------------------------------
 // Marks are sample annotations in the `/timeseries` ring: a sample taken
 // at a named moment rather than by the periodic cadence.

@@ -54,6 +54,18 @@ pub enum HttpResponse {
         /// The body.
         body: String,
     },
+    /// The path matched a known route shape but a segment was malformed
+    /// (e.g. a non-numeric object id or LSN): served as `400 Bad
+    /// Request` with a JSON error body — distinct from the `None` → 404
+    /// case, which means "no such route at all".
+    BadRequest(JsonValue),
+}
+
+impl HttpResponse {
+    /// A standard 400 body: `{error: <msg>}`.
+    pub fn bad_request(msg: impl Into<String>) -> HttpResponse {
+        HttpResponse::BadRequest(JsonValue::obj(vec![("error", JsonValue::Str(msg.into()))]))
+    }
 }
 
 /// The `Content-Type` `/metrics` responses should use (Prometheus text
@@ -150,6 +162,7 @@ fn route(request_line: &str, endpoints: &[String], handler: &Handler) -> String 
     match handler(path) {
         Some(HttpResponse::Json(body)) => respond_json("200 OK", &body),
         Some(HttpResponse::Text { content_type, body }) => respond("200 OK", content_type, &body),
+        Some(HttpResponse::BadRequest(body)) => respond_json("400 Bad Request", &body),
         None => respond_json(
             "404 Not Found",
             &JsonValue::obj(vec![
@@ -197,8 +210,12 @@ mod tests {
                 body: "# TYPE rh_up gauge\nrh_up 1\n".to_string(),
             }),
             p if p.starts_with("/provenance/") => {
-                let ob: u64 = p.trim_start_matches("/provenance/").parse().ok()?;
-                Some(HttpResponse::Json(JsonValue::obj(vec![("ob", JsonValue::U64(ob))])))
+                match p.trim_start_matches("/provenance/").parse::<u64>() {
+                    Ok(ob) => {
+                        Some(HttpResponse::Json(JsonValue::obj(vec![("ob", JsonValue::U64(ob))])))
+                    }
+                    Err(_) => Some(HttpResponse::bad_request("object id must be numeric")),
+                }
             }
             _ => None,
         })
@@ -253,6 +270,24 @@ mod tests {
         assert_eq!(listed, vec!["/stats", "/metrics"]);
         let (head, _) = request(server.local_addr(), "POST /stats HTTP/1.0\r\n\r\n");
         assert!(head.starts_with("HTTP/1.0 400"), "head: {head}");
+    }
+
+    #[test]
+    fn malformed_path_segment_is_400_with_json_error_not_404() {
+        let server = bind_test();
+        let (head, body) =
+            request(server.local_addr(), "GET /provenance/notanumber HTTP/1.0\r\n\r\n");
+        assert!(head.starts_with("HTTP/1.0 400"), "head: {head}");
+        assert!(head.contains("Content-Type: application/json"), "head: {head}");
+        let err = crate::json::parse(&body)
+            .expect("json body")
+            .get("error")
+            .and_then(JsonValue::as_str)
+            .map(str::to_string)
+            .expect("error field");
+        assert!(err.contains("numeric"), "error: {err}");
+        // A 400 is a route-shape match: it must not carry the 404 paths list.
+        assert!(crate::json::parse(&body).unwrap().get("paths").is_none());
     }
 
     #[test]

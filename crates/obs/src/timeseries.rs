@@ -296,6 +296,48 @@ mod tests {
     }
 
     #[test]
+    fn default_window_wraps_past_600_samples() {
+        let r = Registry::new();
+        let ts = TimeSeries::default();
+        assert_eq!(ts.window(), DEFAULT_WINDOW);
+        let extra = 50u64;
+        for i in 0..(DEFAULT_WINDOW as u64 + extra) {
+            r.set("i", i);
+            ts.sample(&r.snapshot());
+        }
+        // The ring stays bounded and keeps exactly the newest window.
+        assert_eq!(ts.len(), DEFAULT_WINDOW);
+        let samples = ts.snapshot();
+        assert_eq!(samples[0].counters[0].1, extra);
+        assert_eq!(samples[DEFAULT_WINDOW - 1].counters[0].1, DEFAULT_WINDOW as u64 + extra - 1);
+        // Wraparound preserves time order.
+        assert!(samples.windows(2).all(|w| w[0].at_us <= w[1].at_us));
+    }
+
+    #[test]
+    fn dropping_the_sampler_joins_its_thread_and_stops_ticking() {
+        let r = Arc::new(Registry::new());
+        let ts = Arc::new(TimeSeries::default());
+        let (r2, ts2) = (Arc::clone(&r), Arc::clone(&ts));
+        let sampler = Sampler::spawn_every(
+            Duration::from_millis(5),
+            Box::new(move || ts2.sample(&r2.snapshot())),
+        );
+        let sw = Stopwatch::start();
+        while ts.is_empty() && sw.elapsed() < Duration::from_secs(5) {
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        assert!(!ts.is_empty(), "sampler never ticked");
+        // Drop (not stop) must join the thread; afterwards the tick
+        // closure's Arcs are released and no further samples land.
+        drop(sampler);
+        assert_eq!(Arc::strong_count(&ts), 1, "drop did not release the tick closure");
+        let frozen = ts.len();
+        std::thread::sleep(Duration::from_millis(30));
+        assert_eq!(ts.len(), frozen, "sampler kept ticking after drop");
+    }
+
+    #[test]
     fn sampler_ticks_and_stops() {
         let r = Arc::new(Registry::new());
         let ts = Arc::new(TimeSeries::default());

@@ -221,7 +221,13 @@ fn txn_of(op: &Op) -> u64 {
         | Op::Abort(t)
         | Op::Savepoint(t)
         | Op::RollbackTo(t, _) => t.0,
-        Op::Begin | Op::ValueOf(_) | Op::Stats | Op::Ping | Op::Shutdown => rh_obs::trace::NONE,
+        Op::Begin
+        | Op::ValueOf(_)
+        | Op::ReadAsOf(..)
+        | Op::History(..)
+        | Op::Stats
+        | Op::Ping
+        | Op::Shutdown => rh_obs::trace::NONE,
     }
 }
 
@@ -240,6 +246,8 @@ fn op_name(op: &Op) -> &'static str {
         Op::Savepoint(..) => "savepoint",
         Op::RollbackTo(..) => "rollback_to",
         Op::ValueOf(..) => "value_of",
+        Op::ReadAsOf(..) => "read_as_of",
+        Op::History(..) => "history",
         Op::Stats => "stats",
         Op::Ping => "ping",
         Op::Shutdown => "shutdown",
@@ -345,6 +353,14 @@ fn execute(
         },
         Op::RollbackTo(t, token) => unit_reply(shared.backend.rollback_to(t, token)),
         Op::ValueOf(ob) => value_reply(shared.backend.value_of(ob)),
+        // Time-travel ops replay the WAL without any engine mutex (see
+        // `Backend::read_as_of`), so a deep-history reenactment never
+        // stalls concurrent writers.
+        Op::ReadAsOf(ob, as_of) => value_reply(shared.backend.read_as_of(ob, as_of, &shared.obs)),
+        Op::History(ob, from, to) => match shared.backend.history_json(ob, from, to, &shared.obs) {
+            Ok(json) => Reply::Ok(ReplyBody::Json(json)),
+            Err(e) => wire::error_reply(&e),
+        },
         Op::Stats => Reply::Ok(ReplyBody::Json(shared.backend.stats_json(&shared.obs))),
         Op::Ping | Op::Shutdown => Reply::Ok(ReplyBody::Unit),
     };

@@ -22,7 +22,7 @@ use crate::conn;
 use crate::wire;
 use parking_lot::{Condvar, Mutex};
 use rh_common::ops::Value;
-use rh_common::{ObjectId, Result, RhError, TxnId};
+use rh_common::{Lsn, ObjectId, Result, RhError, TxnId};
 use rh_core::engine::RhDb;
 use rh_core::sharded::ShardedDb;
 use rh_etm::EtmSession;
@@ -338,6 +338,44 @@ impl Backend {
                 eng.value_of(ob)
             }
             Backend::Sharded(db) => db.value_of(ob),
+        }
+    }
+
+    /// Time-travel read (wire `ReadAsOf`): reenact the object's history
+    /// at `as_of` from the WAL alone. Neither arm takes an engine mutex
+    /// — the single backend replays through the `log` Arc captured at
+    /// bind time, the sharded router replays the owning shard's log and
+    /// stitches coordinator decisions from every shard's log — so a
+    /// long deep-history replay never stalls the write path.
+    pub(crate) fn read_as_of(&self, ob: ObjectId, as_of: Lsn, obs: &Arc<Obs>) -> Result<Value> {
+        match self {
+            Backend::Single { log, .. } => {
+                let r = rh_core::reenact::query(log, obs, ob, as_of)?;
+                Ok(r.value())
+            }
+            Backend::Sharded(db) => db.read_as_of(ob, as_of),
+        }
+    }
+
+    /// Version timeline (wire `History`) rendered as a `history.v1`
+    /// JSON document. Same no-engine-mutex property as
+    /// [`Backend::read_as_of`].
+    pub(crate) fn history_json(
+        &self,
+        ob: ObjectId,
+        from: Lsn,
+        to: Lsn,
+        obs: &Arc<Obs>,
+    ) -> Result<String> {
+        match self {
+            Backend::Single { log, .. } => {
+                let r = rh_core::reenact::query(log, obs, ob, to)?;
+                Ok(r.to_json_range(from, r.as_of, |_| false).render_pretty())
+            }
+            Backend::Sharded(db) => {
+                let (r, decided) = db.reenact(ob, to)?;
+                Ok(r.to_json_range(from, r.as_of, |t| decided.contains(&t)).render_pretty())
+            }
         }
     }
 

@@ -36,7 +36,8 @@ use std::io::{self, Read, Write};
 /// Protocol version carried in the hello frame. Bumped on any change to
 /// the frame layout, opcode numbering, or reply encoding.
 /// v2: requests carry a `trace_id` field after `req_id`.
-pub const PROTOCOL_VERSION: u32 = 2;
+/// v3: time-travel ops `ReadAsOf` (16) and `History` (17).
+pub const PROTOCOL_VERSION: u32 = 3;
 
 /// The `trace_id` value meaning "this request is untraced".
 pub const NO_TRACE: u64 = u64::MAX;
@@ -131,6 +132,15 @@ pub enum Op {
     /// Ask the server to drain and exit (abort leftovers, checkpoint,
     /// stop accepting). The reply is sent before the drain begins.
     Shutdown,
+    /// Time-travel read: the committed value of the object at the LSN
+    /// ([`rh_common::Lsn::NULL`] means the log tail), reenacted from
+    /// the log without touching live pages or the engine mutex; replies
+    /// [`ReplyBody::Value`].
+    ReadAsOf(ObjectId, Lsn),
+    /// The object's version timeline with update LSNs in the inclusive
+    /// range, as a rendered `history.v1` JSON artifact; replies
+    /// [`ReplyBody::Json`].
+    History(ObjectId, Lsn, Lsn),
 }
 
 const OP_BEGIN: u8 = 1;
@@ -148,6 +158,8 @@ const OP_VALUE_OF: u8 = 12;
 const OP_STATS: u8 = 13;
 const OP_PING: u8 = 14;
 const OP_SHUTDOWN: u8 = 15;
+const OP_READ_AS_OF: u8 = 16;
+const OP_HISTORY: u8 = 17;
 
 impl Codec for Op {
     fn encode(&self, w: &mut Writer) {
@@ -214,6 +226,17 @@ impl Codec for Op {
             Op::Stats => w.put_u8(OP_STATS),
             Op::Ping => w.put_u8(OP_PING),
             Op::Shutdown => w.put_u8(OP_SHUTDOWN),
+            Op::ReadAsOf(ob, lsn) => {
+                w.put_u8(OP_READ_AS_OF);
+                w.put_u64(ob.0);
+                w.put_u64(lsn.0);
+            }
+            Op::History(ob, from, to) => {
+                w.put_u8(OP_HISTORY);
+                w.put_u64(ob.0);
+                w.put_u64(from.0);
+                w.put_u64(to.0);
+            }
         }
     }
 
@@ -248,6 +271,10 @@ impl Codec for Op {
             OP_STATS => Op::Stats,
             OP_PING => Op::Ping,
             OP_SHUTDOWN => Op::Shutdown,
+            OP_READ_AS_OF => Op::ReadAsOf(ObjectId(r.take_u64()?), Lsn(r.take_u64()?)),
+            OP_HISTORY => {
+                Op::History(ObjectId(r.take_u64()?), Lsn(r.take_u64()?), Lsn(r.take_u64()?))
+            }
             _ => return Err(RhError::Codec("unknown opcode")),
         })
     }
@@ -485,6 +512,9 @@ pub mod errcode {
     /// [`rh_common::RhError::VersionMismatch`] — the peers speak
     /// different wire-protocol versions.
     pub const VERSION_MISMATCH: u8 = 14;
+    /// [`rh_common::RhError::Reenact`] — a time-travel target the log
+    /// can no longer answer (history truncated past it).
+    pub const REENACT: u8 = 15;
 }
 
 /// Maps an engine error to its wire class.
@@ -503,6 +533,7 @@ pub fn error_code(e: &RhError) -> u8 {
         RhError::DependencyCycle { .. } => errcode::DEPENDENCY_CYCLE,
         RhError::Protocol(_) => errcode::PROTOCOL,
         RhError::VersionMismatch { .. } => errcode::VERSION_MISMATCH,
+        RhError::Reenact { .. } => errcode::REENACT,
     }
 }
 
@@ -548,6 +579,9 @@ mod tests {
             Op::Stats,
             Op::Ping,
             Op::Shutdown,
+            Op::ReadAsOf(ObjectId(5), Lsn(17)),
+            Op::ReadAsOf(ObjectId(5), Lsn::NULL),
+            Op::History(ObjectId(5), Lsn(0), Lsn::NULL),
         ] {
             round_trip(Request { id: 42, trace: 99, op });
         }

@@ -63,6 +63,39 @@ impl Disk {
         self.pages.read().len()
     }
 
+    /// Decodes every stored page and returns the `(object, value)` pairs
+    /// whose slots differ from [`Page::INITIAL_VALUE`], ordered by object
+    /// id. This is the checkpoint value overlay: after a `flush_all` the
+    /// disk images *are* the database state, and reenactment seeds from
+    /// this list instead of ever touching live pages. Slots still at the
+    /// initial value are omitted — an absent object seeds as initial.
+    pub fn non_initial_values(&self) -> Result<Vec<(rh_common::ObjectId, rh_common::Value)>> {
+        let pages = self.pages.read();
+        let mut ids: Vec<PageId> = pages.keys().copied().collect();
+        ids.sort();
+        let mut out = Vec::new();
+        for id in ids {
+            let bytes = match pages.get(&id) {
+                Some(b) => b,
+                None => continue,
+            };
+            let page =
+                Page::from_bytes(bytes).map_err(|_| RhError::Storage("corrupt page image"))?;
+            for slot in 0..crate::page::SLOTS_PER_PAGE {
+                let v = page.get(slot);
+                if v != Page::INITIAL_VALUE {
+                    out.push((
+                        rh_common::ObjectId(
+                            id.0 as u64 * crate::page::SLOTS_PER_PAGE as u64 + slot as u64,
+                        ),
+                        v,
+                    ));
+                }
+            }
+        }
+        Ok(out)
+    }
+
     /// Access the I/O counters.
     pub fn metrics(&self) -> &DiskMetrics {
         &self.metrics
@@ -121,6 +154,21 @@ mod tests {
         let s = disk.metrics().snapshot();
         assert_eq!(s.page_writes, 1);
         assert_eq!(s.page_reads, 2);
+    }
+
+    #[test]
+    fn non_initial_values_enumerates_in_object_order() {
+        let disk = Disk::new();
+        let mut p1 = Page::empty(PageId(1));
+        p1.set(2, 40, Lsn(1)); // object 66
+        p1.set(0, Page::INITIAL_VALUE, Lsn(2)); // initial value stays omitted
+        disk.write_page(&p1).unwrap();
+        let mut p0 = Page::empty(PageId(0));
+        p0.set(5, -7, Lsn(3)); // object 5
+        disk.write_page(&p0).unwrap();
+        disk.write_page(&Page::empty(PageId(9))).unwrap(); // all-initial page
+        let vals = disk.non_initial_values().unwrap();
+        assert_eq!(vals, vec![(rh_common::ObjectId(5), -7), (rh_common::ObjectId(66), 40)]);
     }
 
     #[test]
