@@ -30,9 +30,11 @@ pub const MANIFEST: &[(&str, &[&str])] = &[
     // is a violation by construction.
     ("crates/lockmgr/src/", &["state"]),
     // rh-server: session table first, then the engine mutex, then a
-    // connection's write half. The engine guard must close before any
-    // reply is written, or a slow client could stall every session.
-    ("crates/server/src/", &["sessions", "engine", "out"]),
+    // connection's write half, then the replication subscriber registry
+    // (ship-loop bookkeeping never nests inside the others — progress
+    // is reported after the frame guard closes — but the order pins any
+    // future nesting below them).
+    ("crates/server/src/", &["sessions", "engine", "out", "subscribers"]),
     // rh-core sharded router: the global transaction table before any
     // shard's engine mutex (savepoint holds `gtxns` while marking each
     // participant shard). The decision-retirement queue (`retire`)

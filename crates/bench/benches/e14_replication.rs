@@ -1,0 +1,79 @@
+//! E14 — what following the feed costs, and what failover costs.
+//!
+//! Three rows over one 300-commit shipped workload (the shared
+//! [`rh_bench::replication`] fixture):
+//!
+//! * **primary_commit** — nanoseconds per committed transaction on the
+//!   primary, the rate the replication feed is produced at.
+//! * **apply_frame** — nanoseconds per frame applied by the replica
+//!   (local log append + incremental forward pass). The replica keeps
+//!   up iff frames apply faster than the primary emits them; the
+//!   exported workload doc records frames-per-commit so the ratio is
+//!   computable from the artifact.
+//! * **promote** — one `ReplicaSet::promote()` over a caught-up
+//!   replica: finish the forward pass, backward pass over losers, open
+//!   for writes. The failover outage floor after detection.
+//!
+//! Besides the Criterion medians, the run writes its rows to
+//! `target/obs/BENCH_repl.json`; the first measured rows are checked in
+//! at `crates/bench/baselines/BENCH_repl.json` and re-measured by
+//! `rh-bench --check-baselines`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rh_bench::replication::{self, COMMITS};
+use rh_obs::JsonValue;
+use std::path::PathBuf;
+
+fn bench_replication(c: &mut Criterion) {
+    let fixture = replication::build();
+    let mut group = c.benchmark_group("e14_replication");
+    // Whole-workload iterations; Criterion reports per-workload time,
+    // the export divides down to per-commit / per-frame.
+    group.bench_function("primary_commit_300", |b| b.iter(replication::commit_workload));
+    group.bench_function("apply_frames_all", |b| b.iter(|| fixture.apply_workload()));
+    group.bench_function("catch_up_and_promote", |b| b.iter(|| fixture.promote_workload()));
+    group.finish();
+}
+
+/// Writes the three rows to `target/obs/BENCH_repl.json` (the
+/// checked-in baseline at `crates/bench/baselines/BENCH_repl.json` is a
+/// copy of this file from the first run).
+fn export_rows(_c: &mut Criterion) {
+    let fixture = replication::build();
+    let rows = vec![
+        ("repl_primary_commit", replication::commit_ns_floor(60), "ns/commit"),
+        ("repl_apply_frame", replication::apply_ns_floor(&fixture, 60), "ns/frame"),
+        ("repl_promote", replication::promote_ns_floor(&fixture, 60), "ns/promote"),
+    ];
+    let rows: Vec<JsonValue> = rows
+        .into_iter()
+        .map(|(name, median, unit)| {
+            JsonValue::obj(vec![
+                ("name", JsonValue::Str(name.to_string())),
+                ("median_ns", JsonValue::U64(median)),
+                ("unit", JsonValue::Str(unit.to_string())),
+            ])
+        })
+        .collect();
+    let doc = JsonValue::obj(vec![
+        ("bench", JsonValue::Str("e14_replication".to_string())),
+        (
+            "workload",
+            JsonValue::obj(vec![
+                ("commits", JsonValue::U64(COMMITS)),
+                ("frames", JsonValue::U64(fixture.frames.len() as u64)),
+            ]),
+        ),
+        ("rows", JsonValue::Arr(rows)),
+    ]);
+    // Benches run with the package as cwd; aim at the workspace target
+    // dir, where CI archives `target/obs/*.json` from.
+    let dir = PathBuf::from(concat!(env!("CARGO_MANIFEST_DIR"), "/../../target/obs"));
+    std::fs::create_dir_all(&dir).expect("create target/obs");
+    let path = dir.join("BENCH_repl.json");
+    std::fs::write(&path, doc.render_pretty()).expect("write BENCH_repl.json");
+    println!("e14_replication: wrote {}", path.display());
+}
+
+criterion_group!(benches, bench_replication, export_rows);
+criterion_main!(benches);

@@ -7,8 +7,10 @@
 //!
 //! `--check-baselines` re-runs the workload behind every row of the
 //! checked-in baselines (`crates/bench/baselines/BENCH_server.json`,
-//! `BENCH_obs.json`, and `BENCH_history.json` — the time-travel
-//! `read_as_of` rows) on this machine, compares against the recorded
+//! `BENCH_obs.json`, `BENCH_history.json` — the time-travel
+//! `read_as_of` rows — and `BENCH_repl.json` — the log-shipping
+//! apply/commit/promote rows) on this machine, compares against the
+//! recorded
 //! medians with a relative tolerance (default ±25%, overridable with
 //! `--tolerance` or `RH_BENCH_TOLERANCE`), writes the full comparison
 //! to `target/obs/bench_delta.json`, and exits nonzero if any row
@@ -117,12 +119,34 @@ fn asof_fixture() -> &'static rh_bench::time_travel::AsofFixture {
     FIXTURE.get_or_init(rh_bench::time_travel::build)
 }
 
+/// The replication feed fixture, built once and shared by the
+/// `repl_apply_frame` and `repl_promote` rows (one shipped workload;
+/// only what is timed over it varies).
+fn repl_fixture() -> &'static rh_bench::replication::ReplFixture {
+    static FIXTURE: std::sync::OnceLock<rh_bench::replication::ReplFixture> =
+        std::sync::OnceLock::new();
+    FIXTURE.get_or_init(rh_bench::replication::build)
+}
+
 /// Re-runs the workload behind one baseline row.
 fn measure(name: &str, iters: usize) -> Option<Measured> {
     if name.starts_with("asof_") {
         let fixture = asof_fixture();
         let target = fixture.target(name)?;
         let median = rh_bench::time_travel::median_asof_ns(fixture, target, 30.max(iters));
+        return Some(Measured { value: median, higher_is_better: false, extra: Vec::new() });
+    }
+    if name.starts_with("repl_") {
+        let median = match name {
+            "repl_primary_commit" => rh_bench::replication::commit_ns_floor(60.max(iters)),
+            "repl_apply_frame" => {
+                rh_bench::replication::apply_ns_floor(repl_fixture(), 60.max(iters))
+            }
+            "repl_promote" => {
+                rh_bench::replication::promote_ns_floor(repl_fixture(), 60.max(iters))
+            }
+            _ => return None,
+        };
         return Some(Measured { value: median, higher_is_better: false, extra: Vec::new() });
     }
     if let Some(point) = CyclePoint::parse(name) {
@@ -323,6 +347,7 @@ fn check_baselines(tolerance: f64) -> ! {
     let mut rows = load_rows("BENCH_server.json");
     rows.extend(load_rows("BENCH_obs.json"));
     rows.extend(load_rows("BENCH_history.json"));
+    rows.extend(load_rows("BENCH_repl.json"));
 
     // The unsharded 16-thread/30%-delegation baseline anchors the
     // sharded speedup claim.

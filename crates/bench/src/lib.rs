@@ -13,6 +13,7 @@
 pub mod experiments;
 pub mod harness;
 pub mod obs_export;
+pub mod replication;
 pub mod serve_cycle;
 pub mod table;
 pub mod time_travel;

@@ -104,6 +104,7 @@ impl CyclePoint {
             shards: self.shards,
             trace: false,
             audit_fraction: 0.0,
+            replica: None,
         }
     }
 

@@ -5,7 +5,8 @@
 //! rh-load --addr 127.0.0.1:7411 [--threads N] [--txns N] [--updates N]
 //!         [--delegation F] [--cross-shard F --shards N] [--seed N]
 //!         [--trace] [--obs HOST:PORT] [--trace-gate F] [--close-gate F]
-//!         [--audit F] [--smoke] [--report PATH] [--shutdown]
+//!         [--audit F] [--replica HOST:PORT] [--smoke] [--report PATH]
+//!         [--shutdown]
 //! ```
 //!
 //! Exits nonzero on any oracle divergence or transport failure, so CI
@@ -18,6 +19,12 @@
 //! `F`, it issues a `read_as_of` of a randomly chosen already-acked
 //! object and gates on exact agreement with the acked-effects oracle.
 //! Any audit divergence also exits nonzero.
+//!
+//! With `--replica`, the verification pass also replays the oracle
+//! against a read replica using staleness-bounded reads: each probe
+//! carries the primary's durable watermark as its `min_lsn`, so the
+//! replica must serve the acked value (or refuse honestly) — never a
+//! stale one. Any replica divergence exits nonzero.
 //!
 //! With `--trace`, every commit carries a unique client-assigned trace
 //! id; with `--obs` (the server's introspection address) the run then
@@ -37,7 +44,7 @@ fn usage(reason: &str) -> ! {
         "usage: rh-load --addr HOST:PORT [--threads N] [--txns N] [--updates N] \
          [--delegation F] [--cross-shard F --shards N] [--seed N] [--offset N] \
          [--trace] [--obs HOST:PORT] [--trace-gate F] [--close-gate F] \
-         [--audit F] [--smoke] [--report PATH] [--shutdown]"
+         [--audit F] [--replica HOST:PORT] [--smoke] [--report PATH] [--shutdown]"
     );
     std::process::exit(2);
 }
@@ -102,6 +109,7 @@ fn main() {
                     cross_shard_fraction: spec.cross_shard_fraction,
                     shards: spec.shards,
                     trace: spec.trace,
+                    replica: spec.replica.take(),
                     ..LoadSpec::smoke()
                 }
             }
@@ -132,6 +140,9 @@ fn main() {
                 Ok(f) if (0.0..=1.0).contains(&f) => spec.audit_fraction = f,
                 _ => usage("--audit needs a float in [0,1]"),
             },
+            // Also verify the oracle against a read replica with
+            // staleness-bounded reads (read-your-writes across nodes).
+            "--replica" => spec.replica = Some(value("--replica")),
             "--report" => report_path = Some(value("--report")),
             "--shutdown" => shutdown = true,
             other => usage(&format!("unknown flag {other}")),
@@ -170,6 +181,12 @@ fn main() {
         println!(
             "rh-load: audit: {} time-travel probes, {} divergences",
             report.audit_queries, report.audit_divergences,
+        );
+    }
+    if spec.replica.is_some() {
+        println!(
+            "rh-load: replica: {} staleness-bounded reads, {} divergences",
+            report.replica_checked, report.replica_divergences,
         );
     }
     // Trace-attribution coverage: stitch the server's `/trace` rings
@@ -229,6 +246,10 @@ fn main() {
     }
     if report.audit_divergences > 0 {
         eprintln!("rh-load: AUDIT DIVERGENCE — reenacted history contradicts acknowledged commits");
+        std::process::exit(1);
+    }
+    if report.replica_divergences > 0 {
+        eprintln!("rh-load: REPLICA DIVERGENCE — replica contradicts acknowledged commits");
         std::process::exit(1);
     }
     if let Some(cov) = &coverage {

@@ -285,6 +285,34 @@ impl Connection {
         }
     }
 
+    /// Staleness-bounded peek (v4): like [`Connection::value_of`], but
+    /// the serving node must have applied the log through `min_lsn`
+    /// first. A primary trivially satisfies any bound; a replica blocks
+    /// until its applied watermark reaches `min_lsn` or refuses with
+    /// [`rh_server::wire::errcode::REPL_LAGGING`] at its configured
+    /// deadline — it never silently serves a staler value. Pair with
+    /// [`Connection::durable`] against the primary for read-your-writes
+    /// on a replica.
+    pub fn value_of_min(&mut self, ob: ObjectId, min_lsn: Lsn) -> Result<Value> {
+        match self.call(Op::ValueOfMin(ob, min_lsn))? {
+            ReplyBody::Value(v) => Ok(v),
+            other => Err(unexpected("value", &other)),
+        }
+    }
+
+    /// Durable-watermark probe (v4): the raw LSN up to which the log
+    /// owning `ob` is durable on the serving node (the applied
+    /// watermark, on a replica). A commit acknowledged before this call
+    /// is covered by the returned bound, so feeding it to
+    /// [`Connection::value_of_min`] on a replica yields
+    /// read-your-writes.
+    pub fn durable(&mut self, ob: ObjectId) -> Result<u64> {
+        match self.call(Op::Durable(ob))? {
+            ReplyBody::Token(lsn) => Ok(lsn),
+            other => Err(unexpected("durable watermark", &other)),
+        }
+    }
+
     /// Time-travel read: the committed value of `ob` as of `as_of`
     /// (pass [`Lsn::NULL`] for "now" — the server resolves it to the
     /// log tail). Answered by WAL reenactment on the server without

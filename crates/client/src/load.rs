@@ -71,6 +71,14 @@ pub struct LoadSpec {
     /// seeded when this is positive, so historical runs (and their
     /// recorded baselines) keep their exact randomness at `0.0`.
     pub audit_fraction: f64,
+    /// Serving address of a read replica of the target. When set, the
+    /// verification pass ALSO replays the oracle against the replica
+    /// with staleness-bounded reads: for each acked object, the
+    /// primary's durable watermark ([`Connection::durable`]) becomes
+    /// the `min_lsn` of a [`Connection::value_of_min`] on the replica —
+    /// read-your-writes across nodes, gated exact like the primary
+    /// pass.
+    pub replica: Option<String>,
 }
 
 impl Default for LoadSpec {
@@ -86,6 +94,7 @@ impl Default for LoadSpec {
             shards: 1,
             trace: false,
             audit_fraction: 0.0,
+            replica: None,
         }
     }
 }
@@ -144,6 +153,14 @@ pub struct LoadReport {
     /// Audit probes whose reenacted value disagreed with the
     /// acked-effects oracle. Like `divergences`, this must be zero.
     pub audit_divergences: u64,
+    /// Objects verified against the replica with staleness-bounded
+    /// reads (zero unless [`LoadSpec::replica`] was set).
+    pub replica_checked: u64,
+    /// Replica reads that contradicted the oracle — including a
+    /// `ReplLagging` refusal, since the bound handed over was the
+    /// primary's own durable watermark and the replica is expected to
+    /// reach it within its deadline. Must be zero.
+    pub replica_divergences: u64,
 }
 
 impl LoadReport {
@@ -170,6 +187,8 @@ impl LoadReport {
             ("server_fsyncs_delta", JsonValue::U64(self.server_fsyncs_delta)),
             ("audit_queries", JsonValue::U64(self.audit_queries)),
             ("audit_divergences", JsonValue::U64(self.audit_divergences)),
+            ("replica_checked", JsonValue::U64(self.replica_checked)),
+            ("replica_divergences", JsonValue::U64(self.replica_divergences)),
             ("commit_latency", self.commit_latency.to_json()),
             ("op_latency", self.op_latency.to_json()),
         ])
@@ -285,6 +304,28 @@ pub fn run_load(addr: &str, spec: &LoadSpec) -> Result<LoadReport> {
     }
     let after = parse_counters(&stats_conn.stats_json()?);
 
+    // Replica pass: the same oracle, served by the replica under its
+    // staleness contract. The primary's durable watermark is a bound
+    // covering every acked commit, so `value_of_min` with it is
+    // read-your-writes: the replica either serves the acked value or
+    // (past its deadline) refuses with `ReplLagging` — counted as a
+    // divergence here, because the bound is one the replica is expected
+    // to reach. A transport failure also counts: this pass runs against
+    // a replica that is supposed to be up.
+    let mut replica_checked = 0u64;
+    let mut replica_divergences = 0u64;
+    if let Some(raddr) = &spec.replica {
+        let mut rconn = connect_with_retry(raddr)?;
+        for (&ob, &expect) in &outcome.oracle {
+            replica_checked += 1;
+            let bound = stats_conn.durable(ob)?;
+            match rconn.value_of_min(ob, rh_common::Lsn(bound)) {
+                Ok(got) if got == expect => {}
+                _ => replica_divergences += 1,
+            }
+        }
+    }
+
     let snap = registry.snapshot();
     Ok(LoadReport {
         threads: spec.threads,
@@ -301,6 +342,8 @@ pub fn run_load(addr: &str, spec: &LoadSpec) -> Result<LoadReport> {
         traced: outcome.traced,
         audit_queries: outcome.audit_queries,
         audit_divergences: outcome.audit_divergences,
+        replica_checked,
+        replica_divergences,
     })
 }
 

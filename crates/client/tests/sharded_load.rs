@@ -57,6 +57,7 @@ fn cross_shard_load_holds_the_oracle_and_commits_via_2pc() {
         // reenacted value of already-acked objects must agree with the
         // oracle exactly, even while cross-shard commits are in flight.
         audit_fraction: 0.25,
+        replica: None,
     };
     let report = run_load(&addr, &spec).expect("load run");
 
@@ -133,6 +134,7 @@ fn lazy_rewrite_serves_the_same_sharded_contract() {
         base_offset: 0,
         trace: false,
         audit_fraction: 0.0,
+        replica: None,
     };
     let report = run_load(&addr, &spec).expect("load run");
     assert_eq!(report.divergences, 0, "oracle divergence: {report:?}");

@@ -48,6 +48,17 @@ pub enum RhError {
         /// Why the reconstruction is impossible.
         reason: &'static str,
     },
+    /// A read replica could not satisfy an LSN-bounded staleness
+    /// requirement in time: the caller demanded state at least as fresh
+    /// as `min_lsn`, but the replica's forward pass had only applied up
+    /// to `applied` when the wait deadline expired. The caller may
+    /// retry, lower its bound, or read from the primary.
+    ReplLagging {
+        /// The freshness bound the read demanded.
+        min_lsn: Lsn,
+        /// How far the replica's forward pass had applied.
+        applied: Lsn,
+    },
     /// The peer speaks a different wire-protocol version. A dedicated
     /// class (not [`RhError::Codec`]) so clients can tell "upgrade one
     /// side" apart from "corrupted stream", and so the wire error code
@@ -89,6 +100,10 @@ impl fmt::Display for RhError {
             RhError::Reenact { as_of, reason } => {
                 write!(f, "reenactment cannot answer as-of {as_of}: {reason}")
             }
+            RhError::ReplLagging { min_lsn, applied } => write!(
+                f,
+                "replica lagging: read requires {min_lsn} but forward pass has applied {applied}"
+            ),
             RhError::VersionMismatch { got, want } => write!(
                 f,
                 "wire protocol version mismatch: peer speaks v{got}, this build speaks v{want} \

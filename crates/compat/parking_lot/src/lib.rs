@@ -275,6 +275,21 @@ impl Condvar {
         });
     }
 
+    /// Like [`Condvar::wait`], but gives up after `timeout`. Returns
+    /// `true` if the wait **timed out** (parking_lot's
+    /// `WaitTimeoutResult::timed_out()` convention). The guard is
+    /// re-acquired before returning either way.
+    pub fn wait_for<T>(&self, guard: &mut MutexGuard<'_, T>, timeout: std::time::Duration) -> bool {
+        let mut timed_out = false;
+        replace_with(&mut guard.inner, |g| {
+            let (g, r) =
+                self.inner.wait_timeout(g, timeout).unwrap_or_else(sync::PoisonError::into_inner);
+            timed_out = r.timed_out();
+            g
+        });
+        timed_out
+    }
+
     /// Wakes one waiter.
     pub fn notify_one(&self) -> bool {
         self.inner.notify_one();
@@ -347,6 +362,33 @@ mod tests {
             let mut ready = lock.lock();
             while !*ready {
                 cv.wait(&mut ready);
+            }
+        });
+        *pair.0.lock() = true;
+        pair.1.notify_all();
+        t.join().unwrap();
+    }
+
+    #[test]
+    fn condvar_wait_for_times_out_and_wakes() {
+        let pair = Arc::new((Mutex::new(false), Condvar::new()));
+        // Nobody signals: the timed wait must report a timeout and hand
+        // the (re-acquired) guard back.
+        {
+            let mut g = pair.0.lock();
+            let timed_out = pair.1.wait_for(&mut g, std::time::Duration::from_millis(10));
+            assert!(timed_out);
+            assert!(!*g);
+        }
+        // A signal before the deadline must not report a timeout.
+        let p2 = Arc::clone(&pair);
+        let t = thread::spawn(move || {
+            let (lock, cv) = &*p2;
+            let mut ready = lock.lock();
+            while !*ready {
+                if cv.wait_for(&mut ready, std::time::Duration::from_secs(30)) {
+                    panic!("timed out waiting for a signal that was sent");
+                }
             }
         });
         *pair.0.lock() = true;

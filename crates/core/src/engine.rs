@@ -395,6 +395,19 @@ impl RhDb {
     /// stop when the engine is dropped (or on
     /// [`RhDb::stop_introspection`]).
     pub fn serve_introspection(&mut self, addr: &str) -> std::io::Result<std::net::SocketAddr> {
+        self.serve_introspection_with(addr, &[], None)
+    }
+
+    /// [`RhDb::serve_introspection`] plus embedder-supplied routes: any
+    /// path the `extra` handler answers is served before the built-in
+    /// routes (the server layer mounts `/replication` this way), and
+    /// `extra_endpoints` is appended to the route list echoed in 404s.
+    pub fn serve_introspection_with(
+        &mut self,
+        addr: &str,
+        extra_endpoints: &[&str],
+        extra: Option<rh_obs::Handler>,
+    ) -> std::io::Result<std::net::SocketAddr> {
         let log = Arc::clone(&self.log);
         let disk = Arc::clone(&self.disk);
         let locks = Arc::clone(&self.locks);
@@ -413,7 +426,7 @@ impl RhDb {
                 obs.registry.snapshot()
             }
         };
-        let endpoints = [
+        let mut endpoints = vec![
             "/stats",
             "/metrics",
             "/timeseries",
@@ -424,49 +437,61 @@ impl RhDb {
             "/asof/<ob>/<lsn>",
             "/history/<ob>",
         ];
+        endpoints.extend_from_slice(extra_endpoints);
         let handler: rh_obs::Handler = {
             let absorbed = absorbed.clone();
             let obs = Arc::clone(&obs);
             let log = Arc::clone(&self.log);
-            Arc::new(move |path: &str| match path {
-                "/stats" => Some(HttpResponse::Json(absorbed().to_json())),
-                "/metrics" => Some(HttpResponse::Text {
-                    content_type: rh_obs::serve::PROMETHEUS_CONTENT_TYPE,
-                    body: rh_obs::promtext::render(&absorbed()),
-                }),
-                "/timeseries" => Some(HttpResponse::Json(obs.timeseries.to_json())),
-                "/slowops" => Some(HttpResponse::Json(obs.slowops.to_json())),
-                "/trace" => Some(HttpResponse::Json(obs.tracer.snapshot().to_json())),
-                "/provenance" => Some(HttpResponse::Json(prov.lock().to_json())),
-                "/postmortem" => {
-                    Some(HttpResponse::Json(postmortem.lock().clone().unwrap_or(JsonValue::Null)))
+            Arc::new(move |path: &str| {
+                if let Some(hit) = extra.as_ref().and_then(|h| h(path)) {
+                    return Some(hit);
                 }
-                p => {
-                    let reenact = |ob, lsn| {
-                        crate::reenact::query(&log, &obs, ob, lsn).map(|r| (r, BTreeSet::new()))
-                    };
-                    if let Some(rest) = p.strip_prefix("/asof/") {
-                        Some(introspect_asof(rest, reenact))
-                    } else if let Some(rest) = p.strip_prefix("/history/") {
-                        Some(introspect_history(rest, reenact))
-                    } else if let Some(rest) = p.strip_prefix("/provenance/") {
-                        // Malformed segments are a 400, not a 404: the
-                        // route shape matched, the parameter did not.
-                        match rest.parse::<u64>() {
-                            Ok(ob) => {
-                                let chain = prov.lock();
-                                Some(HttpResponse::Json(JsonValue::Arr(
-                                    chain
-                                        .chain(ObjectId(ob))
-                                        .iter()
-                                        .map(ProvHop::to_json)
-                                        .collect(),
-                                )))
+                match path {
+                    "/stats" => Some(HttpResponse::Json(absorbed().to_json())),
+                    "/metrics" => Some(HttpResponse::Text {
+                        content_type: rh_obs::serve::PROMETHEUS_CONTENT_TYPE,
+                        body: rh_obs::promtext::render(&absorbed()),
+                    }),
+                    "/timeseries" => Some(HttpResponse::Json(obs.timeseries.to_json())),
+                    "/slowops" => Some(HttpResponse::Json(obs.slowops.to_json())),
+                    "/trace" => Some(HttpResponse::Json(obs.tracer.snapshot().to_json())),
+                    "/provenance" => {
+                        let doc = prov.lock().to_json();
+                        Some(HttpResponse::Json(doc))
+                    }
+                    "/postmortem" => {
+                        let doc = postmortem.lock().clone();
+                        Some(HttpResponse::Json(doc.unwrap_or(JsonValue::Null)))
+                    }
+                    p => {
+                        let reenact = |ob, lsn| {
+                            crate::reenact::query(&log, &obs, ob, lsn).map(|r| (r, BTreeSet::new()))
+                        };
+                        if let Some(rest) = p.strip_prefix("/asof/") {
+                            Some(introspect_asof(rest, reenact))
+                        } else if let Some(rest) = p.strip_prefix("/history/") {
+                            Some(introspect_history(rest, reenact))
+                        } else if let Some(rest) = p.strip_prefix("/provenance/") {
+                            // Malformed segments are a 400, not a 404: the
+                            // route shape matched, the parameter did not.
+                            match rest.parse::<u64>() {
+                                Ok(ob) => {
+                                    let chain = prov.lock();
+                                    Some(HttpResponse::Json(JsonValue::Arr(
+                                        chain
+                                            .chain(ObjectId(ob))
+                                            .iter()
+                                            .map(ProvHop::to_json)
+                                            .collect(),
+                                    )))
+                                }
+                                Err(_) => {
+                                    Some(HttpResponse::bad_request("object id must be numeric"))
+                                }
                             }
-                            Err(_) => Some(HttpResponse::bad_request("object id must be numeric")),
+                        } else {
+                            None
                         }
-                    } else {
-                        None
                     }
                 }
             })

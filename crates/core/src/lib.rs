@@ -61,6 +61,7 @@ pub mod oblist;
 pub mod provenance;
 pub mod recovery;
 pub mod reenact;
+pub mod replica;
 pub mod scope;
 pub mod sharded;
 pub mod txn_table;
@@ -72,5 +73,6 @@ pub use flight::FlightRecorder;
 pub use history::{Event, Oracle};
 pub use provenance::{ProvHop, ProvenanceTable};
 pub use reenact::{Reenactment, VersionRecord};
+pub use replica::{PromotedDb, ReplicaSet};
 pub use scope::Scope;
 pub use sharded::{ShardMap, ShardedDb, TwoPcFault};

@@ -188,7 +188,7 @@ pub fn forward_pass(
                 _ => {}
             }
         } else {
-            analyze(
+            apply_record(
                 log,
                 pool,
                 &mut tr,
@@ -200,7 +200,7 @@ pub fn forward_pass(
                 &rec,
                 &mut stats,
                 obs,
-                &span,
+                Some(&span),
             )?;
         }
         if !rec.txn.is_none() {
@@ -212,8 +212,16 @@ pub fn forward_pass(
     Ok(ForwardOutcome { tr, compensated, next_txn, lazy_scopes, prov, coord_commits, stats })
 }
 
+/// Analyzes (and redoes) **one** record, mutating the forward-pass state
+/// in place — the loop body of [`forward_pass`]'s analysis region, made
+/// standalone so a read replica can stay in perpetual forward pass:
+/// every shipped record flows through exactly this function, so the
+/// replica's scope tables, provenance chains, and coordinator decisions
+/// are byte-for-byte what a restart recovery of the same log would
+/// build. `span` is the enclosing forward-pass span when run inside a
+/// recovery; a replica's open-ended pass has none.
 #[allow(clippy::too_many_arguments)]
-fn analyze(
+pub(crate) fn apply_record(
     log: &LogManager,
     pool: &mut BufferPool,
     tr: &mut TrList,
@@ -225,7 +233,7 @@ fn analyze(
     rec: &LogRecord,
     stats: &mut ForwardStats,
     obs: &Obs,
-    span: &rh_obs::SpanGuard<'_>,
+    span: Option<&rh_obs::SpanGuard<'_>>,
 ) -> Result<()> {
     let lsn = rec.lsn;
     match &rec.body {
@@ -253,7 +261,15 @@ fn analyze(
         RecordBody::Delegate { tee, body, .. } => {
             stats.delegations_seen += 1;
             obs.registry.inc(names::M_SCOPE_DELEGATE_REPLAYS);
-            span.point(names::EV_DELEGATE_REPLAY, lsn.raw(), lsn.raw(), rec.txn.raw(), tee.raw());
+            if let Some(span) = span {
+                span.point(
+                    names::EV_DELEGATE_REPLAY,
+                    lsn.raw(),
+                    lsn.raw(),
+                    rec.txn.raw(),
+                    tee.raw(),
+                );
+            }
             ensure_txn(tr, rec.txn, lsn);
             ensure_txn(tr, *tee, lsn);
             // TRANSFER RESPONSIBILITY "just as delegate (3) in normal

@@ -75,6 +75,73 @@ fn load_predecessor_blackbox(stable: &StableLog) -> Option<BlackBoxRecord> {
     BlackBoxRecord::parse(&payload)
 }
 
+/// Collects the scopes the backward pass must walk. For RH: exactly the
+/// loser scopes ("It is enough to inspect records within the loser
+/// scopes to find all loser updates", §3.6.2). The lazy baseline
+/// additionally walks every *delegated* scope — winners included —
+/// because it physically rewrites the log to reflect the delegations
+/// (§3.2). A scope's identity is (object, invoker, first-LSN); the live
+/// table's version is preferred (it may have been extended after a
+/// delegation back). Shared by restart recovery and replica promotion —
+/// a promotion's backward pass walks exactly what a recovery's would.
+pub(crate) fn collect_walk_scopes(
+    tr: &crate::txn_table::TrList,
+    losers: &[TxnId],
+    lazy: bool,
+    lazy_scopes: &std::collections::HashMap<(ObjectId, TxnId, Lsn), (Lsn, TxnId)>,
+) -> Result<Vec<WalkScope>> {
+    let loser_set: HashSet<TxnId> = losers.iter().copied().collect();
+    let mut scopes: Vec<WalkScope> = Vec::new();
+    for &t in losers {
+        for (ob, scope) in tr.get(t)?.ob_list.all_scopes() {
+            scopes.push(WalkScope { owner: t, ob, scope, loser: true });
+        }
+    }
+    if lazy {
+        let present: HashSet<(ObjectId, TxnId, Lsn)> =
+            scopes.iter().map(|ws| (ws.ob, ws.scope.invoker, ws.scope.first)).collect();
+        for (&(ob, invoker, first), &(last, owner)) in lazy_scopes {
+            if present.contains(&(ob, invoker, first)) {
+                continue;
+            }
+            scopes.push(WalkScope {
+                owner,
+                ob,
+                scope: Scope { invoker, first, last },
+                loser: loser_set.contains(&owner),
+            });
+        }
+    }
+    Ok(scopes)
+}
+
+/// Terminates the losers (Abort if not already aborted, then End) and
+/// Ends committed transactions whose End record was lost in the crash,
+/// draining the table down to the in-doubt survivors. The caller forces
+/// the log afterwards. Shared by restart recovery and replica promotion.
+pub(crate) fn terminate_losers(
+    log: &LogManager,
+    tr: &mut crate::txn_table::TrList,
+    losers: &[TxnId],
+) -> Result<()> {
+    for &t in losers {
+        if tr.get(t)?.status != TxnStatus::Aborted {
+            let prev = tr.bc(t)?;
+            let lsn = log.append(t, prev, RecordBody::Abort);
+            tr.set_bc(t, lsn)?;
+        }
+        let prev = tr.bc(t)?;
+        log.append(t, prev, RecordBody::End);
+        tr.remove(t);
+    }
+    for t in tr.with_status(TxnStatus::Committed) {
+        let prev = tr.bc(t)?;
+        log.append(t, prev, RecordBody::End);
+        tr.remove(t);
+    }
+    Ok(())
+}
+
 /// Runs restart recovery and returns a ready-to-use engine.
 ///
 /// Steps (Fig. 3): attach to the stable log, forward pass from the last
@@ -115,37 +182,7 @@ pub fn recover(
     }
     let mut tr = fwd.tr;
     let losers = tr.losers();
-    let loser_set: HashSet<TxnId> = losers.iter().copied().collect();
-
-    // ---- collect the scopes the backward pass must walk ---------------
-    // For RH: exactly the loser scopes ("It is enough to inspect records
-    // within the loser scopes to find all loser updates", §3.6.2).
-    let mut scopes: Vec<WalkScope> = Vec::new();
-    for &t in &losers {
-        for (ob, scope) in tr.get(t)?.ob_list.all_scopes() {
-            scopes.push(WalkScope { owner: t, ob, scope, loser: true });
-        }
-    }
-    if lazy {
-        // The lazy baseline additionally walks every *delegated* scope —
-        // winners included — because it physically rewrites the log to
-        // reflect the delegations (§3.2). A scope's identity is
-        // (object, invoker, first-LSN); prefer the live table's version
-        // (it may have been extended after a delegation back).
-        let present: HashSet<(ObjectId, TxnId, Lsn)> =
-            scopes.iter().map(|ws| (ws.ob, ws.scope.invoker, ws.scope.first)).collect();
-        for (&(ob, invoker, first), &(last, owner)) in &fwd.lazy_scopes {
-            if present.contains(&(ob, invoker, first)) {
-                continue;
-            }
-            scopes.push(WalkScope {
-                owner,
-                ob,
-                scope: Scope { invoker, first, last },
-                loser: loser_set.contains(&owner),
-            });
-        }
-    }
+    let scopes = collect_walk_scopes(&tr, &losers, lazy, &fwd.lazy_scopes)?;
 
     // ---- backward pass -------------------------------------------------
     let mut compensated = fwd.compensated;
@@ -155,22 +192,7 @@ pub fn recover(
     obs.mark_timeseries(names::TS_RECOVERY_UNDO);
 
     // ---- terminate losers and stragglers --------------------------------
-    for &t in &losers {
-        if tr.get(t)?.status != TxnStatus::Aborted {
-            let prev = tr.bc(t)?;
-            let lsn = log.append(t, prev, RecordBody::Abort);
-            tr.set_bc(t, lsn)?;
-        }
-        let prev = tr.bc(t)?;
-        log.append(t, prev, RecordBody::End);
-        tr.remove(t);
-    }
-    // Committed transactions whose End record was lost in the crash.
-    for t in tr.with_status(TxnStatus::Committed) {
-        let prev = tr.bc(t)?;
-        log.append(t, prev, RecordBody::End);
-        tr.remove(t);
-    }
+    terminate_losers(&log, &mut tr, &losers)?;
     log.flush_all()?;
     // Only in-doubt (2PC-prepared) transactions may survive recovery;
     // the sharded resolver terminates them once every shard's decision

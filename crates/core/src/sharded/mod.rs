@@ -285,7 +285,25 @@ impl ShardedDb {
         for r in results {
             engines.push(r?);
         }
+        Self::resolve_and_assemble(strategy, config, shift, engines)
+    }
 
+    /// Resolves the in-doubt transactions of freshly recovered (or
+    /// freshly promoted) per-shard engines and assembles the router:
+    /// unions the `CoordCommit` decisions each engine's recovery report
+    /// carries, commits every decided `Prepared` transaction and
+    /// presumes the rest aborted, forces each shard's log so the
+    /// resolution records are durable before the database accepts new
+    /// work, and retires the now-settled decisions from future
+    /// checkpoints. Shared by [`ShardedDb::recover`] and replica
+    /// promotion — a promoted fleet resolves its in-flight 2PC exactly
+    /// as a restarted one would.
+    pub(crate) fn resolve_and_assemble(
+        strategy: Strategy,
+        config: DbConfig,
+        shift: u32,
+        mut engines: Vec<RhDb>,
+    ) -> Result<Self> {
         // Union of coordinator decisions across every shard's log.
         let mut decided: BTreeSet<TxnId> = BTreeSet::new();
         for eng in &engines {
@@ -1038,6 +1056,19 @@ impl ShardedDb {
     /// spawns the cadence sampler that feeds `/timeseries` once per
     /// second until [`ShardedDb::stop_introspection`].
     pub fn serve_introspection(&self, addr: &str) -> std::io::Result<std::net::SocketAddr> {
+        self.serve_introspection_with(addr, &[], None)
+    }
+
+    /// [`ShardedDb::serve_introspection`] with caller-supplied routes:
+    /// `extra` is consulted before the built-in match (so a host can
+    /// mount e.g. `/replication`), and `extra_endpoints` extends the
+    /// endpoint listing printed on the index page.
+    pub fn serve_introspection_with(
+        &self,
+        addr: &str,
+        extra_endpoints: &[&str],
+        extra: Option<rh_obs::Handler>,
+    ) -> std::io::Result<std::net::SocketAddr> {
         let router_obs = Arc::clone(&self.obs);
         let map = self.map;
         let cells: Vec<_> = self
@@ -1069,7 +1100,7 @@ impl ShardedDb {
                 merged
             }
         };
-        let endpoints = [
+        let mut endpoints = vec![
             "/stats",
             "/metrics",
             "/timeseries",
@@ -1079,89 +1110,100 @@ impl ShardedDb {
             "/asof/<ob>/<lsn>",
             "/history/<ob>",
         ];
+        endpoints.extend_from_slice(extra_endpoints);
         let handler: rh_obs::Handler = {
             let merged_snapshot = merged_snapshot.clone();
             let router_obs = Arc::clone(&router_obs);
-            Arc::new(move |path: &str| match path {
-                "/stats" => Some(HttpResponse::Json(merged_snapshot().to_json())),
-                "/metrics" => Some(HttpResponse::Text {
-                    content_type: rh_obs::serve::PROMETHEUS_CONTENT_TYPE,
-                    body: promtext::render(&merged_snapshot()),
-                }),
-                "/timeseries" => Some(HttpResponse::Json(JsonValue::obj(vec![
-                    ("router", router_obs.timeseries.to_json()),
-                    (
-                        "shards",
-                        JsonValue::Arr(
-                            cells
-                                .iter()
-                                .map(|(_, _, _, obs, _)| obs.timeseries.to_json())
-                                .collect(),
-                        ),
-                    ),
-                ]))),
-                "/slowops" => Some(HttpResponse::Json(JsonValue::obj(vec![
-                    ("router", router_obs.slowops.to_json()),
-                    (
-                        "shards",
-                        JsonValue::Arr(
-                            cells.iter().map(|(_, _, _, obs, _)| obs.slowops.to_json()).collect(),
-                        ),
-                    ),
-                ]))),
-                "/trace" => Some(HttpResponse::Json(JsonValue::obj(vec![
-                    ("router", router_obs.tracer.snapshot().to_json()),
-                    (
-                        "shards",
-                        JsonValue::Arr(
-                            cells
-                                .iter()
-                                .map(|(_, _, _, obs, _)| obs.tracer.snapshot().to_json())
-                                .collect(),
-                        ),
-                    ),
-                ]))),
-                "/provenance" => {
-                    let tables: Vec<JsonValue> =
-                        cells.iter().map(|(_, _, _, _, prov)| prov.lock().to_json()).collect();
-                    Some(HttpResponse::Json(JsonValue::Arr(tables)))
+            Arc::new(move |path: &str| {
+                if let Some(hit) = extra.as_ref().and_then(|h| h(path)) {
+                    return Some(hit);
                 }
-                p => {
-                    // Reenacts on the owning shard's log, stitching
-                    // in-doubt 2PC outcomes from every shard's durable
-                    // coordinator decisions — no engine mutex anywhere.
-                    let reenact = |ob: ObjectId, lsn: Lsn| {
-                        let (log, _, _, obs, _) = &cells[map.shard_of(ob)];
-                        let r = crate::reenact::query(log, obs, ob, lsn)?;
-                        let in_doubt: Vec<TxnId> = r.in_doubt.iter().map(|d| d.txn).collect();
-                        let logs: Vec<&Arc<LogManager>> =
-                            cells.iter().map(|(log, _, _, _, _)| log).collect();
-                        let decided = coord_decisions_in(&logs, &in_doubt, &router_obs);
-                        Ok((r, decided))
-                    };
-                    if let Some(rest) = p.strip_prefix("/asof/") {
-                        Some(crate::engine::introspect_asof(rest, reenact))
-                    } else if let Some(rest) = p.strip_prefix("/history/") {
-                        Some(crate::engine::introspect_history(rest, reenact))
-                    } else if let Some(rest) = p.strip_prefix("/provenance/") {
-                        // Malformed segments are a 400, not a 404: the
-                        // route shape matched, the parameter did not.
-                        match rest.parse::<u64>() {
-                            Ok(ob) => {
-                                let (_, _, _, _, prov) = &cells[map.shard_of(ObjectId(ob))];
-                                let chain = prov.lock();
-                                Some(HttpResponse::Json(JsonValue::Arr(
-                                    chain
-                                        .chain(ObjectId(ob))
-                                        .iter()
-                                        .map(ProvHop::to_json)
-                                        .collect(),
-                                )))
+                match path {
+                    "/stats" => Some(HttpResponse::Json(merged_snapshot().to_json())),
+                    "/metrics" => Some(HttpResponse::Text {
+                        content_type: rh_obs::serve::PROMETHEUS_CONTENT_TYPE,
+                        body: promtext::render(&merged_snapshot()),
+                    }),
+                    "/timeseries" => Some(HttpResponse::Json(JsonValue::obj(vec![
+                        ("router", router_obs.timeseries.to_json()),
+                        (
+                            "shards",
+                            JsonValue::Arr(
+                                cells
+                                    .iter()
+                                    .map(|(_, _, _, obs, _)| obs.timeseries.to_json())
+                                    .collect(),
+                            ),
+                        ),
+                    ]))),
+                    "/slowops" => Some(HttpResponse::Json(JsonValue::obj(vec![
+                        ("router", router_obs.slowops.to_json()),
+                        (
+                            "shards",
+                            JsonValue::Arr(
+                                cells
+                                    .iter()
+                                    .map(|(_, _, _, obs, _)| obs.slowops.to_json())
+                                    .collect(),
+                            ),
+                        ),
+                    ]))),
+                    "/trace" => Some(HttpResponse::Json(JsonValue::obj(vec![
+                        ("router", router_obs.tracer.snapshot().to_json()),
+                        (
+                            "shards",
+                            JsonValue::Arr(
+                                cells
+                                    .iter()
+                                    .map(|(_, _, _, obs, _)| obs.tracer.snapshot().to_json())
+                                    .collect(),
+                            ),
+                        ),
+                    ]))),
+                    "/provenance" => {
+                        let tables: Vec<JsonValue> =
+                            cells.iter().map(|(_, _, _, _, prov)| prov.lock().to_json()).collect();
+                        Some(HttpResponse::Json(JsonValue::Arr(tables)))
+                    }
+                    p => {
+                        // Reenacts on the owning shard's log, stitching
+                        // in-doubt 2PC outcomes from every shard's durable
+                        // coordinator decisions — no engine mutex anywhere.
+                        let reenact = |ob: ObjectId, lsn: Lsn| {
+                            let (log, _, _, obs, _) = &cells[map.shard_of(ob)];
+                            let r = crate::reenact::query(log, obs, ob, lsn)?;
+                            let in_doubt: Vec<TxnId> = r.in_doubt.iter().map(|d| d.txn).collect();
+                            let logs: Vec<&Arc<LogManager>> =
+                                cells.iter().map(|(log, _, _, _, _)| log).collect();
+                            let decided = coord_decisions_in(&logs, &in_doubt, &router_obs);
+                            Ok((r, decided))
+                        };
+                        if let Some(rest) = p.strip_prefix("/asof/") {
+                            Some(crate::engine::introspect_asof(rest, reenact))
+                        } else if let Some(rest) = p.strip_prefix("/history/") {
+                            Some(crate::engine::introspect_history(rest, reenact))
+                        } else if let Some(rest) = p.strip_prefix("/provenance/") {
+                            // Malformed segments are a 400, not a 404: the
+                            // route shape matched, the parameter did not.
+                            match rest.parse::<u64>() {
+                                Ok(ob) => {
+                                    let (_, _, _, _, prov) = &cells[map.shard_of(ObjectId(ob))];
+                                    let chain = prov.lock();
+                                    Some(HttpResponse::Json(JsonValue::Arr(
+                                        chain
+                                            .chain(ObjectId(ob))
+                                            .iter()
+                                            .map(ProvHop::to_json)
+                                            .collect(),
+                                    )))
+                                }
+                                Err(_) => {
+                                    Some(HttpResponse::bad_request("object id must be numeric"))
+                                }
                             }
-                            Err(_) => Some(HttpResponse::bad_request("object id must be numeric")),
+                        } else {
+                            None
                         }
-                    } else {
-                        None
                     }
                 }
             })
@@ -1208,7 +1250,11 @@ impl ShardedDb {
 /// against the logs alone so reenactment never takes an engine mutex.
 /// Each transaction resolved to *committed* bumps
 /// `reenact.cross_shard_decisions` on `obs`.
-fn coord_decisions_in(logs: &[&Arc<LogManager>], txns: &[TxnId], obs: &Obs) -> BTreeSet<TxnId> {
+pub(crate) fn coord_decisions_in(
+    logs: &[&Arc<LogManager>],
+    txns: &[TxnId],
+    obs: &Obs,
+) -> BTreeSet<TxnId> {
     let mut decided = BTreeSet::new();
     if txns.is_empty() {
         return decided;

@@ -155,6 +155,8 @@ pub const TS_RECOVERY_FORWARD: &str = "recovery.forward_done";
 pub const TS_RECOVERY_UNDO: &str = "recovery.undo_done";
 /// Recovery fully completed (losers terminated, log forced).
 pub const TS_RECOVERY_DONE: &str = "recovery.done";
+/// A replica finished promotion and opened for writes.
+pub const TS_REPL_PROMOTE: &str = "repl.promote";
 
 // ---- metric names -----------------------------------------------------
 
@@ -309,6 +311,39 @@ pub const M_SHARD_2PC_RETIRED: &str = "shard.twopc.retired";
 /// failure before the coordinator decision record existed.
 pub const M_SHARD_2PC_UNWOUND: &str = "shard.twopc.unwound";
 
+// ---- replication (log shipping + read replicas) -----------------------
+// Primary-side `repl.ship.*` counters are maintained by the rh-server
+// shipping endpoint; replica-side `repl.apply.*` / `repl.promote.*` by
+// `rh-core::replica`. Lag gauges are computed at `/replication` render
+// time from subscriber state.
+
+/// Log records shipped to subscribers (one per `ReplMsg::Frame`).
+pub const M_REPL_FRAMES_SHIPPED: &str = "repl.ship.frames";
+/// Heartbeats shipped to subscribers (nothing to ship, primary alive).
+pub const M_REPL_HEARTBEATS: &str = "repl.ship.heartbeats";
+/// Progress acks received from subscribers.
+pub const M_REPL_ACKS: &str = "repl.ship.acks";
+/// Gauge: live log-shipping subscribers.
+pub const M_REPL_SUBSCRIBERS: &str = "repl.ship.subscribers";
+/// Log records applied by the replica's perpetual forward pass.
+pub const M_REPL_FRAMES_APPLIED: &str = "repl.apply.frames";
+/// Shipped frames a replica rejected (out-of-order LSN, undecodable
+/// record). Each one kills the subscription; reconnect resumes cleanly.
+pub const M_REPL_APPLY_ERRORS: &str = "repl.apply.errors";
+/// Replica reconnects to the primary (resume-from-`applied_lsn`).
+pub const M_REPL_RECONNECTS: &str = "repl.apply.reconnects";
+/// Staleness-bounded reads that waited for the forward pass to catch up
+/// to their `min_lsn` (satisfied within the deadline).
+pub const M_REPL_STALENESS_WAITS: &str = "repl.read.staleness_waits";
+/// Staleness-bounded reads that hit the wait deadline and returned
+/// `ReplLagging` instead of stale data.
+pub const M_REPL_STALENESS_TIMEOUTS: &str = "repl.read.staleness_timeouts";
+/// Promotions performed (replica → writable primary).
+pub const M_REPL_PROMOTIONS: &str = "repl.promotions";
+/// Histogram: promotion wall clock (finish forward pass + backward pass
+/// + open for writes), microseconds.
+pub const M_REPL_PROMOTE_US: &str = "repl.promote_us";
+
 /// ETM dependency edges accepted.
 pub const M_ETM_EDGES_FORMED: &str = "etm.edges_formed";
 /// ETM dependency requests rejected as cycles.
@@ -366,6 +401,11 @@ pub const LS_CORE_RETIRE: &str = "core.retire";
 pub const LS_CORE_SERVER: &str = "core.server";
 /// The router's cadence-sampler handle cell.
 pub const LS_CORE_SAMPLER: &str = "core.sampler";
+/// A replica's engine-in-forward-pass state (condvar-coupled: apply
+/// notifies staleness-bounded readers).
+pub const LS_CORE_REPLICA: &str = "core.replica";
+/// The shipping endpoint's subscriber registry (`/replication` source).
+pub const LS_SRV_SUBSCRIBERS: &str = "server.subscribers";
 /// The EOS global log's pending commit batches.
 pub const LS_EOS_BATCHES: &str = "eos.batches";
 /// The EOS global log's applied-value snapshot.

@@ -25,12 +25,25 @@
 //! The process exits on a wire `Shutdown` op (graceful drain +
 //! checkpoint). Kill it with a signal to exercise the crash path
 //! instead.
+//!
+//! **Replication.** With `--replica-of HOST:PORT` the process runs as a
+//! read replica: it subscribes to the primary's per-shard WAL streams
+//! (resuming from its own durable prefix after a bounce), serves
+//! read-only sessions on `--addr`, and exposes `/replication` on the
+//! introspection address. Add `--promote` and a primary that stays
+//! unreachable past the reconnect budget triggers failover: the replica
+//! finishes its forward pass, runs the backward pass over loser
+//! clusters, resolves in-doubt 2PC, and re-binds `--addr` as a writable
+//! primary. Primaries always accept `ReplSubscribe`, so any server
+//! started by this binary can feed replicas.
 
 use rh_core::engine::{DbConfig, RhDb, Strategy};
+use rh_core::replica::{PromotedDb, ReplicaSet};
 use rh_core::sharded::{ShardMap, ShardedDb};
-use rh_server::{Server, ServerConfig};
+use rh_server::{ReplRegistry, ReplicaRunner, RunnerConfig, Server, ServerConfig};
 use rh_storage::Disk;
 use rh_wal::StableLog;
+use std::sync::Arc;
 use std::time::Duration;
 
 struct Args {
@@ -39,6 +52,8 @@ struct Args {
     introspect: Option<String>,
     strategy: Strategy,
     shards: usize,
+    replica_of: Option<String>,
+    promote: bool,
     cfg: ServerConfig,
 }
 
@@ -47,7 +62,7 @@ fn usage(reason: &str) -> ! {
     eprintln!(
         "usage: rh-serve --dir PATH [--addr HOST:PORT] [--shards N] \
          [--introspect HOST:PORT] [--strategy rh|lazy] [--max-sessions N] \
-         [--inflight N] [--idle-ms N]"
+         [--inflight N] [--idle-ms N] [--replica-of HOST:PORT [--promote]]"
     );
     std::process::exit(2);
 }
@@ -59,6 +74,8 @@ fn parse_args() -> Args {
         introspect: None,
         strategy: Strategy::Rh,
         shards: 1,
+        replica_of: None,
+        promote: false,
         cfg: ServerConfig::default(),
     };
     let mut argv = std::env::args().skip(1);
@@ -94,11 +111,16 @@ fn parse_args() -> Args {
                 Ok(n) => out.cfg.idle_timeout = Duration::from_millis(n),
                 Err(_) => usage("--idle-ms needs an integer"),
             },
+            "--replica-of" => out.replica_of = Some(value("--replica-of")),
+            "--promote" => out.promote = true,
             other => usage(&format!("unknown flag {other}")),
         }
     }
     if out.dir.is_empty() {
         usage("--dir is required");
+    }
+    if out.promote && out.replica_of.is_none() {
+        usage("--promote only makes sense with --replica-of");
     }
     out
 }
@@ -200,18 +222,30 @@ fn print_drained(stats: &rh_obs::RegistrySnapshot) {
     );
 }
 
+/// The `/replication` route, mounted on every configuration's
+/// introspection endpoint: the registry the server's ship loops (on a
+/// primary) or the subscriber runner (on a replica) report into.
+fn repl_route(repl: &Arc<ReplRegistry>) -> rh_obs::Handler {
+    let repl = Arc::clone(repl);
+    Arc::new(move |path: &str| match path {
+        "/replication" => Some(rh_obs::HttpResponse::Json(repl.to_json())),
+        _ => None,
+    })
+}
+
 fn run_single(args: &Args) {
     let mut db = match open_engine(args) {
         Ok(db) => db,
         Err(reason) => die(&reason),
     };
+    let repl = Arc::new(ReplRegistry::new());
     if let Some(iaddr) = &args.introspect {
-        match db.serve_introspection(iaddr) {
+        match db.serve_introspection_with(iaddr, &["/replication"], Some(repl_route(&repl))) {
             Ok(bound) => println!("rh-serve: introspection on http://{bound}"),
             Err(e) => die(&format!("cannot bind introspection {iaddr}: {e}")),
         }
     }
-    let server = match Server::bind(&args.addr, db, args.cfg.clone()) {
+    let server = match Server::bind_with_repl(&args.addr, db, args.cfg.clone(), repl) {
         Ok(s) => s,
         Err(e) => die(&format!("cannot bind {}: {e}", args.addr)),
     };
@@ -229,13 +263,14 @@ fn run_sharded(args: &Args) {
         Ok(db) => db,
         Err(reason) => die(&reason),
     };
+    let repl = Arc::new(ReplRegistry::new());
     if let Some(iaddr) = &args.introspect {
-        match db.serve_introspection(iaddr) {
+        match db.serve_introspection_with(iaddr, &["/replication"], Some(repl_route(&repl))) {
             Ok(bound) => println!("rh-serve: introspection on http://{bound}"),
             Err(e) => die(&format!("cannot bind introspection {iaddr}: {e}")),
         }
     }
-    let server = match Server::bind_sharded(&args.addr, db, args.cfg.clone()) {
+    let server = match Server::bind_sharded_with_repl(&args.addr, db, args.cfg.clone(), repl) {
         Ok(s) => s,
         Err(e) => die(&format!("cannot bind {}: {e}", args.addr)),
     };
@@ -248,9 +283,179 @@ fn run_sharded(args: &Args) {
     }
 }
 
+// ---- replica mode ------------------------------------------------------
+
+/// How many consecutive dead dials (at [`RunnerConfig::reconnect_backoff`]
+/// apart, each bounded by the heartbeat grace) declare the primary lost
+/// when `--promote` is armed.
+const PROMOTE_AFTER_FAILURES: u32 = 10;
+
+/// How often the replica main loop interleaves its two wake conditions:
+/// a wire `Shutdown` op and the runner's source-lost flag.
+const FAILOVER_POLL: Duration = Duration::from_millis(200);
+
+/// One shard's stable state: its WAL mirror and its disk.
+type ReplicaPart = (Arc<StableLog>, Arc<Disk>);
+
+/// Opens the replica's local per-shard stable state under `--dir` —
+/// the same layout the primary uses (`--dir` itself for one shard,
+/// `--dir/shard-K` otherwise), so a promoted replica's directory is
+/// indistinguishable from a primary's.
+fn open_replica_parts(args: &Args) -> Result<Vec<ReplicaPart>, String> {
+    let mut parts = Vec::with_capacity(args.shards);
+    for k in 0..args.shards {
+        let dir =
+            if args.shards == 1 { args.dir.clone() } else { format!("{}/shard-{k}", args.dir) };
+        let stable = StableLog::open_dir(&dir).map_err(|e| format!("open {dir}: {e}"))?;
+        if !stable.master().is_null() {
+            return Err(refuse_drained(&dir, stable.master()));
+        }
+        parts.push((stable, Disk::new()));
+    }
+    Ok(parts)
+}
+
+/// Serves the promoted engine on the replica's own addresses: the
+/// moment `bind` succeeds, this node *is* the primary — writable, and
+/// itself shipping to any replica that subscribes.
+fn run_promoted(args: &Args, db: PromotedDb, repl: Arc<ReplRegistry>) {
+    match db {
+        PromotedDb::Single(db) => {
+            let mut db = *db;
+            if let Some(iaddr) = &args.introspect {
+                match db.serve_introspection_with(iaddr, &["/replication"], Some(repl_route(&repl)))
+                {
+                    Ok(bound) => println!("rh-serve: introspection on http://{bound}"),
+                    Err(e) => die(&format!("cannot bind introspection {iaddr}: {e}")),
+                }
+            }
+            let server = match Server::bind_with_repl(&args.addr, db, args.cfg.clone(), repl) {
+                Ok(s) => s,
+                Err(e) => die(&format!("cannot bind {}: {e}", args.addr)),
+            };
+            println!("rh-serve: promoted to primary on {}", server.local_addr());
+            server.run_until_shutdown();
+            println!("rh-serve: shutdown requested, draining");
+            match server.shutdown() {
+                Ok(db) => print_drained(&db.stats()),
+                Err(e) => die(&format!("drain failed: {e}")),
+            }
+        }
+        PromotedDb::Sharded(db) => {
+            let db = *db;
+            if let Some(iaddr) = &args.introspect {
+                match db.serve_introspection_with(iaddr, &["/replication"], Some(repl_route(&repl)))
+                {
+                    Ok(bound) => println!("rh-serve: introspection on http://{bound}"),
+                    Err(e) => die(&format!("cannot bind introspection {iaddr}: {e}")),
+                }
+            }
+            let server =
+                match Server::bind_sharded_with_repl(&args.addr, db, args.cfg.clone(), repl) {
+                    Ok(s) => s,
+                    Err(e) => die(&format!("cannot bind {}: {e}", args.addr)),
+                };
+            println!("rh-serve: promoted to primary on {}", server.local_addr());
+            server.run_until_shutdown();
+            println!("rh-serve: shutdown requested, draining");
+            match server.shutdown_sharded() {
+                Ok(db) => print_drained(&db.stats()),
+                Err(e) => die(&format!("drain failed: {e}")),
+            }
+        }
+    }
+}
+
+fn run_replica(args: &Args, source: &str) {
+    let parts = match open_replica_parts(args) {
+        Ok(p) => p,
+        Err(reason) => die(&reason),
+    };
+    let resumed: u64 = parts.iter().map(|(s, _)| s.len() as u64).sum();
+    let set =
+        match ReplicaSet::open(args.strategy, DbConfig::default(), parts, ShardMap::RANGE_SHIFT) {
+            Ok(set) => Arc::new(set),
+            Err(e) => die(&format!("replica open failed: {e}")),
+        };
+    if resumed > 0 {
+        println!("rh-serve: replica resumes from {resumed} local records");
+    }
+    let repl = Arc::new(ReplRegistry::new());
+    // A replica has no engine to host introspection; serve the routes
+    // standalone (the promoted incarnation swaps to engine-hosted).
+    let mut intro = None;
+    if let Some(iaddr) = &args.introspect {
+        let stats_set = Arc::clone(&set);
+        let route = repl_route(&repl);
+        let handler: rh_obs::Handler = Arc::new(move |path: &str| match path {
+            "/replication" => route(path),
+            "/stats" => Some(rh_obs::HttpResponse::Json(stats_set.stats().to_json())),
+            "/metrics" => Some(rh_obs::HttpResponse::Text {
+                content_type: rh_obs::serve::PROMETHEUS_CONTENT_TYPE,
+                body: rh_obs::promtext::render(&stats_set.stats()),
+            }),
+            _ => None,
+        });
+        match rh_obs::IntrospectionServer::bind(
+            iaddr,
+            &["/replication", "/stats", "/metrics"],
+            handler,
+        ) {
+            Ok(server) => {
+                println!("rh-serve: introspection on http://{}", server.local_addr());
+                intro = Some(server);
+            }
+            Err(e) => die(&format!("cannot bind introspection {iaddr}: {e}")),
+        }
+    }
+    let runner_cfg = RunnerConfig {
+        max_reconnect_failures: args.promote.then_some(PROMOTE_AFTER_FAILURES),
+        ..RunnerConfig::default()
+    };
+    let runner =
+        ReplicaRunner::start(Arc::clone(&set), Arc::clone(&repl), source.to_string(), runner_cfg);
+    let server = match Server::bind_replica(
+        &args.addr,
+        Arc::clone(&set),
+        args.cfg.clone(),
+        Arc::clone(&repl),
+    ) {
+        Ok(s) => s,
+        Err(e) => die(&format!("cannot bind {}: {e}", args.addr)),
+    };
+    println!("rh-serve: replica of {source}, read-only on {}", server.local_addr());
+    loop {
+        if server.wait_shutdown_for(FAILOVER_POLL) {
+            println!("rh-serve: shutdown requested, stopping replica");
+            runner.stop();
+            match server.shutdown_replica() {
+                Ok(_) => println!("rh-serve: replica stopped"),
+                Err(e) => die(&format!("replica drain failed: {e}")),
+            }
+            return;
+        }
+        if runner.source_lost() {
+            println!("rh-serve: primary {source} lost, promoting");
+            break;
+        }
+    }
+    runner.stop();
+    drop(intro); // free the introspection addr for the promoted server
+    let promoted = match set.promote() {
+        Ok(db) => db,
+        Err(e) => die(&format!("promotion failed: {e}")),
+    };
+    if let Err(e) = server.shutdown_replica() {
+        die(&format!("replica drain failed: {e}"));
+    }
+    run_promoted(args, promoted, repl);
+}
+
 fn main() {
     let args = parse_args();
-    if args.shards > 1 {
+    if let Some(source) = args.replica_of.clone() {
+        run_replica(&args, &source);
+    } else if args.shards > 1 {
         run_sharded(&args);
     } else {
         run_single(&args);

@@ -20,16 +20,18 @@
 //! argument.
 
 use crate::server::Shared;
-use crate::wire::{self, errcode, Hello, Op, Reply, ReplyBody, Request, Response};
+use crate::wire::{self, errcode, Hello, Op, ReplMsg, Reply, ReplyBody, Request, Response};
 use parking_lot::Mutex;
 use rh_common::codec::Codec;
 use rh_common::ops::Value;
-use rh_common::{Result, TxnId};
+use rh_common::{Lsn, Result, TxnId};
 use rh_obs::{names, Stopwatch};
+use rh_wal::LogManager;
 use std::net::TcpStream;
 use std::sync::atomic::Ordering;
-use std::sync::mpsc::{Receiver, TrySendError};
+use std::sync::mpsc::{Receiver, TryRecvError, TrySendError};
 use std::sync::Arc;
+use std::time::Duration;
 
 /// Handles one freshly accepted socket: admission, hello, threads.
 /// Runs on the accept thread, so everything here is non-blocking or
@@ -159,6 +161,23 @@ fn worker_loop(
     out: &Arc<Mutex<TcpStream>>,
 ) {
     while let Ok((req, queued)) = rx.recv() {
+        // A subscription handshake converts this worker into the ship
+        // loop: one Ok(Unit) response, then the socket carries raw
+        // `ReplMsg` frames until the subscriber (or the server) goes
+        // away. The connection is dedicated from here on.
+        if let Op::ReplSubscribe { shard, from } = req.op {
+            match shared.backend.ship_log(shard) {
+                Ok(log) => {
+                    send_reply(out, Response { id: req.id, reply: Reply::Ok(ReplyBody::Unit) });
+                    ship_loop(shared, &log, shard, from, rx, out);
+                    break;
+                }
+                Err(e) => {
+                    send_reply(out, Response { id: req.id, reply: wire::error_reply(&e) });
+                    continue;
+                }
+            }
+        }
         let queue_us = queued.elapsed_micros();
         let sw = Stopwatch::start();
         let txn = txn_of(&req.op);
@@ -223,8 +242,12 @@ fn txn_of(op: &Op) -> u64 {
         | Op::RollbackTo(t, _) => t.0,
         Op::Begin
         | Op::ValueOf(_)
+        | Op::ValueOfMin(..)
+        | Op::Durable(_)
         | Op::ReadAsOf(..)
         | Op::History(..)
+        | Op::ReplSubscribe { .. }
+        | Op::ReplAck(_)
         | Op::Stats
         | Op::Ping
         | Op::Shutdown => rh_obs::trace::NONE,
@@ -246,8 +269,12 @@ fn op_name(op: &Op) -> &'static str {
         Op::Savepoint(..) => "savepoint",
         Op::RollbackTo(..) => "rollback_to",
         Op::ValueOf(..) => "value_of",
+        Op::ValueOfMin(..) => "value_of_min",
+        Op::Durable(..) => "durable",
         Op::ReadAsOf(..) => "read_as_of",
         Op::History(..) => "history",
+        Op::ReplSubscribe { .. } => "repl_subscribe",
+        Op::ReplAck(..) => "repl_ack",
         Op::Stats => "stats",
         Op::Ping => "ping",
         Op::Shutdown => "shutdown",
@@ -353,6 +380,24 @@ fn execute(
         },
         Op::RollbackTo(t, token) => unit_reply(shared.backend.rollback_to(t, token)),
         Op::ValueOf(ob) => value_reply(shared.backend.value_of(ob)),
+        // The staleness-bounded read: a primary answers immediately, a
+        // replica blocks (up to the configured deadline) for its forward
+        // pass to reach the bound — or refuses with REPL_LAGGING.
+        Op::ValueOfMin(ob, min_lsn) => {
+            value_reply(shared.backend.value_of_min(ob, min_lsn, shared.cfg.staleness_deadline))
+        }
+        Op::Durable(ob) => match shared.backend.durable_watermark(ob) {
+            Ok(token) => Reply::Ok(ReplyBody::Token(token)),
+            Err(e) => wire::error_reply(&e),
+        },
+        // A subscription request reaching `execute` means the worker
+        // declined to enter the ship loop (invalid shard / replica
+        // backend); acks are only meaningful inside a subscription.
+        Op::ReplSubscribe { .. } | Op::ReplAck(_) => {
+            wire::error_reply(&rh_common::RhError::Protocol(
+                "replication ops are valid only on a dedicated subscription connection",
+            ))
+        }
         // Time-travel ops replay the WAL without any engine mutex (see
         // `Backend::read_as_of`), so a deep-history reenactment never
         // stalls concurrent writers.
@@ -365,6 +410,105 @@ fn execute(
         Op::Ping | Op::Shutdown => Reply::Ok(ReplyBody::Unit),
     };
     (reply, Vec::new())
+}
+
+/// How often the ship loop emits a heartbeat when the log is quiet —
+/// the subscriber's liveness signal and its cue to ack/flush. Must be
+/// comfortably below the subscriber's heartbeat-grace read timeout.
+const SHIP_HEARTBEAT: Duration = Duration::from_millis(500);
+
+/// The log-shipping loop a worker becomes after a `ReplSubscribe`
+/// handshake: stream every **durable** record from `from` upward as
+/// [`ReplMsg::Frame`]s, heartbeat when caught up, and fold in the
+/// subscriber's `ReplAck`s (which arrive on the ordinary request
+/// channel and are never replied to). Shipping only durable records
+/// keeps the stream a prefix of what a crash of this primary would
+/// preserve — a replica can never hold state the primary itself would
+/// lose — and [`rh_wal::LogManager::wait_durable`] provides exactly
+/// that watermark without ever forcing a sync of its own: committers
+/// drive durability, the ship loop rides their group commits.
+fn ship_loop(
+    shared: &Arc<Shared>,
+    log: &Arc<LogManager>,
+    shard: u32,
+    from: Lsn,
+    rx: &Receiver<(Request, Stopwatch)>,
+    out: &Arc<Mutex<TcpStream>>,
+) {
+    let sub = shared.repl.subscribe(shard, from);
+    shared.obs.registry.set(names::M_REPL_SUBSCRIBERS, shared.repl.subscriber_count());
+    let mut next = from;
+    'ship: loop {
+        if shared.draining.load(Ordering::SeqCst) {
+            break;
+        }
+        // Fold in whatever the reader queued: acks update the registry,
+        // anything else on a subscription connection is a protocol bug.
+        // A disconnected channel means the reader is gone (peer hangup
+        // or idle timeout with no acks) — the subscription is over.
+        loop {
+            match rx.try_recv() {
+                Ok((req, _)) => match req.op {
+                    Op::ReplAck(acked) => {
+                        shared.repl.acked(sub, acked);
+                        shared.obs.registry.inc(names::M_REPL_ACKS);
+                    }
+                    _ => {
+                        let e = rh_common::RhError::Protocol(
+                            "subscription connections accept only acks",
+                        );
+                        send_reply(out, Response { id: req.id, reply: wire::error_reply(&e) });
+                    }
+                },
+                Err(TryRecvError::Empty) => break,
+                Err(TryRecvError::Disconnected) => break 'ship,
+            }
+        }
+        let durable = log.wait_durable(next.0 + 1, SHIP_HEARTBEAT);
+        if durable > next.0 {
+            let mut shipped = 0u64;
+            let mut alive = true;
+            while next.0 < durable {
+                let Ok(rec) = log.read(next) else {
+                    alive = false;
+                    break;
+                };
+                let msg = ReplMsg::Frame { lsn: next, record: rec.to_bytes() };
+                if !send_msg(out, &msg) {
+                    alive = false;
+                    break;
+                }
+                next = next.next();
+                shipped += 1;
+            }
+            shared.repl.shipped(sub, next, shipped);
+            shared.obs.registry.add(names::M_REPL_FRAMES_SHIPPED, shipped);
+            if !alive {
+                break;
+            }
+        } else {
+            // Caught up and quiet: tell the subscriber we are alive and
+            // where durability stands.
+            if !send_msg(out, &ReplMsg::Heartbeat { durable: Lsn(durable) }) {
+                break;
+            }
+            shared.repl.heartbeat(sub);
+            shared.obs.registry.inc(names::M_REPL_HEARTBEATS);
+        }
+    }
+    shared.repl.unsubscribe(sub);
+    shared.obs.registry.set(names::M_REPL_SUBSCRIBERS, shared.repl.subscriber_count());
+}
+
+/// Frames one stream message through the connection's write half;
+/// `false` means the socket is dead and the subscription is over.
+fn send_msg(out: &Arc<Mutex<TcpStream>>, msg: &ReplMsg) -> bool {
+    let bytes = msg.to_bytes();
+    let mut guard = out.lock();
+    // `out` IS the socket write-half mutex: holding it across the send
+    // is the mechanism that keeps frames whole, not a hazard.
+    // rh-analyze: allow(L7)
+    wire::write_frame(&mut *guard, &bytes).is_ok() // rh-analyze: allow(L6)
 }
 
 /// Renders a unit-result backend operation.

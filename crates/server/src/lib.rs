@@ -26,7 +26,9 @@
 //! matching client library and load generator live in `rh-client`.
 
 mod conn;
+pub mod repl;
 pub mod server;
 pub mod wire;
 
+pub use repl::{ReplRegistry, ReplicaRunner, RunnerConfig};
 pub use server::{Server, ServerConfig};

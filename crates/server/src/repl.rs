@@ -1,0 +1,442 @@
+//! Replication plumbing around the wire protocol: the primary-side
+//! **subscriber registry** behind the `/replication` introspection
+//! route, and the replica-side **runner** that keeps one subscription
+//! per shard alive — reconnecting with backoff and resuming from the
+//! replica's own applied watermark, so a bounced primary (or a dropped
+//! link) never requires re-seeding the replica.
+//!
+//! The registry is deliberately wire-agnostic bookkeeping: the ship
+//! loop ([`crate::conn`]) reports shipped/heartbeat progress, acks
+//! arrive on the same request channel as everything else, and the lag a
+//! subscriber carries is derived on render — `lag_frames` from the
+//! shipped/acked watermarks, `lag_us` from how long the subscriber has
+//! been behind (cleared the moment it catches up).
+
+use crate::wire::{self, Hello, Op, ReplMsg, Reply, ReplyBody, Request, Response};
+use parking_lot::Mutex;
+use rh_common::codec::Codec;
+use rh_common::{Lsn, RhError};
+use rh_core::replica::ReplicaSet;
+use rh_obs::{names, JsonValue, Stopwatch};
+use std::collections::BTreeMap;
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// One live subscription, as the ship loop reports it.
+#[derive(Debug, Clone)]
+pub struct SubscriberState {
+    /// The shard whose log this subscriber consumes.
+    pub shard: u32,
+    /// Exclusive shipped watermark: every record below it is on the wire.
+    pub shipped: Lsn,
+    /// Exclusive acked watermark: the subscriber confirmed applying below it.
+    pub acked: Lsn,
+    /// Frames shipped over this subscription's lifetime.
+    pub frames: u64,
+    /// Heartbeats sent while caught up.
+    pub heartbeats: u64,
+    /// Acks received.
+    pub acks: u64,
+    /// When the subscriber first fell behind (registry clock, µs);
+    /// `None` while caught up. `lag_us` on render is now minus this.
+    pending_since_us: Option<u64>,
+}
+
+/// Replica-node self-report: the runner's view of one shard stream,
+/// rendered under `"replica"` so a replica's `/replication` shows what
+/// it has applied and how often it had to reconnect.
+#[derive(Debug, Clone, Default)]
+struct ApplyState {
+    applied: Lsn,
+    reconnects: u64,
+}
+
+struct RegistryInner {
+    next_id: u64,
+    entries: BTreeMap<u64, SubscriberState>,
+    /// Keyed by shard; present only on replica nodes.
+    apply: BTreeMap<u32, ApplyState>,
+}
+
+/// The `/replication` registry: every live subscription's watermarks on
+/// a primary, every stream's applied watermark on a replica. One of
+/// these is shared between the serving [`crate::Server`] and the
+/// introspection route.
+pub struct ReplRegistry {
+    /// Registry-relative clock for lag-in-µs accounting.
+    clock: Stopwatch,
+    subscribers: Mutex<RegistryInner>,
+}
+
+impl Default for ReplRegistry {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ReplRegistry {
+    /// An empty registry.
+    pub fn new() -> ReplRegistry {
+        ReplRegistry {
+            clock: Stopwatch::start(),
+            subscribers: Mutex::named(
+                RegistryInner { next_id: 1, entries: BTreeMap::new(), apply: BTreeMap::new() },
+                names::LS_SRV_SUBSCRIBERS,
+            ),
+        }
+    }
+
+    /// Registers a subscription starting at `from`, returning its id.
+    pub fn subscribe(&self, shard: u32, from: Lsn) -> u64 {
+        let mut inner = self.subscribers.lock();
+        let id = inner.next_id;
+        inner.next_id += 1;
+        inner.entries.insert(
+            id,
+            SubscriberState {
+                shard,
+                shipped: from,
+                acked: from,
+                frames: 0,
+                heartbeats: 0,
+                acks: 0,
+                pending_since_us: None,
+            },
+        );
+        id
+    }
+
+    /// Deregisters a subscription (connection gone).
+    pub fn unsubscribe(&self, id: u64) {
+        self.subscribers.lock().entries.remove(&id);
+    }
+
+    /// Live subscription count (the `repl.ship.subscribers` gauge).
+    pub fn subscriber_count(&self) -> u64 {
+        self.subscribers.lock().entries.len() as u64
+    }
+
+    /// Advances a subscription's shipped watermark by `frames` frames.
+    pub fn shipped(&self, id: u64, shipped: Lsn, frames: u64) {
+        let now = self.clock.elapsed_micros();
+        let mut inner = self.subscribers.lock();
+        if let Some(s) = inner.entries.get_mut(&id) {
+            s.shipped = shipped;
+            s.frames += frames;
+            if s.acked < s.shipped && s.pending_since_us.is_none() {
+                s.pending_since_us = Some(now);
+            }
+        }
+    }
+
+    /// Counts a caught-up heartbeat.
+    pub fn heartbeat(&self, id: u64) {
+        let mut inner = self.subscribers.lock();
+        if let Some(s) = inner.entries.get_mut(&id) {
+            s.heartbeats += 1;
+        }
+    }
+
+    /// Advances a subscription's acked watermark.
+    pub fn acked(&self, id: u64, acked: Lsn) {
+        let mut inner = self.subscribers.lock();
+        if let Some(s) = inner.entries.get_mut(&id) {
+            s.acked = s.acked.max(acked);
+            s.acks += 1;
+            if s.acked >= s.shipped {
+                s.pending_since_us = None;
+            }
+        }
+    }
+
+    /// Replica-node self-report: the runner applied through `applied` on
+    /// `shard`.
+    pub fn note_applied(&self, shard: u32, applied: Lsn) {
+        let mut inner = self.subscribers.lock();
+        inner.apply.entry(shard).or_default().applied = applied;
+    }
+
+    /// Replica-node self-report: `shard`'s stream dropped and will be
+    /// re-dialed.
+    pub fn note_reconnect(&self, shard: u32) {
+        let mut inner = self.subscribers.lock();
+        inner.apply.entry(shard).or_default().reconnects += 1;
+    }
+
+    /// The `/replication` document (`repl.v1`): per-subscriber shipped /
+    /// acked watermarks with lag in frames and µs, plus (on a replica)
+    /// per-shard applied watermarks and reconnect counts.
+    pub fn to_json(&self) -> JsonValue {
+        let now = self.clock.elapsed_micros();
+        let inner = self.subscribers.lock();
+        let subscribers: Vec<JsonValue> = inner
+            .entries
+            .iter()
+            .map(|(id, s)| {
+                JsonValue::obj(vec![
+                    ("id", JsonValue::U64(*id)),
+                    ("shard", JsonValue::U64(u64::from(s.shard))),
+                    ("shipped_lsn", JsonValue::U64(s.shipped.0)),
+                    ("acked_lsn", JsonValue::U64(s.acked.0)),
+                    ("frames", JsonValue::U64(s.frames)),
+                    ("heartbeats", JsonValue::U64(s.heartbeats)),
+                    ("acks", JsonValue::U64(s.acks)),
+                    ("lag_frames", JsonValue::U64(s.shipped.0.saturating_sub(s.acked.0))),
+                    (
+                        "lag_us",
+                        JsonValue::U64(
+                            s.pending_since_us.map_or(0, |since| now.saturating_sub(since)),
+                        ),
+                    ),
+                ])
+            })
+            .collect();
+        let mut fields = vec![
+            ("schema", JsonValue::Str("repl.v1".to_string())),
+            ("subscribers", JsonValue::Arr(subscribers)),
+        ];
+        if !inner.apply.is_empty() {
+            let streams: Vec<JsonValue> = inner
+                .apply
+                .iter()
+                .map(|(shard, a)| {
+                    JsonValue::obj(vec![
+                        ("shard", JsonValue::U64(u64::from(*shard))),
+                        ("applied_lsn", JsonValue::U64(a.applied.0)),
+                        ("reconnects", JsonValue::U64(a.reconnects)),
+                    ])
+                })
+                .collect();
+            fields.push(("replica", JsonValue::Arr(streams)));
+        }
+        JsonValue::obj(fields)
+    }
+}
+
+/// Tunables for the replica-side subscriber runner.
+#[derive(Debug, Clone)]
+pub struct RunnerConfig {
+    /// Ack after this many applied frames (heartbeats always ack, so a
+    /// quiet stream still confirms within one heartbeat interval).
+    pub ack_every: u64,
+    /// Socket read timeout: a stream silent longer than this — no
+    /// frames, no heartbeats — is declared dead and re-dialed. Must
+    /// comfortably exceed the primary's heartbeat interval.
+    pub heartbeat_grace: Duration,
+    /// Sleep between reconnect attempts.
+    pub reconnect_backoff: Duration,
+    /// After this many *consecutive* failed attempts, declare the
+    /// source lost ([`ReplicaRunner::source_lost`] turns true — the
+    /// promote-on-failure trigger). `None` retries forever.
+    pub max_reconnect_failures: Option<u32>,
+}
+
+impl Default for RunnerConfig {
+    fn default() -> Self {
+        RunnerConfig {
+            ack_every: 32,
+            heartbeat_grace: Duration::from_secs(2),
+            reconnect_backoff: Duration::from_millis(200),
+            max_reconnect_failures: None,
+        }
+    }
+}
+
+/// Keeps one wire subscription per shard of a [`ReplicaSet`] alive
+/// against a primary address: dial, hello, `ReplSubscribe` from the
+/// local applied watermark, then apply [`ReplMsg`] frames as they
+/// arrive — acking every [`RunnerConfig::ack_every`] frames and on
+/// every heartbeat. A dropped stream re-dials with backoff and resumes
+/// from `applied_lsn`; the primary re-ships only the unapplied suffix,
+/// so neither a bounced primary nor a bounced replica needs re-seeding.
+pub struct ReplicaRunner {
+    stop: Arc<AtomicBool>,
+    lost: Arc<AtomicBool>,
+    handles: Vec<JoinHandle<()>>,
+}
+
+impl ReplicaRunner {
+    /// Spawns one subscriber thread per shard of `set`, streaming from
+    /// `source` (the primary's serving address).
+    pub fn start(
+        set: Arc<ReplicaSet>,
+        registry: Arc<ReplRegistry>,
+        source: String,
+        cfg: RunnerConfig,
+    ) -> ReplicaRunner {
+        let stop = Arc::new(AtomicBool::new(false));
+        let lost = Arc::new(AtomicBool::new(false));
+        let mut handles = Vec::with_capacity(set.shard_count());
+        for shard in 0..set.shard_count() as u32 {
+            let set = Arc::clone(&set);
+            let registry = Arc::clone(&registry);
+            let source = source.clone();
+            let cfg = cfg.clone();
+            let stop = Arc::clone(&stop);
+            let lost = Arc::clone(&lost);
+            let spawned =
+                std::thread::Builder::new().name(format!("rh-repl-s{shard}")).spawn(move || {
+                    subscriber_loop(&set, &registry, &source, shard, &cfg, &stop, &lost)
+                });
+            if let Ok(h) = spawned {
+                handles.push(h);
+            }
+        }
+        ReplicaRunner { stop, lost, handles }
+    }
+
+    /// True once some shard's stream exhausted its reconnect budget —
+    /// the primary is gone as far as this replica can tell.
+    pub fn source_lost(&self) -> bool {
+        self.lost.load(Ordering::SeqCst)
+    }
+
+    /// Stops every subscriber thread and joins them.
+    pub fn stop(self) {
+        self.stop.store(true, Ordering::SeqCst);
+        for h in self.handles {
+            let _ = h.join();
+        }
+    }
+}
+
+/// Why one subscription attempt ended.
+enum StreamEnd {
+    /// Stop requested, or the set was promoted out from under us.
+    Done,
+    /// Transport / protocol failure after applying `progressed` frames.
+    Failed { progressed: bool },
+}
+
+fn subscriber_loop(
+    set: &ReplicaSet,
+    registry: &ReplRegistry,
+    source: &str,
+    shard: u32,
+    cfg: &RunnerConfig,
+    stop: &AtomicBool,
+    lost: &AtomicBool,
+) {
+    let mut failures: u32 = 0;
+    loop {
+        if stop.load(Ordering::SeqCst) {
+            return;
+        }
+        match stream_once(set, registry, source, shard, cfg, stop) {
+            StreamEnd::Done => return,
+            StreamEnd::Failed { progressed } => {
+                if progressed {
+                    // A stream that shipped real frames was a live
+                    // primary; only consecutive dead dials count toward
+                    // declaring it lost.
+                    failures = 0;
+                }
+                failures += 1;
+                registry.note_reconnect(shard);
+                set.obs().registry.inc(names::M_REPL_RECONNECTS);
+            }
+        }
+        if let Some(max) = cfg.max_reconnect_failures {
+            if failures >= max {
+                lost.store(true, Ordering::SeqCst);
+                return;
+            }
+        }
+        std::thread::sleep(cfg.reconnect_backoff);
+    }
+}
+
+/// One subscription attempt: dial, resume from the local applied
+/// watermark, and stream until something ends it.
+fn stream_once(
+    set: &ReplicaSet,
+    registry: &ReplRegistry,
+    source: &str,
+    shard: u32,
+    cfg: &RunnerConfig,
+    stop: &AtomicBool,
+) -> StreamEnd {
+    let failed = |progressed| StreamEnd::Failed { progressed };
+    // Promoted sets refuse `applied_lsn`: the stream's job is over.
+    let Ok(from) = set.applied_lsn(shard as usize) else { return StreamEnd::Done };
+    let Ok(mut stream) = TcpStream::connect(source) else { return failed(false) };
+    let _ = stream.set_nodelay(true);
+    if stream.set_read_timeout(Some(cfg.heartbeat_grace)).is_err() {
+        return failed(false);
+    }
+    // Hello exchange, then the subscription handshake: one Ok(Unit)
+    // response and the socket becomes a ReplMsg stream.
+    let Ok(Some(payload)) = wire::read_frame(&mut stream) else { return failed(false) };
+    let Ok(hello) = Hello::from_bytes(&payload) else { return failed(false) };
+    if !hello.accepted {
+        return failed(false);
+    }
+    let req = Request { id: 1, trace: wire::NO_TRACE, op: Op::ReplSubscribe { shard, from } };
+    if wire::write_frame(&mut stream, &req.to_bytes()).is_err() {
+        return failed(false);
+    }
+    let Ok(Some(payload)) = wire::read_frame(&mut stream) else { return failed(false) };
+    let Ok(resp) = Response::from_bytes(&payload) else { return failed(false) };
+    if !matches!(resp.reply, Reply::Ok(ReplyBody::Unit)) {
+        return failed(false);
+    }
+
+    let mut progressed = false;
+    let mut since_ack = 0u64;
+    let mut ack_id = 2u64;
+    loop {
+        if stop.load(Ordering::SeqCst) {
+            return StreamEnd::Done;
+        }
+        let Ok(Some(payload)) = wire::read_frame(&mut stream) else {
+            // EOF, heartbeat-grace timeout, or transport error: the
+            // stream is dead either way; resume from `applied_lsn`.
+            return failed(progressed);
+        };
+        let Ok(msg) = ReplMsg::from_bytes(&payload) else { return failed(progressed) };
+        match msg {
+            ReplMsg::Frame { lsn, record } => {
+                let applied = match set.apply_frame(shard as usize, lsn, &record) {
+                    Ok(applied) => applied,
+                    Err(RhError::Protocol(_)) => return StreamEnd::Done, // promoted
+                    Err(_) => return failed(progressed),
+                };
+                progressed = true;
+                registry.note_applied(shard, applied);
+                since_ack += 1;
+                if since_ack >= cfg.ack_every {
+                    since_ack = 0;
+                    if send_ack(&mut stream, &mut ack_id, applied).is_err() {
+                        return failed(progressed);
+                    }
+                }
+            }
+            ReplMsg::Heartbeat { durable: _ } => {
+                // Quiet stream: flush the local log (bounding the
+                // re-ship window a replica bounce would need) and
+                // confirm the watermark.
+                let Ok(applied) = set.applied_lsn(shard as usize) else { return StreamEnd::Done };
+                if set.flush_shard(shard as usize).is_err() {
+                    return StreamEnd::Done;
+                }
+                registry.note_applied(shard, applied);
+                since_ack = 0;
+                if send_ack(&mut stream, &mut ack_id, applied).is_err() {
+                    return failed(progressed);
+                }
+            }
+        }
+    }
+}
+
+/// Frames one `ReplAck` onto the subscription socket. The server never
+/// replies to acks, so this is fire-and-forget.
+fn send_ack(stream: &mut TcpStream, ack_id: &mut u64, applied: Lsn) -> std::io::Result<()> {
+    let id = *ack_id;
+    *ack_id += 1;
+    let req = Request { id, trace: wire::NO_TRACE, op: Op::ReplAck(applied) };
+    wire::write_frame(stream, &req.to_bytes())
+}

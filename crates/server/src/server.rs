@@ -19,11 +19,13 @@
 //! the analyzer can prove it.
 
 use crate::conn;
+use crate::repl::ReplRegistry;
 use crate::wire;
 use parking_lot::{Condvar, Mutex};
 use rh_common::ops::Value;
 use rh_common::{Lsn, ObjectId, Result, RhError, TxnId};
 use rh_core::engine::RhDb;
+use rh_core::replica::ReplicaSet;
 use rh_core::sharded::ShardedDb;
 use rh_etm::EtmSession;
 use rh_lock::LockManager;
@@ -49,6 +51,10 @@ pub struct ServerConfig {
     /// A connection idle (or mid-frame stalled) longer than this is
     /// closed, its open transactions aborted.
     pub idle_timeout: Duration,
+    /// How long a replica backend blocks a staleness-bounded read
+    /// (`ValueOfMin`) waiting for the forward pass to reach the bound
+    /// before refusing it with `ReplLagging`. Ignored on primaries.
+    pub staleness_deadline: Duration,
 }
 
 impl Default for ServerConfig {
@@ -57,6 +63,7 @@ impl Default for ServerConfig {
             max_sessions: 64,
             inflight_per_conn: 32,
             idle_timeout: Duration::from_secs(30),
+            staleness_deadline: Duration::from_secs(5),
         }
     }
 }
@@ -168,9 +175,19 @@ pub(crate) enum Backend {
     },
     /// N shards behind the router; all methods take `&self`.
     Sharded(Arc<ShardedDb>),
+    /// A read replica in perpetual forward pass: serves reads,
+    /// time-travel, and introspection; every mutating op is refused
+    /// with [`Backend::read_only`]. Promotion happens *outside* the
+    /// server (the set is `Arc`-shared with whoever drives failover).
+    Replica(Arc<ReplicaSet>),
 }
 
 impl Backend {
+    /// The uniform refusal every mutating op gets on a replica.
+    fn read_only<T>() -> Result<T> {
+        Err(RhError::Protocol("replica is read-only: writes go to the primary"))
+    }
+
     pub(crate) fn begin(&self) -> Result<TxnId> {
         match self {
             Backend::Single { engine, .. } => {
@@ -178,6 +195,7 @@ impl Backend {
                 eng.initiate_empty()
             }
             Backend::Sharded(db) => db.begin(),
+            Backend::Replica(_) => Self::read_only(),
         }
     }
 
@@ -188,6 +206,7 @@ impl Backend {
                 eng.read(t, ob)
             }
             Backend::Sharded(db) => db.read(t, ob),
+            Backend::Replica(_) => Self::read_only(),
         }
     }
 
@@ -198,6 +217,7 @@ impl Backend {
                 eng.write(t, ob, v)
             }
             Backend::Sharded(db) => db.write(t, ob, v),
+            Backend::Replica(_) => Self::read_only(),
         }
     }
 
@@ -208,6 +228,7 @@ impl Backend {
                 eng.add(t, ob, d)
             }
             Backend::Sharded(db) => db.add(t, ob, d),
+            Backend::Replica(_) => Self::read_only(),
         }
     }
 
@@ -218,6 +239,7 @@ impl Backend {
                 eng.delegate(tor, tee, obs)
             }
             Backend::Sharded(db) => db.delegate(tor, tee, obs),
+            Backend::Replica(_) => Self::read_only(),
         }
     }
 
@@ -228,6 +250,7 @@ impl Backend {
                 eng.delegate_all(tor, tee)
             }
             Backend::Sharded(db) => db.delegate_all(tor, tee),
+            Backend::Replica(_) => Self::read_only(),
         }
     }
 
@@ -238,6 +261,7 @@ impl Backend {
                 eng.permit(g, p, ob)
             }
             Backend::Sharded(db) => db.permit(g, p, ob),
+            Backend::Replica(_) => Self::read_only(),
         }
     }
 
@@ -295,6 +319,7 @@ impl Backend {
                 Ok(phases)
             }
             Backend::Sharded(db) => db.commit_traced(t, trace),
+            Backend::Replica(_) => Self::read_only(),
         }
     }
 
@@ -305,6 +330,7 @@ impl Backend {
                 eng.abort(t)
             }
             Backend::Sharded(db) => db.abort(t),
+            Backend::Replica(_) => Self::read_only(),
         }
     }
 
@@ -318,6 +344,7 @@ impl Backend {
                 Ok(wire::token_of(lsn))
             }
             Backend::Sharded(db) => db.savepoint(t),
+            Backend::Replica(_) => Self::read_only(),
         }
     }
 
@@ -328,6 +355,7 @@ impl Backend {
                 eng.engine().rollback_to(t, wire::lsn_of(token))
             }
             Backend::Sharded(db) => db.rollback_to(t, token),
+            Backend::Replica(_) => Self::read_only(),
         }
     }
 
@@ -338,6 +366,63 @@ impl Backend {
                 eng.value_of(ob)
             }
             Backend::Sharded(db) => db.value_of(ob),
+            Backend::Replica(set) => set.value_of(ob),
+        }
+    }
+
+    /// Staleness-bounded read (wire `ValueOfMin`). On a primary every
+    /// read is current, so the bound is trivially satisfied and this is
+    /// a plain peek. On a replica the owning shard's forward pass must
+    /// reach `min_lsn` within `deadline` or the read is refused with
+    /// `ReplLagging` — it never answers from state older than its bound.
+    pub(crate) fn value_of_min(
+        &self,
+        ob: ObjectId,
+        min_lsn: Lsn,
+        deadline: Duration,
+    ) -> Result<Value> {
+        match self {
+            Backend::Single { .. } | Backend::Sharded(_) => self.value_of(ob),
+            Backend::Replica(set) => set.value_of_min(ob, min_lsn, deadline),
+        }
+    }
+
+    /// The durable-watermark probe (wire `Durable`): an LSN-space token
+    /// usable as a `ValueOfMin` bound for read-your-writes. Primaries
+    /// answer the owning shard's durable length — a commit ack implies
+    /// the commit record is below it. Replicas answer their applied
+    /// watermark (what a bounded read against *this* node can rely on).
+    pub(crate) fn durable_watermark(&self, ob: ObjectId) -> Result<u64> {
+        match self {
+            Backend::Single { log, .. } => Ok(log.durable_len()),
+            Backend::Sharded(db) => {
+                let shard = db.shard_of(ob);
+                let log =
+                    db.shard_log(shard).ok_or(RhError::Protocol("shard index out of range"))?;
+                Ok(log.durable_len())
+            }
+            Backend::Replica(set) => Ok(set.applied_lsn(set.shard_of(ob))?.0),
+        }
+    }
+
+    /// The log a `ReplSubscribe { shard }` streams from. Only primaries
+    /// ship; chaining replicas off replicas is refused.
+    pub(crate) fn ship_log(&self, shard: u32) -> Result<Arc<LogManager>> {
+        match self {
+            Backend::Single { log, .. } => {
+                if shard == 0 {
+                    Ok(Arc::clone(log))
+                } else {
+                    Err(RhError::Protocol("shard index out of range"))
+                }
+            }
+            Backend::Sharded(db) => db
+                .shard_log(shard as usize)
+                .cloned()
+                .ok_or(RhError::Protocol("shard index out of range")),
+            Backend::Replica(_) => {
+                Err(RhError::Protocol("replicas do not ship the log; subscribe to the primary"))
+            }
         }
     }
 
@@ -354,6 +439,7 @@ impl Backend {
                 Ok(r.value())
             }
             Backend::Sharded(db) => db.read_as_of(ob, as_of),
+            Backend::Replica(set) => set.read_as_of(ob, as_of),
         }
     }
 
@@ -376,6 +462,10 @@ impl Backend {
                 let (r, decided) = db.reenact(ob, to)?;
                 Ok(r.to_json_range(from, r.as_of, |t| decided.contains(&t)).render_pretty())
             }
+            Backend::Replica(set) => {
+                let (r, decided) = set.reenact(ob, to)?;
+                Ok(r.to_json_range(from, r.as_of, |t| decided.contains(&t)).render_pretty())
+            }
         }
     }
 
@@ -389,6 +479,13 @@ impl Backend {
                 eng.engine().checkpoint()
             }
             Backend::Sharded(db) => db.checkpoint_all(),
+            // A replica cannot checkpoint (it does not own the
+            // database); drain just forces its local logs, best-effort
+            // — a promoted-away set has nothing left to flush.
+            Backend::Replica(set) => {
+                let _ = set.flush();
+                Ok(())
+            }
         }
     }
 
@@ -404,6 +501,7 @@ impl Backend {
                 obs.registry.snapshot().to_json().render_pretty()
             }
             Backend::Sharded(db) => db.stats().to_json().render_pretty(),
+            Backend::Replica(set) => set.stats().to_json().render_pretty(),
         }
     }
 }
@@ -417,6 +515,10 @@ pub(crate) struct Shared {
     /// which is what makes them visible to `RhDb::stats()` and the
     /// `/stats` introspection route.
     pub(crate) obs: Arc<Obs>,
+    /// The replication subscriber registry: the ship loops report
+    /// shipped/acked watermarks here, the `/replication` introspection
+    /// route renders it.
+    pub(crate) repl: Arc<ReplRegistry>,
     /// The session table.
     pub(crate) sessions: Mutex<SessionTable>,
     /// Join handles of per-connection threads, reaped at shutdown.
@@ -493,7 +595,31 @@ impl Server {
             disk,
             locks,
         };
-        Self::bind_backend(addr, backend, obs, recovered, cfg)
+        Self::bind_backend(addr, backend, obs, recovered, cfg, Arc::new(ReplRegistry::new()))
+    }
+
+    /// [`Server::bind`] with a caller-supplied replication registry, so
+    /// the `/replication` introspection route (wired up before the
+    /// engine moves into the server) and the ship loops share one view.
+    pub fn bind_with_repl(
+        addr: &str,
+        db: RhDb,
+        cfg: ServerConfig,
+        repl: Arc<ReplRegistry>,
+    ) -> std::io::Result<Server> {
+        let log = Arc::clone(db.log());
+        let disk = Arc::clone(db.disk());
+        let locks = Arc::clone(db.locks());
+        let obs = Arc::clone(db.obs());
+        let recovered = db.last_recovery().is_some();
+        db.record_blackbox("server-start");
+        let backend = Backend::Single {
+            engine: Box::new(Mutex::named(EtmSession::new(db), names::LS_SERVER_ENGINE)),
+            log,
+            disk,
+            locks,
+        };
+        Self::bind_backend(addr, backend, obs, recovered, cfg, repl)
     }
 
     /// Binds `addr` and serves a range-sharded engine: requests are
@@ -504,9 +630,37 @@ impl Server {
     /// concurrently. Tear down with [`Server::shutdown_sharded`] (or
     /// [`Server::force_stop`] for a simulated kill-9).
     pub fn bind_sharded(addr: &str, db: ShardedDb, cfg: ServerConfig) -> std::io::Result<Server> {
+        Self::bind_sharded_with_repl(addr, db, cfg, Arc::new(ReplRegistry::new()))
+    }
+
+    /// [`Server::bind_sharded`] with a caller-supplied replication
+    /// registry (see [`Server::bind_with_repl`]).
+    pub fn bind_sharded_with_repl(
+        addr: &str,
+        db: ShardedDb,
+        cfg: ServerConfig,
+        repl: Arc<ReplRegistry>,
+    ) -> std::io::Result<Server> {
         let obs = Arc::clone(db.obs());
         let recovered = db.stats().counter(names::M_RECOVERY_RUNS) > 0;
-        Self::bind_backend(addr, Backend::Sharded(Arc::new(db)), obs, recovered, cfg)
+        Self::bind_backend(addr, Backend::Sharded(Arc::new(db)), obs, recovered, cfg, repl)
+    }
+
+    /// Binds `addr` and serves a read replica: reads, staleness-bounded
+    /// reads, time-travel, and stats answer from the set's perpetual
+    /// forward pass; every mutating op is refused. The set stays
+    /// `Arc`-shared with the caller, which keeps feeding it via a
+    /// [`crate::repl::ReplicaRunner`] and promotes it on failover
+    /// (tear this server down with [`Server::shutdown_replica`] first,
+    /// then bind a writable server over the promoted engine).
+    pub fn bind_replica(
+        addr: &str,
+        set: Arc<ReplicaSet>,
+        cfg: ServerConfig,
+        repl: Arc<ReplRegistry>,
+    ) -> std::io::Result<Server> {
+        let obs = Arc::clone(set.obs());
+        Self::bind_backend(addr, Backend::Replica(set), obs, false, cfg, repl)
     }
 
     fn bind_backend(
@@ -515,10 +669,12 @@ impl Server {
         obs: Arc<Obs>,
         recovered: bool,
         cfg: ServerConfig,
+        repl: Arc<ReplRegistry>,
     ) -> std::io::Result<Server> {
         let shared = Arc::new(Shared {
             backend,
             obs,
+            repl,
             sessions: Mutex::named(SessionTable::new(), names::LS_SERVER_SESSIONS),
             reapers: Mutex::named(Vec::new(), names::LS_SERVER_REAPERS),
             draining: AtomicBool::new(false),
@@ -551,7 +707,18 @@ impl Server {
         match &self.shared.backend {
             Backend::Single { log, .. } => log.stable(),
             Backend::Sharded(db) => db.primary_log().stable(),
+            Backend::Replica(set) => {
+                // Test-support accessor; a consumed (promoted) set is a
+                // harness bug, not a durability path.
+                set.shard_stable(0).expect("replica set not yet promoted") // rh-analyze: allow(L1)
+            }
         }
+    }
+
+    /// The replication subscriber registry this server's ship loops
+    /// report into (render it behind a `/replication` route).
+    pub fn repl_registry(&self) -> Arc<ReplRegistry> {
+        Arc::clone(&self.shared.repl)
     }
 
     /// The engine's disk handle (crash tests pair it with
@@ -561,6 +728,10 @@ impl Server {
         match &self.shared.backend {
             Backend::Single { disk, .. } => Arc::clone(disk),
             Backend::Sharded(db) => Arc::clone(db.primary_disk()),
+            Backend::Replica(set) => {
+                // Test-support accessor, as in `stable` above.
+                set.shard_disk(0).expect("replica set not yet promoted") // rh-analyze: allow(L1)
+            }
         }
     }
 
@@ -570,6 +741,18 @@ impl Server {
         while !*stopped {
             self.shared.stop_cv.wait(&mut stopped);
         }
+    }
+
+    /// Waits up to `timeout` for a wire `Shutdown` op; `true` once one
+    /// arrived. The polling form of [`Server::run_until_shutdown`], for
+    /// callers that interleave another liveness check (a failover
+    /// driver watching its replication source, say).
+    pub fn wait_shutdown_for(&self, timeout: Duration) -> bool {
+        let mut stopped = self.shared.stop_flag.lock();
+        if !*stopped {
+            let _ = self.shared.stop_cv.wait_for(&mut stopped, timeout);
+        }
+        *stopped
     }
 
     /// Graceful drain: stop accepting, close every session (their open
@@ -587,9 +770,7 @@ impl Server {
                 db.record_blackbox("server-drain");
                 Ok(db)
             }
-            Backend::Sharded(_) => {
-                Err(RhError::Protocol("sharded server: drain with shutdown_sharded"))
-            }
+            _ => Err(RhError::Protocol("not a single-engine server: drain with its own shutdown")),
         }
     }
 
@@ -601,9 +782,19 @@ impl Server {
         match Self::drain(self)? {
             Backend::Sharded(db) => Arc::try_unwrap(db)
                 .map_err(|_| RhError::Protocol("sharded engine still shared at drain")),
-            Backend::Single { .. } => {
-                Err(RhError::Protocol("single-engine server: drain with shutdown"))
-            }
+            _ => Err(RhError::Protocol("not a sharded server: drain with its own shutdown")),
+        }
+    }
+
+    /// Graceful stop of a replica server: refuse new work, close every
+    /// session, force the local logs, and hand the (still `Arc`-shared)
+    /// set back. The failover path: stop the runner, `promote()` the
+    /// set, call this to free the address, then bind a writable server
+    /// over the promoted engine.
+    pub fn shutdown_replica(self) -> Result<Arc<ReplicaSet>> {
+        match Self::drain(self)? {
+            Backend::Replica(set) => Ok(set),
+            _ => Err(RhError::Protocol("not a replica server: drain with its own shutdown")),
         }
     }
 

@@ -37,7 +37,11 @@ use std::io::{self, Read, Write};
 /// the frame layout, opcode numbering, or reply encoding.
 /// v2: requests carry a `trace_id` field after `req_id`.
 /// v3: time-travel ops `ReadAsOf` (16) and `History` (17).
-pub const PROTOCOL_VERSION: u32 = 3;
+/// v4: replication — staleness-bounded reads `ValueOfMin` (18) and the
+/// durable-watermark probe `Durable` (19), plus the log-shipping
+/// subscription ops `ReplSubscribe` (20) / `ReplAck` (21) and the
+/// server→subscriber [`ReplMsg`] stream frames.
+pub const PROTOCOL_VERSION: u32 = 4;
 
 /// The `trace_id` value meaning "this request is untraced".
 pub const NO_TRACE: u64 = u64::MAX;
@@ -141,6 +145,36 @@ pub enum Op {
     /// range, as a rendered `history.v1` JSON artifact; replies
     /// [`ReplyBody::Json`].
     History(ObjectId, Lsn, Lsn),
+    /// Staleness-bounded peek (v4): like [`Op::ValueOf`], but the server
+    /// must answer from state at least as fresh as the LSN. A primary is
+    /// trivially fresh; a read replica blocks until its forward pass has
+    /// applied that far (or replies [`errcode::REPL_LAGGING`] at its
+    /// wait deadline). Replies [`ReplyBody::Value`].
+    ValueOfMin(ObjectId, Lsn),
+    /// Durable-watermark probe (v4): the raw LSN up to which the log
+    /// owning this object is durable, as [`ReplyBody::Token`]. A commit
+    /// ack precedes this probe, so the token bounds every effect that
+    /// commit made durable — pass it as the `min_lsn` of a replica read
+    /// for read-your-writes. On a replica backend the token is its
+    /// `applied_lsn` instead, so the same probe measures apply progress.
+    Durable(ObjectId),
+    /// Subscribe this connection to the shard's log-shipping feed,
+    /// starting at the LSN (v4). Answered with one `Ok(Unit)` response;
+    /// the server then streams [`ReplMsg`] frames on the same socket
+    /// until the subscriber disconnects. The connection stops being a
+    /// request/response channel except for [`Op::ReplAck`].
+    ReplSubscribe {
+        /// Which shard's log to ship (0 for an unsharded server).
+        shard: u32,
+        /// First LSN wanted; must be ≥ the shard's retained horizon.
+        from: Lsn,
+    },
+    /// Subscriber → server progress report (v4): the replica's
+    /// `applied_lsn` for the subscribed shard. Fire-and-forget — the
+    /// server records it for `/replication` lag accounting and sends
+    /// **no** reply (the socket's server→client direction is the
+    /// [`ReplMsg`] stream).
+    ReplAck(Lsn),
 }
 
 const OP_BEGIN: u8 = 1;
@@ -160,6 +194,10 @@ const OP_PING: u8 = 14;
 const OP_SHUTDOWN: u8 = 15;
 const OP_READ_AS_OF: u8 = 16;
 const OP_HISTORY: u8 = 17;
+const OP_VALUE_OF_MIN: u8 = 18;
+const OP_DURABLE: u8 = 19;
+const OP_REPL_SUBSCRIBE: u8 = 20;
+const OP_REPL_ACK: u8 = 21;
 
 impl Codec for Op {
     fn encode(&self, w: &mut Writer) {
@@ -237,6 +275,24 @@ impl Codec for Op {
                 w.put_u64(from.0);
                 w.put_u64(to.0);
             }
+            Op::ValueOfMin(ob, min) => {
+                w.put_u8(OP_VALUE_OF_MIN);
+                w.put_u64(ob.0);
+                w.put_u64(min.0);
+            }
+            Op::Durable(ob) => {
+                w.put_u8(OP_DURABLE);
+                w.put_u64(ob.0);
+            }
+            Op::ReplSubscribe { shard, from } => {
+                w.put_u8(OP_REPL_SUBSCRIBE);
+                w.put_u32(*shard);
+                w.put_u64(from.0);
+            }
+            Op::ReplAck(applied) => {
+                w.put_u8(OP_REPL_ACK);
+                w.put_u64(applied.0);
+            }
         }
     }
 
@@ -275,6 +331,12 @@ impl Codec for Op {
             OP_HISTORY => {
                 Op::History(ObjectId(r.take_u64()?), Lsn(r.take_u64()?), Lsn(r.take_u64()?))
             }
+            OP_VALUE_OF_MIN => Op::ValueOfMin(ObjectId(r.take_u64()?), Lsn(r.take_u64()?)),
+            OP_DURABLE => Op::Durable(ObjectId(r.take_u64()?)),
+            OP_REPL_SUBSCRIBE => {
+                Op::ReplSubscribe { shard: r.take_u32()?, from: Lsn(r.take_u64()?) }
+            }
+            OP_REPL_ACK => Op::ReplAck(Lsn(r.take_u64()?)),
             _ => return Err(RhError::Codec("unknown opcode")),
         })
     }
@@ -474,6 +536,64 @@ impl Codec for Hello {
     }
 }
 
+// ---- replication stream -----------------------------------------------
+
+/// One server→subscriber frame on a log-shipping connection (v4).
+///
+/// After a [`Op::ReplSubscribe`] is acknowledged, the server's side of
+/// the socket becomes a stream of these — each its own CRC frame, so a
+/// subscriber detects torn/corrupt ships exactly as recovery detects a
+/// torn log tail. Records are shipped **only once durable** on the
+/// primary (`lsn < durable_len`), so a subscriber's applied prefix is
+/// always a prefix of the log that would survive a primary crash — a
+/// promoted replica can never know history the primary's disk lost.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ReplMsg {
+    /// One log record: its primary-assigned LSN plus the encoded
+    /// [`rh_wal::record::LogRecord`] bytes, opaque at this layer. LSNs
+    /// arrive dense and in order; a gap is a protocol error.
+    Frame {
+        /// The record's LSN on the primary.
+        lsn: Lsn,
+        /// The encoded `LogRecord` (same codec as the stable log).
+        record: Vec<u8>,
+    },
+    /// Liveness + progress when there is nothing to ship: the primary's
+    /// durable watermark. Lets the subscriber distinguish "caught up"
+    /// from "primary dead" and feeds lag-in-µs accounting.
+    Heartbeat {
+        /// The shard log's durable length (exclusive upper LSN bound).
+        durable: Lsn,
+    },
+}
+
+const REPL_FRAME: u8 = 1;
+const REPL_HEARTBEAT: u8 = 2;
+
+impl Codec for ReplMsg {
+    fn encode(&self, w: &mut Writer) {
+        match self {
+            ReplMsg::Frame { lsn, record } => {
+                w.put_u8(REPL_FRAME);
+                w.put_u64(lsn.0);
+                w.put_bytes(record);
+            }
+            ReplMsg::Heartbeat { durable } => {
+                w.put_u8(REPL_HEARTBEAT);
+                w.put_u64(durable.0);
+            }
+        }
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<Self> {
+        Ok(match r.take_u8()? {
+            REPL_FRAME => ReplMsg::Frame { lsn: Lsn(r.take_u64()?), record: r.take_bytes()? },
+            REPL_HEARTBEAT => ReplMsg::Heartbeat { durable: Lsn(r.take_u64()?) },
+            _ => return Err(RhError::Codec("unknown repl message tag")),
+        })
+    }
+}
+
 // ---- error codes ------------------------------------------------------
 
 /// Stable numeric classes for [`Reply::Err`]. The engine's
@@ -515,6 +635,9 @@ pub mod errcode {
     /// [`rh_common::RhError::Reenact`] — a time-travel target the log
     /// can no longer answer (history truncated past it).
     pub const REENACT: u8 = 15;
+    /// [`rh_common::RhError::ReplLagging`] — a replica could not reach
+    /// the read's `min_lsn` freshness bound within its wait deadline.
+    pub const REPL_LAGGING: u8 = 16;
 }
 
 /// Maps an engine error to its wire class.
@@ -534,6 +657,7 @@ pub fn error_code(e: &RhError) -> u8 {
         RhError::Protocol(_) => errcode::PROTOCOL,
         RhError::VersionMismatch { .. } => errcode::VERSION_MISMATCH,
         RhError::Reenact { .. } => errcode::REENACT,
+        RhError::ReplLagging { .. } => errcode::REPL_LAGGING,
     }
 }
 
@@ -582,9 +706,21 @@ mod tests {
             Op::ReadAsOf(ObjectId(5), Lsn(17)),
             Op::ReadAsOf(ObjectId(5), Lsn::NULL),
             Op::History(ObjectId(5), Lsn(0), Lsn::NULL),
+            Op::ValueOfMin(ObjectId(5), Lsn(17)),
+            Op::Durable(ObjectId(5)),
+            Op::ReplSubscribe { shard: 3, from: Lsn(200) },
+            Op::ReplAck(Lsn(199)),
         ] {
             round_trip(Request { id: 42, trace: 99, op });
         }
+    }
+
+    #[test]
+    fn repl_msgs_round_trip() {
+        round_trip(ReplMsg::Frame { lsn: Lsn(12), record: vec![1, 2, 3, 4] });
+        round_trip(ReplMsg::Heartbeat { durable: Lsn(99) });
+        // An unknown tag is a codec error, not a panic.
+        assert!(ReplMsg::from_bytes(&[9, 0, 0]).is_err());
     }
 
     #[test]
@@ -663,6 +799,10 @@ mod tests {
     #[test]
     fn error_codes_cover_every_variant() {
         assert_eq!(error_code(&RhError::UnknownTxn(TxnId(1))), errcode::UNKNOWN_TXN);
+        assert_eq!(
+            error_code(&RhError::ReplLagging { min_lsn: Lsn(9), applied: Lsn(4) }),
+            errcode::REPL_LAGGING
+        );
         assert_eq!(
             error_code(&RhError::LockConflict { txn: TxnId(1), object: ObjectId(2) }),
             errcode::LOCK_CONFLICT

@@ -393,6 +393,29 @@ impl LogManager {
         self.sync_state.lock().durable
     }
 
+    /// Blocks until the durable watermark reaches `target` (every record
+    /// with LSN `< target` durable) or `timeout` elapses, whichever is
+    /// first; returns the watermark at return time (`>= target` means
+    /// the wait succeeded). Unlike [`LogManager::flush_to`] this never
+    /// initiates a sync of its own — it observes group-commit progress
+    /// driven by committers. That is exactly what a log-shipping loop
+    /// wants: wake when commits land, idle (and heartbeat) when the
+    /// primary is quiet, and never force empty fsyncs just to poll.
+    pub fn wait_durable(&self, target: u64, timeout: std::time::Duration) -> u64 {
+        let sw = rh_obs::Stopwatch::start();
+        let mut st = self.sync_state.lock();
+        while st.durable < target {
+            let elapsed = sw.elapsed();
+            if elapsed >= timeout {
+                break;
+            }
+            // Parking on the group-commit condvar releases the lock, same
+            // handoff protocol as `sync_to`'s followers.
+            let _ = self.sync_cv.wait_for(&mut st, timeout - elapsed);
+        }
+        st.durable
+    }
+
     /// Drops every stable record with LSN `< upto` (log truncation after
     /// a checkpoint). `upto` must not exceed the stable horizon, and the
     /// caller is responsible for `upto` being recovery-safe: no active
@@ -643,6 +666,25 @@ mod tests {
         assert_eq!(log.stable_len(), 3);
         log.flush_all().unwrap();
         assert_eq!(log.stable_len(), 5);
+    }
+
+    #[test]
+    fn wait_durable_observes_progress_without_forcing_it() {
+        let log = std::sync::Arc::new(LogManager::new());
+        log.append(TxnId(1), Lsn::NULL, RecordBody::Begin);
+        log.append(TxnId(1), Lsn(0), upd(0));
+        // Nothing flushed: a bounded wait must time out and report the
+        // actual watermark, never sync on the waiter's behalf.
+        assert_eq!(log.wait_durable(2, std::time::Duration::from_millis(10)), 0);
+        assert_eq!(log.stable_len(), 0);
+        // Already-satisfied targets return immediately.
+        assert_eq!(log.wait_durable(0, std::time::Duration::from_secs(30)), 0);
+        // A committer's flush on another thread wakes the waiter.
+        let log2 = std::sync::Arc::clone(&log);
+        let t =
+            std::thread::spawn(move || log2.wait_durable(2, std::time::Duration::from_secs(30)));
+        log.flush_all().unwrap();
+        assert_eq!(t.join().unwrap(), 2);
     }
 
     #[test]
